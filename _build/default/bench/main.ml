@@ -1,0 +1,236 @@
+(* Benchmark harness for the multilevel checkpoint reproduction.
+
+   Two parts, both in this one executable:
+
+   1. Bechamel micro-benchmarks — one [Test.make] per paper table/figure,
+      timing the computational kernel that regenerates it (the optimizer
+      solve, a simulated run, the emulator, the least-squares fit, ...),
+      plus a few substrate kernels (Reed-Solomon, event queue, RNG).
+
+   2. The full regeneration of every table and figure via
+      [Ckpt_experiments.Registry] — the same rows/series the paper
+      reports, printed to stdout.
+
+   Run with:  dune exec bench/main.exe
+   Pass --quick to skip part 2, or experiment ids to regenerate a
+   subset. *)
+
+open Bechamel
+open Toolkit
+open Ckpt_model
+module E = Ckpt_experiments
+module Failure_spec = Ckpt_failures.Failure_spec
+
+(* --- kernels under benchmark ------------------------------------------- *)
+
+let fig3_kernel () = Single_level.optimize (E.Paper_data.fig3_problem ~linear_cost:false)
+
+let table2_kernel () =
+  Overhead.fit ~snap:1e-3 ~scales:E.Paper_data.table2_scales
+    ~costs:E.Paper_data.table2_costs.(3) ()
+
+let eval_problem = E.Paper_data.eval_problem ~te_core_days:3e6 ~case:"16-12-8-4" ()
+let eval_plan = Optimizer.ml_opt_scale eval_problem
+
+let fig5_solve_kernel () = Optimizer.ml_opt_scale eval_problem
+
+let sim_config =
+  Ckpt_sim.Run_config.of_plan ~semantics:Ckpt_sim.Run_config.paper_semantics
+    ~problem:eval_problem ~plan:eval_plan ()
+
+let seed_counter = ref 0
+
+let fig5_sim_kernel () =
+  incr seed_counter;
+  Ckpt_sim.Engine.run ~seed:!seed_counter sim_config
+
+let fig1_kernel () = Optimizer.solve ~fixed_n:5e5 eval_problem
+
+let fig2_kernel () =
+  Ckpt_mpi.Emulator.run ~machine:Ckpt_mpi.Machine.default
+    (Ckpt_mpi.Heat.program ~ranks:64 ())
+
+let small_validation_config =
+  let problem =
+    { Optimizer.te = 1024. *. 3600.;
+      speedup = Speedup.quadratic ~kappa:0.46 ~n_star:1e6;
+      levels = Level.fti_fusion;
+      alloc = 10.;
+      spec = Failure_spec.of_string ~baseline_scale:1024. "24-18-12-6" }
+  in
+  let plan = Optimizer.ml_ori_scale ~n:1024. problem in
+  Ckpt_sim.Run_config.of_plan ~problem ~plan ()
+
+let fig4_event_kernel () =
+  incr seed_counter;
+  Ckpt_sim.Engine.run ~seed:!seed_counter small_validation_config
+
+let fig4_tick_kernel () =
+  incr seed_counter;
+  Ckpt_sim.Tick_engine.run ~seed:!seed_counter small_validation_config
+
+let table3_kernel () = Optimizer.sl_opt_scale eval_problem
+
+let fig6_problem = E.Paper_data.eval_problem ~te_core_days:1e7 ~case:"8-6-4-2" ()
+let fig6_kernel () = Optimizer.ml_opt_scale fig6_problem
+
+let fig7_kernel () =
+  incr seed_counter;
+  let o = Ckpt_sim.Engine.run ~seed:!seed_counter sim_config in
+  Ckpt_sim.Outcome.efficiency o ~te:eval_problem.Optimizer.te ~n:eval_plan.Optimizer.n
+
+let table4_problem =
+  E.Paper_data.eval_problem ~levels:Level.constant_pfs_case ~te_core_days:2e6
+    ~case:"8-6-4-2" ()
+
+let table4_kernel () = Optimizer.ml_opt_scale table4_problem
+let convergence_kernel () = Optimizer.solve ~delta:1e-12 eval_problem
+
+let markov_params =
+  { Markov.te = eval_problem.Optimizer.te;
+    speedup = eval_problem.Optimizer.speedup;
+    levels = eval_problem.Optimizer.levels;
+    alloc = eval_problem.Optimizer.alloc;
+    spec = eval_problem.Optimizer.spec }
+
+let scr_kernel () =
+  (* Reduced period grid: the full 13-value grid takes ~1 s per solve. *)
+  Markov.optimize ~candidate_periods:[ 1; 8; 64; 512 ] markov_params ~n:376_179.
+
+let costmodel_kernel () =
+  Ckpt_fti.Cost_model.fit_levels Ckpt_fti.Cost_model.fusion
+    ~scales:[| 128; 256; 384; 512; 1024 |]
+
+let sensitivity_kernel () =
+  Sensitivity.elasticities ~rel_step:0.05
+    [ List.hd (Sensitivity.quadratic_knobs ~kappa:0.46 ~n_star:1e6 eval_problem) ]
+
+let nonconvexity_kernel () =
+  E.Nonconvexity.compute ()
+
+(* Substrate kernels. *)
+
+let rs_codec = Ckpt_storage.Reed_solomon.create ~data:8 ~parity:2
+
+let rs_payloads =
+  let rng = Ckpt_numerics.Rng.of_int 1 in
+  Array.init 8 (fun _ ->
+      Bytes.init 4096 (fun _ -> Char.chr (Ckpt_numerics.Rng.int rng 256)))
+
+let rs_encode_kernel () = Ckpt_storage.Reed_solomon.encode rs_codec rs_payloads
+
+let rs_decode_kernel =
+  let parity = Ckpt_storage.Reed_solomon.encode rs_codec rs_payloads in
+  let shards =
+    Array.append (Array.map Option.some rs_payloads) (Array.map Option.some parity)
+  in
+  shards.(0) <- None;
+  shards.(5) <- None;
+  fun () -> Ckpt_storage.Reed_solomon.decode rs_codec shards
+
+let event_queue_kernel () =
+  let q = Ckpt_simkernel.Event_queue.create () in
+  for i = 0 to 999 do
+    ignore (Ckpt_simkernel.Event_queue.push q ~time:(float_of_int ((i * 7919) mod 1000)) i)
+  done;
+  let rec drain () = match Ckpt_simkernel.Event_queue.pop q with Some _ -> drain () | None -> () in
+  drain ()
+
+let rng_kernel =
+  let rng = Ckpt_numerics.Rng.of_int 7 in
+  fun () ->
+    let acc = ref 0. in
+    for _ = 1 to 1000 do
+      acc := !acc +. Ckpt_numerics.Dist.exponential rng ~rate:1.
+    done;
+    !acc
+
+let jacobi_grid = Ckpt_mpi.Heat.Jacobi.create ~size:64
+let jacobi_kernel () = Ckpt_mpi.Heat.Jacobi.step jacobi_grid
+
+let cg_system = Ckpt_numerics.Sparse.poisson_2d ~n:24
+let cg_rhs = Array.make (Ckpt_numerics.Sparse.rows cg_system) 1.
+let cg_kernel () = Ckpt_numerics.Cg.solve ~tol:1e-8 ~a:cg_system ~b:cg_rhs ()
+
+let json_doc =
+  Codec.bundle_to_json ~problem:eval_problem ~plan:eval_plan
+  |> Ckpt_json.Json.to_string ~pretty:true
+
+let json_kernel () = Ckpt_json.Json.parse json_doc
+
+let tests =
+  Test.make_grouped ~name:"paper"
+    [ Test.make ~name:"fig1-solve-at-scale" (Staged.stage fig1_kernel);
+      Test.make ~name:"fig2-heat-emulation-64" (Staged.stage fig2_kernel);
+      Test.make ~name:"fig3-single-level-optimize" (Staged.stage fig3_kernel);
+      Test.make ~name:"table2-overhead-fit" (Staged.stage table2_kernel);
+      Test.make ~name:"fig4-event-engine-run" (Staged.stage fig4_event_kernel);
+      Test.make ~name:"fig4-tick-engine-run" (Staged.stage fig4_tick_kernel);
+      Test.make ~name:"fig5-algorithm1-solve" (Staged.stage fig5_solve_kernel);
+      Test.make ~name:"fig5-simulated-run" (Staged.stage fig5_sim_kernel);
+      Test.make ~name:"table3-sl-opt-solve" (Staged.stage table3_kernel);
+      Test.make ~name:"fig6-solve-10m-core-days" (Staged.stage fig6_kernel);
+      Test.make ~name:"fig7-efficiency-run" (Staged.stage fig7_kernel);
+      Test.make ~name:"table4-const-pfs-solve" (Staged.stage table4_kernel);
+      Test.make ~name:"convergence-delta-1e12" (Staged.stage convergence_kernel);
+      Test.make ~name:"nonconvexity-scan" (Staged.stage nonconvexity_kernel);
+      Test.make ~name:"scr-markov-optimize" (Staged.stage scr_kernel);
+      Test.make ~name:"costmodel-fit-levels" (Staged.stage costmodel_kernel);
+      Test.make ~name:"sensitivity-one-knob" (Staged.stage sensitivity_kernel) ]
+
+let substrate_tests =
+  Test.make_grouped ~name:"substrate"
+    [ Test.make ~name:"reed-solomon-encode-8+2x4KB" (Staged.stage rs_encode_kernel);
+      Test.make ~name:"reed-solomon-decode-2-erasures" (Staged.stage rs_decode_kernel);
+      Test.make ~name:"event-queue-1k-push-pop" (Staged.stage event_queue_kernel);
+      Test.make ~name:"rng-1k-exponentials" (Staged.stage rng_kernel);
+      Test.make ~name:"jacobi-sweep-64x64" (Staged.stage jacobi_kernel);
+      Test.make ~name:"cg-solve-poisson-576" (Staged.stage cg_kernel);
+      Test.make ~name:"json-parse-plan-bundle" (Staged.stage json_kernel) ]
+
+(* --- bechamel driver ----------------------------------------------------- *)
+
+let benchmark tests =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.3) ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  Analyze.merge ols instances results
+
+let print_bench_results results =
+  let window =
+    match Notty_unix.winsize Unix.stdout with
+    | Some (w, h) -> { Bechamel_notty.w; h }
+    | None -> { Bechamel_notty.w = 100; h = 1 }
+  in
+  Bechamel_notty.Unit.add Instance.monotonic_clock (Measure.unit Instance.monotonic_clock);
+  let image =
+    Bechamel_notty.Multiple.image_of_ols_results ~rect:window
+      ~predictor:Measure.run results
+  in
+  Notty_unix.output_image image;
+  print_newline ()
+
+(* --- main ---------------------------------------------------------------- *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let requested = List.filter (fun a -> a <> "--quick") args in
+  print_endline "== Bechamel micro-benchmarks (one per paper table/figure) ==";
+  print_bench_results (benchmark tests);
+  print_bench_results (benchmark substrate_tests);
+  if not quick then begin
+    print_endline "\n== Regenerating the paper's tables and figures ==";
+    let ids = if requested = [] then E.Registry.ids () else requested in
+    let ppf = Format.std_formatter in
+    List.iter
+      (fun id ->
+        match E.Registry.find id with
+        | Some e ->
+            e.E.Registry.run ppf;
+            Format.pp_print_flush ppf ()
+        | None -> Printf.printf "unknown experiment %S\n" id)
+      ids
+  end

@@ -1,0 +1,114 @@
+(* Compute an optimized multilevel checkpoint plan from the command line.
+
+   Example:
+     ckpt_opt --te-days 3e6 --rates 16-12-8-4 --kappa 0.46 --n-star 1e6
+     ckpt_opt --te-days 2e6 --rates 8-6-4-2 --costs 50,100,200,2000 --solution sl-opt *)
+
+open Cmdliner
+open Ckpt_model
+
+let build_levels costs pfs_alpha =
+  match costs with
+  | [] ->
+      (* Default: the FTI characterization on the Fusion cluster. *)
+      Level.fti_fusion
+  | costs ->
+      let n = List.length costs in
+      Array.of_list
+        (List.mapi
+           (fun i c ->
+             if i = n - 1 && pfs_alpha > 0. then
+               Level.v ~name:"pfs" (Overhead.linear ~eps:c ~alpha:pfs_alpha)
+             else Level.v ~name:(Printf.sprintf "level%d" (i + 1)) (Overhead.constant c))
+           costs)
+
+let write_bundle path problem plan =
+  let json = Codec.bundle_to_json ~problem ~plan in
+  let oc = open_out path in
+  output_string oc (Ckpt_json.Json.to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc
+
+let run te_days rates kappa n_star alloc costs pfs_alpha solution delta output =
+  match
+    let spec =
+      try Ok (Ckpt_failures.Failure_spec.of_string ~baseline_scale:n_star rates)
+      with Invalid_argument m -> Error m
+    in
+    Result.bind spec (fun spec ->
+        let levels = build_levels costs pfs_alpha in
+        if Ckpt_failures.Failure_spec.levels spec <> Array.length levels then
+          Error
+            (Printf.sprintf "%d failure rates for %d levels"
+               (Ckpt_failures.Failure_spec.levels spec)
+               (Array.length levels))
+        else begin
+          let problem =
+            { Optimizer.te = te_days *. 86400.;
+              speedup = Speedup.quadratic ~kappa ~n_star;
+              levels; alloc; spec }
+          in
+          let simulation_problem, plan =
+            match solution with
+            | "ml-opt" -> (problem, Optimizer.ml_opt_scale ~delta problem)
+            | "ml-ori" -> (problem, Optimizer.ml_ori_scale ~delta problem)
+            | "sl-opt" ->
+                (Optimizer.single_level_problem problem, Optimizer.sl_opt_scale ~delta problem)
+            | "sl-ori" ->
+                (Optimizer.single_level_problem problem, Optimizer.sl_ori_scale problem)
+            | s -> invalid_arg ("unknown solution " ^ s)
+          in
+          Ok (simulation_problem, plan)
+        end)
+  with
+  | Ok (simulation_problem, plan) ->
+      Format.printf "%a@." Optimizer.pp_plan plan;
+      Option.iter
+        (fun path ->
+          write_bundle path simulation_problem plan;
+          Format.printf "bundle written to %s@." path)
+        output;
+      Ok ()
+  | Error m -> Error m
+  | exception Invalid_argument m -> Error m
+
+let te_days =
+  Arg.(value & opt float 3e6 & info [ "te-days" ] ~doc:"Workload in core-days.")
+
+let rates =
+  Arg.(value & opt string "16-12-8-4"
+       & info [ "rates" ] ~doc:"Per-level failures/day at the baseline scale, dash-separated.")
+
+let kappa = Arg.(value & opt float 0.46 & info [ "kappa" ] ~doc:"Speedup slope at the origin.")
+let n_star = Arg.(value & opt float 1e6 & info [ "n-star" ] ~doc:"Ideal (peak) scale in cores.")
+let alloc = Arg.(value & opt float 60. & info [ "alloc" ] ~doc:"Allocation period A in seconds.")
+
+let costs =
+  Arg.(value & opt (list float) []
+       & info [ "costs" ] ~doc:"Constant per-level checkpoint costs (overrides FTI defaults).")
+
+let pfs_alpha =
+  Arg.(value & opt float 0.
+       & info [ "pfs-alpha" ] ~doc:"Linear scale coefficient of the last level's cost.")
+
+let solution =
+  Arg.(value & opt string "ml-opt"
+       & info [ "solution" ] ~doc:"One of ml-opt, ml-ori, sl-opt, sl-ori.")
+
+let delta =
+  Arg.(value & opt float 1e-9 & info [ "delta" ] ~doc:"Outer-loop convergence threshold.")
+
+let output =
+  Arg.(value & opt (some string) None
+       & info [ "output"; "o" ] ~docv:"FILE"
+           ~doc:"Write the problem+plan bundle as JSON (for ckpt-simulate --plan).")
+
+let cmd =
+  let doc = "Optimize multilevel checkpoint intervals and execution scale (SC'14 model)" in
+  let term =
+    Term.(const run $ te_days $ rates $ kappa $ n_star $ alloc $ costs $ pfs_alpha
+          $ solution $ delta $ output)
+  in
+  Cmd.v (Cmd.info "ckpt-opt" ~doc) Term.(term_result' term)
+
+let () = exit (Cmd.eval cmd)

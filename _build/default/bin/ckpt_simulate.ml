@@ -1,0 +1,88 @@
+(* Simulate a checkpointed execution under a chosen strategy.
+
+   Example:
+     ckpt_simulate --te-days 3e6 --rates 16-12-8-4 --solution ml-opt --runs 50 *)
+
+open Cmdliner
+open Ckpt_model
+
+let load_bundle path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  match Ckpt_json.Json.parse_result content with
+  | Error e -> Error ("cannot parse " ^ path ^ ": " ^ e)
+  | Ok json -> Codec.bundle_of_json json
+
+let run te_days rates kappa n_star alloc solution runs seed horizon_days plan_file =
+  match
+    match plan_file with
+    | Some path -> load_bundle path
+    | None ->
+        let spec =
+          try Ok (Ckpt_failures.Failure_spec.of_string ~baseline_scale:n_star rates)
+          with Invalid_argument m -> Error m
+        in
+        Result.bind spec (fun spec ->
+            if Ckpt_failures.Failure_spec.levels spec <> Array.length Level.fti_fusion then
+              Error "expected one failure rate per FTI level (4)"
+            else begin
+              let problem =
+                { Optimizer.te = te_days *. 86400.;
+                  speedup = Speedup.quadratic ~kappa ~n_star;
+                  levels = Level.fti_fusion; alloc; spec }
+              in
+              let problem, plan =
+                match solution with
+                | "ml-opt" -> (problem, Optimizer.ml_opt_scale problem)
+                | "ml-ori" -> (problem, Optimizer.ml_ori_scale problem)
+                | "sl-opt" ->
+                    (Optimizer.single_level_problem problem, Optimizer.sl_opt_scale problem)
+                | "sl-ori" ->
+                    (Optimizer.single_level_problem problem, Optimizer.sl_ori_scale problem)
+                | s -> invalid_arg ("unknown solution " ^ s)
+              in
+              Ok (problem, plan)
+            end)
+  with
+  | Error m -> Error m
+  | exception Invalid_argument m -> Error m
+  | Ok (problem, plan) ->
+      Format.printf "plan:@\n%a@\n@." Optimizer.pp_plan plan;
+      let config =
+        Ckpt_sim.Run_config.of_plan ~max_wall_clock:(horizon_days *. 86400.) ~problem
+          ~plan ()
+      in
+      let aggregate = Ckpt_sim.Replication.run ~runs ~base_seed:seed config in
+      Format.printf "simulation (%d runs):@\n%a@." runs Ckpt_sim.Replication.pp aggregate;
+      Ok ()
+
+let te_days = Arg.(value & opt float 3e6 & info [ "te-days" ] ~doc:"Workload in core-days.")
+let rates =
+  Arg.(value & opt string "16-12-8-4" & info [ "rates" ] ~doc:"Failures/day per level.")
+let kappa = Arg.(value & opt float 0.46 & info [ "kappa" ] ~doc:"Speedup slope.")
+let n_star = Arg.(value & opt float 1e6 & info [ "n-star" ] ~doc:"Ideal scale.")
+let alloc = Arg.(value & opt float 60. & info [ "alloc" ] ~doc:"Allocation period (s).")
+let solution =
+  Arg.(value & opt string "ml-opt" & info [ "solution" ] ~doc:"ml-opt|ml-ori|sl-opt|sl-ori.")
+let runs = Arg.(value & opt int 100 & info [ "runs" ] ~doc:"Replicated runs.")
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Base RNG seed.")
+let horizon_days =
+  Arg.(value & opt float 2000. & info [ "horizon-days" ] ~doc:"Safety horizon per run.")
+
+let plan_file =
+  Arg.(value & opt (some string) None
+       & info [ "plan" ] ~docv:"FILE"
+           ~doc:"Load a problem+plan bundle written by ckpt-opt --output (overrides the \
+                 model flags).")
+
+let cmd =
+  let doc = "Simulate a multilevel-checkpointed execution (SC'14 evaluation)" in
+  let term =
+    Term.(const run $ te_days $ rates $ kappa $ n_star $ alloc $ solution $ runs $ seed
+          $ horizon_days $ plan_file)
+  in
+  Cmd.v (Cmd.info "ckpt-simulate" ~doc) Term.(term_result' term)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,94 @@
+(* CLI runner for the paper-reproduction experiments.
+
+   Usage:
+     experiments_main            # run everything
+     experiments_main fig3 table4
+     experiments_main --list *)
+
+let list_experiments () =
+  List.iter
+    (fun e -> Printf.printf "%-14s %s\n" e.Ckpt_experiments.Registry.id e.Ckpt_experiments.Registry.title)
+    Ckpt_experiments.Registry.all
+
+let run_ids ids =
+  let ppf = Format.std_formatter in
+  let run_one id =
+    match Ckpt_experiments.Registry.find id with
+    | Some e ->
+        e.Ckpt_experiments.Registry.run ppf;
+        Format.pp_print_flush ppf ();
+        Ok ()
+    | None -> Error (Printf.sprintf "unknown experiment %S (try --list)" id)
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | id :: rest -> ( match run_one id with Ok () -> go rest | Error _ as e -> e)
+  in
+  go ids
+
+open Cmdliner
+
+let ids_arg =
+  let doc = "Experiments to run (default: all).  See --list for ids." in
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let list_arg =
+  let doc = "List available experiments and exit." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
+let csv_arg =
+  let doc =
+    "Write CSV artifacts for the figures into $(docv) (created if missing) \
+     instead of running the textual experiments."
+  in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
+
+let csv_runs_arg =
+  let doc = "Simulation runs per cell for the CSV Fig. 5/6 artifacts (0 skips them)." in
+  Arg.(value & opt int 20 & info [ "csv-runs" ] ~doc)
+
+let report_arg =
+  let doc = "Write a generated Markdown reproduction report to $(docv) and exit." in
+  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+
+let write_csv dir runs =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let written = Ckpt_experiments.Csv_export.write_analytic ~dir in
+  let written =
+    if runs > 0 then written @ Ckpt_experiments.Csv_export.write_simulated ~runs ~dir ()
+    else written
+  in
+  List.iter (Printf.printf "wrote %s\n") written;
+  Ok ()
+
+let main list csv csv_runs report ids =
+  if list then begin
+    list_experiments ();
+    Ok ()
+  end
+  else begin
+    match report with
+    | Some path ->
+        let oc = open_out path in
+        let ppf = Format.formatter_of_out_channel oc in
+        Ckpt_experiments.Report.run ppf;
+        Format.pp_print_flush ppf ();
+        close_out oc;
+        Printf.printf "report written to %s\n" path;
+        Ok ()
+    | None -> (
+        match csv with
+        | Some dir -> write_csv dir csv_runs
+        | None ->
+            let ids = if ids = [] then Ckpt_experiments.Registry.ids () else ids in
+            run_ids ids)
+  end
+
+let cmd =
+  let doc = "Regenerate the tables and figures of the multilevel checkpoint paper" in
+  let term =
+    Term.(const main $ list_arg $ csv_arg $ csv_runs_arg $ report_arg $ ids_arg)
+  in
+  Cmd.v (Cmd.info "ckpt-experiments" ~doc) Term.(term_result' term)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,43 @@
+(* Capacity planning with the multilevel checkpoint model.
+
+   Run with:  dune exec examples/capacity_planning.exe
+
+   A system operator's view of the paper's result: across workload sizes
+   and failure intensities, how many of the million available cores
+   should a job actually be given?  Fewer cores than the machine offers
+   are often faster AND free capacity for other users (the paper's
+   "improves system availability by 6-16%" observation). *)
+
+open Ckpt_model
+
+let optimize ~te_core_days ~case =
+  let problem =
+    { Optimizer.te = te_core_days *. 86_400.;
+      speedup = Speedup.quadratic ~kappa:0.46 ~n_star:1e6;
+      levels = Level.fti_fusion;
+      alloc = 60.;
+      spec = Ckpt_failures.Failure_spec.of_string ~baseline_scale:1e6 case }
+  in
+  Optimizer.ml_opt_scale problem
+
+let () =
+  let workloads = [ 1e5; 1e6; 3e6; 1e7 ] in
+  let cases = [ "16-12-8-4"; "8-6-4-2"; "4-3-2-1" ] in
+  Format.printf "Optimal core allocation (out of 1m) and wall-clock:@.@.";
+  Format.printf "%14s" "Te (core-days)";
+  List.iter (fun c -> Format.printf "  %-22s" c) cases;
+  Format.printf "@.";
+  List.iter
+    (fun te ->
+      Format.printf "%14.0e" te;
+      List.iter
+        (fun case ->
+          let plan = optimize ~te_core_days:te ~case in
+          Format.printf "  %5.0fk cores %6.1f d  " (plan.Optimizer.n /. 1e3)
+            (plan.Optimizer.wall_clock /. 86_400.))
+        cases;
+      Format.printf "@.")
+    workloads;
+  Format.printf
+    "@.Reading: higher failure rates or heavier PFS traffic push the optimum@.\
+     to fewer cores; freed cores are available to other jobs.@."

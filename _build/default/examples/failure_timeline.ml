@@ -1,0 +1,78 @@
+(* A day in the life of a checkpointed cluster.
+
+   Run with:  dune exec examples/failure_timeline.exe
+
+   Drives the discrete-event kernel directly: failure events arrive from
+   the renewal generator, the crash model decides which nodes die, the
+   topology classifies the damage into a recovery level, and periodic
+   checkpoint events tick alongside — producing a timed incident log like
+   an operator would read.  This is the mechanism-level view underneath
+   the aggregate simulator of `ckpt_sim`. *)
+
+module Sim = Ckpt_simkernel.Sim
+module Trace = Ckpt_simkernel.Trace
+module Topology = Ckpt_topology.Topology
+module Arrivals = Ckpt_failures.Arrivals
+module Crash_model = Ckpt_failures.Crash_model
+module Failure_spec = Ckpt_failures.Failure_spec
+module Rng = Ckpt_numerics.Rng
+
+let day = 86_400.
+
+let () =
+  let rng = Rng.of_int 2014 in
+  let topology = Topology.create Topology.default_spec in
+  let trace = Trace.create () in
+  let sim = Sim.create () in
+
+  (* Failures: a lively test cluster - 24 events/day across the levels. *)
+  let spec = Failure_spec.of_string ~baseline_scale:1024. "12-6-4-2" in
+  let arrivals = Arrivals.create ~rng:(Rng.split rng) ~spec ~scale:1024. () in
+  let crash_model = Crash_model.create ~rng:(Rng.split rng) ~topology () in
+
+  (* Periodic checkpoints: level 1 hourly, level 4 every 8 hours. *)
+  let rec schedule_ckpt level period sim =
+    ignore
+      (Sim.schedule_after sim ~delay:period (fun sim ->
+           Trace.recordf trace ~time:(Sim.now sim) ~tag:"checkpoint" "level %d written"
+             level;
+           schedule_ckpt level period sim))
+  in
+  schedule_ckpt 1 3_600. sim;
+  schedule_ckpt 4 (8. *. 3_600.) sim;
+
+  (* Failure process: each event crashes concrete nodes; the topology
+     decides which checkpoint level can recover. *)
+  let rec schedule_next_failure sim =
+    match Arrivals.next_after arrivals (Sim.now sim) with
+    | None -> ()
+    | Some ev ->
+        ignore
+          (Sim.schedule_at sim ~time:ev.Arrivals.at (fun sim ->
+               let kind, failed, level = Crash_model.sample crash_model in
+               let kind_name =
+                 match kind with
+                 | Crash_model.Software -> "software error"
+                 | Crash_model.Single_node -> "node crash"
+                 | Crash_model.Board -> "board failure"
+                 | Crash_model.Multi k -> Printf.sprintf "%d correlated crashes" k
+               in
+               Trace.recordf trace ~time:(Sim.now sim) ~tag:"failure"
+                 "%s%s -> recover from level %d" kind_name
+                 (match failed with
+                  | [] -> ""
+                  | nodes ->
+                      Printf.sprintf " (nodes %s)"
+                        (String.concat "," (List.map string_of_int nodes)))
+                 level;
+               schedule_next_failure sim))
+  in
+  schedule_next_failure sim;
+
+  Sim.run ~until:day sim;
+
+  Format.printf "Incident log for one simulated day (%d events):@.@." (Trace.length trace);
+  Format.printf "%a@." Trace.pp trace;
+  let failures = List.length (Trace.find_all trace ~tag:"failure") in
+  let ckpts = List.length (Trace.find_all trace ~tag:"checkpoint") in
+  Format.printf "summary: %d failures, %d checkpoints written@." failures ckpts

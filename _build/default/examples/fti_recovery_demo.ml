@@ -1,0 +1,96 @@
+(* End-to-end multilevel checkpoint/recovery of a real computation.
+
+   Run with:  dune exec examples/fti_recovery_demo.exe
+
+   A genuine Jacobi heat solver iterates over a float grid; the FTI-style
+   runtime checkpoints its serialized state across a 32-node cluster at
+   increasing levels.  We then crash nodes in the three damage patterns
+   the levels are designed for — single node, adjacent board, scattered
+   multi-node — and watch the recovery protocol pick the cheapest level
+   that still works, falling back to Reed-Solomon decoding and finally to
+   the PFS. *)
+
+module Topology = Ckpt_topology.Topology
+module Runtime = Ckpt_fti.Runtime
+module Jacobi = Ckpt_mpi.Heat.Jacobi
+
+let spec =
+  { Topology.nodes = 32; cores_per_node = 8; board_size = 4; rs_group_size = 8;
+    rs_parity = 2 }
+
+(* Each node owns a private grid slice; here every node evolves its own
+   small grid so recovered state can be checked cell-for-cell. *)
+let make_state seed =
+  let g = Jacobi.create ~size:24 in
+  Jacobi.set g 12 12 (100. +. float_of_int seed);
+  Jacobi.set g 4 (4 + (seed mod 8)) 57.;
+  ignore (Jacobi.run g ~iterations:10);
+  g
+
+let () =
+  let topology = Topology.create spec in
+  let fti = Runtime.create ~topology () in
+  let grids = Array.init spec.Topology.nodes make_state in
+  let payload node = Jacobi.serialize grids.(node) in
+
+  Format.printf "cluster: %a@.@." Topology.pp topology;
+
+  (* Take four checkpoints, one per level, advancing the solver between
+     them (ids also encode how many iterations ran). *)
+  for level = 1 to 4 do
+    Array.iter (fun g -> ignore (Jacobi.run g ~iterations:5)) grids;
+    Runtime.checkpoint fti ~ckpt_id:level ~level ~data:payload;
+    Format.printf "checkpoint %d written at level %d@." level level
+  done;
+  let reference = Array.map (fun g -> Jacobi.serialize g) grids in
+
+  let verify label expected_level =
+    match Runtime.recover fti with
+    | None -> Format.printf "%s: UNRECOVERABLE@." label
+    | Some r ->
+        let intact =
+          Array.for_all
+            (fun node -> Bytes.equal (r.Runtime.data node) reference.(node))
+            (Array.init spec.Topology.nodes (fun i -> i))
+        in
+        Format.printf "%s: recovered ckpt %d via level %d (expected %d), state intact: %b@."
+          label r.Runtime.ckpt_id r.Runtime.level_used expected_level intact
+  in
+
+  (* Damage pattern 1: one node dies -> its partner copy suffices. *)
+  Runtime.crash_nodes fti [ 5 ];
+  verify "single-node crash         " 2;
+
+  (* Re-write the partner level for the next scenario. *)
+  Runtime.checkpoint fti ~ckpt_id:5 ~level:4 ~data:payload;
+
+  (* Damage pattern 2: a whole board (nodes 8-11) dies.  Partners live one
+     board away, so partner copies survive. *)
+  Runtime.crash_nodes fti [ 8; 9; 10; 11 ];
+  verify "board crash (4 adjacent)  " 2;
+
+  Runtime.checkpoint fti ~ckpt_id:6 ~level:4 ~data:payload;
+
+  (* Damage pattern 3: a node AND its partner die -> partner copy gone,
+     Reed-Solomon decoding takes over (2 losses within one group). *)
+  let victim = 16 in
+  let partner = Topology.partner_of topology victim in
+  Runtime.crash_nodes fti [ victim; partner ];
+  verify "node + its partner        " 3;
+
+  Runtime.checkpoint fti ~ckpt_id:7 ~level:4 ~data:payload;
+
+  (* Damage pattern 4: three nodes of one RS group AND their partners ->
+     partner copies gone too, losses exceed the RS parity, only the PFS
+     copy can serve. *)
+  Runtime.crash_nodes fti [ 0; 1; 2; 4; 5; 6 ];
+  verify "RS group + partners       " 4;
+
+  (* Finally continue computing from the recovered state. *)
+  match Runtime.recover fti with
+  | None -> assert false
+  | Some r ->
+      let g = Jacobi.deserialize (r.Runtime.data 0) in
+      let residual = Jacobi.run g ~iterations:5 in
+      Format.printf "@.resumed node 0 from checkpoint %d and iterated on: residual %.2e@."
+        r.Runtime.ckpt_id residual

@@ -1,0 +1,55 @@
+(* End-to-end study of the paper's flagship application.
+
+   Run with:  dune exec examples/heat_distribution_study.exe
+
+   Pipeline, exactly as the paper prescribes:
+   1. measure the Heat Distribution speedup by running the emulated MPI
+      program across scales (paper Fig. 2(a));
+   2. fit the Eq. (12) quadratic through the origin to get kappa;
+   3. feed the fitted speedup into Algorithm 1 with the FTI overhead
+      characterization (Table II) to optimize intervals and scale;
+   4. sanity-check the resulting plan in the simulator. *)
+
+open Ckpt_model
+module Study = Ckpt_mpi.Speedup_study
+
+let () =
+  (* 1. Measure speedups on the emulated cluster. *)
+  let machine = Ckpt_mpi.Machine.default in
+  let points =
+    Study.measure ~machine
+      ~program:(fun ~ranks -> Ckpt_mpi.Heat.program ~ranks ())
+      ~scales:[ 2; 4; 8; 16; 32; 64; 128; 160; 256; 512; 1024 ]
+  in
+  Format.printf "Measured speedups (Heat Distribution, strong scaling):@.";
+  List.iter
+    (fun p -> Format.printf "  %4d ranks: %7.2f@." p.Study.ranks p.Study.speedup)
+    points;
+
+  (* 2. Fit the quadratic speedup law. *)
+  let fit = Study.fit_quadratic (Study.ascending_range points) in
+  Format.printf "Fitted kappa = %.3f (paper: 0.46), r^2 = %.4f@.@." fit.Study.kappa
+    fit.Study.r_squared;
+
+  (* 3. Optimize a production run.  The emulator only covers 1,024 ranks;
+        as in the paper we keep the fitted kappa and posit the production
+        machine's peak at one million cores. *)
+  let speedup = Speedup.quadratic ~kappa:fit.Study.kappa ~n_star:1e6 in
+  let problem =
+    { Optimizer.te = 3e6 *. 86_400.;
+      speedup;
+      levels = Level.fti_fusion;
+      alloc = 60.;
+      spec = Ckpt_failures.Failure_spec.of_string ~baseline_scale:1e6 "16-12-8-4" }
+  in
+  let plan = Optimizer.ml_opt_scale problem in
+  Format.printf "Production plan (3m core-days, 16-12-8-4 failures/day):@\n%a@.@."
+    Optimizer.pp_plan plan;
+
+  (* 4. Simulate. *)
+  let config =
+    Ckpt_sim.Run_config.of_plan ~semantics:Ckpt_sim.Run_config.paper_semantics ~problem
+      ~plan ()
+  in
+  let agg = Ckpt_sim.Replication.run ~runs:20 config in
+  Format.printf "Simulated: %a@." Ckpt_sim.Replication.pp agg

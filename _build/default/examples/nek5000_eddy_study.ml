@@ -1,0 +1,46 @@
+(* Optimizing a communication-bound application whose speedup peaks early.
+
+   Run with:  dune exec examples/nek5000_eddy_study.exe
+
+   The Nek5000 eddy_uv monitor (paper Fig. 2(b)) stops scaling around 100
+   cores.  The paper's point: fit the quadratic only on the ascending
+   range — the optimum under failures can never exceed the failure-free
+   peak — and optimize within it. *)
+
+open Ckpt_model
+module Study = Ckpt_mpi.Speedup_study
+
+let () =
+  let machine = Ckpt_mpi.Machine.default in
+  let points =
+    Study.measure ~machine
+      ~program:(fun ~ranks -> Ckpt_mpi.Nek_eddy.program ~ranks ())
+      ~scales:[ 2; 4; 8; 16; 25; 36; 50; 64; 100; 128; 200; 256; 400 ]
+  in
+  Format.printf "Measured speedups (Nek5000 eddy_uv-like):@.";
+  List.iter
+    (fun p -> Format.printf "  %4d ranks: %6.2f@." p.Study.ranks p.Study.speedup)
+    points;
+  let ascending = Study.ascending_range points in
+  let fit = Study.fit_quadratic ascending in
+  Format.printf
+    "Quadratic fit on the ascending range (%d points): kappa=%.3f, N_star=%.0f@.@."
+    fit.Study.points_used fit.Study.kappa fit.Study.n_star;
+
+  (* A long campaign of eddy simulations on a small, failure-prone
+     partition: 500 core-days, a couple of failures per day. *)
+  let speedup = Speedup.quadratic ~kappa:fit.Study.kappa ~n_star:fit.Study.n_star in
+  let problem =
+    { Optimizer.te = 500. *. 86_400.;
+      speedup;
+      levels = Level.fti_fusion;
+      alloc = 30.;
+      spec =
+        Ckpt_failures.Failure_spec.of_string ~baseline_scale:fit.Study.n_star
+          "2-1-0.5-0.25" }
+  in
+  let plan = Optimizer.ml_opt_scale problem in
+  Format.printf "Optimized campaign plan:@\n%a@.@." Optimizer.pp_plan plan;
+  Format.printf
+    "Note how N* = %.0f stays below the failure-free peak of %.0f cores.@."
+    plan.Optimizer.n fit.Study.n_star

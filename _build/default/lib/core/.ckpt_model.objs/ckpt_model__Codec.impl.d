@@ -1,0 +1,1 @@
+lib/core/codec.ml: Array Ckpt_failures Ckpt_json Level List Multilevel Optimizer Option Overhead Printf Result Speedup

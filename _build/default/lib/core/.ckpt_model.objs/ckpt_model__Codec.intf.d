@@ -1,0 +1,1 @@
+lib/core/codec.mli: Ckpt_json Optimizer Overhead Speedup

@@ -1,0 +1,1 @@
+lib/core/jin.ml: Float Option Single_level Speedup

@@ -1,0 +1,1 @@
+lib/core/jin.mli: Single_level

@@ -1,0 +1,1 @@
+lib/core/level_selection.ml: Array Ckpt_failures Format Int List Optimizer String

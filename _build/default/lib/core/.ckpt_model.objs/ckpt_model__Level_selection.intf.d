@@ -1,0 +1,1 @@
+lib/core/level_selection.mli: Ckpt_failures Format Optimizer

@@ -1,0 +1,1 @@
+lib/core/markov.ml: Array Ckpt_failures Ckpt_numerics Float Int Level List Overhead Speedup

@@ -1,0 +1,1 @@
+lib/core/multilevel.ml: Array Ckpt_numerics Float Level Option Overhead Scale_fn Speedup

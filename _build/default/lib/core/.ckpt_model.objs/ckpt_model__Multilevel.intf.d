@@ -1,0 +1,1 @@
+lib/core/multilevel.mli: Level Scale_fn Speedup

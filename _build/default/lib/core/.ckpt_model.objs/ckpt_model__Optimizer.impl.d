@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Array Ckpt_failures Ckpt_numerics Float Format Level Multilevel Option Printf Scale_fn Speedup String

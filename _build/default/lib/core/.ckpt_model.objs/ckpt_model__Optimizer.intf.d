@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Ckpt_failures Format Level Multilevel Speedup

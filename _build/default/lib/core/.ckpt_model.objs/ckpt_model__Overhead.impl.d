@@ -1,0 +1,1 @@
+lib/core/overhead.ml: Array Ckpt_numerics Float Format Scale_fn

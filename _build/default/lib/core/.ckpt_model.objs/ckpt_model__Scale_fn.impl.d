@@ -1,0 +1,1 @@
+lib/core/scale_fn.ml: Ckpt_numerics Float List

@@ -1,0 +1,1 @@
+lib/core/self_consistent.ml: Ckpt_numerics List

@@ -1,0 +1,1 @@
+lib/core/sensitivity.ml: Array Ckpt_failures Format Level List Optimizer Overhead Printf Speedup

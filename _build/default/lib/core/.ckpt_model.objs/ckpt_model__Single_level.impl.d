@@ -1,0 +1,1 @@
+lib/core/single_level.ml: Ckpt_numerics Float Level Overhead Scale_fn Speedup

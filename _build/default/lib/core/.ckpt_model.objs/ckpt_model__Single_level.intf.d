@@ -1,0 +1,1 @@
+lib/core/single_level.mli: Level Scale_fn Speedup

@@ -1,0 +1,1 @@
+lib/core/speedup.ml: Format Printf Scale_fn

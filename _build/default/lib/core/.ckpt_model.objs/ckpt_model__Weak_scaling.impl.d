@@ -1,0 +1,1 @@
+lib/core/weak_scaling.ml: List Optimizer Speedup

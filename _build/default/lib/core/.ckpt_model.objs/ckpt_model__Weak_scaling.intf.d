@@ -1,0 +1,1 @@
+lib/core/weak_scaling.mli: Ckpt_failures Level Optimizer Speedup

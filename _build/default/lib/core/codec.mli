@@ -1,0 +1,31 @@
+(** JSON serialization of optimizer problems and plans.
+
+    Lets the CLI tools hand results to each other and to external
+    tooling: [ckpt-opt --output plan.json] writes a problem+plan bundle,
+    [ckpt-simulate --plan plan.json] replays it.  Only serializable
+    speedup forms (not {!Speedup.form.Custom}) and affine overhead laws
+    (H = 0 or H = N) round-trip; anything else raises. *)
+
+val speedup_to_json : Speedup.t -> Ckpt_json.Json.t
+(** @raise Invalid_argument on [Custom] speedups. *)
+
+val speedup_of_json : Ckpt_json.Json.t -> (Speedup.t, string) result
+
+val overhead_to_json : Overhead.t -> Ckpt_json.Json.t
+(** @raise Invalid_argument on custom baseline functions. *)
+
+val overhead_of_json : Ckpt_json.Json.t -> (Overhead.t, string) result
+
+val problem_to_json : Optimizer.problem -> Ckpt_json.Json.t
+val problem_of_json : Ckpt_json.Json.t -> (Optimizer.problem, string) result
+
+val plan_to_json : Optimizer.plan -> Ckpt_json.Json.t
+val plan_of_json : Ckpt_json.Json.t -> (Optimizer.plan, string) result
+(** The breakdown, iteration counters and flags round-trip; plans loaded
+    from JSON are complete for simulation and reporting. *)
+
+val bundle_to_json : problem:Optimizer.problem -> plan:Optimizer.plan -> Ckpt_json.Json.t
+(** The [{"problem": ..., "plan": ...}] document the CLIs exchange. *)
+
+val bundle_of_json :
+  Ckpt_json.Json.t -> (Optimizer.problem * Optimizer.plan, string) result

@@ -1,0 +1,17 @@
+let interval ~ckpt_cost ~mtbf =
+  assert (ckpt_cost > 0. && mtbf > 0.);
+  if ckpt_cost >= 2. *. mtbf then mtbf
+  else begin
+    let ratio = ckpt_cost /. (2. *. mtbf) in
+    (sqrt (2. *. ckpt_cost *. mtbf)
+     *. (1. +. (sqrt ratio /. 3.) +. (ratio /. 9.)))
+    -. ckpt_cost
+  end
+
+let interval_count ~productive ~ckpt_cost ~failures =
+  assert (productive >= 0. && ckpt_cost > 0. && failures >= 0.);
+  if failures <= 0. || productive <= 0. then 1.
+  else begin
+    let mtbf = productive /. failures in
+    Float.max 1. (productive /. interval ~ckpt_cost ~mtbf)
+  end

@@ -1,0 +1,17 @@
+(** Daly's higher-order checkpoint interval estimate [4].
+
+    Refines Young's formula for non-negligible checkpoint costs:
+
+    [tau = sqrt (2 c M) * (1 + 1/3 sqrt (c / (2 M)) + 1/9 (c / (2 M))) - c]
+    when [c < 2 M], and [tau = M] otherwise.
+
+    Included as an ablation baseline: EXPERIMENTS.md compares Young, Daly
+    and the paper's optimizer on the single-level configurations. *)
+
+val interval : ckpt_cost:float -> mtbf:float -> float
+(** Optimal productive interval length.  Requires both positive. *)
+
+val interval_count : productive:float -> ckpt_cost:float -> failures:float -> float
+(** Count form over a run of [productive] seconds expecting [failures]
+    failures ([mtbf = productive / failures]); clamped to [>= 1].
+    [failures = 0] yields [1.] (no checkpointing needed). *)

@@ -1,0 +1,54 @@
+type outcome = {
+  x : float;
+  n : float;
+  wall_clock : float;
+  iterations : int;
+  converged : bool;
+}
+
+let optimize ?(x0 = 1000.) ?n0 ?(tol = 1e-8) ?(max_iter = 200) ?(damping = 1.)
+    (p : Single_level.params) =
+  assert (damping > 0. && damping <= 1.);
+  let n_hi = Speedup.search_upper_bound p.Single_level.speedup ~default:1e9 in
+  let n0 = Option.value n0 ~default:(n_hi /. 2.) in
+  let fail x n iter = { x; n; wall_clock = nan; iterations = iter; converged = false } in
+  let f1 x n = Single_level.d_dx p ~x ~n in
+  let f2 x n = Single_level.d_dn p ~x ~n in
+  let rec loop x n iter =
+    if iter >= max_iter then fail x n iter
+    else if x < 1. || n < 1. || n > 2. *. n_hi || not (Float.is_finite x && Float.is_finite n)
+    then fail x n iter
+    else begin
+      let g1 = f1 x n and g2 = f2 x n in
+      let scale_res = Float.abs g1 +. Float.abs g2 in
+      if scale_res <= tol then
+        { x; n;
+          wall_clock = Single_level.expected_wall_clock p ~x ~n;
+          iterations = iter; converged = true }
+      else begin
+        (* Numerical Jacobian of (f1, f2). *)
+        let hx = 1e-6 *. (1. +. Float.abs x) in
+        let hn = 1e-6 *. (1. +. Float.abs n) in
+        let j11 = (f1 (x +. hx) n -. f1 (x -. hx) n) /. (2. *. hx) in
+        let j12 = (f1 x (n +. hn) -. f1 x (n -. hn)) /. (2. *. hn) in
+        let j21 = (f2 (x +. hx) n -. f2 (x -. hx) n) /. (2. *. hx) in
+        let j22 = (f2 x (n +. hn) -. f2 x (n -. hn)) /. (2. *. hn) in
+        let det = (j11 *. j22) -. (j12 *. j21) in
+        if det = 0. || not (Float.is_finite det) then fail x n iter
+        else begin
+          let dx = ((g1 *. j22) -. (g2 *. j12)) /. det in
+          let dn = ((g2 *. j11) -. (g1 *. j21)) /. det in
+          let x' = x -. (damping *. dx) in
+          let n' = n -. (damping *. dn) in
+          if Float.abs (x' -. x) <= tol *. (1. +. Float.abs x)
+             && Float.abs (n' -. n) <= tol *. (1. +. Float.abs n)
+          then
+            { x = x'; n = n';
+              wall_clock = Single_level.expected_wall_clock p ~x:(Float.max 1. x') ~n:(Float.max 1. n');
+              iterations = iter + 1; converged = true }
+          else loop x' n' (iter + 1)
+        end
+      end
+    end
+  in
+  loop x0 n0 0

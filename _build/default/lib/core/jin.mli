@@ -1,0 +1,35 @@
+(** Jin et al.-style optimizer [23]: simultaneous interval/scale
+    optimization of the {e single-level} model by Newton's method.
+
+    The paper's critique of this approach (Section V) is that Newton
+    iteration on the first-order conditions is used without a convexity
+    proof, so it may converge to a non-optimum or diverge for bad starting
+    points.  We implement it faithfully enough to exhibit both behaviours:
+    a damped 2-D Newton iteration on
+
+    [dE/dx = 0,  dE/dN = 0]
+
+    of {!Single_level}, with a numerically evaluated Jacobian.  Tests show
+    it agrees with the bisection optimizer from good starting points and
+    can fail from poor ones — the ablation recorded in EXPERIMENTS.md. *)
+
+type outcome = {
+  x : float;
+  n : float;
+  wall_clock : float;
+  iterations : int;
+  converged : bool;
+}
+
+val optimize :
+  ?x0:float ->
+  ?n0:float ->
+  ?tol:float ->
+  ?max_iter:int ->
+  ?damping:float ->
+  Single_level.params ->
+  outcome
+(** Newton iteration from [(x0, n0)] (defaults: [x0 = 1000],
+    [n0 = N_star / 2]).  [damping] in [(0, 1\]] scales each Newton step.
+    Returns [converged = false] instead of raising when the iteration
+    leaves the feasible region or stalls. *)

@@ -1,0 +1,27 @@
+type t = { name : string; ckpt : Overhead.t; restart : Overhead.t }
+
+let v ?(name = "level") ?restart ckpt =
+  let restart = Option.value restart ~default:ckpt in
+  { name; ckpt; restart }
+
+(* Checkpoint writes use the Table II least-squares laws.  Restart reads
+   are charged at the cost characterized at the validation scale (1,024
+   cores): recovery reads do not pay the metadata-congestion penalty that
+   makes PFS *writes* grow with the scale, and a scale-growing restart
+   cost would make the 1e6-core configurations unable to finish at all
+   (lambda_total * R_4(1e6) ~ 0.98 failure per recovery). *)
+let fti_fusion =
+  [| v ~name:"local" (Overhead.constant 0.866);
+     v ~name:"partner" (Overhead.constant 2.586);
+     v ~name:"rs-encoding" (Overhead.constant 3.886);
+     v ~name:"pfs"
+       ~restart:(Overhead.constant (5.5 +. (0.0212 *. 1024.)))
+       (Overhead.linear ~eps:5.5 ~alpha:0.0212) |]
+
+let constant_pfs_case =
+  [| v ~name:"local" (Overhead.constant 50.);
+     v ~name:"partner" (Overhead.constant 100.);
+     v ~name:"rs-encoding" (Overhead.constant 200.);
+     v ~name:"pfs" (Overhead.constant 2000.) |]
+
+let pp ppf t = Format.fprintf ppf "%s: C=%a R=%a" t.name Overhead.pp t.ckpt Overhead.pp t.restart

@@ -1,0 +1,22 @@
+(** A checkpoint level: its write (checkpoint) and read (restart) overhead
+    laws.  Levels are ordered cheapest-first; level [L] is the PFS. *)
+
+type t = {
+  name : string;
+  ckpt : Overhead.t;  (** [C_i(N)] *)
+  restart : Overhead.t;  (** [R_i(N)] *)
+}
+
+val v : ?name:string -> ?restart:Overhead.t -> Overhead.t -> t
+(** [v ckpt] builds a level; [restart] defaults to the checkpoint law
+    (the paper's evaluations set [R_i = C_i]). *)
+
+val fti_fusion : t array
+(** The four FTI levels with the Table II least-squares coefficients:
+    [(0.866, 0)], [(2.586, 0)], [(3.886, 0)], [(5.5, 0.0212)] — local,
+    partner, RS-encoding, PFS. *)
+
+val constant_pfs_case : t array
+(** The Table IV variant: constant overheads 50 / 100 / 200 / 2,000 s. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,73 @@
+module Failure_spec = Ckpt_failures.Failure_spec
+
+type candidate = { levels_used : int list; plan : Optimizer.plan }
+
+let regroup_rates ~full ~subset =
+  let levels = Failure_spec.levels full in
+  (match subset with
+   | [] -> invalid_arg "Level_selection.regroup_rates: empty subset"
+   | _ ->
+       if List.sort compare subset <> subset then
+         invalid_arg "Level_selection.regroup_rates: subset must be sorted";
+       if not (List.mem levels subset) then
+         invalid_arg "Level_selection.regroup_rates: the last level is mandatory";
+       List.iter
+         (fun l ->
+           if l < 1 || l > levels then
+             invalid_arg "Level_selection.regroup_rates: level out of range")
+         subset);
+  let rates =
+    List.map
+      (fun l ->
+        let lower =
+          List.fold_left (fun acc l' -> if l' < l then Int.max acc l' else acc) 0 subset
+        in
+        let acc = ref 0. in
+        for i = lower + 1 to l do
+          acc := !acc +. full.Failure_spec.rates_per_day.(i - 1)
+        done;
+        !acc)
+      subset
+  in
+  Failure_spec.v ~baseline_scale:full.Failure_spec.baseline_scale (Array.of_list rates)
+
+let subsets_containing_last ~levels =
+  assert (levels >= 1);
+  (* Enumerate subsets of 1..levels-1 and append the mandatory last. *)
+  let rec enum l =
+    if l = 0 then [ [] ]
+    else begin
+      let rest = enum (l - 1) in
+      rest @ List.map (fun s -> s @ [ l ]) rest
+    end
+  in
+  List.map (fun s -> s @ [ levels ]) (enum (levels - 1))
+
+let evaluate ?delta ?fixed_n (problem : Optimizer.problem) =
+  Optimizer.check_problem problem;
+  let nlevels = Array.length problem.Optimizer.levels in
+  let candidates =
+    List.map
+      (fun subset ->
+        let levels =
+          Array.of_list (List.map (fun l -> problem.Optimizer.levels.(l - 1)) subset)
+        in
+        let spec = regroup_rates ~full:problem.Optimizer.spec ~subset in
+        let sub_problem = { problem with Optimizer.levels; spec } in
+        { levels_used = subset; plan = Optimizer.solve ?delta ?fixed_n sub_problem })
+      (subsets_containing_last ~levels:nlevels)
+  in
+  List.sort
+    (fun a b -> compare a.plan.Optimizer.wall_clock b.plan.Optimizer.wall_clock)
+    candidates
+
+let best ?delta ?fixed_n problem =
+  match evaluate ?delta ?fixed_n problem with
+  | best :: _ -> best
+  | [] -> assert false
+
+let pp_candidate ppf c =
+  Format.fprintf ppf "levels {%s}: E(Tw) = %.3f days at N = %.0f"
+    (String.concat "," (List.map string_of_int c.levels_used))
+    (c.plan.Optimizer.wall_clock /. 86400.)
+    c.plan.Optimizer.n

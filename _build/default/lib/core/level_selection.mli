@@ -1,0 +1,37 @@
+(** Optimal selection of checkpoint levels.
+
+    The paper's predecessor work ([22], IPDPS'14) optimized not only the
+    checkpoint intervals but also {e which} levels an application should
+    use: a level whose failures are rare and whose overhead is high can be
+    worth dropping, letting its failures escalate to the next level up.
+
+    This module searches the subsets of the hierarchy (the last level is
+    mandatory — something must be able to recover every failure), regroups
+    the per-level failure rates onto the cheapest retained level at or
+    above each failure's own level, runs Algorithm 1 on each candidate and
+    returns the best plan. *)
+
+type candidate = {
+  levels_used : int list;  (** 1-based indices into the full hierarchy *)
+  plan : Optimizer.plan;
+}
+
+val regroup_rates :
+  full:Ckpt_failures.Failure_spec.t -> subset:int list -> Ckpt_failures.Failure_spec.t
+(** [regroup_rates ~full ~subset] maps each original level's rate onto the
+    smallest retained level >= it.  [subset] must be sorted, non-empty,
+    and contain the last level of [full].
+    @raise Invalid_argument otherwise. *)
+
+val subsets_containing_last : levels:int -> int list list
+(** All 2^(L-1) subsets of [1..levels] that contain [levels], smallest
+    first in each subset. *)
+
+val evaluate : ?delta:float -> ?fixed_n:float -> Optimizer.problem -> candidate list
+(** Run Algorithm 1 for every admissible subset; candidates are returned
+    sorted by predicted wall-clock time, best first. *)
+
+val best : ?delta:float -> ?fixed_n:float -> Optimizer.problem -> candidate
+(** The head of {!evaluate}. *)
+
+val pp_candidate : Format.formatter -> candidate -> unit

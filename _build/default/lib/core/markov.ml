@@ -1,0 +1,151 @@
+module Failure_spec = Ckpt_failures.Failure_spec
+module Roots = Ckpt_numerics.Roots
+
+type cadence = { periods : int array }
+
+let cadence periods =
+  if Array.length periods = 0 then invalid_arg "Markov.cadence: empty";
+  Array.iteri
+    (fun i v ->
+      if v < 1 then invalid_arg "Markov.cadence: period < 1";
+      if i > 0 && v < periods.(i - 1) then
+        invalid_arg "Markov.cadence: periods must be non-decreasing")
+    periods;
+  { periods }
+
+let level_of_segment c k =
+  assert (k >= 1);
+  let best = ref 1 in
+  Array.iteri (fun i v -> if k mod v = 0 then best := i + 2) c.periods;
+  !best
+
+type params = {
+  te : float;
+  speedup : Speedup.t;
+  levels : Level.t array;
+  alloc : float;
+  spec : Failure_spec.t;
+}
+
+type plan = {
+  segment_length : float;
+  cadence : cadence;
+  wall_clock : float;
+  xs : float array;
+}
+
+let check params c =
+  if Array.length c.periods <> Array.length params.levels - 1 then
+    invalid_arg "Markov: cadence arity must be levels - 1"
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let lcm a b = a * b / gcd a b
+
+(* Mean checkpoint cost per segment over one full cadence cycle. *)
+let mean_ckpt_cost params c ~n =
+  let cycle = Int.max 1 (Array.fold_left lcm 1 c.periods) in
+  let total = ref 0. in
+  for k = 1 to cycle do
+    let lvl = level_of_segment c k in
+    total := !total +. Overhead.cost params.levels.(lvl - 1).Level.ckpt n
+  done;
+  !total /. float_of_int cycle
+
+let expected_wall_clock params ~n ~segment_length c =
+  check params c;
+  assert (segment_length > 0. && n > 0.);
+  let productive = Speedup.productive_time params.speedup ~te:params.te ~n in
+  let segments = Float.max 1. (productive /. segment_length) in
+  let d = segment_length +. mean_ckpt_cost params c ~n in
+  let nlevels = Array.length params.levels in
+  let lambda_total = Failure_spec.total_rate_per_second params.spec ~scale:n in
+  if lambda_total <= 0. then (segments *. d)
+  else begin
+    (* Expected rollback distance (in segments) and recovery cost,
+       averaged over the failure-level mix.  A level-i failure must reach
+       back to the newest checkpoint of level >= i: expected (v_i + 1)/2
+       segments where v_i is the coarsest period at or above i. *)
+    let b_bar = ref 0. and r_bar = ref 0. in
+    for i = 1 to nlevels do
+      let li = Failure_spec.rate_per_second params.spec ~level:i ~scale:n in
+      let share = li /. lambda_total in
+      let period = if i = 1 then 1 else c.periods.(i - 2) in
+      b_bar := !b_bar +. (share *. ((float_of_int period +. 1.) /. 2.));
+      r_bar := !r_bar +. (share *. Overhead.cost params.levels.(i - 1).Level.restart n)
+    done;
+    let per_failure = params.alloc +. !r_bar +. (!b_bar *. d) in
+    let denom = 1. -. (lambda_total *. per_failure) in
+    if denom <= 0. then infinity else segments *. d /. denom
+  end
+
+let default_periods = [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 2048; 4096 ]
+
+let optimize ?(candidate_periods = default_periods) params ~n =
+  let nlevels = Array.length params.levels in
+  (* Enumerate non-decreasing tuples of periods for levels 2..L. *)
+  let rec tuples k min_v =
+    if k = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun v -> List.map (fun rest -> v :: rest) (tuples (k - 1) v))
+        (List.filter (fun v -> v >= min_v) candidate_periods)
+  in
+  let candidates = tuples (nlevels - 1) 1 in
+  let productive = Speedup.productive_time params.speedup ~te:params.te ~n in
+  let best = ref None in
+  List.iter
+    (fun periods ->
+      let c = cadence (Array.of_list periods) in
+      let objective tau = expected_wall_clock params ~n ~segment_length:tau c in
+      (* The objective is infinite wherever the chain diverges, so seed a
+         coarse log-grid scan and golden-section only around the best
+         finite cell. *)
+      let lo = log 1. and hi = log (Float.max 2. productive) in
+      let grid_points = 48 in
+      let at i = lo +. ((hi -. lo) *. float_of_int i /. float_of_int (grid_points - 1)) in
+      let best_i = ref (-1) and best_w = ref infinity in
+      for i = 0 to grid_points - 1 do
+        let w = objective (exp (at i)) in
+        if w < !best_w then begin
+          best_w := w;
+          best_i := i
+        end
+      done;
+      let tau, wall =
+        if !best_i < 0 then (exp hi, infinity)
+        else begin
+          let glo = at (Int.max 0 (!best_i - 1)) in
+          let ghi = at (Int.min (grid_points - 1) (!best_i + 1)) in
+          let r =
+            Roots.minimize_golden ~tol:1e-4
+              ~f:(fun log_tau -> objective (exp log_tau))
+              ~lo:glo ~hi:ghi ()
+          in
+          let tau = exp r.Roots.root in
+          (tau, objective tau)
+        end
+      in
+      match !best with
+      | Some (_, _, w) when w <= wall -> ()
+      | _ -> best := Some (tau, c, wall))
+    candidates;
+  match !best with
+  | None -> assert false
+  | Some (segment_length, c, wall_clock) ->
+      let plan = { segment_length; cadence = c; wall_clock; xs = [||] } in
+      let xs =
+        let segments =
+          Float.max 1. (productive /. segment_length)
+        in
+        Array.init nlevels (fun idx ->
+            if idx = 0 then Float.max 1. segments
+            else Float.max 1. (segments /. float_of_int c.periods.(idx - 1)))
+      in
+      { plan with xs }
+
+let to_simulator_xs params ~n plan =
+  let productive = Speedup.productive_time params.speedup ~te:params.te ~n in
+  let segments = Float.max 1. (productive /. plan.segment_length) in
+  Array.init (Array.length params.levels) (fun idx ->
+      if idx = 0 then Float.max 1. segments
+      else Float.max 1. (segments /. float_of_int plan.cadence.periods.(idx - 1)))

@@ -1,0 +1,65 @@
+(** An SCR-style multilevel checkpoint model (Moody et al., SC'10 — the
+    paper's reference [12]).
+
+    SCR schedules checkpoints by {e cadence}: every segment ends with a
+    level-1 checkpoint, every [v_i]-th with a level-[i] one (the highest
+    due level wins).  Its Markov-chain analysis yields the expected run
+    time for a given segment length and cadence; unlike the paper's
+    Algorithm 1 it does {e not} optimize the execution scale — which is
+    precisely the gap the paper fills (Section V).
+
+    We implement the renewal form of the chain: with total failure rate
+    [Lambda], per-failure recovery cost [A + R_i] and an expected rollback
+    of [b_i = (v_i + 1)/2] segments for a level-[i] failure,
+
+    [E(T) = K d / (1 - Lambda (A + R_bar + b_bar d))]
+
+    where [d] is the mean segment duration including its checkpoint and
+    [K] the segment count — the self-consistent fixed point of the chain.
+    Segment length is optimized by golden-section search and the cadence
+    by exhaustive search over power-of-two periods. *)
+
+type cadence = {
+  periods : int array;
+      (** [periods.(i-2)] = every how many segments a level-[i] checkpoint
+          is due (levels 2..L); must be >= 1 and non-decreasing *)
+}
+
+val cadence : int array -> cadence
+(** Validated constructor. *)
+
+val level_of_segment : cadence -> int -> int
+(** The level of the checkpoint ending segment [k] (1-based): the highest
+    level whose period divides [k]. *)
+
+type params = {
+  te : float;
+  speedup : Speedup.t;
+  levels : Level.t array;
+  alloc : float;
+  spec : Ckpt_failures.Failure_spec.t;
+}
+
+type plan = {
+  segment_length : float;  (** productive seconds between checkpoints *)
+  cadence : cadence;
+  wall_clock : float;  (** expected, seconds *)
+  xs : float array;  (** equivalent per-level interval counts, for the
+                         simulator *)
+}
+
+val expected_wall_clock :
+  params -> n:float -> segment_length:float -> cadence -> float
+(** The chain's expected run time at scale [n].  Returns [infinity] when
+    the failure burden exceeds the renewal bound (the chain diverges). *)
+
+val optimize :
+  ?candidate_periods:int list -> params -> n:float -> plan
+(** Best segment length (golden section over a wide bracket) and cadence
+    (exhaustive over non-decreasing period tuples drawn from
+    [candidate_periods], default powers of two up to 4096) at the {e fixed}
+    scale [n] — SCR does not choose [n]. *)
+
+val to_simulator_xs : params -> n:float -> plan -> float array
+(** Per-level interval counts equivalent to the plan's cadence, usable
+    with {!Ckpt_sim} configurations. *)

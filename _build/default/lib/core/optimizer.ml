@@ -1,0 +1,158 @@
+module Failure_spec = Ckpt_failures.Failure_spec
+
+type problem = {
+  te : float;
+  speedup : Speedup.t;
+  levels : Level.t array;
+  alloc : float;
+  spec : Failure_spec.t;
+}
+
+type plan = {
+  xs : float array;
+  n : float;
+  wall_clock : float;
+  mus : float array;
+  breakdown : Multilevel.breakdown;
+  efficiency : float;
+  outer_iterations : int;
+  inner_iterations : int;
+  converged : bool;
+}
+
+let check_problem p =
+  if Array.length p.levels = 0 then invalid_arg "Optimizer: no levels";
+  if Failure_spec.levels p.spec <> Array.length p.levels then
+    invalid_arg "Optimizer: failure spec level count differs from hierarchy";
+  if p.te <= 0. then invalid_arg "Optimizer: non-positive productive time"
+
+(* mu_i(N) = lambda_i(N) * wall_clock_estimate; lambda is linear in N, so
+   mu_i is linear with slope lambda'_i * estimate. *)
+let mus_for p ~estimate =
+  Array.init (Array.length p.levels) (fun idx ->
+      let slope = Failure_spec.rate_per_second' p.spec ~level:(idx + 1) in
+      Scale_fn.linear ~slope:(slope *. estimate) ())
+
+let multilevel_params p ~estimate =
+  { Multilevel.te = p.te;
+    speedup = p.speedup;
+    levels = p.levels;
+    alloc = p.alloc;
+    mus = mus_for p ~estimate }
+
+let mu_values p ~estimate ~n =
+  Array.init (Array.length p.levels) (fun idx ->
+      Failure_spec.rate_per_second p.spec ~level:(idx + 1) ~scale:n *. estimate)
+
+let finish p ~(sol : Multilevel.solution) ~estimate ~outer ~inner ~converged =
+  let params = multilevel_params p ~estimate in
+  let breakdown = Multilevel.breakdown params ~xs:sol.Multilevel.xs ~n:sol.Multilevel.n in
+  { xs = sol.Multilevel.xs;
+    n = sol.Multilevel.n;
+    wall_clock = sol.Multilevel.wall_clock;
+    mus = mu_values p ~estimate ~n:sol.Multilevel.n;
+    breakdown;
+    efficiency = p.te /. sol.Multilevel.wall_clock /. sol.Multilevel.n;
+    outer_iterations = outer;
+    inner_iterations = inner;
+    converged }
+
+(* The plan reported when the failure burden exceeds what any checkpoint
+   schedule can absorb (paper Section III-D discusses this divergence for
+   "extremely high" failure rates): the expected wall clock is unbounded. *)
+let divergent_plan p ~n ~outer ~inner =
+  { xs = Array.make (Array.length p.levels) 1.;
+    n;
+    wall_clock = infinity;
+    mus = Array.make (Array.length p.levels) infinity;
+    breakdown =
+      { Multilevel.productive = Speedup.productive_time p.speedup ~te:p.te ~n;
+        checkpoint = 0.; restart = infinity; allocation = 0.; rollback = infinity };
+    efficiency = 0.;
+    outer_iterations = outer;
+    inner_iterations = inner;
+    converged = false }
+
+let solve ?(delta = 1e-9) ?(max_outer = 1_000) ?fixed_n ?(n_max = 1e9) p =
+  check_problem p;
+  let n_hi = Speedup.search_upper_bound p.speedup ~default:n_max in
+  let n0 = Option.value fixed_n ~default:n_hi in
+  (* Line 2 of Algorithm 1: initialize the failure counts from the
+     failure-free productive time. *)
+  let estimate0 = Speedup.productive_time p.speedup ~te:p.te ~n:n0 in
+  let rec outer_loop estimate prev_mus outer inner =
+    if not (Float.is_finite estimate) then divergent_plan p ~n:n0 ~outer ~inner
+    else begin
+    let params = multilevel_params p ~estimate in
+    let sol = Multilevel.optimize ?fixed_n ~n_max params in
+    let inner = inner + sol.Multilevel.iterations in
+    let estimate' = sol.Multilevel.wall_clock in
+    if not (Float.is_finite estimate') then
+      divergent_plan p ~n:sol.Multilevel.n ~outer:(outer + 1) ~inner
+    else begin
+    let mus' = mu_values p ~estimate:estimate' ~n:sol.Multilevel.n in
+    let drift =
+      match prev_mus with
+      | None -> infinity
+      | Some prev when Array.length prev = Array.length mus' ->
+          Ckpt_numerics.Fixed_point.max_abs_diff prev mus'
+      | Some _ -> infinity
+    in
+    if drift <= delta then
+      finish p ~sol ~estimate:estimate' ~outer:(outer + 1) ~inner
+        ~converged:sol.Multilevel.converged
+    else if outer + 1 >= max_outer then
+      finish p ~sol ~estimate:estimate' ~outer:(outer + 1) ~inner ~converged:false
+    else outer_loop estimate' (Some mus') (outer + 1) inner
+    end
+    end
+  in
+  outer_loop estimate0 None 0 0
+
+let single_level_problem p =
+  let last = p.levels.(Array.length p.levels - 1) in
+  let total =
+    Array.fold_left ( +. ) 0. p.spec.Failure_spec.rates_per_day
+  in
+  { p with
+    levels = [| last |];
+    spec =
+      Failure_spec.v ~baseline_scale:p.spec.Failure_spec.baseline_scale [| total |] }
+
+let ml_opt_scale ?delta p = solve ?delta p
+
+let ml_ori_scale ?delta ?n p =
+  let n = Option.value n ~default:(Speedup.search_upper_bound p.speedup ~default:1e9) in
+  solve ?delta ~fixed_n:n p
+
+let sl_opt_scale ?delta p = solve ?delta (single_level_problem p)
+
+let sl_ori_scale ?n p =
+  let sl = single_level_problem p in
+  let n = Option.value n ~default:(Speedup.search_upper_bound sl.speedup ~default:1e9) in
+  (* Young's formula (Eq. 25): interval from the productive-time failure
+     count; no self-consistent iteration. *)
+  let productive = Speedup.productive_time sl.speedup ~te:sl.te ~n in
+  let params = multilevel_params sl ~estimate:productive in
+  let xs = Multilevel.young_init params ~n in
+  let wall_clock = Multilevel.expected_wall_clock params ~xs ~n in
+  let sol =
+    { Multilevel.xs; n; wall_clock; iterations = 0; converged = true }
+  in
+  finish sl ~sol ~estimate:productive ~outer:0 ~inner:0 ~converged:true
+
+let pp_plan ppf t =
+  let b = t.breakdown in
+  Format.fprintf ppf
+    "@[<v>xs = [%s]@ N = %.0f@ E(Tw) = %.4g s (%.3f days)@ mus = [%s]@ \
+     portions: productive=%.4g ckpt=%.4g restart=%.4g alloc=%.4g rollback=%.4g@ \
+     efficiency = %.4f@ iterations: outer=%d inner=%d converged=%b@]"
+    (String.concat "; "
+       (Array.to_list (Array.map (fun x -> Printf.sprintf "%.1f" x) t.xs)))
+    t.n t.wall_clock
+    (t.wall_clock /. Failure_spec.seconds_per_day)
+    (String.concat "; "
+       (Array.to_list (Array.map (fun m -> Printf.sprintf "%.2f" m) t.mus)))
+    b.Multilevel.productive b.Multilevel.checkpoint b.Multilevel.restart
+    b.Multilevel.allocation b.Multilevel.rollback t.efficiency t.outer_iterations
+    t.inner_iterations t.converged

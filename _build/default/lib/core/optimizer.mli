@@ -1,0 +1,69 @@
+(** Algorithm 1 of the paper: the complete optimizer.
+
+    The inner convex subproblem ({!Multilevel.optimize}) assumes the
+    expected failure counts [mu_i] depend only on the scale; in truth they
+    scale with the wall-clock length, which is itself the objective.  The
+    outer loop closes that circle: it re-estimates
+    [mu_i(N) = lambda_i(N) * E(T_w)] from each new solution and repeats
+    until the [mu_i] converge (threshold [delta], paper uses 1e-12).
+
+    The module also packages the paper's four compared solutions
+    (Section IV-A): ML/SL crossed with optimized/original scale. *)
+
+type problem = {
+  te : float;  (** single-core productive time, seconds *)
+  speedup : Speedup.t;
+  levels : Level.t array;  (** the full hierarchy, cheapest level first *)
+  alloc : float;  (** allocation period [A], seconds *)
+  spec : Ckpt_failures.Failure_spec.t;
+      (** per-level failure rates; must have one rate per level *)
+}
+
+type plan = {
+  xs : float array;  (** interval counts per hierarchy level ([1.] = level unused) *)
+  n : float;  (** execution scale *)
+  wall_clock : float;  (** predicted [E(T_w)], seconds *)
+  mus : float array;  (** expected failures per level over the run *)
+  breakdown : Multilevel.breakdown;
+  efficiency : float;  (** [(te / wall_clock) / n] — paper Section IV-A *)
+  outer_iterations : int;
+  inner_iterations : int;  (** total inner fixed-point iterations *)
+  converged : bool;
+}
+
+val check_problem : problem -> unit
+(** @raise Invalid_argument when the spec's level count differs from the
+    hierarchy's. *)
+
+val solve :
+  ?delta:float ->
+  ?max_outer:int ->
+  ?fixed_n:float ->
+  ?n_max:float ->
+  problem ->
+  plan
+(** Run Algorithm 1.  [delta] (default [1e-9]) bounds
+    [max_i |mu_i' - mu_i|]; [fixed_n] pins the scale (ori-scale
+    baselines); [n_max] bounds the scale search for peakless speedups. *)
+
+val ml_opt_scale : ?delta:float -> problem -> plan
+(** This paper's solution: all levels, optimized intervals and scale. *)
+
+val ml_ori_scale : ?delta:float -> ?n:float -> problem -> plan
+(** Prior work [22]: all levels, optimized intervals, scale fixed at [n]
+    (default: the speedup's ideal scale). *)
+
+val sl_opt_scale : ?delta:float -> problem -> plan
+(** Jin-style baseline [23]: PFS level only (absorbing the total failure
+    rate), optimized interval and scale. *)
+
+val sl_ori_scale : ?n:float -> problem -> plan
+(** Classic Young [3]: PFS level only, interval from Young's formula with
+    the productive-time failure count, scale fixed at [n] (default: ideal
+    scale).  No outer iteration — Young's formula is not self-consistent. *)
+
+val single_level_problem : problem -> problem
+(** The PFS-only collapse used by the SL baselines: keeps the last level
+    and aggregates every level's failure rate onto it. *)
+
+val pp_plan : Format.formatter -> plan -> unit

@@ -1,0 +1,43 @@
+module Least_squares = Ckpt_numerics.Least_squares
+
+type t = { eps : float; alpha : float; h : Scale_fn.t; h_name : string }
+
+let identity_h = Scale_fn.linear ~slope:1. ()
+
+let constant c =
+  assert (c >= 0.);
+  { eps = c; alpha = 0.; h = Scale_fn.const 0.; h_name = "0" }
+
+let linear ~eps ~alpha =
+  assert (eps >= 0.);
+  { eps; alpha; h = identity_h; h_name = "N" }
+
+let custom ~eps ~alpha ~h ~h_name =
+  assert (eps >= 0.);
+  { eps; alpha; h; h_name }
+
+let cost t n = t.eps +. (t.alpha *. t.h.Scale_fn.f n)
+let cost' t n = t.alpha *. t.h.Scale_fn.f' n
+
+let law t =
+  { Scale_fn.f = (fun n -> cost t n); f' = (fun n -> cost' t n) }
+
+let fit ?(h = identity_h) ?(h_name = "N") ?(snap = 0.) ~scales ~costs () =
+  let { Least_squares.coefficients; _ } =
+    Least_squares.fit_affine_in ~h:h.Scale_fn.f ~xs:scales ~ys:costs
+  in
+  let eps = coefficients.(0) and alpha = coefficients.(1) in
+  if Float.abs alpha < snap || alpha = 0. then
+    (* Classified as scale-independent: the best constant fit is the mean
+       (this is how the paper's eps_1..3 come out as the column means). *)
+    constant (Ckpt_numerics.Stats.mean costs)
+  else begin
+    (* Measured overheads can fit with a slightly negative intercept;
+       clamp, the model requires non-negative costs. *)
+    let eps = Float.max 0. eps in
+    custom ~eps ~alpha ~h ~h_name
+  end
+
+let pp ppf t =
+  if t.alpha = 0. then Format.fprintf ppf "%g" t.eps
+  else Format.fprintf ppf "%g + %g*%s" t.eps t.alpha t.h_name

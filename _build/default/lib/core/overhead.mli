@@ -1,0 +1,47 @@
+(** Checkpoint and restart overhead laws (paper Eq. 19/20):
+
+    [C_i(N) = eps_i + alpha_i * H_c(N)]    and
+    [R_i(N) = eta_i + beta_i * H_r(N)],
+
+    where the baseline function [H] passes through the origin — [H = 0]
+    for scale-independent overheads (levels 1–3 on Fusion, Table II) and
+    [H(N) = N] for the linearly growing PFS overhead.  Coefficients come
+    from least-squares fits of measured overheads. *)
+
+type t = {
+  eps : float;  (** constant part, seconds; must be >= 0 *)
+  alpha : float;  (** coefficient of the baseline function *)
+  h : Scale_fn.t;  (** baseline function [H]; [H(0) = 0] expected *)
+  h_name : string;
+}
+
+val constant : float -> t
+(** [constant c] is [C(N) = c]. *)
+
+val linear : eps:float -> alpha:float -> t
+(** [linear ~eps ~alpha] is [C(N) = eps + alpha * N]. *)
+
+val custom : eps:float -> alpha:float -> h:Scale_fn.t -> h_name:string -> t
+
+val cost : t -> float -> float
+(** [cost t n] is [C(N)]. *)
+
+val cost' : t -> float -> float
+(** Derivative with respect to the scale. *)
+
+val law : t -> Scale_fn.t
+
+val fit :
+  ?h:Scale_fn.t ->
+  ?h_name:string ->
+  ?snap:float ->
+  scales:float array ->
+  costs:float array ->
+  unit ->
+  t
+(** [fit ~scales ~costs ()] least-squares fits [eps] and [alpha] against
+    the baseline [h] (default [H(N) = N]).  A fitted [alpha] smaller in
+    magnitude than [snap] (default [0.], i.e. never) is snapped to [0.] —
+    the paper classifies levels 1–3 as constant this way. *)
+
+val pp : Format.formatter -> t -> unit

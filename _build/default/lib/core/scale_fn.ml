@@ -1,0 +1,23 @@
+module Derivative = Ckpt_numerics.Derivative
+
+type t = { f : float -> float; f' : float -> float }
+
+let const c = { f = (fun _ -> c); f' = (fun _ -> 0.) }
+
+let linear ?(intercept = 0.) ~slope () =
+  { f = (fun n -> intercept +. (slope *. n)); f' = (fun _ -> slope) }
+
+let scale c t = { f = (fun n -> c *. t.f n); f' = (fun n -> c *. t.f' n) }
+
+let add a b = { f = (fun n -> a.f n +. b.f n); f' = (fun n -> a.f' n +. b.f' n) }
+
+let of_fun ?h f = { f; f' = (fun x -> Derivative.central ?h ~f x) }
+
+let check_derivative ?(at = [ 1.; 10.; 1e3; 1e5 ]) ?(tol = 1e-4) t =
+  List.for_all
+    (fun x ->
+      let numeric = Derivative.richardson ~f:t.f x in
+      let analytic = t.f' x in
+      let scale = Float.max 1. (Float.abs analytic) in
+      Float.abs (numeric -. analytic) /. scale <= tol)
+    at

@@ -1,0 +1,34 @@
+(** Differentiable functions of the execution scale [N].
+
+    The optimality condition on the scale (paper Eq. 24) needs the value
+    *and* the derivative of every scale-dependent quantity — the speedup
+    [g(N)], the overhead laws [C_i(N)], [R_i(N)] and the expected failure
+    counts [mu_i(N)].  A {!t} packages both, so the model can assemble
+    [dE(T_w)/dN] analytically. *)
+
+type t = {
+  f : float -> float;
+  f' : float -> float;  (** derivative of [f] *)
+}
+
+val const : float -> t
+(** Constant function, zero derivative. *)
+
+val linear : ?intercept:float -> slope:float -> unit -> t
+(** [linear ~slope ()] is [fun n -> intercept + slope * n]
+    (default intercept [0.]). *)
+
+val scale : float -> t -> t
+(** [scale c t] is [c * t], with the derivative scaled too. *)
+
+val add : t -> t -> t
+
+val of_fun : ?h:float -> (float -> float) -> t
+(** [of_fun f] pairs [f] with a central-difference derivative — handy when
+    a custom law has no closed-form derivative.  [h] is the differencing
+    step passed to {!Ckpt_numerics.Derivative.central}. *)
+
+val check_derivative : ?at:float list -> ?tol:float -> t -> bool
+(** [check_derivative t] compares [t.f'] against a finite difference of
+    [t.f] at a few sample points; tests use it to validate hand-written
+    derivatives. *)

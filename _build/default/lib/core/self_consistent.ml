@@ -1,0 +1,45 @@
+module Derivative = Ckpt_numerics.Derivative
+
+type params = {
+  te : float;
+  kappa : float;
+  eps0 : float;
+  alpha0 : float;
+  eta0 : float;
+  beta0 : float;
+  alloc : float;
+  lambda : float;
+}
+
+let denominator p ~x ~n =
+  1.
+  -. (p.lambda
+      *. ((p.te /. (2. *. x *. p.kappa *. n)) +. p.eta0 +. (p.beta0 *. n) +. p.alloc))
+
+let wall_clock p ~x ~n =
+  assert (x >= 1. && n > 0.);
+  let d = denominator p ~x ~n in
+  if d <= 0. then
+    invalid_arg "Self_consistent.wall_clock: failure rate too high (denominator <= 0)";
+  ((p.te /. (p.kappa *. n)) +. ((p.eps0 +. (p.alpha0 *. n)) *. (x -. 1.))) /. d
+
+let second_derivative_x p ~x ~n =
+  Derivative.second ~f:(fun x -> wall_clock p ~x ~n) x
+
+let second_derivative_n p ~x ~n =
+  Derivative.second ~f:(fun n -> wall_clock p ~x ~n) n
+
+let find_nonconvex_region p ~xs ~ns =
+  List.concat_map
+    (fun x ->
+      List.filter_map
+        (fun n ->
+          let ok =
+            try
+              denominator p ~x ~n > 0.05
+              && (second_derivative_x p ~x ~n < 0. || second_derivative_n p ~x ~n < 0.)
+            with Invalid_argument _ -> false
+          in
+          if ok then Some (x, n) else None)
+        ns)
+    xs

@@ -1,0 +1,44 @@
+(** The self-consistent single-level wall-clock form of paper Eq. (6).
+
+    Eliminating [E(Y) = lambda(N) E(T_w)] from Eq. (5) yields a closed
+    form in which the failure count is consistent with the wall-clock
+    length it produces:
+
+    [E(T_w) = (T_e/(kappa N) + (eps0 + alpha0 N)(x - 1))
+              / (1 - lambda (T_e/(2 x kappa N) + eta0 + beta0 N + A))]
+
+    The paper's difficulty analysis (Section III-A) observes that this
+    function is {e not} convex in [x] and [N] everywhere — which is why
+    Algorithm 1 splits the problem instead of attacking Eq. (6) directly.
+    {!second_derivative_x} / {!second_derivative_n} let experiments and
+    tests exhibit the sign change numerically. *)
+
+type params = {
+  te : float;
+  kappa : float;  (** linear speedup slope: [g(N) = kappa N] *)
+  eps0 : float;  (** constant checkpoint cost *)
+  alpha0 : float;  (** linear checkpoint cost coefficient *)
+  eta0 : float;  (** constant recovery cost *)
+  beta0 : float;  (** linear recovery cost coefficient *)
+  alloc : float;
+  lambda : float;  (** failure rate per second (scale-independent here) *)
+}
+
+val denominator : params -> x:float -> n:float -> float
+(** [1 - lambda (...)]; the model is only meaningful where this is
+    positive (otherwise the execution cannot outrun its failures). *)
+
+val wall_clock : params -> x:float -> n:float -> float
+(** Eq. (6).  @raise Invalid_argument when the denominator is not
+    positive. *)
+
+val second_derivative_x : params -> x:float -> n:float -> float
+(** Numerical [d2 E / dx2]. *)
+
+val second_derivative_n : params -> x:float -> n:float -> float
+(** Numerical [d2 E / dN2]. *)
+
+val find_nonconvex_region :
+  params -> xs:float list -> ns:float list -> (float * float) list
+(** Grid points where either second derivative is negative — evidence for
+    the paper's claim that Eq. (6) is not jointly convex. *)

@@ -1,0 +1,62 @@
+module Failure_spec = Ckpt_failures.Failure_spec
+
+type knob = { name : string; apply : float -> Optimizer.problem }
+
+type row = {
+  name : string;
+  wall_clock_elasticity : float;
+  scale_elasticity : float;
+}
+
+let quadratic_knobs ~kappa ~n_star (base : Optimizer.problem) =
+  let with_speedup ?(kappa = kappa) ?(n_star = n_star) p =
+    { p with Optimizer.speedup = Speedup.quadratic ~kappa ~n_star }
+  in
+  let base = with_speedup base in
+  let scale_rate level m =
+    let rates = Array.copy base.Optimizer.spec.Failure_spec.rates_per_day in
+    rates.(level - 1) <- rates.(level - 1) *. m;
+    { base with
+      Optimizer.spec =
+        Failure_spec.v
+          ~baseline_scale:base.Optimizer.spec.Failure_spec.baseline_scale rates }
+  in
+  let scale_ckpt_cost level m =
+    let levels = Array.copy base.Optimizer.levels in
+    let l = levels.(level - 1) in
+    let ckpt = l.Level.ckpt in
+    levels.(level - 1) <-
+      { l with
+        Level.ckpt =
+          Overhead.custom
+            ~eps:(ckpt.Overhead.eps *. m)
+            ~alpha:(ckpt.Overhead.alpha *. m)
+            ~h:ckpt.Overhead.h ~h_name:ckpt.Overhead.h_name };
+    { base with Optimizer.levels = levels }
+  in
+  let nlevels = Array.length base.Optimizer.levels in
+  [ { name = "kappa"; apply = (fun m -> with_speedup ~kappa:(kappa *. m) base) };
+    { name = "n_star"; apply = (fun m -> with_speedup ~n_star:(n_star *. m) base) };
+    { name = "alloc";
+      apply = (fun m -> { base with Optimizer.alloc = base.Optimizer.alloc *. m }) } ]
+  @ List.init nlevels (fun i ->
+        { name = Printf.sprintf "rate_L%d" (i + 1); apply = scale_rate (i + 1) })
+  @ List.init nlevels (fun i ->
+        { name = Printf.sprintf "ckpt_cost_L%d" (i + 1); apply = scale_ckpt_cost (i + 1) })
+
+let elasticities ?(rel_step = 0.05) ?delta knobs =
+  assert (rel_step > 0. && rel_step < 1.);
+  List.map
+    (fun knob ->
+      let solve m = Optimizer.solve ?delta (knob.apply m) in
+      let lo = solve (1. -. rel_step) and hi = solve (1. +. rel_step) in
+      let dlog = log (1. +. rel_step) -. log (1. -. rel_step) in
+      { name = knob.name;
+        wall_clock_elasticity =
+          (log hi.Optimizer.wall_clock -. log lo.Optimizer.wall_clock) /. dlog;
+        scale_elasticity = (log hi.Optimizer.n -. log lo.Optimizer.n) /. dlog })
+    knobs
+
+let pp_row ppf r =
+  Format.fprintf ppf "%-14s dlnE/dlnp = %+.3f   dlnN*/dlnp = %+.3f" r.name
+    r.wall_clock_elasticity r.scale_elasticity

@@ -1,0 +1,39 @@
+(** Parameter sensitivity of the optimized plan.
+
+    Every input of the model is estimated from measurements (speedup fits,
+    overhead characterizations, failure logs), so a user should know how
+    much the optimum moves when an estimate is off.  This module computes
+    elasticities by central differences across re-solves of Algorithm 1:
+
+    [elasticity = d ln output / d ln parameter]
+
+    i.e. the percentage change of the wall-clock (or the optimal scale)
+    per percent change of the parameter. *)
+
+type knob = {
+  name : string;
+  apply : float -> Optimizer.problem;
+      (** problem with the parameter multiplied by the given factor;
+          [apply 1.] must be the base problem *)
+}
+
+type row = {
+  name : string;
+  wall_clock_elasticity : float;
+  scale_elasticity : float;
+}
+
+val quadratic_knobs :
+  kappa:float -> n_star:float -> Optimizer.problem -> knob list
+(** The standard knob set for a problem whose speedup is the Eq. (12)
+    quadratic rebuilt from [kappa] and [n_star]: kappa, n_star, the
+    allocation period, each level's failure rate, and each level's
+    constant checkpoint cost.  The problem's own speedup field is
+    ignored (rebuilt from the given parameters). *)
+
+val elasticities : ?rel_step:float -> ?delta:float -> knob list -> row list
+(** [elasticities knobs] solves the perturbed problems (multipliers
+    [1 -. rel_step] and [1 +. rel_step], default 5 %) with Algorithm 1 at
+    threshold [delta] and differences the logs. *)
+
+val pp_row : Format.formatter -> row -> unit

@@ -1,0 +1,88 @@
+module Roots = Ckpt_numerics.Roots
+
+type params = {
+  te : float;
+  speedup : Speedup.t;
+  level : Level.t;
+  alloc : float;
+  mu : Scale_fn.t;
+}
+
+type solution = {
+  x : float;
+  n : float;
+  wall_clock : float;
+  iterations : int;
+  converged : bool;
+}
+
+let expected_wall_clock p ~x ~n =
+  assert (x >= 1. && n > 0.);
+  let g = Speedup.eval p.speedup n in
+  let c = Overhead.cost p.level.Level.ckpt n in
+  let r = Overhead.cost p.level.Level.restart n in
+  let mu = p.mu.Scale_fn.f n in
+  (p.te /. g)
+  +. (c *. (x -. 1.))
+  +. (mu *. ((p.te /. (2. *. x *. g)) +. r +. p.alloc))
+
+let d_dx p ~x ~n =
+  let g = Speedup.eval p.speedup n in
+  let c = Overhead.cost p.level.Level.ckpt n in
+  let mu = p.mu.Scale_fn.f n in
+  c -. (mu *. p.te /. (2. *. g *. x *. x))
+
+let d_dn p ~x ~n =
+  let g = Speedup.eval p.speedup n in
+  let g' = Speedup.eval' p.speedup n in
+  let c' = Overhead.cost' p.level.Level.ckpt n in
+  let r = Overhead.cost p.level.Level.restart n in
+  let r' = Overhead.cost' p.level.Level.restart n in
+  let mu = p.mu.Scale_fn.f n in
+  let mu' = p.mu.Scale_fn.f' n in
+  (-.p.te *. g' /. (g *. g))
+  +. (c' *. (x -. 1.))
+  +. (mu' *. ((p.te /. (2. *. x *. g)) +. r +. p.alloc))
+  +. (mu *. ((-.p.te *. g' /. (2. *. x *. g *. g)) +. r'))
+
+let x_update p ~n =
+  let g = Speedup.eval p.speedup n in
+  let c = Overhead.cost p.level.Level.ckpt n in
+  let mu = p.mu.Scale_fn.f n in
+  if c <= 0. then 1.
+  else Float.max 1. (sqrt (mu *. p.te /. (2. *. c *. g)))
+
+let optimal_x_closed_form ~te ~kappa ~b ~eps0 =
+  assert (te > 0. && kappa > 0. && b > 0. && eps0 > 0.);
+  sqrt (b *. te /. (2. *. kappa *. eps0))
+
+let optimal_n_closed_form ~te ~kappa ~b ~eta0 ~alloc =
+  assert (te > 0. && kappa > 0. && b > 0. && eta0 +. alloc > 0.);
+  sqrt (te /. (kappa *. b *. (eta0 +. alloc)))
+
+(* Solve d_dn = 0 over [1, n_hi] for a fixed x.  The objective is convex in
+   N on the ascending side of the speedup curve, so the derivative is
+   monotone there: no interior sign change means the optimum sits on a
+   boundary. *)
+let solve_scale p ~x ~n_hi =
+  let f n = d_dn p ~x ~n in
+  if f n_hi <= 0. then n_hi
+  else if f 1. >= 0. then 1.
+  else (Roots.bisect_integer ~f ~lo:1. ~hi:n_hi ()).Roots.root
+
+let optimize ?(x0 = 100_000.) ?(tol = 1e-6) ?(max_iter = 10_000) ?(n_max = 1e9) p =
+  let n_hi = Speedup.search_upper_bound p.speedup ~default:n_max in
+  let rec loop x n iter =
+    if iter >= max_iter then
+      { x; n; wall_clock = expected_wall_clock p ~x ~n; iterations = iter; converged = false }
+    else begin
+      let x' = x_update p ~n in
+      let n' = solve_scale p ~x:x' ~n_hi in
+      if Float.abs (x' -. x) <= tol && Float.abs (n' -. n) <= 0.5 then
+        { x = x'; n = n';
+          wall_clock = expected_wall_clock p ~x:x' ~n:n';
+          iterations = iter + 1; converged = true }
+      else loop x' n' (iter + 1)
+    end
+  in
+  loop x0 n_hi 0

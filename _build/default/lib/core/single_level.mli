@@ -1,0 +1,58 @@
+(** The single-level checkpoint model (paper Section III-C).
+
+    Expected wall-clock time with one checkpoint level, [x] checkpoint
+    intervals, scale [N] and a fixed expected-failure law [mu(N)]
+    (paper Eq. 7 for linear speedup, Eq. 13 for nonlinear):
+
+    [E(T_w) = T_e/g(N) + C(N)(x - 1)
+              + mu(N) (T_e/(2 x g(N)) + R(N) + A)]
+
+    This module provides the closed forms of Eq. (10)/(11) for the
+    linear-speedup constant-overhead case and the fixed-point + bisection
+    optimizer of Eq. (16)/(17) for the general case. *)
+
+type params = {
+  te : float;  (** single-core productive time, seconds *)
+  speedup : Speedup.t;
+  level : Level.t;  (** the only storage level (the PFS) *)
+  alloc : float;  (** resource allocation period [A], seconds *)
+  mu : Scale_fn.t;  (** expected number of failures during the run, as a
+                        function of the scale [N] (paper sets [mu = b N]) *)
+}
+
+type solution = {
+  x : float;  (** optimal number of checkpoint intervals (>= 1) *)
+  n : float;  (** optimal scale *)
+  wall_clock : float;  (** [E(T_w)] at the optimum *)
+  iterations : int;  (** fixed-point iterations used *)
+  converged : bool;
+}
+
+val expected_wall_clock : params -> x:float -> n:float -> float
+(** Eq. (13).  Requires [x >= 1] and [n > 0]. *)
+
+val d_dx : params -> x:float -> n:float -> float
+(** Partial derivative Eq. (14). *)
+
+val d_dn : params -> x:float -> n:float -> float
+(** Partial derivative Eq. (15), generalized to scale-dependent overhead
+    laws (extra [C'(N) (x-1)] and [mu R'] terms). *)
+
+val x_update : params -> n:float -> float
+(** The fixed-point map of Eq. (16): [sqrt (mu N Te / (2 C g))], clamped
+    to [>= 1]. *)
+
+val optimal_x_closed_form : te:float -> kappa:float -> b:float -> eps0:float -> float
+(** Eq. (10): [sqrt (b Te / (2 kappa eps0))] — linear speedup
+    [g = kappa N], [mu = b N], constant checkpoint cost [eps0]. *)
+
+val optimal_n_closed_form :
+  te:float -> kappa:float -> b:float -> eta0:float -> alloc:float -> float
+(** Eq. (11): [sqrt (Te / (kappa b (eta0 + alloc)))]. *)
+
+val optimize : ?x0:float -> ?tol:float -> ?max_iter:int -> ?n_max:float -> params -> solution
+(** Alternates Eq. (16) with a bisection solve of [d_dn = 0] over
+    [\[1, N_star\]] (paper Section III-C.2).  [x0] defaults to 100,000 as
+    in the paper's numerical study; [n_max] bounds the search when the
+    speedup has no peak (default [1e9]).  If no interior root exists the
+    scale sticks to the boundary ([N_star], or [1]). *)

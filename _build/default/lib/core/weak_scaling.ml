@@ -1,0 +1,23 @@
+type point = {
+  n : float;
+  wall_clock : float;
+  efficiency : float;
+  failure_free : float;
+}
+
+let wall_clock ~per_core_work ~speedup ~levels ~alloc ~spec ~n =
+  assert (per_core_work > 0. && n >= 1.);
+  let problem =
+    { Optimizer.te = per_core_work *. n; speedup; levels; alloc; spec }
+  in
+  Optimizer.solve ~fixed_n:n problem
+
+let series ~per_core_work ~speedup ~levels ~alloc ~spec ~scales =
+  List.map
+    (fun n ->
+      let plan = wall_clock ~per_core_work ~speedup ~levels ~alloc ~spec ~n in
+      { n;
+        wall_clock = plan.Optimizer.wall_clock;
+        efficiency = per_core_work /. plan.Optimizer.wall_clock;
+        failure_free = Speedup.productive_time speedup ~te:(per_core_work *. n) ~n })
+    scales

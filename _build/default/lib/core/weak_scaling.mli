@@ -1,0 +1,42 @@
+(** Weak-scaling analysis.
+
+    The paper (Section II) notes its model covers the weak-scaling
+    scenario through the generic speedup and overhead functions.  This
+    module makes that concrete: in weak scaling the workload grows with
+    the scale — [T_e(N) = w N] for a per-core workload of [w]
+    core-seconds — so the failure-free wall time is [w N / g(N)] and the
+    interesting question is how much of the ideal efficiency survives the
+    failure and checkpoint overheads as the machine grows.
+
+    Weak-scaling efficiency at scale [N] is [w / E(T_w)(N)]: the one-core
+    run of the base problem takes exactly [w] seconds, and a perfectly
+    scaling machine would solve the [N]-times-larger problem in the same
+    time. *)
+
+type point = {
+  n : float;  (** scale (cores) *)
+  wall_clock : float;  (** expected wall time of the N-times problem *)
+  efficiency : float;  (** [w / wall_clock] *)
+  failure_free : float;  (** [w N / g(N)], no checkpoints or failures *)
+}
+
+val wall_clock :
+  per_core_work:float ->
+  speedup:Speedup.t ->
+  levels:Level.t array ->
+  alloc:float ->
+  spec:Ckpt_failures.Failure_spec.t ->
+  n:float ->
+  Optimizer.plan
+(** Algorithm 1 restricted to the fixed scale [n] with the weak-scaled
+    workload [per_core_work * n]; intervals are still optimized. *)
+
+val series :
+  per_core_work:float ->
+  speedup:Speedup.t ->
+  levels:Level.t array ->
+  alloc:float ->
+  spec:Ckpt_failures.Failure_spec.t ->
+  scales:float list ->
+  point list
+(** One {!point} per requested scale. *)

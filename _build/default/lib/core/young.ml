@@ -1,0 +1,7 @@
+let interval ~ckpt_cost ~mtbf =
+  assert (ckpt_cost > 0. && mtbf > 0.);
+  sqrt (2. *. ckpt_cost *. mtbf)
+
+let interval_count ~productive ~ckpt_cost ~failures =
+  assert (productive >= 0. && ckpt_cost > 0. && failures >= 0.);
+  Float.max 1. (sqrt (failures *. productive /. (2. *. ckpt_cost)))

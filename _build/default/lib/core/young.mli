@@ -1,0 +1,17 @@
+(** Young's first-order checkpoint interval formula [3].
+
+    Classic single-level result: with checkpoint cost [c] and mean time
+    between failures [mtbf], the optimal productive time between
+    checkpoints is [tau = sqrt (2 c mtbf)].  The paper uses the
+    equivalent count form (its Eq. 25) to initialize the multilevel
+    iteration and as the SL(ori-scale) baseline. *)
+
+val interval : ckpt_cost:float -> mtbf:float -> float
+(** [interval ~ckpt_cost ~mtbf = sqrt (2 * ckpt_cost * mtbf)].
+    Requires both positive. *)
+
+val interval_count : productive:float -> ckpt_cost:float -> failures:float -> float
+(** Eq. (25): the number of intervals [x = sqrt (failures * productive /
+    (2 * ckpt_cost))] for a run of [productive] seconds expecting
+    [failures] failures; clamped to [>= 1].  Equivalent to
+    [productive / interval] with [mtbf = productive / failures]. *)

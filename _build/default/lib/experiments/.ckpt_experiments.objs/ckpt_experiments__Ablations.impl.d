@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Ckpt_failures Ckpt_model Ckpt_numerics Ckpt_sim Float List Paper_data Printf Render Solutions String

@@ -1,0 +1,1 @@
+lib/experiments/convergence.ml: Ckpt_model Format List Paper_data Printf Render

@@ -1,0 +1,1 @@
+lib/experiments/costmodel.ml: Array Ckpt_fti Ckpt_model Float Format List Paper_data Printf Render

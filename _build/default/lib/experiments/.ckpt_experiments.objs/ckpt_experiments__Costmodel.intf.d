@@ -1,0 +1,1 @@
+lib/experiments/costmodel.mli: Ckpt_model Format

@@ -1,0 +1,1 @@
+lib/experiments/csv_export.ml: Ckpt_model Ckpt_mpi Ckpt_numerics Ckpt_sim Costmodel Fig1 Fig2 Fig3 Filename Format List Printf Render Sensitivity_study Table3 Time_analysis

@@ -1,0 +1,1 @@
+lib/experiments/fig1.ml: Ckpt_model Format List Paper_data Printf Render

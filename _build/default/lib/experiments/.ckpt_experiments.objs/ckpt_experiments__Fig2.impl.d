@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Ckpt_mpi Format List Printf Render

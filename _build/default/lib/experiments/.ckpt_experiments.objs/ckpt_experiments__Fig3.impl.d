@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Ckpt_model Float Format List Paper_data Printf Render

@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Array Ckpt_failures Ckpt_model Ckpt_numerics Ckpt_sim Float Format List Paper_data Printf Render

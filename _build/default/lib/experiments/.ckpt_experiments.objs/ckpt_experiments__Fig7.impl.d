@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Ckpt_sim Format List Paper_data Printf Render Time_analysis

@@ -1,0 +1,1 @@
+lib/experiments/nonconvexity.ml: Ckpt_model Format List Render

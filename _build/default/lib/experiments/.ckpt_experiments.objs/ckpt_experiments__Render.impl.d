@@ -1,0 +1,1 @@
+lib/experiments/render.ml: Float Format Int List Printf String

@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Buffer Ckpt_model Convergence Costmodel Fig3 Fig4 Float Format Int List Printf Table2 Table3 Time_analysis

@@ -1,0 +1,1 @@
+lib/experiments/scr_comparison.ml: Ckpt_model Ckpt_numerics Ckpt_sim Format List Paper_data Printf Render Solutions

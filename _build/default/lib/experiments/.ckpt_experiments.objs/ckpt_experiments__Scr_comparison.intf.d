@@ -1,0 +1,1 @@
+lib/experiments/scr_comparison.mli: Format

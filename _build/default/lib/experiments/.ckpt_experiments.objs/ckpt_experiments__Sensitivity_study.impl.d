@@ -1,0 +1,1 @@
+lib/experiments/sensitivity_study.ml: Ckpt_model Format List Paper_data Printf Render

@@ -1,0 +1,1 @@
+lib/experiments/sensitivity_study.mli: Ckpt_model Format

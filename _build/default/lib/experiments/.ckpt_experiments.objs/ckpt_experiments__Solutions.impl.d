@@ -1,0 +1,1 @@
+lib/experiments/solutions.ml: Array Ckpt_model Ckpt_sim List

@@ -1,0 +1,1 @@
+lib/experiments/solutions.mli: Ckpt_model Ckpt_sim

@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Array Ckpt_model List Paper_data Printf Render

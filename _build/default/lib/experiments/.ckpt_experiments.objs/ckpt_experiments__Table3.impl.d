@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: Array Ckpt_model Format List Paper_data Printf Render

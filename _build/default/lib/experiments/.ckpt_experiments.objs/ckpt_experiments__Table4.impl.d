@@ -1,0 +1,1 @@
+lib/experiments/table4.ml: Array Ckpt_model Ckpt_numerics Ckpt_sim Format List Paper_data Printf Render Solutions

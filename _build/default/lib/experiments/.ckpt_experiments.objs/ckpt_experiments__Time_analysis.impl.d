@@ -1,0 +1,1 @@
+lib/experiments/time_analysis.ml: Ckpt_model Ckpt_numerics Ckpt_sim Format List Paper_data Printf Render Solutions String

@@ -1,0 +1,1 @@
+lib/experiments/time_analysis.mli: Ckpt_model Ckpt_sim Format

@@ -1,0 +1,1 @@
+lib/experiments/weak_scaling_study.ml: Array Ckpt_failures Ckpt_model Format List Paper_data Printf Render

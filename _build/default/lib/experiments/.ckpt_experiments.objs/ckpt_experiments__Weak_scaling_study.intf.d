@@ -1,0 +1,1 @@
+lib/experiments/weak_scaling_study.mli: Format

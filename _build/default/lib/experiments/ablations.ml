@@ -1,0 +1,239 @@
+module Optimizer = Ckpt_model.Optimizer
+module Level = Ckpt_model.Level
+module Single_level = Ckpt_model.Single_level
+module Scale_fn = Ckpt_model.Scale_fn
+module Young = Ckpt_model.Young
+module Overhead = Ckpt_model.Overhead
+module Daly = Ckpt_model.Daly
+module Speedup = Ckpt_model.Speedup
+module Failure_spec = Ckpt_failures.Failure_spec
+module Run_config = Ckpt_sim.Run_config
+module Replication = Ckpt_sim.Replication
+module Stats = Ckpt_numerics.Stats
+
+(* --- simulator semantics ------------------------------------------------ *)
+
+type semantics_row = { label : string; wall_clock_days : float option }
+
+let semantics_study ?(runs = 30) ?(case = "16-12-8-4") () =
+  let problem = Paper_data.eval_problem ~te_core_days:3e6 ~case () in
+  let plan = Optimizer.ml_opt_scale problem in
+  let variants =
+    [ ("abort ckpt / restart recovery",
+       { Run_config.default_semantics with Run_config.on_ckpt_failure = Run_config.Abort_ckpt });
+      ("atomic ckpt / restart recovery",
+       { Run_config.default_semantics with Run_config.on_ckpt_failure = Run_config.Atomic_ckpt });
+      ("abort ckpt / ignore failures in recovery",
+       { Run_config.default_semantics with
+         Run_config.on_recovery_failure = Run_config.Ignore_during_recovery }) ]
+  in
+  List.map
+    (fun (label, semantics) ->
+      let a = Solutions.simulate_plan ~runs ~semantics problem plan in
+      { label;
+        wall_clock_days =
+          (if a.Replication.completed_runs = 0 then None
+           else Some (a.Replication.wall_clock.Stats.mean /. 86400.)) })
+    variants
+
+(* --- jitter ------------------------------------------------------------- *)
+
+type jitter_row = { ratio : float; wall_clock_days : float }
+
+let jitter_study ?(runs = 30) ?(case = "8-6-4-2") () =
+  let problem = Paper_data.eval_problem ~te_core_days:3e6 ~case () in
+  let plan = Optimizer.ml_opt_scale problem in
+  List.map
+    (fun ratio ->
+      let semantics = { Run_config.default_semantics with Run_config.jitter_ratio = ratio } in
+      let a = Solutions.simulate_plan ~runs ~semantics problem plan in
+      { ratio; wall_clock_days = a.Replication.wall_clock.Stats.mean /. 86400. })
+    [ 0.; 0.15; 0.3; 0.5 ]
+
+(* --- interval policies --------------------------------------------------- *)
+
+type policy_row = {
+  policy : string;
+  intervals : float;
+  predicted_days : float;
+  simulated_days : float;
+}
+
+let interval_policy_study ?(runs = 30) () =
+  (* Single-level model at a fixed scale: the setting where Young and Daly
+     apply directly. *)
+  let n = 100_000. in
+  let speedup = Speedup.quadratic ~kappa:Paper_data.kappa ~n_star:1e6 in
+  let te = 1e6 *. 86400. in
+  let level = Level.v ~name:"pfs" (Overhead.constant 300.) in
+  let spec = Failure_spec.v ~baseline_scale:1e6 [| 20. |] in
+  let lambda = Failure_spec.rate_per_second spec ~level:1 ~scale:n in
+  let productive = Speedup.productive_time speedup ~te ~n in
+  let mu_young = lambda *. productive in
+  let ckpt_cost = Overhead.cost level.Level.ckpt n in
+  let params =
+    { Single_level.te; speedup; level; alloc = Paper_data.alloc;
+      mu = Scale_fn.linear ~slope:(lambda *. productive /. n) () }
+  in
+  (* The paper's optimizer at this fixed scale: iterate the interval update
+     with the wall-clock-consistent failure count (the outer loop of
+     Algorithm 1 restricted to one level and one scale). *)
+  let optimal_x =
+    let rec loop x estimate iter =
+      let mu = lambda *. estimate in
+      let x' = Float.max 1. (sqrt (mu *. te /. (2. *. ckpt_cost *. Speedup.eval speedup n))) in
+      let p' = { params with Single_level.mu = Scale_fn.const mu } in
+      let estimate' = Single_level.expected_wall_clock p' ~x:x' ~n in
+      if iter > 100 || (Float.abs (x' -. x) < 1e-9 && Float.abs (estimate' -. estimate) < 1e-6)
+      then x'
+      else loop x' estimate' (iter + 1)
+    in
+    loop 1. productive 0
+  in
+  let candidates =
+    [ ("Young", Young.interval_count ~productive ~ckpt_cost ~failures:mu_young);
+      ("Daly", Daly.interval_count ~productive ~ckpt_cost ~failures:mu_young);
+      ("optimized (this paper)", optimal_x) ]
+  in
+  List.map
+    (fun (policy, x) ->
+      let predicted = Single_level.expected_wall_clock params ~x ~n in
+      let config =
+        Run_config.v ~te ~speedup ~levels:[| level |] ~alloc:Paper_data.alloc ~spec
+          ~xs:[| x |] ~n ()
+      in
+      let a = Replication.run ~runs config in
+      { policy; intervals = x;
+        predicted_days = predicted /. 86400.;
+        simulated_days = a.Replication.wall_clock.Stats.mean /. 86400. })
+    candidates
+
+(* --- failure inter-arrival laws ------------------------------------------ *)
+
+type law_row = { law : string; wall_clock_days : float; mean_failures : float }
+
+let failure_law_study ?(runs = 30) ?(case = "16-12-8-4") () =
+  let problem = Paper_data.eval_problem ~te_core_days:3e6 ~case () in
+  let plan = Optimizer.ml_opt_scale problem in
+  let weibull shape = Ckpt_failures.Arrivals.Weibull { shape } in
+  let variants =
+    [ ("exponential (model assumption)", None);
+      ("weibull shape 0.7 (bursty)", Some (Array.make 4 (weibull 0.7)));
+      ("weibull shape 1.5 (wear-out)", Some (Array.make 4 (weibull 1.5))) ]
+  in
+  List.map
+    (fun (law, laws) ->
+      let config =
+        Run_config.of_plan ~semantics:Run_config.paper_semantics ?failure_laws:laws
+          ~max_wall_clock:Solutions.default_horizon ~problem ~plan ()
+      in
+      let a = Replication.run ~runs config in
+      { law;
+        wall_clock_days = a.Replication.wall_clock.Stats.mean /. 86400.;
+        mean_failures = a.Replication.mean_failures })
+    variants
+
+(* --- mark alignment -------------------------------------------------------- *)
+
+type alignment_row = {
+  label : string;
+  wall_clock_days : float;
+  ckpts_written : float;
+}
+
+let alignment_study ?(runs = 30) ?(case = "16-12-8-4") () =
+  let problem = Paper_data.eval_problem ~te_core_days:3e6 ~case () in
+  let plan = Optimizer.ml_opt_scale problem in
+  let nested = Run_config.nested_xs plan.Optimizer.xs in
+  let subsume = { Run_config.paper_semantics with Run_config.subsume_coincident = true } in
+  let variants =
+    [ ("independent marks (optimizer output)", plan.Optimizer.xs, Run_config.paper_semantics);
+      ("nested counts", nested, Run_config.paper_semantics);
+      ("nested counts + subsumption", nested, subsume) ]
+  in
+  List.map
+    (fun (label, xs, semantics) ->
+      let config =
+        Run_config.v ~semantics ~max_wall_clock:Solutions.default_horizon
+          ~te:problem.Optimizer.te ~speedup:problem.Optimizer.speedup
+          ~levels:problem.Optimizer.levels ~alloc:problem.Optimizer.alloc
+          ~spec:problem.Optimizer.spec ~xs ~n:plan.Optimizer.n ()
+      in
+      let outcomes = Replication.outcomes ~runs config in
+      let mean f = Stats.mean (Array.map f outcomes) in
+      { label;
+        wall_clock_days = mean (fun o -> o.Ckpt_sim.Outcome.wall_clock) /. 86400.;
+        ckpts_written =
+          mean (fun o ->
+              float_of_int (Array.fold_left ( + ) 0 o.Ckpt_sim.Outcome.ckpts_written)) })
+    variants
+
+(* --- level subsets ------------------------------------------------------- *)
+
+type subset_row = { levels_used : int list; wall_clock_days : float; scale : float }
+
+let level_subset_study ?(case = "16-12-8-4") () =
+  let base = Paper_data.eval_problem ~te_core_days:3e6 ~case () in
+  List.map
+    (fun (c : Ckpt_model.Level_selection.candidate) ->
+      { levels_used = c.Ckpt_model.Level_selection.levels_used;
+        wall_clock_days =
+          c.Ckpt_model.Level_selection.plan.Optimizer.wall_clock /. 86400.;
+        scale = c.Ckpt_model.Level_selection.plan.Optimizer.n })
+    (Ckpt_model.Level_selection.evaluate base)
+
+(* --- driver --------------------------------------------------------------- *)
+
+let run ppf =
+  Render.section ppf "Ablation: simulator semantics (ML(opt-scale), 16-12-8-4)";
+  Render.table ppf ~headers:[ "semantics"; "wall (days)" ]
+    ~rows:
+      (List.map
+         (fun (r : semantics_row) ->
+           [ r.label;
+             (match r.wall_clock_days with
+              | None -> "> horizon"
+              | Some d -> Printf.sprintf "%.2f" d) ])
+         (semantics_study ()));
+  Render.section ppf "Ablation: checkpoint-cost jitter";
+  Render.table ppf ~headers:[ "jitter"; "wall (days)" ]
+    ~rows:
+      (List.map
+         (fun (r : jitter_row) ->
+           [ Render.pct r.ratio; Printf.sprintf "%.2f" r.wall_clock_days ])
+         (jitter_study ()));
+  Render.section ppf "Ablation: interval policies (single level, fixed N = 100k)";
+  Render.table ppf
+    ~headers:[ "policy"; "intervals"; "predicted (days)"; "simulated (days)" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [ r.policy; Printf.sprintf "%.1f" r.intervals;
+             Printf.sprintf "%.2f" r.predicted_days;
+             Printf.sprintf "%.2f" r.simulated_days ])
+         (interval_policy_study ()));
+  Render.section ppf "Ablation: checkpoint mark alignment (ML(opt-scale), 16-12-8-4)";
+  Render.table ppf ~headers:[ "policy"; "wall (days)"; "ckpts written" ]
+    ~rows:
+      (List.map
+         (fun (r : alignment_row) ->
+           [ r.label; Printf.sprintf "%.2f" r.wall_clock_days;
+             Printf.sprintf "%.0f" r.ckpts_written ])
+         (alignment_study ()));
+  Render.section ppf "Ablation: failure inter-arrival law (same mean rates)";
+  Render.table ppf ~headers:[ "law"; "wall (days)"; "failures" ]
+    ~rows:
+      (List.map
+         (fun (r : law_row) ->
+           [ r.law; Printf.sprintf "%.2f" r.wall_clock_days;
+             Printf.sprintf "%.1f" r.mean_failures ])
+         (failure_law_study ()));
+  Render.section ppf
+    "Ablation: checkpoint level subsets, best first (model optimum, 16-12-8-4)";
+  Render.table ppf ~headers:[ "levels"; "E(Tw) days"; "N*" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [ String.concat "+" (List.map string_of_int r.levels_used);
+             Printf.sprintf "%.2f" r.wall_clock_days; Printf.sprintf "%.0f" r.scale ])
+         (level_subset_study ()))

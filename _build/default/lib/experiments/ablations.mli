@@ -1,0 +1,71 @@
+(** Ablation studies for the design choices DESIGN.md calls out.
+
+    Four studies, each answering one "what if":
+
+    - {b semantics} — how much the under-specified simulator semantics
+      matter: aborting vs atomic checkpoint writes, restarting vs ignoring
+      failures during recovery (Run_config toggles);
+    - {b jitter} — sensitivity of the simulated wall-clock to the +-30 %
+      overhead jitter the paper injects;
+    - {b interval policies} — Young's formula vs Daly's refinement vs the
+      paper's optimizer on the single-level model at a fixed scale;
+    - {b failure law} — robustness of the exponential-derived plan when
+      failures actually follow Weibull inter-arrival laws of equal mean
+      rate;
+    - {b mark alignment} — independent vs FTI-style nested checkpoint
+      cadences, with and without coincident-mark subsumption;
+    - {b level subsets} — the value of each checkpoint level: Algorithm 1
+      run on every admissible subset of the hierarchy (via
+      {!Ckpt_model.Level_selection}), failures escalating to the cheapest
+      retained level above them. *)
+
+type semantics_row = {
+  label : string;
+  wall_clock_days : float option;  (** [None] when no run completed *)
+}
+
+val semantics_study : ?runs:int -> ?case:string -> unit -> semantics_row list
+
+type jitter_row = { ratio : float; wall_clock_days : float }
+
+val jitter_study : ?runs:int -> ?case:string -> unit -> jitter_row list
+
+type policy_row = {
+  policy : string;
+  intervals : float;
+  predicted_days : float;
+  simulated_days : float;
+}
+
+val interval_policy_study : ?runs:int -> unit -> policy_row list
+
+type law_row = { law : string; wall_clock_days : float; mean_failures : float }
+
+val failure_law_study : ?runs:int -> ?case:string -> unit -> law_row list
+(** Sensitivity to the inter-arrival law: the ML(opt-scale) plan (derived
+    under the exponential assumption) simulated under exponential and
+    Weibull failures of equal mean rate — [shape 0.7] (bursty,
+    infant-mortality-like) and [shape 1.5] (wear-out). *)
+
+type alignment_row = {
+  label : string;
+  wall_clock_days : float;
+  ckpts_written : float;  (** mean first-time checkpoint writes per run *)
+}
+
+val alignment_study : ?runs:int -> ?case:string -> unit -> alignment_row list
+(** Mark scheduling policies: the optimizer's independent per-level marks,
+    FTI-style nested counts, and nested counts with coincident-mark
+    subsumption (only the highest due level is written). *)
+
+type subset_row = {
+  levels_used : int list;
+  wall_clock_days : float;
+  scale : float;
+}
+
+val level_subset_study : ?case:string -> unit -> subset_row list
+(** Model-predicted optimum per level subset (each subset's failure rates
+    are regrouped onto the cheapest sufficient level). *)
+
+val run : Format.formatter -> unit

@@ -1,0 +1,25 @@
+(** Convergence study of Algorithm 1.
+
+    The paper reports: the single-level fixed point converges in 30–40
+    steps from x0 = 100,000 (Section III-C), and the outer mu-loop takes
+    7–15 iterations at threshold 1e-12 for the Table IV cases
+    (Section IV-B).  This experiment measures both on our implementation,
+    counting both outer sweeps and total inner iterations. *)
+
+type row = {
+  label : string;
+  outer : int;
+  inner : int;
+  converged : bool;
+  wall_clock_days : float;
+}
+
+val single_level_iterations : unit -> int * int
+(** [(iterations_constant, iterations_linear)] for the two Fig. 3
+    configurations, from x0 = 100,000. *)
+
+val outer_loop_rows : ?delta:float -> unit -> row list
+(** Algorithm 1 iteration counts across the six evaluation cases and the
+    three Table IV cases (delta default 1e-12). *)
+
+val run : Format.formatter -> unit

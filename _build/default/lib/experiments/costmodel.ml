@@ -1,0 +1,60 @@
+module Cost_model = Ckpt_fti.Cost_model
+module Optimizer = Ckpt_model.Optimizer
+
+type comparison = {
+  level : int;
+  scale : int;
+  predicted : float;
+  measured : float;
+  error : float;
+}
+
+let scales = [| 128; 256; 384; 512; 1024 |]
+
+let compare_costs () =
+  let predicted = Cost_model.predict_table Cost_model.fusion ~scales in
+  List.concat
+    (List.init 4 (fun idx ->
+         List.init (Array.length scales) (fun j ->
+             let p = predicted.(idx).(j) and m = Paper_data.table2_costs.(idx).(j) in
+             { level = idx + 1; scale = scales.(j); predicted = p; measured = m;
+               error = Float.abs (p -. m) /. m })))
+
+let max_error comparisons =
+  List.fold_left (fun acc c -> Float.max acc c.error) 0. comparisons
+
+let plans () =
+  let derived = Cost_model.fit_levels Cost_model.fusion ~scales in
+  let case = "16-12-8-4" in
+  let from_pred =
+    Optimizer.ml_opt_scale (Paper_data.eval_problem ~levels:derived ~te_core_days:3e6 ~case ())
+  in
+  let from_meas =
+    Optimizer.ml_opt_scale (Paper_data.eval_problem ~te_core_days:3e6 ~case ())
+  in
+  (from_pred, from_meas)
+
+let run ppf =
+  Render.section ppf "Cost model: Table II derived from the storage substrate";
+  let comparisons = compare_costs () in
+  Render.table ppf
+    ~headers:[ "level"; "cores"; "predicted (s)"; "measured (s)"; "error" ]
+    ~rows:
+      (List.map
+         (fun c ->
+           [ string_of_int c.level; string_of_int c.scale;
+             Printf.sprintf "%.2f" c.predicted; Printf.sprintf "%.2f" c.measured;
+             Render.pct c.error ])
+         comparisons);
+  Format.fprintf ppf
+    "@\nmax error %s (the paper injects up to 30%% jitter on these costs)@\n"
+    (Render.pct (max_error comparisons));
+  let from_pred, from_meas = plans () in
+  Format.fprintf ppf
+    "@\nML(opt-scale) on the DERIVED hierarchy:  N* = %.0f, E(Tw) = %s days@\n"
+    from_pred.Optimizer.n
+    (Render.days from_pred.Optimizer.wall_clock);
+  Format.fprintf ppf
+    "ML(opt-scale) on the MEASURED hierarchy: N* = %.0f, E(Tw) = %s days@\n"
+    from_meas.Optimizer.n
+    (Render.days from_meas.Optimizer.wall_clock)

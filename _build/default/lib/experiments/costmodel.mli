@@ -1,0 +1,28 @@
+(** Closing the loop: predict Table II from the storage substrate.
+
+    The paper measures the FTI level overheads; we additionally {e derive}
+    them from the mechanism models ({!Ckpt_fti.Cost_model}: local-device
+    bandwidth, partner-copy links, distributed Reed–Solomon encoding, the
+    PFS metadata wall), fit the paper's overhead laws to the predictions,
+    and run Algorithm 1 on the fitted hierarchy — an end-to-end
+    characterize-then-optimize pipeline with no measured inputs.  The
+    experiment reports predicted-vs-measured costs and the plan produced
+    from each. *)
+
+type comparison = {
+  level : int;
+  scale : int;
+  predicted : float;
+  measured : float;  (** Table II *)
+  error : float;  (** relative *)
+}
+
+val compare_costs : unit -> comparison list
+val max_error : comparison list -> float
+
+val plans : unit -> Ckpt_model.Optimizer.plan * Ckpt_model.Optimizer.plan
+(** [(from_predictions, from_measurements)]: ML(opt-scale) plans built on
+    the derived hierarchy vs the Table II hierarchy, for the 16-12-8-4
+    evaluation case. *)
+
+val run : Format.formatter -> unit

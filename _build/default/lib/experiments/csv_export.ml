@@ -1,0 +1,112 @@
+module Optimizer = Ckpt_model.Optimizer
+module Replication = Ckpt_sim.Replication
+module Stats = Ckpt_numerics.Stats
+module S = Ckpt_mpi.Speedup_study
+
+let write_file ~dir name emit =
+  let path = Filename.concat dir name in
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  (try emit ppf
+   with e ->
+     close_out oc;
+     raise e);
+  Format.pp_print_flush ppf ();
+  close_out oc;
+  path
+
+let f = Printf.sprintf "%.8g"
+
+let fig1_csv ppf =
+  Render.csv ppf
+    ~headers:[ "cores"; "failure_free_seconds"; "with_checkpoints_seconds" ]
+    ~rows:
+      (List.map
+         (fun p ->
+           [ f p.Fig1.n; f p.Fig1.failure_free; f p.Fig1.with_checkpoints ])
+         (Fig1.series ()))
+
+let fig2_csv study ppf =
+  Render.csv ppf
+    ~headers:[ "ranks"; "job_time_seconds"; "speedup" ]
+    ~rows:
+      (List.map
+         (fun p -> [ string_of_int p.S.ranks; f p.S.job_time; f p.S.speedup ])
+         study.Fig2.points)
+
+let fig3_csv ~linear_cost ppf =
+  let r = Fig3.compute ~linear_cost in
+  Render.csv ppf
+    ~headers:[ "x"; "wall_seconds_at_nstar"; "n"; "wall_seconds_at_xstar" ]
+    ~rows:
+      (List.map2
+         (fun (x, ex) (n, en) -> [ f x; f ex; f n; f en ])
+         r.Fig3.x_sweep r.Fig3.n_sweep)
+
+let table2_csv ppf =
+  let rows =
+    List.map
+      (fun c ->
+        [ string_of_int c.Costmodel.level; string_of_int c.Costmodel.scale;
+          f c.Costmodel.predicted; f c.Costmodel.measured; f c.Costmodel.error ])
+      (Costmodel.compare_costs ())
+  in
+  Render.csv ppf
+    ~headers:[ "level"; "cores"; "predicted_seconds"; "measured_seconds"; "rel_error" ]
+    ~rows
+
+let table3_csv ppf =
+  Render.csv ppf
+    ~headers:[ "case"; "ml_scale"; "ml_scale_paper"; "sl_scale"; "sl_scale_paper" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [ r.Table3.case; f r.Table3.ml_scale; f r.Table3.paper_ml;
+             f r.Table3.sl_scale; f r.Table3.paper_sl ])
+         (Table3.compute ()))
+
+let sensitivity_csv ppf =
+  Render.csv ppf
+    ~headers:[ "parameter"; "wall_clock_elasticity"; "scale_elasticity" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [ r.Ckpt_model.Sensitivity.name;
+             f r.Ckpt_model.Sensitivity.wall_clock_elasticity;
+             f r.Ckpt_model.Sensitivity.scale_elasticity ])
+         (Sensitivity_study.compute ()))
+
+let write_analytic ~dir =
+  [ write_file ~dir "fig1_tradeoff.csv" fig1_csv;
+    write_file ~dir "fig2_heat.csv" (fig2_csv (Fig2.heat ()));
+    write_file ~dir "fig2_nek.csv" (fig2_csv (Fig2.nek ()));
+    write_file ~dir "fig3_constant.csv" (fig3_csv ~linear_cost:false);
+    write_file ~dir "fig3_linear.csv" (fig3_csv ~linear_cost:true);
+    write_file ~dir "table2_costmodel.csv" table2_csv;
+    write_file ~dir "table3_scales.csv" table3_csv;
+    write_file ~dir "sensitivity.csv" sensitivity_csv ]
+
+let time_analysis_csv t ppf =
+  let rows =
+    List.map
+      (fun (c : Time_analysis.cell) ->
+        let a = c.Time_analysis.aggregate in
+        [ c.Time_analysis.case; c.Time_analysis.solution;
+          f c.Time_analysis.plan.Optimizer.n;
+          f a.Replication.wall_clock.Stats.mean;
+          f a.Replication.productive; f a.Replication.checkpoint;
+          f (a.Replication.restart +. a.Replication.allocation);
+          f a.Replication.rollback; f a.Replication.mean_efficiency ])
+      t.Time_analysis.cells
+  in
+  Render.csv ppf
+    ~headers:
+      [ "case"; "solution"; "cores"; "wall_seconds"; "productive_seconds";
+        "checkpoint_seconds"; "restart_seconds"; "rollback_seconds"; "efficiency" ]
+    ~rows
+
+let write_simulated ?(runs = 20) ~dir () =
+  [ write_file ~dir "fig5_portions.csv"
+      (time_analysis_csv (Time_analysis.compute ~runs ~te_core_days:3e6 ()));
+    write_file ~dir "fig6_portions.csv"
+      (time_analysis_csv (Time_analysis.compute ~runs ~te_core_days:1e7 ())) ]

@@ -1,0 +1,16 @@
+(** CSV artifacts for the paper's figures.
+
+    Writes one CSV file per figure-series into a directory, so the plots
+    can be regenerated with any external tool.  Covered: Fig. 1 (tradeoff
+    curves), Fig. 2 (speedup measurements), Fig. 3 (optimum sweeps),
+    Table II vs the derived cost model, Table III scales, the sensitivity
+    elasticities, and — optionally, they simulate — the Fig. 5/6 time
+    portions. *)
+
+val write_analytic : dir:string -> string list
+(** Write the cheap (model/emulator-only) artifacts; returns the paths
+    written.  The directory must exist. *)
+
+val write_simulated : ?runs:int -> dir:string -> unit -> string list
+(** Write the simulation-backed artifacts (Fig. 5 and Fig. 6 portions;
+    default 20 runs per cell). *)

@@ -1,0 +1,39 @@
+module Optimizer = Ckpt_model.Optimizer
+module Speedup = Ckpt_model.Speedup
+
+type point = { n : float; failure_free : float; with_checkpoints : float }
+
+let series ?(te_core_days = 3e6) ?(case = "16-12-8-4") ?(points = 25) () =
+  assert (points >= 2);
+  let problem = Paper_data.eval_problem ~te_core_days ~case () in
+  let n_max = Speedup.search_upper_bound problem.Optimizer.speedup ~default:1e9 in
+  let lo = log 1e3 and hi = log n_max in
+  List.init points (fun i ->
+      let n = exp (lo +. ((hi -. lo) *. float_of_int i /. float_of_int (points - 1))) in
+      let plan = Optimizer.solve ~fixed_n:n problem in
+      { n;
+        failure_free = Speedup.productive_time problem.Optimizer.speedup
+            ~te:problem.Optimizer.te ~n;
+        with_checkpoints = plan.Optimizer.wall_clock })
+
+let optimal_scales points =
+  let best f =
+    (List.fold_left (fun acc p -> if f p < f acc then p else acc) (List.hd points) points).n
+  in
+  (best (fun p -> p.with_checkpoints), best (fun p -> p.failure_free))
+
+let run ppf =
+  Render.section ppf "Figure 1: speedup vs checkpoint-overhead tradeoff";
+  let pts = series () in
+  Render.table ppf
+    ~headers:[ "cores"; "failure-free (days)"; "with checkpoints (days)" ]
+    ~rows:
+      (List.map
+         (fun p ->
+           [ Printf.sprintf "%.0f" p.n; Render.days p.failure_free;
+             Render.days p.with_checkpoints ])
+         pts);
+  let opt_ckpt, opt_free = optimal_scales pts in
+  Format.fprintf ppf
+    "@\noptimal scale with checkpoints ~ %.0f cores; failure-free optimum at %.0f cores@\n"
+    opt_ckpt opt_free

@@ -1,0 +1,23 @@
+(** Fig. 1 — the speedup-vs-overhead tradeoff.
+
+    Regenerates the paper's conceptual figure as a data series: expected
+    wall-clock time against the execution scale, with and without the
+    checkpoint model, showing that the optimal scale under failures is
+    smaller than the failure-free ideal scale. *)
+
+type point = {
+  n : float;
+  failure_free : float;  (** [T_e / g(N)], seconds *)
+  with_checkpoints : float;  (** model-predicted [E(T_w)] with intervals
+                                 optimized at this scale *)
+}
+
+val series : ?te_core_days:float -> ?case:string -> ?points:int -> unit -> point list
+(** Log-spaced scales from 1,000 cores to the ideal scale.  Defaults:
+    3e6 core-days, case "16-12-8-4", 25 points. *)
+
+val optimal_scales : point list -> float * float
+(** [(argmin with_checkpoints, argmin failure_free)] — the figure's two
+    marked optima (the second is the right edge for a monotone curve). *)
+
+val run : Format.formatter -> unit

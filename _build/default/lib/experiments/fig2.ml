@@ -1,0 +1,51 @@
+module S = Ckpt_mpi.Speedup_study
+
+type study = {
+  application : string;
+  points : S.point list;
+  fit : S.fit;
+  kappa_quick_estimate : float;
+}
+
+let machine = Ckpt_mpi.Machine.default
+
+let study application program scales quick_at =
+  let points = S.measure ~machine ~program ~scales in
+  let fit = S.fit_quadratic (S.ascending_range points) in
+  let quick_point =
+    List.fold_left
+      (fun acc p -> if p.S.ranks <= quick_at && p.S.ranks > acc.S.ranks then p else acc)
+      (List.hd points) points
+  in
+  { application; points; fit; kappa_quick_estimate = S.estimate_kappa quick_point }
+
+let heat ?(scales = [ 2; 4; 8; 16; 32; 64; 128; 160; 256; 512; 1024 ]) () =
+  study "Heat Distribution"
+    (fun ~ranks -> Ckpt_mpi.Heat.program ~ranks ())
+    scales 160
+
+let nek ?(scales = [ 2; 4; 8; 16; 25; 36; 50; 64; 100; 128; 200; 256; 400 ]) () =
+  study "Nek5000 eddy_uv"
+    (fun ~ranks -> Ckpt_mpi.Nek_eddy.program ~ranks ())
+    scales 100
+
+let print_study ppf s ~paper_kappa =
+  Format.fprintf ppf "%s:@\n" s.application;
+  Render.table ppf
+    ~headers:[ "ranks"; "job time (s)"; "speedup" ]
+    ~rows:
+      (List.map
+         (fun p ->
+           [ string_of_int p.S.ranks; Printf.sprintf "%.4f" p.S.job_time;
+             Printf.sprintf "%.2f" p.S.speedup ])
+         s.points);
+  Format.fprintf ppf
+    "quadratic fit: kappa=%.3f n_star=%.0f r2=%.4f over %d ascending points@\n"
+    s.fit.S.kappa s.fit.S.n_star s.fit.S.r_squared s.fit.S.points_used;
+  Format.fprintf ppf "quick kappa estimate: %.3f   (paper: %s)@\n@\n"
+    s.kappa_quick_estimate paper_kappa
+
+let run ppf =
+  Render.section ppf "Figure 2: application speedups and quadratic fits";
+  print_study ppf (heat ()) ~paper_kappa:"0.48 quick estimate, 0.46 least squares";
+  print_study ppf (nek ()) ~paper_kappa:"fit over the ascending 1-100 range"

@@ -1,0 +1,18 @@
+(** Fig. 2 — measured speedups and quadratic fits.
+
+    Emulates the Heat Distribution program (a) and the Nek5000
+    eddy_uv-like program (b) across scales, fits the paper's Eq. (12)
+    quadratic through the origin on the ascending range, and reports the
+    fitted [kappa] next to the paper's values (quick estimate 77/160 ~
+    0.48, least-squares 0.46). *)
+
+type study = {
+  application : string;
+  points : Ckpt_mpi.Speedup_study.point list;
+  fit : Ckpt_mpi.Speedup_study.fit;
+  kappa_quick_estimate : float;  (** speedup/ranks at the largest mid-size point *)
+}
+
+val heat : ?scales:int list -> unit -> study
+val nek : ?scales:int list -> unit -> study
+val run : Format.formatter -> unit

@@ -1,0 +1,62 @@
+module SL = Ckpt_model.Single_level
+
+type result = {
+  linear_cost : bool;
+  x_star : float;
+  n_star : float;
+  wall_clock : float;
+  iterations : int;
+  x_sweep : (float * float) list;
+  n_sweep : (float * float) list;
+  paper_x : float;
+  paper_n : float;
+}
+
+let geometric lo hi points =
+  assert (points >= 2 && lo > 0. && hi > lo);
+  let llo = log lo and lhi = log hi in
+  List.init points (fun i ->
+      exp (llo +. ((lhi -. llo) *. float_of_int i /. float_of_int (points - 1))))
+
+let compute ~linear_cost =
+  let p = Paper_data.fig3_problem ~linear_cost in
+  let sol = SL.optimize p in
+  let paper_x, paper_n = Paper_data.fig3_expected ~linear_cost in
+  let x_star = sol.SL.x and n_star = sol.SL.n in
+  let x_sweep =
+    List.map
+      (fun x -> (x, SL.expected_wall_clock p ~x ~n:n_star))
+      (geometric (x_star /. 8.) (x_star *. 8.) 17)
+  in
+  let n_sweep =
+    List.map
+      (fun n -> (n, SL.expected_wall_clock p ~x:x_star ~n))
+      (geometric (n_star /. 8.) (Float.min (n_star *. 8.) 1e5) 17)
+  in
+  { linear_cost; x_star; n_star; wall_clock = sol.SL.wall_clock;
+    iterations = sol.SL.iterations; x_sweep; n_sweep; paper_x; paper_n }
+
+let sweep_is_minimal r =
+  List.for_all (fun (_, e) -> e >= r.wall_clock -. 1e-6) r.x_sweep
+  && List.for_all (fun (_, e) -> e >= r.wall_clock -. 1e-6) r.n_sweep
+
+let print_result ppf r =
+  Format.fprintf ppf "%s checkpoint cost:@\n"
+    (if r.linear_cost then "linear-increasing" else "constant");
+  Format.fprintf ppf
+    "  optimum: x*=%.1f (paper %.0f), N*=%.0f (paper %.0f), E(Tw)=%s days, %d iterations@\n"
+    r.x_star r.paper_x r.n_star r.paper_n (Render.days r.wall_clock) r.iterations;
+  Render.table ppf
+    ~headers:[ "x (at N*)"; "E(Tw) days"; "N (at x*)"; "E(Tw) days" ]
+    ~rows:
+      (List.map2
+         (fun (x, ex) (n, en) ->
+           [ Printf.sprintf "%.0f" x; Render.days ex; Printf.sprintf "%.0f" n;
+             Render.days en ])
+         r.x_sweep r.n_sweep);
+  Format.fprintf ppf "  sweep confirms minimum: %b@\n@\n" (sweep_is_minimal r)
+
+let run ppf =
+  Render.section ppf "Figure 3: single-level optimum (numerical confirmation)";
+  print_result ppf (compute ~linear_cost:false);
+  print_result ppf (compute ~linear_cost:true)

@@ -1,0 +1,26 @@
+(** Fig. 3 — numerical confirmation of the single-level optimum.
+
+    Reproduces the paper's Section III-C study: Te = 4,000 core-days on
+    the Heat Distribution speedup (kappa = 0.46, N_star = 100,000),
+    mu = 0.005 N.  (a) constant C = R = 5 s — optimum at x* = 797,
+    N* = 81,746; (b) linear C = R = 5 + 0.005 N — optimum at x* = 140,
+    N* = 20,215.  The experiment solves for the optimum, then sweeps
+    E(T_w) along each axis to confirm it is the minimum. *)
+
+type result = {
+  linear_cost : bool;
+  x_star : float;
+  n_star : float;
+  wall_clock : float;  (** E(T_w) at the optimum, seconds *)
+  iterations : int;
+  x_sweep : (float * float) list;  (** (x, E(T_w)) at N = N* *)
+  n_sweep : (float * float) list;  (** (N, E(T_w)) at x = x* *)
+  paper_x : float;
+  paper_n : float;
+}
+
+val compute : linear_cost:bool -> result
+val sweep_is_minimal : result -> bool
+(** The optimum beats every swept point on both axes. *)
+
+val run : Format.formatter -> unit

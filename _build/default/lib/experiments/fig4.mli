@@ -1,0 +1,25 @@
+(** Fig. 4 — simulator validation at cluster scale.
+
+    The paper validates its exascale simulator against real 1,024-core
+    FTI runs with varying checkpoint intervals per level, reporting < 4 %
+    difference.  Our substitute for the physical cluster is the
+    tick-driven engine (1-second ticks, the paper's own discretization),
+    an implementation independent of the fast event-driven engine; the
+    experiment sweeps each level's interval count and compares the two
+    engines' mean wall-clock times. *)
+
+type point = {
+  level : int;  (** level whose interval count is being varied *)
+  factor : float;  (** multiplier applied to that level's base count *)
+  event_wall : float;  (** event-engine mean wall clock, seconds *)
+  tick_wall : float;  (** tick-engine mean wall clock, seconds *)
+  diff : float;  (** relative difference *)
+}
+
+val compute : ?runs:int -> unit -> point list
+(** Default 30 runs per engine per point; a 1,024-core Heat-like workload
+    with the Fusion overheads and several failures per run. *)
+
+val max_diff : point list -> float
+
+val run : Format.formatter -> unit

@@ -1,0 +1,36 @@
+module Replication = Ckpt_sim.Replication
+
+type row = {
+  case : string;
+  solution : string;
+  te_core_days : float;
+  efficiency : float;
+}
+
+let compute ?(runs = 30) ?(cases = Paper_data.cases) () =
+  List.concat_map
+    (fun te_core_days ->
+      let t = Time_analysis.compute ~runs ~cases ~te_core_days () in
+      List.map
+        (fun (c : Time_analysis.cell) ->
+          { case = c.Time_analysis.case;
+            solution = c.Time_analysis.solution;
+            te_core_days;
+            efficiency = c.Time_analysis.aggregate.Replication.mean_efficiency })
+        t.Time_analysis.cells)
+    [ 3e6; 1e7 ]
+
+let run ppf =
+  Render.section ppf "Figure 7: efficiency of the four solutions";
+  let rows = compute () in
+  Render.table ppf
+    ~headers:[ "Te (core-days)"; "case"; "solution"; "efficiency" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [ Printf.sprintf "%.0e" r.te_core_days; r.case; r.solution;
+             Printf.sprintf "%.4f" r.efficiency ])
+         rows);
+  Format.fprintf ppf
+    "@\npaper: SL(opt-scale) peaks efficiency by under-using cores; ML(opt-scale)@\n\
+     keeps near-top efficiency at the shortest wall-clock.@\n"

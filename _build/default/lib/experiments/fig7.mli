@@ -1,0 +1,20 @@
+(** Fig. 7 — efficiency (processor utilization) of the four solutions for
+    both workloads (Te = 3m and 10m core-days).
+
+    Efficiency is the wall-clock-based speedup divided by the core count:
+    [(te / wall_clock) / N].  The paper's finding: SL(opt-scale) is the
+    most "efficient" (it uses very few cores) but unacceptably slow;
+    ML(opt-scale) combines near-best efficiency with the shortest
+    wall-clock. *)
+
+type row = {
+  case : string;
+  solution : string;
+  te_core_days : float;
+  efficiency : float;
+}
+
+val compute : ?runs:int -> ?cases:string list -> unit -> row list
+(** Defaults: 30 runs, the six paper cases, both workloads. *)
+
+val run : Format.formatter -> unit

@@ -1,0 +1,16 @@
+(** Section III-A — why the direct formulation is hard.
+
+    The paper argues that the self-consistent wall-clock form (Eq. 6) is
+    not convex in [x] and [N], which rules out one-shot convex
+    optimization and motivates Algorithm 1.  This experiment exhibits the
+    claim numerically: it scans a grid and reports points where a second
+    derivative is negative, alongside a region where both are positive. *)
+
+type summary = {
+  scanned : int;
+  nonconvex : (float * float) list;  (** (x, N) points with a negative
+                                         second derivative *)
+}
+
+val compute : unit -> summary
+val run : Format.formatter -> unit

@@ -1,0 +1,63 @@
+module Speedup = Ckpt_model.Speedup
+module Level = Ckpt_model.Level
+module Overhead = Ckpt_model.Overhead
+module Optimizer = Ckpt_model.Optimizer
+module Single_level = Ckpt_model.Single_level
+module Scale_fn = Ckpt_model.Scale_fn
+module Failure_spec = Ckpt_failures.Failure_spec
+
+let table2_scales = [| 128.; 256.; 384.; 512.; 1024. |]
+
+let table2_costs =
+  [| [| 0.9; 0.67; 0.67; 0.99; 1.1 |];
+     [| 2.53; 2.54; 2.25; 3.05; 2.56 |];
+     [| 3.7; 4.1; 3.9; 4.12; 3.61 |];
+     [| 7.; 8.1; 14.3; 21.3; 25.15 |] |]
+
+let table2_fitted = [| (0.866, 0.); (2.586, 0.); (3.886, 0.); (5.5, 0.0212) |]
+
+let kappa = 0.46
+let alloc = 60.
+
+let eval_speedup () = Speedup.quadratic ~kappa ~n_star:1e6
+
+let eval_problem ?(levels = Level.fti_fusion) ~te_core_days ~case () =
+  { Optimizer.te = te_core_days *. 86400.;
+    speedup = eval_speedup ();
+    levels;
+    alloc;
+    spec = Failure_spec.of_string ~baseline_scale:1e6 case }
+
+let cases = [ "16-12-8-4"; "8-6-4-2"; "4-3-2-1"; "16-8-4-2"; "8-4-2-1"; "4-2-1-0.5" ]
+let table4_cases = [ "16-12-8-4"; "8-6-4-2"; "4-3-2-1" ]
+
+let fig3_problem ~linear_cost =
+  let level =
+    if linear_cost then Level.v (Overhead.linear ~eps:5. ~alpha:0.005)
+    else Level.v (Overhead.constant 5.)
+  in
+  { Single_level.te = 4000. *. 86400.;
+    speedup = Speedup.quadratic ~kappa ~n_star:1e5;
+    level;
+    (* The paper's optima satisfy eta0 + A = 5 exactly, so A = 0 here. *)
+    alloc = 0.;
+    mu = Scale_fn.linear ~slope:0.005 () }
+
+let fig3_expected ~linear_cost = if linear_cost then (140., 20_215.) else (797., 81_746.)
+
+let table3_ml_scales = [| 472e3; 564e3; 658e3; 563e3; 657e3; 734e3 |]
+let table3_sl_scales = [| 41e3; 78.6e3; 36.7e3; 53.6e3; 325e3; 399e3 |]
+
+let table4_wct_days =
+  [ ("ML(opt-scale)", [| 14.6; 12.8; 11.1 |]);
+    ("SL(opt-scale)", [| 37.3; 23.2; 17.2 |]);
+    ("ML(ori-scale)", [| 15.4; 13.4; 11.7 |]);
+    ("SL(ori-scale)", [| 890.; 892.; 890. |]) ]
+
+let table4_efficiency =
+  [ ("ML(opt-scale)", [| 0.158; 0.173; 0.193 |]);
+    ("SL(opt-scale)", [| 0.092; 0.123; 0.146 |]);
+    ("ML(ori-scale)", [| 0.13; 0.15; 0.171 |]);
+    ("SL(ori-scale)", [| 0.002; 0.002; 0.002 |]) ]
+
+let solution_names = [ "ML(opt-scale)"; "SL(opt-scale)"; "ML(ori-scale)"; "SL(ori-scale)" ]

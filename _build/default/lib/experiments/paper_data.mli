@@ -1,0 +1,69 @@
+(** The paper's published numbers and experiment presets, kept verbatim so
+    every experiment can print paper-vs-measured columns. *)
+
+(** {1 Table II — FTI checkpoint overheads on Fusion (seconds)} *)
+
+val table2_scales : float array
+(** 128, 256, 384, 512, 1,024 cores. *)
+
+val table2_costs : float array array
+(** [table2_costs.(level - 1)] are the measured costs across
+    {!table2_scales} for levels 1–4. *)
+
+val table2_fitted : (float * float) array
+(** The paper's least-squares coefficients [(eps_i, alpha_i)]:
+    (0.866, 0), (2.586, 0), (3.886, 0), (5.5, 0.0212). *)
+
+(** {1 Evaluation presets (Section IV)} *)
+
+val kappa : float
+(** Speedup slope of the Heat Distribution application (0.46). *)
+
+val alloc : float
+(** Resource allocation period used in our evaluation (60 s; the paper
+    calls [A] "a constant period, far shorter than the execution"). *)
+
+val eval_speedup : unit -> Ckpt_model.Speedup.t
+(** Quadratic Eq. (12) speedup with [kappa = 0.46], [N_star = 1e6]. *)
+
+val eval_problem :
+  ?levels:Ckpt_model.Level.t array -> te_core_days:float -> case:string -> unit ->
+  Ckpt_model.Optimizer.problem
+(** The evaluation problem for a workload (core-days) and a failure-rate
+    case string like ["16-12-8-4"] (rates per day at [N_b = 1e6]). *)
+
+val cases : string list
+(** The six failure-rate cases of Figs. 5–7. *)
+
+val table4_cases : string list
+(** The three cases of Table IV. *)
+
+(** {1 Fig. 3 — single-level numerical study} *)
+
+val fig3_problem : linear_cost:bool -> Ckpt_model.Single_level.params
+(** Te = 4,000 core-days, quadratic speedup kappa = 0.46, N_star = 1e5,
+    mu = 0.005 N, [eta0 + A = 5]; constant C = R = 5 s, or linear
+    C = R = 5 + 0.005 N. *)
+
+val fig3_expected : linear_cost:bool -> float * float
+(** The paper's optima [(x_star, n_star)]: (797, 81,746) and
+    (140, 20,215). *)
+
+(** {1 Published results used for comparison columns} *)
+
+val table3_ml_scales : float array
+(** ML(opt-scale) optimized scales for the six cases (cores). *)
+
+val table3_sl_scales : float array
+(** SL(opt-scale) optimized scales for the six cases (cores). *)
+
+val table4_wct_days : (string * float array) list
+(** Paper Table IV block 1: solution name -> WCT (days) for the three
+    cases. *)
+
+val table4_efficiency : (string * float array) list
+(** Paper Table IV block 1 efficiencies. *)
+
+val solution_names : string list
+(** ML(opt-scale); SL(opt-scale); ML(ori-scale); SL(ori-scale) — in the
+    paper's presentation order. *)

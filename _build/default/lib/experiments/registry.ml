@@ -1,0 +1,41 @@
+type experiment = {
+  id : string;
+  title : string;
+  run : Format.formatter -> unit;
+}
+
+let all =
+  [ { id = "fig1"; title = "Tradeoff between speedup and checkpoint overhead";
+      run = Fig1.run };
+    { id = "fig2"; title = "Application speedups and quadratic fits"; run = Fig2.run };
+    { id = "fig3"; title = "Single-level optimum (numerical confirmation)";
+      run = Fig3.run };
+    { id = "table2"; title = "FTI checkpoint overhead characterization";
+      run = Table2.run };
+    { id = "fig4"; title = "Simulator validation (event vs tick engines)";
+      run = Fig4.run };
+    { id = "fig5"; title = "Time analysis, Te = 3m core-days";
+      run = Time_analysis.run_fig5 };
+    { id = "table3"; title = "Optimized execution scales"; run = Table3.run };
+    { id = "fig6"; title = "Time analysis, Te = 10m core-days";
+      run = Time_analysis.run_fig6 };
+    { id = "fig7"; title = "Efficiency of the four solutions"; run = Fig7.run };
+    { id = "table4"; title = "Constant PFS checkpoint cost variant"; run = Table4.run };
+    { id = "convergence"; title = "Convergence of Algorithm 1"; run = Convergence.run };
+    { id = "nonconvexity"; title = "Non-convexity of the direct formulation";
+      run = Nonconvexity.run };
+    { id = "costmodel"; title = "Table II derived from the storage substrate";
+      run = Costmodel.run };
+    { id = "sensitivity"; title = "Parameter sensitivity of the optimized plan";
+      run = Sensitivity_study.run };
+    { id = "scr"; title = "SCR Markov model vs Algorithm 1";
+      run = Scr_comparison.run };
+    { id = "weakscaling"; title = "Weak-scaling efficiency vs scale";
+      run = Weak_scaling_study.run };
+    { id = "ablations"; title = "Ablation studies"; run = Ablations.run } ]
+
+let find id =
+  let id = String.lowercase_ascii id in
+  List.find_opt (fun e -> String.equal e.id id) all
+
+let ids () = List.map (fun e -> e.id) all

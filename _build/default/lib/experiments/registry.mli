@@ -1,0 +1,17 @@
+(** Registry of all experiments, for the CLI runner and the bench
+    harness. *)
+
+type experiment = {
+  id : string;  (** e.g. "fig3", "table4" *)
+  title : string;
+  run : Format.formatter -> unit;
+}
+
+val all : experiment list
+(** Every experiment, in paper order (figures and tables first, then the
+    analyses and ablations). *)
+
+val find : string -> experiment option
+(** Lookup by id (case-insensitive). *)
+
+val ids : unit -> string list

@@ -1,0 +1,54 @@
+let pad cell width = cell ^ String.make (Int.max 0 (width - String.length cell)) ' '
+
+let table ppf ~headers ~rows =
+  let ncols =
+    List.fold_left (fun acc row -> Int.max acc (List.length row)) (List.length headers) rows
+  in
+  let cell row i = match List.nth_opt row i with Some c -> c | None -> "" in
+  let width i =
+    List.fold_left
+      (fun acc row -> Int.max acc (String.length (cell row i)))
+      (String.length (cell headers i))
+      rows
+  in
+  let widths = List.init ncols width in
+  let print_row row =
+    List.iteri
+      (fun i w ->
+        if i > 0 then Format.fprintf ppf "  ";
+        Format.fprintf ppf "%s" (pad (cell row i) w))
+      widths;
+    Format.fprintf ppf "@\n"
+  in
+  print_row headers;
+  List.iteri
+    (fun i w ->
+      if i > 0 then Format.fprintf ppf "  ";
+      Format.fprintf ppf "%s" (String.make w '-'))
+    widths;
+  Format.fprintf ppf "@\n";
+  List.iter print_row rows
+
+let csv_escape field =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') field then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' field) ^ "\""
+  else field
+
+let csv ppf ~headers ~rows =
+  let line fields = Format.fprintf ppf "%s@\n" (String.concat "," (List.map csv_escape fields)) in
+  line headers;
+  List.iter line rows
+
+let section ppf title =
+  Format.fprintf ppf "@\n=== %s ===@\n@\n" title
+
+let float_cell ?(decimals = 2) v =
+  if v = 0. then "0"
+  else begin
+    let m = Float.abs v in
+    if m >= 1e7 || m < 1e-3 then Printf.sprintf "%.3e" v
+    else Printf.sprintf "%.*f" decimals v
+  end
+
+let days seconds = Printf.sprintf "%.2f" (seconds /. 86400.)
+let pct ratio = Printf.sprintf "%.1f%%" (100. *. ratio)

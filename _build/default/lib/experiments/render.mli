@@ -1,0 +1,23 @@
+(** Plain-text rendering of experiment outputs: aligned ASCII tables for
+    the paper's tables and CSV series for its figures (one series per
+    column, ready for any plotting tool). *)
+
+val table : Format.formatter -> headers:string list -> rows:string list list -> unit
+(** Render an aligned table with a header rule.  Rows may be ragged; short
+    rows are padded with empty cells. *)
+
+val csv : Format.formatter -> headers:string list -> rows:string list list -> unit
+(** RFC-4180-ish CSV (fields containing commas or quotes are quoted). *)
+
+val section : Format.formatter -> string -> unit
+(** A titled separator line. *)
+
+val float_cell : ?decimals:int -> float -> string
+(** Compact numeric cell: fixed decimals (default 2), or scientific
+    notation for very large/small magnitudes. *)
+
+val days : float -> string
+(** Seconds rendered as days with 2 decimals. *)
+
+val pct : float -> string
+(** Ratio rendered as a percentage with 1 decimal. *)

@@ -1,0 +1,118 @@
+module Optimizer = Ckpt_model.Optimizer
+
+type verdict = Exact | Close | Deviates
+
+type line = { item : string; paper : string; measured : string; verdict : verdict }
+
+let verdict_of_rel ?(exact = 0.01) ?(close = 0.5) ~expected actual =
+  if expected = 0. then if actual = 0. then Exact else Deviates
+  else begin
+    let rel = Float.abs (actual -. expected) /. Float.abs expected in
+    if rel <= exact then Exact else if rel <= close then Close else Deviates
+  end
+
+let f1 = Printf.sprintf "%.1f"
+let f3 = Printf.sprintf "%.3f"
+
+let fig3_lines () =
+  List.concat_map
+    (fun linear_cost ->
+      let r = Fig3.compute ~linear_cost in
+      let tag = if linear_cost then "linear cost" else "constant cost" in
+      [ { item = Printf.sprintf "Fig.3 x* (%s)" tag;
+          paper = Printf.sprintf "%.0f" r.Fig3.paper_x;
+          measured = f1 r.Fig3.x_star;
+          verdict = verdict_of_rel ~expected:r.Fig3.paper_x r.Fig3.x_star };
+        { item = Printf.sprintf "Fig.3 N* (%s)" tag;
+          paper = Printf.sprintf "%.0f" r.Fig3.paper_n;
+          measured = Printf.sprintf "%.0f" r.Fig3.n_star;
+          verdict = verdict_of_rel ~expected:r.Fig3.paper_n r.Fig3.n_star } ])
+    [ false; true ]
+
+let table2_lines () =
+  List.map
+    (fun r ->
+      { item = Printf.sprintf "Table II eps level %d" r.Table2.level;
+        paper = f3 r.Table2.paper_eps;
+        measured = f3 r.Table2.eps;
+        verdict = verdict_of_rel ~exact:0.03 ~expected:r.Table2.paper_eps r.Table2.eps })
+    (Table2.compute ())
+
+let fig4_line () =
+  let diff = Fig4.max_diff (Fig4.compute ~runs:10 ()) in
+  { item = "Fig.4 engine agreement";
+    paper = "< 4% (vs real cluster)";
+    measured = Printf.sprintf "%.1f%% (event vs tick)" (100. *. diff);
+    verdict = (if diff < 0.04 then Close else Deviates) }
+
+let table3_lines () =
+  List.map
+    (fun r ->
+      { item = Printf.sprintf "Table III ML N* (%s)" r.Table3.case;
+        paper = Printf.sprintf "%.0fk" (r.Table3.paper_ml /. 1e3);
+        measured = Printf.sprintf "%.0fk" (r.Table3.ml_scale /. 1e3);
+        verdict = verdict_of_rel ~expected:r.Table3.paper_ml r.Table3.ml_scale })
+    (Table3.compute ())
+
+let fig5_lines runs =
+  let t = Time_analysis.compute ~runs ~te_core_days:3e6 () in
+  let ranges = Time_analysis.improvements t in
+  let paper = [ ("SL(opt-scale)", "58-84%"); ("ML(ori-scale)", "7-26%");
+                ("SL(ori-scale)", "79-88%") ] in
+  List.map
+    (fun (solution, per_case) ->
+      let lo = List.fold_left Float.min 1. per_case in
+      let hi = List.fold_left Float.max 0. per_case in
+      { item = Printf.sprintf "Fig.5 improvement vs %s" solution;
+        paper = List.assoc solution paper;
+        measured = Printf.sprintf "%.0f-%.0f%%" (100. *. lo) (100. *. hi);
+        verdict = (if lo > 0. then Close else Deviates) })
+    ranges
+
+let convergence_line () =
+  let rows = Convergence.outer_loop_rows () in
+  let outers = List.map (fun r -> r.Convergence.outer) rows in
+  let all_converged = List.for_all (fun r -> r.Convergence.converged) rows in
+  { item = "Algorithm 1 outer iterations";
+    paper = "7-15 at delta=1e-12";
+    measured =
+      Printf.sprintf "%d-%d, all convergent"
+        (List.fold_left Int.min max_int outers)
+        (List.fold_left Int.max 0 outers);
+    verdict = (if all_converged then Close else Deviates) }
+
+let costmodel_line () =
+  let err = Costmodel.max_error (Costmodel.compare_costs ()) in
+  { item = "Cost model vs Table II";
+    paper = "measured (30% jitter band)";
+    measured = Printf.sprintf "max error %.0f%%" (100. *. err);
+    verdict = (if err < 0.35 then Close else Deviates) }
+
+let compute ?(runs = 20) () =
+  fig3_lines () @ table2_lines ()
+  @ [ fig4_line () ]
+  @ table3_lines () @ fig5_lines runs
+  @ [ convergence_line (); costmodel_line () ]
+
+let verdict_cell = function
+  | Exact -> "exact"
+  | Close -> "close"
+  | Deviates -> "DEVIATES"
+
+let to_markdown lines =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "# Reproduction report (generated)\n\n";
+  Buffer.add_string buf "| Item | Paper | Measured | Verdict |\n|---|---|---|---|\n";
+  List.iter
+    (fun l ->
+      Buffer.add_string buf
+        (Printf.sprintf "| %s | %s | %s | %s |\n" l.item l.paper l.measured
+           (verdict_cell l.verdict)))
+    lines;
+  let count v = List.length (List.filter (fun l -> l.verdict = v) lines) in
+  Buffer.add_string buf
+    (Printf.sprintf "\n%d exact, %d close, %d deviating of %d checks.\n" (count Exact)
+       (count Close) (count Deviates) (List.length lines));
+  Buffer.contents buf
+
+let run ?runs ppf = Format.fprintf ppf "%s@." (to_markdown (compute ?runs ()))

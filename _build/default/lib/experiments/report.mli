@@ -1,0 +1,24 @@
+(** Machine-generated reproduction report.
+
+    Re-derives the paper-vs-measured comparison live (the curated version
+    is EXPERIMENTS.md) and renders it as Markdown: Fig. 3 optima, the
+    Table II coefficients, Fig. 4 engine agreement, Table III scales,
+    the Fig. 5 improvement ranges, convergence counts and the cost-model
+    error — each with a pass/deviation verdict against tolerance bands. *)
+
+type verdict = Exact | Close | Deviates
+
+type line = {
+  item : string;
+  paper : string;
+  measured : string;
+  verdict : verdict;
+}
+
+val compute : ?runs:int -> unit -> line list
+(** Default 20 simulation runs per Fig. 5 cell. *)
+
+val to_markdown : line list -> string
+
+val run : ?runs:int -> Format.formatter -> unit
+(** Render the Markdown to the formatter. *)

@@ -1,0 +1,18 @@
+(** SCR-style Markov model vs the paper's Algorithm 1 (related work [12]).
+
+    The paper's Section V notes that SCR's Markov model optimizes the
+    checkpoint cadence but "did not take into account the impact of the
+    number of processes/cores".  This experiment quantifies that gap:
+    the SCR cadence at the full machine, the SCR cadence at Algorithm 1's
+    optimized scale, and Algorithm 1 itself — model-predicted and
+    simulated. *)
+
+type row = {
+  label : string;
+  scale : float;
+  model_days : float;
+  simulated_days : float option;  (** [None] when no run completed *)
+}
+
+val compute : ?runs:int -> ?case:string -> unit -> row list
+val run : Format.formatter -> unit

@@ -1,0 +1,24 @@
+module Sensitivity = Ckpt_model.Sensitivity
+
+let compute ?(case = "16-12-8-4") () =
+  let problem = Paper_data.eval_problem ~te_core_days:3e6 ~case () in
+  let knobs =
+    Sensitivity.quadratic_knobs ~kappa:Paper_data.kappa ~n_star:1e6 problem
+  in
+  Sensitivity.elasticities knobs
+
+let run ppf =
+  Render.section ppf "Sensitivity: elasticities of E(Tw) and N* (16-12-8-4)";
+  Render.table ppf
+    ~headers:[ "parameter"; "dlnE(Tw)/dln p"; "dlnN*/dln p" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [ r.Sensitivity.name;
+             Printf.sprintf "%+.3f" r.Sensitivity.wall_clock_elasticity;
+             Printf.sprintf "%+.3f" r.Sensitivity.scale_elasticity ])
+         (compute ()));
+  Format.fprintf ppf
+    "@\nReading: an elasticity of -1 on kappa means a 1%% speedup-slope error@\n\
+     moves the predicted wall-clock by 1%% the other way; rates and the PFS@\n\
+     cost dominate the scale choice.@\n"

@@ -1,0 +1,9 @@
+(** Sensitivity of the optimized plan to its estimated inputs.
+
+    Elasticities of the predicted wall-clock and the optimal scale with
+    respect to every model parameter, for the paper's flagship evaluation
+    case — quantifying which estimates (speedup slope, ideal scale,
+    failure rates, level costs) matter most. *)
+
+val compute : ?case:string -> unit -> Ckpt_model.Sensitivity.row list
+val run : Format.formatter -> unit

@@ -1,0 +1,41 @@
+module Optimizer = Ckpt_model.Optimizer
+module Run_config = Ckpt_sim.Run_config
+module Replication = Ckpt_sim.Replication
+
+type solved = {
+  name : string;
+  plan : Optimizer.plan;
+  aggregate : Replication.aggregate;
+}
+
+let default_horizon = 2000. *. 86400.
+
+let plans problem =
+  [ ("ML(opt-scale)", Optimizer.ml_opt_scale problem);
+    ("SL(opt-scale)", Optimizer.sl_opt_scale problem);
+    ("ML(ori-scale)", Optimizer.ml_ori_scale problem);
+    ("SL(ori-scale)", Optimizer.sl_ori_scale problem) ]
+
+let expand_sl_plan (problem : Optimizer.problem) (plan : Optimizer.plan) =
+  let nlevels = Array.length problem.Optimizer.levels in
+  assert (Array.length plan.Optimizer.xs = 1);
+  let xs = Array.make nlevels 1. in
+  xs.(nlevels - 1) <- plan.Optimizer.xs.(0);
+  { plan with Optimizer.xs }
+
+let simulate_plan ?runs ?(max_wall_clock = default_horizon)
+    ?(semantics = Run_config.paper_semantics) problem (plan : Optimizer.plan) =
+  let problem =
+    if Array.length plan.Optimizer.xs = 1 && Array.length problem.Optimizer.levels > 1
+    then Optimizer.single_level_problem problem
+    else problem
+  in
+  let config = Run_config.of_plan ~semantics ~max_wall_clock ~problem ~plan () in
+  Replication.run ?runs config
+
+let solve_and_simulate ?runs ?max_wall_clock ?semantics problem =
+  List.map
+    (fun (name, plan) ->
+      { name; plan;
+        aggregate = simulate_plan ?runs ?max_wall_clock ?semantics problem plan })
+    (plans problem)

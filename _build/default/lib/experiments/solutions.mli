@@ -1,0 +1,45 @@
+(** The four compared checkpoint strategies (paper Section IV-A), solved
+    and simulated for a given evaluation problem.  Shared by the Fig. 5/6/7
+    and Table III/IV experiments. *)
+
+type solved = {
+  name : string;  (** e.g. "ML(opt-scale)" *)
+  plan : Ckpt_model.Optimizer.plan;
+  aggregate : Ckpt_sim.Replication.aggregate;
+}
+
+val plans :
+  Ckpt_model.Optimizer.problem -> (string * Ckpt_model.Optimizer.plan) list
+(** The four plans in the paper's order: ML(opt-scale), SL(opt-scale),
+    ML(ori-scale), SL(ori-scale).  SL plans are returned with their
+    interval count and scale mapped onto the PFS level of the full
+    hierarchy ([xs] of the other levels set to 1). *)
+
+val expand_sl_plan :
+  Ckpt_model.Optimizer.problem -> Ckpt_model.Optimizer.plan -> Ckpt_model.Optimizer.plan
+(** Lift a single-level plan (one-element [xs]) onto the full hierarchy:
+    the PFS keeps its interval count, the other levels are unused. *)
+
+val solve_and_simulate :
+  ?runs:int ->
+  ?max_wall_clock:float ->
+  ?semantics:Ckpt_sim.Run_config.semantics ->
+  Ckpt_model.Optimizer.problem ->
+  solved list
+(** Solve the four strategies and simulate each (default 100 runs,
+    horizon 2,000 days, {!Ckpt_sim.Run_config.paper_semantics}).  SL strategies are simulated on a hierarchy
+    where only the PFS level is active, with the aggregated failure rate
+    attached to it — every failure needs a PFS recovery there. *)
+
+val simulate_plan :
+  ?runs:int ->
+  ?max_wall_clock:float ->
+  ?semantics:Ckpt_sim.Run_config.semantics ->
+  Ckpt_model.Optimizer.problem ->
+  Ckpt_model.Optimizer.plan ->
+  Ckpt_sim.Replication.aggregate
+(** Simulate one plan for one problem.  Single-level plans (singleton
+    [xs]) are run against the single-level collapse of the problem. *)
+
+val default_horizon : float
+(** Simulation safety horizon (2,000 days in seconds). *)

@@ -1,0 +1,37 @@
+module Overhead = Ckpt_model.Overhead
+
+type fit_row = {
+  level : int;
+  eps : float;
+  alpha : float;
+  paper_eps : float;
+  paper_alpha : float;
+}
+
+let compute () =
+  List.init 4 (fun idx ->
+      let level = idx + 1 in
+      let costs = Paper_data.table2_costs.(idx) in
+      (* 1 ms/core of fitted slope is measurement noise for levels whose
+         medium is node-local; the paper classifies those as constant. *)
+      let fitted =
+        Overhead.fit ~snap:1e-3 ~scales:Paper_data.table2_scales ~costs ()
+      in
+      let paper_eps, paper_alpha = Paper_data.table2_fitted.(idx) in
+      { level;
+        eps = fitted.Overhead.eps;
+        alpha = fitted.Overhead.alpha;
+        paper_eps;
+        paper_alpha })
+
+let run ppf =
+  Render.section ppf "Table II: FTI overhead characterization (least-squares re-fit)";
+  Render.table ppf
+    ~headers:[ "level"; "eps (fit)"; "alpha (fit)"; "eps (paper)"; "alpha (paper)" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [ string_of_int r.level; Printf.sprintf "%.3f" r.eps;
+             Printf.sprintf "%.4f" r.alpha; Printf.sprintf "%.3f" r.paper_eps;
+             Printf.sprintf "%.4f" r.paper_alpha ])
+         (compute ()))

@@ -1,0 +1,14 @@
+(** Table III — optimized execution scales of the opt-scale solutions
+    (Te = 3e6 core-days, N_star = 1e6 cores), compared with the paper's
+    published scales. *)
+
+type row = {
+  case : string;
+  ml_scale : float;
+  sl_scale : float;
+  paper_ml : float;
+  paper_sl : float;
+}
+
+val compute : unit -> row list
+val run : Format.formatter -> unit

@@ -1,0 +1,33 @@
+(** Shared driver for the paper's time-portion analyses (Figs. 5 and 6):
+    four solutions x six failure cases, each simulated over replicated
+    runs, reporting the stacked portions (productive / checkpoint /
+    restart+allocation / rollback) and the wall-clock improvements of
+    ML(opt-scale) over the other three solutions. *)
+
+type cell = {
+  solution : string;
+  case : string;
+  plan : Ckpt_model.Optimizer.plan;
+  aggregate : Ckpt_sim.Replication.aggregate;
+}
+
+type t = {
+  te_core_days : float;
+  cells : cell list;  (** row-major: for each case, the four solutions *)
+}
+
+val compute : ?runs:int -> ?cases:string list -> te_core_days:float -> unit -> t
+(** Default cases: the six of the paper.  Default 100 runs per cell. *)
+
+val improvements : t -> (string * float list) list
+(** For each non-ML(opt-scale) solution: per-case wall-clock reduction of
+    ML(opt-scale) relative to it, [1 - ML / other].  Cells whose runs hit
+    the horizon are compared against the horizon (a lower bound on the
+    improvement). *)
+
+val print : Format.formatter -> t -> unit
+val run_fig5 : Format.formatter -> unit
+(** Te = 3e6 core-days (Fig. 5). *)
+
+val run_fig6 : Format.formatter -> unit
+(** Te = 1e7 core-days (Fig. 6). *)

@@ -1,0 +1,18 @@
+(** Weak-scaling study (the paper's "our model is suitable for both
+    cases" claim, Section II, made quantitative).
+
+    For a fixed per-core workload, sweep the scale from 10⁴ to 10⁶ cores
+    and report the weak-scaling efficiency under (a) no failures, (b) the
+    single-level PFS model and (c) the multilevel model — showing how
+    multilevel checkpointing preserves weak-scaling efficiency as the
+    machine (and with it the failure rate) grows. *)
+
+type row = {
+  n : float;
+  ideal : float;  (** failure-free weak efficiency *)
+  single_level : float;
+  multilevel : float;
+}
+
+val compute : ?case:string -> ?per_core_hours:float -> unit -> row list
+val run : Format.formatter -> unit

@@ -1,0 +1,1 @@
+lib/failures/arrivals.ml: Array Ckpt_numerics Failure_spec List

@@ -1,0 +1,1 @@
+lib/failures/arrivals.mli: Ckpt_numerics Failure_spec

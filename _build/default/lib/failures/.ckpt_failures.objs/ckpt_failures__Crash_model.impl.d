@@ -1,0 +1,1 @@
+lib/failures/crash_model.ml: Ckpt_numerics Ckpt_topology Int List

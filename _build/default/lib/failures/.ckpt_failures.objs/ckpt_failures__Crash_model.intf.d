@@ -1,0 +1,1 @@
+lib/failures/crash_model.mli: Ckpt_numerics Ckpt_topology

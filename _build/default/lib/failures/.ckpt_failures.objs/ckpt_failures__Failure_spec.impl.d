@@ -1,0 +1,1 @@
+lib/failures/failure_spec.ml: Array Format List Printf String

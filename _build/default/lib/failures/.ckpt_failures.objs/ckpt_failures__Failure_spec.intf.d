@@ -1,0 +1,1 @@
+lib/failures/failure_spec.mli: Format

@@ -1,0 +1,88 @@
+module Rng = Ckpt_numerics.Rng
+module Dist = Ckpt_numerics.Dist
+module Special = Ckpt_numerics.Special
+
+type law = Exponential | Weibull of { shape : float }
+
+type level_stream = {
+  rng : Rng.t;
+  rate : float;  (* mean events per second *)
+  law : law;
+  weibull_scale : float;  (* pre-computed for Weibull laws *)
+  mutable next : float;  (* absolute time of this level's next arrival *)
+}
+
+type event = { at : float; level : int }
+
+type t = { streams : level_stream array; total : float }
+
+let sample_gap s =
+  match s.law with
+  | Exponential -> Dist.exponential s.rng ~rate:s.rate
+  | Weibull { shape } -> Dist.weibull s.rng ~shape ~scale:s.weibull_scale
+
+let create ?laws ~rng ~spec ~scale () =
+  let levels = Failure_spec.levels spec in
+  let laws =
+    match laws with
+    | None -> Array.make levels Exponential
+    | Some laws ->
+        if Array.length laws <> levels then
+          invalid_arg "Arrivals.create: one law per level required";
+        Array.iter
+          (function
+            | Exponential -> ()
+            | Weibull { shape } ->
+                if shape <= 0. then invalid_arg "Arrivals.create: Weibull shape <= 0")
+          laws;
+        laws
+  in
+  let streams =
+    Array.init levels (fun i ->
+        let rate = Failure_spec.rate_per_second spec ~level:(i + 1) ~scale in
+        let weibull_scale =
+          match laws.(i) with
+          | Exponential -> 0.
+          | Weibull { shape } ->
+              if rate <= 0. then 0.
+              else 1. /. (rate *. Special.gamma (1. +. (1. /. shape)))
+        in
+        let s =
+          { rng = Rng.split rng; rate; law = laws.(i); weibull_scale; next = infinity }
+        in
+        if rate > 0. then s.next <- sample_gap s;
+        s)
+  in
+  { streams; total = Array.fold_left (fun acc s -> acc +. s.rate) 0. streams }
+
+let total_rate t = t.total
+
+let next_after t now =
+  if t.total <= 0. then None
+  else begin
+    (* Advance every level past [now], then take the earliest. *)
+    Array.iter
+      (fun s ->
+        if s.rate > 0. then
+          while s.next <= now do
+            s.next <- s.next +. sample_gap s
+          done)
+      t.streams;
+    let best = ref (-1) in
+    Array.iteri
+      (fun i s ->
+        if s.rate > 0. && (!best < 0 || s.next < t.streams.(!best).next) then best := i)
+      t.streams;
+    let s = t.streams.(!best) in
+    let at = s.next in
+    s.next <- at +. sample_gap s;
+    Some { at; level = !best + 1 }
+  end
+
+let sequence t ~horizon =
+  let rec loop now acc =
+    match next_after t now with
+    | None -> List.rev acc
+    | Some ev -> if ev.at >= horizon then List.rev acc else loop ev.at (ev :: acc)
+  in
+  loop 0. []

@@ -1,0 +1,48 @@
+module Rng = Ckpt_numerics.Rng
+module Topology = Ckpt_topology.Topology
+
+type kind = Software | Single_node | Board | Multi of int
+
+type t = {
+  rng : Rng.t;
+  topology : Topology.t;
+  p_software : float;
+  p_single : float;
+  p_board : float;
+  multi_max : int;
+}
+
+let create ?(p_software = 0.5) ?(p_single = 0.35) ?(p_board = 0.1) ?(multi_max = 6)
+    ~rng ~topology () =
+  assert (p_software >= 0. && p_single >= 0. && p_board >= 0.);
+  assert (p_software +. p_single +. p_board <= 1. +. 1e-12);
+  assert (multi_max >= 2);
+  { rng; topology; p_software; p_single; p_board; multi_max }
+
+let sample_kind t =
+  let u = Rng.float t.rng in
+  if u < t.p_software then Software
+  else if u < t.p_software +. t.p_single then Single_node
+  else if u < t.p_software +. t.p_single +. t.p_board then Board
+  else Multi (2 + Rng.int t.rng (t.multi_max - 1))
+
+let random_node t = Rng.int t.rng (Topology.node_count t.topology)
+
+let crashed_nodes t kind =
+  match kind with
+  | Software -> []
+  | Single_node -> [ random_node t ]
+  | Board ->
+      let board_size = (Topology.spec t.topology).Topology.board_size in
+      let node = random_node t in
+      let first = node - (node mod board_size) in
+      let last = Int.min (first + board_size) (Topology.node_count t.topology) in
+      List.init (last - first) (fun i -> first + i)
+  | Multi k -> List.init k (fun _ -> random_node t)
+
+let recovery_level t ~failed = Topology.min_recovery_level t.topology ~failed
+
+let sample t =
+  let kind = sample_kind t in
+  let failed = crashed_nodes t kind in
+  (kind, failed, recovery_level t ~failed)

@@ -1,0 +1,40 @@
+(** Sampling which nodes crash in a failure event.
+
+    The analytic model drives failure *levels* directly from the rate
+    vectors; this module provides the complementary, mechanism-level view
+    used by the FTI runtime emulation: a failure event crashes a concrete
+    set of nodes (possibly several within a correlated-failure window —
+    paper footnote 1), and the damage determines the minimum checkpoint
+    level able to recover, via {!Ckpt_topology.Topology.min_recovery_level}. *)
+
+type kind =
+  | Software  (** transient error, no node lost — level-1 recovery *)
+  | Single_node  (** one node crashes *)
+  | Board  (** a whole failure domain crashes (shared switch/power) *)
+  | Multi of int  (** [k] independently chosen nodes crash within the window *)
+
+type t
+
+val create :
+  ?p_software:float ->
+  ?p_single:float ->
+  ?p_board:float ->
+  ?multi_max:int ->
+  rng:Ckpt_numerics.Rng.t ->
+  topology:Ckpt_topology.Topology.t ->
+  unit ->
+  t
+(** Probabilities of the first three kinds (defaults 0.5 / 0.35 / 0.1; must
+    sum to at most 1); the remainder is a [Multi k] event with [k] uniform
+    in [\[2, multi_max\]] (default 6). *)
+
+val sample_kind : t -> kind
+val crashed_nodes : t -> kind -> int list
+(** Concrete crash sites for an event of the given kind. *)
+
+val sample : t -> kind * int list * int
+(** [sample t] draws a failure event: its kind, the crashed nodes and the
+    minimum recovery level implied by the damage. *)
+
+val recovery_level : t -> failed:int list -> int
+(** Classification only. *)

@@ -1,0 +1,56 @@
+type t = { rates_per_day : float array; baseline_scale : float }
+
+let seconds_per_day = 86_400.
+
+let v ?(baseline_scale = 1e6) rates_per_day =
+  assert (Array.length rates_per_day > 0);
+  Array.iter (fun r -> assert (r >= 0.)) rates_per_day;
+  assert (baseline_scale > 0.);
+  { rates_per_day; baseline_scale }
+
+let of_string ?baseline_scale s =
+  let parts = String.split_on_char '-' s in
+  if parts = [] then invalid_arg "Failure_spec.of_string: empty";
+  let rates =
+    List.map
+      (fun p ->
+        match float_of_string_opt (String.trim p) with
+        | Some r when r >= 0. -> r
+        | _ -> invalid_arg (Printf.sprintf "Failure_spec.of_string: bad rate %S in %S" p s))
+      parts
+  in
+  v ?baseline_scale (Array.of_list rates)
+
+let to_string t =
+  String.concat "-"
+    (Array.to_list (Array.map (fun r -> Printf.sprintf "%g" r) t.rates_per_day))
+
+let levels t = Array.length t.rates_per_day
+
+let rate_per_second t ~level ~scale =
+  assert (level >= 1 && level <= levels t);
+  assert (scale >= 0.);
+  t.rates_per_day.(level - 1) /. seconds_per_day *. scale /. t.baseline_scale
+
+let rate_per_second' t ~level =
+  assert (level >= 1 && level <= levels t);
+  t.rates_per_day.(level - 1) /. seconds_per_day /. t.baseline_scale
+
+let total_rate_per_second t ~scale =
+  let total = Array.fold_left ( +. ) 0. t.rates_per_day in
+  total /. seconds_per_day *. scale /. t.baseline_scale
+
+let total_rate_per_second' t =
+  let total = Array.fold_left ( +. ) 0. t.rates_per_day in
+  total /. seconds_per_day /. t.baseline_scale
+
+let expected_failures t ~level ~scale ~duration =
+  assert (duration >= 0.);
+  rate_per_second t ~level ~scale *. duration
+
+let paper_cases =
+  List.map of_string
+    [ "16-12-8-4"; "8-6-4-2"; "4-3-2-1"; "16-8-4-2"; "8-4-2-1"; "4-2-1-0.5" ]
+
+let pp ppf t =
+  Format.fprintf ppf "%s @ N_b=%g" (to_string t) t.baseline_scale

@@ -1,0 +1,52 @@
+(** Per-level failure-rate specifications.
+
+    The paper (Section IV-A) parameterizes each experiment with a rate
+    vector ["r1-r2-r3-r4"]: [r_i] failure events per day at checkpoint
+    level [i], measured at the baseline scale [N_b].  The rate experienced
+    at execution scale [N] grows proportionally:
+    [lambda_i(N) = r_i / 86400 * N / N_b]  (per second). *)
+
+type t = {
+  rates_per_day : float array;  (** [r_i], indexed by level - 1; all >= 0 *)
+  baseline_scale : float;  (** [N_b], the scale the rates were measured at *)
+}
+
+val seconds_per_day : float
+
+val v : ?baseline_scale:float -> float array -> t
+(** [v rates] builds a spec; [baseline_scale] defaults to 1e6 cores
+    ([N_star] in the paper's evaluation). *)
+
+val of_string : ?baseline_scale:float -> string -> t
+(** [of_string "16-12-8-4"] parses the paper's dash notation.
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+(** Inverse of {!of_string} (rates printed compactly). *)
+
+val levels : t -> int
+
+val rate_per_second : t -> level:int -> scale:float -> float
+(** [rate_per_second t ~level ~scale] is [lambda_level(scale)] in events
+    per second.  [level] is 1-based. *)
+
+val rate_per_second' : t -> level:int -> float
+(** Derivative of {!rate_per_second} with respect to [scale]; the rates are
+    linear in the scale so this is a constant in [scale]. *)
+
+val total_rate_per_second : t -> scale:float -> float
+(** Sum over levels — the failure rate a single-level model must absorb,
+    since a PFS-only scheme recovers every failure from the PFS copy. *)
+
+val total_rate_per_second' : t -> float
+(** Derivative of {!total_rate_per_second} with respect to [scale]. *)
+
+val expected_failures : t -> level:int -> scale:float -> duration:float -> float
+(** [expected_failures t ~level ~scale ~duration] is
+    [lambda_level(scale) * duration] — the [mu_i] initialization of the
+    paper's Algorithm 1 (line 2). *)
+
+(** The six rate vectors evaluated in the paper (Figs. 5–7, Tables III/IV). *)
+val paper_cases : t list
+
+val pp : Format.formatter -> t -> unit

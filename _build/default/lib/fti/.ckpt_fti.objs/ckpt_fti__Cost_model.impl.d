@@ -1,0 +1,1 @@
+lib/fti/cost_model.ml: Array Ckpt_model Ckpt_storage

@@ -1,0 +1,1 @@
+lib/fti/cost_model.mli: Ckpt_model Ckpt_storage

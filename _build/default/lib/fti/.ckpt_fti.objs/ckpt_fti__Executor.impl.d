@@ -1,0 +1,1 @@
+lib/fti/executor.ml: Array Bytes Ckpt_topology Hashtbl List Runtime

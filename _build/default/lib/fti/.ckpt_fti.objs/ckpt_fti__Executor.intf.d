@@ -1,0 +1,1 @@
+lib/fti/executor.mli: Bytes Ckpt_topology

@@ -1,0 +1,1 @@
+lib/fti/runtime.ml: Array Bytes Ckpt_storage Ckpt_topology Int Int64 List Option Printf

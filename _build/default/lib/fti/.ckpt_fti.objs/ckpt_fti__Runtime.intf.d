@@ -1,0 +1,1 @@
+lib/fti/runtime.mli: Bytes Ckpt_storage Ckpt_topology

@@ -1,0 +1,69 @@
+module Pfs_model = Ckpt_storage.Pfs_model
+module Level = Ckpt_model.Level
+module Overhead = Ckpt_model.Overhead
+
+type t = {
+  payload_bytes : float;
+  procs_per_node : int;
+  local_bandwidth : float;
+  local_latency : float;
+  link_bandwidth : float;
+  link_latency : float;
+  rs_data : int;
+  rs_parity : int;
+  gf_ops_per_second : float;
+  pfs : Pfs_model.t;
+}
+
+(* Calibration targets: Table II at 128-1,024 cores -
+   L1 ~ 0.87 s, L2 ~ 2.6 s, L3 ~ 3.9 s, L4 ~ 7 -> 25 s. *)
+let fusion =
+  { payload_bytes = 1e8;
+    procs_per_node = 8;
+    local_bandwidth = 1.18e8;
+    local_latency = 0.02;
+    link_bandwidth = 6.5e7;
+    link_latency = 0.18;
+    rs_data = 8;
+    rs_parity = 2;
+    gf_ops_per_second = 8e7;
+    pfs = Pfs_model.default }
+
+let local_write t = t.local_latency +. (t.payload_bytes /. t.local_bandwidth)
+
+let level_cost t ~level ~procs =
+  assert (procs >= 1);
+  match level with
+  | 1 -> local_write t
+  | 2 ->
+      (* Partner copy streams the payload over one link. *)
+      local_write t +. t.link_latency +. (t.payload_bytes /. t.link_bandwidth)
+  | 3 ->
+      (* Distributed Reed-Solomon encode: each node multiply-accumulates
+         its payload into [rs_parity] parity shards, then the group
+         reduce-scatters the shards (payload * parity / data bytes moved
+         per node). *)
+      let encode =
+        t.payload_bytes *. float_of_int t.rs_parity /. t.gf_ops_per_second
+      in
+      let exchange =
+        t.link_latency
+        +. (t.payload_bytes *. float_of_int t.rs_parity
+            /. float_of_int t.rs_data /. t.link_bandwidth)
+      in
+      local_write t +. encode +. exchange
+  | 4 -> Pfs_model.write_time t.pfs ~procs ~bytes_per_proc:t.payload_bytes
+  | _ -> invalid_arg "Cost_model.level_cost: level out of range"
+
+let predict_table t ~scales =
+  Array.init 4 (fun idx ->
+      Array.map (fun procs -> level_cost t ~level:(idx + 1) ~procs) scales)
+
+let fit_levels ?(snap = 1e-3) t ~scales =
+  let float_scales = Array.map float_of_int scales in
+  Array.init 4 (fun idx ->
+      let costs =
+        Array.map (fun procs -> level_cost t ~level:(idx + 1) ~procs) scales
+      in
+      let name = [| "local"; "partner"; "rs-encoding"; "pfs" |].(idx) in
+      Level.v ~name (Overhead.fit ~snap ~scales:float_scales ~costs ()))

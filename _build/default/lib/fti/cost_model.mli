@@ -1,0 +1,49 @@
+(** First-principles checkpoint cost model.
+
+    The paper {e measures} the per-level overheads (Table II) and fits
+    [C_i(N) = eps_i + alpha_i N].  This module predicts the same costs
+    from the storage substrate instead, closing the loop between the
+    mechanism-level emulation and the analytic model:
+
+    - {b L1 local} — serialize the payload to the node-local device;
+    - {b L2 partner} — L1 plus streaming a copy to the partner node;
+    - {b L3 RS} — L1 plus Reed–Solomon encoding over the group (GF(256)
+      multiply-accumulate per data byte per parity shard) and exchanging
+      the parity shards;
+    - {b L4 PFS} — a {!Ckpt_storage.Pfs_model} write wave, whose metadata
+      term grows linearly with the process count.
+
+    With the default calibration (Fusion-era hardware: ~100 MB checkpoint
+    per process, ~115 MB/s local devices, GbE-class links) the predictions
+    land within the jitter band of Table II, and fitting
+    {!Ckpt_model.Overhead.fit} to them recovers "constant, constant,
+    constant, linear" — the paper's classification. *)
+
+type t = {
+  payload_bytes : float;  (** checkpoint bytes per process *)
+  procs_per_node : int;
+  local_bandwidth : float;  (** node-local device, bytes/s *)
+  local_latency : float;  (** per-write fixed cost, s *)
+  link_bandwidth : float;  (** node-to-node link, bytes/s *)
+  link_latency : float;  (** per-transfer fixed cost, s *)
+  rs_data : int;  (** RS group data shards *)
+  rs_parity : int;
+  gf_ops_per_second : float;  (** GF(256) multiply-accumulate rate *)
+  pfs : Ckpt_storage.Pfs_model.t;
+}
+
+val fusion : t
+(** Calibrated to the Argonne Fusion characterization of Table II. *)
+
+val level_cost : t -> level:int -> procs:int -> float
+(** Predicted checkpoint overhead (seconds) of the given level at the
+    given process count.  [level] in 1–4. *)
+
+val predict_table : t -> scales:int array -> float array array
+(** [predict_table t ~scales] is the Table II layout: per level (rows),
+    the predicted cost at each scale. *)
+
+val fit_levels : ?snap:float -> t -> scales:int array -> Ckpt_model.Level.t array
+(** Fit the paper's overhead laws to the predicted costs, yielding a
+    hierarchy usable by {!Ckpt_model.Optimizer} — an end-to-end
+    "characterize then optimize" pipeline with no measured inputs. *)

@@ -1,0 +1,123 @@
+module Topology = Ckpt_topology.Topology
+
+type 'a app = {
+  init : int -> 'a;
+  step : iteration:int -> node:int -> 'a -> 'a;
+  serialize : 'a -> Bytes.t;
+  deserialize : Bytes.t -> 'a;
+}
+
+type schedule = { interval : int; level_of : int -> int }
+
+let fti_cadence =
+  { interval = 2;
+    level_of =
+      (fun k ->
+        match k mod 9 with
+        | 3 -> 2
+        | 6 -> 3
+        | 0 -> 4
+        | _ -> 1) }
+
+type stats = {
+  completed_iterations : int;
+  crashes_injected : int;
+  recoveries : (int * int) list;
+  reexecuted_iterations : int;
+}
+
+exception Unrecoverable of { iteration : int; crashed : int list }
+
+let run_crash_free ~topology app ~iterations =
+  assert (iterations >= 0);
+  let nodes = Topology.node_count topology in
+  let shards = Array.init nodes app.init in
+  for it = 1 to iterations do
+    for node = 0 to nodes - 1 do
+      shards.(node) <- app.step ~iteration:it ~node shards.(node)
+    done
+  done;
+  shards
+
+let run ~topology app ~iterations ~schedule ~crashes =
+  if schedule.interval < 1 then invalid_arg "Executor.run: interval < 1";
+  if iterations < 0 then invalid_arg "Executor.run: negative iterations";
+  let nodes = Topology.node_count topology in
+  List.iter
+    (fun (it, crashed) ->
+      if it < 1 || it > iterations then invalid_arg "Executor.run: crash iteration out of range";
+      List.iter
+        (fun n -> if n < 0 || n >= nodes then invalid_arg "Executor.run: crash node out of range")
+        crashed)
+    crashes;
+  let crashes = List.stable_sort (fun (a, _) (b, _) -> compare a b) crashes in
+  let runtime = Runtime.create ~topology () in
+  let shards = Array.init nodes app.init in
+  let pending = ref crashes in
+  let crashes_injected = ref 0 in
+  let recoveries = ref [] in
+  let reexecuted = ref 0 in
+  (* Checkpoint ids are a fresh counter (the runtime requires strictly
+     increasing ids even when re-executed work re-takes a checkpoint);
+     [iteration_of_id] maps a recovered checkpoint back to the iteration
+     count it captured. *)
+  let next_id = ref 0 in
+  let iteration_of_id : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let checkpoint_after it =
+    if it > 0 && it mod schedule.interval = 0 then begin
+      let k = it / schedule.interval in
+      let level = schedule.level_of k in
+      if level < 1 || level > 4 then invalid_arg "Executor.run: schedule level out of range";
+      incr next_id;
+      Hashtbl.replace iteration_of_id !next_id it;
+      Runtime.checkpoint runtime ~ckpt_id:!next_id ~level
+        ~data:(fun node -> app.serialize shards.(node))
+    end
+  in
+  (* Runs the loop from [it] (iterations completed so far). *)
+  let rec execute it =
+    if it >= iterations then it
+    else begin
+      let next = it + 1 in
+      (* Inject every crash scheduled for the start of iteration [next]. *)
+      let due, rest = List.partition (fun (at, _) -> at = next) !pending in
+      pending := rest;
+      if due <> [] then begin
+        let crashed = List.concat_map snd due in
+        crashes_injected := !crashes_injected + List.length due;
+        Runtime.crash_nodes runtime crashed;
+        match Runtime.recover runtime with
+        | Some r ->
+            let resumed = Hashtbl.find iteration_of_id r.Runtime.ckpt_id in
+            recoveries := (resumed, r.Runtime.level_used) :: !recoveries;
+            for node = 0 to nodes - 1 do
+              shards.(node) <- app.deserialize (r.Runtime.data node)
+            done;
+            reexecuted := !reexecuted + (it - resumed);
+            execute resumed
+        | None ->
+            (* Nothing survives: deterministic re-initialization is the
+               implicit checkpoint at iteration 0 (the job can always be
+               resubmitted from its inputs). *)
+            recoveries := (0, 0) :: !recoveries;
+            for node = 0 to nodes - 1 do
+              shards.(node) <- app.init node
+            done;
+            reexecuted := !reexecuted + it;
+            execute 0
+      end
+      else begin
+        for node = 0 to nodes - 1 do
+          shards.(node) <- app.step ~iteration:next ~node shards.(node)
+        done;
+        checkpoint_after next;
+        execute next
+      end
+    end
+  in
+  let completed = execute 0 in
+  ( shards,
+    { completed_iterations = completed;
+      crashes_injected = !crashes_injected;
+      recoveries = List.rev !recoveries;
+      reexecuted_iterations = !reexecuted } )

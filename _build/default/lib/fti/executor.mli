@@ -1,0 +1,64 @@
+(** End-to-end fault-tolerant execution of a real computation.
+
+    Ties the whole substrate together: an SPMD application (one state
+    shard per node, advanced in lockstep) runs for a number of iterations
+    under a multilevel checkpoint schedule; crashes are injected at chosen
+    iterations; recovery goes through the {!Runtime} protocol (partner
+    copies, Reed–Solomon decoding, PFS) and execution resumes from the
+    recovered iteration, re-executing lost work.
+
+    The central guarantee — tested property — is {e exactness}: a run with
+    any survivable crash schedule produces bit-for-bit the same final
+    state as the crash-free run, because recovery restores genuine
+    serialized state, not an approximation. *)
+
+type 'a app = {
+  init : int -> 'a;  (** initial shard of a node *)
+  step : iteration:int -> node:int -> 'a -> 'a;
+      (** advance one iteration; must be deterministic *)
+  serialize : 'a -> Bytes.t;
+  deserialize : Bytes.t -> 'a;
+}
+
+type schedule = {
+  interval : int;  (** checkpoint every [interval] iterations (>= 1) *)
+  level_of : int -> int;
+      (** level (1–4) of the k-th checkpoint, k = 1, 2, ...; FTI's classic
+          cadence is cheap levels often, PFS rarely *)
+}
+
+val fti_cadence : schedule
+(** Every 2 iterations; cycling L1, L1, L2, L1, L1, L3, L1, L1, L4 — a
+    typical FTI interleaving. *)
+
+type stats = {
+  completed_iterations : int;
+  crashes_injected : int;
+  recoveries : (int * int) list;
+      (** [(resumed_iteration, level_used)] per recovery, oldest first;
+          a restart from the initial state reports [(0, 0)] *)
+  reexecuted_iterations : int;  (** lost work that had to be redone *)
+}
+
+exception Unrecoverable of { iteration : int; crashed : int list }
+(** Reserved for applications whose inputs cannot be re-read; the default
+    executor never raises it — when no checkpoint survives, it restarts
+    from the deterministic initial state (recovery [(0, 0)]). *)
+
+val run_crash_free :
+  topology:Ckpt_topology.Topology.t -> 'a app -> iterations:int -> 'a array
+(** Reference execution without failures (no checkpoint runtime at all). *)
+
+val run :
+  topology:Ckpt_topology.Topology.t ->
+  'a app ->
+  iterations:int ->
+  schedule:schedule ->
+  crashes:(int * int list) list ->
+  'a array * stats
+(** [run ~topology app ~iterations ~schedule ~crashes] executes with
+    [crashes] = [(iteration, nodes)] injected at the {e start} of the
+    given iterations (before computing them).  Returns the final shards
+    and the recovery statistics.
+    @raise Unrecoverable when no checkpoint survives a crash.
+    @raise Invalid_argument on out-of-range crash iterations or nodes. *)

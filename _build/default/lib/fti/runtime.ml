@@ -1,0 +1,223 @@
+module Topology = Ckpt_topology.Topology
+module Store = Ckpt_storage.Object_store
+module Rs = Ckpt_storage.Reed_solomon
+
+type t = {
+  topology : Topology.t;
+  store : Store.t;
+  mutable history : (int * int) list;  (* (ckpt_id, level), newest first *)
+}
+
+type recovery = { ckpt_id : int; level_used : int; data : int -> Bytes.t }
+
+let create ~topology () =
+  { topology;
+    store = Store.create ~nodes:(Topology.node_count topology);
+    history = [] }
+
+let topology t = t.topology
+let store t = t.store
+let history t = t.history
+
+(* --- storage keys ------------------------------------------------------ *)
+
+let key_local id node = Printf.sprintf "d/%d/%d" id node
+let key_partner id node = Printf.sprintf "p/%d/%d" id node
+let key_parity id g j = Printf.sprintf "r/%d/%d/%d" id g j
+let key_parity_meta id g j = Printf.sprintf "rm/%d/%d/%d" id g j
+let key_pfs id node = Printf.sprintf "f/%d/%d" id node
+
+(* --- Reed-Solomon framing ---------------------------------------------
+   Shards are the node payloads, length-prefixed and zero-padded to the
+   group's common width so that unequal payloads encode correctly. *)
+
+let frame payload width =
+  let len = Bytes.length payload in
+  assert (width >= len + 8);
+  let shard = Bytes.make width '\000' in
+  Bytes.set_int64_le shard 0 (Int64.of_int len);
+  Bytes.blit payload 0 shard 8 len;
+  shard
+
+let unframe shard =
+  let len = Int64.to_int (Bytes.get_int64_le shard 0) in
+  if len < 0 || len + 8 > Bytes.length shard then
+    invalid_arg "Runtime: corrupt RS shard framing";
+  Bytes.sub shard 8 len
+
+let group_width payloads =
+  8 + Array.fold_left (fun acc p -> Int.max acc (Bytes.length p)) 0 payloads
+
+(* Holder of parity shard [j] of group [g]: the [j]-th member of the next
+   group around the ring, so that losing a whole group never loses its own
+   parity. *)
+let parity_holder t g j =
+  let groups = Topology.rs_group_count t.topology in
+  let next = (g + 1) mod groups in
+  let members = Array.of_list (Topology.rs_group_members t.topology next) in
+  members.(j mod Array.length members)
+
+let parity_count t group_size =
+  Int.min (Topology.spec t.topology).Topology.rs_parity (group_size - 1)
+
+(* --- checkpoint writes ------------------------------------------------- *)
+
+let write_rs_group t ~ckpt_id ~g ~data =
+  let members = Array.of_list (Topology.rs_group_members t.topology g) in
+  let payloads = Array.map data members in
+  let width = group_width payloads in
+  let shards = Array.map (fun p -> frame p width) payloads in
+  let parity = parity_count t (Array.length members) in
+  if parity >= 1 then begin
+    let codec = Rs.create ~data:(Array.length members) ~parity in
+    let parity_shards = Rs.encode codec shards in
+    let meta = Bytes.create 8 in
+    Bytes.set_int64_le meta 0 (Int64.of_int width);
+    Array.iteri
+      (fun j shard ->
+        let holder = parity_holder t g j in
+        Store.put_local t.store ~node:holder ~key:(key_parity ckpt_id g j) shard;
+        Store.put_local t.store ~node:holder ~key:(key_parity_meta ckpt_id g j) meta)
+      parity_shards
+  end
+
+let checkpoint t ~ckpt_id ~level ~data =
+  if level < 1 || level > 4 then invalid_arg "Runtime.checkpoint: level out of range";
+  (match t.history with
+   | (newest, _) :: _ when ckpt_id <= newest ->
+       invalid_arg "Runtime.checkpoint: checkpoint ids must increase"
+   | _ -> ());
+  let nodes = Topology.node_count t.topology in
+  (* Every level keeps the fast local copy (FTI's L1 baseline). *)
+  for node = 0 to nodes - 1 do
+    Store.put_local t.store ~node ~key:(key_local ckpt_id node) (data node)
+  done;
+  if level >= 2 then
+    for node = 0 to nodes - 1 do
+      let partner = Topology.partner_of t.topology node in
+      Store.put_local t.store ~node:partner ~key:(key_partner ckpt_id node) (data node)
+    done;
+  if level >= 3 then
+    for g = 0 to Topology.rs_group_count t.topology - 1 do
+      write_rs_group t ~ckpt_id ~g ~data
+    done;
+  if level >= 4 then
+    for node = 0 to nodes - 1 do
+      Store.put_pfs t.store ~key:(key_pfs ckpt_id node) (data node)
+    done;
+  t.history <- (ckpt_id, level) :: t.history
+
+let crash_nodes t nodes = Store.crash_nodes t.store nodes
+
+(* --- recovery ---------------------------------------------------------- *)
+
+let try_local t ckpt_id node = Store.get_local t.store ~node ~key:(key_local ckpt_id node)
+
+let try_partner t ckpt_id node =
+  match try_local t ckpt_id node with
+  | Some _ as r -> r
+  | None ->
+      let partner = Topology.partner_of t.topology node in
+      Store.get_local t.store ~node:partner ~key:(key_partner ckpt_id node)
+
+(* Reconstruct one RS group; returns per-member payloads or None. *)
+let try_rs_group t ckpt_id g =
+  let members = Array.of_list (Topology.rs_group_members t.topology g) in
+  let k = Array.length members in
+  let locals = Array.map (fun node -> try_local t ckpt_id node) members in
+  if Array.for_all Option.is_some locals then
+    Some (Array.map Option.get locals)
+  else begin
+    let parity = parity_count t k in
+    if parity < 1 then None
+    else begin
+      (* Find the encode width from any surviving parity metadata. *)
+      let width = ref None in
+      let parity_shards =
+        Array.init parity (fun j ->
+            let holder = parity_holder t g j in
+            match Store.get_local t.store ~node:holder ~key:(key_parity ckpt_id g j) with
+            | None -> None
+            | Some shard -> (
+                match
+                  Store.get_local t.store ~node:holder ~key:(key_parity_meta ckpt_id g j)
+                with
+                | Some meta when Bytes.length meta = 8 ->
+                    width := Some (Int64.to_int (Bytes.get_int64_le meta 0));
+                    Some shard
+                | _ -> None))
+      in
+      match !width with
+      | None -> None
+      | Some width -> (
+          let shards =
+            Array.init (k + parity) (fun i ->
+                if i < k then Option.map (fun p -> frame p width) locals.(i)
+                else parity_shards.(i - k))
+          in
+          let survivors = Array.fold_left (fun acc s -> if s = None then acc else acc + 1) 0 shards in
+          if survivors < k then None
+          else begin
+            let codec = Rs.create ~data:k ~parity in
+            match Rs.decode codec shards with
+            | decoded -> Some (Array.map unframe decoded)
+            | exception Invalid_argument _ -> None
+          end)
+    end
+  end
+
+let try_level t ckpt_id level =
+  let nodes = Topology.node_count t.topology in
+  let collect fetch =
+    let results = Array.init nodes (fun node -> fetch node) in
+    if Array.for_all Option.is_some results then Some (Array.map Option.get results)
+    else None
+  in
+  match level with
+  | 1 -> collect (fun node -> try_local t ckpt_id node)
+  | 2 -> collect (fun node -> try_partner t ckpt_id node)
+  | 3 ->
+      let groups = Topology.rs_group_count t.topology in
+      let per_group = Array.init groups (fun g -> try_rs_group t ckpt_id g) in
+      if Array.for_all Option.is_some per_group then begin
+        let out = Array.make nodes Bytes.empty in
+        Array.iteri
+          (fun g payloads ->
+            let members = Topology.rs_group_members t.topology g in
+            List.iteri (fun i node -> out.(node) <- (Option.get payloads).(i)) members)
+          per_group;
+        Some out
+      end
+      else None
+  | 4 -> collect (fun node -> Store.get_pfs t.store ~key:(key_pfs ckpt_id node))
+  | _ -> None
+
+let recoverable_level t ~ckpt_id =
+  let rec scan level =
+    if level > 4 then None
+    else if Option.is_some (try_level t ckpt_id level) then Some level
+    else scan (level + 1)
+  in
+  scan 1
+
+let recover_ckpt t ~ckpt_id =
+  let rec scan level =
+    if level > 4 then None
+    else begin
+      match try_level t ckpt_id level with
+      | Some payloads ->
+          Some { ckpt_id; level_used = level; data = (fun node -> payloads.(node)) }
+      | None -> scan (level + 1)
+    end
+  in
+  scan 1
+
+let recover t =
+  let rec scan = function
+    | [] -> None
+    | (ckpt_id, _) :: rest -> (
+        match recover_ckpt t ~ckpt_id with
+        | Some _ as r -> r
+        | None -> scan rest)
+  in
+  scan t.history

@@ -1,0 +1,55 @@
+(** An FTI-style multilevel checkpoint runtime (functional model).
+
+    Implements the four checkpoint levels of the paper's toolkit over the
+    emulated storage substrate:
+
+    + {b L1 local} — each node stores its payload on its own local store;
+    + {b L2 partner} — L1 plus a copy on the node's partner
+      ({!Ckpt_topology.Topology.partner_of});
+    + {b L3 RS-encoding} — L1 plus Reed–Solomon parity shards per node
+      group; the parity of group [g] is stored on the nodes of group
+      [g + 1] so that a whole-group loss keeps its parity reachable;
+    + {b L4 PFS} — every payload written to the parallel file system.
+
+    {!recover} mirrors FTI's restart protocol: scan checkpoints newest
+    first and reconstruct from the cheapest level whose data survived the
+    crash.  Payloads are arbitrary bytes; RS shards are length-prefixed
+    and zero-padded so unequal node payloads encode correctly. *)
+
+type t
+
+type recovery = {
+  ckpt_id : int;
+  level_used : int;  (** 1–4: the level that actually served the restart *)
+  data : int -> Bytes.t;  (** recovered payload per node *)
+}
+
+val create : topology:Ckpt_topology.Topology.t -> unit -> t
+(** Fresh runtime with empty stores.  RS groups and parity counts come
+    from the topology spec. *)
+
+val topology : t -> Ckpt_topology.Topology.t
+val store : t -> Ckpt_storage.Object_store.t
+
+val checkpoint : t -> ckpt_id:int -> level:int -> data:(int -> Bytes.t) -> unit
+(** [checkpoint t ~ckpt_id ~level ~data] saves [data node] for every node
+    at [level] (1–4).  Checkpoint ids must be strictly increasing.
+    @raise Invalid_argument on level out of range or non-increasing id. *)
+
+val crash_nodes : t -> int list -> unit
+(** Wipe the local stores of the given nodes (replacement nodes come back
+    empty).  The PFS survives. *)
+
+val history : t -> (int * int) list
+(** [(ckpt_id, level)] pairs, newest first. *)
+
+val recoverable_level : t -> ckpt_id:int -> int option
+(** The cheapest level from which checkpoint [ckpt_id] can currently be
+    reconstructed in full, if any. *)
+
+val recover : t -> recovery option
+(** Newest checkpoint reconstructible from any level; [None] when nothing
+    survives (not even on the PFS). *)
+
+val recover_ckpt : t -> ckpt_id:int -> recovery option
+(** Like {!recover} for one specific checkpoint id. *)

@@ -1,0 +1,1 @@
+lib/json/json.ml: Array Buffer Char Float List Option Printf String

@@ -1,0 +1,50 @@
+(** A small, dependency-free JSON implementation (RFC 8259 subset).
+
+    Used to persist optimizer problems and plans between the CLI tools
+    (`ckpt-opt --output plan.json`, `ckpt-simulate --plan plan.json`) and
+    to emit machine-readable experiment results.  Supports the full JSON
+    value model; numbers are parsed as floats (fine for this library's
+    payloads: seconds, counts, rates). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of { position : int; message : string }
+
+val parse : string -> t
+(** @raise Parse_error on malformed input (position is a byte offset). *)
+
+val parse_result : string -> (t, string) result
+(** Like {!parse}, with the error rendered as a message. *)
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize; [pretty] (default false) adds newlines and 2-space
+    indentation.  Strings are escaped per RFC 8259; non-finite numbers
+    are emitted as [null] (JSON cannot represent them). *)
+
+(** {1 Accessors} — total functions returning [option]. *)
+
+val member : string -> t -> t option
+(** Field lookup in an object ([None] elsewhere). *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+(** [Number] with an integral value. *)
+
+val to_bool : t -> bool option
+val to_list : t -> t list option
+val to_str : t -> string option
+
+val float_field : string -> t -> float option
+val string_field : string -> t -> string option
+val list_field : string -> t -> t list option
+
+(** {1 Builders} *)
+
+val float_array : float array -> t
+val of_float_array : t -> float array option

@@ -1,0 +1,1 @@
+lib/mpi/cg_program.ml: List Printf Program

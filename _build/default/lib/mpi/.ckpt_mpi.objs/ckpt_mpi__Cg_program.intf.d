@@ -1,0 +1,1 @@
+lib/mpi/cg_program.mli: Program

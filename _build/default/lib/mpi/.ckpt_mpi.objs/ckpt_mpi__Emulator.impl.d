@@ -1,0 +1,1 @@
+lib/mpi/emulator.ml: Array Float Hashtbl List Machine Printf Program Queue String

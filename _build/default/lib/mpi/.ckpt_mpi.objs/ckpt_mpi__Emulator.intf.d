@@ -1,0 +1,1 @@
+lib/mpi/emulator.mli: Machine Program

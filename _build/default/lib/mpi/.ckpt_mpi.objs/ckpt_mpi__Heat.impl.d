@@ -1,0 +1,1 @@
+lib/mpi/heat.ml: Array Bytes Float Int Int64 List Printf Program

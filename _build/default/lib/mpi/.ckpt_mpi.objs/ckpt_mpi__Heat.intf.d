@@ -1,0 +1,1 @@
+lib/mpi/heat.mli: Bytes Program

@@ -1,0 +1,1 @@
+lib/mpi/nek_eddy.mli: Program

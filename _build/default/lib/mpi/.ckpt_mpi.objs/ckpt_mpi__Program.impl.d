@@ -1,0 +1,1 @@
+lib/mpi/program.ml: List Printf Result

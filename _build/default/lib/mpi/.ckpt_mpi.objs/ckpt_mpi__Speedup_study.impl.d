@@ -1,0 +1,1 @@
+lib/mpi/speedup_study.ml: Array Ckpt_numerics Emulator List

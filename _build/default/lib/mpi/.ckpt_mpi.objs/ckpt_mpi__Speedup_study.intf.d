@@ -1,0 +1,1 @@
+lib/mpi/speedup_study.mli: Machine Program

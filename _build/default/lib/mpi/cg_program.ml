@@ -1,0 +1,43 @@
+type config = {
+  unknowns : int;
+  flops_per_unknown : float;
+  iterations : int;
+  halo_bytes : float;
+  reduce_bytes : float;
+}
+
+let default_config =
+  { unknowns = 1 lsl 22;
+    flops_per_unknown = 16.;
+    iterations = 30;
+    halo_bytes = 4_096.;
+    reduce_bytes = 8. }
+
+let program ?(config = default_config) ~ranks () =
+  let per_rank_flops =
+    float_of_int config.unknowns *. config.flops_per_unknown /. float_of_int ranks
+  in
+  let code rank =
+    let halo =
+      if ranks = 1 then []
+      else begin
+        (* 1-D row-block partition: exchange boundary entries with the
+           previous and next rank. *)
+        let neighbours =
+          List.filter (fun r -> r >= 0 && r < ranks) [ rank - 1; rank + 1 ]
+        in
+        List.map (fun src -> Program.Irecv { src }) neighbours
+        @ List.map (fun dst -> Program.Isend { dst; bytes = config.halo_bytes }) neighbours
+        @ [ Program.Waitall ]
+      end
+    in
+    let iteration =
+      halo
+      @ [ Program.Compute per_rank_flops;
+          (* alpha = rs / (p . Ap), then beta = rs' / rs *)
+          Program.Allreduce { bytes = config.reduce_bytes };
+          Program.Allreduce { bytes = config.reduce_bytes } ]
+    in
+    List.concat (List.init config.iterations (fun _ -> iteration))
+  in
+  Program.v ~name:(Printf.sprintf "cg-%d@%d" config.unknowns ranks) ~ranks ~code

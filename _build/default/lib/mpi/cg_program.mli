@@ -1,0 +1,22 @@
+(** An emulated distributed conjugate-gradient solver.
+
+    The third workload class next to the stencil (Heat) and the
+    spectral-element monitor (Nek): a Krylov solver's communication is
+    dominated by {e two Allreduces per iteration} (the dot products for
+    alpha and beta) plus a halo exchange for the sparse matrix–vector
+    product.  Allreduce latency grows with [log N] while per-rank compute
+    shrinks as [1/N], so CG's speedup saturates earlier than a pure
+    stencil — a well-known scaling pathology this program reproduces. *)
+
+type config = {
+  unknowns : int;  (** global problem size *)
+  flops_per_unknown : float;  (** SpMV + vector ops per iteration *)
+  iterations : int;
+  halo_bytes : float;  (** per-neighbour ghost exchange *)
+  reduce_bytes : float;  (** dot-product payload *)
+}
+
+val default_config : config
+(** 2**22 unknowns, 16 flops each, 30 iterations. *)
+
+val program : ?config:config -> ranks:int -> unit -> Program.t

@@ -1,0 +1,206 @@
+type result = {
+  job_time : float;
+  rank_times : float array;
+  messages : int;
+  collectives : int;
+}
+
+exception Deadlock of string
+
+type blocked =
+  | Not_blocked
+  | On_recv of int  (* waiting for a message from this src *)
+  | On_waitall
+  | On_collective
+
+type rank_state = {
+  id : int;
+  instrs : Program.instr array;
+  mutable pc : int;
+  mutable ltime : float;
+  mutable posted_irecvs : int list;  (* reverse post order *)
+  mutable blocked : blocked;
+  mutable coll_counter : int;
+}
+
+type collective_entry = {
+  mutable arrived : int;
+  mutable tmax : float;
+  mutable bytes : float;
+}
+
+let run ~machine (prog : Program.t) =
+  (match Program.validate prog with
+   | Ok () -> ()
+   | Error e -> invalid_arg ("Emulator.run: " ^ e));
+  let n = prog.Program.ranks in
+  let ranks =
+    Array.init n (fun id ->
+        { id; instrs = Array.of_list (prog.Program.code id); pc = 0; ltime = 0.;
+          posted_irecvs = []; blocked = Not_blocked; coll_counter = 0 })
+  in
+  let channels : (int * int, float Queue.t) Hashtbl.t = Hashtbl.create 256 in
+  let channel src dst =
+    match Hashtbl.find_opt channels (src, dst) with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.replace channels (src, dst) q;
+        q
+  in
+  let collectives : (int, collective_entry) Hashtbl.t = Hashtbl.create 64 in
+  let runnable = Queue.create () in
+  let queued = Array.make n false in
+  let enqueue r =
+    if not queued.(r.id) then begin
+      queued.(r.id) <- true;
+      Queue.push r.id runnable
+    end
+  in
+  Array.iter enqueue ranks;
+  let messages = ref 0 and colls = ref 0 in
+  (* Wake the destination if this message satisfies its block. *)
+  let notify_dst dst =
+    let r = ranks.(dst) in
+    match r.blocked with
+    | On_recv _ | On_waitall -> enqueue r
+    | Not_blocked | On_collective -> ()
+  in
+  let deposit ~src ~dst ~bytes ~at =
+    Queue.push (at +. Machine.message_time machine ~bytes) (channel src dst);
+    incr messages;
+    notify_dst dst
+  in
+  let try_waitall r =
+    (* All posted receives must have an arrived message. *)
+    let srcs = List.rev r.posted_irecvs in
+    let avail =
+      List.for_all (fun src -> not (Queue.is_empty (channel src r.id))) srcs
+    in
+    if not avail then false
+    else begin
+      let tmax =
+        List.fold_left
+          (fun acc src -> Float.max acc (Queue.pop (channel src r.id)))
+          r.ltime srcs
+      in
+      r.ltime <- tmax;
+      r.posted_irecvs <- [];
+      true
+    end
+  in
+  let enter_collective ?(linear = false) r bytes =
+    let key = r.coll_counter in
+    r.coll_counter <- r.coll_counter + 1;
+    let entry =
+      match Hashtbl.find_opt collectives key with
+      | Some e -> e
+      | None ->
+          let e = { arrived = 0; tmax = 0.; bytes = 0. } in
+          Hashtbl.replace collectives key e;
+          e
+    in
+    entry.arrived <- entry.arrived + 1;
+    entry.tmax <- Float.max entry.tmax r.ltime;
+    entry.bytes <- Float.max entry.bytes bytes;
+    if entry.arrived < n then begin
+      r.blocked <- On_collective;
+      false
+    end
+    else begin
+      incr colls;
+      let schedule_cost =
+        if linear then Machine.linear_collective_time machine ~ranks:n ~bytes:entry.bytes
+        else Machine.collective_time machine ~ranks:n ~bytes:entry.bytes
+      in
+      let completion = entry.tmax +. schedule_cost in
+      Array.iter
+        (fun other ->
+          if other.blocked = On_collective && other.coll_counter = r.coll_counter then begin
+            other.ltime <- completion;
+            other.blocked <- Not_blocked;
+            other.pc <- other.pc + 1;
+            enqueue other
+          end)
+        ranks;
+      r.ltime <- completion;
+      true
+    end
+  in
+  (* Run one rank until it blocks or finishes. *)
+  let step r =
+    let continue = ref true in
+    while !continue && r.pc < Array.length r.instrs do
+      match r.instrs.(r.pc) with
+      | Program.Compute flops ->
+          r.ltime <- r.ltime +. Machine.compute_time machine ~flops;
+          r.pc <- r.pc + 1
+      | Program.Send { dst; bytes } | Program.Isend { dst; bytes } ->
+          r.ltime <- r.ltime +. machine.Machine.send_overhead;
+          deposit ~src:r.id ~dst ~bytes ~at:r.ltime;
+          r.pc <- r.pc + 1
+      | Program.Recv { src } ->
+          let q = channel src r.id in
+          if Queue.is_empty q then begin
+            r.blocked <- On_recv src;
+            continue := false
+          end
+          else begin
+            r.ltime <- Float.max r.ltime (Queue.pop q);
+            r.blocked <- Not_blocked;
+            r.pc <- r.pc + 1
+          end
+      | Program.Irecv { src } ->
+          r.posted_irecvs <- src :: r.posted_irecvs;
+          r.pc <- r.pc + 1
+      | Program.Waitall ->
+          if try_waitall r then begin
+            r.blocked <- Not_blocked;
+            r.pc <- r.pc + 1
+          end
+          else begin
+            r.blocked <- On_waitall;
+            continue := false
+          end
+      | Program.Bcast { root = _; bytes } ->
+          if enter_collective r bytes then r.pc <- r.pc + 1 else continue := false
+      | Program.Barrier ->
+          if enter_collective r 8. then r.pc <- r.pc + 1 else continue := false
+      | Program.Allreduce { bytes } ->
+          if enter_collective r bytes then r.pc <- r.pc + 1 else continue := false
+      | Program.Reduce { root = _; bytes } ->
+          if enter_collective r bytes then r.pc <- r.pc + 1 else continue := false
+      | Program.Gather { root = _; bytes } ->
+          if enter_collective ~linear:true r bytes then r.pc <- r.pc + 1
+          else continue := false
+      | Program.Alltoall { bytes } ->
+          if enter_collective ~linear:true r bytes then r.pc <- r.pc + 1
+          else continue := false
+    done
+  in
+  (* Drain the runnable queue; ranks woken during draining re-enter it. *)
+  while not (Queue.is_empty runnable) do
+    let id = Queue.pop runnable in
+    queued.(id) <- false;
+    let r = ranks.(id) in
+    (match r.blocked with
+     | On_recv _ | On_waitall | On_collective -> r.blocked <- Not_blocked
+     | Not_blocked -> ());
+    step r
+  done;
+  let stuck = Array.exists (fun r -> r.pc < Array.length r.instrs) ranks in
+  if stuck then begin
+    let blocked_desc =
+      Array.to_list ranks
+      |> List.filter_map (fun r ->
+             if r.pc < Array.length r.instrs then
+               Some (Printf.sprintf "rank %d pc=%d" r.id r.pc)
+             else None)
+      |> String.concat ", "
+    in
+    raise (Deadlock ("no progress: " ^ blocked_desc))
+  end;
+  { job_time = Array.fold_left (fun acc r -> Float.max acc r.ltime) 0. ranks;
+    rank_times = Array.map (fun r -> r.ltime) ranks;
+    messages = !messages;
+    collectives = !colls }

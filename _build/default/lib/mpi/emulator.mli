@@ -1,0 +1,26 @@
+(** Timing emulator for {!Program} instances.
+
+    A conservative dataflow scheduler: every rank keeps a local clock and
+    runs until it blocks on a receive or a collective; sends deposit
+    timestamped messages into FIFO (src, dst) channels; collectives
+    rendezvous all ranks and complete at the latest arrival plus the
+    tree-schedule cost.  Deterministic — no randomness, no real time.
+
+    This is the stand-in for the paper's real-cluster MPI runs: it yields
+    the job completion time of a program at a given scale, from which
+    speedup curves (paper Fig. 2) are measured. *)
+
+type result = {
+  job_time : float;  (** completion time of the slowest rank *)
+  rank_times : float array;
+  messages : int;  (** point-to-point messages exchanged *)
+  collectives : int;  (** collective operations executed *)
+}
+
+exception Deadlock of string
+(** Raised when no rank can make progress (mismatched sends/receives). *)
+
+val run : machine:Machine.t -> Program.t -> result
+(** [run ~machine prog] emulates the program to completion.
+    @raise Deadlock on communication mismatches.
+    @raise Invalid_argument when {!Program.validate} fails. *)

@@ -1,0 +1,138 @@
+type config = {
+  grid : int;
+  iterations : int;
+  flops_per_cell : float;
+  reduce_every : int;
+}
+
+let default_config =
+  { grid = 1024; iterations = 50; flops_per_cell = 6.; reduce_every = 10 }
+
+let decompose ~ranks =
+  assert (ranks > 0);
+  let rec search p best =
+    if p * p > ranks then best
+    else if ranks mod p = 0 then search (p + 1) p
+    else search (p + 1) best
+  in
+  let px = search 1 1 in
+  (px, ranks / px)
+
+let program ?(config = default_config) ~ranks () =
+  let px, py = decompose ~ranks in
+  let cells_x = config.grid / px and cells_y = config.grid / py in
+  let cells_per_rank = float_of_int (Int.max 1 cells_x * Int.max 1 cells_y) in
+  let code rank =
+    let ix = rank mod px and iy = rank / px in
+    let neighbor dx dy =
+      let jx = ix + dx and jy = iy + dy in
+      if jx < 0 || jx >= px || jy < 0 || jy >= py then None else Some ((jy * px) + jx)
+    in
+    let neighbors =
+      List.filter_map (fun (dx, dy) -> neighbor dx dy) [ (-1, 0); (1, 0); (0, -1); (0, 1) ]
+    in
+    let ghost_bytes dx =
+      (* Exchanging a ghost column costs cells_y doubles; a ghost row
+         cells_x doubles. *)
+      8. *. float_of_int (if dx then Int.max 1 cells_y else Int.max 1 cells_x)
+    in
+    let exchange =
+      if neighbors = [] then []
+      else begin
+        let posts = List.map (fun src -> Program.Irecv { src }) neighbors in
+        let sends =
+          List.map
+            (fun dst ->
+              let horizontal = dst mod px <> ix in
+              Program.Isend { dst; bytes = ghost_bytes horizontal })
+            neighbors
+        in
+        posts @ sends @ [ Program.Waitall ]
+      end
+    in
+    let iteration i =
+      let body = exchange @ [ Program.Compute (cells_per_rank *. config.flops_per_cell) ] in
+      if (i + 1) mod config.reduce_every = 0 then body @ [ Program.Allreduce { bytes = 8. } ]
+      else body
+    in
+    List.concat (List.init config.iterations iteration)
+  in
+  Program.v ~name:(Printf.sprintf "heat-%dx%d@%d" config.grid config.grid ranks) ~ranks ~code
+
+module Jacobi = struct
+  type grid = { size : int; mutable cells : float array; mutable scratch : float array }
+
+  let create ~size =
+    assert (size >= 3);
+    { size; cells = Array.make (size * size) 0.; scratch = Array.make (size * size) 0. }
+
+  let idx g i j = (i * g.size) + j
+
+  let check g i j = assert (i >= 0 && i < g.size && j >= 0 && j < g.size)
+
+  let set g i j v =
+    check g i j;
+    g.cells.(idx g i j) <- v
+
+  let get g i j =
+    check g i j;
+    g.cells.(idx g i j)
+
+  let size g = g.size
+
+  let step g =
+    let n = g.size in
+    let src = g.cells and dst = g.scratch in
+    (* Boundary rows/columns are fixed (Dirichlet). *)
+    for j = 0 to n - 1 do
+      dst.(j) <- src.(j);
+      dst.(((n - 1) * n) + j) <- src.(((n - 1) * n) + j)
+    done;
+    let residual = ref 0. in
+    for i = 1 to n - 2 do
+      dst.(i * n) <- src.(i * n);
+      dst.((i * n) + n - 1) <- src.((i * n) + n - 1);
+      for j = 1 to n - 2 do
+        let v =
+          0.25
+          *. (src.(((i - 1) * n) + j) +. src.(((i + 1) * n) + j)
+              +. src.((i * n) + j - 1) +. src.((i * n) + j + 1))
+        in
+        dst.((i * n) + j) <- v;
+        residual := Float.max !residual (Float.abs (v -. src.((i * n) + j)))
+      done
+    done;
+    g.cells <- dst;
+    g.scratch <- src;
+    !residual
+
+  let run g ~iterations =
+    assert (iterations >= 0);
+    let r = ref 0. in
+    for _ = 1 to iterations do
+      r := step g
+    done;
+    !r
+
+  let serialize g =
+    let n = g.size in
+    let buf = Bytes.create (8 + (8 * n * n)) in
+    Bytes.set_int64_le buf 0 (Int64.of_int n);
+    Array.iteri
+      (fun k v -> Bytes.set_int64_le buf (8 + (8 * k)) (Int64.bits_of_float v))
+      g.cells;
+    buf
+
+  let deserialize buf =
+    if Bytes.length buf < 8 then invalid_arg "Jacobi.deserialize: truncated header";
+    let n = Int64.to_int (Bytes.get_int64_le buf 0) in
+    if n < 3 || Bytes.length buf <> 8 + (8 * n * n) then
+      invalid_arg "Jacobi.deserialize: inconsistent payload size";
+    let g = create ~size:n in
+    for k = 0 to (n * n) - 1 do
+      g.cells.(k) <- Int64.float_of_bits (Bytes.get_int64_le buf (8 + (8 * k)))
+    done;
+    g
+
+  let equal a b = a.size = b.size && a.cells = b.cells
+end

@@ -1,0 +1,57 @@
+(** The Heat Distribution MPI program (paper Section IV-A).
+
+    A Jacobi iteration over a [grid x grid] domain, block-decomposed in
+    2-D; every iteration exchanges ghost rows/columns with the four
+    neighbours (Irecv/Isend/Waitall) and periodically evaluates global
+    convergence with an Allreduce — the exact communication pattern the
+    paper's application uses (ghost arrays as in the Parallel Ocean
+    Program).
+
+    {!program} builds the timing-emulator instance; {!Jacobi} is a real
+    sequential solver over actual float arrays, used by the FTI
+    end-to-end example to checkpoint genuine application state. *)
+
+type config = {
+  grid : int;  (** domain is [grid x grid] cells *)
+  iterations : int;
+  flops_per_cell : float;  (** stencil cost (default 6 flops) *)
+  reduce_every : int;  (** iterations between convergence Allreduces *)
+}
+
+val default_config : config
+(** 1,024 x 1,024 cells, 50 iterations, Allreduce every 10. *)
+
+val decompose : ranks:int -> int * int
+(** [decompose ~ranks] is the most-square [px * py = ranks] factorization
+    ([px <= py]). *)
+
+val program : ?config:config -> ranks:int -> unit -> Program.t
+(** The emulated strong-scaling program at the given rank count. *)
+
+(** Real sequential Jacobi solver on float arrays (with fixed boundary),
+    for end-to-end checkpoint/restart demos. *)
+module Jacobi : sig
+  type grid
+
+  val create : size:int -> grid
+  (** Interior initialized to 0, boundary to 0; add sources next. *)
+
+  val set : grid -> int -> int -> float -> unit
+  val get : grid -> int -> int -> float
+  val size : grid -> int
+
+  val step : grid -> float
+  (** One Jacobi sweep (interior cells only); returns the max absolute
+      cell update (residual). *)
+
+  val run : grid -> iterations:int -> float
+  (** [run g ~iterations] performs sweeps and returns the last residual. *)
+
+  val serialize : grid -> Bytes.t
+  (** Checkpoint payload: size header + raw cells. *)
+
+  val deserialize : Bytes.t -> grid
+  (** @raise Invalid_argument on malformed payloads. *)
+
+  val equal : grid -> grid -> bool
+end

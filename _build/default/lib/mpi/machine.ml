@@ -1,0 +1,33 @@
+type t = {
+  core_flops : float;
+  net_latency : float;
+  net_bandwidth : float;
+  send_overhead : float;
+}
+
+let default =
+  { core_flops = 1e9;
+    net_latency = 2.2e-5;
+    net_bandwidth = 1e9;
+    send_overhead = 2e-6 }
+
+let compute_time t ~flops =
+  assert (flops >= 0.);
+  flops /. t.core_flops
+
+let message_time t ~bytes =
+  assert (bytes >= 0.);
+  t.net_latency +. (bytes /. t.net_bandwidth)
+
+let log2_ceil n =
+  assert (n >= 1);
+  let rec loop acc pow = if pow >= n then acc else loop (acc + 1) (pow * 2) in
+  loop 0 1
+
+let collective_time t ~ranks ~bytes =
+  assert (ranks >= 1);
+  float_of_int (log2_ceil ranks) *. message_time t ~bytes
+
+let linear_collective_time t ~ranks ~bytes =
+  assert (ranks >= 1);
+  float_of_int (ranks - 1) *. message_time t ~bytes

@@ -1,0 +1,37 @@
+(** Machine performance model for the MPI emulator.
+
+    A LogGP-flavoured model: computation proceeds at [core_flops]
+    flop/s per rank; a point-to-point message of [b] bytes takes
+    [net_latency + b / net_bandwidth] seconds to arrive, with a small
+    sender-side overhead; collectives over [n] ranks multiply the
+    per-message cost by [ceil (log2 n)] (binomial-tree schedule).
+
+    The default coefficients are calibrated so the emulated Heat
+    Distribution program reproduces the speedup shape of the paper's
+    Fig. 2(a) (near-linear at small scales, quadratic bend at large
+    scales, fitted slope [kappa ~ 0.46]). *)
+
+type t = {
+  core_flops : float;  (** per-rank compute rate, flop/s *)
+  net_latency : float;  (** seconds per message *)
+  net_bandwidth : float;  (** bytes/second per link *)
+  send_overhead : float;  (** sender CPU seconds per message *)
+}
+
+val default : t
+(** A Fusion-like commodity cluster: 1 Gflop/s effective per core,
+    22 us latency, 1 GB/s links. *)
+
+val compute_time : t -> flops:float -> float
+val message_time : t -> bytes:float -> float
+(** Arrival delay of a point-to-point message. *)
+
+val collective_time : t -> ranks:int -> bytes:float -> float
+(** Duration of a tree-based collective (bcast/reduce/allreduce step). *)
+
+val linear_collective_time : t -> ranks:int -> bytes:float -> float
+(** Duration of a rooted linear collective (gather) or personalized
+    exchange (alltoall): [ranks - 1] sequential message costs. *)
+
+val log2_ceil : int -> int
+(** [log2_ceil n] is [ceil (log2 n)] with [log2_ceil 1 = 0]. *)

@@ -1,0 +1,26 @@
+(** A Nek5000 "eddy_uv"-like workload (paper Fig. 2(b)).
+
+    The paper observes that this spectral-element Navier–Stokes monitor
+    speeds up quickly at small scales and {e slows down} beyond ~100
+    cores because communication grows with the rank count.  We model the
+    same shape: each timestep computes a shrinking per-rank share of the
+    work but pays collective costs (pressure-solve Allreduces) whose
+    tree depth grows logarithmically with the scale, plus nearest-
+    neighbour ring exchanges — so the emulated speedup peaks and then
+    declines, exactly the regime where the quadratic fit over the
+    ascending range matters. *)
+
+type config = {
+  elements : int;  (** total spectral elements *)
+  flops_per_element : float;
+  timesteps : int;
+  allreduces_per_step : int;  (** pressure iterations per timestep *)
+  allreduce_bytes : float;
+  ring_bytes : float;  (** surface-exchange bytes per neighbour *)
+}
+
+val default_config : config
+(** Calibrated so the emulated speedup peaks near 100 ranks, matching
+    Fig. 2(b). *)
+
+val program : ?config:config -> ranks:int -> unit -> Program.t

@@ -1,0 +1,84 @@
+type instr =
+  | Compute of float
+  | Send of { dst : int; bytes : float }
+  | Recv of { src : int }
+  | Isend of { dst : int; bytes : float }
+  | Irecv of { src : int }
+  | Waitall
+  | Bcast of { root : int; bytes : float }
+  | Barrier
+  | Allreduce of { bytes : float }
+  | Reduce of { root : int; bytes : float }
+  | Gather of { root : int; bytes : float }
+  | Alltoall of { bytes : float }
+
+type t = { name : string; ranks : int; code : int -> instr list }
+
+let v ~name ~ranks ~code =
+  assert (ranks > 0);
+  { name; ranks; code }
+
+let validate t =
+  let check_rank what r =
+    if r < 0 || r >= t.ranks then Error (Printf.sprintf "%s rank %d out of range" what r)
+    else Ok ()
+  in
+  let ( let* ) = Result.bind in
+  let check_instr me instr =
+    match instr with
+    | Compute f -> if f < 0. then Error "negative compute" else Ok ()
+    | Send { dst; _ } | Isend { dst; _ } ->
+        let* () = check_rank "dst" dst in
+        if dst = me then Error "self message" else Ok ()
+    | Recv { src } | Irecv { src } ->
+        let* () = check_rank "src" src in
+        if src = me then Error "self message" else Ok ()
+    | Bcast { root; _ } | Reduce { root; _ } | Gather { root; _ } ->
+        check_rank "root" root
+    | Waitall | Barrier | Allreduce _ | Alltoall _ -> Ok ()
+  in
+  let collective_count instrs =
+    List.length
+      (List.filter
+         (function
+           | Bcast _ | Barrier | Allreduce _ | Reduce _ | Gather _ | Alltoall _ -> true
+           | Compute _ | Send _ | Recv _ | Isend _ | Irecv _ | Waitall -> false)
+         instrs)
+  in
+  let rec scan_ranks r expected_collectives =
+    if r >= t.ranks then Ok ()
+    else begin
+      let instrs = t.code r in
+      let rec scan open_irecvs = function
+        | [] ->
+            if open_irecvs > 0 then Error (Printf.sprintf "rank %d: unclosed Irecv" r)
+            else Ok ()
+        | instr :: rest -> (
+            match check_instr r instr with
+            | Error e -> Error (Printf.sprintf "rank %d: %s" r e)
+            | Ok () -> (
+                match instr with
+                | Irecv _ -> scan (open_irecvs + 1) rest
+                | Waitall -> scan 0 rest
+                | Compute _ | Send _ | Recv _ | Isend _ | Bcast _ | Barrier
+                | Allreduce _ | Reduce _ | Gather _ | Alltoall _ ->
+                    scan open_irecvs rest))
+      in
+      let* () = scan 0 instrs in
+      let c = collective_count instrs in
+      match expected_collectives with
+      | None -> scan_ranks (r + 1) (Some c)
+      | Some e when e = c -> scan_ranks (r + 1) expected_collectives
+      | Some e ->
+          Error
+            (Printf.sprintf "rank %d: %d collectives, rank 0 has %d (SPMD mismatch)" r c e)
+    end
+  in
+  scan_ranks 0 None
+
+let instruction_count t =
+  let total = ref 0 in
+  for r = 0 to t.ranks - 1 do
+    total := !total + List.length (t.code r)
+  done;
+  !total

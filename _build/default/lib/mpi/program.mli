@@ -1,0 +1,43 @@
+(** Instruction DSL for emulated MPI programs.
+
+    Programs are SPMD: a generator produces each rank's instruction list.
+    The set covers the MPI calls the paper's Heat Distribution benchmark
+    uses (Section IV-A): point-to-point sends/receives (blocking and
+    non-blocking with a closing wait) and the collectives Bcast, Barrier
+    and Allreduce.  Message payloads carry no data — the emulator computes
+    timing only — so receives match senders FIFO per (src, dst) channel,
+    without tags. *)
+
+type instr =
+  | Compute of float  (** flops of local computation *)
+  | Send of { dst : int; bytes : float }  (** buffered send *)
+  | Recv of { src : int }  (** blocking receive *)
+  | Isend of { dst : int; bytes : float }  (** non-blocking send *)
+  | Irecv of { src : int }  (** posts a receive completed by [Waitall] *)
+  | Waitall  (** completes every outstanding [Irecv] of this rank *)
+  | Bcast of { root : int; bytes : float }
+  | Barrier
+  | Allreduce of { bytes : float }
+  | Reduce of { root : int; bytes : float }  (** tree reduction to a root *)
+  | Gather of { root : int; bytes : float }
+      (** rooted linear collect ([ranks - 1] message costs) *)
+  | Alltoall of { bytes : float }
+      (** personalized all-to-all exchange ([ranks - 1] message costs) *)
+
+type t = {
+  name : string;
+  ranks : int;
+  code : int -> instr list;  (** instructions of a given rank *)
+}
+
+val v : name:string -> ranks:int -> code:(int -> instr list) -> t
+(** Validated constructor; rank ids in instructions must be in range
+    (checked lazily by the emulator). *)
+
+val validate : t -> (unit, string) result
+(** Static checks: peer ranks in range, no self-messages, every rank's
+    [Irecv]s closed by a [Waitall], collectives appear the same number of
+    times on every rank (SPMD discipline the emulator relies on). *)
+
+val instruction_count : t -> int
+(** Total instructions across ranks (cheap complexity measure). *)

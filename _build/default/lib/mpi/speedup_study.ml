@@ -1,0 +1,48 @@
+module Least_squares = Ckpt_numerics.Least_squares
+
+type point = { ranks : int; job_time : float; speedup : float }
+
+type fit = {
+  kappa : float;
+  quad : float;
+  n_star : float;
+  r_squared : float;
+  points_used : int;
+}
+
+let measure ~machine ~program ~scales =
+  List.iter (fun s -> assert (s > 0)) scales;
+  let scales = List.sort_uniq compare (1 :: scales) in
+  let base = (Emulator.run ~machine (program ~ranks:1)).Emulator.job_time in
+  List.map
+    (fun ranks ->
+      let job_time =
+        if ranks = 1 then base else (Emulator.run ~machine (program ~ranks)).Emulator.job_time
+      in
+      { ranks; job_time; speedup = base /. job_time })
+    scales
+
+let ascending_range points =
+  match points with
+  | [] -> []
+  | _ ->
+      let best =
+        List.fold_left (fun acc p -> if p.speedup > acc.speedup then p else acc)
+          (List.hd points) points
+      in
+      List.filter (fun p -> p.ranks <= best.ranks) points
+
+let fit_quadratic points =
+  if List.length points < 2 then invalid_arg "Speedup_study.fit_quadratic: need >= 2 points";
+  let xs = Array.of_list (List.map (fun p -> float_of_int p.ranks) points) in
+  let ys = Array.of_list (List.map (fun p -> p.speedup) points) in
+  let { Least_squares.coefficients; r_squared; _ } =
+    Least_squares.polyfit_through_origin ~degree:2 ~xs ~ys
+  in
+  let kappa = coefficients.(0) and quad = coefficients.(1) in
+  if quad >= 0. then
+    invalid_arg "Speedup_study.fit_quadratic: no curvature measured (quad >= 0)";
+  { kappa; quad; n_star = -.kappa /. (2. *. quad); r_squared;
+    points_used = List.length points }
+
+let estimate_kappa p = p.speedup /. float_of_int p.ranks

@@ -1,0 +1,38 @@
+(** Speedup measurement and quadratic fitting (paper Fig. 2).
+
+    Runs an emulated program across scales, computes
+    [speedup(N) = T(1) / T(N)], and least-squares fits the paper's
+    Eq. (12) quadratic through the origin over the ascending range —
+    yielding the [kappa] and [N_star] the optimizer consumes. *)
+
+type point = {
+  ranks : int;
+  job_time : float;
+  speedup : float;
+}
+
+type fit = {
+  kappa : float;  (** slope at the origin *)
+  quad : float;  (** quadratic coefficient (negative for peaked curves) *)
+  n_star : float;  (** implied peak scale [-kappa / (2 quad)] *)
+  r_squared : float;
+  points_used : int;  (** points in the ascending range used by the fit *)
+}
+
+val measure :
+  machine:Machine.t -> program:(ranks:int -> Program.t) -> scales:int list -> point list
+(** Emulates the program at 1 plus each requested scale.  Scales must be
+    positive; duplicates are measured once. *)
+
+val ascending_range : point list -> point list
+(** Points up to (and including) the maximum-speedup point — the paper
+    fits only the range before the speedup decays (Fig. 2(b)). *)
+
+val fit_quadratic : point list -> fit
+(** Fit Eq. (12) through the origin on the given points.
+    @raise Invalid_argument with fewer than 2 points or a non-negative
+    quadratic coefficient (curve has no peak: not enough bend measured). *)
+
+val estimate_kappa : point -> float
+(** The paper's quick estimate: [speedup / ranks] at a single mid-size
+    measurement (Section III-C.2's 77/160 example). *)

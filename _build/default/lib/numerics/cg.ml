@@ -1,0 +1,89 @@
+type state = {
+  x : float array;
+  r : float array;
+  p : float array;
+  rs : float;
+  iteration : int;
+}
+
+let dot a b =
+  assert (Array.length a = Array.length b);
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let init ~a ~b ?x0 () =
+  let n = Sparse.rows a in
+  if Sparse.cols a <> n then invalid_arg "Cg.init: matrix not square";
+  if Array.length b <> n then invalid_arg "Cg.init: rhs size mismatch";
+  let x =
+    match x0 with
+    | None -> Array.make n 0.
+    | Some x0 ->
+        if Array.length x0 <> n then invalid_arg "Cg.init: x0 size mismatch";
+        Array.copy x0
+  in
+  let ax = Sparse.mul_vec a x in
+  let r = Array.init n (fun i -> b.(i) -. ax.(i)) in
+  { x; r; p = Array.copy r; rs = dot r r; iteration = 0 }
+
+let step ~a s =
+  if s.rs = 0. then { s with iteration = s.iteration + 1 }
+  else begin
+    let ap = Sparse.mul_vec a s.p in
+    let alpha = s.rs /. dot s.p ap in
+    let n = Array.length s.x in
+    let x = Array.init n (fun i -> s.x.(i) +. (alpha *. s.p.(i))) in
+    let r = Array.init n (fun i -> s.r.(i) -. (alpha *. ap.(i))) in
+    let rs' = dot r r in
+    let beta = rs' /. s.rs in
+    let p = Array.init n (fun i -> r.(i) +. (beta *. s.p.(i))) in
+    { x; r; p; rs = rs'; iteration = s.iteration + 1 }
+  end
+
+let residual_norm s = sqrt s.rs
+let converged ?(tol = 1e-10) s = residual_norm s <= tol
+
+let solve ?tol ?max_iter ~a ~b () =
+  let max_iter = Option.value max_iter ~default:(4 * Sparse.rows a) in
+  let rec loop s =
+    if converged ?tol s || s.iteration >= max_iter then s else loop (step ~a s)
+  in
+  loop (init ~a ~b ())
+
+(* Layout: iteration, n, then x, r, p, rs as little-endian doubles. *)
+let serialize s =
+  let n = Array.length s.x in
+  let buf = Bytes.create (16 + (8 * ((3 * n) + 1))) in
+  Bytes.set_int64_le buf 0 (Int64.of_int s.iteration);
+  Bytes.set_int64_le buf 8 (Int64.of_int n);
+  let put off arr =
+    Array.iteri
+      (fun i v -> Bytes.set_int64_le buf (off + (8 * i)) (Int64.bits_of_float v))
+      arr
+  in
+  put 16 s.x;
+  put (16 + (8 * n)) s.r;
+  put (16 + (16 * n)) s.p;
+  Bytes.set_int64_le buf (16 + (24 * n)) (Int64.bits_of_float s.rs);
+  buf
+
+let deserialize buf =
+  if Bytes.length buf < 16 then invalid_arg "Cg.deserialize: truncated";
+  let iteration = Int64.to_int (Bytes.get_int64_le buf 0) in
+  let n = Int64.to_int (Bytes.get_int64_le buf 8) in
+  if n < 0 || Bytes.length buf <> 16 + (8 * ((3 * n) + 1)) then
+    invalid_arg "Cg.deserialize: inconsistent size";
+  let read off =
+    Array.init n (fun i -> Int64.float_of_bits (Bytes.get_int64_le buf (off + (8 * i))))
+  in
+  { x = read 16;
+    r = read (16 + (8 * n));
+    p = read (16 + (16 * n));
+    rs = Int64.float_of_bits (Bytes.get_int64_le buf (16 + (24 * n)));
+    iteration }
+
+let equal a b =
+  a.iteration = b.iteration && a.rs = b.rs && a.x = b.x && a.r = b.r && a.p = b.p

@@ -1,0 +1,38 @@
+(** Conjugate gradient for symmetric positive-definite systems.
+
+    Exposed as an explicit iteration state so applications can checkpoint
+    mid-solve: serialize the {!state}, crash, restore it, and the
+    iteration continues bit-for-bit — the property the FTI executor
+    example exercises. *)
+
+type state = {
+  x : float array;  (** current iterate *)
+  r : float array;  (** residual [b - A x] *)
+  p : float array;  (** search direction *)
+  rs : float;  (** [r . r] *)
+  iteration : int;
+}
+
+val init : a:Sparse.t -> b:float array -> ?x0:float array -> unit -> state
+(** Starting state ([x0] defaults to zero).
+    @raise Invalid_argument on shape mismatches. *)
+
+val step : a:Sparse.t -> state -> state
+(** One CG iteration (pure — the input state is not mutated). *)
+
+val residual_norm : state -> float
+(** Euclidean norm of the current residual. *)
+
+val converged : ?tol:float -> state -> bool
+(** [residual_norm <= tol] (default 1e-10). *)
+
+val solve :
+  ?tol:float -> ?max_iter:int -> a:Sparse.t -> b:float array -> unit -> state
+(** Iterate until convergence or [max_iter] (default [4 * rows]). *)
+
+val serialize : state -> Bytes.t
+val deserialize : Bytes.t -> state
+(** @raise Invalid_argument on malformed payloads. *)
+
+val equal : state -> state -> bool
+(** Bit-for-bit comparison. *)

@@ -1,0 +1,17 @@
+let step_for ?h x =
+  match h with Some h -> h | None -> 1e-6 *. (1. +. Float.abs x)
+
+let central ?h ~f x =
+  let h = step_for ?h x in
+  (f (x +. h) -. f (x -. h)) /. (2. *. h)
+
+let richardson ?h ~f x =
+  let h = step_for ?h x in
+  let d1 = (f (x +. h) -. f (x -. h)) /. (2. *. h) in
+  let h2 = h /. 2. in
+  let d2 = (f (x +. h2) -. f (x -. h2)) /. (2. *. h2) in
+  ((4. *. d2) -. d1) /. 3.
+
+let second ?h ~f x =
+  let h = match h with Some h -> h | None -> 1e-4 *. (1. +. Float.abs x) in
+  (f (x +. h) -. (2. *. f x) +. f (x -. h)) /. (h *. h)

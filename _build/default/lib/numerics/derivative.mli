@@ -1,0 +1,17 @@
+(** Numerical differentiation.
+
+    The optimizer uses analytic derivatives (paper Eq. 23/24); this module
+    exists to cross-check them — property tests compare every analytic
+    derivative in the model against a central finite difference. *)
+
+val central : ?h:float -> f:(float -> float) -> float -> float
+(** [central ~f x] approximates [f' x] with a central difference.  The
+    default step scales with [x] ([h = 1e-6 * (1 + |x|)]). *)
+
+val richardson : ?h:float -> f:(float -> float) -> float -> float
+(** Richardson-extrapolated central difference (two step sizes), one order
+    more accurate than {!central}. *)
+
+val second : ?h:float -> f:(float -> float) -> float -> float
+(** [second ~f x] approximates [f'' x]; used to verify convexity claims
+    (paper Section III-A/C). *)

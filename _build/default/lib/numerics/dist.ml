@@ -1,0 +1,52 @@
+let uniform rng ~lo ~hi = Rng.float_range rng lo hi
+
+let exponential rng ~rate =
+  assert (rate > 0.);
+  (* Guard against log 0: Rng.float is in [0, 1), so 1 - u is in (0, 1]. *)
+  let u = 1. -. Rng.float rng in
+  -.log u /. rate
+
+let weibull rng ~shape ~scale =
+  assert (shape > 0. && scale > 0.);
+  let u = 1. -. Rng.float rng in
+  scale *. ((-.log u) ** (1. /. shape))
+
+let normal rng ~mean ~std =
+  let u1 = 1. -. Rng.float rng in
+  let u2 = Rng.float rng in
+  let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+  mean +. (std *. z)
+
+let lognormal rng ~mu ~sigma = exp (normal rng ~mean:mu ~std:sigma)
+
+let poisson rng ~mean =
+  assert (mean >= 0.);
+  if mean = 0. then 0
+  else if mean > 500. then
+    (* Normal approximation with continuity correction. *)
+    let z = normal rng ~mean ~std:(sqrt mean) in
+    int_of_float (Float.max 0. (Float.round z))
+  else begin
+    let limit = exp (-.mean) in
+    let rec loop k prod =
+      let prod = prod *. Rng.float rng in
+      if prod <= limit then k else loop (k + 1) prod
+    in
+    loop 0 1.
+  end
+
+let jittered rng ~ratio v =
+  assert (ratio >= 0. && ratio < 1.);
+  v *. (1. +. Rng.float_range rng (-.ratio) ratio)
+
+let exponential_pdf ~rate x = if x < 0. then 0. else rate *. exp (-.rate *. x)
+let exponential_cdf ~rate x = if x < 0. then 0. else 1. -. exp (-.rate *. x)
+
+let log_factorial k =
+  let rec loop i acc = if i > k then acc else loop (i + 1) (acc +. log (float_of_int i)) in
+  loop 2 0.
+
+let poisson_pmf ~mean k =
+  if k < 0 then 0.
+  else if mean = 0. then if k = 0 then 1. else 0.
+  else exp ((float_of_int k *. log mean) -. mean -. log_factorial k)

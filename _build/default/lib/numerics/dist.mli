@@ -1,0 +1,41 @@
+(** Sampling from, and densities of, the probability distributions used by
+    the checkpoint model: failure inter-arrival times are exponential
+    (paper Section IV-A), checkpoint-cost jitter is uniform, and Weibull /
+    log-normal variants are provided for sensitivity studies. *)
+
+val uniform : Rng.t -> lo:float -> hi:float -> float
+(** [uniform rng ~lo ~hi] samples uniformly from [\[lo, hi)]. *)
+
+val exponential : Rng.t -> rate:float -> float
+(** [exponential rng ~rate] samples an exponential variate with rate
+    [rate] (mean [1 /. rate]).  Requires [rate > 0]. *)
+
+val weibull : Rng.t -> shape:float -> scale:float -> float
+(** [weibull rng ~shape ~scale] samples a Weibull variate.  [shape = 1]
+    degenerates to the exponential with mean [scale]. *)
+
+val normal : Rng.t -> mean:float -> std:float -> float
+(** [normal rng ~mean ~std] samples a Gaussian via Box–Muller. *)
+
+val lognormal : Rng.t -> mu:float -> sigma:float -> float
+(** [lognormal rng ~mu ~sigma] is [exp] of a Gaussian with the given
+    parameters. *)
+
+val poisson : Rng.t -> mean:float -> int
+(** [poisson rng ~mean] samples a Poisson count.  Uses Knuth's product
+    method for small means and a normal approximation beyond 500. *)
+
+val jittered : Rng.t -> ratio:float -> float -> float
+(** [jittered rng ~ratio v] perturbs [v] by a uniform relative error in
+    [\[-ratio, +ratio\]]; the paper applies up to 30 % jitter to
+    checkpoint/restart overheads. *)
+
+val exponential_pdf : rate:float -> float -> float
+(** Density of the exponential distribution ([0.] for negative inputs). *)
+
+val exponential_cdf : rate:float -> float -> float
+(** Cumulative distribution of the exponential. *)
+
+val poisson_pmf : mean:float -> int -> float
+(** [poisson_pmf ~mean k] is the probability of observing exactly [k]
+    events; computed in log space to stay stable for large [mean]. *)

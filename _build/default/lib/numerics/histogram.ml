@@ -1,0 +1,54 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable total : int;
+  mutable underflow : int;
+  mutable overflow : int;
+}
+
+let create ~lo ~hi ~bins =
+  assert (hi > lo && bins > 0);
+  { lo; hi; counts = Array.make bins 0; total = 0; underflow = 0; overflow = 0 }
+
+let bins t = Array.length t.counts
+let width t = (t.hi -. t.lo) /. float_of_int (bins t)
+
+let add t x =
+  t.total <- t.total + 1;
+  if x < t.lo then t.underflow <- t.underflow + 1
+  else if x >= t.hi then t.overflow <- t.overflow + 1
+  else begin
+    let i = int_of_float ((x -. t.lo) /. width t) in
+    let i = if i >= bins t then bins t - 1 else i in
+    t.counts.(i) <- t.counts.(i) + 1
+  end
+
+let count t = t.total
+let bin_count t i = t.counts.(i)
+let underflow t = t.underflow
+let overflow t = t.overflow
+
+let bin_bounds t i =
+  assert (i >= 0 && i < bins t);
+  let w = width t in
+  (t.lo +. (float_of_int i *. w), t.lo +. (float_of_int (i + 1) *. w))
+
+let in_range t = t.total - t.underflow - t.overflow
+
+let density t i =
+  let n = in_range t in
+  if n = 0 then 0.
+  else float_of_int t.counts.(i) /. float_of_int n /. width t
+
+let chi_squared_uniform t =
+  let n = in_range t in
+  if n = 0 then 0.
+  else begin
+    let expected = float_of_int n /. float_of_int (bins t) in
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. expected in
+        acc +. (d *. d /. expected))
+      0. t.counts
+  end

@@ -1,0 +1,30 @@
+(** Fixed-width histograms, used to sanity-check sampled distributions
+    (e.g. that failure inter-arrival times are exponential) and to report
+    run-length spreads in EXPERIMENTS.md. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] covers [\[lo, hi)] with [bins] equal bins;
+    samples outside the range are counted in overflow/underflow. *)
+
+val add : t -> float -> unit
+val count : t -> int
+(** Total samples added, including out-of-range ones. *)
+
+val bin_count : t -> int -> int
+(** [bin_count t i] is the number of samples in bin [i]. *)
+
+val underflow : t -> int
+val overflow : t -> int
+
+val bin_bounds : t -> int -> float * float
+(** Bounds [(lo_i, hi_i)] of bin [i]. *)
+
+val density : t -> int -> float
+(** [density t i] is the normalized empirical density of bin [i]
+    (fraction of in-range samples divided by bin width). *)
+
+val chi_squared_uniform : t -> float
+(** Chi-squared statistic of the in-range counts against a uniform
+    expectation — a cheap goodness-of-fit helper for RNG tests. *)

@@ -1,0 +1,43 @@
+type fit = { coefficients : float array; residual : float; r_squared : float }
+
+let fit_basis ~basis ~xs ~ys =
+  let n = Array.length xs in
+  assert (n = Array.length ys && n > 0);
+  let width = Array.length (basis xs.(0)) in
+  assert (n >= width);
+  let design = Matrix.create ~rows:n ~cols:width in
+  Array.iteri
+    (fun i x ->
+      let row = basis x in
+      assert (Array.length row = width);
+      Array.iteri (fun j v -> Matrix.set design i j v) row)
+    xs;
+  let coefficients = Matrix.solve_least_squares design ys in
+  let predicted = Matrix.mul_vec design coefficients in
+  let ss_res = ref 0. in
+  Array.iteri (fun i y -> ss_res := !ss_res +. (((y -. predicted.(i)) ** 2.))) ys;
+  let mean_y = Array.fold_left ( +. ) 0. ys /. float_of_int n in
+  let ss_tot = Array.fold_left (fun acc y -> acc +. ((y -. mean_y) ** 2.)) 0. ys in
+  let r_squared = if ss_tot = 0. then 1. else 1. -. (!ss_res /. ss_tot) in
+  { coefficients; residual = sqrt (!ss_res /. float_of_int n); r_squared }
+
+let polyfit ~degree ~xs ~ys =
+  assert (degree >= 0);
+  let basis x = Array.init (degree + 1) (fun j -> x ** float_of_int j) in
+  fit_basis ~basis ~xs ~ys
+
+let polyfit_through_origin ~degree ~xs ~ys =
+  assert (degree >= 1);
+  let basis x = Array.init degree (fun j -> x ** float_of_int (j + 1)) in
+  fit_basis ~basis ~xs ~ys
+
+let fit_affine_in ~h ~xs ~ys =
+  let basis x = [| 1.; h x |] in
+  fit_basis ~basis ~xs ~ys
+
+let eval_poly coeffs x =
+  let acc = ref 0. in
+  for i = Array.length coeffs - 1 downto 0 do
+    acc := (!acc *. x) +. coeffs.(i)
+  done;
+  !acc

@@ -1,0 +1,33 @@
+(** Linear least-squares fitting.
+
+    The paper derives all model coefficients from measurements by least
+    squares: the speedup quadratic of Eq. (12) from measured speedups
+    (Fig. 2) and the overhead laws [C_i(N) = eps_i + alpha_i * H_c(N)] from
+    the FTI characterization of Table II. *)
+
+type fit = {
+  coefficients : float array;
+  residual : float;  (** root-mean-square residual of the fit *)
+  r_squared : float;  (** coefficient of determination *)
+}
+
+val fit_basis : basis:(float -> float array) -> xs:float array -> ys:float array -> fit
+(** [fit_basis ~basis ~xs ~ys] solves the linear model
+    [y ~ sum_j c_j * (basis x).(j)] in the least-squares sense via QR.
+    Requires at least as many points as basis functions. *)
+
+val polyfit : degree:int -> xs:float array -> ys:float array -> fit
+(** Polynomial fit [c_0 + c_1 x + ... + c_d x^d]. *)
+
+val polyfit_through_origin : degree:int -> xs:float array -> ys:float array -> fit
+(** Polynomial fit with no constant term — [c_1 x + ... + c_d x^d].  The
+    speedup quadratic of Eq. (12) must pass through the origin, so Fig. 2's
+    fits use this variant; [coefficients.(0)] is the slope [kappa] and
+    [coefficients.(1)] the quadratic coefficient [-kappa / (2 N_star)]. *)
+
+val fit_affine_in : h:(float -> float) -> xs:float array -> ys:float array -> fit
+(** [fit_affine_in ~h] fits [y ~ eps + alpha * h x]; this is exactly the
+    overhead law of paper Eq. (19)/(20).  [coefficients = [|eps; alpha|]]. *)
+
+val eval_poly : float array -> float -> float
+(** [eval_poly coeffs x] evaluates [c_0 + c_1 x + ...] by Horner. *)

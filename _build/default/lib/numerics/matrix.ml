@@ -1,0 +1,242 @@
+type t = { nrows : int; ncols : int; data : float array }
+
+exception Singular
+
+let create ~rows ~cols =
+  assert (rows > 0 && cols > 0);
+  { nrows = rows; ncols = cols; data = Array.make (rows * cols) 0. }
+
+let rows t = t.nrows
+let cols t = t.ncols
+let index t i j = (i * t.ncols) + j
+
+let get t i j =
+  assert (i >= 0 && i < t.nrows && j >= 0 && j < t.ncols);
+  t.data.(index t i j)
+
+let set t i j v =
+  assert (i >= 0 && i < t.nrows && j >= 0 && j < t.ncols);
+  t.data.(index t i j) <- v
+
+let of_arrays arr =
+  let nrows = Array.length arr in
+  assert (nrows > 0);
+  let ncols = Array.length arr.(0) in
+  Array.iter (fun row -> assert (Array.length row = ncols)) arr;
+  let t = create ~rows:nrows ~cols:ncols in
+  Array.iteri (fun i row -> Array.iteri (fun j v -> set t i j v) row) arr;
+  t
+
+let to_arrays t = Array.init t.nrows (fun i -> Array.init t.ncols (fun j -> get t i j))
+let copy t = { t with data = Array.copy t.data }
+
+let identity n =
+  let t = create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    set t i i 1.
+  done;
+  t
+
+let transpose t =
+  let r = create ~rows:t.ncols ~cols:t.nrows in
+  for i = 0 to t.nrows - 1 do
+    for j = 0 to t.ncols - 1 do
+      set r j i (get t i j)
+    done
+  done;
+  r
+
+let mul a b =
+  assert (a.ncols = b.nrows);
+  let r = create ~rows:a.nrows ~cols:b.ncols in
+  for i = 0 to a.nrows - 1 do
+    for k = 0 to a.ncols - 1 do
+      let aik = get a i k in
+      if aik <> 0. then
+        for j = 0 to b.ncols - 1 do
+          set r i j (get r i j +. (aik *. get b k j))
+        done
+    done
+  done;
+  r
+
+let mul_vec a v =
+  assert (a.ncols = Array.length v);
+  Array.init a.nrows (fun i ->
+      let acc = ref 0. in
+      for j = 0 to a.ncols - 1 do
+        acc := !acc +. (get a i j *. v.(j))
+      done;
+      !acc)
+
+(* Gaussian elimination with partial pivoting on an augmented copy. *)
+let eliminate a b =
+  assert (a.nrows = a.ncols && a.nrows = Array.length b);
+  let n = a.nrows in
+  let m = copy a in
+  let x = Array.copy b in
+  for col = 0 to n - 1 do
+    let pivot_row = ref col in
+    for i = col + 1 to n - 1 do
+      if Float.abs (get m i col) > Float.abs (get m !pivot_row col) then pivot_row := i
+    done;
+    if Float.abs (get m !pivot_row col) < 1e-300 then raise Singular;
+    if !pivot_row <> col then begin
+      for j = 0 to n - 1 do
+        let tmp = get m col j in
+        set m col j (get m !pivot_row j);
+        set m !pivot_row j tmp
+      done;
+      let tmp = x.(col) in
+      x.(col) <- x.(!pivot_row);
+      x.(!pivot_row) <- tmp
+    end;
+    for i = col + 1 to n - 1 do
+      let factor = get m i col /. get m col col in
+      if factor <> 0. then begin
+        for j = col to n - 1 do
+          set m i j (get m i j -. (factor *. get m col j))
+        done;
+        x.(i) <- x.(i) -. (factor *. x.(col))
+      end
+    done
+  done;
+  (* Back substitution. *)
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (get m i j *. x.(j))
+    done;
+    x.(i) <- !acc /. get m i i
+  done;
+  x
+
+let solve a b = eliminate a b
+
+let inverse a =
+  assert (a.nrows = a.ncols);
+  let n = a.nrows in
+  let r = create ~rows:n ~cols:n in
+  for col = 0 to n - 1 do
+    let e = Array.make n 0. in
+    e.(col) <- 1.;
+    let x = solve a e in
+    for i = 0 to n - 1 do
+      set r i col x.(i)
+    done
+  done;
+  r
+
+let determinant a =
+  assert (a.nrows = a.ncols);
+  let n = a.nrows in
+  let m = copy a in
+  let det = ref 1. in
+  (try
+     for col = 0 to n - 1 do
+       let pivot_row = ref col in
+       for i = col + 1 to n - 1 do
+         if Float.abs (get m i col) > Float.abs (get m !pivot_row col) then pivot_row := i
+       done;
+       if get m !pivot_row col = 0. then begin
+         det := 0.;
+         raise Exit
+       end;
+       if !pivot_row <> col then begin
+         det := -. !det;
+         for j = 0 to n - 1 do
+           let tmp = get m col j in
+           set m col j (get m !pivot_row j);
+           set m !pivot_row j tmp
+         done
+       end;
+       det := !det *. get m col col;
+       for i = col + 1 to n - 1 do
+         let factor = get m i col /. get m col col in
+         for j = col to n - 1 do
+           set m i j (get m i j -. (factor *. get m col j))
+         done
+       done
+     done
+   with Exit -> ());
+  !det
+
+(* Householder QR. *)
+let qr a =
+  let m = a.nrows and n = a.ncols in
+  assert (m >= n);
+  let r = copy a in
+  let q = identity m in
+  let apply_householder mat v from_col =
+    (* mat <- (I - 2 v v^T) mat, restricted to columns >= from_col *)
+    for j = from_col to mat.ncols - 1 do
+      let dot = ref 0. in
+      for i = 0 to m - 1 do
+        dot := !dot +. (v.(i) *. get mat i j)
+      done;
+      let s = 2. *. !dot in
+      if s <> 0. then
+        for i = 0 to m - 1 do
+          set mat i j (get mat i j -. (s *. v.(i)))
+        done
+    done
+  in
+  for k = 0 to n - 1 do
+    let norm = ref 0. in
+    for i = k to m - 1 do
+      norm := !norm +. (get r i k *. get r i k)
+    done;
+    let norm = sqrt !norm in
+    if norm > 0. then begin
+      let alpha = if get r k k > 0. then -.norm else norm in
+      let v = Array.make m 0. in
+      v.(k) <- get r k k -. alpha;
+      for i = k + 1 to m - 1 do
+        v.(i) <- get r i k
+      done;
+      let vnorm = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. v) in
+      if vnorm > 0. then begin
+        for i = 0 to m - 1 do
+          v.(i) <- v.(i) /. vnorm
+        done;
+        apply_householder r v k;
+        apply_householder q v 0
+      end
+    end
+  done;
+  (transpose q, r)
+
+let solve_least_squares a b =
+  assert (a.nrows = Array.length b && a.nrows >= a.ncols);
+  let q, r = qr a in
+  let n = a.ncols in
+  (* x solves R[0..n-1,0..n-1] x = (Q^T b)[0..n-1]. *)
+  let qtb = mul_vec (transpose q) b in
+  let x = Array.make n 0. in
+  for i = n - 1 downto 0 do
+    if Float.abs (get r i i) < 1e-300 then raise Singular;
+    let acc = ref qtb.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (get r i j *. x.(j))
+    done;
+    x.(i) <- !acc /. get r i i
+  done;
+  x
+
+let equal ?(tol = 1e-9) a b =
+  a.nrows = b.nrows && a.ncols = b.ncols
+  && begin
+       let ok = ref true in
+       Array.iteri (fun i v -> if Float.abs (v -. b.data.(i)) > tol then ok := false) a.data;
+       !ok
+     end
+
+let pp ppf t =
+  for i = 0 to t.nrows - 1 do
+    Format.fprintf ppf "[";
+    for j = 0 to t.ncols - 1 do
+      if j > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "%g" (get t i j)
+    done;
+    Format.fprintf ppf "]@\n"
+  done

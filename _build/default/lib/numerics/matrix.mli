@@ -1,0 +1,56 @@
+(** Small dense matrices over floats.
+
+    Sized for the library's needs — least-squares fits of speedup and
+    overhead curves (a handful of coefficients) and test oracles — not for
+    large-scale linear algebra.  Row-major storage. *)
+
+type t
+
+exception Singular
+(** Raised by {!solve}, {!inverse} and {!lu} when elimination hits a zero
+    pivot (up to partial pivoting). *)
+
+val create : rows:int -> cols:int -> t
+(** Zero-filled matrix. *)
+
+val of_arrays : float array array -> t
+(** [of_arrays rows] copies a rectangular array-of-rows.  All rows must
+    have equal length. *)
+
+val to_arrays : t -> float array array
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val copy : t -> t
+val identity : int -> t
+val transpose : t -> t
+
+val mul : t -> t -> t
+(** Matrix product.  Dimensions must agree. *)
+
+val mul_vec : t -> float array -> float array
+(** Matrix–vector product. *)
+
+val solve : t -> float array -> float array
+(** [solve a b] solves the square system [a x = b] by Gaussian elimination
+    with partial pivoting.  @raise Singular on rank deficiency. *)
+
+val inverse : t -> t
+(** @raise Singular on rank deficiency. *)
+
+val determinant : t -> float
+
+val qr : t -> t * t
+(** [qr a] is a Householder QR factorization [(q, r)] with [a = q * r],
+    [q] orthogonal, [r] upper triangular.  Requires [rows a >= cols a]. *)
+
+val solve_least_squares : t -> float array -> float array
+(** [solve_least_squares a b] minimizes [||a x - b||_2] via QR; this is the
+    backend of {!Least_squares}.  Requires [rows a >= cols a].
+    @raise Singular if [a] is rank deficient. *)
+
+val equal : ?tol:float -> t -> t -> bool
+(** Entry-wise comparison with absolute tolerance (default [1e-9]). *)
+
+val pp : Format.formatter -> t -> unit

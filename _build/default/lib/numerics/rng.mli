@@ -1,0 +1,61 @@
+(** Deterministic pseudo-random number generation.
+
+    The library needs reproducible random streams: every simulated run is
+    seeded explicitly so that experiments are replayable bit-for-bit.  Two
+    generators are provided:
+
+    - {!module:Splitmix} — the splitmix64 generator, used mostly to expand a
+      user seed into the larger state of xoshiro;
+    - the main generator {!t} — xoshiro256**, a small, fast, high-quality
+      generator suitable for simulation workloads.
+
+    Streams can be {!split} to obtain statistically independent substreams,
+    one per simulated entity (e.g. one per failure level), so that adding an
+    entity does not perturb the draws seen by the others. *)
+
+module Splitmix : sig
+  type t
+  (** Mutable splitmix64 state. *)
+
+  val create : int64 -> t
+  (** [create seed] makes a splitmix64 stream from an arbitrary seed. *)
+
+  val next : t -> int64
+  (** [next s] returns the next 64-bit output and advances the state. *)
+end
+
+type t
+(** Mutable xoshiro256** state. *)
+
+val create : int64 -> t
+(** [create seed] builds a generator, expanding [seed] with splitmix64. *)
+
+val of_int : int -> t
+(** [of_int seed] is [create (Int64.of_int seed)]. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] draws from [t] to seed a fresh, independent generator.
+    The parent stream advances, so successive splits are distinct. *)
+
+val int64 : t -> int64
+(** [int64 t] returns a uniform 64-bit integer. *)
+
+val float : t -> float
+(** [float t] returns a uniform float in [\[0, 1)] with 53 bits of
+    precision. *)
+
+val float_range : t -> float -> float -> float
+(** [float_range t lo hi] is uniform in [\[lo, hi)].  Requires [lo <= hi]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  Requires [bound > 0]. *)
+
+val bool : t -> bool
+(** [bool t] is a fair coin flip. *)
+
+val jump : t -> unit
+(** [jump t] advances the state by 2^128 steps; useful to derive long
+    non-overlapping sequences from one seed. *)

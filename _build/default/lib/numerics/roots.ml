@@ -1,0 +1,146 @@
+type outcome = { root : float; iterations : int; residual : float }
+
+exception No_bracket of string
+exception No_convergence of string
+
+let sign x = if x > 0. then 1 else if x < 0. then -1 else 0
+
+let check_bracket name flo fhi =
+  if sign flo * sign fhi > 0 then
+    raise (No_bracket (Printf.sprintf "%s: f(lo)=%g and f(hi)=%g have the same sign" name flo fhi))
+
+let bisect_gen ~tol_x ~max_iter ~f ~lo ~hi =
+  let flo = f lo and fhi = f hi in
+  check_bracket "bisect" flo fhi;
+  if flo = 0. then { root = lo; iterations = 0; residual = 0. }
+  else if fhi = 0. then { root = hi; iterations = 0; residual = 0. }
+  else begin
+    let rec loop lo hi flo iter =
+      let mid = 0.5 *. (lo +. hi) in
+      let fmid = f mid in
+      if hi -. lo < tol_x || fmid = 0. || iter >= max_iter then
+        { root = mid; iterations = iter; residual = Float.abs fmid }
+      else if sign flo * sign fmid <= 0 then loop lo mid flo (iter + 1)
+      else loop mid hi fmid (iter + 1)
+    in
+    loop lo hi flo 0
+  end
+
+let bisect ?(tol_x = 1e-9) ?(max_iter = 200) ~f ~lo ~hi () =
+  bisect_gen ~tol_x ~max_iter ~f ~lo ~hi
+
+let bisect_integer ~f ~lo ~hi () = bisect_gen ~tol_x:0.5 ~max_iter:200 ~f ~lo ~hi
+
+let newton ?(tol = 1e-12) ?(max_iter = 100) ~f ~f' ~x0 () =
+  let rec loop x iter =
+    if iter >= max_iter then
+      raise (No_convergence (Printf.sprintf "newton: %d iterations exhausted at x=%g" iter x));
+    let fx = f x in
+    if Float.abs fx <= tol then { root = x; iterations = iter; residual = Float.abs fx }
+    else begin
+      let d = f' x in
+      if d = 0. || not (Float.is_finite d) then
+        raise (No_convergence (Printf.sprintf "newton: derivative %g at x=%g" d x));
+      let x' = x -. (fx /. d) in
+      if Float.abs (x' -. x) <= tol *. (1. +. Float.abs x) then
+        { root = x'; iterations = iter + 1; residual = Float.abs (f x') }
+      else loop x' (iter + 1)
+    end
+  in
+  loop x0 0
+
+let secant ?(tol = 1e-12) ?(max_iter = 100) ~f ~x0 ~x1 () =
+  let rec loop xa xb fa fb iter =
+    if iter >= max_iter then
+      raise (No_convergence (Printf.sprintf "secant: %d iterations exhausted at x=%g" iter xb));
+    if Float.abs fb <= tol then { root = xb; iterations = iter; residual = Float.abs fb }
+    else begin
+      let denom = fb -. fa in
+      if denom = 0. then raise (No_convergence "secant: flat chord");
+      let x' = xb -. (fb *. (xb -. xa) /. denom) in
+      loop xb x' fb (f x') (iter + 1)
+    end
+  in
+  loop x0 x1 (f x0) (f x1) 0
+
+(* Brent's method (inverse quadratic / secant steps with bisection
+   safeguards), following the standard formulation. *)
+let brent ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
+  let fa0 = f lo and fb0 = f hi in
+  check_bracket "brent" fa0 fb0;
+  let a = ref lo and b = ref hi and fa = ref fa0 and fb = ref fb0 in
+  if Float.abs !fa < Float.abs !fb then begin
+    let t = !a in a := !b; b := t;
+    let t = !fa in fa := !fb; fb := t
+  end;
+  let c = ref !a and fc = ref !fa and d = ref !a in
+  let mflag = ref true in
+  let iter = ref 0 in
+  let result = ref None in
+  while !result = None do
+    if !fb = 0. || Float.abs (!b -. !a) < tol then
+      result := Some { root = !b; iterations = !iter; residual = Float.abs !fb }
+    else if !iter >= max_iter then raise (No_convergence "brent: iteration budget exhausted")
+    else begin
+      incr iter;
+      let s =
+        if !fa <> !fc && !fb <> !fc then
+          (* inverse quadratic interpolation *)
+          (!a *. !fb *. !fc /. ((!fa -. !fb) *. (!fa -. !fc)))
+          +. (!b *. !fa *. !fc /. ((!fb -. !fa) *. (!fb -. !fc)))
+          +. (!c *. !fa *. !fb /. ((!fc -. !fa) *. (!fc -. !fb)))
+        else !b -. (!fb *. (!b -. !a) /. (!fb -. !fa))
+      in
+      let lo_guard = ((3. *. !a) +. !b) /. 4. in
+      let between = if lo_guard < !b then s > lo_guard && s < !b else s > !b && s < lo_guard in
+      let use_bisection =
+        (not between)
+        || (!mflag && Float.abs (s -. !b) >= Float.abs (!b -. !c) /. 2.)
+        || ((not !mflag) && Float.abs (s -. !b) >= Float.abs (!c -. !d) /. 2.)
+        || (!mflag && Float.abs (!b -. !c) < tol)
+        || ((not !mflag) && Float.abs (!c -. !d) < tol)
+      in
+      let s = if use_bisection then (!a +. !b) /. 2. else s in
+      mflag := use_bisection;
+      let fs = f s in
+      d := !c;
+      c := !b;
+      fc := !fb;
+      if !fa *. fs < 0. then begin
+        b := s;
+        fb := fs
+      end
+      else begin
+        a := s;
+        fa := fs
+      end;
+      if Float.abs !fa < Float.abs !fb then begin
+        let t = !a in a := !b; b := t;
+        let t = !fa in fa := !fb; fb := t
+      end
+    end
+  done;
+  match !result with
+  | Some r -> r
+  | None -> assert false
+
+let minimize_golden ?(tol = 1e-9) ?(max_iter = 500) ~f ~lo ~hi () =
+  let phi = (sqrt 5. -. 1.) /. 2. in
+  let rec loop a b x1 x2 f1 f2 iter =
+    if b -. a < tol || iter >= max_iter then
+      let m = 0.5 *. (a +. b) in
+      { root = m; iterations = iter; residual = f m }
+    else if f1 < f2 then begin
+      let b = x2 and x2 = x1 and f2 = f1 in
+      let x1 = b -. (phi *. (b -. a)) in
+      loop a b x1 x2 (f x1) f2 (iter + 1)
+    end
+    else begin
+      let a = x1 and x1 = x2 and f1 = f2 in
+      let x2 = a +. (phi *. (b -. a)) in
+      loop a b x1 x2 f1 (f x2) (iter + 1)
+    end
+  in
+  let x1 = hi -. (phi *. (hi -. lo)) in
+  let x2 = lo +. (phi *. (hi -. lo)) in
+  loop lo hi x1 x2 (f x1) (f x2) 0

@@ -1,0 +1,54 @@
+(** One-dimensional root finding.
+
+    The multilevel optimizer solves [dE(T_w)/dN = 0] with a bisection search
+    over the convex region [(0, N_star]] (paper Section III-C.2); Newton and
+    Brent variants are provided for the Jin-style baseline and for tests. *)
+
+type outcome = {
+  root : float;
+  iterations : int;
+  residual : float;  (** |f root| at the returned point *)
+}
+
+exception No_bracket of string
+(** Raised by {!bisect} when the supplied interval does not bracket a sign
+    change. *)
+
+exception No_convergence of string
+(** Raised when an iterative method exceeds its iteration budget. *)
+
+val bisect :
+  ?tol_x:float -> ?max_iter:int -> f:(float -> float) -> lo:float -> hi:float -> unit -> outcome
+(** [bisect ~f ~lo ~hi ()] finds a root of [f] in [\[lo, hi\]].
+    [f lo] and [f hi] must have opposite (or zero) signs.  Stops when the
+    interval width falls below [tol_x] (default [1e-9]).
+    @raise No_bracket if the interval does not bracket a root. *)
+
+val bisect_integer :
+  f:(float -> float) -> lo:float -> hi:float -> unit -> outcome
+(** Bisection specialized to integer-valued answers: stops as soon as the
+    bracketing interval is narrower than [0.5], matching the paper's early
+    stop for the optimal core count [N*].
+    @raise No_bracket if the interval does not bracket a root. *)
+
+val newton :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> f':(float -> float) -> x0:float -> unit -> outcome
+(** Newton–Raphson iteration.
+    @raise No_convergence when the iteration budget is exhausted or the
+    derivative vanishes. *)
+
+val secant :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> x0:float -> x1:float -> unit -> outcome
+(** Secant method (derivative-free Newton).
+    @raise No_convergence on failure. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> lo:float -> hi:float -> unit -> outcome
+(** Brent's method: bisection safety with superlinear convergence.
+    @raise No_bracket if the interval does not bracket a root. *)
+
+val minimize_golden :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> lo:float -> hi:float -> unit -> outcome
+(** Golden-section search for the minimum of a unimodal function; used by
+    tests to confirm that stationary points found via derivatives are
+    actual minima.  The returned [residual] is [f root]. *)

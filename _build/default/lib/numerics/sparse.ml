@@ -1,0 +1,109 @@
+type t = {
+  nrows : int;
+  ncols : int;
+  row_ptr : int array;  (* length nrows + 1 *)
+  col_idx : int array;  (* length nnz, ascending within each row *)
+  values : float array;
+}
+
+let rows t = t.nrows
+let cols t = t.ncols
+let nnz t = Array.length t.values
+
+let of_triplets ~rows ~cols entries =
+  if rows <= 0 || cols <= 0 then invalid_arg "Sparse.of_triplets: empty shape";
+  List.iter
+    (fun (i, j, _) ->
+      if i < 0 || i >= rows || j < 0 || j >= cols then
+        invalid_arg "Sparse.of_triplets: index out of range")
+    entries;
+  (* Sum duplicates via a per-position table, then sort. *)
+  let table : (int * int, float) Hashtbl.t = Hashtbl.create (List.length entries) in
+  List.iter
+    (fun (i, j, v) ->
+      let prev = Option.value (Hashtbl.find_opt table (i, j)) ~default:0. in
+      Hashtbl.replace table (i, j) (prev +. v))
+    entries;
+  let cells =
+    Hashtbl.fold (fun (i, j) v acc -> if v = 0. then acc else (i, j, v) :: acc) table []
+  in
+  let cells = List.sort compare cells in
+  let n = List.length cells in
+  let row_ptr = Array.make (rows + 1) 0 in
+  let col_idx = Array.make n 0 in
+  let values = Array.make n 0. in
+  List.iteri
+    (fun k (i, j, v) ->
+      row_ptr.(i + 1) <- row_ptr.(i + 1) + 1;
+      col_idx.(k) <- j;
+      values.(k) <- v)
+    cells;
+  for i = 1 to rows do
+    row_ptr.(i) <- row_ptr.(i) + row_ptr.(i - 1)
+  done;
+  { nrows = rows; ncols = cols; row_ptr; col_idx; values }
+
+let row_iter t i f =
+  assert (i >= 0 && i < t.nrows);
+  for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+    f t.col_idx.(k) t.values.(k)
+  done
+
+let get t i j =
+  assert (i >= 0 && i < t.nrows && j >= 0 && j < t.ncols);
+  (* Binary search within the row's column indices. *)
+  let lo = ref t.row_ptr.(i) and hi = ref (t.row_ptr.(i + 1) - 1) in
+  let result = ref 0. in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = t.col_idx.(mid) in
+    if c = j then begin
+      result := t.values.(mid);
+      lo := !hi + 1
+    end
+    else if c < j then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !result
+
+let mul_vec t x =
+  if Array.length x <> t.ncols then invalid_arg "Sparse.mul_vec: size mismatch";
+  Array.init t.nrows (fun i ->
+      let acc = ref 0. in
+      for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+        acc := !acc +. (t.values.(k) *. x.(t.col_idx.(k)))
+      done;
+      !acc)
+
+let transpose t =
+  let triplets = ref [] in
+  for i = 0 to t.nrows - 1 do
+    row_iter t i (fun j v -> triplets := (j, i, v) :: !triplets)
+  done;
+  of_triplets ~rows:t.ncols ~cols:t.nrows !triplets
+
+let is_symmetric ?(tol = 1e-12) t =
+  t.nrows = t.ncols
+  && begin
+       let ok = ref true in
+       for i = 0 to t.nrows - 1 do
+         row_iter t i (fun j v -> if Float.abs (v -. get t j i) > tol then ok := false)
+       done;
+       !ok
+     end
+
+let poisson_2d ~n =
+  assert (n >= 1);
+  let idx i j = (i * n) + j in
+  let triplets = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let me = idx i j in
+      triplets := (me, me, 4.) :: !triplets;
+      if i > 0 then triplets := (me, idx (i - 1) j, -1.) :: !triplets;
+      if i < n - 1 then triplets := (me, idx (i + 1) j, -1.) :: !triplets;
+      if j > 0 then triplets := (me, idx i (j - 1), -1.) :: !triplets;
+      if j < n - 1 then triplets := (me, idx i (j + 1), -1.) :: !triplets
+    done
+  done;
+  of_triplets ~rows:(n * n) ~cols:(n * n) !triplets

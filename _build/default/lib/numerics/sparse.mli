@@ -1,0 +1,37 @@
+(** Sparse matrices in compressed sparse row (CSR) form.
+
+    Backing store for the conjugate-gradient solver ({!Cg}) used by the
+    resilience examples — large stencil systems (2-D Poisson) are far too
+    big for the dense {!Matrix} type. *)
+
+type t
+
+val of_triplets : rows:int -> cols:int -> (int * int * float) list -> t
+(** [of_triplets ~rows ~cols entries] builds the matrix from coordinate
+    triplets [(i, j, v)].  Duplicate positions are summed; explicit zeros
+    are dropped.  @raise Invalid_argument on out-of-range indices. *)
+
+val rows : t -> int
+val cols : t -> int
+val nnz : t -> int
+(** Stored entries. *)
+
+val get : t -> int -> int -> float
+(** [get t i j]; zero for absent entries.  O(log nnz_row). *)
+
+val mul_vec : t -> float array -> float array
+(** Sparse matrix–vector product.  @raise Invalid_argument on size
+    mismatch. *)
+
+val transpose : t -> t
+
+val is_symmetric : ?tol:float -> t -> bool
+(** Entry-wise symmetry check (absolute tolerance, default 1e-12). *)
+
+val poisson_2d : n:int -> t
+(** The standard 5-point Laplacian on an [n x n] interior grid (Dirichlet
+    boundary): SPD, [n^2] unknowns, 4 on the diagonal, -1 on the four
+    neighbour couplings.  The classic CG test problem. *)
+
+val row_iter : t -> int -> (int -> float -> unit) -> unit
+(** [row_iter t i f] calls [f j v] for every stored entry of row [i]. *)

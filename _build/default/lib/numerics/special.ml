@@ -1,0 +1,34 @@
+(* Lanczos approximation with g = 7, n = 9 coefficients. *)
+
+let lanczos =
+  [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+     771.32342877765313; -176.61502916214059; 12.507343278686905;
+     -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]
+
+let rec log_gamma x =
+  assert (x > 0.);
+  if x < 0.5 then
+    (* Reflection: Gamma(x) Gamma(1-x) = pi / sin(pi x). *)
+    log (Float.pi /. sin (Float.pi *. x)) -. log_gamma (1. -. x)
+  else begin
+    let x = x -. 1. in
+    let a = ref lanczos.(0) in
+    let t = x +. 7.5 in
+    for i = 1 to 8 do
+      a := !a +. (lanczos.(i) /. (x +. float_of_int i))
+    done;
+    (0.5 *. log (2. *. Float.pi)) +. ((x +. 0.5) *. log t) -. t +. log !a
+  end
+
+let gamma x = exp (log_gamma x)
+
+let factorial n =
+  assert (n >= 0);
+  if n < 2 then 1.
+  else begin
+    let acc = ref 1. in
+    for i = 2 to n do
+      acc := !acc *. float_of_int i
+    done;
+    !acc
+  end

@@ -1,0 +1,17 @@
+(** Special functions.
+
+    Currently the gamma function family, needed to calibrate Weibull
+    failure inter-arrival laws to a target mean rate
+    ([mean = scale * Gamma (1 + 1/shape)]). *)
+
+val log_gamma : float -> float
+(** [log_gamma x] is [ln (Gamma x)] for [x > 0], via the Lanczos
+    approximation (|error| < 1e-10 over the usual range). *)
+
+val gamma : float -> float
+(** [gamma x] for [x > 0].  Overflow-prone beyond ~170; use
+    {!log_gamma} there. *)
+
+val factorial : int -> float
+(** [factorial n] as a float ([gamma (n + 1)] with exact small cases).
+    Requires [n >= 0]. *)

@@ -1,0 +1,80 @@
+type summary = {
+  n : int;
+  mean : float;
+  variance : float;
+  std : float;
+  min : float;
+  max : float;
+}
+
+let mean xs =
+  assert (Array.length xs > 0);
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let std xs = sqrt (variance xs)
+
+let min xs =
+  assert (Array.length xs > 0);
+  Array.fold_left Float.min xs.(0) xs
+
+let max xs =
+  assert (Array.length xs > 0);
+  Array.fold_left Float.max xs.(0) xs
+
+let summarize xs =
+  { n = Array.length xs; mean = mean xs; variance = variance xs; std = std xs;
+    min = min xs; max = max xs }
+
+let sorted_copy xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let percentile xs p =
+  assert (Array.length xs > 0 && p >= 0. && p <= 1.);
+  let ys = sorted_copy xs in
+  let n = Array.length ys in
+  if n = 1 then ys.(0)
+  else begin
+    let pos = p *. float_of_int (n - 1) in
+    let i = int_of_float (Float.of_int (int_of_float pos)) in
+    let frac = pos -. float_of_int i in
+    if i >= n - 1 then ys.(n - 1) else ys.(i) +. (frac *. (ys.(i + 1) -. ys.(i)))
+  end
+
+let median xs = percentile xs 0.5
+
+let confidence95 xs =
+  let s = summarize xs in
+  let half = 1.96 *. s.std /. sqrt (float_of_int s.n) in
+  (s.mean -. half, s.mean +. half)
+
+let relative_error ~expected v =
+  assert (expected <> 0.);
+  Float.abs (v -. expected) /. Float.abs expected
+
+module Online = struct
+  type t = { mutable count : int; mutable mean : float; mutable m2 : float }
+
+  let create () = { count = 0; mean = 0.; m2 = 0. }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+  let count t = t.count
+  let mean t = t.mean
+  let variance t = if t.count < 2 then 0. else t.m2 /. float_of_int (t.count - 1)
+  let std t = sqrt (variance t)
+end

@@ -1,0 +1,55 @@
+(** Summary statistics for experiment replications.
+
+    Every simulated configuration is replicated (the paper averages 100
+    random runs); this module computes the means, dispersions and
+    confidence intervals reported in EXPERIMENTS.md. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  variance : float;  (** unbiased sample variance *)
+  std : float;
+  min : float;
+  max : float;
+}
+
+val mean : float array -> float
+(** [mean xs] is the arithmetic mean.  Requires a non-empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance; [0.] when fewer than two samples. *)
+
+val std : float array -> float
+val min : float array -> float
+val max : float array -> float
+
+val summarize : float array -> summary
+(** One pass over the data producing all summary fields. *)
+
+val median : float array -> float
+(** [median xs] does not modify [xs]. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0, 1\]], linear interpolation between
+    order statistics. *)
+
+val confidence95 : float array -> float * float
+(** [confidence95 xs] is the (lo, hi) 95 % normal-approximation confidence
+    interval on the mean. *)
+
+val relative_error : expected:float -> float -> float
+(** [relative_error ~expected v] is [|v - expected| / |expected|]; used to
+    compare measured results against the paper's values. *)
+
+(** Streaming mean/variance (Welford), for accumulating per-run metrics
+    without retaining the samples. *)
+module Online : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val std : t -> float
+end

@@ -1,0 +1,1 @@
+lib/simkernel/event_queue.ml: Array Float Hashtbl

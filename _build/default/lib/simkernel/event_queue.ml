@@ -1,0 +1,136 @@
+type handle = int
+
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array option;
+  (* [heap] is lazily allocated because the element type has no default. *)
+  mutable len : int;
+  mutable next_seq : int;
+  pending : (handle, unit) Hashtbl.t;  (* scheduled, not yet fired/cancelled *)
+  cancelled : (handle, unit) Hashtbl.t;  (* cancelled but still in the heap *)
+}
+
+let create () =
+  { heap = None; len = 0; next_seq = 0;
+    pending = Hashtbl.create 64; cancelled = Hashtbl.create 64 }
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t entry =
+  match t.heap with
+  | None ->
+      let arr = Array.make 16 entry in
+      t.heap <- Some arr;
+      arr
+  | Some arr ->
+      if t.len >= Array.length arr then begin
+        let bigger = Array.make (2 * Array.length arr) entry in
+        Array.blit arr 0 bigger 0 t.len;
+        t.heap <- Some bigger;
+        bigger
+      end
+      else arr
+
+let sift_up arr i =
+  let item = arr.(i) in
+  let rec loop i =
+    if i = 0 then i
+    else begin
+      let parent = (i - 1) / 2 in
+      if less item arr.(parent) then begin
+        arr.(i) <- arr.(parent);
+        loop parent
+      end
+      else i
+    end
+  in
+  let pos = loop i in
+  arr.(pos) <- item
+
+let sift_down arr len i =
+  let item = arr.(i) in
+  let rec loop i =
+    let left = (2 * i) + 1 in
+    if left >= len then i
+    else begin
+      let right = left + 1 in
+      let child = if right < len && less arr.(right) arr.(left) then right else left in
+      if less arr.(child) item then begin
+        arr.(i) <- arr.(child);
+        loop child
+      end
+      else i
+    end
+  in
+  let pos = loop i in
+  arr.(pos) <- item
+
+let push t ~time payload =
+  assert (Float.is_finite time);
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let entry = { time; seq; payload } in
+  let arr = grow t entry in
+  arr.(t.len) <- entry;
+  sift_up arr t.len;
+  t.len <- t.len + 1;
+  Hashtbl.replace t.pending seq ();
+  seq
+
+let cancel t h =
+  if Hashtbl.mem t.pending h then begin
+    Hashtbl.remove t.pending h;
+    Hashtbl.replace t.cancelled h ()
+  end
+
+let is_cancelled t h = Hashtbl.mem t.cancelled h
+
+let remove_top t arr =
+  t.len <- t.len - 1;
+  if t.len > 0 then begin
+    arr.(0) <- arr.(t.len);
+    sift_down arr t.len 0
+  end
+
+let rec pop t =
+  if t.len = 0 then None
+  else begin
+    match t.heap with
+    | None -> None
+    | Some arr ->
+        let top = arr.(0) in
+        remove_top t arr;
+        if Hashtbl.mem t.cancelled top.seq then begin
+          Hashtbl.remove t.cancelled top.seq;
+          pop t
+        end
+        else begin
+          Hashtbl.remove t.pending top.seq;
+          Some (top.time, top.payload)
+        end
+  end
+
+let rec peek_time t =
+  if t.len = 0 then None
+  else begin
+    match t.heap with
+    | None -> None
+    | Some arr ->
+        let top = arr.(0) in
+        if Hashtbl.mem t.cancelled top.seq then begin
+          (* Drop the dead head so repeated peeks stay cheap. *)
+          Hashtbl.remove t.cancelled top.seq;
+          remove_top t arr;
+          peek_time t
+        end
+        else Some top.time
+  end
+
+let size t = Hashtbl.length t.pending
+let is_empty t = size t = 0
+
+let clear t =
+  t.len <- 0;
+  Hashtbl.reset t.pending;
+  Hashtbl.reset t.cancelled

@@ -1,0 +1,38 @@
+(** Priority queue of timestamped events.
+
+    A binary min-heap keyed by [(time, sequence)]: events at equal times are
+    delivered in insertion order, which keeps simulations deterministic.
+    Cancellation is lazy — cancelled entries are skipped on extraction — so
+    both {!push} and {!cancel} are cheap. *)
+
+type 'a t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : unit -> 'a t
+
+val push : 'a t -> time:float -> 'a -> handle
+(** [push q ~time payload] schedules [payload] at [time].
+    Requires [time] to be finite. *)
+
+val cancel : 'a t -> handle -> unit
+(** [cancel q h] removes the event; a no-op if it already fired or was
+    already cancelled. *)
+
+val is_cancelled : 'a t -> handle -> bool
+
+val pop : 'a t -> (float * 'a) option
+(** [pop q] removes and returns the earliest live event, or [None] when the
+    queue is empty. *)
+
+val peek_time : 'a t -> float option
+(** Timestamp of the earliest live event without removing it. *)
+
+val size : 'a t -> int
+(** Number of live (non-cancelled) events. *)
+
+val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit
+(** Drop every pending event. *)

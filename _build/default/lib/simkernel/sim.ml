@@ -1,0 +1,58 @@
+type t = {
+  queue : (t -> unit) Event_queue.t;
+  mutable clock : float;
+  mutable stop_requested : bool;
+}
+
+type event_id = Event_queue.handle
+
+exception Time_in_the_past of { now : float; requested : float }
+
+let create ?(start_time = 0.) () =
+  { queue = Event_queue.create (); clock = start_time; stop_requested = false }
+
+let now t = t.clock
+
+let schedule_at t ~time k =
+  if time < t.clock then raise (Time_in_the_past { now = t.clock; requested = time });
+  Event_queue.push t.queue ~time k
+
+let schedule_after t ~delay k =
+  assert (delay >= 0.);
+  schedule_at t ~time:(t.clock +. delay) k
+
+let cancel t id = Event_queue.cancel t.queue id
+let pending t = Event_queue.size t.queue
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, k) ->
+      t.clock <- time;
+      k t;
+      true
+
+let run ?until t =
+  t.stop_requested <- false;
+  let continue () =
+    if t.stop_requested then false
+    else begin
+      match (Event_queue.peek_time t.queue, until) with
+      | None, _ -> false
+      | Some next, Some limit when next > limit ->
+          t.clock <- limit;
+          false
+      | Some _, _ -> true
+    end
+  in
+  while continue () do
+    ignore (step t)
+  done;
+  match until with
+  | Some limit when (not t.stop_requested) && Event_queue.is_empty t.queue && t.clock < limit ->
+      (* Queue drained before the horizon: still advance the clock. *)
+      t.clock <- limit
+  | _ -> ()
+
+let stop t = t.stop_requested <- true
+let stopped t = t.stop_requested

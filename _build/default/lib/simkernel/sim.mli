@@ -1,0 +1,51 @@
+(** Discrete-event simulation engine.
+
+    A thin scheduler over {!Event_queue}: callbacks are scheduled at
+    absolute or relative simulated times and executed in timestamp order.
+    Both the checkpoint/restart simulator ([ckpt_sim]) and the MPI program
+    emulator ([ckpt_mpi]) run on this engine.
+
+    The engine is strictly sequential and deterministic: ties are broken by
+    scheduling order, and no wall-clock time is consulted. *)
+
+type t
+
+type event_id
+(** Identifies a scheduled callback for cancellation. *)
+
+exception Time_in_the_past of { now : float; requested : float }
+
+val create : ?start_time:float -> unit -> t
+(** [create ()] starts the clock at [start_time] (default [0.]). *)
+
+val now : t -> float
+(** Current simulated time. *)
+
+val schedule_at : t -> time:float -> (t -> unit) -> event_id
+(** [schedule_at t ~time k] runs [k] at absolute time [time].
+    @raise Time_in_the_past if [time < now t]. *)
+
+val schedule_after : t -> delay:float -> (t -> unit) -> event_id
+(** [schedule_after t ~delay k] runs [k] at [now t +. delay].
+    Requires [delay >= 0.]. *)
+
+val cancel : t -> event_id -> unit
+(** Cancel a pending callback; no-op if it already ran. *)
+
+val pending : t -> int
+(** Number of scheduled, unfired callbacks. *)
+
+val step : t -> bool
+(** [step t] executes the earliest pending callback; [false] when none are
+    left.  The clock jumps to the callback's timestamp. *)
+
+val run : ?until:float -> t -> unit
+(** [run t] executes callbacks until the queue drains, or — given [until] —
+    until the next event is strictly later than [until] (the clock is then
+    advanced to [until]). *)
+
+val stop : t -> unit
+(** Request that {!run} return after the current callback completes.
+    Pending events remain queued. *)
+
+val stopped : t -> bool

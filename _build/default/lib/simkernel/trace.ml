@@ -1,0 +1,37 @@
+type entry = { time : float; tag : string; detail : string }
+
+type t = {
+  mutable items : entry list;  (* reverse order *)
+  mutable count : int;
+  mutable enabled : bool;
+}
+
+let create ?capacity:_ ?(enabled = true) () = { items = []; count = 0; enabled }
+
+let enabled t = t.enabled
+let set_enabled t flag = t.enabled <- flag
+
+let record t ~time ~tag detail =
+  if t.enabled then begin
+    t.items <- { time; tag; detail } :: t.items;
+    t.count <- t.count + 1
+  end
+
+let recordf t ~time ~tag fmt =
+  Format.kasprintf
+    (fun detail -> if t.enabled then record t ~time ~tag detail)
+    fmt
+
+let length t = t.count
+let entries t = List.rev t.items
+
+let find_all t ~tag = List.filter (fun e -> String.equal e.tag tag) (entries t)
+
+let clear t =
+  t.items <- [];
+  t.count <- 0
+
+let pp ppf t =
+  List.iter
+    (fun e -> Format.fprintf ppf "%12.3f  %-12s %s@\n" e.time e.tag e.detail)
+    (entries t)

@@ -1,0 +1,40 @@
+(** Simulation trace recording.
+
+    Collects timestamped, tagged events during a simulated run.  Traces are
+    consumed by tests (asserting event orderings, e.g. that a recovery
+    always follows a failure) and can be dumped for debugging. *)
+
+type t
+
+type entry = {
+  time : float;
+  tag : string;
+  detail : string;
+}
+
+val create : ?capacity:int -> ?enabled:bool -> unit -> t
+(** [create ()] makes an enabled trace.  Disabled traces drop every record,
+    so instrumentation can stay in hot paths. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val record : t -> time:float -> tag:string -> string -> unit
+(** [record t ~time ~tag detail] appends an entry (no-op when disabled). *)
+
+val recordf :
+  t -> time:float -> tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted variant of {!record}; the message is only built when the
+    trace is enabled. *)
+
+val length : t -> int
+val entries : t -> entry list
+(** Entries in recording order. *)
+
+val find_all : t -> tag:string -> entry list
+(** Entries carrying the given tag, in order. *)
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** One line per entry: [time tag detail]. *)

@@ -1,0 +1,1 @@
+lib/simulator/engine.ml: Array Ckpt_failures Ckpt_model Ckpt_numerics Ckpt_simkernel Float Hashtbl Outcome Printf Run_config

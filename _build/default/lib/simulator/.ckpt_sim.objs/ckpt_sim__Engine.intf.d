@@ -1,0 +1,1 @@
+lib/simulator/engine.mli: Ckpt_simkernel Outcome Run_config

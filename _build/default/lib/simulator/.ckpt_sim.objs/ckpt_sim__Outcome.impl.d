@@ -1,0 +1,1 @@
+lib/simulator/outcome.ml: Array Format String

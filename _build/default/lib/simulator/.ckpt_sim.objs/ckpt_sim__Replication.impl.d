@@ -1,0 +1,1 @@
+lib/simulator/replication.ml: Array Ckpt_numerics Engine Format List Outcome Run_config

@@ -1,0 +1,1 @@
+lib/simulator/replication.mli: Ckpt_numerics Format Outcome Run_config

@@ -1,0 +1,1 @@
+lib/simulator/run_config.ml: Array Ckpt_failures Ckpt_model Float List

@@ -1,0 +1,1 @@
+lib/simulator/run_config.mli: Ckpt_failures Ckpt_model

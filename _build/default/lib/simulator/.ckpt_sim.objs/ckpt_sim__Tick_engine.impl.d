@@ -1,0 +1,1 @@
+lib/simulator/tick_engine.ml: Array Ckpt_failures Ckpt_model Ckpt_numerics Float Hashtbl Int List Outcome Run_config

@@ -1,0 +1,1 @@
+lib/simulator/tick_engine.mli: Outcome Run_config

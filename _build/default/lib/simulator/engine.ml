@@ -1,0 +1,310 @@
+module Rng = Ckpt_numerics.Rng
+module Dist = Ckpt_numerics.Dist
+module Arrivals = Ckpt_failures.Arrivals
+module Level = Ckpt_model.Level
+module Overhead = Ckpt_model.Overhead
+module Trace = Ckpt_simkernel.Trace
+
+type state = {
+  config : Run_config.t;
+  trace : Trace.t option;
+  rng : Rng.t;
+  next_failure_after : float -> Arrivals.event option;
+  target : float;  (* parallel productive seconds to complete *)
+  tau : float array;  (* interval length per level *)
+  last_pos : float array;  (* newest valid checkpoint position per level *)
+  next_k : int array;  (* next mark index per level *)
+  completed_marks : (int, unit) Hashtbl.t array;
+  mutable t : float;  (* wall clock *)
+  mutable p : float;  (* productive position *)
+  mutable hw : float;  (* first-time progress high-water mark *)
+  mutable next_failure : Arrivals.event option;
+  (* accounting *)
+  mutable productive : float;
+  mutable checkpoint : float;
+  mutable restart : float;
+  mutable allocation : float;
+  mutable rollback : float;
+  failures : int array;
+  mutable recoveries : int;
+  ckpts_written : int array;
+  ckpts_redone : int array;
+  ckpts_aborted : int array;
+}
+
+let levels s = Array.length s.config.Run_config.levels
+
+let record s ~tag detail =
+  match s.trace with
+  | None -> ()
+  | Some trace -> Trace.record trace ~time:s.t ~tag detail
+
+let jittered s v =
+  let ratio = s.config.Run_config.semantics.Run_config.jitter_ratio in
+  if ratio = 0. then v else Dist.jittered s.rng ~ratio v
+
+let ckpt_cost s lvl = Overhead.cost s.config.Run_config.levels.(lvl - 1).Level.ckpt s.config.Run_config.n
+let restart_cost s lvl =
+  Overhead.cost s.config.Run_config.levels.(lvl - 1).Level.restart s.config.Run_config.n
+
+(* Position of level [lvl]'s next checkpoint mark, if it lies before the
+   end of the workload. *)
+let next_mark_pos s lvl =
+  let pos = float_of_int s.next_k.(lvl - 1) *. s.tau.(lvl - 1) in
+  let eps = 1e-9 *. s.target in
+  if pos < s.target -. eps then Some pos else None
+
+let first_mark s =
+  let best = ref None in
+  for lvl = 1 to levels s do
+    match next_mark_pos s lvl with
+    | None -> ()
+    | Some pos -> (
+        match !best with
+        | Some (bpos, _) when bpos <= pos -> ()
+        | _ -> best := Some (pos, lvl))
+  done;
+  !best
+
+(* Advance productive position from [s.p] to [pos], charging first-time
+   progress to the productive portion and re-execution to rollback. *)
+let advance_progress s pos =
+  assert (pos >= s.p -. 1e-9);
+  let first_time = Float.max 0. (pos -. Float.max s.p s.hw) in
+  s.productive <- s.productive +. first_time;
+  s.rollback <- s.rollback +. (pos -. s.p -. first_time);
+  s.hw <- Float.max s.hw pos;
+  s.p <- pos
+
+let sample_failure s = s.next_failure <- s.next_failure_after s.t
+
+(* Recompute each level's next mark index after restoring position [q]:
+   the first mark strictly after [q]. *)
+let reset_marks s q =
+  for lvl = 1 to levels s do
+    let tau = s.tau.(lvl - 1) in
+    s.next_k.(lvl - 1) <- int_of_float ((q +. (1e-9 *. s.target)) /. tau) + 1
+  done
+
+let out_of_time s = s.t >= s.config.Run_config.max_wall_clock
+
+(* Handle a failure of level [f] occurring at the current clock [s.t]:
+   roll back and run the allocation + recovery sequence, which may itself
+   be interrupted by further failures. *)
+let rec handle_failure s f =
+  s.failures.(f - 1) <- s.failures.(f - 1) + 1;
+  record s ~tag:"failure" (Printf.sprintf "level %d at progress %.0f" f s.p);
+  sample_failure s;
+  (* Restore point: newest checkpoint among levels >= f (position 0 - the
+     job start - always qualifies). *)
+  let q = ref 0. in
+  for j = f to levels s do
+    q := Float.max !q s.last_pos.(j - 1)
+  done;
+  let q = !q in
+  (* Lower-level checkpoints taken after q did not survive the failure. *)
+  for j = 1 to f - 1 do
+    if s.last_pos.(j - 1) > q then s.last_pos.(j - 1) <- q
+  done;
+  s.p <- q;
+  reset_marks s q;
+  record s ~tag:"recovery" (Printf.sprintf "level %d restored to %.0f" f q);
+  run_recovery s f
+
+and run_recovery s f =
+  if out_of_time s then ()
+  else begin
+    s.recoveries <- s.recoveries + 1;
+    let alloc = s.config.Run_config.alloc in
+    let rec_cost = jittered s (restart_cost s f) in
+    let t_alloc_end = s.t +. alloc in
+    let t_rec_end = t_alloc_end +. rec_cost in
+    let interrupted =
+      match (s.next_failure, s.config.Run_config.semantics.Run_config.on_recovery_failure) with
+      | Some ev, Run_config.Restart_recovery when ev.Arrivals.at < t_rec_end -> Some ev
+      | _, Run_config.Ignore_during_recovery ->
+          (* Drop every failure landing inside the recovery window. *)
+          let rec drop () =
+            match s.next_failure with
+            | Some ev when ev.Arrivals.at < t_rec_end ->
+                s.next_failure <- s.next_failure_after ev.Arrivals.at;
+                drop ()
+            | _ -> ()
+          in
+          drop ();
+          None
+      | _ -> None
+    in
+    match interrupted with
+    | None ->
+        s.allocation <- s.allocation +. alloc;
+        s.restart <- s.restart +. rec_cost;
+        s.t <- t_rec_end
+    | Some ev ->
+        let at = ev.Arrivals.at in
+        if at < t_alloc_end then s.allocation <- s.allocation +. (at -. s.t)
+        else begin
+          s.allocation <- s.allocation +. alloc;
+          s.restart <- s.restart +. (at -. t_alloc_end)
+        end;
+        s.t <- at;
+        handle_failure s ev.Arrivals.level
+  end
+
+(* Write the level [lvl] checkpoint at mark index [k] (current position).
+   Returns [`Done] or [`Failed ev] when an aborting failure interrupted. *)
+let write_checkpoint s lvl k =
+  let dur = jittered s (ckpt_cost s lvl) in
+  let t_end = s.t +. dur in
+  let semantics = s.config.Run_config.semantics in
+  let aborting_failure =
+    match (s.next_failure, semantics.Run_config.on_ckpt_failure) with
+    | Some ev, Run_config.Abort_ckpt when ev.Arrivals.at < t_end -> Some ev
+    | _ -> None
+  in
+  match aborting_failure with
+  | Some ev ->
+      (* The partial write is wasted overhead: rollback portion. *)
+      s.rollback <- s.rollback +. (ev.Arrivals.at -. s.t);
+      s.ckpts_aborted.(lvl - 1) <- s.ckpts_aborted.(lvl - 1) + 1;
+      s.t <- ev.Arrivals.at;
+      record s ~tag:"ckpt-abort" (Printf.sprintf "level %d" lvl);
+      `Failed ev
+  | None ->
+      let marks = s.completed_marks.(lvl - 1) in
+      if Hashtbl.mem marks k then begin
+        s.rollback <- s.rollback +. dur;
+        s.ckpts_redone.(lvl - 1) <- s.ckpts_redone.(lvl - 1) + 1;
+        record s ~tag:"ckpt-redo" (Printf.sprintf "level %d mark %d" lvl k)
+      end
+      else begin
+        s.checkpoint <- s.checkpoint +. dur;
+        s.ckpts_written.(lvl - 1) <- s.ckpts_written.(lvl - 1) + 1;
+        Hashtbl.replace marks k ();
+        record s ~tag:"ckpt" (Printf.sprintf "level %d mark %d at progress %.0f" lvl k s.p)
+      end;
+      s.t <- t_end;
+      s.last_pos.(lvl - 1) <- s.p;
+      s.next_k.(lvl - 1) <- k + 1;
+      (* Under atomic-write semantics a failure that landed during the
+         write is processed now, at the write's end. *)
+      (match s.next_failure with
+       | Some ev when ev.Arrivals.at <= s.t -> `Failed { ev with Arrivals.at = s.t }
+       | _ -> `Done)
+
+let finish s completed =
+  record s ~tag:(if completed then "complete" else "horizon")
+    (Printf.sprintf "wall %.0f" s.t);
+  { Outcome.completed;
+    wall_clock = s.t;
+    productive = s.productive;
+    checkpoint = s.checkpoint;
+    restart = s.restart;
+    allocation = s.allocation;
+    rollback = s.rollback;
+    failures = Array.copy s.failures;
+    recoveries = s.recoveries;
+    ckpts_written = Array.copy s.ckpts_written;
+    ckpts_redone = Array.copy s.ckpts_redone;
+    ckpts_aborted = Array.copy s.ckpts_aborted }
+
+let run ?trace ~seed config =
+  let rng = Rng.of_int seed in
+  let next_failure_after =
+    match config.Run_config.failure_trace with
+    | Some events ->
+        (* Replay a recorded failure log: hand out the next event strictly
+           after the requested time, never rewinding. *)
+        let remaining = ref events in
+        fun now ->
+          let rec pick () =
+            match !remaining with
+            | [] -> None
+            | (at, level) :: rest ->
+                if at <= now then begin
+                  remaining := rest;
+                  pick ()
+                end
+                else begin
+                  remaining := rest;
+                  Some { Arrivals.at; level }
+                end
+          in
+          pick ()
+    | None ->
+        let arrivals =
+          Arrivals.create ?laws:config.Run_config.failure_laws ~rng:(Rng.split rng)
+            ~spec:config.Run_config.spec ~scale:config.Run_config.n ()
+        in
+        fun now -> Arrivals.next_after arrivals now
+  in
+  let target = Run_config.productive_target config in
+  let nlevels = Array.length config.Run_config.levels in
+  let s =
+    { config; trace; rng; next_failure_after; target;
+      tau = Array.map (fun x -> target /. x) config.Run_config.xs;
+      last_pos = Array.make nlevels 0.;
+      next_k = Array.make nlevels 1;
+      completed_marks = Array.init nlevels (fun _ -> Hashtbl.create 64);
+      t = 0.; p = 0.; hw = 0.;
+      next_failure = None;
+      productive = 0.; checkpoint = 0.; restart = 0.; allocation = 0.; rollback = 0.;
+      failures = Array.make nlevels 0;
+      recoveries = 0;
+      ckpts_written = Array.make nlevels 0;
+      ckpts_redone = Array.make nlevels 0;
+      ckpts_aborted = Array.make nlevels 0 }
+  in
+  sample_failure s;
+  let eps = 1e-9 *. target in
+  let rec step () =
+    if s.p >= target -. eps then finish s true
+    else if out_of_time s then finish s false
+    else begin
+      let mark = first_mark s in
+      let seg_end_pos = match mark with Some (pos, _) -> pos | None -> target in
+      let t_seg_end = s.t +. (seg_end_pos -. s.p) in
+      match s.next_failure with
+      | Some ev when ev.Arrivals.at < t_seg_end ->
+          (* Failure strikes mid-computation. *)
+          advance_progress s (s.p +. (ev.Arrivals.at -. s.t));
+          s.t <- ev.Arrivals.at;
+          handle_failure s ev.Arrivals.level;
+          step ()
+      | _ ->
+          advance_progress s seg_end_pos;
+          s.t <- t_seg_end;
+          (match mark with
+           | None -> finish s true  (* reached the end of the workload *)
+           | Some (pos, lvl) -> (
+               let lvl =
+                 if not s.config.Run_config.semantics.Run_config.subsume_coincident then lvl
+                 else begin
+                   (* Every level whose next mark lands on this position is
+                      subsumed by the highest one: skip the cheap writes. *)
+                   let eps = 1e-9 *. s.target in
+                   let highest = ref lvl in
+                   for l = lvl + 1 to levels s do
+                     match next_mark_pos s l with
+                     | Some p when Float.abs (p -. pos) <= eps -> highest := l
+                     | _ -> ()
+                   done;
+                   if !highest > lvl then
+                     for l = lvl to !highest - 1 do
+                       match next_mark_pos s l with
+                       | Some p when Float.abs (p -. pos) <= eps ->
+                           s.next_k.(l - 1) <- s.next_k.(l - 1) + 1
+                       | _ -> ()
+                     done;
+                   !highest
+                 end
+               in
+               let k = s.next_k.(lvl - 1) in
+               match write_checkpoint s lvl k with
+               | `Done -> step ()
+               | `Failed ev ->
+                   handle_failure s ev.Arrivals.level;
+                   step ()))
+    end
+  in
+  step ()

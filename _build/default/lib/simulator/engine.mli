@@ -1,0 +1,27 @@
+(** Event-driven simulation of one checkpointed execution.
+
+    The engine tracks productive progress through the workload, writes
+    checkpoints at each level's equidistant marks, injects per-level
+    Poisson failures, rolls back to the newest checkpoint of a sufficient
+    level, and accounts every second of wall-clock time to exactly one of
+    the paper's portions (tested invariant:
+    {!Outcome.portions_sum} = wall clock).
+
+    Semantics notes:
+    - a level-f failure restores the newest checkpoint among levels
+      [>= f]; job start acts as a level-L checkpoint at position 0;
+    - a level-f failure also invalidates lower-level checkpoints taken
+      after the restored position (their storage did not survive);
+    - re-executed work and re-written checkpoints are charged to the
+      rollback portion; allocation and recovery reads to their own
+      portions;
+    - failures can land during checkpoint writes and recoveries; the
+      behaviour is configured by {!Run_config.semantics}. *)
+
+val run : ?trace:Ckpt_simkernel.Trace.t -> seed:int -> Run_config.t -> Outcome.t
+(** [run ~seed config] simulates one execution; equal seeds reproduce
+    equal outcomes bit-for-bit.  When [trace] is given, the engine records
+    tagged events into it — ["failure"], ["recovery"], ["ckpt"],
+    ["ckpt-redo"], ["ckpt-abort"], ["complete"], ["horizon"] — with the
+    simulated wall-clock timestamps; tests use this to assert event
+    orderings. *)

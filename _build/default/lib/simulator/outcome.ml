@@ -1,0 +1,35 @@
+type t = {
+  completed : bool;
+  wall_clock : float;
+  productive : float;
+  checkpoint : float;
+  restart : float;
+  allocation : float;
+  rollback : float;
+  failures : int array;
+  recoveries : int;
+  ckpts_written : int array;
+  ckpts_redone : int array;
+  ckpts_aborted : int array;
+}
+
+let total_failures t = Array.fold_left ( + ) 0 t.failures
+
+let portions_sum t =
+  t.productive +. t.checkpoint +. t.restart +. t.allocation +. t.rollback
+
+let efficiency t ~te ~n =
+  assert (te > 0. && n > 0.);
+  if t.wall_clock <= 0. then 0. else te /. t.wall_clock /. n
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>wall=%.4g s (completed=%b)@ productive=%.4g ckpt=%.4g restart=%.4g \
+     alloc=%.4g rollback=%.4g@ failures=[%s] recoveries=%d@ \
+     ckpts written=[%s] redone=[%s] aborted=[%s]@]"
+    t.wall_clock t.completed t.productive t.checkpoint t.restart t.allocation t.rollback
+    (String.concat ";" (Array.to_list (Array.map string_of_int t.failures)))
+    t.recoveries
+    (String.concat ";" (Array.to_list (Array.map string_of_int t.ckpts_written)))
+    (String.concat ";" (Array.to_list (Array.map string_of_int t.ckpts_redone)))
+    (String.concat ";" (Array.to_list (Array.map string_of_int t.ckpts_aborted)))

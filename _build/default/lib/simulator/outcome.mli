@@ -1,0 +1,33 @@
+(** Result of one simulated run, decomposed into the paper's four stacked
+    time portions (Figs. 5/6): productive time, checkpoint overhead,
+    restart overhead (split here into recovery reads and allocation), and
+    rollback loss (re-executed work, re-written checkpoints and aborted
+    writes). *)
+
+type t = {
+  completed : bool;  (** [false] when the safety horizon was hit *)
+  wall_clock : float;
+  productive : float;  (** first-time productive seconds *)
+  checkpoint : float;  (** first-time checkpoint writes *)
+  restart : float;  (** recovery reads *)
+  allocation : float;  (** node re-allocation periods *)
+  rollback : float;  (** re-executed work + re-written/aborted checkpoints *)
+  failures : int array;  (** failures per level *)
+  recoveries : int;  (** recoveries begun (>= total failures under
+                         restart-recovery semantics) *)
+  ckpts_written : int array;  (** first-time completed checkpoints per level *)
+  ckpts_redone : int array;  (** re-taken after rollback, per level *)
+  ckpts_aborted : int array;  (** destroyed mid-write, per level *)
+}
+
+val total_failures : t -> int
+
+val portions_sum : t -> float
+(** [productive + checkpoint + restart + allocation + rollback]; equals
+    [wall_clock] up to float noise (tested invariant). *)
+
+val efficiency : t -> te:float -> n:float -> float
+(** Wall-clock-based processor utilization: [(te / wall_clock) / n]
+    (paper Section IV-A). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+module Stats = Ckpt_numerics.Stats
+
+type aggregate = {
+  runs : int;
+  completed_runs : int;
+  wall_clock : Stats.summary;
+  productive : float;
+  checkpoint : float;
+  restart : float;
+  allocation : float;
+  rollback : float;
+  mean_failures : float;
+  mean_efficiency : float;
+  wall_clock_ci95 : float * float;
+}
+
+let outcomes ?(runs = 100) ?(base_seed = 42) config =
+  assert (runs > 0);
+  Array.init runs (fun i -> Engine.run ~seed:(base_seed + i) config)
+
+let run ?runs ?base_seed config =
+  let all = outcomes ?runs ?base_seed config in
+  let completed = Array.of_list (List.filter (fun o -> o.Outcome.completed) (Array.to_list all)) in
+  let pick f =
+    if Array.length completed = 0 then [| 0. |] else Array.map f completed
+  in
+  let walls = pick (fun o -> o.Outcome.wall_clock) in
+  let mean f = Stats.mean (pick f) in
+  { runs = Array.length all;
+    completed_runs = Array.length completed;
+    wall_clock = Stats.summarize walls;
+    productive = mean (fun o -> o.Outcome.productive);
+    checkpoint = mean (fun o -> o.Outcome.checkpoint);
+    restart = mean (fun o -> o.Outcome.restart);
+    allocation = mean (fun o -> o.Outcome.allocation);
+    rollback = mean (fun o -> o.Outcome.rollback);
+    mean_failures = mean (fun o -> float_of_int (Outcome.total_failures o));
+    mean_efficiency =
+      mean (fun o ->
+          Outcome.efficiency o ~te:config.Run_config.te ~n:config.Run_config.n);
+    wall_clock_ci95 = Stats.confidence95 walls }
+
+let pp ppf a =
+  Format.fprintf ppf
+    "@[<v>%d/%d runs completed@ wall mean=%.4g s std=%.3g@ portions: prod=%.4g \
+     ckpt=%.4g restart=%.4g alloc=%.4g rollback=%.4g@ failures=%.1f eff=%.4f@]"
+    a.completed_runs a.runs a.wall_clock.Stats.mean a.wall_clock.Stats.std a.productive
+    a.checkpoint a.restart a.allocation a.rollback a.mean_failures a.mean_efficiency

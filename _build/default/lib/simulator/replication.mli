@@ -1,0 +1,30 @@
+(** Replicated simulation runs.
+
+    The paper reports mean values over 100 runs with random failure
+    arrivals per configuration (Section IV-A).  This module runs a
+    configuration across seeds and aggregates the outcome portions. *)
+
+type aggregate = {
+  runs : int;
+  completed_runs : int;
+  wall_clock : Ckpt_numerics.Stats.summary;
+  productive : float;  (** mean seconds *)
+  checkpoint : float;
+  restart : float;
+  allocation : float;
+  rollback : float;
+  mean_failures : float;
+  mean_efficiency : float;
+  wall_clock_ci95 : float * float;
+}
+
+val run : ?runs:int -> ?base_seed:int -> Run_config.t -> aggregate
+(** [run config] simulates [runs] executions (default 100) with seeds
+    [base_seed + i] (default base 42) and aggregates.  Runs that hit the
+    safety horizon are counted in [runs - completed_runs] and excluded
+    from the means (a warning case the caller should surface). *)
+
+val outcomes : ?runs:int -> ?base_seed:int -> Run_config.t -> Outcome.t array
+(** The raw per-run outcomes, for custom statistics. *)
+
+val pp : Format.formatter -> aggregate -> unit

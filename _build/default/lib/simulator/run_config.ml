@@ -1,0 +1,89 @@
+module Speedup = Ckpt_model.Speedup
+module Level = Ckpt_model.Level
+module Optimizer = Ckpt_model.Optimizer
+module Failure_spec = Ckpt_failures.Failure_spec
+
+type ckpt_failure_semantics = Abort_ckpt | Atomic_ckpt
+type recovery_failure_semantics = Restart_recovery | Ignore_during_recovery
+
+type semantics = {
+  jitter_ratio : float;
+  on_ckpt_failure : ckpt_failure_semantics;
+  on_recovery_failure : recovery_failure_semantics;
+  subsume_coincident : bool;
+}
+
+let default_semantics =
+  { jitter_ratio = 0.3;
+    on_ckpt_failure = Abort_ckpt;
+    on_recovery_failure = Restart_recovery;
+    subsume_coincident = false }
+
+let paper_semantics = { default_semantics with on_ckpt_failure = Atomic_ckpt }
+
+type t = {
+  te : float;
+  speedup : Speedup.t;
+  levels : Level.t array;
+  alloc : float;
+  spec : Failure_spec.t;
+  xs : float array;
+  n : float;
+  semantics : semantics;
+  failure_laws : Ckpt_failures.Arrivals.law array option;
+  failure_trace : (float * int) list option;
+  max_wall_clock : float;
+}
+
+let v ?(semantics = default_semantics) ?failure_laws ?failure_trace
+    ?(max_wall_clock = 1e10) ~te ~speedup ~levels ~alloc ~spec ~xs ~n () =
+  if Array.length levels = 0 then invalid_arg "Run_config: no levels";
+  if Array.length xs <> Array.length levels then
+    invalid_arg "Run_config: xs size differs from level count";
+  if Failure_spec.levels spec <> Array.length levels then
+    invalid_arg "Run_config: failure spec size differs from level count";
+  Array.iter (fun x -> if x < 1. then invalid_arg "Run_config: interval count < 1") xs;
+  if te <= 0. then invalid_arg "Run_config: non-positive workload";
+  if n < 1. then invalid_arg "Run_config: scale < 1";
+  if alloc < 0. then invalid_arg "Run_config: negative allocation period";
+  if semantics.jitter_ratio < 0. || semantics.jitter_ratio >= 1. then
+    invalid_arg "Run_config: jitter ratio out of [0, 1)";
+  (match failure_laws with
+   | Some laws when Array.length laws <> Array.length levels ->
+       invalid_arg "Run_config: one failure law per level required"
+   | _ -> ());
+  (match failure_trace with
+   | None -> ()
+   | Some events ->
+       let prev = ref neg_infinity in
+       List.iter
+         (fun (at, level) ->
+           if at < !prev then invalid_arg "Run_config: failure trace not sorted";
+           if level < 1 || level > Array.length levels then
+             invalid_arg "Run_config: failure trace level out of range";
+           prev := at)
+         events);
+  { te; speedup; levels; alloc; spec; xs; n; semantics; failure_laws; failure_trace;
+    max_wall_clock }
+
+let of_plan ?semantics ?failure_laws ?failure_trace ?max_wall_clock
+    ~(problem : Optimizer.problem) ~(plan : Optimizer.plan) () =
+  v ?semantics ?failure_laws ?failure_trace ?max_wall_clock ~te:problem.Optimizer.te
+    ~speedup:problem.Optimizer.speedup
+    ~levels:problem.Optimizer.levels ~alloc:problem.Optimizer.alloc
+    ~spec:problem.Optimizer.spec ~xs:plan.Optimizer.xs ~n:plan.Optimizer.n ()
+
+let productive_target t = Speedup.productive_time t.speedup ~te:t.te ~n:t.n
+
+let nested_xs xs =
+  let n = Array.length xs in
+  assert (n > 0);
+  let out = Array.make n 1. in
+  (* Build from the most expensive level down: each cheaper level's count
+     is the nearest positive integer multiple of the level above it. *)
+  out.(n - 1) <- Float.max 1. (Float.round xs.(n - 1));
+  for i = n - 2 downto 0 do
+    let multiple = Float.max 1. (Float.round (xs.(i) /. out.(i + 1))) in
+    out.(i) <- multiple *. out.(i + 1)
+  done;
+  out

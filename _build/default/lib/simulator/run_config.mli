@@ -1,0 +1,98 @@
+(** Configuration of one simulated checkpointed execution.
+
+    Mirrors the paper's exascale simulation setup (Section IV-A): a
+    workload of [te] single-core seconds runs on [n] cores under a
+    multilevel checkpoint plan [xs]; failures arrive as per-level Poisson
+    processes scaled to [n]; checkpoint/restart costs are jittered by up to
+    30 %.  Semantics toggles capture behaviours the paper leaves implicit,
+    so experiments can bracket them. *)
+
+type ckpt_failure_semantics =
+  | Abort_ckpt  (** a failure mid-write destroys the in-progress checkpoint *)
+  | Atomic_ckpt  (** writes are atomic; the failure is handled at write end *)
+
+type recovery_failure_semantics =
+  | Restart_recovery  (** a failure mid-recovery restarts the recovery *)
+  | Ignore_during_recovery  (** failures during recovery are suppressed *)
+
+type semantics = {
+  jitter_ratio : float;  (** relative +- jitter on C/R costs (paper: 0.3) *)
+  on_ckpt_failure : ckpt_failure_semantics;
+  on_recovery_failure : recovery_failure_semantics;
+  subsume_coincident : bool;
+      (** when several levels' marks fall on the same productive position,
+          write only the highest level (FTI's behaviour with nested
+          cadences) instead of all of them *)
+}
+
+val default_semantics : semantics
+(** 30 % jitter, aborting checkpoints, restarting recoveries — the
+    physically conservative semantics. *)
+
+val paper_semantics : semantics
+(** 30 % jitter, {e atomic} checkpoint writes, restarting recoveries.
+    Replicating the paper's reported numbers (notably the 7-26 %
+    ML(ori-scale) gap of Fig. 5) requires checkpoint writes to survive
+    concurrent failures; the experiments use this variant and the
+    ablation study quantifies the difference. *)
+
+type t = {
+  te : float;  (** single-core productive time, seconds *)
+  speedup : Ckpt_model.Speedup.t;
+  levels : Ckpt_model.Level.t array;
+  alloc : float;  (** allocation period charged on every failure *)
+  spec : Ckpt_failures.Failure_spec.t;  (** one rate per level *)
+  xs : float array;  (** checkpoint interval counts per level (>= 1) *)
+  n : float;  (** execution scale (cores) *)
+  semantics : semantics;
+  failure_laws : Ckpt_failures.Arrivals.law array option;
+      (** per-level inter-arrival laws; [None] (default) = exponential
+          everywhere, matching the paper *)
+  failure_trace : (float * int) list option;
+      (** replay these [(wall_clock_time, level)] failures instead of
+          sampling — e.g. an observed failure log.  Must be sorted by
+          time with levels in range; runs see no failures beyond the
+          trace's end. *)
+  max_wall_clock : float;
+      (** safety horizon; a run still incomplete here is reported with
+          [completed = false] (default 1e10 s) *)
+}
+
+val v :
+  ?semantics:semantics ->
+  ?failure_laws:Ckpt_failures.Arrivals.law array ->
+  ?failure_trace:(float * int) list ->
+  ?max_wall_clock:float ->
+  te:float ->
+  speedup:Ckpt_model.Speedup.t ->
+  levels:Ckpt_model.Level.t array ->
+  alloc:float ->
+  spec:Ckpt_failures.Failure_spec.t ->
+  xs:float array ->
+  n:float ->
+  unit ->
+  t
+(** Validated constructor.
+    @raise Invalid_argument on inconsistent sizes or out-of-range values. *)
+
+val of_plan :
+  ?semantics:semantics ->
+  ?failure_laws:Ckpt_failures.Arrivals.law array ->
+  ?failure_trace:(float * int) list ->
+  ?max_wall_clock:float ->
+  problem:Ckpt_model.Optimizer.problem ->
+  plan:Ckpt_model.Optimizer.plan ->
+  unit ->
+  t
+(** Simulate the execution an {!Ckpt_model.Optimizer.plan} prescribes for
+    its problem. *)
+
+val productive_target : t -> float
+(** [te / g(n)] — the parallel productive seconds a run must complete. *)
+
+val nested_xs : float array -> float array
+(** Align interval counts hierarchically, FTI-style: each level's count
+    becomes an integer multiple of the next (more expensive) level's, so
+    higher-level marks coincide with lower-level ones.  Input counts are
+    per level, cheapest first; outputs are >= 1 and within rounding of the
+    inputs. *)

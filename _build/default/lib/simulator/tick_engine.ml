@@ -1,0 +1,204 @@
+module Rng = Ckpt_numerics.Rng
+module Dist = Ckpt_numerics.Dist
+module Arrivals = Ckpt_failures.Arrivals
+module Level = Ckpt_model.Level
+module Overhead = Ckpt_model.Overhead
+
+(* The machine's activity during one tick. *)
+type phase =
+  | Computing
+  | Writing of { level : int; mark : int; remaining : float; elapsed : float }
+  | Allocating of { level : int; remaining : float }
+  | Recovering of { level : int; remaining : float }
+
+let run ?(tick = 1.) ~seed config =
+  assert (tick > 0.);
+  let rng = Rng.of_int seed in
+  let next_failure_after =
+    match config.Run_config.failure_trace with
+    | Some events ->
+        let remaining = ref events in
+        fun now ->
+          let rec pick () =
+            match !remaining with
+            | [] -> None
+            | (at, level) :: rest ->
+                if at <= now then begin
+                  remaining := rest;
+                  pick ()
+                end
+                else begin
+                  remaining := rest;
+                  Some { Arrivals.at; level }
+                end
+          in
+          pick ()
+    | None ->
+        let arrivals =
+          Arrivals.create ?laws:config.Run_config.failure_laws ~rng:(Rng.split rng)
+            ~spec:config.Run_config.spec ~scale:config.Run_config.n ()
+        in
+        fun now -> Arrivals.next_after arrivals now
+  in
+  let target = Run_config.productive_target config in
+  let nlevels = Array.length config.Run_config.levels in
+  let n = config.Run_config.n in
+  let semantics = config.Run_config.semantics in
+  let jittered v =
+    if semantics.Run_config.jitter_ratio = 0. then v
+    else Dist.jittered rng ~ratio:semantics.Run_config.jitter_ratio v
+  in
+  let ckpt_cost lvl = Overhead.cost config.Run_config.levels.(lvl - 1).Level.ckpt n in
+  let restart_cost lvl = Overhead.cost config.Run_config.levels.(lvl - 1).Level.restart n in
+  let tau = Array.map (fun x -> target /. x) config.Run_config.xs in
+  let last_pos = Array.make nlevels 0. in
+  let next_k = Array.make nlevels 1 in
+  let completed_marks = Array.init nlevels (fun _ -> Hashtbl.create 64) in
+  let t = ref 0. and p = ref 0. and hw = ref 0. in
+  let productive = ref 0. and checkpoint = ref 0. and restart = ref 0. in
+  let allocation = ref 0. and rollback = ref 0. in
+  let failures = Array.make nlevels 0 in
+  let recoveries = ref 0 in
+  let ckpts_written = Array.make nlevels 0 in
+  let ckpts_redone = Array.make nlevels 0 in
+  let ckpts_aborted = Array.make nlevels 0 in
+  let next_failure = ref (next_failure_after (-1.)) in
+  let eps = 1e-9 *. target in
+  let phase = ref Computing in
+  let due_mark () =
+    (* The lowest due level (or, under subsumption, the highest due level
+       with the cheaper due marks skipped). *)
+    let due = ref [] in
+    for lvl = nlevels downto 1 do
+      let pos = float_of_int next_k.(lvl - 1) *. tau.(lvl - 1) in
+      if pos <= !p +. eps && pos < target -. eps then due := lvl :: !due
+    done;
+    match !due with
+    | [] -> None
+    | lowest :: _ when not semantics.Run_config.subsume_coincident -> Some lowest
+    | due_levels ->
+        let highest = List.fold_left Int.max 1 due_levels in
+        List.iter
+          (fun l -> if l <> highest then next_k.(l - 1) <- next_k.(l - 1) + 1)
+          due_levels;
+        Some highest
+  in
+  let reset_marks q =
+    for lvl = 1 to nlevels do
+      next_k.(lvl - 1) <- int_of_float ((q +. eps) /. tau.(lvl - 1)) + 1
+    done
+  in
+  let start_recovery f =
+    incr recoveries;
+    phase :=
+      if config.Run_config.alloc > 0. then
+        Allocating { level = f; remaining = config.Run_config.alloc }
+      else Recovering { level = f; remaining = jittered (restart_cost f) }
+  in
+  let handle_failure f =
+    failures.(f - 1) <- failures.(f - 1) + 1;
+    let q = ref 0. in
+    for j = f to nlevels do
+      q := Float.max !q last_pos.(j - 1)
+    done;
+    for j = 1 to f - 1 do
+      if last_pos.(j - 1) > !q then last_pos.(j - 1) <- !q
+    done;
+    p := !q;
+    reset_marks !q;
+    start_recovery f
+  in
+  (* Returns the failure level if one landed inside the current tick and
+     must be acted upon given the phase semantics. *)
+  let failure_this_tick () =
+    match !next_failure with
+    | Some ev when ev.Arrivals.at < !t +. tick ->
+        next_failure := next_failure_after ev.Arrivals.at;
+        Some ev.Arrivals.level
+    | _ -> None
+  in
+  while
+    !p < target -. eps && !t < config.Run_config.max_wall_clock
+  do
+    (* Instantaneous transition: when a checkpoint mark is due, the next
+       tick belongs to the write, not to computation. *)
+    (match !phase with
+     | Computing -> (
+         match due_mark () with
+         | Some lvl ->
+             phase :=
+               Writing { level = lvl; mark = next_k.(lvl - 1);
+                         remaining = jittered (ckpt_cost lvl); elapsed = 0. }
+         | None -> ())
+     | Writing _ | Allocating _ | Recovering _ -> ());
+    let failed = failure_this_tick () in
+    (match !phase with
+     | Computing -> (
+         (* One tick of computation. *)
+         let first = Float.max 0. (Float.min tick (!p +. tick -. Float.max !p !hw)) in
+         productive := !productive +. first;
+         rollback := !rollback +. (tick -. first);
+         p := !p +. tick;
+         hw := Float.max !hw !p;
+         match failed with Some f -> handle_failure f | None -> ())
+     | Writing w -> (
+         match (failed, semantics.Run_config.on_ckpt_failure) with
+         | Some f, Run_config.Abort_ckpt ->
+             rollback := !rollback +. w.elapsed +. tick;
+             ckpts_aborted.(w.level - 1) <- ckpts_aborted.(w.level - 1) + 1;
+             handle_failure f
+         | maybe_failure, _ ->
+             let remaining = w.remaining -. tick in
+             if remaining > 0. then
+               phase := Writing { w with remaining; elapsed = w.elapsed +. tick }
+             else begin
+               let total = w.elapsed +. tick in
+               let marks = completed_marks.(w.level - 1) in
+               if Hashtbl.mem marks w.mark then begin
+                 rollback := !rollback +. total;
+                 ckpts_redone.(w.level - 1) <- ckpts_redone.(w.level - 1) + 1
+               end
+               else begin
+                 checkpoint := !checkpoint +. total;
+                 ckpts_written.(w.level - 1) <- ckpts_written.(w.level - 1) + 1;
+                 Hashtbl.replace marks w.mark ()
+               end;
+               last_pos.(w.level - 1) <- !p;
+               next_k.(w.level - 1) <- w.mark + 1;
+               phase := Computing;
+               match maybe_failure with
+               | Some f -> handle_failure f  (* atomic write, then the failure *)
+               | None -> ()
+             end)
+     | Allocating a -> (
+         allocation := !allocation +. tick;
+         match (failed, semantics.Run_config.on_recovery_failure) with
+         | Some f, Run_config.Restart_recovery -> handle_failure f
+         | _ ->
+             let remaining = a.remaining -. tick in
+             if remaining > 0. then phase := Allocating { a with remaining }
+             else
+               phase :=
+                 Recovering { level = a.level; remaining = jittered (restart_cost a.level) })
+     | Recovering r -> (
+         restart := !restart +. tick;
+         match (failed, semantics.Run_config.on_recovery_failure) with
+         | Some f, Run_config.Restart_recovery -> handle_failure f
+         | _ ->
+             let remaining = r.remaining -. tick in
+             if remaining > 0. then phase := Recovering { r with remaining }
+             else phase := Computing));
+    t := !t +. tick
+  done;
+  { Outcome.completed = !p >= target -. eps;
+    wall_clock = !t;
+    productive = !productive;
+    checkpoint = !checkpoint;
+    restart = !restart;
+    allocation = !allocation;
+    rollback = !rollback;
+    failures;
+    recoveries = !recoveries;
+    ckpts_written;
+    ckpts_redone;
+    ckpts_aborted }

@@ -1,0 +1,13 @@
+(** Tick-driven reference simulator.
+
+    The paper's simulator advances in 1-second ticks (Section IV-A).  This
+    engine re-implements the run semantics of {!Engine} as a literal
+    tick loop — an independent discretization used to validate the fast
+    event-driven engine the way the paper validates its simulator against
+    real cluster runs (Fig. 4, < 4 % difference).  It is O(wall-clock
+    seconds) per run, so only use it on small/medium configurations. *)
+
+val run : ?tick:float -> seed:int -> Run_config.t -> Outcome.t
+(** [run ~seed config] simulates with time quantized to [tick] seconds
+    (default [1.]).  Durations are rounded up to whole ticks; failures are
+    processed at the end of the tick they land in. *)

@@ -1,0 +1,1 @@
+lib/storage/object_store.ml: Array Bytes Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/storage/object_store.mli: Bytes

@@ -1,0 +1,1 @@
+lib/storage/pfs_model.ml:

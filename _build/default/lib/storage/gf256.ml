@@ -1,0 +1,51 @@
+(* Log/antilog tables for GF(2^8) with primitive polynomial 0x11D. *)
+
+let exp = Array.make 512 0
+let log = Array.make 256 0
+
+let () =
+  let x = ref 1 in
+  for i = 0 to 254 do
+    exp.(i) <- !x;
+    log.(!x) <- i;
+    x := !x lsl 1;
+    if !x land 0x100 <> 0 then x := !x lxor 0x11D
+  done;
+  (* Duplicate the table so mul can skip the mod 255. *)
+  for i = 255 to 511 do
+    exp.(i) <- exp.(i - 255)
+  done
+
+let in_field a = a >= 0 && a < 256
+
+let add a b =
+  assert (in_field a && in_field b);
+  a lxor b
+
+let sub = add
+
+let mul a b =
+  assert (in_field a && in_field b);
+  if a = 0 || b = 0 then 0 else exp.(log.(a) + log.(b))
+
+let inv a =
+  assert (in_field a);
+  if a = 0 then raise Division_by_zero else exp.(255 - log.(a))
+
+let div a b =
+  assert (in_field a && in_field b);
+  if b = 0 then raise Division_by_zero
+  else if a = 0 then 0
+  else exp.(log.(a) + 255 - log.(b))
+
+let pow a k =
+  assert (in_field a && k >= 0);
+  if k = 0 then 1
+  else if a = 0 then 0
+  else exp.(log.(a) * k mod 255)
+
+let exp_table i = exp.(((i mod 255) + 255) mod 255)
+
+let log_table a =
+  assert (in_field a);
+  if a = 0 then raise Division_by_zero else log.(a)

@@ -1,0 +1,30 @@
+(** Arithmetic in the Galois field GF(2^8).
+
+    The Reed–Solomon encoding used by checkpoint level 3 (paper references
+    [15], [16] — Jerasure) works over GF(256).  Elements are ints in
+    [\[0, 255\]]; addition is XOR; multiplication uses log/antilog tables
+    built from the primitive polynomial [x^8+x^4+x^3+x^2+1] (0x11D). *)
+
+val add : int -> int -> int
+(** Field addition (= subtraction = XOR). *)
+
+val sub : int -> int -> int
+
+val mul : int -> int -> int
+(** Field multiplication.  Requires both operands in [\[0, 255\]]. *)
+
+val div : int -> int -> int
+(** [div a b] requires [b <> 0].  @raise Division_by_zero otherwise. *)
+
+val inv : int -> int
+(** Multiplicative inverse.  @raise Division_by_zero on [0]. *)
+
+val pow : int -> int -> int
+(** [pow a k] with [k >= 0]; [pow 0 0 = 1] by convention. *)
+
+val exp_table : int -> int
+(** [exp_table i] is the primitive element 2 raised to [i mod 255]. *)
+
+val log_table : int -> int
+(** Discrete log base 2 of a nonzero element.
+    @raise Division_by_zero on [0]. *)

@@ -1,0 +1,43 @@
+type t = {
+  locals : (string, Bytes.t) Hashtbl.t array;
+  pfs : (string, Bytes.t) Hashtbl.t;
+}
+
+let create ~nodes =
+  assert (nodes > 0);
+  { locals = Array.init nodes (fun _ -> Hashtbl.create 16); pfs = Hashtbl.create 16 }
+
+let node_count t = Array.length t.locals
+
+let check_node t node = assert (node >= 0 && node < node_count t)
+
+let put_local t ~node ~key value =
+  check_node t node;
+  Hashtbl.replace t.locals.(node) key (Bytes.copy value)
+
+let get_local t ~node ~key =
+  check_node t node;
+  Option.map Bytes.copy (Hashtbl.find_opt t.locals.(node) key)
+
+let delete_local t ~node ~key =
+  check_node t node;
+  Hashtbl.remove t.locals.(node) key
+
+let local_keys t ~node =
+  check_node t node;
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.locals.(node) [])
+
+let local_bytes t ~node =
+  check_node t node;
+  Hashtbl.fold (fun _ v acc -> acc + Bytes.length v) t.locals.(node) 0
+
+let put_pfs t ~key value = Hashtbl.replace t.pfs key (Bytes.copy value)
+let get_pfs t ~key = Option.map Bytes.copy (Hashtbl.find_opt t.pfs key)
+let delete_pfs t ~key = Hashtbl.remove t.pfs key
+let pfs_keys t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.pfs [])
+
+let crash_node t ~node =
+  check_node t node;
+  Hashtbl.reset t.locals.(node)
+
+let crash_nodes t nodes = List.iter (fun node -> crash_node t ~node) nodes

@@ -1,0 +1,41 @@
+(** In-memory emulation of the storage substrate: one volatile local store
+    per node (RAM disk / NVDIMM / SSD in FTI's deployments) plus one
+    durable parallel file system namespace.
+
+    Crashing a node wipes its local store — exactly the damage model the
+    four checkpoint levels are designed around.  The FTI runtime
+    ([ckpt_fti]) layers partner copies and Reed–Solomon groups on top. *)
+
+type t
+
+val create : nodes:int -> t
+(** [create ~nodes] builds empty local stores for nodes [0 .. nodes-1] and
+    an empty PFS. *)
+
+val node_count : t -> int
+
+val put_local : t -> node:int -> key:string -> Bytes.t -> unit
+(** Stores a copy of the value (later mutation of the caller's buffer does
+    not affect the store). *)
+
+val get_local : t -> node:int -> key:string -> Bytes.t option
+(** Returns a copy, or [None] if absent (or lost in a crash). *)
+
+val delete_local : t -> node:int -> key:string -> unit
+
+val local_keys : t -> node:int -> string list
+(** Keys currently held by a node, sorted. *)
+
+val local_bytes : t -> node:int -> int
+(** Total payload bytes held by a node's local store. *)
+
+val put_pfs : t -> key:string -> Bytes.t -> unit
+val get_pfs : t -> key:string -> Bytes.t option
+val delete_pfs : t -> key:string -> unit
+val pfs_keys : t -> string list
+
+val crash_node : t -> node:int -> unit
+(** Drop everything in the node's local store (the node itself comes back
+    empty — replacement hardware). *)
+
+val crash_nodes : t -> int list -> unit

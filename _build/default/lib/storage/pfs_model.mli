@@ -1,0 +1,42 @@
+(** Timing model of a parallel file system under checkpoint traffic.
+
+    The paper's characterization (Table II) shows level-1..3 overheads flat
+    in the execution scale while the PFS overhead grows roughly linearly —
+    metadata pressure and congestion from one checkpoint file per process.
+    This model produces that shape from first principles:
+
+    [write_time N bytes_per_proc =
+       base_latency + metadata_cost * N + N * bytes_per_proc / bandwidth]
+
+    and symmetrically for reads.  With the default coefficients the model
+    approximates the Fusion-cluster PFS column of Table II; a
+    constant-overhead PFS (paper Section IV-B, Blue Waters-style) is the
+    special case [metadata_cost = 0] with a bandwidth that scales with the
+    writer count. *)
+
+type sharing =
+  | Shared  (** one aggregate pipe split across all writers *)
+  | Per_writer  (** bandwidth scales with the writer count *)
+
+type t = {
+  base_latency : float;  (** seconds, fixed per collective operation *)
+  metadata_cost : float;  (** seconds per participating process *)
+  bandwidth : float;  (** bytes/second (aggregate or per writer, see [sharing]) *)
+  read_bandwidth : float;  (** bytes/second for restart reads *)
+  sharing : sharing;
+}
+
+val default : t
+(** Coefficients fitted so that checkpointing ~100 MB per process across
+    128–1,024 processes reproduces the Table II PFS column within jitter. *)
+
+val scalable : t
+(** An idealized PFS whose effective bandwidth grows with the writer count
+    (constant time per writer) — the Blue Waters-style configuration of
+    the paper's Table IV study. *)
+
+val write_time : t -> procs:int -> bytes_per_proc:float -> float
+(** Seconds to write one checkpoint wave.  Requires [procs >= 1]. *)
+
+val read_time : t -> procs:int -> bytes_per_proc:float -> float
+(** Seconds to read checkpoints back on restart. *)

@@ -1,0 +1,154 @@
+type t = {
+  data : int;
+  parity : int;
+  matrix : int array array;  (* (data + parity) x data; top block = identity *)
+}
+
+(* --- small GF(256) matrix helpers ----------------------------------- *)
+
+let gf_matrix_mul a b =
+  let rows = Array.length a and inner = Array.length b in
+  assert (inner > 0 && Array.length a.(0) = inner);
+  let cols = Array.length b.(0) in
+  Array.init rows (fun i ->
+      Array.init cols (fun j ->
+          let acc = ref 0 in
+          for k = 0 to inner - 1 do
+            acc := Gf256.add !acc (Gf256.mul a.(i).(k) b.(k).(j))
+          done;
+          !acc))
+
+let gf_identity n = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1 else 0))
+
+(* In-place Gauss–Jordan inversion over GF(256). *)
+let gf_invert m =
+  let n = Array.length m in
+  assert (n > 0 && Array.length m.(0) = n);
+  let a = Array.map Array.copy m in
+  let inv = gf_identity n in
+  for col = 0 to n - 1 do
+    if a.(col).(col) = 0 then begin
+      (* Find a row below with a nonzero pivot and swap. *)
+      let pivot = ref (-1) in
+      for r = col + 1 to n - 1 do
+        if !pivot < 0 && a.(r).(col) <> 0 then pivot := r
+      done;
+      if !pivot < 0 then invalid_arg "Reed_solomon: singular matrix";
+      let tmp = a.(col) in
+      a.(col) <- a.(!pivot);
+      a.(!pivot) <- tmp;
+      let tmp = inv.(col) in
+      inv.(col) <- inv.(!pivot);
+      inv.(!pivot) <- tmp
+    end;
+    let scale = Gf256.inv a.(col).(col) in
+    if scale <> 1 then
+      for j = 0 to n - 1 do
+        a.(col).(j) <- Gf256.mul a.(col).(j) scale;
+        inv.(col).(j) <- Gf256.mul inv.(col).(j) scale
+      done;
+    for r = 0 to n - 1 do
+      if r <> col && a.(r).(col) <> 0 then begin
+        let factor = a.(r).(col) in
+        for j = 0 to n - 1 do
+          a.(r).(j) <- Gf256.add a.(r).(j) (Gf256.mul factor a.(col).(j));
+          inv.(r).(j) <- Gf256.add inv.(r).(j) (Gf256.mul factor inv.(col).(j))
+        done
+      end
+    done
+  done;
+  inv
+
+(* --- codec construction ---------------------------------------------- *)
+
+let vandermonde rows cols =
+  Array.init rows (fun i -> Array.init cols (fun j -> Gf256.pow (i + 1) j))
+
+let create ~data ~parity =
+  if data < 1 then invalid_arg "Reed_solomon.create: data < 1";
+  if parity < 1 then invalid_arg "Reed_solomon.create: parity < 1";
+  if data + parity > 255 then invalid_arg "Reed_solomon.create: too many shards";
+  (* Normalize a Vandermonde matrix so its top k x k block is the identity.
+     The full matrix keeps the property that every k x k submatrix is
+     invertible, and the code becomes systematic. *)
+  let v = vandermonde (data + parity) data in
+  let top = Array.init data (fun i -> v.(i)) in
+  let top_inv = gf_invert top in
+  let matrix = gf_matrix_mul v top_inv in
+  { data; parity; matrix }
+
+let data_shards t = t.data
+let parity_shards t = t.parity
+let total_shards t = t.data + t.parity
+
+let parity_rows t = Array.init t.parity (fun i -> Array.copy t.matrix.(t.data + i))
+
+(* --- encode / decode -------------------------------------------------- *)
+
+let shard_length shards =
+  let len = ref (-1) in
+  Array.iter
+    (fun s ->
+      let l = Bytes.length s in
+      if !len < 0 then len := l
+      else if l <> !len then invalid_arg "Reed_solomon: shard lengths differ")
+    shards;
+  Int.max 0 !len
+
+let apply_rows rows shards len =
+  Array.map
+    (fun row ->
+      let out = Bytes.make len '\000' in
+      Array.iteri
+        (fun i shard ->
+          let coef = row.(i) in
+          if coef <> 0 then
+            for b = 0 to len - 1 do
+              let cur = Char.code (Bytes.get out b) in
+              let v = Char.code (Bytes.get shard b) in
+              Bytes.set out b (Char.chr (Gf256.add cur (Gf256.mul coef v)))
+            done)
+        shards;
+      out)
+    rows
+
+let encode t data =
+  if Array.length data <> t.data then invalid_arg "Reed_solomon.encode: wrong shard count";
+  let len = shard_length data in
+  apply_rows (parity_rows t) data len
+
+let decode t shards =
+  if Array.length shards <> total_shards t then
+    invalid_arg "Reed_solomon.decode: wrong shard count";
+  let survivors = ref [] in
+  Array.iteri
+    (fun i s -> match s with Some b -> survivors := (i, b) :: !survivors | None -> ())
+    shards;
+  let survivors = List.rev !survivors in
+  if List.length survivors < t.data then
+    invalid_arg "Reed_solomon.decode: not enough surviving shards";
+  (* If every data shard survived, no algebra is needed. *)
+  let all_data_alive =
+    List.length (List.filter (fun (i, _) -> i < t.data) survivors) = t.data
+  in
+  if all_data_alive then
+    Array.init t.data (fun i ->
+        match shards.(i) with
+        | Some b -> Bytes.copy b
+        | None -> assert false)
+  else begin
+    let chosen = Array.of_list (List.filteri (fun k _ -> k < t.data) survivors) in
+    let len = shard_length (Array.map snd chosen) in
+    let sub = Array.map (fun (i, _) -> Array.copy t.matrix.(i)) chosen in
+    let inv = gf_invert sub in
+    apply_rows inv (Array.map snd chosen) len
+  end
+
+let verify t ~data ~parity =
+  if Array.length parity <> t.parity then false
+  else begin
+    let expected = encode t data in
+    let ok = ref true in
+    Array.iteri (fun i p -> if not (Bytes.equal p expected.(i)) then ok := false) parity;
+    !ok
+  end

@@ -1,0 +1,39 @@
+(** Systematic Reed–Solomon erasure coding over GF(256).
+
+    Checkpoint level 3 encodes the checkpoints of a group of [k] nodes into
+    [m] additional parity blocks so that any [m] simultaneous node losses
+    within the group remain recoverable (paper Section I and [15], [16]).
+
+    The code is systematic: the first [k] shards are the data itself, the
+    last [m] are parity.  The generator matrix is derived from a Vandermonde
+    matrix by Gaussian elimination so that its top [k x k] block is the
+    identity — the classic Plank construction — which guarantees every
+    [k x k] submatrix used in decoding is invertible. *)
+
+type t
+
+val create : data:int -> parity:int -> t
+(** [create ~data ~parity] builds a codec for [data] data shards and
+    [parity] parity shards.  Requires [data >= 1], [parity >= 1] and
+    [data + parity <= 255]. *)
+
+val data_shards : t -> int
+val parity_shards : t -> int
+val total_shards : t -> int
+
+val encode : t -> Bytes.t array -> Bytes.t array
+(** [encode t data] returns the [parity] shards for the [data] shards.
+    All shards must have the same length.  Inputs are not modified. *)
+
+val decode : t -> (Bytes.t option) array -> Bytes.t array
+(** [decode t shards] reconstructs the original data shards from any
+    surviving subset.  [shards] has length [data + parity]; [None] marks an
+    erased shard.  At least [data] shards must survive.
+    @raise Invalid_argument if too few shards survive or lengths differ. *)
+
+val parity_rows : t -> int array array
+(** The [parity x data] coding matrix (for tests and inspection). *)
+
+val verify : t -> data:Bytes.t array -> parity:Bytes.t array -> bool
+(** [verify t ~data ~parity] re-encodes and compares — a cheap integrity
+    check used by the FTI runtime after a recovery. *)

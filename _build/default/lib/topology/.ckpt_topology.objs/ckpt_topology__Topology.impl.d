@@ -1,0 +1,1 @@
+lib/topology/topology.ml: Format Hashtbl Int List Option

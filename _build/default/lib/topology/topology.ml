@@ -1,0 +1,92 @@
+type spec = {
+  nodes : int;
+  cores_per_node : int;
+  board_size : int;
+  rs_group_size : int;
+  rs_parity : int;
+}
+
+type t = { spec : spec }
+
+let default_spec =
+  { nodes = 128; cores_per_node = 8; board_size = 4; rs_group_size = 8; rs_parity = 2 }
+
+let create spec =
+  assert (spec.nodes > 0);
+  assert (spec.cores_per_node > 0);
+  assert (spec.board_size > 0);
+  assert (spec.rs_group_size > 1);
+  assert (spec.rs_parity > 0 && spec.rs_parity < spec.rs_group_size);
+  { spec }
+
+let spec t = t.spec
+let node_count t = t.spec.nodes
+let core_count t = t.spec.nodes * t.spec.cores_per_node
+
+let node_of_rank t r =
+  assert (r >= 0 && r < core_count t);
+  r / t.spec.cores_per_node
+
+let ranks_of_node t n =
+  assert (n >= 0 && n < t.spec.nodes);
+  List.init t.spec.cores_per_node (fun i -> (n * t.spec.cores_per_node) + i)
+
+let partner_of t n =
+  assert (n >= 0 && n < t.spec.nodes);
+  (* Pair with the node one board ahead around the ring, so that partners
+     sit on different boards whenever the cluster has more than one board:
+     a whole-board (correlated) failure then still leaves every partner
+     copy alive. *)
+  let stride = if t.spec.nodes > t.spec.board_size then t.spec.board_size else 1 in
+  (n + stride) mod t.spec.nodes
+
+let rs_group_of t n =
+  assert (n >= 0 && n < t.spec.nodes);
+  n / t.spec.rs_group_size
+
+let rs_group_count t =
+  (t.spec.nodes + t.spec.rs_group_size - 1) / t.spec.rs_group_size
+
+let rs_group_members t g =
+  assert (g >= 0 && g < rs_group_count t);
+  let first = g * t.spec.rs_group_size in
+  let last = Int.min (first + t.spec.rs_group_size) t.spec.nodes in
+  List.init (last - first) (fun i -> first + i)
+
+let board_of t n =
+  assert (n >= 0 && n < t.spec.nodes);
+  n / t.spec.board_size
+
+let adjacent t a b = board_of t a = board_of t b
+
+let dedup_sorted l =
+  let sorted = List.sort_uniq compare l in
+  sorted
+
+let min_recovery_level t ~failed =
+  let failed = dedup_sorted failed in
+  List.iter (fun n -> assert (n >= 0 && n < t.spec.nodes)) failed;
+  match failed with
+  | [] -> 1
+  | _ ->
+      let failed_set = Hashtbl.create 16 in
+      List.iter (fun n -> Hashtbl.replace failed_set n ()) failed;
+      let partner_lost = List.exists (fun n -> Hashtbl.mem failed_set (partner_of t n)) failed in
+      if not partner_lost then 2
+      else begin
+        let per_group = Hashtbl.create 16 in
+        List.iter
+          (fun n ->
+            let g = rs_group_of t n in
+            let c = Option.value (Hashtbl.find_opt per_group g) ~default:0 in
+            Hashtbl.replace per_group g (c + 1))
+          failed;
+        let rs_ok = Hashtbl.fold (fun _ c acc -> acc && c <= t.spec.rs_parity) per_group true in
+        if rs_ok then 3 else 4
+      end
+
+let pp ppf t =
+  let s = t.spec in
+  Format.fprintf ppf
+    "topology: %d nodes x %d cores, boards of %d, RS groups of %d (parity %d)"
+    s.nodes s.cores_per_node s.board_size s.rs_group_size s.rs_parity

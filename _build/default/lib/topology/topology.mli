@@ -1,0 +1,72 @@
+(** Cluster topology for the multilevel checkpoint runtime.
+
+    Models the structure the four FTI-style checkpoint levels care about:
+
+    - nodes, each hosting a fixed number of cores (one MPI process per
+      core, as in the paper's experiments);
+    - the partner mapping of level 2 (each node's checkpoint is mirrored on
+      its partner node);
+    - Reed–Solomon encoding groups of level 3 (each group of [k + m] nodes
+      tolerates up to [m] simultaneous losses);
+    - failure domains ("boards"): groups of adjacent nodes that can crash
+      together due to a shared switch or power board (paper footnote 1).
+
+    Given a set of crashed nodes, {!min_recovery_level} answers the central
+    question: which checkpoint level is sufficient to recover. *)
+
+type t
+
+type spec = {
+  nodes : int;  (** number of nodes; must be > 0 *)
+  cores_per_node : int;  (** processes per node; must be > 0 *)
+  board_size : int;  (** nodes per failure domain; must divide into [nodes] ranges *)
+  rs_group_size : int;  (** nodes per Reed–Solomon group, data + parity *)
+  rs_parity : int;  (** tolerated losses per RS group; [0 < rs_parity < rs_group_size] *)
+}
+
+val default_spec : spec
+(** 128 nodes of 8 cores (the Argonne Fusion configuration used in the
+    paper), boards of 4, RS groups of 8 with 2 parity nodes. *)
+
+val create : spec -> t
+val spec : t -> spec
+
+val node_count : t -> int
+val core_count : t -> int
+
+val node_of_rank : t -> int -> int
+(** [node_of_rank t r] is the node hosting MPI rank [r] (block
+    distribution).  Requires [0 <= r < core_count t]. *)
+
+val ranks_of_node : t -> int -> int list
+(** All ranks hosted by a node, ascending. *)
+
+val partner_of : t -> int -> int
+(** [partner_of t n] is the level-2 partner node of [n]: nodes are paired
+    ring-wise with the node one board ahead, guaranteeing a partner on a
+    different board whenever there are at least two boards. *)
+
+val rs_group_of : t -> int -> int
+(** Index of the RS group containing node [n]. *)
+
+val rs_group_members : t -> int -> int list
+(** [rs_group_members t g] lists the nodes of group [g], ascending. *)
+
+val rs_group_count : t -> int
+
+val board_of : t -> int -> int
+(** Failure-domain (board) index of a node. *)
+
+val adjacent : t -> int -> int -> bool
+(** [adjacent t a b] holds when the two nodes share a board. *)
+
+val min_recovery_level : t -> failed:int list -> int
+(** [min_recovery_level t ~failed] is the lowest checkpoint level able to
+    recover from the simultaneous crash of [failed] (duplicates allowed):
+
+    - [1] — no node crashed (transient/software error);
+    - [2] — no crashed node's partner also crashed;
+    - [3] — every RS group lost at most [rs_parity] nodes;
+    - [4] — otherwise (only the PFS copy survives). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,257 @@
+(* Integration tests over the experiment drivers: the paper's published
+   numbers must reproduce (Fig. 3 exactly; tables in shape), outputs must
+   render, and the registry must be complete. *)
+
+module E = Ckpt_experiments
+module Optimizer = Ckpt_model.Optimizer
+module Stats = Ckpt_numerics.Stats
+
+let check_rel ?(tol = 1e-3) msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (expected %g, got %g)" msg expected actual)
+    true
+    (Float.abs (actual -. expected) <= tol *. Float.abs expected)
+
+let render_to_string run =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  run ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+(* A tiny substring helper (no external deps). *)
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+(* ---------------- Render ---------------- *)
+
+let test_render_table () =
+  let out =
+    render_to_string (fun ppf ->
+        E.Render.table ppf ~headers:[ "a"; "b" ] ~rows:[ [ "1"; "2" ]; [ "333" ] ])
+  in
+  Alcotest.(check bool) "contains header" true (contains out "a");
+  Alcotest.(check bool) "ragged row padded" true (contains out "333")
+
+let test_render_csv () =
+  let out =
+    render_to_string (fun ppf ->
+        E.Render.csv ppf ~headers:[ "x"; "y" ] ~rows:[ [ "1"; "a,b" ]; [ "2"; "q\"q" ] ])
+  in
+  Alcotest.(check bool) "quotes comma field" true (contains out "\"a,b\"");
+  Alcotest.(check bool) "escapes quote" true (contains out "\"q\"\"q\"")
+
+let test_render_cells () =
+  Alcotest.(check string) "days" "1.50" (E.Render.days 129600.);
+  Alcotest.(check string) "pct" "12.5%" (E.Render.pct 0.125);
+  Alcotest.(check string) "zero" "0" (E.Render.float_cell 0.);
+  Alcotest.(check bool) "scientific for huge" true
+    (contains (E.Render.float_cell 1e12) "e")
+
+(* ---------------- Paper data ---------------- *)
+
+let test_paper_data_shapes () =
+  Alcotest.(check int) "table2 levels" 4 (Array.length E.Paper_data.table2_costs);
+  Array.iter
+    (fun row -> Alcotest.(check int) "five scales" 5 (Array.length row))
+    E.Paper_data.table2_costs;
+  Alcotest.(check int) "six cases" 6 (List.length E.Paper_data.cases);
+  Alcotest.(check int) "four solutions" 4 (List.length E.Paper_data.solution_names)
+
+let test_eval_problem_consistent () =
+  let p = E.Paper_data.eval_problem ~te_core_days:3e6 ~case:"16-12-8-4" () in
+  Optimizer.check_problem p;
+  Alcotest.(check (float 1e-6)) "te in seconds" (3e6 *. 86400.) p.Optimizer.te
+
+(* ---------------- Fig. 3 (exact reproduction) ---------------- *)
+
+let test_fig3_constant () =
+  let r = E.Fig3.compute ~linear_cost:false in
+  check_rel ~tol:2e-3 "x* = 797" 797. r.E.Fig3.x_star;
+  check_rel ~tol:2e-4 "N* = 81746" 81746. r.E.Fig3.n_star;
+  Alcotest.(check bool) "sweep confirms the minimum" true (E.Fig3.sweep_is_minimal r)
+
+let test_fig3_linear () =
+  let r = E.Fig3.compute ~linear_cost:true in
+  check_rel ~tol:5e-3 "x* = 140" 140. r.E.Fig3.x_star;
+  check_rel ~tol:2e-4 "N* = 20215" 20215. r.E.Fig3.n_star;
+  Alcotest.(check bool) "sweep confirms the minimum" true (E.Fig3.sweep_is_minimal r)
+
+(* ---------------- Table II ---------------- *)
+
+let test_table2_refit () =
+  List.iter
+    (fun r ->
+      check_rel ~tol:0.03 (Printf.sprintf "eps level %d" r.E.Table2.level) r.E.Table2.paper_eps
+        r.E.Table2.eps;
+      if r.E.Table2.paper_alpha = 0. then
+        Alcotest.(check (float 1e-9)) "alpha snapped" 0. r.E.Table2.alpha
+      else check_rel ~tol:0.02 "alpha" r.E.Table2.paper_alpha r.E.Table2.alpha)
+    (E.Table2.compute ())
+
+(* ---------------- Fig. 1 ---------------- *)
+
+let test_fig1_tradeoff () =
+  let pts = E.Fig1.series ~points:10 () in
+  Alcotest.(check int) "ten points" 10 (List.length pts);
+  let opt_ckpt, opt_free = E.Fig1.optimal_scales pts in
+  Alcotest.(check bool) "checkpoint optimum below failure-free optimum" true
+    (opt_ckpt < opt_free);
+  (* Failure-free time decreases monotonically up to the ideal scale. *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a.E.Fig1.failure_free >= b.E.Fig1.failure_free && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "failure-free monotone" true (monotone pts)
+
+(* ---------------- Table III ---------------- *)
+
+let test_table3_shape () =
+  let rows = E.Table3.compute () in
+  Alcotest.(check int) "six rows" 6 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "ML scale below ideal" true (r.E.Table3.ml_scale < 1e6);
+      Alcotest.(check bool) "SL scale below ML scale" true
+        (r.E.Table3.sl_scale < r.E.Table3.ml_scale))
+    rows;
+  (* Monotonicity across the first three cases (decreasing failure rates ->
+     growing optimal scale), as in the paper's row. *)
+  match rows with
+  | a :: b :: c :: _ ->
+      Alcotest.(check bool) "16-12-8-4 < 8-6-4-2" true (a.E.Table3.ml_scale < b.E.Table3.ml_scale);
+      Alcotest.(check bool) "8-6-4-2 < 4-3-2-1" true (b.E.Table3.ml_scale < c.E.Table3.ml_scale)
+  | _ -> Alcotest.fail "expected rows"
+
+(* ---------------- Convergence ---------------- *)
+
+let test_convergence_counts () =
+  let const_iters, linear_iters = E.Convergence.single_level_iterations () in
+  Alcotest.(check bool) "constant case converges quickly" true
+    (const_iters > 0 && const_iters < 50);
+  Alcotest.(check bool) "linear case converges quickly" true
+    (linear_iters > 0 && linear_iters < 50);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s converges" r.E.Convergence.label)
+        true r.E.Convergence.converged;
+      Alcotest.(check bool) "outer iterations in a sane band" true
+        (r.E.Convergence.outer >= 2 && r.E.Convergence.outer <= 60))
+    (E.Convergence.outer_loop_rows ())
+
+(* ---------------- Nonconvexity ---------------- *)
+
+let test_nonconvexity () =
+  let s = E.Nonconvexity.compute () in
+  Alcotest.(check bool) "grid scanned" true (s.E.Nonconvexity.scanned > 100);
+  Alcotest.(check bool) "non-convex points exist" true (s.E.Nonconvexity.nonconvex <> [])
+
+(* ---------------- Solutions / time analysis (small runs) ---------------- *)
+
+let test_solutions_expand_sl_plan () =
+  let problem = E.Paper_data.eval_problem ~te_core_days:3e6 ~case:"8-4-2-1" () in
+  let sl = Optimizer.sl_opt_scale problem in
+  let expanded = E.Solutions.expand_sl_plan problem sl in
+  Alcotest.(check int) "four levels" 4 (Array.length expanded.Optimizer.xs);
+  Alcotest.(check (float 1e-9)) "level 1 unused" 1. expanded.Optimizer.xs.(0);
+  Alcotest.(check (float 1e-9)) "pfs keeps its count" sl.Optimizer.xs.(0)
+    expanded.Optimizer.xs.(3)
+
+let test_time_analysis_small () =
+  let t = E.Time_analysis.compute ~runs:3 ~cases:[ "4-2-1-0.5" ] ~te_core_days:3e6 () in
+  Alcotest.(check int) "four cells" 4 (List.length t.E.Time_analysis.cells);
+  let improvements = E.Time_analysis.improvements t in
+  Alcotest.(check int) "three comparisons" 3 (List.length improvements);
+  (* ML(opt-scale) must beat SL(ori-scale) on this case. *)
+  let sl_ori = List.assoc "SL(ori-scale)" improvements in
+  List.iter
+    (fun impr -> Alcotest.(check bool) "positive improvement" true (impr > 0.))
+    sl_ori
+
+let test_registry () =
+  Alcotest.(check int) "17 experiments" 17 (List.length E.Registry.all);
+  List.iter
+    (fun id ->
+      match E.Registry.find id with
+      | Some e -> Alcotest.(check string) "id matches" id e.E.Registry.id
+      | None -> Alcotest.fail ("missing " ^ id))
+    [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "table2"; "table3";
+      "table4"; "convergence"; "nonconvexity"; "costmodel"; "sensitivity"; "scr";
+      "weakscaling"; "ablations" ];
+  Alcotest.(check bool) "case-insensitive" true (E.Registry.find "FIG3" <> None);
+  Alcotest.(check bool) "unknown" true (E.Registry.find "fig99" = None)
+
+let test_costmodel () =
+  let comparisons = E.Costmodel.compare_costs () in
+  Alcotest.(check int) "4 levels x 5 scales" 20 (List.length comparisons);
+  (* Predictions stay within the paper's 30% jitter band, with a small
+     allowance for the two noisiest Table II cells. *)
+  Alcotest.(check bool) "max error below 35%" true (E.Costmodel.max_error comparisons < 0.35);
+  let per_level_mean lvl =
+    let cs = List.filter (fun c -> c.E.Costmodel.level = lvl) comparisons in
+    List.fold_left (fun a c -> a +. c.E.Costmodel.error) 0. cs
+    /. float_of_int (List.length cs)
+  in
+  for lvl = 1 to 4 do
+    Alcotest.(check bool)
+      (Printf.sprintf "level %d mean error below 20%%" lvl)
+      true
+      (per_level_mean lvl < 0.2)
+  done;
+  let from_pred, from_meas = E.Costmodel.plans () in
+  check_rel ~tol:0.35 "derived hierarchy gives a similar optimal scale"
+    from_meas.Optimizer.n from_pred.Optimizer.n
+
+let test_report () =
+  (* A cheap report (2 runs/cell) must contain every check and no
+     deviation. *)
+  let lines = E.Report.compute ~runs:2 () in
+  Alcotest.(check int) "20 checks" 20 (List.length lines);
+  Alcotest.(check bool) "no deviations" true
+    (List.for_all (fun l -> l.E.Report.verdict <> E.Report.Deviates) lines);
+  Alcotest.(check bool) "fig3 exact" true
+    (List.exists
+       (fun l -> l.E.Report.item = "Fig.3 x* (constant cost)" && l.E.Report.verdict = E.Report.Exact)
+       lines);
+  let md = E.Report.to_markdown lines in
+  Alcotest.(check bool) "markdown table" true (contains md "| Item | Paper | Measured |")
+
+let test_fast_experiments_render () =
+  (* The cheap experiments must produce non-empty reports without
+     raising. *)
+  List.iter
+    (fun id ->
+      match E.Registry.find id with
+      | Some e ->
+          let out = render_to_string e.E.Registry.run in
+          Alcotest.(check bool) (id ^ " non-empty") true (String.length out > 100)
+      | None -> Alcotest.fail ("missing " ^ id))
+    [ "fig3"; "table2"; "table3"; "nonconvexity" ]
+
+let () =
+  Alcotest.run "ckpt_experiments"
+    [ ( "render",
+        [ Alcotest.test_case "table" `Quick test_render_table;
+          Alcotest.test_case "csv" `Quick test_render_csv;
+          Alcotest.test_case "cells" `Quick test_render_cells ] );
+      ( "paper-data",
+        [ Alcotest.test_case "shapes" `Quick test_paper_data_shapes;
+          Alcotest.test_case "eval problem" `Quick test_eval_problem_consistent ] );
+      ( "reproduction",
+        [ Alcotest.test_case "fig3 constant" `Quick test_fig3_constant;
+          Alcotest.test_case "fig3 linear" `Quick test_fig3_linear;
+          Alcotest.test_case "table2 refit" `Quick test_table2_refit;
+          Alcotest.test_case "fig1 tradeoff" `Quick test_fig1_tradeoff;
+          Alcotest.test_case "table3 shape" `Quick test_table3_shape;
+          Alcotest.test_case "convergence" `Quick test_convergence_counts;
+          Alcotest.test_case "nonconvexity" `Quick test_nonconvexity ] );
+      ( "drivers",
+        [ Alcotest.test_case "expand sl plan" `Quick test_solutions_expand_sl_plan;
+          Alcotest.test_case "time analysis small" `Quick test_time_analysis_small;
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "cost model" `Quick test_costmodel;
+          Alcotest.test_case "report" `Quick test_report;
+          Alcotest.test_case "fast experiments render" `Quick test_fast_experiments_render ] ) ]

@@ -1,0 +1,284 @@
+(* Tests for failure specifications, arrivals and the crash model. *)
+
+module Failure_spec = Ckpt_failures.Failure_spec
+module Arrivals = Ckpt_failures.Arrivals
+module Crash_model = Ckpt_failures.Crash_model
+module Rng = Ckpt_numerics.Rng
+module Stats = Ckpt_numerics.Stats
+module Topology = Ckpt_topology.Topology
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+(* ---------------- Failure_spec ---------------- *)
+
+let test_parse_roundtrip () =
+  let s = Failure_spec.of_string "16-12-8-4" in
+  Alcotest.(check int) "levels" 4 (Failure_spec.levels s);
+  Alcotest.(check string) "roundtrip" "16-12-8-4" (Failure_spec.to_string s)
+
+let test_parse_fractional () =
+  let s = Failure_spec.of_string "4-2-1-0.5" in
+  check_close "fractional rate" 0.5 s.Failure_spec.rates_per_day.(3)
+
+let test_parse_invalid () =
+  Alcotest.(check bool) "negative rejected" true
+    (try
+       ignore (Failure_spec.of_string "1--2");
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "garbage rejected" true
+    (try
+       ignore (Failure_spec.of_string "a-b");
+       false
+     with Invalid_argument _ -> true)
+
+let test_rate_scaling () =
+  let s = Failure_spec.of_string ~baseline_scale:1e6 "16-12-8-4" in
+  (* At the baseline scale, level 1 sees 16 failures per day. *)
+  check_close "rate at baseline"
+    (16. /. 86_400.)
+    (Failure_spec.rate_per_second s ~level:1 ~scale:1e6);
+  (* Rates are proportional to the scale. *)
+  check_close "half scale halves the rate"
+    (8. /. 86_400.)
+    (Failure_spec.rate_per_second s ~level:1 ~scale:5e5);
+  check_close "derivative matches slope"
+    (16. /. 86_400. /. 1e6)
+    (Failure_spec.rate_per_second' s ~level:1)
+
+let test_total_rate () =
+  let s = Failure_spec.of_string ~baseline_scale:1e6 "16-12-8-4" in
+  check_close "total = 40/day" (40. /. 86_400.)
+    (Failure_spec.total_rate_per_second s ~scale:1e6);
+  check_close "total derivative" (40. /. 86_400. /. 1e6)
+    (Failure_spec.total_rate_per_second' s)
+
+let test_expected_failures () =
+  let s = Failure_spec.of_string ~baseline_scale:1e6 "16-12-8-4" in
+  check_close "one day at baseline" 16.
+    (Failure_spec.expected_failures s ~level:1 ~scale:1e6 ~duration:86_400.)
+
+let test_paper_cases () =
+  Alcotest.(check int) "six cases" 6 (List.length Failure_spec.paper_cases);
+  List.iter
+    (fun c -> Alcotest.(check int) "four levels" 4 (Failure_spec.levels c))
+    Failure_spec.paper_cases
+
+(* ---------------- Arrivals ---------------- *)
+
+let test_arrivals_merged_rate () =
+  let spec = Failure_spec.of_string ~baseline_scale:1e3 "10-10-10-10" in
+  let rng = Rng.of_int 1 in
+  let a = Arrivals.create ~rng ~spec ~scale:1e3 () in
+  check_close "total rate" (40. /. 86_400.) (Arrivals.total_rate a);
+  (* Mean inter-arrival time ~ 1/rate. *)
+  let gaps = ref [] in
+  let now = ref 0. in
+  for _ = 1 to 20_000 do
+    match Arrivals.next_after a !now with
+    | Some ev ->
+        gaps := (ev.Arrivals.at -. !now) :: !gaps;
+        now := ev.Arrivals.at
+    | None -> Alcotest.fail "expected an event"
+  done;
+  let mean = Stats.mean (Array.of_list !gaps) in
+  check_close ~tol:50. "mean gap ~ 2160 s" 2_160. mean
+
+let test_arrivals_level_mix () =
+  let spec = Failure_spec.of_string ~baseline_scale:1e3 "30-10-0-0" in
+  let rng = Rng.of_int 2 in
+  let a = Arrivals.create ~rng ~spec ~scale:1e3 () in
+  let counts = Array.make 4 0 in
+  let now = ref 0. in
+  for _ = 1 to 40_000 do
+    match Arrivals.next_after a !now with
+    | Some ev ->
+        counts.(ev.Arrivals.level - 1) <- counts.(ev.Arrivals.level - 1) + 1;
+        now := ev.Arrivals.at
+    | None -> Alcotest.fail "expected an event"
+  done;
+  Alcotest.(check int) "zero-rate level never fires" 0 counts.(2);
+  Alcotest.(check int) "zero-rate level never fires" 0 counts.(3);
+  let ratio = float_of_int counts.(0) /. float_of_int counts.(1) in
+  Alcotest.(check bool) "3:1 level mix" true (ratio > 2.7 && ratio < 3.3)
+
+let test_arrivals_zero_rate () =
+  let spec = Failure_spec.of_string ~baseline_scale:1e3 "0-0-0-0" in
+  let a = Arrivals.create ~rng:(Rng.of_int 3) ~spec ~scale:1e3 () in
+  Alcotest.(check bool) "no events" true (Arrivals.next_after a 0. = None)
+
+let test_arrivals_sequence () =
+  let spec = Failure_spec.of_string ~baseline_scale:1e3 "100-0-0-0" in
+  let a = Arrivals.create ~rng:(Rng.of_int 4) ~spec ~scale:1e3 () in
+  let events = Arrivals.sequence a ~horizon:86_400. in
+  Alcotest.(check bool) "non-empty" true (List.length events > 50);
+  let sorted = ref true and prev = ref 0. in
+  List.iter
+    (fun ev ->
+      if ev.Arrivals.at < !prev then sorted := false;
+      prev := ev.Arrivals.at;
+      if ev.Arrivals.at >= 86_400. then sorted := false)
+    events;
+  Alcotest.(check bool) "sorted within horizon" true !sorted
+
+let test_arrivals_deterministic () =
+  let spec = Failure_spec.of_string ~baseline_scale:1e3 "5-5-5-5" in
+  let seq seed =
+    let a = Arrivals.create ~rng:(Rng.of_int seed) ~spec ~scale:1e3 () in
+    List.map (fun e -> (e.Arrivals.at, e.Arrivals.level)) (Arrivals.sequence a ~horizon:1e5)
+  in
+  Alcotest.(check bool) "same seed same sequence" true (seq 7 = seq 7);
+  Alcotest.(check bool) "different seed differs" true (seq 7 <> seq 8)
+
+let test_arrivals_weibull_rate_calibration () =
+  (* Weibull laws must preserve the configured mean rate. *)
+  let spec = Failure_spec.of_string ~baseline_scale:1e3 "20-0-0-0" in
+  List.iter
+    (fun shape ->
+      let a =
+        Arrivals.create
+          ~laws:[| Arrivals.Weibull { shape }; Arrivals.Exponential;
+                   Arrivals.Exponential; Arrivals.Exponential |]
+          ~rng:(Rng.of_int 11) ~spec ~scale:1e3 ()
+      in
+      let events = Arrivals.sequence a ~horizon:(2000. *. 86_400.) in
+      let expected = 20. *. 2000. in
+      let got = float_of_int (List.length events) in
+      Alcotest.(check bool)
+        (Printf.sprintf "shape %.1f keeps the rate (expected %.0f, got %.0f)" shape
+           expected got)
+        true
+        (Float.abs (got -. expected) /. expected < 0.05))
+    [ 0.7; 1.0; 1.5; 3.0 ]
+
+let test_arrivals_weibull_clustering () =
+  (* shape < 1 produces burstier inter-arrival gaps (higher variance than
+     exponential at the same mean). *)
+  let spec = Failure_spec.of_string ~baseline_scale:1e3 "20-0-0-0" in
+  let gap_cv laws =
+    let a = Arrivals.create ?laws ~rng:(Rng.of_int 12) ~spec ~scale:1e3 () in
+    let rec collect now acc n =
+      if n = 0 then acc
+      else begin
+        match Arrivals.next_after a now with
+        | Some ev -> collect ev.Arrivals.at ((ev.Arrivals.at -. now) :: acc) (n - 1)
+        | None -> acc
+      end
+    in
+    let gaps = Array.of_list (collect 0. [] 20_000) in
+    Stats.std gaps /. Stats.mean gaps
+  in
+  let exp_cv = gap_cv None in
+  let weib_cv =
+    gap_cv
+      (Some
+         [| Arrivals.Weibull { shape = 0.6 }; Arrivals.Exponential;
+            Arrivals.Exponential; Arrivals.Exponential |])
+  in
+  Alcotest.(check bool) "exponential CV ~ 1" true (exp_cv > 0.9 && exp_cv < 1.1);
+  Alcotest.(check bool) "weibull(0.6) burstier" true (weib_cv > 1.2)
+
+let test_arrivals_bad_laws () =
+  let spec = Failure_spec.of_string ~baseline_scale:1e3 "1-1-1-1" in
+  Alcotest.(check bool) "wrong arity rejected" true
+    (try
+       ignore
+         (Arrivals.create ~laws:[| Arrivals.Exponential |] ~rng:(Rng.of_int 1) ~spec
+            ~scale:1e3 ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad shape rejected" true
+    (try
+       ignore
+         (Arrivals.create
+            ~laws:
+              [| Arrivals.Weibull { shape = 0. }; Arrivals.Exponential;
+                 Arrivals.Exponential; Arrivals.Exponential |]
+            ~rng:(Rng.of_int 1) ~spec ~scale:1e3 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- Crash_model ---------------- *)
+
+let topo () = Topology.create Topology.default_spec
+
+let test_crash_software_no_nodes () =
+  let cm = Crash_model.create ~rng:(Rng.of_int 5) ~topology:(topo ()) () in
+  Alcotest.(check (list int)) "software crashes nobody" []
+    (Crash_model.crashed_nodes cm Crash_model.Software)
+
+let test_crash_board_is_adjacent () =
+  let t = topo () in
+  let cm = Crash_model.create ~rng:(Rng.of_int 6) ~topology:t () in
+  for _ = 1 to 50 do
+    let nodes = Crash_model.crashed_nodes cm Crash_model.Board in
+    Alcotest.(check int) "board size" (Topology.default_spec.Topology.board_size)
+      (List.length nodes);
+    match nodes with
+    | first :: rest ->
+        List.iter
+          (fun n -> Alcotest.(check bool) "same board" true (Topology.adjacent t first n))
+          rest
+    | [] -> Alcotest.fail "board crash must hit nodes"
+  done
+
+let test_crash_kind_distribution () =
+  let cm =
+    Crash_model.create ~p_software:0.5 ~p_single:0.3 ~p_board:0.1 ~rng:(Rng.of_int 7)
+      ~topology:(topo ()) ()
+  in
+  let soft = ref 0 and single = ref 0 and board = ref 0 and multi = ref 0 in
+  for _ = 1 to 10_000 do
+    match Crash_model.sample_kind cm with
+    | Crash_model.Software -> incr soft
+    | Crash_model.Single_node -> incr single
+    | Crash_model.Board -> incr board
+    | Crash_model.Multi _ -> incr multi
+  done;
+  Alcotest.(check bool) "software ~ 50%" true (!soft > 4_700 && !soft < 5_300);
+  Alcotest.(check bool) "single ~ 30%" true (!single > 2_700 && !single < 3_300);
+  Alcotest.(check bool) "board ~ 10%" true (!board > 800 && !board < 1_200);
+  Alcotest.(check bool) "multi ~ 10%" true (!multi > 800 && !multi < 1_200)
+
+let test_crash_classification_consistency () =
+  let t = topo () in
+  let cm = Crash_model.create ~rng:(Rng.of_int 8) ~topology:t () in
+  for _ = 1 to 200 do
+    let _, failed, level = Crash_model.sample cm in
+    Alcotest.(check int) "classification delegates to topology"
+      (Topology.min_recovery_level t ~failed)
+      level
+  done
+
+let test_crash_software_level1 () =
+  let cm = Crash_model.create ~rng:(Rng.of_int 9) ~topology:(topo ()) () in
+  Alcotest.(check int) "software -> level 1" 1 (Crash_model.recovery_level cm ~failed:[])
+
+let () =
+  Alcotest.run "ckpt_failures"
+    [ ( "spec",
+        [ Alcotest.test_case "parse roundtrip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "fractional" `Quick test_parse_fractional;
+          Alcotest.test_case "invalid" `Quick test_parse_invalid;
+          Alcotest.test_case "rate scaling" `Quick test_rate_scaling;
+          Alcotest.test_case "total rate" `Quick test_total_rate;
+          Alcotest.test_case "expected failures" `Quick test_expected_failures;
+          Alcotest.test_case "paper cases" `Quick test_paper_cases ] );
+      ( "arrivals",
+        [ Alcotest.test_case "merged rate" `Quick test_arrivals_merged_rate;
+          Alcotest.test_case "level mix" `Quick test_arrivals_level_mix;
+          Alcotest.test_case "zero rate" `Quick test_arrivals_zero_rate;
+          Alcotest.test_case "sequence" `Quick test_arrivals_sequence;
+          Alcotest.test_case "deterministic" `Quick test_arrivals_deterministic;
+          Alcotest.test_case "weibull rate calibration" `Quick
+            test_arrivals_weibull_rate_calibration;
+          Alcotest.test_case "weibull clustering" `Quick test_arrivals_weibull_clustering;
+          Alcotest.test_case "bad laws rejected" `Quick test_arrivals_bad_laws ] );
+      ( "crash-model",
+        [ Alcotest.test_case "software crashes nobody" `Quick test_crash_software_no_nodes;
+          Alcotest.test_case "board adjacency" `Quick test_crash_board_is_adjacent;
+          Alcotest.test_case "kind distribution" `Quick test_crash_kind_distribution;
+          Alcotest.test_case "classification consistent" `Quick
+            test_crash_classification_consistency;
+          Alcotest.test_case "software level 1" `Quick test_crash_software_level1 ] ) ]

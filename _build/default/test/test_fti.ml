@@ -1,0 +1,351 @@
+(* Tests for the FTI-style checkpoint runtime: level semantics, crash
+   patterns, recovery protocol and escalation. *)
+
+module Topology = Ckpt_topology.Topology
+module Runtime = Ckpt_fti.Runtime
+module Rng = Ckpt_numerics.Rng
+
+let small_spec =
+  { Topology.nodes = 16; cores_per_node = 2; board_size = 4; rs_group_size = 8;
+    rs_parity = 2 }
+
+let make () =
+  let topology = Topology.create small_spec in
+  (topology, Runtime.create ~topology ())
+
+let payload_of seed node = Bytes.of_string (Printf.sprintf "node-%d-seed-%d-%s" node seed
+                                              (String.make (node mod 7) 'x'))
+
+let checkpoint ?(seed = 0) fti ~ckpt_id ~level =
+  Runtime.checkpoint fti ~ckpt_id ~level ~data:(payload_of seed)
+
+let verify_recovery ?(seed = 0) topology (r : Runtime.recovery) =
+  Array.iter
+    (fun node ->
+      Alcotest.(check string)
+        (Printf.sprintf "node %d payload" node)
+        (Bytes.to_string (payload_of seed node))
+        (Bytes.to_string (r.Runtime.data node)))
+    (Array.init (Topology.node_count topology) (fun i -> i))
+
+let test_checkpoint_and_recover_no_crash () =
+  let topology, fti = make () in
+  checkpoint fti ~ckpt_id:1 ~level:1;
+  match Runtime.recover fti with
+  | Some r ->
+      Alcotest.(check int) "ckpt id" 1 r.Runtime.ckpt_id;
+      Alcotest.(check int) "level 1 suffices" 1 r.Runtime.level_used;
+      verify_recovery topology r
+  | None -> Alcotest.fail "expected recovery"
+
+let test_ids_must_increase () =
+  let _, fti = make () in
+  checkpoint fti ~ckpt_id:5 ~level:1;
+  Alcotest.(check bool) "non-increasing rejected" true
+    (try
+       checkpoint fti ~ckpt_id:5 ~level:1;
+       false
+     with Invalid_argument _ -> true)
+
+let test_level_out_of_range () =
+  let _, fti = make () in
+  Alcotest.(check bool) "level 0 rejected" true
+    (try
+       checkpoint fti ~ckpt_id:1 ~level:0;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "level 5 rejected" true
+    (try
+       checkpoint fti ~ckpt_id:1 ~level:5;
+       false
+     with Invalid_argument _ -> true)
+
+let test_level1_lost_on_any_crash () =
+  let _, fti = make () in
+  checkpoint fti ~ckpt_id:1 ~level:1;
+  Runtime.crash_nodes fti [ 3 ];
+  Alcotest.(check (option int)) "level-1-only ckpt unrecoverable" None
+    (Runtime.recoverable_level fti ~ckpt_id:1)
+
+let test_partner_recovers_single_crash () =
+  let topology, fti = make () in
+  checkpoint fti ~ckpt_id:1 ~level:2;
+  Runtime.crash_nodes fti [ 3 ];
+  match Runtime.recover fti with
+  | Some r ->
+      Alcotest.(check int) "partner level" 2 r.Runtime.level_used;
+      verify_recovery topology r
+  | None -> Alcotest.fail "expected recovery"
+
+let test_partner_recovers_board_crash () =
+  let topology, fti = make () in
+  checkpoint fti ~ckpt_id:1 ~level:2;
+  Runtime.crash_nodes fti [ 4; 5; 6; 7 ];
+  match Runtime.recover fti with
+  | Some r ->
+      Alcotest.(check int) "partner level survives a board" 2 r.Runtime.level_used;
+      verify_recovery topology r
+  | None -> Alcotest.fail "expected recovery"
+
+let test_partner_fails_on_pair () =
+  let _, fti = make () in
+  checkpoint fti ~ckpt_id:1 ~level:2;
+  let topology = Runtime.topology fti in
+  let victim = 2 in
+  Runtime.crash_nodes fti [ victim; Topology.partner_of topology victim ];
+  Alcotest.(check (option int)) "partner pair kills level 2" None
+    (Runtime.recoverable_level fti ~ckpt_id:1)
+
+let test_rs_recovers_partner_pair () =
+  let topology, fti = make () in
+  checkpoint fti ~ckpt_id:1 ~level:3;
+  let victim = 2 in
+  Runtime.crash_nodes fti [ victim; Topology.partner_of topology victim ];
+  match Runtime.recover fti with
+  | Some r ->
+      Alcotest.(check int) "RS decodes" 3 r.Runtime.level_used;
+      verify_recovery topology r
+  | None -> Alcotest.fail "expected recovery"
+
+let test_rs_respects_parity_budget () =
+  let topology, fti = make () in
+  checkpoint fti ~ckpt_id:1 ~level:3;
+  (* Three losses in RS group 0 (> parity 2), partners dead too: nothing
+     below the PFS works, and no PFS copy was written. *)
+  ignore topology;
+  Runtime.crash_nodes fti [ 0; 1; 2; 4; 5; 6 ];
+  Alcotest.(check (option int)) "RS exceeded" None (Runtime.recoverable_level fti ~ckpt_id:1)
+
+let test_pfs_always_recovers () =
+  let topology, fti = make () in
+  checkpoint fti ~ckpt_id:1 ~level:4;
+  Runtime.crash_nodes fti (List.init 16 (fun i -> i));
+  match Runtime.recover fti with
+  | Some r ->
+      Alcotest.(check int) "PFS survives everything" 4 r.Runtime.level_used;
+      verify_recovery topology r
+  | None -> Alcotest.fail "expected recovery"
+
+let test_recover_falls_back_to_older_ckpt () =
+  let topology, fti = make () in
+  checkpoint fti ~seed:1 ~ckpt_id:1 ~level:4;
+  checkpoint fti ~seed:2 ~ckpt_id:2 ~level:1;
+  Runtime.crash_nodes fti [ 7 ];
+  (* Checkpoint 2 (local only) is gone; recovery must fall back to
+     checkpoint 1, whose partner copy of node 7 survived. *)
+  match Runtime.recover fti with
+  | Some r ->
+      Alcotest.(check int) "older checkpoint" 1 r.Runtime.ckpt_id;
+      Alcotest.(check int) "served by the partner copy" 2 r.Runtime.level_used;
+      verify_recovery ~seed:1 topology r
+  | None -> Alcotest.fail "expected recovery"
+
+let test_recover_prefers_newest () =
+  let topology, fti = make () in
+  checkpoint fti ~seed:1 ~ckpt_id:1 ~level:4;
+  checkpoint fti ~seed:2 ~ckpt_id:2 ~level:2;
+  Runtime.crash_nodes fti [ 9 ];
+  match Runtime.recover fti with
+  | Some r ->
+      Alcotest.(check int) "newest recoverable wins" 2 r.Runtime.ckpt_id;
+      verify_recovery ~seed:2 topology r
+  | None -> Alcotest.fail "expected recovery"
+
+let test_history () =
+  let _, fti = make () in
+  checkpoint fti ~ckpt_id:1 ~level:1;
+  checkpoint fti ~ckpt_id:2 ~level:4;
+  Alcotest.(check (list (pair int int))) "newest first" [ (2, 4); (1, 1) ]
+    (Runtime.history fti)
+
+let test_no_checkpoint_no_recovery () =
+  let _, fti = make () in
+  Alcotest.(check bool) "nothing to recover" true (Runtime.recover fti = None)
+
+let test_unequal_payload_sizes_rs () =
+  (* RS framing must cope with per-node payloads of different lengths. *)
+  let topology = Topology.create small_spec in
+  let fti = Runtime.create ~topology () in
+  let data node = Bytes.of_string (String.make (1 + (node * 3)) (Char.chr (65 + node))) in
+  Runtime.checkpoint fti ~ckpt_id:1 ~level:3 ~data;
+  let victim = 1 in
+  Runtime.crash_nodes fti [ victim; Topology.partner_of topology victim ];
+  match Runtime.recover fti with
+  | Some r ->
+      Alcotest.(check int) "via RS" 3 r.Runtime.level_used;
+      for node = 0 to 15 do
+        Alcotest.(check bytes) "payload" (data node) (r.Runtime.data node)
+      done
+  | None -> Alcotest.fail "expected recovery"
+
+let test_higher_level_includes_lower_copies () =
+  (* A level-4 checkpoint also leaves local copies: with no crash it is
+     recoverable at level 1. *)
+  let _, fti = make () in
+  checkpoint fti ~ckpt_id:1 ~level:4;
+  Alcotest.(check (option int)) "cheapest path" (Some 1)
+    (Runtime.recoverable_level fti ~ckpt_id:1)
+
+(* ---------------- Executor: end-to-end fault tolerance ---------------- *)
+
+module Executor = Ckpt_fti.Executor
+
+(* A tiny deterministic per-node app: an accumulating hash of the
+   iteration stream, so any divergence is detected. *)
+let counter_app =
+  { Executor.init = (fun node -> Int64.of_int (node * 1_000_003));
+    step =
+      (fun ~iteration ~node v ->
+        let open Int64 in
+        add (mul v 6364136223846793005L) (of_int ((iteration * 31) + node)));
+    serialize =
+      (fun v ->
+        let b = Bytes.create 8 in
+        Bytes.set_int64_le b 0 v;
+        b);
+    deserialize = (fun b -> Bytes.get_int64_le b 0) }
+
+let exec_topology = Topology.create small_spec
+
+let every_other_l4 =
+  { Executor.interval = 2; level_of = (fun k -> if k mod 4 = 0 then 4 else 1) }
+
+let test_executor_no_crashes_matches_reference () =
+  let reference = Executor.run_crash_free ~topology:exec_topology counter_app ~iterations:20 in
+  let result, stats =
+    Executor.run ~topology:exec_topology counter_app ~iterations:20
+      ~schedule:every_other_l4 ~crashes:[]
+  in
+  Alcotest.(check bool) "identical states" true (reference = result);
+  Alcotest.(check int) "no recoveries" 0 (List.length stats.Executor.recoveries);
+  Alcotest.(check int) "completed" 20 stats.Executor.completed_iterations
+
+let test_executor_crash_recovers_exactly () =
+  let reference = Executor.run_crash_free ~topology:exec_topology counter_app ~iterations:30 in
+  let result, stats =
+    Executor.run ~topology:exec_topology counter_app ~iterations:30
+      ~schedule:Executor.fti_cadence ~crashes:[ (11, [ 3 ]); (23, [ 7; 8 ]) ]
+  in
+  Alcotest.(check bool) "exact final state despite crashes" true (reference = result);
+  Alcotest.(check int) "two crash events" 2 stats.Executor.crashes_injected;
+  Alcotest.(check int) "two recoveries" 2 (List.length stats.Executor.recoveries);
+  Alcotest.(check bool) "work was redone" true (stats.Executor.reexecuted_iterations > 0)
+
+let test_executor_crash_before_any_ckpt_restarts () =
+  let reference = Executor.run_crash_free ~topology:exec_topology counter_app ~iterations:10 in
+  let result, stats =
+    Executor.run ~topology:exec_topology counter_app ~iterations:10
+      ~schedule:{ Executor.interval = 100; level_of = (fun _ -> 4) }
+      ~crashes:[ (5, [ 0 ]) ]
+  in
+  Alcotest.(check bool) "still exact (restart from init)" true (reference = result);
+  Alcotest.(check (list (pair int int))) "restart recovery" [ (0, 0) ]
+    stats.Executor.recoveries;
+  Alcotest.(check int) "4 iterations redone" 4 stats.Executor.reexecuted_iterations
+
+let test_executor_recovery_levels_escalate () =
+  (* Crash a node AND its partner: the partner level cannot serve. *)
+  let partner = Topology.partner_of exec_topology 2 in
+  let schedule = { Executor.interval = 2; level_of = (fun _ -> 3) } in
+  let _, stats =
+    Executor.run ~topology:exec_topology counter_app ~iterations:12 ~schedule
+      ~crashes:[ (7, [ 2; partner ]) ]
+  in
+  match stats.Executor.recoveries with
+  | [ (_, level) ] -> Alcotest.(check int) "served via RS" 3 level
+  | _ -> Alcotest.fail "expected one recovery"
+
+let test_executor_validation () =
+  Alcotest.(check bool) "crash node out of range" true
+    (try
+       ignore
+         (Executor.run ~topology:exec_topology counter_app ~iterations:5
+            ~schedule:Executor.fti_cadence ~crashes:[ (1, [ 99 ]) ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "crash iteration out of range" true
+    (try
+       ignore
+         (Executor.run ~topology:exec_topology counter_app ~iterations:5
+            ~schedule:Executor.fti_cadence ~crashes:[ (9, [ 0 ]) ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* Property: for random single/double/triple crash sets, a level-4
+   checkpoint always recovers with correct data. *)
+let qcheck_tests =
+  let open QCheck in
+  [ Test.make ~name:"level-4 checkpoints survive any crash set" ~count:100
+      (pair small_int (list_of_size (Gen.int_range 0 10) (int_range 0 15)))
+      (fun (seed, crashes) ->
+        let topology = Topology.create small_spec in
+        let fti = Runtime.create ~topology () in
+        Runtime.checkpoint fti ~ckpt_id:1 ~level:4 ~data:(payload_of seed);
+        Runtime.crash_nodes fti crashes;
+        match Runtime.recover fti with
+        | None -> false
+        | Some r ->
+            Array.for_all
+              (fun node -> Bytes.equal (r.Runtime.data node) (payload_of seed node))
+              (Array.init 16 (fun i -> i)));
+    Test.make ~name:"recovery level never undercuts the damage" ~count:100
+      (list_of_size (Gen.int_range 1 6) (int_range 0 15))
+      (fun crashes ->
+        let topology = Topology.create small_spec in
+        let fti = Runtime.create ~topology () in
+        Runtime.checkpoint fti ~ckpt_id:1 ~level:4 ~data:(payload_of 3);
+        Runtime.crash_nodes fti crashes;
+        match Runtime.recover fti with
+        | None -> false
+        | Some r ->
+            (* A crash destroyed local data on at least one node, so pure
+               level-1 recovery is impossible. *)
+            r.Runtime.level_used >= 2) ]
+
+let executor_qcheck =
+  let open QCheck in
+  [ Test.make ~name:"execution under random crashes is exact" ~count:60
+      (pair (int_range 5 40)
+         (list_of_size (Gen.int_range 0 4)
+            (pair (int_range 1 40) (list_of_size (Gen.int_range 1 3) (int_range 0 15)))))
+      (fun (iterations, raw_crashes) ->
+        let crashes = List.filter (fun (it, _) -> it <= iterations) raw_crashes in
+        let reference =
+          Executor.run_crash_free ~topology:exec_topology counter_app ~iterations
+        in
+        let result, _ =
+          Executor.run ~topology:exec_topology counter_app ~iterations
+            ~schedule:Executor.fti_cadence ~crashes
+        in
+        reference = result) ]
+
+let () =
+  Alcotest.run "ckpt_fti"
+    [ ( "checkpoint",
+        [ Alcotest.test_case "no crash" `Quick test_checkpoint_and_recover_no_crash;
+          Alcotest.test_case "ids increase" `Quick test_ids_must_increase;
+          Alcotest.test_case "level range" `Quick test_level_out_of_range;
+          Alcotest.test_case "history" `Quick test_history;
+          Alcotest.test_case "higher level includes lower" `Quick
+            test_higher_level_includes_lower_copies ] );
+      ( "recovery",
+        [ Alcotest.test_case "level 1 lost on crash" `Quick test_level1_lost_on_any_crash;
+          Alcotest.test_case "partner single crash" `Quick test_partner_recovers_single_crash;
+          Alcotest.test_case "partner board crash" `Quick test_partner_recovers_board_crash;
+          Alcotest.test_case "partner pair fails" `Quick test_partner_fails_on_pair;
+          Alcotest.test_case "rs recovers pair" `Quick test_rs_recovers_partner_pair;
+          Alcotest.test_case "rs parity budget" `Quick test_rs_respects_parity_budget;
+          Alcotest.test_case "pfs always recovers" `Quick test_pfs_always_recovers;
+          Alcotest.test_case "fallback to older" `Quick test_recover_falls_back_to_older_ckpt;
+          Alcotest.test_case "prefers newest" `Quick test_recover_prefers_newest;
+          Alcotest.test_case "nothing to recover" `Quick test_no_checkpoint_no_recovery;
+          Alcotest.test_case "unequal payloads via RS" `Quick test_unequal_payload_sizes_rs ] );
+      ( "executor",
+        [ Alcotest.test_case "no crashes" `Quick test_executor_no_crashes_matches_reference;
+          Alcotest.test_case "crash recovers exactly" `Quick
+            test_executor_crash_recovers_exactly;
+          Alcotest.test_case "restart before first ckpt" `Quick
+            test_executor_crash_before_any_ckpt_restarts;
+          Alcotest.test_case "levels escalate" `Quick test_executor_recovery_levels_escalate;
+          Alcotest.test_case "validation" `Quick test_executor_validation ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest (qcheck_tests @ executor_qcheck)) ]

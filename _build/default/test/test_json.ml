@@ -1,0 +1,168 @@
+(* Tests for the dependency-free JSON implementation. *)
+
+open Ckpt_json
+
+let parse = Json.parse
+let str ?pretty t = Json.to_string ?pretty t
+
+let check_roundtrip ?(msg = "roundtrip") input =
+  let v = parse input in
+  let v' = parse (str v) in
+  Alcotest.(check bool) msg true (v = v')
+
+(* ---------------- parsing ---------------- *)
+
+let test_parse_scalars () =
+  Alcotest.(check bool) "null" true (parse "null" = Json.Null);
+  Alcotest.(check bool) "true" true (parse "true" = Json.Bool true);
+  Alcotest.(check bool) "false" true (parse "false" = Json.Bool false);
+  Alcotest.(check bool) "int" true (parse "42" = Json.Number 42.);
+  Alcotest.(check bool) "negative" true (parse "-17" = Json.Number (-17.));
+  Alcotest.(check bool) "float" true (parse "3.25" = Json.Number 3.25);
+  Alcotest.(check bool) "exponent" true (parse "1e3" = Json.Number 1000.);
+  Alcotest.(check bool) "string" true (parse "\"hi\"" = Json.String "hi")
+
+let test_parse_structures () =
+  Alcotest.(check bool) "empty list" true (parse "[]" = Json.List []);
+  Alcotest.(check bool) "empty obj" true (parse "{}" = Json.Obj []);
+  Alcotest.(check bool) "list" true
+    (parse "[1, 2, 3]" = Json.List [ Json.Number 1.; Json.Number 2.; Json.Number 3. ]);
+  Alcotest.(check bool) "nested" true
+    (parse {|{"a": [true, {"b": null}]}|}
+     = Json.Obj
+         [ ("a", Json.List [ Json.Bool true; Json.Obj [ ("b", Json.Null) ] ]) ])
+
+let test_parse_whitespace () =
+  Alcotest.(check bool) "whitespace everywhere" true
+    (parse " \n\t{ \"k\" :\r[ 1 , 2 ] } " = Json.Obj [ ("k", Json.List [ Json.Number 1.; Json.Number 2. ]) ])
+
+let test_parse_escapes () =
+  Alcotest.(check bool) "quote" true (parse {|"a\"b"|} = Json.String "a\"b");
+  Alcotest.(check bool) "backslash" true (parse {|"a\\b"|} = Json.String "a\\b");
+  Alcotest.(check bool) "newline" true (parse {|"a\nb"|} = Json.String "a\nb");
+  Alcotest.(check bool) "tab" true (parse {|"a\tb"|} = Json.String "a\tb");
+  Alcotest.(check bool) "unicode bmp" true (parse {|"é"|} = Json.String "\xc3\xa9");
+  (* surrogate pair: U+1F600 *)
+  Alcotest.(check bool) "surrogate pair" true
+    (parse {|"😀"|} = Json.String "\xf0\x9f\x98\x80")
+
+let expect_error input =
+  match Json.parse_result input with
+  | Ok _ -> Alcotest.fail (Printf.sprintf "expected parse error for %S" input)
+  | Error _ -> ()
+
+let test_parse_errors () =
+  List.iter expect_error
+    [ ""; "{"; "["; "[1,"; "[1 2]"; "{\"a\"}"; "{\"a\":}"; "nul"; "tru"; "\"unterminated";
+      "\"bad \\x escape\""; "01a"; "[1],"; "{\"a\":1,}"; "\"\\ud800\"" ]
+
+let test_parse_error_position () =
+  match Json.parse "[1, oops]" with
+  | exception Json.Parse_error { position; _ } ->
+      Alcotest.(check bool) "position points into the input" true (position >= 3 && position <= 6)
+  | _ -> Alcotest.fail "expected error"
+
+(* ---------------- printing ---------------- *)
+
+let test_print_compact () =
+  Alcotest.(check string) "compact" {|{"a":[1,true,"x"],"b":null}|}
+    (str
+       (Json.Obj
+          [ ("a", Json.List [ Json.Number 1.; Json.Bool true; Json.String "x" ]);
+            ("b", Json.Null) ]))
+
+let test_print_pretty_reparses () =
+  let v =
+    Json.Obj
+      [ ("xs", Json.float_array [| 1.5; 2.5 |]);
+        ("name", Json.String "plan");
+        ("nested", Json.Obj [ ("deep", Json.List [ Json.Null ]) ]) ]
+  in
+  Alcotest.(check bool) "pretty output reparses equal" true (parse (str ~pretty:true v) = v)
+
+let test_print_escapes () =
+  Alcotest.(check string) "escaped" {|"a\"b\\c\nd"|} (str (Json.String "a\"b\\c\nd"));
+  Alcotest.(check string) "control chars" "\"\\u0001\"" (str (Json.String "\001"))
+
+let test_print_numbers () =
+  Alcotest.(check string) "integer form" "42" (str (Json.Number 42.));
+  Alcotest.(check string) "negative" "-7" (str (Json.Number (-7.)));
+  Alcotest.(check bool) "float roundtrips" true
+    (parse (str (Json.Number 0.1)) = Json.Number 0.1);
+  Alcotest.(check bool) "tiny roundtrips" true
+    (parse (str (Json.Number 2.3e-7)) = Json.Number 2.3e-7);
+  Alcotest.(check string) "nan becomes null" "null" (str (Json.Number Float.nan));
+  Alcotest.(check string) "inf becomes null" "null" (str (Json.Number Float.infinity))
+
+(* ---------------- accessors ---------------- *)
+
+let test_accessors () =
+  let v = parse {|{"n": 3, "f": 2.5, "s": "x", "b": true, "l": [1], "o": {}}|} in
+  Alcotest.(check (option int)) "int" (Some 3) (Option.bind (Json.member "n" v) Json.to_int);
+  Alcotest.(check (option (float 0.))) "float" (Some 2.5) (Json.float_field "f" v);
+  Alcotest.(check (option string)) "string" (Some "x") (Json.string_field "s" v);
+  Alcotest.(check bool) "bool" true (Option.bind (Json.member "b" v) Json.to_bool = Some true);
+  Alcotest.(check bool) "list" true (Json.list_field "l" v = Some [ Json.Number 1. ]);
+  Alcotest.(check bool) "missing" true (Json.member "zzz" v = None);
+  Alcotest.(check bool) "int rejects fraction" true
+    (Option.bind (Json.member "f" v) Json.to_int = None)
+
+let test_float_array () =
+  let arr = [| 1.; 2.5; -3. |] in
+  Alcotest.(check bool) "roundtrip" true (Json.of_float_array (Json.float_array arr) = Some arr);
+  Alcotest.(check bool) "mixed rejected" true
+    (Json.of_float_array (Json.List [ Json.Number 1.; Json.Bool true ]) = None)
+
+let test_roundtrips () =
+  List.iter check_roundtrip
+    [ "null"; "[1,2,3]"; {|{"a":{"b":{"c":[]}}}|}; {|"unicode: é中"|};
+      "[0.1,1e300,-2.5e-10]"; {|{"mixed":[null,true,1,"s",[],{}]}|} ]
+
+(* ---------------- properties ---------------- *)
+
+let json_gen =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then
+            oneof
+              [ return Json.Null;
+                map (fun b -> Json.Bool b) bool;
+                map (fun f -> Json.Number f) (float_bound_inclusive 1e6);
+                map (fun s -> Json.String s) (string_size ~gen:printable (int_range 0 10)) ]
+          else
+            oneof
+              [ map (fun l -> Json.List l) (list_size (int_range 0 4) (self (n / 2)));
+                map
+                  (fun pairs -> Json.Obj pairs)
+                  (list_size (int_range 0 4)
+                     (pair (string_size ~gen:printable (int_range 1 6)) (self (n / 2)))) ])
+        (Int.min n 4))
+
+let qcheck_tests =
+  let open QCheck in
+  [ Test.make ~name:"print/parse roundtrips" ~count:300 (make json_gen) (fun v ->
+        Json.parse (Json.to_string v) = v);
+    Test.make ~name:"pretty print/parse roundtrips" ~count:300 (make json_gen) (fun v ->
+        Json.parse (Json.to_string ~pretty:true v) = v) ]
+
+let () =
+  Alcotest.run "ckpt_json"
+    [ ( "parse",
+        [ Alcotest.test_case "scalars" `Quick test_parse_scalars;
+          Alcotest.test_case "structures" `Quick test_parse_structures;
+          Alcotest.test_case "whitespace" `Quick test_parse_whitespace;
+          Alcotest.test_case "escapes" `Quick test_parse_escapes;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "error position" `Quick test_parse_error_position ] );
+      ( "print",
+        [ Alcotest.test_case "compact" `Quick test_print_compact;
+          Alcotest.test_case "pretty reparses" `Quick test_print_pretty_reparses;
+          Alcotest.test_case "escapes" `Quick test_print_escapes;
+          Alcotest.test_case "numbers" `Quick test_print_numbers ] );
+      ( "accessors",
+        [ Alcotest.test_case "fields" `Quick test_accessors;
+          Alcotest.test_case "float arrays" `Quick test_float_array;
+          Alcotest.test_case "roundtrips" `Quick test_roundtrips ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests) ]

@@ -1,0 +1,431 @@
+(* Tests for the MPI program emulator: machine model, program DSL,
+   emulator semantics, the Heat/Nek workloads and the speedup study. *)
+
+open Ckpt_mpi
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+let machine = Machine.default
+
+(* ---------------- Machine ---------------- *)
+
+let test_machine_compute () =
+  check_close "1 Gflop at 1 Gflop/s" 1. (Machine.compute_time machine ~flops:1e9);
+  check_close "zero flops" 0. (Machine.compute_time machine ~flops:0.)
+
+let test_machine_message () =
+  check_close "latency only" machine.Machine.net_latency (Machine.message_time machine ~bytes:0.);
+  check_close "latency + transfer"
+    (machine.Machine.net_latency +. (1e6 /. machine.Machine.net_bandwidth))
+    (Machine.message_time machine ~bytes:1e6)
+
+let test_machine_log2_ceil () =
+  Alcotest.(check int) "1" 0 (Machine.log2_ceil 1);
+  Alcotest.(check int) "2" 1 (Machine.log2_ceil 2);
+  Alcotest.(check int) "3" 2 (Machine.log2_ceil 3);
+  Alcotest.(check int) "1024" 10 (Machine.log2_ceil 1024);
+  Alcotest.(check int) "1025" 11 (Machine.log2_ceil 1025)
+
+let test_machine_collective () =
+  check_close "tree depth x message"
+    (3. *. Machine.message_time machine ~bytes:64.)
+    (Machine.collective_time machine ~ranks:8 ~bytes:64.)
+
+(* ---------------- Program validation ---------------- *)
+
+let test_validate_good () =
+  let prog =
+    Program.v ~name:"pingpong" ~ranks:2 ~code:(fun rank ->
+        if rank = 0 then [ Program.Send { dst = 1; bytes = 8. }; Program.Recv { src = 1 } ]
+        else [ Program.Recv { src = 0 }; Program.Send { dst = 0; bytes = 8. } ])
+  in
+  Alcotest.(check bool) "valid" true (Program.validate prog = Ok ());
+  Alcotest.(check int) "instruction count" 4 (Program.instruction_count prog)
+
+let expect_invalid prog =
+  match Program.validate prog with
+  | Ok () -> Alcotest.fail "expected validation error"
+  | Error _ -> ()
+
+let test_validate_bad_rank () =
+  expect_invalid
+    (Program.v ~name:"bad" ~ranks:2 ~code:(fun _ -> [ Program.Send { dst = 5; bytes = 1. } ]))
+
+let test_validate_self_message () =
+  expect_invalid
+    (Program.v ~name:"self" ~ranks:2 ~code:(fun rank ->
+         [ Program.Send { dst = rank; bytes = 1. } ]))
+
+let test_validate_unclosed_irecv () =
+  expect_invalid
+    (Program.v ~name:"open" ~ranks:2 ~code:(fun rank ->
+         if rank = 0 then [ Program.Irecv { src = 1 } ] else [ Program.Isend { dst = 0; bytes = 1. } ]))
+
+let test_validate_collective_mismatch () =
+  expect_invalid
+    (Program.v ~name:"mismatch" ~ranks:2 ~code:(fun rank ->
+         if rank = 0 then [ Program.Barrier ] else []))
+
+(* ---------------- Emulator semantics ---------------- *)
+
+let test_emulator_compute_only () =
+  let prog = Program.v ~name:"c" ~ranks:3 ~code:(fun _ -> [ Program.Compute 1e9 ]) in
+  let r = Emulator.run ~machine prog in
+  check_close "ranks run in parallel" 1. r.Emulator.job_time;
+  Alcotest.(check int) "no messages" 0 r.Emulator.messages
+
+let test_emulator_pingpong_timing () =
+  (* Rank 0 sends 1 MB to rank 1, who replies; total = 2 RTT halves plus
+     sender overheads. *)
+  let bytes = 1e6 in
+  let prog =
+    Program.v ~name:"pp" ~ranks:2 ~code:(fun rank ->
+        if rank = 0 then [ Program.Send { dst = 1; bytes }; Program.Recv { src = 1 } ]
+        else [ Program.Recv { src = 0 }; Program.Send { dst = 0; bytes } ])
+  in
+  let r = Emulator.run ~machine prog in
+  let one_way = Machine.message_time machine ~bytes in
+  let expected = (2. *. machine.Machine.send_overhead) +. (2. *. one_way) in
+  check_close ~tol:1e-9 "round trip" expected r.Emulator.job_time;
+  Alcotest.(check int) "two messages" 2 r.Emulator.messages
+
+let test_emulator_send_is_buffered () =
+  (* The sender does not block: it finishes after its overhead even though
+     the receiver computes for a long time first. *)
+  let prog =
+    Program.v ~name:"buffered" ~ranks:2 ~code:(fun rank ->
+        if rank = 0 then [ Program.Send { dst = 1; bytes = 8. } ]
+        else [ Program.Compute 1e9; Program.Recv { src = 0 } ])
+  in
+  let r = Emulator.run ~machine prog in
+  check_close "receiver dominates" 1. r.Emulator.rank_times.(1);
+  Alcotest.(check bool) "sender finished early" true
+    (r.Emulator.rank_times.(0) < 1e-3)
+
+let test_emulator_waitall () =
+  let prog =
+    Program.v ~name:"waitall" ~ranks:3 ~code:(fun rank ->
+        if rank = 0 then
+          [ Program.Irecv { src = 1 }; Program.Irecv { src = 2 }; Program.Waitall ]
+        else [ Program.Compute (float_of_int rank *. 1e9); Program.Isend { dst = 0; bytes = 8. } ])
+  in
+  let r = Emulator.run ~machine prog in
+  (* Rank 0 completes when the slowest sender's message arrives. *)
+  Alcotest.(check bool) "waits for slowest" true (r.Emulator.rank_times.(0) >= 2.)
+
+let test_emulator_barrier_sync () =
+  let prog =
+    Program.v ~name:"barrier" ~ranks:4 ~code:(fun rank ->
+        [ Program.Compute (float_of_int (rank + 1) *. 1e8); Program.Barrier ])
+  in
+  let r = Emulator.run ~machine prog in
+  let latest = Array.fold_left Float.max 0. r.Emulator.rank_times in
+  Array.iter
+    (fun t -> check_close ~tol:1e-9 "all ranks leave together" latest t)
+    r.Emulator.rank_times;
+  Alcotest.(check bool) "after the slowest compute" true (latest >= 0.4);
+  Alcotest.(check int) "one collective" 1 r.Emulator.collectives
+
+let test_emulator_allreduce_cost_grows () =
+  let prog ranks =
+    Program.v ~name:"ar" ~ranks ~code:(fun _ -> [ Program.Allreduce { bytes = 64. } ])
+  in
+  let t4 = (Emulator.run ~machine (prog 4)).Emulator.job_time in
+  let t64 = (Emulator.run ~machine (prog 64)).Emulator.job_time in
+  Alcotest.(check bool) "log tree depth" true (t64 > t4)
+
+let test_emulator_reduce_gather_alltoall () =
+  let machine = Ckpt_mpi.Machine.default in
+  let one ranks instr =
+    (Emulator.run ~machine
+       (Program.v ~name:"coll" ~ranks ~code:(fun _ -> [ instr ])))
+      .Emulator.job_time
+  in
+  (* Reduce follows the tree schedule (same as allreduce here). *)
+  check_close ~tol:1e-12 "reduce = tree cost"
+    (Machine.collective_time machine ~ranks:8 ~bytes:64.)
+    (one 8 (Program.Reduce { root = 0; bytes = 64. }));
+  (* Gather and alltoall pay (n-1) message costs. *)
+  check_close ~tol:1e-12 "gather = linear cost"
+    (Machine.linear_collective_time machine ~ranks:8 ~bytes:64.)
+    (one 8 (Program.Gather { root = 0; bytes = 64. }));
+  check_close ~tol:1e-12 "alltoall = linear cost"
+    (Machine.linear_collective_time machine ~ranks:8 ~bytes:64.)
+    (one 8 (Program.Alltoall { bytes = 64. }));
+  (* Linear collectives overtake tree ones as the scale grows. *)
+  Alcotest.(check bool) "alltoall costlier than allreduce at 64 ranks" true
+    (one 64 (Program.Alltoall { bytes = 1024. })
+     > one 64 (Program.Allreduce { bytes = 1024. }))
+
+let test_emulator_deadlock () =
+  (* Two ranks both receive first: classic deadlock. *)
+  let prog =
+    Program.v ~name:"deadlock" ~ranks:2 ~code:(fun rank ->
+        let peer = 1 - rank in
+        [ Program.Recv { src = peer }; Program.Send { dst = peer; bytes = 1. } ])
+  in
+  Alcotest.(check bool) "detected" true
+    (try
+       ignore (Emulator.run ~machine prog);
+       false
+     with Emulator.Deadlock _ -> true)
+
+let test_emulator_fifo_channels () =
+  (* Two sends on the same channel are received in order; timing follows
+     the first-sent message first. *)
+  let prog =
+    Program.v ~name:"fifo" ~ranks:2 ~code:(fun rank ->
+        if rank = 0 then
+          [ Program.Send { dst = 1; bytes = 1e6 }; Program.Send { dst = 1; bytes = 8. } ]
+        else [ Program.Recv { src = 0 }; Program.Recv { src = 0 } ])
+  in
+  let r = Emulator.run ~machine prog in
+  Alcotest.(check bool) "completes" true (r.Emulator.job_time > 0.)
+
+let test_emulator_invalid_program_raises () =
+  let prog =
+    Program.v ~name:"invalid" ~ranks:2 ~code:(fun _ -> [ Program.Send { dst = 9; bytes = 1. } ])
+  in
+  Alcotest.(check bool) "invalid_arg" true
+    (try
+       ignore (Emulator.run ~machine prog);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- Heat ---------------- *)
+
+let test_heat_decompose () =
+  Alcotest.(check (pair int int)) "16" (4, 4) (Heat.decompose ~ranks:16);
+  Alcotest.(check (pair int int)) "12" (3, 4) (Heat.decompose ~ranks:12);
+  Alcotest.(check (pair int int)) "7 (prime)" (1, 7) (Heat.decompose ~ranks:7);
+  Alcotest.(check (pair int int)) "1" (1, 1) (Heat.decompose ~ranks:1)
+
+let test_heat_program_valid () =
+  List.iter
+    (fun ranks ->
+      let prog = Heat.program ~ranks () in
+      match Program.validate prog with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Printf.sprintf "%d ranks: %s" ranks e))
+    [ 1; 2; 4; 7; 16; 64 ]
+
+let test_heat_speedup_reasonable () =
+  let t1 = (Emulator.run ~machine (Heat.program ~ranks:1 ())).Emulator.job_time in
+  let t16 = (Emulator.run ~machine (Heat.program ~ranks:16 ())).Emulator.job_time in
+  let s = t1 /. t16 in
+  Alcotest.(check bool) "speedup between 8 and 16" true (s > 8. && s <= 16.)
+
+let test_heat_paper_calibration () =
+  (* The emulated Heat Distribution should be near the paper's measured
+     point: speedup ~77 at 160 cores (we accept 60-90). *)
+  let t1 = (Emulator.run ~machine (Heat.program ~ranks:1 ())).Emulator.job_time in
+  let t160 = (Emulator.run ~machine (Heat.program ~ranks:160 ())).Emulator.job_time in
+  let s = t1 /. t160 in
+  Alcotest.(check bool)
+    (Printf.sprintf "speedup at 160 cores ~ 77 (got %.1f)" s)
+    true (s > 60. && s < 90.)
+
+(* ---------------- Jacobi ---------------- *)
+
+let test_jacobi_converges_to_boundary () =
+  (* Uniform hot boundary: the interior converges toward the boundary
+     value. *)
+  let g = Heat.Jacobi.create ~size:10 in
+  for i = 0 to 9 do
+    Heat.Jacobi.set g 0 i 100.;
+    Heat.Jacobi.set g 9 i 100.;
+    Heat.Jacobi.set g i 0 100.;
+    Heat.Jacobi.set g i 9 100.
+  done;
+  ignore (Heat.Jacobi.run g ~iterations:500);
+  Alcotest.(check bool) "interior near 100" true (Heat.Jacobi.get g 5 5 > 99.)
+
+let test_jacobi_residual_decreases () =
+  let g = Heat.Jacobi.create ~size:16 in
+  Heat.Jacobi.set g 8 8 1000.;
+  let r1 = Heat.Jacobi.step g in
+  ignore (Heat.Jacobi.run g ~iterations:50);
+  let r2 = Heat.Jacobi.step g in
+  Alcotest.(check bool) "residual shrinks" true (r2 < r1)
+
+let test_jacobi_serialize_roundtrip () =
+  let g = Heat.Jacobi.create ~size:12 in
+  Heat.Jacobi.set g 3 4 42.5;
+  Heat.Jacobi.set g 7 2 (-1.25);
+  ignore (Heat.Jacobi.run g ~iterations:3);
+  let g' = Heat.Jacobi.deserialize (Heat.Jacobi.serialize g) in
+  Alcotest.(check bool) "roundtrip equal" true (Heat.Jacobi.equal g g')
+
+let test_jacobi_deserialize_garbage () =
+  Alcotest.(check bool) "garbage rejected" true
+    (try
+       ignore (Heat.Jacobi.deserialize (Bytes.of_string "junk"));
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- Nek ---------------- *)
+
+let test_nek_program_valid () =
+  List.iter
+    (fun ranks ->
+      match Program.validate (Nek_eddy.program ~ranks ()) with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    [ 1; 2; 3; 50; 100 ]
+
+let test_nek_speedup_peaks () =
+  let time ranks = (Emulator.run ~machine (Nek_eddy.program ~ranks ())).Emulator.job_time in
+  let t1 = time 1 in
+  let s64 = t1 /. time 64 in
+  let s400 = t1 /. time 400 in
+  Alcotest.(check bool) "scales at small N" true (s64 > 10.);
+  Alcotest.(check bool) "decays past the peak" true (s400 < s64)
+
+(* ---------------- CG program ---------------- *)
+
+let test_cg_program_valid () =
+  List.iter
+    (fun ranks ->
+      match Program.validate (Cg_program.program ~ranks ()) with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    [ 1; 2; 3; 16; 100 ]
+
+let test_cg_scaling_shape () =
+  let time ranks =
+    (Emulator.run ~machine (Cg_program.program ~ranks ())).Emulator.job_time
+  in
+  let t1 = time 1 in
+  let eff ranks = t1 /. time ranks /. float_of_int ranks in
+  (* Efficient at small scale, saturating as the two Allreduces per
+     iteration start to dominate the shrinking per-rank compute. *)
+  Alcotest.(check bool) "near-perfect at 8 ranks" true (eff 8 > 0.9);
+  Alcotest.(check bool) "efficiency declines" true (eff 64 > eff 512);
+  Alcotest.(check bool) "latency-bound at 512 ranks" true (eff 512 < 0.5)
+
+let test_cg_collective_count () =
+  let r = Emulator.run ~machine (Cg_program.program ~ranks:4 ()) in
+  (* Two Allreduces per iteration. *)
+  Alcotest.(check int) "2 x iterations collectives"
+    (2 * Cg_program.default_config.Cg_program.iterations)
+    r.Emulator.collectives
+
+(* ---------------- Speedup_study ---------------- *)
+
+let test_study_measure () =
+  let points =
+    Speedup_study.measure ~machine
+      ~program:(fun ~ranks -> Heat.program ~ranks ())
+      ~scales:[ 4; 2; 4 ]
+  in
+  (* Includes rank 1, deduplicates, sorts. *)
+  Alcotest.(check (list int)) "scales" [ 1; 2; 4 ]
+    (List.map (fun p -> p.Speedup_study.ranks) points);
+  check_close ~tol:1e-9 "speedup(1) = 1" 1. (List.hd points).Speedup_study.speedup
+
+let test_study_ascending_range () =
+  let mk ranks speedup = { Speedup_study.ranks; job_time = 1.; speedup } in
+  let pts = [ mk 1 1.; mk 2 1.9; mk 4 3.0; mk 8 2.5; mk 16 2.0 ] in
+  Alcotest.(check (list int)) "cut after the peak" [ 1; 2; 4 ]
+    (List.map (fun p -> p.Speedup_study.ranks) (Speedup_study.ascending_range pts))
+
+let test_study_fit_recovers_quadratic () =
+  let mk n = { Speedup_study.ranks = n;
+               job_time = 1.;
+               speedup = (0.5 *. float_of_int n) -. (1e-4 *. float_of_int (n * n)) } in
+  let fit = Speedup_study.fit_quadratic (List.map mk [ 10; 50; 100; 500; 1000 ]) in
+  check_close ~tol:1e-6 "kappa" 0.5 fit.Speedup_study.kappa;
+  check_close ~tol:1. "n_star" 2500. fit.Speedup_study.n_star
+
+let test_study_fit_rejects_flat () =
+  (* Superlinear data fits with a positive quadratic coefficient: no peak
+     exists and the fit must refuse. *)
+  let mk n = { Speedup_study.ranks = n; job_time = 1.;
+               speedup = float_of_int (n * n) /. 4. } in
+  Alcotest.(check bool) "no curvature rejected" true
+    (try
+       ignore (Speedup_study.fit_quadratic (List.map mk [ 1; 2; 4; 8 ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_study_estimate_kappa () =
+  check_close ~tol:1e-9 "77/160"
+    (77. /. 160.)
+    (Speedup_study.estimate_kappa { Speedup_study.ranks = 160; job_time = 1.; speedup = 77. })
+
+(* ---------------- properties ---------------- *)
+
+let qcheck_tests =
+  let open QCheck in
+  [ Test.make ~name:"jacobi serialize/deserialize roundtrips" ~count:30
+      (pair (int_range 3 24) small_int)
+      (fun (size, seed) ->
+        let g = Heat.Jacobi.create ~size in
+        let rng = Ckpt_numerics.Rng.of_int seed in
+        for _ = 1 to 10 do
+          let i = Ckpt_numerics.Rng.int rng size and j = Ckpt_numerics.Rng.int rng size in
+          Heat.Jacobi.set g i j (Ckpt_numerics.Rng.float rng *. 100.)
+        done;
+        Heat.Jacobi.equal g (Heat.Jacobi.deserialize (Heat.Jacobi.serialize g)));
+    Test.make ~name:"heat decompose multiplies back" ~count:200 (int_range 1 2048)
+      (fun ranks ->
+        let px, py = Heat.decompose ~ranks in
+        px * py = ranks && px <= py);
+    Test.make ~name:"emulated heat speedup is positive and bounded" ~count:10
+      (int_range 2 32)
+      (fun ranks ->
+        let t1 = (Emulator.run ~machine (Heat.program ~ranks:1 ())).Emulator.job_time in
+        let tn = (Emulator.run ~machine (Heat.program ~ranks ())).Emulator.job_time in
+        let s = t1 /. tn in
+        s > 0.5 && s <= float_of_int ranks +. 1e-6) ]
+
+let () =
+  Alcotest.run "ckpt_mpi"
+    [ ( "machine",
+        [ Alcotest.test_case "compute" `Quick test_machine_compute;
+          Alcotest.test_case "message" `Quick test_machine_message;
+          Alcotest.test_case "log2 ceil" `Quick test_machine_log2_ceil;
+          Alcotest.test_case "collective" `Quick test_machine_collective ] );
+      ( "program",
+        [ Alcotest.test_case "valid program" `Quick test_validate_good;
+          Alcotest.test_case "bad rank" `Quick test_validate_bad_rank;
+          Alcotest.test_case "self message" `Quick test_validate_self_message;
+          Alcotest.test_case "unclosed irecv" `Quick test_validate_unclosed_irecv;
+          Alcotest.test_case "collective mismatch" `Quick test_validate_collective_mismatch ] );
+      ( "emulator",
+        [ Alcotest.test_case "compute only" `Quick test_emulator_compute_only;
+          Alcotest.test_case "pingpong timing" `Quick test_emulator_pingpong_timing;
+          Alcotest.test_case "buffered send" `Quick test_emulator_send_is_buffered;
+          Alcotest.test_case "waitall" `Quick test_emulator_waitall;
+          Alcotest.test_case "barrier sync" `Quick test_emulator_barrier_sync;
+          Alcotest.test_case "allreduce grows" `Quick test_emulator_allreduce_cost_grows;
+          Alcotest.test_case "reduce/gather/alltoall" `Quick
+            test_emulator_reduce_gather_alltoall;
+          Alcotest.test_case "deadlock detection" `Quick test_emulator_deadlock;
+          Alcotest.test_case "fifo channels" `Quick test_emulator_fifo_channels;
+          Alcotest.test_case "invalid program" `Quick test_emulator_invalid_program_raises ] );
+      ( "heat",
+        [ Alcotest.test_case "decompose" `Quick test_heat_decompose;
+          Alcotest.test_case "programs validate" `Quick test_heat_program_valid;
+          Alcotest.test_case "speedup reasonable" `Quick test_heat_speedup_reasonable;
+          Alcotest.test_case "paper calibration" `Quick test_heat_paper_calibration ] );
+      ( "jacobi",
+        [ Alcotest.test_case "converges to boundary" `Quick test_jacobi_converges_to_boundary;
+          Alcotest.test_case "residual decreases" `Quick test_jacobi_residual_decreases;
+          Alcotest.test_case "serialize roundtrip" `Quick test_jacobi_serialize_roundtrip;
+          Alcotest.test_case "garbage rejected" `Quick test_jacobi_deserialize_garbage ] );
+      ( "nek",
+        [ Alcotest.test_case "programs validate" `Quick test_nek_program_valid;
+          Alcotest.test_case "speedup peaks" `Quick test_nek_speedup_peaks ] );
+      ( "cg-program",
+        [ Alcotest.test_case "programs validate" `Quick test_cg_program_valid;
+          Alcotest.test_case "scaling shape" `Quick test_cg_scaling_shape;
+          Alcotest.test_case "collective count" `Quick test_cg_collective_count ] );
+      ( "speedup-study",
+        [ Alcotest.test_case "measure" `Quick test_study_measure;
+          Alcotest.test_case "ascending range" `Quick test_study_ascending_range;
+          Alcotest.test_case "fit recovers quadratic" `Quick test_study_fit_recovers_quadratic;
+          Alcotest.test_case "rejects flat" `Quick test_study_fit_rejects_flat;
+          Alcotest.test_case "estimate kappa" `Quick test_study_estimate_kappa ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests) ]

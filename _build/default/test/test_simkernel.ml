@@ -1,0 +1,254 @@
+(* Tests for the discrete-event simulation kernel. *)
+
+open Ckpt_simkernel
+
+(* ---------------- Event_queue ---------------- *)
+
+let test_queue_ordering () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.push q ~time:3. "c");
+  ignore (Event_queue.push q ~time:1. "a");
+  ignore (Event_queue.push q ~time:2. "b");
+  let pop () = match Event_queue.pop q with Some (_, v) -> v | None -> "?" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] [ first; second; third ]
+
+let test_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.push q ~time:5. "first");
+  ignore (Event_queue.push q ~time:5. "second");
+  ignore (Event_queue.push q ~time:5. "third");
+  let pop () = match Event_queue.pop q with Some (_, v) -> v | None -> "?" in
+  let one = pop () in
+  let two = pop () in
+  let three = pop () in
+  Alcotest.(check (list string)) "insertion order at equal times"
+    [ "first"; "second"; "third" ]
+    [ one; two; three ]
+
+let test_queue_cancel () =
+  let q = Event_queue.create () in
+  let _a = Event_queue.push q ~time:1. "a" in
+  let b = Event_queue.push q ~time:2. "b" in
+  ignore (Event_queue.push q ~time:3. "c");
+  Event_queue.cancel q b;
+  Alcotest.(check int) "size after cancel" 2 (Event_queue.size q);
+  Alcotest.(check bool) "is_cancelled" true (Event_queue.is_cancelled q b);
+  let pop () = match Event_queue.pop q with Some (_, v) -> v | None -> "?" in
+  let one = pop () in
+  let two = pop () in
+  Alcotest.(check (list string)) "skips cancelled" [ "a"; "c" ] [ one; two ];
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q)
+
+let test_queue_cancel_fired_noop () =
+  let q = Event_queue.create () in
+  let a = Event_queue.push q ~time:1. "a" in
+  ignore (Event_queue.push q ~time:2. "b");
+  ignore (Event_queue.pop q);
+  Event_queue.cancel q a;
+  (* Cancelling a fired event must not disturb the remaining ones. *)
+  Alcotest.(check int) "size unchanged" 1 (Event_queue.size q);
+  Alcotest.(check bool) "b still pops" true (Event_queue.pop q <> None)
+
+let test_queue_peek () =
+  let q = Event_queue.create () in
+  Alcotest.(check (option (float 0.))) "empty peek" None (Event_queue.peek_time q);
+  let a = Event_queue.push q ~time:4. "a" in
+  ignore (Event_queue.push q ~time:9. "b");
+  Alcotest.(check (option (float 0.))) "peek min" (Some 4.) (Event_queue.peek_time q);
+  Event_queue.cancel q a;
+  Alcotest.(check (option (float 0.))) "peek skips cancelled" (Some 9.)
+    (Event_queue.peek_time q)
+
+let test_queue_clear () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.push q ~time:1. "a");
+  ignore (Event_queue.push q ~time:2. "b");
+  Event_queue.clear q;
+  Alcotest.(check bool) "cleared" true (Event_queue.is_empty q);
+  Alcotest.(check (option (float 0.))) "no peek" None (Event_queue.peek_time q)
+
+let test_queue_grow () =
+  let q = Event_queue.create () in
+  for i = 0 to 999 do
+    ignore (Event_queue.push q ~time:(float_of_int (999 - i)) i)
+  done;
+  Alcotest.(check int) "size" 1000 (Event_queue.size q);
+  let prev = ref neg_infinity in
+  let sorted = ref true in
+  let rec drain () =
+    match Event_queue.pop q with
+    | None -> ()
+    | Some (t, _) ->
+        if t < !prev then sorted := false;
+        prev := t;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check bool) "sorted drain" true !sorted
+
+(* ---------------- Sim ---------------- *)
+
+let test_sim_order_and_clock () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  let note tag sim = log := (tag, Sim.now sim) :: !log in
+  ignore (Sim.schedule_at sim ~time:2. (note "b"));
+  ignore (Sim.schedule_at sim ~time:1. (note "a"));
+  ignore (Sim.schedule_after sim ~delay:3. (note "c"));
+  Sim.run sim;
+  Alcotest.(check (list (pair string (float 0.))))
+    "order and timestamps"
+    [ ("a", 1.); ("b", 2.); ("c", 3.) ]
+    (List.rev !log)
+
+let test_sim_past_raises () =
+  let sim = Sim.create ~start_time:10. () in
+  Alcotest.(check bool) "scheduling in the past raises" true
+    (try
+       ignore (Sim.schedule_at sim ~time:5. (fun _ -> ()));
+       false
+     with Sim.Time_in_the_past { now = 10.; requested = 5. } -> true)
+
+let test_sim_nested_scheduling () =
+  let sim = Sim.create () in
+  let hits = ref 0 in
+  ignore
+    (Sim.schedule_at sim ~time:1. (fun sim ->
+         incr hits;
+         ignore (Sim.schedule_after sim ~delay:1. (fun _ -> incr hits))));
+  Sim.run sim;
+  Alcotest.(check int) "both ran" 2 !hits;
+  Alcotest.(check (float 0.)) "clock at last event" 2. (Sim.now sim)
+
+let test_sim_cancel () =
+  let sim = Sim.create () in
+  let hits = ref 0 in
+  let id = Sim.schedule_at sim ~time:1. (fun _ -> incr hits) in
+  Sim.cancel sim id;
+  Sim.run sim;
+  Alcotest.(check int) "cancelled never runs" 0 !hits
+
+let test_sim_run_until () =
+  let sim = Sim.create () in
+  let hits = ref 0 in
+  ignore (Sim.schedule_at sim ~time:1. (fun _ -> incr hits));
+  ignore (Sim.schedule_at sim ~time:10. (fun _ -> incr hits));
+  Sim.run ~until:5. sim;
+  Alcotest.(check int) "only early event" 1 !hits;
+  Alcotest.(check (float 0.)) "clock advanced to horizon" 5. (Sim.now sim);
+  Sim.run sim;
+  Alcotest.(check int) "late event eventually runs" 2 !hits
+
+let test_sim_until_beyond_queue () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule_at sim ~time:1. (fun _ -> ()));
+  Sim.run ~until:100. sim;
+  Alcotest.(check (float 0.)) "clock lands on horizon" 100. (Sim.now sim)
+
+let test_sim_stop () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule_at sim ~time:1. (fun sim -> Sim.stop sim));
+  ignore (Sim.schedule_at sim ~time:2. (fun _ -> Alcotest.fail "should not run"));
+  Sim.run sim;
+  Alcotest.(check bool) "stopped" true (Sim.stopped sim);
+  Alcotest.(check int) "second event still queued" 1 (Sim.pending sim)
+
+let test_sim_step () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule_at sim ~time:1. (fun _ -> ()));
+  Alcotest.(check bool) "one step" true (Sim.step sim);
+  Alcotest.(check bool) "drained" false (Sim.step sim)
+
+(* ---------------- Trace ---------------- *)
+
+let test_trace_records () =
+  let t = Trace.create () in
+  Trace.record t ~time:1. ~tag:"failure" "level 2";
+  Trace.recordf t ~time:2. ~tag:"ckpt" "level %d" 3;
+  Alcotest.(check int) "length" 2 (Trace.length t);
+  match Trace.entries t with
+  | [ a; b ] ->
+      Alcotest.(check string) "first tag" "failure" a.Trace.tag;
+      Alcotest.(check string) "formatted detail" "level 3" b.Trace.detail
+  | _ -> Alcotest.fail "expected two entries"
+
+let test_trace_find_all () =
+  let t = Trace.create () in
+  Trace.record t ~time:1. ~tag:"a" "1";
+  Trace.record t ~time:2. ~tag:"b" "2";
+  Trace.record t ~time:3. ~tag:"a" "3";
+  Alcotest.(check int) "two with tag a" 2 (List.length (Trace.find_all t ~tag:"a"))
+
+let test_trace_disabled () =
+  let t = Trace.create ~enabled:false () in
+  Trace.record t ~time:1. ~tag:"x" "dropped";
+  Trace.recordf t ~time:1. ~tag:"x" "also %s" "dropped";
+  Alcotest.(check int) "nothing recorded" 0 (Trace.length t);
+  Trace.set_enabled t true;
+  Trace.record t ~time:2. ~tag:"x" "kept";
+  Alcotest.(check int) "recording after enable" 1 (Trace.length t)
+
+let test_trace_clear () =
+  let t = Trace.create () in
+  Trace.record t ~time:1. ~tag:"x" "y";
+  Trace.clear t;
+  Alcotest.(check int) "cleared" 0 (Trace.length t)
+
+(* ---------------- properties ---------------- *)
+
+let qcheck_tests =
+  let open QCheck in
+  [ Test.make ~name:"heap drains in sorted order" ~count:200
+      (list_of_size (Gen.int_range 0 200) (float_range 0. 1e6))
+      (fun times ->
+        let q = Event_queue.create () in
+        List.iter (fun t -> ignore (Event_queue.push q ~time:t ())) times;
+        let rec drain prev =
+          match Event_queue.pop q with
+          | None -> true
+          | Some (t, ()) -> t >= prev && drain t
+        in
+        drain neg_infinity);
+    Test.make ~name:"cancelling a random subset leaves the rest" ~count:200
+      (list_of_size (Gen.int_range 0 100) (pair (float_range 0. 100.) bool))
+      (fun entries ->
+        let q = Event_queue.create () in
+        let kept = ref 0 in
+        List.iter
+          (fun (t, keep) ->
+            let h = Event_queue.push q ~time:t () in
+            if keep then incr kept else Event_queue.cancel q h)
+          entries;
+        let rec count acc =
+          match Event_queue.pop q with None -> acc | Some _ -> count (acc + 1)
+        in
+        count 0 = !kept) ]
+
+let () =
+  Alcotest.run "ckpt_simkernel"
+    [ ( "event-queue",
+        [ Alcotest.test_case "ordering" `Quick test_queue_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_queue_fifo_ties;
+          Alcotest.test_case "cancel" `Quick test_queue_cancel;
+          Alcotest.test_case "cancel fired no-op" `Quick test_queue_cancel_fired_noop;
+          Alcotest.test_case "peek" `Quick test_queue_peek;
+          Alcotest.test_case "clear" `Quick test_queue_clear;
+          Alcotest.test_case "grow and drain" `Quick test_queue_grow ] );
+      ( "sim",
+        [ Alcotest.test_case "order and clock" `Quick test_sim_order_and_clock;
+          Alcotest.test_case "past raises" `Quick test_sim_past_raises;
+          Alcotest.test_case "nested scheduling" `Quick test_sim_nested_scheduling;
+          Alcotest.test_case "cancel" `Quick test_sim_cancel;
+          Alcotest.test_case "run until" `Quick test_sim_run_until;
+          Alcotest.test_case "until beyond queue" `Quick test_sim_until_beyond_queue;
+          Alcotest.test_case "stop" `Quick test_sim_stop;
+          Alcotest.test_case "step" `Quick test_sim_step ] );
+      ( "trace",
+        [ Alcotest.test_case "records" `Quick test_trace_records;
+          Alcotest.test_case "find_all" `Quick test_trace_find_all;
+          Alcotest.test_case "disabled" `Quick test_trace_disabled;
+          Alcotest.test_case "clear" `Quick test_trace_clear ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests) ]

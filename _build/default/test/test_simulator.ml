@@ -1,0 +1,506 @@
+(* Tests for the checkpoint/restart execution simulator: accounting
+   invariants, determinism, semantics toggles, model agreement and the
+   event/tick cross-validation. *)
+
+open Ckpt_model
+module Failure_spec = Ckpt_failures.Failure_spec
+module Run_config = Ckpt_sim.Run_config
+module Engine = Ckpt_sim.Engine
+module Tick_engine = Ckpt_sim.Tick_engine
+module Outcome = Ckpt_sim.Outcome
+module Replication = Ckpt_sim.Replication
+module Stats = Ckpt_numerics.Stats
+
+let check_rel ?(tol = 1e-3) msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (expected %g, got %g)" msg expected actual)
+    true
+    (Float.abs (actual -. expected) <= tol *. Float.abs expected)
+
+(* A small-scale configuration: 1,024 cores, ~4.3 h productive, a handful
+   of failures per run. *)
+let small_config ?(rates = "24-18-12-6") ?(xs = [| 60.; 30.; 15.; 6. |])
+    ?(semantics = Run_config.default_semantics) () =
+  Run_config.v ~semantics ~te:(1024. *. 2. *. 3600.)
+    ~speedup:(Speedup.quadratic ~kappa:0.46 ~n_star:1e6)
+    ~levels:Level.fti_fusion ~alloc:10.
+    ~spec:(Failure_spec.of_string ~baseline_scale:1024. rates)
+    ~xs ~n:1024. ()
+
+let no_jitter semantics = { semantics with Run_config.jitter_ratio = 0. }
+
+let test_validation () =
+  let expect_invalid f =
+    Alcotest.(check bool) "rejected" true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  expect_invalid (fun () -> small_config ~xs:[| 1.; 1.; 1. |] ());
+  expect_invalid (fun () -> small_config ~xs:[| 0.5; 1.; 1.; 1. |] ());
+  expect_invalid (fun () -> small_config ~rates:"1-2-3" ())
+
+let test_portions_sum_to_wall_clock () =
+  let config = small_config () in
+  for seed = 0 to 20 do
+    let o = Engine.run ~seed config in
+    check_rel ~tol:1e-9 "portions account for every second" o.Outcome.wall_clock
+      (Outcome.portions_sum o)
+  done
+
+let test_determinism () =
+  let config = small_config () in
+  let a = Engine.run ~seed:11 config and b = Engine.run ~seed:11 config in
+  Alcotest.(check (float 0.)) "same wall clock" a.Outcome.wall_clock b.Outcome.wall_clock;
+  Alcotest.(check int) "same failures" (Outcome.total_failures a) (Outcome.total_failures b);
+  let c = Engine.run ~seed:12 config in
+  Alcotest.(check bool) "different seed differs" true
+    (a.Outcome.wall_clock <> c.Outcome.wall_clock)
+
+let test_no_failures_exact () =
+  (* Zero failure rates and zero jitter: the wall clock is exactly the
+     productive time plus every scheduled checkpoint. *)
+  let config =
+    small_config ~rates:"0-0-0-0"
+      ~semantics:(no_jitter Run_config.default_semantics) ()
+  in
+  let o = Engine.run ~seed:1 config in
+  Alcotest.(check bool) "completed" true o.Outcome.completed;
+  Alcotest.(check int) "no failures" 0 (Outcome.total_failures o);
+  let productive = Run_config.productive_target config in
+  let expected_ckpt =
+    (* x_i - 1 checkpoints at level i, written at their nominal cost. *)
+    let cost i = Overhead.cost Level.fti_fusion.(i).Level.ckpt 1024. in
+    (59. *. cost 0) +. (29. *. cost 1) +. (14. *. cost 2) +. (5. *. cost 3)
+  in
+  check_rel ~tol:1e-9 "productive" productive o.Outcome.productive;
+  check_rel ~tol:1e-9 "checkpoint total" expected_ckpt o.Outcome.checkpoint;
+  check_rel ~tol:1e-9 "wall = productive + ckpt" (productive +. expected_ckpt)
+    o.Outcome.wall_clock;
+  Alcotest.(check int) "ckpt count level 1" 59 o.Outcome.ckpts_written.(0);
+  Alcotest.(check int) "ckpt count level 4" 5 o.Outcome.ckpts_written.(3)
+
+let test_failures_cost_time () =
+  let quiet = small_config ~rates:"0-0-0-0" () in
+  let noisy = small_config ~rates:"48-36-24-12" () in
+  let wall c = (Engine.run ~seed:5 c).Outcome.wall_clock in
+  Alcotest.(check bool) "failures extend the run" true (wall noisy > wall quiet)
+
+let test_failure_counts_match_rates () =
+  (* Expected failures = total rate x wall-clock; check within 10% over
+     many runs. *)
+  let config = small_config () in
+  let agg = Replication.run ~runs:60 config in
+  let rate =
+    Failure_spec.total_rate_per_second
+      (Failure_spec.of_string ~baseline_scale:1024. "24-18-12-6") ~scale:1024.
+  in
+  let expected = rate *. agg.Replication.wall_clock.Stats.mean in
+  check_rel ~tol:0.1 "failure count" expected agg.Replication.mean_failures
+
+let test_rollback_semantics () =
+  (* With only level-1 failures and frequent level-1 checkpoints, rollback
+     per failure is bounded by one interval. *)
+  let config =
+    small_config ~rates:"200-0-0-0" ~xs:[| 200.; 1.; 1.; 1. |]
+      ~semantics:(no_jitter Run_config.default_semantics) ()
+  in
+  let o = Engine.run ~seed:3 config in
+  Alcotest.(check bool) "completed" true o.Outcome.completed;
+  let interval = Run_config.productive_target config /. 200. in
+  let per_failure_bound =
+    interval +. Overhead.cost Level.fti_fusion.(0).Level.ckpt 1024. +. 1.
+  in
+  Alcotest.(check bool) "rollback bounded by interval per failure" true
+    (o.Outcome.rollback
+     <= (float_of_int (Outcome.total_failures o) *. per_failure_bound) +. 1e-6)
+
+let test_level4_failure_rolls_to_start_without_pfs_ckpt () =
+  (* No level-4 checkpoints (x4 = 1): a level-4 failure early in the run
+     restarts from scratch; rollback appears as re-executed work. *)
+  let config =
+    small_config ~rates:"0-0-0-3" ~xs:[| 10.; 1.; 1.; 1. |]
+      ~semantics:(no_jitter Run_config.default_semantics) ()
+  in
+  let o = Engine.run ~seed:17 config in
+  if Outcome.total_failures o > 0 then
+    Alcotest.(check bool) "re-execution recorded" true (o.Outcome.rollback > 0.)
+
+let test_atomic_vs_abort () =
+  (* Atomic checkpoint writes can only help (no lost writes). *)
+  let mean semantics =
+    let config = small_config ~rates:"96-72-48-24" ~semantics () in
+    (Replication.run ~runs:30 config).Replication.wall_clock.Stats.mean
+  in
+  let abort = mean Run_config.default_semantics in
+  let atomic = mean Run_config.paper_semantics in
+  Alcotest.(check bool) "atomic <= abort" true (atomic <= abort *. 1.02)
+
+let test_ignore_recovery_failures () =
+  let ignore_sem =
+    { Run_config.default_semantics with
+      Run_config.on_recovery_failure = Run_config.Ignore_during_recovery }
+  in
+  let mean semantics =
+    let config = small_config ~rates:"96-72-48-24" ~semantics () in
+    (Replication.run ~runs:30 config).Replication.wall_clock.Stats.mean
+  in
+  Alcotest.(check bool) "suppressing recovery failures can only help" true
+    (mean ignore_sem <= mean Run_config.default_semantics *. 1.02)
+
+let test_horizon () =
+  (* An impossible configuration: gigantic PFS-only checkpoints under a
+     heavy failure rate never finish; the engine must stop at the horizon
+     rather than loop forever. *)
+  let config =
+    Run_config.v ~max_wall_clock:(3. *. 86400.) ~te:(1024. *. 100. *. 3600.)
+      ~speedup:(Speedup.quadratic ~kappa:0.46 ~n_star:1e6)
+      ~levels:[| Level.v (Overhead.constant 4000.) |]
+      ~alloc:10.
+      ~spec:(Failure_spec.v ~baseline_scale:1024. [| 400. |])
+      ~xs:[| 200. |] ~n:1024. ()
+  in
+  let o = Engine.run ~seed:1 config in
+  Alcotest.(check bool) "did not complete" false o.Outcome.completed;
+  Alcotest.(check bool) "stopped at horizon" true (o.Outcome.wall_clock >= 3. *. 86400.)
+
+let test_efficiency () =
+  let o =
+    { Outcome.completed = true; wall_clock = 1000.; productive = 800.; checkpoint = 100.;
+      restart = 0.; allocation = 0.; rollback = 100.; failures = [| 0 |]; recoveries = 0;
+      ckpts_written = [| 0 |]; ckpts_redone = [| 0 |]; ckpts_aborted = [| 0 |] }
+  in
+  Alcotest.(check (float 1e-9)) "eff = te / wall / n" 0.5
+    (Outcome.efficiency o ~te:5000. ~n:10.)
+
+let test_model_agreement () =
+  (* On a mild configuration the simulated mean should track the analytic
+     expectation within ~20 %. *)
+  let problem =
+    { Optimizer.te = 1024. *. 2. *. 3600.;
+      speedup = Speedup.quadratic ~kappa:0.46 ~n_star:1e6;
+      levels = Level.fti_fusion;
+      alloc = 10.;
+      spec = Failure_spec.of_string ~baseline_scale:1024. "24-18-12-6" }
+  in
+  let plan = Optimizer.ml_ori_scale ~n:1024. problem in
+  let config = Run_config.of_plan ~problem ~plan () in
+  let agg = Replication.run ~runs:60 config in
+  check_rel ~tol:0.2 "simulation tracks the model" plan.Optimizer.wall_clock
+    agg.Replication.wall_clock.Stats.mean
+
+let test_event_vs_tick () =
+  (* The independent tick-driven engine agrees with the event-driven one
+     within a few percent (the paper's <4% validation bar). *)
+  let config = small_config () in
+  let runs = 25 in
+  let ev =
+    Stats.mean (Array.init runs (fun i -> (Engine.run ~seed:(50 + i) config).Outcome.wall_clock))
+  in
+  let tk =
+    Stats.mean
+      (Array.init runs (fun i -> (Tick_engine.run ~seed:(50 + i) config).Outcome.wall_clock))
+  in
+  check_rel ~tol:0.04 "engines agree within 4%" tk ev
+
+let test_tick_portions_sum () =
+  let config = small_config () in
+  for seed = 0 to 5 do
+    let o = Tick_engine.run ~seed config in
+    check_rel ~tol:1e-9 "tick portions account for every tick" o.Outcome.wall_clock
+      (Outcome.portions_sum o)
+  done
+
+let test_replication_aggregate () =
+  let config = small_config () in
+  let agg = Replication.run ~runs:10 config in
+  Alcotest.(check int) "all runs" 10 agg.Replication.runs;
+  Alcotest.(check int) "all completed" 10 agg.Replication.completed_runs;
+  let lo, hi = agg.Replication.wall_clock_ci95 in
+  Alcotest.(check bool) "CI brackets the mean" true
+    (lo <= agg.Replication.wall_clock.Stats.mean
+     && agg.Replication.wall_clock.Stats.mean <= hi);
+  let total_portions =
+    agg.Replication.productive +. agg.Replication.checkpoint +. agg.Replication.restart
+    +. agg.Replication.allocation +. agg.Replication.rollback
+  in
+  check_rel ~tol:1e-6 "mean portions sum to mean wall" agg.Replication.wall_clock.Stats.mean
+    total_portions
+
+let test_outcomes_deterministic_base_seed () =
+  let config = small_config () in
+  let a = Replication.outcomes ~runs:5 ~base_seed:100 config in
+  let b = Replication.outcomes ~runs:5 ~base_seed:100 config in
+  Array.iteri
+    (fun i o ->
+      Alcotest.(check (float 0.)) "same outcomes" o.Outcome.wall_clock
+        b.(i).Outcome.wall_clock)
+    a
+
+let test_replication_horizon_aggregate () =
+  (* When no run completes, the aggregate must say so rather than fake
+     numbers. *)
+  let config =
+    Run_config.v ~max_wall_clock:(0.5 *. 86400.) ~te:(1024. *. 100. *. 3600.)
+      ~speedup:(Speedup.quadratic ~kappa:0.46 ~n_star:1e6)
+      ~levels:[| Level.v (Overhead.constant 4000.) |]
+      ~alloc:10.
+      ~spec:(Failure_spec.v ~baseline_scale:1024. [| 400. |])
+      ~xs:[| 200. |] ~n:1024. ()
+  in
+  let agg = Replication.run ~runs:5 config in
+  Alcotest.(check int) "no completed runs" 0 agg.Replication.completed_runs;
+  Alcotest.(check int) "still counts runs" 5 agg.Replication.runs
+
+(* ---------------- failure-trace replay ---------------- *)
+
+let test_trace_replay_exact () =
+  (* Replaying a fixed log with zero jitter is fully deterministic:
+     exactly the logged failures occur, at their levels. *)
+  let failure_trace = [ (3_000., 1); (9_000., 3); (15_000., 2) ] in
+  let config =
+    Run_config.v ~semantics:(no_jitter Run_config.default_semantics) ~failure_trace
+      ~te:(1024. *. 2. *. 3600.)
+      ~speedup:(Speedup.quadratic ~kappa:0.46 ~n_star:1e6)
+      ~levels:Level.fti_fusion ~alloc:10.
+      ~spec:(Failure_spec.of_string ~baseline_scale:1024. "24-18-12-6")
+      ~xs:[| 60.; 30.; 15.; 6. |] ~n:1024. ()
+  in
+  let a = Engine.run ~seed:1 config and b = Engine.run ~seed:999 config in
+  (* The seed no longer matters: the failure process is the log. *)
+  Alcotest.(check (float 0.)) "seed-independent" a.Outcome.wall_clock b.Outcome.wall_clock;
+  Alcotest.(check int) "exactly the logged failures" 3 (Outcome.total_failures a);
+  Alcotest.(check int) "level mix" 1 a.Outcome.failures.(0);
+  Alcotest.(check int) "level mix" 1 a.Outcome.failures.(1);
+  Alcotest.(check int) "level mix" 1 a.Outcome.failures.(2);
+  Alcotest.(check int) "level mix" 0 a.Outcome.failures.(3)
+
+let test_trace_replay_empty_is_failure_free () =
+  let config =
+    Run_config.v ~semantics:(no_jitter Run_config.default_semantics) ~failure_trace:[]
+      ~te:(1024. *. 2. *. 3600.)
+      ~speedup:(Speedup.quadratic ~kappa:0.46 ~n_star:1e6)
+      ~levels:Level.fti_fusion ~alloc:10.
+      ~spec:(Failure_spec.of_string ~baseline_scale:1024. "24-18-12-6")
+      ~xs:[| 60.; 30.; 15.; 6. |] ~n:1024. ()
+  in
+  let o = Engine.run ~seed:1 config in
+  Alcotest.(check int) "no failures" 0 (Outcome.total_failures o);
+  Alcotest.(check bool) "completed" true o.Outcome.completed
+
+let test_trace_replay_engines_agree () =
+  let failure_trace = [ (2_500., 2); (7_777., 1); (20_000., 4) ] in
+  let config =
+    Run_config.v ~semantics:(no_jitter Run_config.default_semantics) ~failure_trace
+      ~te:(1024. *. 2. *. 3600.)
+      ~speedup:(Speedup.quadratic ~kappa:0.46 ~n_star:1e6)
+      ~levels:Level.fti_fusion ~alloc:10.
+      ~spec:(Failure_spec.of_string ~baseline_scale:1024. "24-18-12-6")
+      ~xs:[| 60.; 30.; 15.; 6. |] ~n:1024. ()
+  in
+  let ev = Engine.run ~seed:1 config in
+  let tk = Tick_engine.run ~seed:1 config in
+  Alcotest.(check int) "same failure count" (Outcome.total_failures ev)
+    (Outcome.total_failures tk);
+  check_rel ~tol:0.02 "same wall clock" tk.Outcome.wall_clock ev.Outcome.wall_clock
+
+let test_trace_replay_validation () =
+  let build trace =
+    Run_config.v ~failure_trace:trace ~te:1e6
+      ~speedup:(Speedup.quadratic ~kappa:0.46 ~n_star:1e6)
+      ~levels:Level.fti_fusion ~alloc:10.
+      ~spec:(Failure_spec.of_string ~baseline_scale:1024. "1-1-1-1")
+      ~xs:[| 2.; 2.; 2.; 2. |] ~n:1024. ()
+  in
+  Alcotest.(check bool) "unsorted rejected" true
+    (try
+       ignore (build [ (5., 1); (1., 1) ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad level rejected" true
+    (try
+       ignore (build [ (1., 9) ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- tracing ---------------- *)
+
+module Trace = Ckpt_simkernel.Trace
+
+let test_trace_event_structure () =
+  let trace = Trace.create () in
+  let config = small_config () in
+  let o = Engine.run ~trace ~seed:9 config in
+  (* Every counted quantity appears in the trace with matching counts. *)
+  Alcotest.(check int) "failure events" (Outcome.total_failures o)
+    (List.length (Trace.find_all trace ~tag:"failure"));
+  Alcotest.(check int) "first-time checkpoints"
+    (Array.fold_left ( + ) 0 o.Outcome.ckpts_written)
+    (List.length (Trace.find_all trace ~tag:"ckpt"));
+  Alcotest.(check int) "redone checkpoints"
+    (Array.fold_left ( + ) 0 o.Outcome.ckpts_redone)
+    (List.length (Trace.find_all trace ~tag:"ckpt-redo"));
+  Alcotest.(check int) "aborted checkpoints"
+    (Array.fold_left ( + ) 0 o.Outcome.ckpts_aborted)
+    (List.length (Trace.find_all trace ~tag:"ckpt-abort"));
+  Alcotest.(check int) "one completion" 1
+    (List.length (Trace.find_all trace ~tag:"complete"))
+
+let test_trace_ordering () =
+  let trace = Trace.create () in
+  let config = small_config ~rates:"96-72-48-24" () in
+  ignore (Engine.run ~trace ~seed:4 config);
+  (* Timestamps are non-decreasing, and every failure is immediately
+     followed (eventually) by a recovery record. *)
+  let entries = Trace.entries trace in
+  let prev = ref neg_infinity in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "monotone timestamps" true (e.Trace.time >= !prev);
+      prev := e.Trace.time)
+    entries;
+  let failures = List.length (Trace.find_all trace ~tag:"failure") in
+  let recoveries = List.length (Trace.find_all trace ~tag:"recovery") in
+  Alcotest.(check int) "recovery per failure" failures recoveries;
+  (* The run without a trace is byte-identical (tracing has no effect). *)
+  let a = Engine.run ~seed:4 config in
+  let b = Engine.run ~trace:(Trace.create ()) ~seed:4 config in
+  Alcotest.(check (float 0.)) "tracing does not perturb" a.Outcome.wall_clock
+    b.Outcome.wall_clock
+
+(* ---------------- mark alignment ---------------- *)
+
+let test_nested_xs () =
+  let nested = Run_config.nested_xs [| 13907.6; 7026.7; 4726.1; 86.6 |] in
+  Alcotest.(check int) "four levels" 4 (Array.length nested);
+  (* Each count is an integer multiple of the next level's. *)
+  for i = 0 to 2 do
+    let ratio = nested.(i) /. nested.(i + 1) in
+    Alcotest.(check bool) "integer multiple" true
+      (Float.is_integer ratio && ratio >= 1.)
+  done;
+  (* And close to the requested counts. *)
+  for i = 0 to 3 do
+    let requested = [| 13907.6; 7026.7; 4726.1; 86.6 |].(i) in
+    Alcotest.(check bool) "within 2x of request" true
+      (nested.(i) > requested /. 2. && nested.(i) < requested *. 2.)
+  done
+
+let test_nested_xs_degenerate () =
+  let nested = Run_config.nested_xs [| 1.; 1. |] in
+  Alcotest.(check bool) "all ones" true (nested = [| 1.; 1. |])
+
+let test_subsumption_skips_writes () =
+  (* Aligned counts, no failures: with subsumption the level-4 positions
+     swallow the coincident cheaper marks. *)
+  let xs = [| 40.; 20.; 10.; 5. |] in
+  let semantics sub =
+    { (no_jitter Run_config.default_semantics) with Run_config.subsume_coincident = sub }
+  in
+  let run sub =
+    Engine.run ~seed:1 (small_config ~rates:"0-0-0-0" ~xs ~semantics:(semantics sub) ())
+  in
+  let plain = run false and sub = run true in
+  (* Without subsumption: 39 + 19 + 9 + 4 writes; with it, coincident
+     positions keep only the highest level: level 1 writes only where no
+     higher mark lands. *)
+  Alcotest.(check int) "plain level-1 count" 39 plain.Outcome.ckpts_written.(0);
+  Alcotest.(check int) "subsumed level-1 count" 20 sub.Outcome.ckpts_written.(0);
+  Alcotest.(check int) "subsumed level-2 count" 10 sub.Outcome.ckpts_written.(1);
+  Alcotest.(check int) "subsumed level-3 count" 5 sub.Outcome.ckpts_written.(2);
+  Alcotest.(check int) "level-4 unchanged" 4 sub.Outcome.ckpts_written.(3);
+  Alcotest.(check bool) "subsumption is cheaper" true
+    (sub.Outcome.wall_clock < plain.Outcome.wall_clock);
+  check_rel ~tol:1e-9 "portions still account" sub.Outcome.wall_clock
+    (Outcome.portions_sum sub)
+
+let test_subsumption_engines_agree () =
+  let xs = [| 60.; 30.; 15.; 5. |] in
+  let semantics =
+    { Run_config.default_semantics with Run_config.subsume_coincident = true }
+  in
+  let config = small_config ~xs ~semantics () in
+  let runs = 20 in
+  let ev =
+    Stats.mean (Array.init runs (fun i -> (Engine.run ~seed:(70 + i) config).Outcome.wall_clock))
+  in
+  let tk =
+    Stats.mean
+      (Array.init runs (fun i -> (Tick_engine.run ~seed:(70 + i) config).Outcome.wall_clock))
+  in
+  check_rel ~tol:0.04 "engines agree under subsumption" tk ev
+
+(* ---------------- properties ---------------- *)
+
+let qcheck_tests =
+  let open QCheck in
+  [ Test.make ~name:"portions always sum to the wall clock" ~count:60
+      (pair small_int
+         (quad (float_range 1. 100.) (float_range 1. 50.) (float_range 1. 20.)
+            (float_range 1. 10.)))
+      (fun (seed, (x1, x2, x3, x4)) ->
+        let config = small_config ~xs:[| x1; x2; x3; x4 |] () in
+        let o = Engine.run ~seed config in
+        Float.abs (Outcome.portions_sum o -. o.Outcome.wall_clock)
+        <= 1e-6 *. o.Outcome.wall_clock);
+    Test.make ~name:"completed runs do all the work exactly once" ~count:40
+      small_int
+      (fun seed ->
+        let config =
+          small_config ~semantics:(no_jitter Run_config.default_semantics) ()
+        in
+        let o = Engine.run ~seed config in
+        (not o.Outcome.completed)
+        || Float.abs (o.Outcome.productive -. Run_config.productive_target config)
+           <= 1e-6 *. Run_config.productive_target config);
+    Test.make ~name:"wall clock at least the failure-free minimum" ~count:40
+      small_int
+      (fun seed ->
+        let config = small_config () in
+        let o = Engine.run ~seed config in
+        o.Outcome.wall_clock >= Run_config.productive_target config) ]
+
+let () =
+  Alcotest.run "ckpt_sim"
+    [ ( "engine",
+        [ Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "portions sum" `Quick test_portions_sum_to_wall_clock;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "no failures exact" `Quick test_no_failures_exact;
+          Alcotest.test_case "failures cost time" `Quick test_failures_cost_time;
+          Alcotest.test_case "failure counts" `Quick test_failure_counts_match_rates;
+          Alcotest.test_case "rollback bounded" `Quick test_rollback_semantics;
+          Alcotest.test_case "rolls to start without pfs ckpt" `Quick
+            test_level4_failure_rolls_to_start_without_pfs_ckpt;
+          Alcotest.test_case "horizon" `Quick test_horizon;
+          Alcotest.test_case "efficiency" `Quick test_efficiency ] );
+      ( "semantics",
+        [ Alcotest.test_case "atomic vs abort" `Quick test_atomic_vs_abort;
+          Alcotest.test_case "ignore recovery failures" `Quick
+            test_ignore_recovery_failures ] );
+      ( "validation-vs-model",
+        [ Alcotest.test_case "model agreement" `Quick test_model_agreement;
+          Alcotest.test_case "event vs tick" `Quick test_event_vs_tick;
+          Alcotest.test_case "tick portions sum" `Quick test_tick_portions_sum ] );
+      ( "replication-horizon",
+        [ Alcotest.test_case "all-incomplete aggregate" `Quick
+            test_replication_horizon_aggregate ] );
+      ( "trace-replay",
+        [ Alcotest.test_case "exact replay" `Quick test_trace_replay_exact;
+          Alcotest.test_case "empty log" `Quick test_trace_replay_empty_is_failure_free;
+          Alcotest.test_case "engines agree" `Quick test_trace_replay_engines_agree;
+          Alcotest.test_case "validation" `Quick test_trace_replay_validation ] );
+      ( "tracing",
+        [ Alcotest.test_case "event structure" `Quick test_trace_event_structure;
+          Alcotest.test_case "ordering" `Quick test_trace_ordering ] );
+      ( "alignment",
+        [ Alcotest.test_case "nested xs" `Quick test_nested_xs;
+          Alcotest.test_case "nested degenerate" `Quick test_nested_xs_degenerate;
+          Alcotest.test_case "subsumption skips writes" `Quick test_subsumption_skips_writes;
+          Alcotest.test_case "engines agree" `Quick test_subsumption_engines_agree ] );
+      ( "replication",
+        [ Alcotest.test_case "aggregate" `Quick test_replication_aggregate;
+          Alcotest.test_case "deterministic seeds" `Quick
+            test_outcomes_deterministic_base_seed ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests) ]

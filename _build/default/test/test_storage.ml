@@ -1,0 +1,357 @@
+(* Tests for the storage substrate: GF(256), Reed-Solomon, object store,
+   PFS model. *)
+
+open Ckpt_storage
+module Rng = Ckpt_numerics.Rng
+
+(* ---------------- Gf256 ---------------- *)
+
+let test_gf_add_is_xor () =
+  Alcotest.(check int) "xor" (0xA5 lxor 0x3C) (Gf256.add 0xA5 0x3C);
+  Alcotest.(check int) "self-inverse" 0 (Gf256.add 0x7F 0x7F);
+  Alcotest.(check int) "sub = add" (Gf256.add 3 5) (Gf256.sub 3 5)
+
+let test_gf_mul_identity_zero () =
+  for a = 0 to 255 do
+    Alcotest.(check int) "x * 1 = x" a (Gf256.mul a 1);
+    Alcotest.(check int) "x * 0 = 0" 0 (Gf256.mul a 0)
+  done
+
+let test_gf_mul_commutative_sample () =
+  let rng = Rng.of_int 1 in
+  for _ = 1 to 2_000 do
+    let a = Rng.int rng 256 and b = Rng.int rng 256 in
+    Alcotest.(check int) "commutative" (Gf256.mul a b) (Gf256.mul b a)
+  done
+
+let test_gf_mul_associative_sample () =
+  let rng = Rng.of_int 2 in
+  for _ = 1 to 2_000 do
+    let a = Rng.int rng 256 and b = Rng.int rng 256 and c = Rng.int rng 256 in
+    Alcotest.(check int) "associative"
+      (Gf256.mul (Gf256.mul a b) c)
+      (Gf256.mul a (Gf256.mul b c))
+  done
+
+let test_gf_distributive_sample () =
+  let rng = Rng.of_int 3 in
+  for _ = 1 to 2_000 do
+    let a = Rng.int rng 256 and b = Rng.int rng 256 and c = Rng.int rng 256 in
+    Alcotest.(check int) "distributive"
+      (Gf256.mul a (Gf256.add b c))
+      (Gf256.add (Gf256.mul a b) (Gf256.mul a c))
+  done
+
+let test_gf_inverse () =
+  for a = 1 to 255 do
+    Alcotest.(check int) "a * a^-1 = 1" 1 (Gf256.mul a (Gf256.inv a))
+  done;
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () -> ignore (Gf256.inv 0))
+
+let test_gf_div () =
+  for a = 1 to 255 do
+    Alcotest.(check int) "a / a = 1" 1 (Gf256.div a a);
+    Alcotest.(check int) "0 / a = 0" 0 (Gf256.div 0 a)
+  done;
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () -> ignore (Gf256.div 1 0))
+
+let test_gf_pow () =
+  Alcotest.(check int) "a^0 = 1" 1 (Gf256.pow 7 0);
+  Alcotest.(check int) "a^1 = a" 7 (Gf256.pow 7 1);
+  Alcotest.(check int) "a^2 = a*a" (Gf256.mul 7 7) (Gf256.pow 7 2);
+  Alcotest.(check int) "0^0 = 1" 1 (Gf256.pow 0 0);
+  Alcotest.(check int) "0^k = 0" 0 (Gf256.pow 0 5)
+
+let test_gf_exp_log_roundtrip () =
+  for a = 1 to 255 do
+    Alcotest.(check int) "exp(log a) = a" a (Gf256.exp_table (Gf256.log_table a))
+  done
+
+(* ---------------- Reed_solomon ---------------- *)
+
+let make_shards rng ~count ~len =
+  Array.init count (fun _ -> Bytes.init len (fun _ -> Char.chr (Rng.int rng 256)))
+
+let test_rs_systematic () =
+  let codec = Reed_solomon.create ~data:4 ~parity:2 in
+  Alcotest.(check int) "data" 4 (Reed_solomon.data_shards codec);
+  Alcotest.(check int) "parity" 2 (Reed_solomon.parity_shards codec);
+  Alcotest.(check int) "total" 6 (Reed_solomon.total_shards codec);
+  let rows = Reed_solomon.parity_rows codec in
+  Alcotest.(check int) "parity rows" 2 (Array.length rows);
+  Alcotest.(check int) "row width" 4 (Array.length rows.(0))
+
+let test_rs_no_erasure () =
+  let rng = Rng.of_int 4 in
+  let codec = Reed_solomon.create ~data:3 ~parity:2 in
+  let data = make_shards rng ~count:3 ~len:64 in
+  let parity = Reed_solomon.encode codec data in
+  let shards =
+    Array.append (Array.map Option.some data) (Array.map Option.some parity)
+  in
+  let decoded = Reed_solomon.decode codec shards in
+  Array.iteri
+    (fun i d -> Alcotest.(check bool) "identical" true (Bytes.equal d data.(i)))
+    decoded
+
+let test_rs_data_erasures () =
+  let rng = Rng.of_int 5 in
+  let codec = Reed_solomon.create ~data:4 ~parity:2 in
+  let data = make_shards rng ~count:4 ~len:100 in
+  let parity = Reed_solomon.encode codec data in
+  let shards =
+    Array.append (Array.map Option.some data) (Array.map Option.some parity)
+  in
+  shards.(0) <- None;
+  shards.(2) <- None;
+  let decoded = Reed_solomon.decode codec shards in
+  Array.iteri
+    (fun i d -> Alcotest.(check bool) "recovered" true (Bytes.equal d data.(i)))
+    decoded
+
+let test_rs_mixed_erasures () =
+  let rng = Rng.of_int 6 in
+  let codec = Reed_solomon.create ~data:5 ~parity:3 in
+  let data = make_shards rng ~count:5 ~len:33 in
+  let parity = Reed_solomon.encode codec data in
+  let shards =
+    Array.append (Array.map Option.some data) (Array.map Option.some parity)
+  in
+  shards.(1) <- None;
+  shards.(4) <- None;
+  shards.(6) <- None;
+  (* one parity gone too *)
+  let decoded = Reed_solomon.decode codec shards in
+  Array.iteri
+    (fun i d -> Alcotest.(check bool) "recovered" true (Bytes.equal d data.(i)))
+    decoded
+
+let test_rs_too_many_erasures () =
+  let rng = Rng.of_int 7 in
+  let codec = Reed_solomon.create ~data:3 ~parity:1 in
+  let data = make_shards rng ~count:3 ~len:8 in
+  let parity = Reed_solomon.encode codec data in
+  let shards =
+    Array.append (Array.map Option.some data) (Array.map Option.some parity)
+  in
+  shards.(0) <- None;
+  shards.(1) <- None;
+  Alcotest.(check bool) "refuses" true
+    (try
+       ignore (Reed_solomon.decode codec shards);
+       false
+     with Invalid_argument _ -> true)
+
+let test_rs_verify () =
+  let rng = Rng.of_int 8 in
+  let codec = Reed_solomon.create ~data:4 ~parity:2 in
+  let data = make_shards rng ~count:4 ~len:16 in
+  let parity = Reed_solomon.encode codec data in
+  Alcotest.(check bool) "good parity verifies" true (Reed_solomon.verify codec ~data ~parity);
+  Bytes.set parity.(0) 3 'X';
+  Alcotest.(check bool) "corrupt parity fails" false
+    (Reed_solomon.verify codec ~data ~parity)
+
+let test_rs_empty_payload () =
+  let codec = Reed_solomon.create ~data:2 ~parity:1 in
+  let data = [| Bytes.empty; Bytes.empty |] in
+  let parity = Reed_solomon.encode codec data in
+  Alcotest.(check int) "empty parity" 0 (Bytes.length parity.(0))
+
+let test_rs_create_validation () =
+  let expect_invalid f =
+    Alcotest.(check bool) "rejected" true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  expect_invalid (fun () -> Reed_solomon.create ~data:0 ~parity:1);
+  expect_invalid (fun () -> Reed_solomon.create ~data:1 ~parity:0);
+  expect_invalid (fun () -> Reed_solomon.create ~data:200 ~parity:60)
+
+let test_rs_mismatched_lengths () =
+  let codec = Reed_solomon.create ~data:2 ~parity:1 in
+  Alcotest.(check bool) "length mismatch rejected" true
+    (try
+       ignore (Reed_solomon.encode codec [| Bytes.create 4; Bytes.create 5 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_rs_more_parity_than_data () =
+  let rng = Rng.of_int 9 in
+  let codec = Reed_solomon.create ~data:2 ~parity:4 in
+  let data = make_shards rng ~count:2 ~len:50 in
+  let parity = Reed_solomon.encode codec data in
+  let shards =
+    Array.append (Array.map Option.some data) (Array.map Option.some parity)
+  in
+  (* Erase BOTH data shards and two parity shards: still decodable. *)
+  shards.(0) <- None;
+  shards.(1) <- None;
+  shards.(3) <- None;
+  shards.(5) <- None;
+  let decoded = Reed_solomon.decode codec shards in
+  Array.iteri
+    (fun i d -> Alcotest.(check bool) "recovered" true (Bytes.equal d data.(i)))
+    decoded
+
+let test_rs_single_data_shard () =
+  let codec = Reed_solomon.create ~data:1 ~parity:2 in
+  let data = [| Bytes.of_string "solo" |] in
+  let parity = Reed_solomon.encode codec data in
+  let shards = [| None; Some parity.(0); Some parity.(1) |] in
+  let decoded = Reed_solomon.decode codec shards in
+  Alcotest.(check string) "replicated" "solo" (Bytes.to_string decoded.(0))
+
+(* ---------------- Object_store ---------------- *)
+
+let test_store_put_get () =
+  let s = Object_store.create ~nodes:4 in
+  Object_store.put_local s ~node:1 ~key:"a" (Bytes.of_string "hello");
+  (match Object_store.get_local s ~node:1 ~key:"a" with
+   | Some b -> Alcotest.(check string) "value" "hello" (Bytes.to_string b)
+   | None -> Alcotest.fail "expected value");
+  Alcotest.(check bool) "absent elsewhere" true
+    (Object_store.get_local s ~node:2 ~key:"a" = None)
+
+let test_store_copies_are_isolated () =
+  let s = Object_store.create ~nodes:2 in
+  let buf = Bytes.of_string "abc" in
+  Object_store.put_local s ~node:0 ~key:"k" buf;
+  Bytes.set buf 0 'X';
+  (match Object_store.get_local s ~node:0 ~key:"k" with
+   | Some b -> Alcotest.(check string) "store unaffected by caller mutation" "abc"
+                 (Bytes.to_string b)
+   | None -> Alcotest.fail "expected value");
+  (* and mutating the returned copy must not corrupt the store *)
+  (match Object_store.get_local s ~node:0 ~key:"k" with
+   | Some b -> Bytes.set b 0 'Y'
+   | None -> ());
+  match Object_store.get_local s ~node:0 ~key:"k" with
+  | Some b -> Alcotest.(check string) "still intact" "abc" (Bytes.to_string b)
+  | None -> Alcotest.fail "expected value"
+
+let test_store_crash () =
+  let s = Object_store.create ~nodes:3 in
+  Object_store.put_local s ~node:0 ~key:"k" (Bytes.of_string "x");
+  Object_store.put_local s ~node:1 ~key:"k" (Bytes.of_string "y");
+  Object_store.put_pfs s ~key:"k" (Bytes.of_string "z");
+  Object_store.crash_node s ~node:0;
+  Alcotest.(check bool) "node 0 wiped" true (Object_store.get_local s ~node:0 ~key:"k" = None);
+  Alcotest.(check bool) "node 1 intact" true (Object_store.get_local s ~node:1 ~key:"k" <> None);
+  Alcotest.(check bool) "pfs survives" true (Object_store.get_pfs s ~key:"k" <> None)
+
+let test_store_keys_and_bytes () =
+  let s = Object_store.create ~nodes:1 in
+  Object_store.put_local s ~node:0 ~key:"b" (Bytes.create 10);
+  Object_store.put_local s ~node:0 ~key:"a" (Bytes.create 5);
+  Alcotest.(check (list string)) "sorted keys" [ "a"; "b" ]
+    (Object_store.local_keys s ~node:0);
+  Alcotest.(check int) "payload bytes" 15 (Object_store.local_bytes s ~node:0);
+  Object_store.delete_local s ~node:0 ~key:"a";
+  Alcotest.(check int) "after delete" 10 (Object_store.local_bytes s ~node:0)
+
+let test_store_pfs_namespace () =
+  let s = Object_store.create ~nodes:1 in
+  Object_store.put_pfs s ~key:"f1" (Bytes.of_string "1");
+  Object_store.put_pfs s ~key:"f0" (Bytes.of_string "0");
+  Alcotest.(check (list string)) "pfs keys" [ "f0"; "f1" ] (Object_store.pfs_keys s);
+  Object_store.delete_pfs s ~key:"f0";
+  Alcotest.(check (list string)) "after delete" [ "f1" ] (Object_store.pfs_keys s)
+
+(* ---------------- Pfs_model ---------------- *)
+
+let test_pfs_monotone_in_procs () =
+  let m = Pfs_model.default in
+  let t1 = Pfs_model.write_time m ~procs:128 ~bytes_per_proc:1e8 in
+  let t2 = Pfs_model.write_time m ~procs:1024 ~bytes_per_proc:1e8 in
+  Alcotest.(check bool) "more writers slower" true (t2 > t1)
+
+let test_pfs_scalable_flat () =
+  let m = Pfs_model.scalable in
+  let t1 = Pfs_model.write_time m ~procs:128 ~bytes_per_proc:1e8 in
+  let t2 = Pfs_model.write_time m ~procs:1024 ~bytes_per_proc:1e8 in
+  Alcotest.(check (float 1e-9)) "per-writer bandwidth keeps time flat" t1 t2
+
+let test_pfs_table2_shape () =
+  (* The default PFS model should land near the Table II level-4 column. *)
+  let m = Pfs_model.default in
+  let t128 = Pfs_model.write_time m ~procs:128 ~bytes_per_proc:1e7 in
+  let t1024 = Pfs_model.write_time m ~procs:1024 ~bytes_per_proc:1e7 in
+  Alcotest.(check bool) "128 cores in 5-12 s" true (t128 > 5. && t128 < 12.);
+  Alcotest.(check bool) "1024 cores in 20-35 s" true (t1024 > 20. && t1024 < 35.)
+
+(* ---------------- properties ---------------- *)
+
+let qcheck_tests =
+  let open QCheck in
+  [ Test.make ~name:"RS roundtrip under any <=parity erasures" ~count:150
+      (quad (int_range 1 8) (int_range 1 4) (int_range 0 64) small_int)
+      (fun (k, m, len, seed) ->
+        let rng = Rng.of_int seed in
+        let codec = Reed_solomon.create ~data:k ~parity:m in
+        let data = make_shards rng ~count:k ~len in
+        let parity = Reed_solomon.encode codec data in
+        let shards =
+          Array.append (Array.map Option.some data) (Array.map Option.some parity)
+        in
+        (* Erase up to m random shards. *)
+        let erasures = Rng.int rng (m + 1) in
+        let erased = ref 0 in
+        while !erased < erasures do
+          let i = Rng.int rng (k + m) in
+          if shards.(i) <> None then begin
+            shards.(i) <- None;
+            incr erased
+          end
+        done;
+        let decoded = Reed_solomon.decode codec shards in
+        Array.for_all2 Bytes.equal decoded data);
+    Test.make ~name:"gf256 mul/div inverse" ~count:1000
+      (pair (int_range 0 255) (int_range 1 255))
+      (fun (a, b) -> Gf256.mul (Gf256.div a b) b = a);
+    Test.make ~name:"object store get returns what was put" ~count:200
+      (pair (int_range 0 7) string)
+      (fun (node, payload) ->
+        let s = Object_store.create ~nodes:8 in
+        Object_store.put_local s ~node ~key:"k" (Bytes.of_string payload);
+        match Object_store.get_local s ~node ~key:"k" with
+        | Some b -> String.equal (Bytes.to_string b) payload
+        | None -> false) ]
+
+let () =
+  Alcotest.run "ckpt_storage"
+    [ ( "gf256",
+        [ Alcotest.test_case "add is xor" `Quick test_gf_add_is_xor;
+          Alcotest.test_case "mul identity/zero" `Quick test_gf_mul_identity_zero;
+          Alcotest.test_case "mul commutative" `Quick test_gf_mul_commutative_sample;
+          Alcotest.test_case "mul associative" `Quick test_gf_mul_associative_sample;
+          Alcotest.test_case "distributive" `Quick test_gf_distributive_sample;
+          Alcotest.test_case "inverse" `Quick test_gf_inverse;
+          Alcotest.test_case "division" `Quick test_gf_div;
+          Alcotest.test_case "power" `Quick test_gf_pow;
+          Alcotest.test_case "exp/log roundtrip" `Quick test_gf_exp_log_roundtrip ] );
+      ( "reed-solomon",
+        [ Alcotest.test_case "systematic shape" `Quick test_rs_systematic;
+          Alcotest.test_case "no erasure" `Quick test_rs_no_erasure;
+          Alcotest.test_case "data erasures" `Quick test_rs_data_erasures;
+          Alcotest.test_case "mixed erasures" `Quick test_rs_mixed_erasures;
+          Alcotest.test_case "too many erasures" `Quick test_rs_too_many_erasures;
+          Alcotest.test_case "verify" `Quick test_rs_verify;
+          Alcotest.test_case "empty payload" `Quick test_rs_empty_payload;
+          Alcotest.test_case "create validation" `Quick test_rs_create_validation;
+          Alcotest.test_case "length mismatch" `Quick test_rs_mismatched_lengths;
+          Alcotest.test_case "more parity than data" `Quick test_rs_more_parity_than_data;
+          Alcotest.test_case "single data shard" `Quick test_rs_single_data_shard ] );
+      ( "object-store",
+        [ Alcotest.test_case "put/get" `Quick test_store_put_get;
+          Alcotest.test_case "copies isolated" `Quick test_store_copies_are_isolated;
+          Alcotest.test_case "crash" `Quick test_store_crash;
+          Alcotest.test_case "keys and bytes" `Quick test_store_keys_and_bytes;
+          Alcotest.test_case "pfs namespace" `Quick test_store_pfs_namespace ] );
+      ( "pfs-model",
+        [ Alcotest.test_case "monotone in writers" `Quick test_pfs_monotone_in_procs;
+          Alcotest.test_case "scalable flat" `Quick test_pfs_scalable_flat;
+          Alcotest.test_case "table2 shape" `Quick test_pfs_table2_shape ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests) ]

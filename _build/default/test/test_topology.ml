@@ -1,0 +1,156 @@
+(* Tests for the cluster topology model. *)
+
+open Ckpt_topology
+
+let default () = Topology.create Topology.default_spec
+
+let test_counts () =
+  let t = default () in
+  Alcotest.(check int) "nodes" 128 (Topology.node_count t);
+  Alcotest.(check int) "cores" 1024 (Topology.core_count t)
+
+let test_rank_mapping () =
+  let t = default () in
+  Alcotest.(check int) "rank 0" 0 (Topology.node_of_rank t 0);
+  Alcotest.(check int) "rank 7" 0 (Topology.node_of_rank t 7);
+  Alcotest.(check int) "rank 8" 1 (Topology.node_of_rank t 8);
+  Alcotest.(check int) "last rank" 127 (Topology.node_of_rank t 1023)
+
+let test_ranks_of_node_inverse () =
+  let t = default () in
+  for node = 0 to Topology.node_count t - 1 do
+    List.iter
+      (fun r -> Alcotest.(check int) "roundtrip" node (Topology.node_of_rank t r))
+      (Topology.ranks_of_node t node)
+  done
+
+let test_partner_properties () =
+  let t = default () in
+  for node = 0 to Topology.node_count t - 1 do
+    let p = Topology.partner_of t node in
+    Alcotest.(check bool) "partner differs" true (p <> node);
+    Alcotest.(check bool) "partner on another board" true (not (Topology.adjacent t node p))
+  done
+
+let test_partner_single_board () =
+  (* A cluster smaller than one board still gets a distinct partner. *)
+  let t =
+    Topology.create
+      { Topology.nodes = 3; cores_per_node = 1; board_size = 4; rs_group_size = 3;
+        rs_parity = 1 }
+  in
+  for node = 0 to 2 do
+    Alcotest.(check bool) "distinct" true (Topology.partner_of t node <> node)
+  done
+
+let test_rs_groups_partition () =
+  let t = default () in
+  let seen = Hashtbl.create 128 in
+  for g = 0 to Topology.rs_group_count t - 1 do
+    List.iter
+      (fun n ->
+        Alcotest.(check bool) "no overlap" false (Hashtbl.mem seen n);
+        Hashtbl.replace seen n ();
+        Alcotest.(check int) "group_of consistent" g (Topology.rs_group_of t n))
+      (Topology.rs_group_members t g)
+  done;
+  Alcotest.(check int) "partition covers all nodes" (Topology.node_count t)
+    (Hashtbl.length seen)
+
+let test_boards () =
+  let t = default () in
+  Alcotest.(check int) "board of node 0" 0 (Topology.board_of t 0);
+  Alcotest.(check int) "board of node 3" 0 (Topology.board_of t 3);
+  Alcotest.(check int) "board of node 4" 1 (Topology.board_of t 4);
+  Alcotest.(check bool) "adjacent same board" true (Topology.adjacent t 0 3);
+  Alcotest.(check bool) "not adjacent across boards" false (Topology.adjacent t 3 4)
+
+let test_recovery_level_none () =
+  let t = default () in
+  Alcotest.(check int) "no crash -> level 1" 1 (Topology.min_recovery_level t ~failed:[])
+
+let test_recovery_level_single () =
+  let t = default () in
+  Alcotest.(check int) "single node -> level 2" 2
+    (Topology.min_recovery_level t ~failed:[ 17 ])
+
+let test_recovery_level_board () =
+  let t = default () in
+  (* A whole board: partners are one board over, so partner copies
+     survive. *)
+  Alcotest.(check int) "board -> level 2" 2
+    (Topology.min_recovery_level t ~failed:[ 8; 9; 10; 11 ])
+
+let test_recovery_level_partner_pair () =
+  let t = default () in
+  let victim = 20 in
+  let partner = Topology.partner_of t victim in
+  Alcotest.(check int) "partner pair -> level 3" 3
+    (Topology.min_recovery_level t ~failed:[ victim; partner ])
+
+let test_recovery_level_rs_overflow () =
+  let t = default () in
+  (* Lose more nodes in one RS group than the parity tolerates, including
+     a partner pair so level 2 is also out. *)
+  let group0 = Topology.rs_group_members t 0 in
+  let victims = List.filteri (fun i _ -> i < 3) group0 in
+  let partner = Topology.partner_of t (List.hd victims) in
+  let failed = partner :: victims in
+  Alcotest.(check int) "too many RS losses -> level 4" 4
+    (Topology.min_recovery_level t ~failed)
+
+let test_recovery_level_duplicates () =
+  let t = default () in
+  Alcotest.(check int) "duplicates collapse" 2
+    (Topology.min_recovery_level t ~failed:[ 5; 5; 5 ])
+
+let test_spec_validation () =
+  Alcotest.(check bool) "bad parity rejected" true
+    (try
+       ignore
+         (Topology.create
+            { Topology.nodes = 8; cores_per_node = 1; board_size = 2; rs_group_size = 4;
+              rs_parity = 4 });
+       false
+     with Assert_failure _ -> true)
+
+let qcheck_tests =
+  let open QCheck in
+  let topo = default () in
+  let node_gen = int_range 0 (Topology.node_count topo - 1) in
+  [ Test.make ~name:"recovery level monotone under more failures" ~count:300
+      (pair (list_of_size (Gen.int_range 0 6) node_gen)
+         (list_of_size (Gen.int_range 0 6) node_gen))
+      (fun (a, b) ->
+        Topology.min_recovery_level topo ~failed:a
+        <= Topology.min_recovery_level topo ~failed:(a @ b));
+    Test.make ~name:"recovery level in 1..4" ~count:300
+      (list_of_size (Gen.int_range 0 20) node_gen)
+      (fun failed ->
+        let l = Topology.min_recovery_level topo ~failed in
+        l >= 1 && l <= 4);
+    Test.make ~name:"partner mapping stays in range" ~count:300
+      node_gen
+      (fun n ->
+        let p = Topology.partner_of topo n in
+        p >= 0 && p < Topology.node_count topo) ]
+
+let () =
+  Alcotest.run "ckpt_topology"
+    [ ( "structure",
+        [ Alcotest.test_case "counts" `Quick test_counts;
+          Alcotest.test_case "rank mapping" `Quick test_rank_mapping;
+          Alcotest.test_case "ranks_of_node inverse" `Quick test_ranks_of_node_inverse;
+          Alcotest.test_case "partner properties" `Quick test_partner_properties;
+          Alcotest.test_case "partner single board" `Quick test_partner_single_board;
+          Alcotest.test_case "rs groups partition" `Quick test_rs_groups_partition;
+          Alcotest.test_case "boards" `Quick test_boards;
+          Alcotest.test_case "spec validation" `Quick test_spec_validation ] );
+      ( "recovery-level",
+        [ Alcotest.test_case "no crash" `Quick test_recovery_level_none;
+          Alcotest.test_case "single node" `Quick test_recovery_level_single;
+          Alcotest.test_case "whole board" `Quick test_recovery_level_board;
+          Alcotest.test_case "partner pair" `Quick test_recovery_level_partner_pair;
+          Alcotest.test_case "rs overflow" `Quick test_recovery_level_rs_overflow;
+          Alcotest.test_case "duplicates" `Quick test_recovery_level_duplicates ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests) ]

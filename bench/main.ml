@@ -158,6 +158,45 @@ let json_doc =
 
 let json_kernel () = Ckpt_json.Json.parse json_doc
 
+(* Service kernels: batch throughput of the ckpt_service planning layer,
+   tracked from the PR that introduced it.  One persistent service per
+   worker count; each run answers a 64-point scale sweep through the
+   full JSON protocol.  The cold variants defeat cross-run caching by
+   shifting the grid per run; the warm variant re-answers a fixed grid
+   out of the LRU. *)
+
+let service_problem_json =
+  Ckpt_json.Json.to_string (Codec.problem_to_json eval_problem)
+
+let sweep_request ~offset =
+  let values =
+    String.concat ", "
+      (List.init 64 (fun i -> Printf.sprintf "%.3f" (2e5 +. offset +. (float_of_int i *. 1e3))))
+  in
+  Printf.sprintf {|{"op": "sweep", "param": "scale", "values": [%s], "problem": %s}|}
+    values service_problem_json
+
+let service_w1 = lazy (Ckpt_service.Service.create ~workers:1 ~cache_capacity:64 ())
+let service_w4 = lazy (Ckpt_service.Service.create ~workers:4 ~cache_capacity:64 ())
+let service_warm = lazy (Ckpt_service.Service.create ~workers:4 ~cache_capacity:4096 ())
+let sweep_offset = ref 0.
+
+let service_sweep_kernel service () =
+  (* A fresh grid each run: with capacity 64 < 65 distinct points per
+     shift, every point misses and the solver really runs. *)
+  sweep_offset := !sweep_offset +. 10.;
+  Ckpt_service.Service.handle_batch (Lazy.force service)
+    [ sweep_request ~offset:!sweep_offset ]
+
+let service_warm_kernel () =
+  Ckpt_service.Service.handle_batch (Lazy.force service_warm) [ sweep_request ~offset:0. ]
+
+let () =
+  at_exit (fun () ->
+      List.iter
+        (fun s -> if Lazy.is_val s then Ckpt_service.Service.shutdown (Lazy.force s))
+        [ service_w1; service_w4; service_warm ])
+
 let tests =
   Test.make_grouped ~name:"paper"
     [ Test.make ~name:"fig1-solve-at-scale" (Staged.stage fig1_kernel);
@@ -186,7 +225,10 @@ let substrate_tests =
       Test.make ~name:"rng-1k-exponentials" (Staged.stage rng_kernel);
       Test.make ~name:"jacobi-sweep-64x64" (Staged.stage jacobi_kernel);
       Test.make ~name:"cg-solve-poisson-576" (Staged.stage cg_kernel);
-      Test.make ~name:"json-parse-plan-bundle" (Staged.stage json_kernel) ]
+      Test.make ~name:"json-parse-plan-bundle" (Staged.stage json_kernel);
+      Test.make ~name:"service-sweep64-1-worker" (Staged.stage (service_sweep_kernel service_w1));
+      Test.make ~name:"service-sweep64-4-workers" (Staged.stage (service_sweep_kernel service_w4));
+      Test.make ~name:"service-sweep64-warm-cache" (Staged.stage service_warm_kernel) ]
 
 (* --- bechamel driver ----------------------------------------------------- *)
 

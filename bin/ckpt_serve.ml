@@ -1,0 +1,130 @@
+(* Batch planning service over the Algorithm-1 optimizer.
+
+   Reads JSON-lines requests (plan / sweep / simulate-validate / stats),
+   answers one JSON response per line in the same order, and prints a
+   metrics report on shutdown.
+
+   Examples:
+     ckpt_serve --input examples/fig5_sweep.jsonl --workers 4
+     echo '{"op":"stats"}' | ckpt_serve
+     ckpt_serve --self-check *)
+
+open Cmdliner
+module Service = Ckpt_service.Service
+module Json = Ckpt_json.Json
+
+let read_lines ic =
+  let rec loop acc =
+    match In_channel.input_line ic with
+    | Some line -> loop (line :: acc)
+    | None -> List.rev acc
+  in
+  loop []
+
+let non_blank line = String.trim line <> ""
+
+(* --self-check: round-trip one plan request end-to-end through the
+   protocol, planner and pool, and compare against a direct solve.
+   Exercised by `dune runtest` so the binary path stays covered. *)
+let self_check () =
+  let open Ckpt_model in
+  let problem =
+    { Optimizer.te = 1e4 *. 86_400.;
+      speedup = Speedup.quadratic ~kappa:0.46 ~n_star:1e5;
+      levels = Level.fti_fusion;
+      alloc = 60.;
+      spec = Ckpt_failures.Failure_spec.of_string ~baseline_scale:1e5 "16-12-8-4" }
+  in
+  let expected = Optimizer.ml_opt_scale problem in
+  let request =
+    Json.to_string
+      (Json.Obj
+         [ ("id", Json.String "self-check"); ("op", Json.String "plan");
+           ("problem", Codec.problem_to_json problem) ])
+  in
+  let service = Service.create ~workers:2 () in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+  let response = Service.handle_line service request in
+  let reparsed = Json.parse (Json.to_string response) in
+  if not (Ckpt_service.Protocol.response_ok reparsed) then
+    Error (Printf.sprintf "self-check response not ok: %s" (Json.to_string response))
+  else
+    match Option.map Codec.plan_of_json (Json.member "plan" reparsed) with
+    | Some (Ok plan) when plan = expected -> Ok ()
+    | Some (Ok plan) ->
+        Error
+          (Printf.sprintf "self-check plan mismatch: served n=%.6f wall=%.6f, direct n=%.6f wall=%.6f"
+             plan.Optimizer.n plan.Optimizer.wall_clock expected.Optimizer.n
+             expected.Optimizer.wall_clock)
+    | Some (Error m) -> Error ("self-check plan does not decode: " ^ m)
+    | None -> Error "self-check response has no plan"
+
+let run input output workers cache_capacity precision append_stats self =
+  if workers < 0 then Error (Printf.sprintf "--workers must be >= 0, got %d" workers)
+  else if cache_capacity < 1 then
+    Error (Printf.sprintf "--cache-capacity must be >= 1, got %d" cache_capacity)
+  else if precision < 1 then
+    Error (Printf.sprintf "--precision must be >= 1, got %d" precision)
+  else if self then (
+    match self_check () with
+    | Ok () ->
+        print_endline "self-check ok";
+        Ok ()
+    | Error m -> Error m)
+  else begin
+    let lines =
+      match input with
+      | None -> read_lines stdin
+      | Some path -> In_channel.with_open_text path read_lines
+    in
+    let lines = List.filter non_blank lines in
+    let lines = if append_stats then lines @ [ {|{"op":"stats"}|} ] else lines in
+    let service = Service.create ~workers ~cache_capacity ~precision () in
+    Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+    let responses = Service.handle_batch service lines in
+    let emit oc = List.iter (fun r -> output_string oc (Json.to_string r); output_char oc '\n') responses in
+    (match output with
+    | None -> emit stdout
+    | Some path -> Out_channel.with_open_text path emit);
+    Format.eprintf "%a@." Ckpt_service.Metrics.pp (Service.metrics service);
+    Ok ()
+  end
+
+let input =
+  Arg.(value & opt (some file) None
+       & info [ "input"; "i" ] ~docv:"FILE" ~doc:"JSON-lines request file (default stdin).")
+
+let output =
+  Arg.(value & opt (some string) None
+       & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Response file (default stdout).")
+
+let workers =
+  (* One worker domain per available core: on a single-core machine extra
+     domains only add stop-the-world GC synchronization. *)
+  Arg.(value & opt int (Domain.recommended_domain_count ())
+       & info [ "workers"; "j" ] ~doc:"Worker domains; 0 solves in the calling domain.")
+
+let cache_capacity =
+  Arg.(value & opt int 4096 & info [ "cache-capacity" ] ~doc:"LRU plan cache entries.")
+
+let precision =
+  Arg.(value & opt int Ckpt_service.Fingerprint.default_precision
+       & info [ "precision" ] ~doc:"Significant digits in cache fingerprints.")
+
+let append_stats =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Append a stats response after the batch.")
+
+let self =
+  Arg.(value & flag
+       & info [ "self-check" ]
+           ~doc:"Round-trip one request end-to-end through the service and exit.")
+
+let cmd =
+  let doc = "Concurrent batch planning service over the SC'14 multilevel checkpoint optimizer" in
+  let term =
+    Term.(const run $ input $ output $ workers $ cache_capacity $ precision $ append_stats
+          $ self)
+  in
+  Cmd.v (Cmd.info "ckpt-serve" ~doc) Term.(term_result' term)
+
+let () = exit (Cmd.eval cmd)

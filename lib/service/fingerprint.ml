@@ -1,0 +1,59 @@
+open Ckpt_model
+module Failure_spec = Ckpt_failures.Failure_spec
+
+let default_precision = 9
+
+let float_repr ~precision x =
+  if precision < 1 then invalid_arg "Fingerprint.float_repr: precision < 1";
+  if x = 0. then "0" (* covers -0. *)
+  else if Float.is_nan x then "nan"
+  else if x = infinity then "inf"
+  else if x = neg_infinity then "-inf"
+  else Printf.sprintf "%.*e" (precision - 1) x
+
+let speedup_repr ~f (s : Speedup.t) =
+  match s.Speedup.form with
+  | Speedup.Linear { kappa } -> Printf.sprintf "linear,kappa=%s" (f kappa)
+  | Speedup.Quadratic { kappa; n_star } ->
+      Printf.sprintf "quadratic,kappa=%s,n_star=%s" (f kappa) (f n_star)
+  | Speedup.Amdahl { serial_fraction; peak } ->
+      Printf.sprintf "amdahl,s=%s,peak=%s" (f serial_fraction) (f peak)
+  | Speedup.Gustafson { serial_fraction; peak } ->
+      Printf.sprintf "gustafson,s=%s,peak=%s" (f serial_fraction) (f peak)
+  | Speedup.Custom ->
+      invalid_arg "Fingerprint.canonical: custom speedups have no canonical form"
+
+let overhead_repr ~f (o : Overhead.t) =
+  Printf.sprintf "eps=%s,alpha=%s,h=%s" (f o.Overhead.eps) (f o.Overhead.alpha)
+    o.Overhead.h_name
+
+let level_repr ~f (l : Level.t) =
+  (* Names excluded: labels only.  Hierarchy order is preserved by the
+     caller — position is semantic. *)
+  Printf.sprintf "c(%s)r(%s)" (overhead_repr ~f l.Level.ckpt) (overhead_repr ~f l.Level.restart)
+
+let canonical ?(precision = default_precision) (p : Optimizer.problem) =
+  let f = float_repr ~precision in
+  let levels =
+    p.Optimizer.levels |> Array.map (level_repr ~f) |> Array.to_list |> String.concat ";"
+  in
+  let rates =
+    p.Optimizer.spec.Failure_spec.rates_per_day
+    |> Array.map f |> Array.to_list |> String.concat ","
+  in
+  Printf.sprintf "v1|alloc=%s|baseline=%s|levels=%s|rates=%s|speedup=%s|te=%s"
+    (f p.Optimizer.alloc)
+    (f p.Optimizer.spec.Failure_spec.baseline_scale)
+    levels rates
+    (speedup_repr ~f p.Optimizer.speedup)
+    (f p.Optimizer.te)
+
+let hash_string s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let of_problem ?precision p = hash_string (canonical ?precision p)

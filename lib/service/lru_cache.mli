@@ -1,0 +1,36 @@
+(** A fixed-capacity least-recently-used cache, string keys to ['a].
+
+    Backing store for the plan cache: capacity-bounded so a long-running
+    service cannot grow without limit, LRU so sweep refinements that
+    revisit recent grid points stay resident.  Purely a data structure —
+    hit/miss accounting lives in {!Metrics}, which owns the single
+    source of truth the [stats] response reports.
+
+    Not domain-safe: the service only touches the cache from the
+    coordinating domain (workers receive already-missed queries and
+    never see the cache). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** [find t k] returns the cached value and marks [k] most recently
+    used. *)
+
+val mem : 'a t -> string -> bool
+(** Membership without touching recency. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** [add t k v] binds [k], replacing any existing binding (and marking
+    it most recently used); when the cache is over capacity the least
+    recently used binding is evicted. *)
+
+val evictions : 'a t -> int
+(** Total bindings evicted by capacity pressure since [create]. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,152 @@
+module Stats = Ckpt_numerics.Stats
+module Json = Ckpt_json.Json
+
+(* Growable sample buffer; amortized O(1) append. *)
+module Buffer = struct
+  type t = { mutable data : float array; mutable len : int }
+
+  let create () = { data = Array.make 64 0.; len = 0 }
+
+  let add b x =
+    if b.len = Array.length b.data then begin
+      let bigger = Array.make (2 * b.len) 0. in
+      Array.blit b.data 0 bigger 0 b.len;
+      b.data <- bigger
+    end;
+    b.data.(b.len) <- x;
+    b.len <- b.len + 1
+
+  let to_array b = Array.sub b.data 0 b.len
+end
+
+type t = {
+  mutex : Mutex.t;
+  started_at : float;
+  mutable requests : int;
+  mutable errors : int;
+  mutable queries : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  solve_ms : Buffer.t;
+  batch_ms : Buffer.t;
+}
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+let create () =
+  { mutex = Mutex.create ();
+    started_at = Unix.gettimeofday ();
+    requests = 0;
+    errors = 0;
+    queries = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    solve_ms = Buffer.create ();
+    batch_ms = Buffer.create () }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let incr_requests t = locked t (fun () -> t.requests <- t.requests + 1)
+let incr_errors t = locked t (fun () -> t.errors <- t.errors + 1)
+let add_queries t n = locked t (fun () -> t.queries <- t.queries + n)
+let incr_cache_hit t = locked t (fun () -> t.cache_hits <- t.cache_hits + 1)
+let incr_cache_miss t = locked t (fun () -> t.cache_misses <- t.cache_misses + 1)
+let record_solve_ms t ms = locked t (fun () -> Buffer.add t.solve_ms ms)
+let record_batch_ms t ms = locked t (fun () -> Buffer.add t.batch_ms ms)
+
+type snapshot = {
+  uptime_s : float;
+  requests : int;
+  errors : int;
+  queries : int;
+  cache_hits : int;
+  cache_misses : int;
+  hit_rate : float;
+  solves : int;
+  solve_ms : Stats.summary option;
+  solve_ms_p50 : float;
+  solve_ms_p90 : float;
+  solve_ms_p99 : float;
+  batches : int;
+  batch_ms : Stats.summary option;
+}
+
+let snapshot t =
+  locked t (fun () ->
+      let solve_samples = Buffer.to_array t.solve_ms in
+      let batch_samples = Buffer.to_array t.batch_ms in
+      let summarize a = if Array.length a = 0 then None else Some (Stats.summarize a) in
+      let pct a p = if Array.length a = 0 then 0. else Stats.percentile a p in
+      let lookups = t.cache_hits + t.cache_misses in
+      { uptime_s = Unix.gettimeofday () -. t.started_at;
+        requests = t.requests;
+        errors = t.errors;
+        queries = t.queries;
+        cache_hits = t.cache_hits;
+        cache_misses = t.cache_misses;
+        hit_rate = (if lookups = 0 then 0. else float_of_int t.cache_hits /. float_of_int lookups);
+        solves = Array.length solve_samples;
+        solve_ms = summarize solve_samples;
+        solve_ms_p50 = pct solve_samples 0.5;
+        solve_ms_p90 = pct solve_samples 0.9;
+        solve_ms_p99 = pct solve_samples 0.99;
+        batches = Array.length batch_samples;
+        batch_ms = summarize batch_samples })
+
+let summary_json = function
+  | None -> Json.Null
+  | Some (s : Stats.summary) ->
+      Json.Obj
+        [ ("count", Json.Number (float_of_int s.Stats.n));
+          ("mean", Json.Number s.Stats.mean);
+          ("std", Json.Number s.Stats.std);
+          ("min", Json.Number s.Stats.min);
+          ("max", Json.Number s.Stats.max) ]
+
+let to_json t =
+  let s = snapshot t in
+  let solve =
+    match summary_json s.solve_ms with
+    | Json.Obj fields ->
+        Json.Obj
+          (fields
+          @ [ ("p50", Json.Number s.solve_ms_p50);
+              ("p90", Json.Number s.solve_ms_p90);
+              ("p99", Json.Number s.solve_ms_p99) ])
+    | other -> other
+  in
+  Json.Obj
+    [ ("uptime_s", Json.Number s.uptime_s);
+      ("requests", Json.Number (float_of_int s.requests));
+      ("errors", Json.Number (float_of_int s.errors));
+      ("queries", Json.Number (float_of_int s.queries));
+      ("cache",
+       Json.Obj
+         [ ("hits", Json.Number (float_of_int s.cache_hits));
+           ("misses", Json.Number (float_of_int s.cache_misses));
+           ("hit_rate", Json.Number s.hit_rate) ]);
+      ("solves", Json.Number (float_of_int s.solves));
+      ("solve_ms", solve);
+      ("batches", Json.Number (float_of_int s.batches));
+      ("batch_ms", summary_json s.batch_ms) ]
+
+let pp ppf t =
+  let s = snapshot t in
+  Format.fprintf ppf "@[<v>service metrics:@,";
+  Format.fprintf ppf "  requests   %d (%d errors)@," s.requests s.errors;
+  Format.fprintf ppf "  queries    %d@," s.queries;
+  Format.fprintf ppf "  cache      %d hits / %d misses (hit rate %.1f%%)@," s.cache_hits
+    s.cache_misses (100. *. s.hit_rate);
+  (match s.solve_ms with
+  | None -> Format.fprintf ppf "  solves     0@,"
+  | Some sm ->
+      Format.fprintf ppf "  solves     %d: mean %.3f ms, p50 %.3f, p90 %.3f, p99 %.3f, max %.3f@,"
+        sm.Stats.n sm.Stats.mean s.solve_ms_p50 s.solve_ms_p90 s.solve_ms_p99 sm.Stats.max);
+  (match s.batch_ms with
+  | None -> ()
+  | Some bm ->
+      Format.fprintf ppf "  batches    %d: mean %.3f ms, max %.3f ms@," bm.Stats.n bm.Stats.mean
+        bm.Stats.max);
+  Format.fprintf ppf "  uptime     %.3f s@]" s.uptime_s

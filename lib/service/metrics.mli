@@ -1,0 +1,67 @@
+(** Service counters and latency summaries.
+
+    One source of truth for everything the [stats] response and the
+    shutdown report print: request/error/query counters, cache hit and
+    miss totals (counted here, not in {!Lru_cache} — deduplication
+    within a batch also counts as a hit), and latency sample series
+    summarized with {!Ckpt_numerics.Stats} (mean, spread, p50/p90/p99).
+
+    Every operation takes the internal mutex, so workers and the
+    coordinator may record concurrently. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Wall-clock timing} *)
+
+val now_ms : unit -> float
+(** Monotonic-enough wall clock ([Unix.gettimeofday]) in milliseconds;
+    subtract two readings for a duration. *)
+
+(** {1 Counters} *)
+
+val incr_requests : t -> unit
+val incr_errors : t -> unit
+
+val add_queries : t -> int -> unit
+(** Individual solver queries, counting each sweep point. *)
+
+val incr_cache_hit : t -> unit
+val incr_cache_miss : t -> unit
+
+(** {1 Latency series} *)
+
+val record_solve_ms : t -> float -> unit
+(** One optimizer solve (a cache miss actually computed). *)
+
+val record_batch_ms : t -> float -> unit
+(** One whole [handle_batch] call. *)
+
+(** {1 Reading} *)
+
+type snapshot = {
+  uptime_s : float;
+  requests : int;
+  errors : int;
+  queries : int;
+  cache_hits : int;
+  cache_misses : int;
+  hit_rate : float;  (** [hits / (hits + misses)]; [0.] before traffic *)
+  solves : int;
+  solve_ms : Ckpt_numerics.Stats.summary option;  (** [None] before any solve *)
+  solve_ms_p50 : float;
+  solve_ms_p90 : float;
+  solve_ms_p99 : float;
+  batches : int;
+  batch_ms : Ckpt_numerics.Stats.summary option;
+}
+
+val snapshot : t -> snapshot
+
+val to_json : t -> Ckpt_json.Json.t
+(** The [stats] payload: counters, cache ratios and latency summaries as
+    a JSON object. *)
+
+val pp : Format.formatter -> t -> unit
+(** The human-readable shutdown report. *)

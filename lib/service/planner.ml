@@ -1,0 +1,115 @@
+open Ckpt_model
+
+type t = {
+  cache : Optimizer.plan Lru_cache.t;
+  metrics : Metrics.t;
+  precision : int;
+}
+
+let create ?(cache_capacity = 4096) ?(precision = Fingerprint.default_precision) metrics =
+  { cache = Lru_cache.create ~capacity:cache_capacity; metrics; precision }
+
+let cache t = t.cache
+let metrics t = t.metrics
+
+let query_key t (q : Protocol.query) =
+  let f = Fingerprint.float_repr ~precision:t.precision in
+  let canonical =
+    Printf.sprintf "%s|solution=%s|fixed_n=%s|delta=%s"
+      (Fingerprint.canonical ~precision:t.precision q.Protocol.problem)
+      (Protocol.solution_to_string q.Protocol.solution)
+      (match q.Protocol.fixed_n with None -> "free" | Some n -> f n)
+      (f q.Protocol.delta)
+  in
+  Fingerprint.hash_string canonical
+
+let run_query (q : Protocol.query) =
+  let delta = q.Protocol.delta in
+  let p = q.Protocol.problem in
+  match (q.Protocol.solution, q.Protocol.fixed_n) with
+  | Protocol.Ml_opt, None -> Optimizer.ml_opt_scale ~delta p
+  | Protocol.Ml_opt, Some n -> Optimizer.solve ~delta ~fixed_n:n p
+  | Protocol.Ml_ori, n -> Optimizer.ml_ori_scale ~delta ?n p
+  | Protocol.Sl_opt, None -> Optimizer.sl_opt_scale ~delta p
+  | Protocol.Sl_opt, Some n ->
+      Optimizer.solve ~delta ~fixed_n:n (Optimizer.single_level_problem p)
+  | Protocol.Sl_ori, n -> Optimizer.sl_ori_scale ?n p
+
+(* Each miss is solved under a timer; the captured result and duration
+   travel back to the coordinator, which owns cache and metrics. *)
+let solve_timed q =
+  let t0 = Metrics.now_ms () in
+  let result =
+    try Ok (run_query q)
+    with e ->
+      Error
+        { Protocol.code = "solve-failure";
+          message =
+            (match e with
+            | Invalid_argument m | Failure m -> m
+            | e -> Printexc.to_string e) }
+  in
+  (result, Metrics.now_ms () -. t0)
+
+let solve_batch ?pool t queries =
+  let n = Array.length queries in
+  Metrics.add_queries t.metrics n;
+  let results = Array.make n (Error { Protocol.code = "internal"; message = "unset" }) in
+  (* Pass 1: serve cache hits, collapse duplicates, collect unique
+     misses.  [slot_of.(i)]: where query [i]'s plan comes from. *)
+  let slot_of = Array.make n (-1) in
+  let pending = Hashtbl.create 64 in
+  let miss_rev = ref [] in
+  let n_miss = ref 0 in
+  Array.iteri
+    (fun i q ->
+      let key = query_key t q in
+      match Hashtbl.find_opt pending key with
+      | Some slot ->
+          (* Same key earlier in this batch: one solve serves both. *)
+          Metrics.incr_cache_hit t.metrics;
+          slot_of.(i) <- slot
+      | None -> (
+          match Lru_cache.find t.cache key with
+          | Some plan ->
+              Metrics.incr_cache_hit t.metrics;
+              results.(i) <- Ok (plan, true)
+          | None ->
+              Metrics.incr_cache_miss t.metrics;
+              let slot = !n_miss in
+              incr n_miss;
+              Hashtbl.add pending key slot;
+              miss_rev := (key, q) :: !miss_rev;
+              slot_of.(i) <- slot))
+    queries;
+  (* Pass 2: fan the unique misses out. *)
+  let misses = Array.of_list (List.rev !miss_rev) in
+  let solved =
+    match pool with
+    | Some pool -> Pool.map pool ~f:(fun (_, q) -> solve_timed q) misses
+    | None -> Array.map (fun (_, q) -> solve_timed q) misses
+  in
+  (* Pass 3: record, cache, reassemble in submission order. *)
+  Array.iteri
+    (fun slot (outcome, ms) ->
+      Metrics.record_solve_ms t.metrics ms;
+      match outcome with
+      | Ok plan -> Lru_cache.add t.cache (fst misses.(slot)) plan
+      | Error _ -> ())
+    solved;
+  (* [cached] flag: the first occurrence of a missed key did the solve;
+     later in-batch duplicates were served without one. *)
+  let first_seen = Hashtbl.create 64 in
+  Array.iteri
+    (fun i _ ->
+      let slot = slot_of.(i) in
+      if slot >= 0 then begin
+        let cached = Hashtbl.mem first_seen slot in
+        Hashtbl.replace first_seen slot ();
+        results.(i) <-
+          (match fst solved.(slot) with
+          | Ok plan -> Ok (plan, cached)
+          | Error e -> Error e)
+      end)
+    queries;
+  results

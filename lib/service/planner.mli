@@ -1,0 +1,44 @@
+(** Cached, batched execution of optimizer queries.
+
+    The heart of the service: a batch of {!Protocol.query} values comes
+    in, plans come out in submission order, and as little work as
+    possible happens in between —
+
+    + each query is keyed by its {!Fingerprint} plus solver options;
+    + keys resident in the {!Lru_cache} are served immediately (a hit);
+    + duplicate keys within the batch collapse onto one solve (the
+      duplicates also count as hits — the solver runs once);
+    + the remaining unique misses fan out over the {!Pool} (or run
+      inline when no pool is given), each solve timed into {!Metrics};
+    + results are written back to the cache and reassembled.
+
+    Because [Optimizer.solve] is a pure function of the query, the
+    parallel path returns bit-identical plans to sequential solving —
+    the property the test suite pins down. *)
+
+type t
+
+val create : ?cache_capacity:int -> ?precision:int -> Metrics.t -> t
+(** [cache_capacity] defaults to 4096 entries, [precision] to
+    {!Fingerprint.default_precision} significant digits in cache keys. *)
+
+val cache : t -> Ckpt_model.Optimizer.plan Lru_cache.t
+val metrics : t -> Metrics.t
+
+val query_key : t -> Protocol.query -> string
+(** The cache key: problem fingerprint + solution + [fixed_n] +
+    [delta], all at the planner's precision. *)
+
+val run_query : Protocol.query -> Ckpt_model.Optimizer.plan
+(** Uncached dispatch to the matching [Optimizer] entry point.
+    @raise Invalid_argument, [Failure] as the optimizer does. *)
+
+val solve_batch :
+  ?pool:Pool.t ->
+  t ->
+  Protocol.query array ->
+  (Ckpt_model.Optimizer.plan * bool, Protocol.error) result array
+(** [solve_batch ?pool t qs] solves every query; slot [i] holds the plan
+    for [qs.(i)] and whether it was served from cache, or a
+    ["solve-failure"] error if the optimizer raised (captured — a bad
+    query never kills a worker domain or the batch). *)

@@ -1,0 +1,68 @@
+type t = {
+  queue : (unit -> unit) Work_queue.t;
+  domains : unit Domain.t array;
+  mutable live : bool;
+}
+
+let worker_loop queue () =
+  let rec loop () =
+    match Work_queue.pop queue with
+    | Some job ->
+        job ();
+        loop ()
+    | None -> ()
+  in
+  loop ()
+
+let create ~workers =
+  if workers < 1 then invalid_arg "Pool.create: workers < 1";
+  let queue = Work_queue.create () in
+  { queue; domains = Array.init workers (fun _ -> Domain.spawn (worker_loop queue)); live = true }
+
+let workers t = Array.length t.domains
+
+let map t ~f xs =
+  if not t.live then invalid_arg "Pool.map: pool is shut down";
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    (* Contiguous chunks, a few per worker for load balance: per-item
+       queue traffic would dominate sub-millisecond jobs. *)
+    let chunks = min n (4 * Array.length t.domains) in
+    let results = Array.make n None in
+    let remaining = ref chunks in
+    let mutex = Mutex.create () in
+    let all_done = Condition.create () in
+    for c = 0 to chunks - 1 do
+      let lo = c * n / chunks and hi = ((c + 1) * n / chunks) - 1 in
+      Work_queue.push t.queue (fun () ->
+          (* Chunks own disjoint result slots, so only the completion
+             counter needs the lock.  Capture instead of raising: a
+             failing job must not kill the worker domain. *)
+          for i = lo to hi do
+            results.(i) <- Some (try Ok (f xs.(i)) with e -> Error e)
+          done;
+          Mutex.lock mutex;
+          decr remaining;
+          if !remaining = 0 then Condition.signal all_done;
+          Mutex.unlock mutex)
+    done;
+    Mutex.lock mutex;
+    while !remaining > 0 do
+      Condition.wait all_done mutex
+    done;
+    Mutex.unlock mutex;
+    Array.map
+      (function
+        | Some (Ok r) -> r
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      results
+  end
+
+let shutdown t =
+  if t.live then begin
+    t.live <- false;
+    Work_queue.close t.queue;
+    Array.iter Domain.join t.domains
+  end

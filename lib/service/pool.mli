@@ -1,0 +1,29 @@
+(** A fixed pool of OCaml 5 worker domains fed by a {!Work_queue}.
+
+    The batch executor under the service: [map] fans an array of
+    independent jobs out to the workers and reassembles the results in
+    submission order, so callers observe exactly the semantics of
+    [Array.map] — only faster.  Jobs must be pure with respect to shared
+    state (the optimizer solves handed to the pool are), which is what
+    makes parallel results bit-identical to sequential ones.
+
+    A job that raises does not kill its worker domain: the exception is
+    captured, the remaining jobs still run, and the first captured
+    exception (in submission order) is re-raised in the caller. *)
+
+type t
+
+val create : workers:int -> t
+(** Spawn [workers] domains ([>= 1]) blocked on an empty queue.
+    @raise Invalid_argument when [workers < 1]. *)
+
+val workers : t -> int
+
+val map : t -> f:('a -> 'b) -> 'a array -> 'b array
+(** [map t ~f xs] runs [f xs.(i)] for every [i] across the pool and
+    waits for all of them; [(map t ~f xs).(i) = f xs.(i)].  Safe to call
+    repeatedly; must not be called concurrently from several domains
+    (single coordinator), nor after {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Close the queue and join every worker.  Idempotent. *)

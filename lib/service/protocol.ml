@@ -1,0 +1,224 @@
+open Ckpt_model
+module Json = Ckpt_json.Json
+module Stats = Ckpt_numerics.Stats
+
+type error = { code : string; message : string }
+
+let err code fmt = Printf.ksprintf (fun message -> Error { code; message }) fmt
+
+type solution = Ml_opt | Ml_ori | Sl_opt | Sl_ori
+
+type query = {
+  problem : Optimizer.problem;
+  solution : solution;
+  fixed_n : float option;
+  delta : float;
+}
+
+type sweep_param = Scale | Te | Alloc
+
+type request =
+  | Plan of query
+  | Sweep of { base : query; param : sweep_param; values : float array }
+  | Simulate_validate of { query : query; replications : int; seed : int }
+  | Stats
+
+type envelope = { id : Json.t option; request : (request, error) result }
+
+let solution_of_string = function
+  | "ml-opt" -> Ok Ml_opt
+  | "ml-ori" -> Ok Ml_ori
+  | "sl-opt" -> Ok Sl_opt
+  | "sl-ori" -> Ok Sl_ori
+  | s -> err "invalid-request" "unknown solution %S (want ml-opt|ml-ori|sl-opt|sl-ori)" s
+
+let solution_to_string = function
+  | Ml_opt -> "ml-opt"
+  | Ml_ori -> "ml-ori"
+  | Sl_opt -> "sl-opt"
+  | Sl_ori -> "sl-ori"
+
+let sweep_param_of_string = function
+  | "scale" | "fixed_n" -> Ok Scale
+  | "te" -> Ok Te
+  | "alloc" -> Ok Alloc
+  | s -> err "invalid-request" "unknown sweep param %S (want scale|te|alloc)" s
+
+let sweep_param_to_string = function Scale -> "scale" | Te -> "te" | Alloc -> "alloc"
+
+let ( let* ) = Result.bind
+
+let default_delta = 1e-9
+
+let parse_query json =
+  let* problem =
+    match Json.member "problem" json with
+    | None -> err "invalid-request" "missing field \"problem\""
+    | Some pj -> (
+        (* The codec can raise on degenerate shapes (e.g. an empty
+           hierarchy trips an assertion in Failure_spec.v); the service
+           boundary turns every such case into a structured error. *)
+        match Codec.problem_of_json pj with
+        | Ok p -> Ok p
+        | Error m -> Error { code = "invalid-problem"; message = m }
+        | exception e -> Error { code = "invalid-problem"; message = Printexc.to_string e })
+  in
+  (* The satellite contract: every request is validated here, before any
+     query can reach a worker domain. *)
+  let* () =
+    match Optimizer.check_problem problem with
+    | () -> Ok ()
+    | exception Invalid_argument m -> Error { code = "invalid-problem"; message = m }
+  in
+  let* solution =
+    match Json.string_field "solution" json with
+    | None -> Ok Ml_opt
+    | Some s -> solution_of_string s
+  in
+  let fixed_n = Json.float_field "fixed_n" json in
+  let* () =
+    match fixed_n with
+    | Some n when n <= 0. -> err "invalid-request" "fixed_n must be positive"
+    | _ -> Ok ()
+  in
+  let delta = Option.value (Json.float_field "delta" json) ~default:default_delta in
+  let* () =
+    if delta > 0. then Ok () else err "invalid-request" "delta must be positive"
+  in
+  Ok { problem; solution; fixed_n; delta }
+
+let parse_sweep json =
+  let* base = parse_query json in
+  let* param =
+    match Json.string_field "param" json with
+    | None -> err "invalid-request" "missing field \"param\""
+    | Some s -> sweep_param_of_string s
+  in
+  let* values =
+    match Option.bind (Json.member "values" json) Json.of_float_array with
+    | None -> err "invalid-request" "missing or non-numeric field \"values\""
+    | Some [||] -> err "invalid-request" "empty sweep \"values\""
+    | Some vs -> Ok vs
+  in
+  let* () =
+    if Array.for_all (fun v -> v > 0. && Float.is_finite v) values then Ok ()
+    else err "invalid-request" "sweep values must be positive and finite"
+  in
+  Ok (Sweep { base; param; values })
+
+let parse_validate json =
+  let* query = parse_query json in
+  let replications =
+    Option.value (Option.bind (Json.member "replications" json) Json.to_int) ~default:10
+  in
+  let* () =
+    if replications >= 1 && replications <= 10_000 then Ok ()
+    else err "invalid-request" "replications must be in [1, 10000]"
+  in
+  let seed = Option.value (Option.bind (Json.member "seed" json) Json.to_int) ~default:1 in
+  Ok (Simulate_validate { query; replications; seed })
+
+let parse_request line =
+  match Json.parse_result line with
+  | Error m -> { id = None; request = Error { code = "parse"; message = m } }
+  | Ok json ->
+      let id = Json.member "id" json in
+      let request =
+        match Json.string_field "op" json with
+        | None -> err "invalid-request" "missing field \"op\""
+        | Some "plan" ->
+            let* q = parse_query json in
+            Ok (Plan q)
+        | Some "sweep" -> parse_sweep json
+        | Some "simulate-validate" -> parse_validate json
+        | Some "stats" -> Ok Stats
+        | Some op -> err "invalid-request" "unknown op %S" op
+      in
+      { id; request }
+
+let sweep_point base param v =
+  match param with
+  | Scale -> { base with fixed_n = Some v }
+  | Te -> { base with problem = { base.problem with Optimizer.te = v } }
+  | Alloc -> { base with problem = { base.problem with Optimizer.alloc = v } }
+
+let simulation_problem q =
+  match q.solution with
+  | Ml_opt | Ml_ori -> q.problem
+  | Sl_opt | Sl_ori -> Optimizer.single_level_problem q.problem
+
+(* --------------- responses --------------- *)
+
+let with_id id fields = match id with None -> fields | Some id -> ("id", id) :: fields
+
+let error_json { code; message } =
+  Json.Obj [ ("code", Json.String code); ("message", Json.String message) ]
+
+let error_response ?id e =
+  Json.Obj (with_id id [ ("ok", Json.Bool false); ("error", error_json e) ])
+
+let plan_response ?id ~cached plan =
+  Json.Obj
+    (with_id id
+       [ ("ok", Json.Bool true); ("op", Json.String "plan"); ("cached", Json.Bool cached);
+         ("plan", Codec.plan_to_json plan) ])
+
+let sweep_response ?id ~param points =
+  let point (v, outcome) =
+    let fields =
+      match outcome with
+      | Ok (plan, cached) ->
+          [ ("value", Json.Number v); ("cached", Json.Bool cached);
+            ("plan", Codec.plan_to_json plan) ]
+      | Error e -> [ ("value", Json.Number v); ("error", error_json e) ]
+    in
+    Json.Obj fields
+  in
+  let solved =
+    Array.fold_left (fun n (_, o) -> if Result.is_ok o then n + 1 else n) 0 points
+  in
+  Json.Obj
+    (with_id id
+       [ ("ok", Json.Bool true); ("op", Json.String "sweep");
+         ("param", Json.String (sweep_param_to_string param));
+         ("count", Json.Number (float_of_int (Array.length points)));
+         ("solved", Json.Number (float_of_int solved));
+         ("results", Json.List (Array.to_list (Array.map point points))) ])
+
+type validation = {
+  predicted_wall_clock : float;
+  simulated : Stats.summary;
+  relative_error : float;
+  completed_runs : int;
+}
+
+let validation_response ?id ~cached ~plan v =
+  Json.Obj
+    (with_id id
+       [ ("ok", Json.Bool true); ("op", Json.String "simulate-validate");
+         ("cached", Json.Bool cached);
+         ("predicted_wall_clock", Json.Number v.predicted_wall_clock);
+         ("simulated",
+          Json.Obj
+            [ ("replications", Json.Number (float_of_int v.simulated.Stats.n));
+              ("completed", Json.Number (float_of_int v.completed_runs));
+              ("mean", Json.Number v.simulated.Stats.mean);
+              ("std", Json.Number v.simulated.Stats.std);
+              ("min", Json.Number v.simulated.Stats.min);
+              ("max", Json.Number v.simulated.Stats.max) ]);
+         ("relative_error", Json.Number v.relative_error);
+         ("plan", Codec.plan_to_json plan) ])
+
+let stats_response ?id payload =
+  Json.Obj
+    (with_id id [ ("ok", Json.Bool true); ("op", Json.String "stats"); ("stats", payload) ])
+
+let response_ok json = Json.member "ok" json = Some (Json.Bool true)
+
+let response_error json =
+  match Json.member "error" json with
+  | None -> None
+  | Some e -> (
+      match (Json.string_field "code" e, Json.string_field "message" e) with
+      | Some code, Some message -> Some { code; message }
+      | _ -> None)

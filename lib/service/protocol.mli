@@ -1,0 +1,105 @@
+(** The `ckpt_serve` JSON-lines protocol.
+
+    One request per line, one response per line, order preserved.  Four
+    operations:
+
+    - [{"op":"plan", "problem":P, ...}] — one optimizer solve;
+    - [{"op":"sweep", "problem":P, "param":"scale"|"te"|"alloc",
+        "values":[...]}] — the capacity-planning fan-out: one solve per
+      value, the base problem varied along [param];
+    - [{"op":"simulate-validate", "problem":P, "replications":k,
+        "seed":s}] — solve, then validate the predicted wall clock
+      against [k] simulated executions;
+    - [{"op":"stats"}] — the {!Metrics} snapshot.
+
+    Every request accepts an optional ["id"] (any JSON value, echoed
+    back), ["solution"] (["ml-opt"] default, ["ml-ori"], ["sl-opt"],
+    ["sl-ori"]), ["fixed_n"] (pin the scale) and ["delta"] (outer-loop
+    threshold, default 1e-9).
+
+    Responses carry ["ok"] — [true] with the payload, or [false] with a
+    structured [{"code", "message"}] error.  Malformed input can never
+    crash a worker: {!parse_request} funnels JSON errors, missing
+    fields and {!Ckpt_model.Optimizer.check_problem} failures (e.g. a
+    spec/hierarchy level-count mismatch) into [Error _] before any
+    query reaches the pool. *)
+
+type error = { code : string; message : string }
+(** Codes: ["parse"] (not JSON), ["invalid-request"] (JSON but not a
+    valid request), ["invalid-problem"] (problem fails decoding or
+    {!Ckpt_model.Optimizer.check_problem}), ["solve-failure"] (the
+    optimizer raised). *)
+
+type solution = Ml_opt | Ml_ori | Sl_opt | Sl_ori
+
+type query = {
+  problem : Ckpt_model.Optimizer.problem;
+  solution : solution;
+  fixed_n : float option;
+  delta : float;
+}
+
+type sweep_param = Scale | Te | Alloc
+
+type request =
+  | Plan of query
+  | Sweep of { base : query; param : sweep_param; values : float array }
+  | Simulate_validate of { query : query; replications : int; seed : int }
+  | Stats
+
+type envelope = { id : Ckpt_json.Json.t option; request : (request, error) result }
+(** The [id] survives even when the request itself is rejected, so error
+    responses can still be correlated by the client. *)
+
+val solution_of_string : string -> (solution, error) result
+val solution_to_string : solution -> string
+val sweep_param_to_string : sweep_param -> string
+
+val parse_request : string -> envelope
+(** Parse and fully validate one request line; every problem it returns
+    has passed [Optimizer.check_problem], and every failure is folded
+    into the envelope's [Error _] with its code. *)
+
+val sweep_point : query -> sweep_param -> float -> query
+(** The query for one sweep grid point: [Scale] pins [fixed_n], [Te] and
+    [Alloc] rebuild the problem with the field replaced. *)
+
+val simulation_problem : query -> Ckpt_model.Optimizer.problem
+(** The problem a plan should be simulated against: the original for ML
+    solutions, {!Ckpt_model.Optimizer.single_level_problem} for SL ones
+    (their plans only have a PFS level). *)
+
+(** {1 Responses} *)
+
+val error_response : ?id:Ckpt_json.Json.t -> error -> Ckpt_json.Json.t
+
+val plan_response :
+  ?id:Ckpt_json.Json.t -> cached:bool -> Ckpt_model.Optimizer.plan -> Ckpt_json.Json.t
+
+val sweep_response :
+  ?id:Ckpt_json.Json.t ->
+  param:sweep_param ->
+  (float * (Ckpt_model.Optimizer.plan * bool, error) result) array ->
+  Ckpt_json.Json.t
+(** Per-point results: each grid value maps to a plan (with its cached
+    flag) or an error; one bad point does not fail the sweep. *)
+
+type validation = {
+  predicted_wall_clock : float;
+  simulated : Ckpt_numerics.Stats.summary;
+  relative_error : float;
+  completed_runs : int;
+}
+
+val validation_response :
+  ?id:Ckpt_json.Json.t ->
+  cached:bool ->
+  plan:Ckpt_model.Optimizer.plan ->
+  validation ->
+  Ckpt_json.Json.t
+
+val stats_response : ?id:Ckpt_json.Json.t -> Ckpt_json.Json.t -> Ckpt_json.Json.t
+(** Wrap a {!Metrics.to_json} payload. *)
+
+val response_ok : Ckpt_json.Json.t -> bool
+val response_error : Ckpt_json.Json.t -> error option

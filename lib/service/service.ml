@@ -1,0 +1,163 @@
+module Json = Ckpt_json.Json
+module Stats = Ckpt_numerics.Stats
+
+type t = {
+  pool : Pool.t option;
+  planner : Planner.t;
+  metrics : Metrics.t;
+  mutable live : bool;
+}
+
+let create ?(workers = 1) ?cache_capacity ?precision () =
+  if workers < 0 then invalid_arg "Service.create: workers < 0";
+  let metrics = Metrics.create () in
+  let planner = Planner.create ?cache_capacity ?precision metrics in
+  let pool = if workers = 0 then None else Some (Pool.create ~workers) in
+  { pool; planner; metrics; live = true }
+
+let workers t = match t.pool with None -> 0 | Some p -> Pool.workers p
+let metrics t = t.metrics
+let planner t = t.planner
+let stats_json t = Metrics.to_json t.metrics
+
+(* One parsed request, with the span of the flat query array it owns. *)
+type job = {
+  envelope : Protocol.envelope;
+  offset : int;  (** first slot in the flat query array *)
+  span : int;  (** number of slots *)
+}
+
+let queries_of_request = function
+  | Protocol.Plan q -> [| q |]
+  | Protocol.Sweep { base; param; values } ->
+      Array.map (Protocol.sweep_point base param) values
+  | Protocol.Simulate_validate { query; _ } -> [| query |]
+  | Protocol.Stats -> [||]
+
+let simulate ~query ~plan ~replications ~seed =
+  let problem = Protocol.simulation_problem query in
+  let config = Ckpt_sim.Run_config.of_plan ~problem ~plan () in
+  let wall_clocks = Array.make replications 0. in
+  let completed = ref 0 in
+  for rep = 0 to replications - 1 do
+    let outcome = Ckpt_sim.Engine.run ~seed:(seed + rep) config in
+    wall_clocks.(rep) <- outcome.Ckpt_sim.Outcome.wall_clock;
+    if outcome.Ckpt_sim.Outcome.completed then incr completed
+  done;
+  let simulated = Stats.summarize wall_clocks in
+  { Protocol.predicted_wall_clock = plan.Ckpt_model.Optimizer.wall_clock;
+    simulated;
+    relative_error =
+      Stats.relative_error ~expected:plan.Ckpt_model.Optimizer.wall_clock
+        simulated.Stats.mean;
+    completed_runs = !completed }
+
+let handle_batch t lines =
+  if not t.live then invalid_arg "Service.handle_batch: service is shut down";
+  let t0 = Metrics.now_ms () in
+  (* Parse + validate every line, laying queries out flat. *)
+  let offset = ref 0 in
+  let jobs =
+    List.map
+      (fun line ->
+        Metrics.incr_requests t.metrics;
+        let envelope = Protocol.parse_request line in
+        let span =
+          match envelope.Protocol.request with
+          | Ok request -> Array.length (queries_of_request request)
+          | Error _ -> 0
+        in
+        let job = { envelope; offset = !offset; span } in
+        offset := !offset + span;
+        job)
+      lines
+  in
+  let queries = Array.make !offset None in
+  List.iter
+    (fun job ->
+      match job.envelope.Protocol.request with
+      | Error _ -> ()
+      | Ok request ->
+          Array.iteri
+            (fun i q -> queries.(job.offset + i) <- Some q)
+            (queries_of_request request))
+    jobs;
+  let queries = Array.map Option.get queries in
+  let outcomes = Planner.solve_batch ?pool:t.pool t.planner queries in
+  (* Second fan-out: the simulation legs of simulate-validate requests. *)
+  let sim_inputs =
+    List.filter_map
+      (fun job ->
+        match job.envelope.Protocol.request with
+        | Ok (Protocol.Simulate_validate { query; replications; seed }) -> (
+            match outcomes.(job.offset) with
+            | Ok (plan, _) -> Some (job.offset, query, plan, replications, seed)
+            | Error _ -> None)
+        | _ -> None)
+      jobs
+  in
+  let sim_results =
+    let run (slot, query, plan, replications, seed) =
+      let r =
+        try Ok (simulate ~query ~plan ~replications ~seed)
+        with e ->
+          Error
+            { Protocol.code = "simulate-failure";
+              message =
+                (match e with Invalid_argument m | Failure m -> m | e -> Printexc.to_string e) }
+      in
+      (slot, r)
+    in
+    let inputs = Array.of_list sim_inputs in
+    match t.pool with
+    | Some pool when Array.length inputs > 1 -> Pool.map pool ~f:run inputs
+    | _ -> Array.map run inputs
+  in
+  let sim_by_slot = Hashtbl.create 8 in
+  Array.iter (fun (slot, r) -> Hashtbl.replace sim_by_slot slot r) sim_results;
+  (* Reassemble one response per line, in order. *)
+  let respond job =
+    let id = job.envelope.Protocol.id in
+    match job.envelope.Protocol.request with
+    | Error e ->
+        Metrics.incr_errors t.metrics;
+        Protocol.error_response ?id e
+    | Ok request -> (
+        match request with
+        | Protocol.Stats -> Protocol.stats_response ?id (stats_json t)
+        | Protocol.Plan _ -> (
+            match outcomes.(job.offset) with
+            | Ok (plan, cached) -> Protocol.plan_response ?id ~cached plan
+            | Error e ->
+                Metrics.incr_errors t.metrics;
+                Protocol.error_response ?id e)
+        | Protocol.Sweep { param; values; _ } ->
+            let points =
+              Array.mapi (fun i v -> (v, outcomes.(job.offset + i))) values
+            in
+            Protocol.sweep_response ?id ~param points
+        | Protocol.Simulate_validate _ -> (
+            match outcomes.(job.offset) with
+            | Error e ->
+                Metrics.incr_errors t.metrics;
+                Protocol.error_response ?id e
+            | Ok (plan, cached) -> (
+                match Hashtbl.find_opt sim_by_slot job.offset with
+                | Some (Ok v) -> Protocol.validation_response ?id ~cached ~plan v
+                | Some (Error e) ->
+                    Metrics.incr_errors t.metrics;
+                    Protocol.error_response ?id e
+                | None -> assert false)))
+  in
+  let responses = List.map respond jobs in
+  Metrics.record_batch_ms t.metrics (Metrics.now_ms () -. t0);
+  responses
+
+let handle_line t line =
+  match handle_batch t [ line ] with [ r ] -> r | _ -> assert false
+
+let shutdown t =
+  if t.live then begin
+    t.live <- false;
+    Option.iter Pool.shutdown t.pool
+  end

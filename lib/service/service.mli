@@ -1,0 +1,39 @@
+(** The concurrent batch planning service.
+
+    Front door for `ckpt_serve` and for embedding: feed it raw JSON
+    request lines, get JSON response values back in the same order.
+    Internally each batch is parsed and validated up front, expanded
+    (sweeps become one query per grid point), deduplicated and solved
+    through {!Planner} over the domain {!Pool}, then reassembled into
+    per-request responses.  [simulate-validate] requests additionally
+    replay the plan through the event-driven simulator, also on the
+    pool.
+
+    A service owns its pool; call {!shutdown} (idempotent) when done so
+    the worker domains are joined. *)
+
+type t
+
+val create : ?workers:int -> ?cache_capacity:int -> ?precision:int -> unit -> t
+(** [workers] defaults to 1; [workers = 1] still runs through a single
+    worker domain, [workers = 0] disables the pool entirely (solves run
+    in the calling domain).  [cache_capacity] and [precision] configure
+    the {!Planner}. *)
+
+val workers : t -> int
+val metrics : t -> Metrics.t
+val planner : t -> Planner.t
+
+val handle_batch : t -> string list -> Ckpt_json.Json.t list
+(** [handle_batch t lines] answers one response per request line, order
+    preserved.  Malformed lines yield error responses; they never
+    abort the batch. *)
+
+val handle_line : t -> string -> Ckpt_json.Json.t
+(** Single-request convenience over {!handle_batch}. *)
+
+val stats_json : t -> Ckpt_json.Json.t
+(** The current {!Metrics.to_json} payload (also served by the
+    [stats] op). *)
+
+val shutdown : t -> unit

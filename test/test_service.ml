@@ -1,0 +1,479 @@
+(* Tests for the ckpt_service batch planning layer: fingerprinting,
+   LRU cache, work queue, domain pool, protocol and the end-to-end
+   service — including the property that parallel solving is
+   bit-identical to sequential [Optimizer.solve]. *)
+
+open Ckpt_model
+open Ckpt_service
+module Json = Ckpt_json.Json
+module Failure_spec = Ckpt_failures.Failure_spec
+
+(* A small, fast-to-solve problem family used throughout. *)
+let mk_problem ?(te_days = 1e4) ?(kappa = 0.46) ?(n_star = 1e5) ?(alloc = 60.)
+    ?(rates = "16-12-8-4") ?(levels = Level.fti_fusion) () =
+  { Optimizer.te = te_days *. 86_400.;
+    speedup = Speedup.quadratic ~kappa ~n_star;
+    levels;
+    alloc;
+    spec = Failure_spec.of_string ~baseline_scale:n_star rates }
+
+let base_problem = mk_problem ()
+let problem_json p = Json.to_string (Codec.problem_to_json p)
+
+let query ?(solution = Protocol.Ml_opt) ?fixed_n ?(delta = 1e-9) problem =
+  { Protocol.problem; solution; fixed_n; delta }
+
+(* ---------------- fingerprint ---------------- *)
+
+let test_fingerprint_deterministic () =
+  let f1 = Fingerprint.of_problem base_problem in
+  let f2 = Fingerprint.of_problem (mk_problem ()) in
+  Alcotest.(check string) "same problem, same fingerprint" f1 f2;
+  Alcotest.(check int) "16 hex digits" 16 (String.length f1)
+
+let test_fingerprint_distinguishes () =
+  let f = Fingerprint.of_problem base_problem in
+  List.iter
+    (fun (what, p') ->
+      Alcotest.(check bool) what false (Fingerprint.of_problem p' = f))
+    [ ("te", mk_problem ~te_days:2e4 ());
+      ("kappa", mk_problem ~kappa:0.47 ());
+      ("alloc", mk_problem ~alloc:61. ());
+      ("rates", mk_problem ~rates:"16-12-8-5" ());
+      ("levels", mk_problem ~levels:Level.constant_pfs_case ()) ]
+
+let test_fingerprint_ignores_names () =
+  let renamed =
+    Array.map (fun (l : Level.t) -> Level.v ~name:(l.Level.name ^ "-x") ~restart:l.Level.restart l.Level.ckpt)
+      base_problem.Optimizer.levels
+  in
+  Alcotest.(check string) "names are labels"
+    (Fingerprint.of_problem base_problem)
+    (Fingerprint.of_problem { base_problem with Optimizer.levels = renamed })
+
+(* Clean decimal values (few significant digits) perturbed by relative
+   noise far below the fingerprint precision must not change the
+   fingerprint; perturbations above it must. *)
+let qcheck_fingerprint_noise =
+  let open QCheck in
+  let gen =
+    Gen.(
+      triple
+        (map2 (fun m e -> float_of_string (Printf.sprintf "%de%d" m e)) (int_range 1 999)
+           (int_range (-2) 6))
+        (float_bound_inclusive 1.)
+        bool)
+  in
+  Test.make ~name:"fingerprint invariant under sub-precision noise" ~count:200
+    (make gen) (fun (x, u, negate) ->
+      let x = if negate then -.x else x in
+      let noisy = x *. (1. +. ((u -. 0.5) *. 1e-13)) in
+      let coarse = x *. (1. +. 1e-4) in
+      let fp v = Fingerprint.float_repr ~precision:9 v in
+      fp x = fp noisy && fp x <> fp coarse)
+
+let qcheck_fingerprint_problem_noise =
+  let open QCheck in
+  Test.make ~name:"problem fingerprint invariant under sub-precision noise" ~count:50
+    (make Gen.(float_bound_inclusive 1.)) (fun u ->
+      let wiggle v = v *. (1. +. ((u -. 0.5) *. 1e-13)) in
+      let noisy =
+        { base_problem with
+          Optimizer.te = wiggle base_problem.Optimizer.te;
+          alloc = wiggle base_problem.Optimizer.alloc }
+      in
+      let coarse = { base_problem with Optimizer.te = base_problem.Optimizer.te *. 1.001 } in
+      Fingerprint.of_problem noisy = Fingerprint.of_problem base_problem
+      && Fingerprint.of_problem coarse <> Fingerprint.of_problem base_problem)
+
+(* ---------------- LRU cache ---------------- *)
+
+let test_lru_eviction () =
+  let c = Lru_cache.create ~capacity:3 in
+  Lru_cache.add c "a" 1;
+  Lru_cache.add c "b" 2;
+  Lru_cache.add c "c" 3;
+  Alcotest.(check int) "full" 3 (Lru_cache.length c);
+  Lru_cache.add c "d" 4;
+  Alcotest.(check int) "still at capacity" 3 (Lru_cache.length c);
+  Alcotest.(check bool) "LRU key evicted" false (Lru_cache.mem c "a");
+  Alcotest.(check bool) "recent keys stay" true
+    (Lru_cache.mem c "b" && Lru_cache.mem c "c" && Lru_cache.mem c "d");
+  Alcotest.(check int) "one eviction" 1 (Lru_cache.evictions c)
+
+let test_lru_recency_refresh () =
+  let c = Lru_cache.create ~capacity:2 in
+  Lru_cache.add c "a" 1;
+  Lru_cache.add c "b" 2;
+  (* Touch "a" so "b" becomes the eviction candidate. *)
+  Alcotest.(check (option int)) "find a" (Some 1) (Lru_cache.find c "a");
+  Lru_cache.add c "c" 3;
+  Alcotest.(check bool) "refreshed key survives" true (Lru_cache.mem c "a");
+  Alcotest.(check bool) "stale key evicted" false (Lru_cache.mem c "b")
+
+let test_lru_replace () =
+  let c = Lru_cache.create ~capacity:2 in
+  Lru_cache.add c "a" 1;
+  Lru_cache.add c "a" 10;
+  Alcotest.(check int) "no duplicate" 1 (Lru_cache.length c);
+  Alcotest.(check (option int)) "replaced" (Some 10) (Lru_cache.find c "a")
+
+let qcheck_lru_capacity_bound =
+  let open QCheck in
+  Test.make ~name:"LRU never exceeds capacity" ~count:100
+    (make Gen.(pair (int_range 1 8) (list_size (int_range 0 50) (int_range 0 15))))
+    (fun (cap, keys) ->
+      let c = Lru_cache.create ~capacity:cap in
+      List.iter (fun k -> Lru_cache.add c (string_of_int k) k) keys;
+      Lru_cache.length c = min cap (List.length (List.sort_uniq compare keys)))
+
+(* ---------------- work queue + pool ---------------- *)
+
+let test_work_queue_fifo () =
+  let q = Work_queue.create () in
+  List.iter (Work_queue.push q) [ 1; 2; 3 ];
+  Work_queue.close q;
+  let p1 = Work_queue.pop q in
+  let p2 = Work_queue.pop q in
+  let p3 = Work_queue.pop q in
+  let p4 = Work_queue.pop q in
+  Alcotest.(check (list (option int))) "drain in order"
+    [ Some 1; Some 2; Some 3; None ] [ p1; p2; p3; p4 ];
+  Alcotest.check_raises "push after close" Work_queue.Closed (fun () -> Work_queue.push q 4)
+
+let test_pool_map_order () =
+  let pool = Pool.create ~workers:4 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let xs = Array.init 100 Fun.id in
+  let ys = Pool.map pool ~f:(fun x -> x * x) xs in
+  Alcotest.(check bool) "order preserved" true (ys = Array.map (fun x -> x * x) xs)
+
+let test_pool_exception_does_not_kill_worker () =
+  let pool = Pool.create ~workers:2 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  (match Pool.map pool ~f:(fun x -> if x = 1 then failwith "boom" else x) [| 0; 1; 2 |] with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure m -> Alcotest.(check string) "first error re-raised" "boom" m);
+  (* The pool must still be operational after a failing job. *)
+  let ys = Pool.map pool ~f:(fun x -> x + 1) [| 1; 2; 3 |] in
+  Alcotest.(check bool) "pool survives" true (ys = [| 2; 3; 4 |])
+
+(* The tentpole property: fanning solves across domains returns plans
+   bit-identical to solving sequentially in this domain. *)
+let qcheck_parallel_bit_identical =
+  let open QCheck in
+  let gen =
+    Gen.(
+      list_size (int_range 4 10)
+        (triple (float_range 5e3 5e4) (float_range 0.2 0.8) (float_range 2e4 2e5)))
+  in
+  Test.make ~name:"pool solves bit-identical to sequential Optimizer.solve" ~count:5
+    (make gen) (fun specs ->
+      let queries =
+        specs
+        |> List.map (fun (te_days, kappa, fixed_n) ->
+               query ~fixed_n (mk_problem ~te_days ~kappa ()))
+        |> Array.of_list
+      in
+      let sequential = Array.map Planner.run_query queries in
+      let pool = Pool.create ~workers:4 in
+      let parallel =
+        Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+        Pool.map pool ~f:Planner.run_query queries
+      in
+      parallel = sequential)
+
+(* ---------------- protocol ---------------- *)
+
+let test_protocol_parse_plan () =
+  let line =
+    Printf.sprintf {|{"id": 7, "op": "plan", "solution": "sl-opt", "problem": %s}|}
+      (problem_json base_problem)
+  in
+  match Protocol.parse_request line with
+  | { Protocol.id = Some (Json.Number 7.); request = Ok (Protocol.Plan q) } ->
+      Alcotest.(check string) "solution" "sl-opt" (Protocol.solution_to_string q.Protocol.solution);
+      Alcotest.(check (float 1e-9)) "te round-trips" base_problem.Optimizer.te
+        q.Protocol.problem.Optimizer.te
+  | _ -> Alcotest.fail "expected a parsed plan request"
+
+let expect_error_code line code =
+  match (Protocol.parse_request line).Protocol.request with
+  | Error e -> Alcotest.(check string) ("code for " ^ line) code e.Protocol.code
+  | Ok _ -> Alcotest.fail (Printf.sprintf "expected %s error for %s" code line)
+
+let test_protocol_errors () =
+  expect_error_code "not json" "parse";
+  expect_error_code {|{"problem": {}}|} "invalid-request";
+  expect_error_code {|{"op": "warp"}|} "invalid-request";
+  expect_error_code {|{"op": "plan"}|} "invalid-request";
+  expect_error_code {|{"op": "plan", "problem": {"te": 1}}|} "invalid-problem";
+  expect_error_code
+    (Printf.sprintf {|{"op": "plan", "solution": "warp", "problem": %s}|}
+       (problem_json base_problem))
+    "invalid-request";
+  expect_error_code
+    (Printf.sprintf {|{"op": "sweep", "param": "scale", "values": [1, -2], "problem": %s}|}
+       (problem_json base_problem))
+    "invalid-request"
+
+(* Satellite: a spec/hierarchy level-count mismatch must come back as a
+   structured invalid-problem response, not an exception. *)
+let test_protocol_level_count_mismatch () =
+  let mismatched =
+    Json.to_string
+      (Json.Obj
+         [ ("op", Json.String "plan");
+           ("problem",
+            (* 4 levels but only 3 rates: Codec accepts shapes the
+               optimizer rejects only via check_problem when arities
+               match; here the codec itself guards, so also test the
+               deeper path through a 0-level hierarchy. *)
+            Json.Obj
+              [ ("te", Json.Number 8.64e8);
+                ("speedup",
+                 Json.Obj
+                   [ ("kind", Json.String "quadratic"); ("kappa", Json.Number 0.46);
+                     ("n_star", Json.Number 1e5) ]);
+                ("levels", Json.List []);
+                ("alloc", Json.Number 60.);
+                ("rates_per_day", Json.List []);
+                ("baseline_scale", Json.Number 1e5) ]) ])
+  in
+  (match (Protocol.parse_request mismatched).Protocol.request with
+  | Error e -> Alcotest.(check string) "empty hierarchy rejected" "invalid-problem" e.Protocol.code
+  | Ok _ -> Alcotest.fail "0-level problem must be rejected");
+  let arity =
+    Printf.sprintf {|{"op": "plan", "problem": %s}|}
+      (Json.to_string
+         (match Codec.problem_to_json base_problem with
+         | Json.Obj fields ->
+             Json.Obj
+               (List.map
+                  (function
+                    | ("rates_per_day", _) -> ("rates_per_day", Json.float_array [| 16.; 12. |])
+                    | f -> f)
+                  fields)
+         | _ -> assert false))
+  in
+  match (Protocol.parse_request arity).Protocol.request with
+  | Error e -> Alcotest.(check string) "rate arity rejected" "invalid-problem" e.Protocol.code
+  | Ok _ -> Alcotest.fail "mismatched rates/levels must be rejected"
+
+let test_check_problem_direct () =
+  (* The service maps this Invalid_argument to a structured error. *)
+  let bad =
+    { base_problem with Optimizer.spec = Failure_spec.v ~baseline_scale:1e5 [| 1.; 2. |] }
+  in
+  Alcotest.check_raises "check_problem raises"
+    (Invalid_argument "Optimizer: failure spec level count differs from hierarchy")
+    (fun () -> Optimizer.check_problem bad)
+
+(* ---------------- planner ---------------- *)
+
+let test_planner_cache_and_dedup () =
+  let metrics = Metrics.create () in
+  let planner = Planner.create ~cache_capacity:16 metrics in
+  let q1 = query ~fixed_n:2e4 base_problem in
+  let q2 = query ~fixed_n:3e4 base_problem in
+  (* q1 twice in one batch: 1 solve, 1 dedup hit. *)
+  let r = Planner.solve_batch planner [| q1; q2; q1 |] in
+  (match (r.(0), r.(2)) with
+  | Ok (p0, false), Ok (p2, true) -> Alcotest.(check bool) "dedup returns same plan" true (p0 = p2)
+  | _ -> Alcotest.fail "expected fresh + deduped plan");
+  let s = Metrics.snapshot metrics in
+  Alcotest.(check int) "two solves" 2 s.Metrics.solves;
+  Alcotest.(check int) "one hit" 1 s.Metrics.cache_hits;
+  Alcotest.(check int) "two misses" 2 s.Metrics.cache_misses;
+  (* Second batch: all cached. *)
+  let r' = Planner.solve_batch planner [| q1; q2 |] in
+  Array.iter
+    (function
+      | Ok (_, cached) -> Alcotest.(check bool) "served from cache" true cached
+      | Error _ -> Alcotest.fail "unexpected error")
+    r';
+  Alcotest.(check int) "no new solves" 2 (Metrics.snapshot metrics).Metrics.solves
+
+let test_planner_key_varies_with_options () =
+  let planner = Planner.create (Metrics.create ()) in
+  let k q = Planner.query_key planner q in
+  let base = query base_problem in
+  Alcotest.(check bool) "solution in key" false
+    (k base = k { base with Protocol.solution = Protocol.Sl_opt });
+  Alcotest.(check bool) "fixed_n in key" false
+    (k base = k { base with Protocol.fixed_n = Some 1e4 });
+  Alcotest.(check bool) "delta in key" false
+    (k base = k { base with Protocol.delta = 1e-6 });
+  Alcotest.(check string) "noise-invariant" (k base)
+    (k (query (mk_problem ~te_days:(1e4 *. (1. +. 1e-14)) ())))
+
+(* ---------------- service end-to-end ---------------- *)
+
+let test_service_sweep_cache_and_order () =
+  let service = Service.create ~workers:4 ~cache_capacity:512 () in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+  let pj = problem_json base_problem in
+  let sweep id values =
+    Printf.sprintf {|{"id": %d, "op": "sweep", "param": "scale", "values": [%s], "problem": %s}|}
+      id
+      (String.concat ", " (List.map string_of_float values))
+      pj
+  in
+  let coarse = [ 1e4; 2e4; 3e4; 4e4 ] in
+  let fine = [ 2e4; 2.5e4; 3e4; 3.5e4 ] in
+  let responses =
+    Service.handle_batch service
+      [ sweep 1 coarse; sweep 2 fine; {|{"id": 3, "op": "stats"}|} ]
+  in
+  Alcotest.(check int) "one response per request" 3 (List.length responses);
+  List.iteri
+    (fun i r ->
+      Alcotest.(check bool) (Printf.sprintf "response %d ok" i) true (Protocol.response_ok r);
+      match Json.member "id" r with
+      | Some (Json.Number id) -> Alcotest.(check int) "order preserved" (i + 1) (int_of_float id)
+      | _ -> Alcotest.fail "missing id")
+    responses;
+  (* 2e4 and 3e4 appear in both sweeps: 8 queries, 6 unique. *)
+  let s = Metrics.snapshot (Service.metrics service) in
+  Alcotest.(check int) "8 queries" 8 s.Metrics.queries;
+  Alcotest.(check int) "6 solves" 6 s.Metrics.solves;
+  Alcotest.(check int) "2 cache hits" 2 s.Metrics.cache_hits;
+  (* The swept plans must equal direct sequential solves. *)
+  let direct n = Planner.run_query (query ~fixed_n:n base_problem) in
+  let sweep1 = List.nth responses 0 in
+  (match Json.list_field "results" sweep1 with
+  | Some points ->
+      List.iter2
+        (fun v point ->
+          match Option.map Codec.plan_of_json (Json.member "plan" point) with
+          | Some (Ok plan) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "parallel plan at n=%g bit-identical" v)
+                true (plan = direct v)
+          | _ -> Alcotest.fail "sweep point has no plan")
+        coarse points
+  | None -> Alcotest.fail "sweep response has no results");
+  (* Hit rate must be reported in the stats response. *)
+  let stats = List.nth responses 2 in
+  match Option.bind (Json.member "stats" stats) (Json.member "cache") with
+  | Some cache ->
+      Alcotest.(check (option (float 1e-9))) "hit rate reported" (Some 0.25)
+        (Json.float_field "hit_rate" cache)
+  | None -> Alcotest.fail "stats response has no cache section"
+
+(* Acceptance-shaped property: a batch through 4 workers equals the same
+   batch through a worker-less service and direct sequential solves. *)
+let qcheck_service_parallel_equals_sequential =
+  let open QCheck in
+  Test.make ~name:"service: 4-worker batch bit-identical to sequential" ~count:3
+    (make Gen.(list_size (int_range 3 6) (float_range 1e4 9e4))) (fun values ->
+      let pj = problem_json base_problem in
+      let lines =
+        List.map
+          (fun v -> Printf.sprintf {|{"op": "plan", "fixed_n": %.3f, "problem": %s}|} v pj)
+          values
+      in
+      let run workers =
+        let service = Service.create ~workers () in
+        Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+        List.map Json.to_string (Service.handle_batch service lines)
+      in
+      run 4 = run 0)
+
+let test_service_error_isolation () =
+  let service = Service.create ~workers:2 () in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+  let responses =
+    Service.handle_batch service
+      [ "garbage";
+        Printf.sprintf {|{"id": "good", "op": "plan", "fixed_n": 2e4, "problem": %s}|}
+          (problem_json base_problem) ]
+  in
+  match responses with
+  | [ bad; good ] ->
+      Alcotest.(check bool) "bad line fails" false (Protocol.response_ok bad);
+      Alcotest.(check bool) "good line unaffected" true (Protocol.response_ok good);
+      Alcotest.(check int) "one error counted" 1
+        (Metrics.snapshot (Service.metrics service)).Metrics.errors
+  | _ -> Alcotest.fail "expected two responses"
+
+(* Acceptance: on hardware with cores to spare, a 4-worker pool must
+   answer a large all-miss batch faster than 1 worker.  On a single-core
+   machine (this is checked, not assumed) domains cannot run in
+   parallel and extra ones only add stop-the-world GC synchronization,
+   so the comparison is skipped rather than asserted backwards. *)
+let test_service_parallel_speedup () =
+  if Domain.recommended_domain_count () < 4 then
+    Alcotest.skip ()
+  else begin
+    let pj = problem_json base_problem in
+    let lines =
+      [ Printf.sprintf {|{"op": "sweep", "param": "scale", "values": [%s], "problem": %s}|}
+          (String.concat ", " (List.init 400 (fun i -> string_of_float (1e4 +. (float_of_int i *. 150.)))))
+          pj ]
+    in
+    let time workers =
+      let service = Service.create ~workers ~cache_capacity:1024 () in
+      Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+      let t0 = Metrics.now_ms () in
+      ignore (Service.handle_batch service lines);
+      Metrics.now_ms () -. t0
+    in
+    let t1 = time 1 and t4 = time 4 in
+    Alcotest.(check bool)
+      (Printf.sprintf "4 workers (%.1f ms) beat 1 worker (%.1f ms)" t4 t1)
+      true (t4 < t1)
+  end
+
+let test_service_simulate_validate () =
+  let service = Service.create ~workers:2 () in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+  let line =
+    Printf.sprintf
+      {|{"op": "simulate-validate", "replications": 5, "seed": 42, "fixed_n": 2e4, "problem": %s}|}
+      (problem_json base_problem)
+  in
+  let r = Service.handle_line service line in
+  Alcotest.(check bool) "ok" true (Protocol.response_ok r);
+  match (Json.member "simulated" r, Json.float_field "predicted_wall_clock" r) with
+  | Some sim, Some predicted ->
+      Alcotest.(check (option (float 0.))) "replications" (Some 5.)
+        (Json.float_field "replications" sim);
+      let mean = Option.get (Json.float_field "mean" sim) in
+      Alcotest.(check bool) "simulated mean within 50% of prediction" true
+        (Float.abs (mean -. predicted) /. predicted < 0.5)
+  | _ -> Alcotest.fail "missing simulation payload"
+
+let qcheck_tests =
+  [ qcheck_fingerprint_noise; qcheck_fingerprint_problem_noise; qcheck_lru_capacity_bound;
+    qcheck_parallel_bit_identical; qcheck_service_parallel_equals_sequential ]
+
+let () =
+  Alcotest.run "service"
+    [ ("fingerprint",
+       [ Alcotest.test_case "deterministic" `Quick test_fingerprint_deterministic;
+         Alcotest.test_case "distinguishes" `Quick test_fingerprint_distinguishes;
+         Alcotest.test_case "ignores names" `Quick test_fingerprint_ignores_names ]);
+      ("lru",
+       [ Alcotest.test_case "eviction at capacity" `Quick test_lru_eviction;
+         Alcotest.test_case "recency refresh" `Quick test_lru_recency_refresh;
+         Alcotest.test_case "replace" `Quick test_lru_replace ]);
+      ("pool",
+       [ Alcotest.test_case "work queue fifo" `Quick test_work_queue_fifo;
+         Alcotest.test_case "map preserves order" `Quick test_pool_map_order;
+         Alcotest.test_case "exceptions contained" `Quick test_pool_exception_does_not_kill_worker ]);
+      ("protocol",
+       [ Alcotest.test_case "parse plan" `Quick test_protocol_parse_plan;
+         Alcotest.test_case "error codes" `Quick test_protocol_errors;
+         Alcotest.test_case "level-count mismatch" `Quick test_protocol_level_count_mismatch;
+         Alcotest.test_case "check_problem raises" `Quick test_check_problem_direct ]);
+      ("planner",
+       [ Alcotest.test_case "cache + in-batch dedup" `Quick test_planner_cache_and_dedup;
+         Alcotest.test_case "key covers solver options" `Quick test_planner_key_varies_with_options ]);
+      ("service",
+       [ Alcotest.test_case "sweep order, cache, bit-identical" `Quick test_service_sweep_cache_and_order;
+         Alcotest.test_case "error isolation" `Quick test_service_error_isolation;
+         Alcotest.test_case "simulate-validate" `Quick test_service_simulate_validate;
+         Alcotest.test_case "parallel speedup (multi-core only)" `Slow
+           test_service_parallel_speedup ]);
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests) ]

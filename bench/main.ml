@@ -197,6 +197,49 @@ let () =
         (fun s -> if Lazy.is_val s then Ckpt_service.Service.shutdown (Lazy.force s))
         [ service_w1; service_w4; service_warm ])
 
+(* Adaptive kernels: telemetry ingest and controller stepping throughput,
+   tracked from the PR that introduced ckpt_adaptive.  The event stream is
+   one simulated run of the small validation problem (~thousands of
+   events).  The controller kernel measures the per-event decision path —
+   [min_failures = max_int] keeps Algorithm-1 evaluations out of the
+   loop, whose cost fig5-algorithm1-solve already tracks. *)
+
+let adaptive_events =
+  let events, _ = Ckpt_adaptive.Telemetry.of_run ~seed:11 small_validation_config in
+  events
+
+let adaptive_levels = Array.length Level.fti_fusion
+
+let adaptive_ingest_kernel () =
+  let rates =
+    Ckpt_adaptive.Rate_estimator.observe_all
+      (Ckpt_adaptive.Rate_estimator.create ~levels:adaptive_levels ())
+      adaptive_events
+  in
+  let costs =
+    Ckpt_adaptive.Cost_estimator.observe_all
+      (Ckpt_adaptive.Cost_estimator.create ~levels:adaptive_levels ())
+      adaptive_events
+  in
+  (Ckpt_adaptive.Rate_estimator.total_count rates,
+   Ckpt_adaptive.Cost_estimator.ckpt_count costs ~level:1)
+
+let adaptive_controller_state =
+  lazy
+    (let problem =
+       { Optimizer.te = 1024. *. 3600.;
+         speedup = Speedup.quadratic ~kappa:0.46 ~n_star:1e6;
+         levels = Level.fti_fusion;
+         alloc = 10.;
+         spec = Failure_spec.of_string ~baseline_scale:1024. "24-18-12-6" }
+     in
+     Ckpt_adaptive.Controller.init
+       { (Ckpt_adaptive.Controller.default_config problem) with
+         Ckpt_adaptive.Controller.min_failures = max_int })
+
+let adaptive_controller_kernel () =
+  Ckpt_adaptive.Controller.step_all (Lazy.force adaptive_controller_state) adaptive_events
+
 let tests =
   Test.make_grouped ~name:"paper"
     [ Test.make ~name:"fig1-solve-at-scale" (Staged.stage fig1_kernel);
@@ -228,7 +271,9 @@ let substrate_tests =
       Test.make ~name:"json-parse-plan-bundle" (Staged.stage json_kernel);
       Test.make ~name:"service-sweep64-1-worker" (Staged.stage (service_sweep_kernel service_w1));
       Test.make ~name:"service-sweep64-4-workers" (Staged.stage (service_sweep_kernel service_w4));
-      Test.make ~name:"service-sweep64-warm-cache" (Staged.stage service_warm_kernel) ]
+      Test.make ~name:"service-sweep64-warm-cache" (Staged.stage service_warm_kernel);
+      Test.make ~name:"adaptive-ingest-run-telemetry" (Staged.stage adaptive_ingest_kernel);
+      Test.make ~name:"adaptive-controller-step-run" (Staged.stage adaptive_controller_kernel) ]
 
 (* --- bechamel driver ----------------------------------------------------- *)
 

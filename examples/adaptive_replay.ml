@@ -1,0 +1,107 @@
+(* Closed-loop adaptive re-planning demo.
+
+   Part 1 replays a recorded telemetry log (examples/adaptive_session.jsonl
+   by default, or the path given as the first argument) through the
+   adaptive controller: it prints the drift alarm, every re-planning
+   decision, and the fitted failure rates with their 95 % confidence
+   intervals next to the rates that generated the log.
+
+   Part 2 re-runs the same scenario end to end under three policies —
+   the static plan fitted to the initial rates, the adaptive controller,
+   and an oracle that knows the shifted rates — and reports realized
+   wall-clock and regret versus the oracle.
+
+   Run with:  dune exec examples/adaptive_replay.exe
+   Regenerate the session log with:
+     dune exec examples/adaptive_replay.exe -- --write examples/adaptive_session.jsonl *)
+
+module Optimizer = Ckpt_model.Optimizer
+module Spec = Ckpt_failures.Failure_spec
+module A = Ckpt_adaptive
+
+let read_log path =
+  let ic = open_in path in
+  let rec go acc = match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file -> close_in ic; List.rev acc
+  in
+  match A.Telemetry.read_lines (go []) with
+  | Ok events -> events
+  | Error msg -> Printf.eprintf "cannot read %s: %s\n" path msg; exit 1
+
+let write_log path events =
+  let oc = open_out path in
+  List.iter (fun e -> output_string oc (A.Telemetry.to_line e); output_char oc '\n') events;
+  close_out oc;
+  Printf.printf "wrote %d events to %s\n" (List.length events) path
+
+let replay scenario path =
+  let events = read_log path in
+  Printf.printf "=== Replaying %s (%d events) ===\n" path (List.length events);
+  let config = A.Controller.default_config scenario.A.Closed_loop.problem in
+  let ctrl = A.Controller.init config in
+  let initial = A.Controller.plan ctrl in
+  Printf.printf "initial plan: xs = [%s], N = %.0f, predicted E(T_w) = %.0f s\n"
+    (String.concat "; " (Array.to_list (Array.map (Printf.sprintf "%.1f") initial.Optimizer.xs)))
+    initial.Optimizer.n initial.Optimizer.wall_clock;
+  let ctrl =
+    List.fold_left
+      (fun ctrl event ->
+        let ctrl', action = A.Controller.step ctrl event in
+        (match action with
+        | A.Controller.No_op -> ()
+        | A.Controller.Replanned { plan; improvement; drift; _ } ->
+            Printf.printf
+              "t = %8.0f s  REPLAN%s: xs = [%s], N = %.0f, predicted gain %.1f %%\n"
+              (A.Telemetry.at event)
+              (if drift then " (drift alarm)" else "")
+              (String.concat "; "
+                 (Array.to_list (Array.map (Printf.sprintf "%.1f") plan.Optimizer.xs)))
+              plan.Optimizer.n (100. *. improvement));
+        ctrl')
+      ctrl events
+  in
+  let rates = A.Controller.rates ctrl in
+  let nb = scenario.A.Closed_loop.problem.Optimizer.spec.Spec.baseline_scale in
+  Printf.printf "fitted rates per day at N_b = %.0f (true post-shift %s):\n" nb
+    (Spec.to_string scenario.A.Closed_loop.shifted_spec);
+  for level = 1 to A.Rate_estimator.levels rates do
+    let r = A.Rate_estimator.rate_per_day rates ~level ~baseline_scale:nb in
+    let lo, hi = A.Rate_estimator.confidence_per_day rates ~level ~baseline_scale:nb in
+    Printf.printf "  level %d: %6.2f  [95 %% CI %6.2f .. %6.2f]  (%d failures)\n" level r lo hi
+      (A.Rate_estimator.count rates ~level)
+  done;
+  Printf.printf "replans: %d, evaluations: %d\n\n" (A.Controller.replans ctrl)
+    (A.Controller.evaluations ctrl)
+
+let compare_policies scenario =
+  Printf.printf "=== Closed-loop comparison (true rates shift %s -> %s at t = %.0f s) ===\n"
+    (Spec.to_string scenario.A.Closed_loop.true_spec)
+    (Spec.to_string scenario.A.Closed_loop.shifted_spec)
+    scenario.A.Closed_loop.shift_at;
+  let config = A.Controller.default_config scenario.A.Closed_loop.problem in
+  let policies = [ A.Closed_loop.Static; A.Closed_loop.Adaptive config; A.Closed_loop.Oracle ] in
+  let results = List.map (A.Closed_loop.run ~seed:42 scenario) policies in
+  let oracle = List.nth results 2 in
+  List.iter
+    (fun (r : A.Closed_loop.result) ->
+      Printf.printf "%-8s  wall %9.0f s  (%5.2f days)  replans %d  regret vs oracle %+6.2f %%\n"
+        r.A.Closed_loop.policy r.A.Closed_loop.wall_clock
+        (r.A.Closed_loop.wall_clock /. 86400.)
+        r.A.Closed_loop.replans
+        (100. *. A.Closed_loop.regret r ~oracle))
+    results;
+  results
+
+let () =
+  let scenario = A.Closed_loop.demo_scenario () in
+  match Sys.argv with
+  | [| _; "--write"; path |] ->
+      let results = compare_policies scenario in
+      let adaptive = List.nth results 1 in
+      write_log path adaptive.A.Closed_loop.telemetry
+  | argv ->
+      let path = if Array.length argv > 1 then argv.(1) else "examples/adaptive_session.jsonl" in
+      if Sys.file_exists path then replay scenario path
+      else Printf.printf "(no session log at %s; run with --write %s to record one)\n" path path;
+      ignore (compare_policies scenario)

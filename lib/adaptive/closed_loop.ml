@@ -1,0 +1,192 @@
+module Optimizer = Ckpt_model.Optimizer
+module Speedup = Ckpt_model.Speedup
+module Level = Ckpt_model.Level
+module Spec = Ckpt_failures.Failure_spec
+module Run_config = Ckpt_sim.Run_config
+module Outcome = Ckpt_sim.Outcome
+
+type scenario = {
+  problem : Optimizer.problem;
+  true_spec : Spec.t;
+  shifted_spec : Spec.t;
+  shift_at : float;
+  review_every : float;
+  semantics : Run_config.semantics;
+  max_epochs : int;
+}
+
+let scenario ?(semantics = Run_config.paper_semantics) ?(max_epochs = 10_000) ?(shift_at = infinity)
+    ?shifted_spec ~review_every ~true_spec problem =
+  Optimizer.check_problem problem;
+  if review_every <= 0. then invalid_arg "Closed_loop.scenario: non-positive review_every";
+  if shift_at <= 0. then invalid_arg "Closed_loop.scenario: non-positive shift_at";
+  if max_epochs < 1 then invalid_arg "Closed_loop.scenario: max_epochs < 1";
+  let shifted_spec = Option.value shifted_spec ~default:true_spec in
+  if Spec.levels true_spec <> Array.length problem.Optimizer.levels then
+    invalid_arg "Closed_loop.scenario: true_spec level count differs from the hierarchy's";
+  if Spec.levels shifted_spec <> Array.length problem.Optimizer.levels then
+    invalid_arg "Closed_loop.scenario: shifted_spec level count differs from the hierarchy's";
+  { problem; true_spec; shifted_spec; shift_at; review_every; semantics; max_epochs }
+
+let demo_scenario ?(baseline_scale = 1e5) () =
+  let spec = Spec.of_string ~baseline_scale "4-3-2-1" in
+  (* the PFS-level rate jumps 24x part-way through the run *)
+  let shifted_spec = Spec.of_string ~baseline_scale "4-3-2-24" in
+  let problem =
+    {
+      Optimizer.te = 30_000. *. 86400.;
+      speedup = Speedup.quadratic ~kappa:0.46 ~n_star:baseline_scale;
+      levels = Level.fti_fusion;
+      alloc = 60.;
+      spec;
+    }
+  in
+  (* review_every must dominate the static plan's PFS interval (~4.7 h
+     here): every epoch boundary acts as a free durability point, and a
+     shorter horizon would grant the under-checkpointing static plan
+     exactly the protection it failed to buy. *)
+  scenario ~shift_at:(0.2 *. 86400.) ~shifted_spec ~review_every:(12. *. 3600.) ~true_spec:spec
+    problem
+
+type policy = Static | Adaptive of Controller.config | Oracle
+
+let policy_name = function
+  | Static -> "static"
+  | Adaptive _ -> "adaptive"
+  | Oracle -> "oracle"
+
+type epoch_log = {
+  started_at : float;
+  n : float;
+  wall : float;
+  productive : float;
+  failures : int;
+  replanned : bool;
+}
+
+type result = {
+  policy : string;
+  wall_clock : float;
+  completed : bool;
+  epochs : epoch_log list;
+  replans : int;
+  telemetry : Telemetry.event list;
+  final_xs : float array;
+  final_n : float;
+}
+
+(* A plan's cadence: per-level checkpoint interval lengths (parallel
+   seconds) plus the scale.  Re-deriving interval *counts* for whatever
+   work remains keeps the cadence invariant across epochs. *)
+type cadence = { taus : float array; xs : float array; n : float }
+
+let cadence_of_plan ~(problem : Optimizer.problem) (plan : Optimizer.plan) =
+  let target =
+    Speedup.productive_time problem.Optimizer.speedup ~te:problem.Optimizer.te
+      ~n:plan.Optimizer.n
+  in
+  {
+    taus = Array.map (fun x -> target /. x) plan.Optimizer.xs;
+    xs = plan.Optimizer.xs;
+    n = plan.Optimizer.n;
+  }
+
+let xs_for cadence ~speedup ~remaining =
+  let target = Speedup.productive_time speedup ~te:remaining ~n:cadence.n in
+  Array.map (fun tau -> Float.max 1. (target /. tau)) cadence.taus
+
+type pstate = P_static | P_adaptive of Controller.state | P_oracle of { switched : bool }
+
+let epoch_seed seed epoch = (seed * 1_000_003) + (epoch * 7919) + 17
+
+let run ?(seed = 0) s policy =
+  let { problem; true_spec; shifted_spec; shift_at; review_every; semantics; max_epochs } = s in
+  let speedup = problem.Optimizer.speedup in
+  let initial = function
+    | Static -> (P_static, cadence_of_plan ~problem (Optimizer.ml_opt_scale problem))
+    | Adaptive config ->
+        let ctrl = Controller.init config in
+        (P_adaptive ctrl, cadence_of_plan ~problem (Controller.plan ctrl))
+    | Oracle ->
+        let known = { problem with Optimizer.spec = true_spec } in
+        (P_oracle { switched = false }, cadence_of_plan ~problem (Optimizer.ml_opt_scale known))
+  in
+  let pstate, cadence = initial policy in
+  let eps = 1e-9 *. problem.Optimizer.te in
+  let rec loop ~clock ~remaining ~epoch ~pstate ~cadence ~epochs ~telemetry_rev =
+    if remaining <= eps || epoch >= max_epochs then
+      let replans =
+        match pstate with
+        | P_static -> 0
+        | P_adaptive ctrl -> Controller.replans ctrl
+        | P_oracle { switched } -> if switched then 1 else 0
+      in
+      {
+        policy = policy_name policy;
+        wall_clock = clock;
+        completed = remaining <= eps;
+        epochs = List.rev epochs;
+        replans;
+        telemetry = List.rev telemetry_rev;
+        final_xs = cadence.xs;
+        final_n = cadence.n;
+      }
+    else
+      let pre_shift = clock < shift_at in
+      let spec_true = if pre_shift then true_spec else shifted_spec in
+      let horizon =
+        if pre_shift && shift_at -. clock < review_every then shift_at -. clock else review_every
+      in
+      let xs = xs_for cadence ~speedup ~remaining in
+      let config =
+        Run_config.v ~semantics ~max_wall_clock:horizon ~te:remaining ~speedup
+          ~levels:problem.Optimizer.levels ~alloc:problem.Optimizer.alloc ~spec:spec_true ~xs
+          ~n:cadence.n ()
+      in
+      let events, outcome = Telemetry.of_run ~seed:(epoch_seed seed epoch) config in
+      let events = List.map (Telemetry.shift ~by:clock) events in
+      let ran_n = cadence.n in
+      let clock = clock +. outcome.Outcome.wall_clock in
+      let remaining =
+        if outcome.Outcome.completed then 0.
+        else
+          Float.max 0.
+            (remaining -. (outcome.Outcome.productive *. Speedup.eval speedup cadence.n))
+      in
+      let pstate, cadence, replanned =
+        match pstate with
+        | P_static -> (pstate, cadence, false)
+        | P_adaptive ctrl ->
+            let ctrl, actions = Controller.step_all ctrl events in
+            let replanned = actions <> [] in
+            let cadence =
+              if replanned then cadence_of_plan ~problem (Controller.plan ctrl) else cadence
+            in
+            (P_adaptive ctrl, cadence, replanned)
+        | P_oracle { switched } ->
+            if (not switched) && clock >= shift_at then
+              let shifted_problem = { problem with Optimizer.spec = shifted_spec } in
+              ( P_oracle { switched = true },
+                cadence_of_plan ~problem (Optimizer.ml_opt_scale shifted_problem),
+                true )
+            else (pstate, cadence, false)
+      in
+      let log =
+        {
+          started_at = clock -. outcome.Outcome.wall_clock;
+          n = ran_n;
+          wall = outcome.Outcome.wall_clock;
+          productive = outcome.Outcome.productive;
+          failures = Outcome.total_failures outcome;
+          replanned;
+        }
+      in
+      loop ~clock ~remaining ~epoch:(epoch + 1) ~pstate ~cadence ~epochs:(log :: epochs)
+        ~telemetry_rev:(List.rev_append events telemetry_rev)
+  in
+  loop ~clock:0. ~remaining:problem.Optimizer.te ~epoch:0 ~pstate ~cadence ~epochs:[]
+    ~telemetry_rev:[]
+
+let regret result ~oracle =
+  if oracle.wall_clock <= 0. then 0.
+  else (result.wall_clock -. oracle.wall_clock) /. oracle.wall_clock

@@ -1,0 +1,87 @@
+(** End-to-end harness: a simulated execution with a rate shift, played
+    against static, adaptive, and oracle planning policies.
+
+    The engine cannot change plans mid-run, so the harness runs the
+    workload in {e epochs} of at most [review_every] wall-clock seconds:
+    each epoch simulates the remaining work under the policy's current
+    plan and the {e true} (possibly shifted) failure rates, appends the
+    epoch's telemetry to a global-time stream, and lets the policy react
+    before the next epoch.  Failure inter-arrivals are exponential
+    (memoryless), so restarting the arrival processes at epoch boundaries
+    is distributionally exact.
+
+    When a policy replans, the new plan's checkpoint {e interval lengths}
+    are preserved: the remaining work's interval counts are re-derived as
+    [remaining_target / tau_i] (clamped to [>= 1]), so a plan keeps its
+    cadence regardless of how much work is left.
+
+    The three policies:
+    - [Static] — the plan fitted to the believed (initial) rates, never
+      revised;
+    - [Adaptive of config] — a {!Controller} fed the telemetry stream;
+    - [Oracle] — knows the true rates, including the shift, and switches
+      to the post-shift optimum at the first epoch boundary after
+      [shift_at]; the regret baseline. *)
+
+type scenario = {
+  problem : Ckpt_model.Optimizer.problem;
+      (** the believed problem; its [spec] is the prior the static plan
+          and the adaptive controller start from *)
+  true_spec : Ckpt_failures.Failure_spec.t;  (** rates actually driving failures *)
+  shifted_spec : Ckpt_failures.Failure_spec.t;  (** rates after [shift_at] *)
+  shift_at : float;  (** wall-clock seconds; [infinity] = no shift *)
+  review_every : float;  (** epoch horizon, wall-clock seconds *)
+  semantics : Ckpt_sim.Run_config.semantics;
+  max_epochs : int;
+}
+
+val scenario :
+  ?semantics:Ckpt_sim.Run_config.semantics ->
+  ?max_epochs:int ->
+  ?shift_at:float ->
+  ?shifted_spec:Ckpt_failures.Failure_spec.t ->
+  review_every:float ->
+  true_spec:Ckpt_failures.Failure_spec.t ->
+  Ckpt_model.Optimizer.problem ->
+  scenario
+(** [shifted_spec] defaults to [true_spec] (no drift), [shift_at] to
+    [infinity], [semantics] to {!Ckpt_sim.Run_config.paper_semantics},
+    [max_epochs] to [10_000]. *)
+
+val demo_scenario : ?baseline_scale:float -> unit -> scenario
+(** The scenario the bundled example, tests, and committed session log
+    share: a 100k-core-scale Fusion-hierarchy problem believed to fail at
+    ["4-3-2-1"] per day whose PFS-level rate shifts 24x early in the
+    run. *)
+
+type policy = Static | Adaptive of Controller.config | Oracle
+
+val policy_name : policy -> string
+
+type epoch_log = {
+  started_at : float;
+  n : float;
+  wall : float;
+  productive : float;  (** parallel first-time seconds this epoch *)
+  failures : int;
+  replanned : bool;  (** the policy changed plans {e after} this epoch *)
+}
+
+type result = {
+  policy : string;
+  wall_clock : float;
+  completed : bool;  (** [false] when [max_epochs] ran out *)
+  epochs : epoch_log list;  (** in execution order *)
+  replans : int;
+  telemetry : Telemetry.event list;  (** global-time, spliced across epochs *)
+  final_xs : float array;
+  final_n : float;
+}
+
+val run : ?seed:int -> scenario -> policy -> result
+(** Deterministic for equal [(seed, scenario, policy)]; policies compared
+    under the same seed share per-epoch seed streams. *)
+
+val regret : result -> oracle:result -> float
+(** Relative excess wall-clock over the oracle's,
+    [(wall - oracle) / oracle]. *)

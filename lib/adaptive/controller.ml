@@ -1,0 +1,178 @@
+module Optimizer = Ckpt_model.Optimizer
+module Spec = Ckpt_failures.Failure_spec
+
+type config = {
+  problem : Optimizer.problem;
+  fixed_n : float option;
+  delta : float;
+  min_failures : int;
+  improvement_threshold : float;
+  cooldown : float;
+  drift_ratio : float;
+  drift_threshold : float;
+  drift_forget : float;
+  half_life : float option;
+  prior_strength : float;
+  cost_min_samples : int;
+}
+
+let default_config problem =
+  {
+    problem;
+    fixed_n = None;
+    delta = 1e-9;
+    min_failures = 8;
+    improvement_threshold = 0.02;
+    cooldown = 0.;
+    drift_ratio = 2.;
+    drift_threshold = 6.;
+    drift_forget = 0.15;
+    half_life = None;
+    prior_strength = 0.;
+    cost_min_samples = 3;
+  }
+
+type state = {
+  config : config;
+  rates : Rate_estimator.t;
+  costs : Cost_estimator.t;
+  drift : Drift.t;
+  plan : Optimizer.plan;
+  fitted : Optimizer.problem;
+  last_eval_at : float;
+  last_failure_exposure : float;  (* raw core-seconds at the previous failure *)
+  replans : int;
+  evaluations : int;
+}
+
+type action =
+  | No_op
+  | Replanned of {
+      plan : Optimizer.plan;
+      problem : Optimizer.problem;
+      improvement : float;
+      drift : bool;
+    }
+
+let solve config problem =
+  match config.fixed_n with
+  | None -> Optimizer.solve ~delta:config.delta problem
+  | Some n -> Optimizer.solve ~delta:config.delta ~fixed_n:n problem
+
+let init config =
+  Optimizer.check_problem config.problem;
+  if config.min_failures < 1 then invalid_arg "Controller.init: min_failures < 1";
+  if config.improvement_threshold < 0. then
+    invalid_arg "Controller.init: negative improvement_threshold";
+  if config.cooldown < 0. then invalid_arg "Controller.init: negative cooldown";
+  if config.drift_forget < 0. || config.drift_forget > 1. then
+    invalid_arg "Controller.init: drift_forget outside [0, 1]";
+  let levels = Array.length config.problem.Optimizer.levels in
+  let plan = solve config config.problem in
+  {
+    config;
+    rates = Rate_estimator.create ?half_life:config.half_life ~levels ();
+    costs = Cost_estimator.create ~levels ();
+    drift =
+      Drift.create ~ratio:config.drift_ratio ~threshold:config.drift_threshold
+        ~rate:(Spec.total_rate_per_second' config.problem.Optimizer.spec)
+        ();
+    plan;
+    fitted = config.problem;
+    last_eval_at = neg_infinity;
+    last_failure_exposure = 0.;
+    replans = 0;
+    evaluations = 0;
+  }
+
+let estimates state =
+  {
+    state.config.problem with
+    Optimizer.spec =
+      Rate_estimator.to_spec ~prior_strength:state.config.prior_strength state.rates
+        ~like:state.config.problem.Optimizer.spec;
+    levels =
+      Cost_estimator.calibrated_levels ~min_samples:state.config.cost_min_samples state.costs
+        ~prior:state.config.problem.Optimizer.levels;
+  }
+
+(* Re-anchor the detector at the fitted total rate so it tests for the
+   *next* shift, not the one just absorbed. *)
+let reset_drift state candidate =
+  let rate = Spec.total_rate_per_second' candidate.Optimizer.spec in
+  let rate =
+    if rate > 0. then rate else Spec.total_rate_per_second' state.config.problem.Optimizer.spec
+  in
+  Drift.reset state.drift ~rate
+
+let evaluate state ~at ~alarm =
+  let state = if alarm then { state with rates = Rate_estimator.forget state.rates ~keep:state.config.drift_forget } else state in
+  let candidate = estimates state in
+  let cand_plan = solve state.config candidate in
+  let pinned =
+    Predict.wall_clock candidate ~xs:state.plan.Optimizer.xs ~n:state.plan.Optimizer.n
+  in
+  let improvement =
+    if Float.is_finite pinned && pinned > 0. then
+      (pinned -. cand_plan.Optimizer.wall_clock) /. pinned
+    else if Float.is_finite cand_plan.Optimizer.wall_clock then 1.
+    else 0.
+  in
+  let state =
+    {
+      state with
+      drift = reset_drift state candidate;
+      last_eval_at = at;
+      evaluations = state.evaluations + 1;
+    }
+  in
+  if improvement > state.config.improvement_threshold then
+    ( { state with plan = cand_plan; fitted = candidate; replans = state.replans + 1 },
+      Replanned { plan = cand_plan; problem = candidate; improvement; drift = alarm } )
+  else (state, No_op)
+
+let step state event =
+  let rates = Rate_estimator.observe state.rates event in
+  let costs = Cost_estimator.observe state.costs event in
+  let state = { state with rates; costs } in
+  let state =
+    match event with
+    | Telemetry.Failure _ ->
+        let exposure = Rate_estimator.exposure rates in
+        let inter = exposure -. state.last_failure_exposure in
+        {
+          state with
+          drift = Drift.observe state.drift inter;
+          last_failure_exposure = exposure;
+        }
+    | _ -> state
+  in
+  let eligible =
+    match event with Telemetry.Failure _ | Telemetry.Run_end _ -> true | _ -> false
+  in
+  if not eligible then (state, No_op)
+  else if Rate_estimator.total_count state.rates < state.config.min_failures then (state, No_op)
+  else
+    let at = Telemetry.at event in
+    let alarm = Drift.alarmed state.drift in
+    if alarm || at -. state.last_eval_at >= state.config.cooldown then
+      evaluate state ~at ~alarm
+    else (state, No_op)
+
+let step_all state events =
+  let state, actions =
+    List.fold_left
+      (fun (state, actions) event ->
+        let state, action = step state event in
+        match action with No_op -> (state, actions) | a -> (state, a :: actions))
+      (state, []) events
+  in
+  (state, List.rev actions)
+
+let plan state = state.plan
+let fitted_problem state = state.fitted
+let rates state = state.rates
+let costs state = state.costs
+let drift state = state.drift
+let replans state = state.replans
+let evaluations state = state.evaluations

@@ -1,0 +1,80 @@
+(** Closed-loop re-planning policy with hysteresis.
+
+    The controller folds telemetry into its estimators and decides, event
+    by event, whether to re-run the paper's Algorithm 1 under the fitted
+    parameters.  Re-planning is gated three ways:
+
+    - {e evidence}: no evaluation before [min_failures] failures have
+      been observed (the estimates are noise before that);
+    - {e cadence}: evaluations happen on failures (and run ends) at most
+      once per [cooldown] telemetry seconds — unless the {!Drift}
+      detector alarms, which forces one and discounts the rate history
+      ({!Rate_estimator.forget}) so the estimates re-converge quickly;
+    - {e hysteresis}: the candidate plan replaces the current one only
+      when its predicted [E(T_w)] beats the current plan's — both
+      evaluated under the {e new} estimates, the pinned plan via
+      {!Predict.wall_clock} — by more than [improvement_threshold]
+      (relative).  Oscillating between near-equivalent plans would churn
+      checkpoint cadences for nothing.
+
+    {!step} is pure: it returns the successor state and the action taken,
+    so callers can replay, fork, or test the policy deterministically. *)
+
+type config = {
+  problem : Ckpt_model.Optimizer.problem;  (** prior belief; also the replan template *)
+  fixed_n : float option;  (** pin the scale in replans; [None] re-optimizes it *)
+  delta : float;  (** Algorithm-1 outer tolerance for replan solves *)
+  min_failures : int;
+  improvement_threshold : float;  (** relative [E(T_w)] gain required to switch *)
+  cooldown : float;  (** telemetry seconds between evaluations *)
+  drift_ratio : float;
+  drift_threshold : float;
+  drift_forget : float;  (** weight kept by the rate history on a drift alarm *)
+  half_life : float option;  (** EWMA half-life (core-seconds) for rate estimates *)
+  prior_strength : float;  (** pseudo-exposure (core-seconds) shrinking rates to the prior *)
+  cost_min_samples : int;
+}
+
+val default_config : Ckpt_model.Optimizer.problem -> config
+(** [min_failures = 8], [improvement_threshold = 0.02], [cooldown = 0.],
+    drift ratio [2.] / threshold [6.] / forget [0.15], no EWMA decay, no
+    prior shrinkage, [cost_min_samples = 3], [delta = 1e-9],
+    [fixed_n = None]. *)
+
+type state
+
+type action =
+  | No_op
+  | Replanned of {
+      plan : Ckpt_model.Optimizer.plan;
+      problem : Ckpt_model.Optimizer.problem;  (** the fitted problem it solves *)
+      improvement : float;  (** predicted relative [E(T_w)] gain *)
+      drift : bool;  (** the evaluation was forced by a drift alarm *)
+    }
+
+val init : config -> state
+(** Solves the prior problem for the initial plan.
+    @raise Invalid_argument on invalid configuration. *)
+
+val step : state -> Telemetry.event -> state * action
+
+val step_all : state -> Telemetry.event list -> state * action list
+(** Convenience fold; actions are returned in event order, [No_op]s
+    omitted. *)
+
+val plan : state -> Ckpt_model.Optimizer.plan
+(** The currently active plan. *)
+
+val fitted_problem : state -> Ckpt_model.Optimizer.problem
+(** The problem the active plan was solved against (the prior until the
+    first replan). *)
+
+val estimates : state -> Ckpt_model.Optimizer.problem
+(** The problem the controller would solve if it evaluated now: prior
+    template with telemetry-fitted spec and calibrated levels. *)
+
+val rates : state -> Rate_estimator.t
+val costs : state -> Cost_estimator.t
+val drift : state -> Drift.t
+val replans : state -> int
+val evaluations : state -> int

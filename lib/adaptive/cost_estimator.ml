@@ -1,0 +1,82 @@
+module Level = Ckpt_model.Level
+module Overhead = Ckpt_model.Overhead
+
+(* One Welford accumulator plus the mean observed scale. *)
+type series = { n : int; mean : float; m2 : float; scale_sum : float }
+
+let empty_series = { n = 0; mean = nan; m2 = 0.; scale_sum = 0. }
+
+let add_sample s x ~scale =
+  if s.n = 0 then { n = 1; mean = x; m2 = 0.; scale_sum = scale }
+  else
+    let n = s.n + 1 in
+    let delta = x -. s.mean in
+    let mean = s.mean +. (delta /. float_of_int n) in
+    let m2 = s.m2 +. (delta *. (x -. mean)) in
+    { n; mean; m2; scale_sum = s.scale_sum +. scale }
+
+let series_variance s = if s.n < 2 then nan else s.m2 /. float_of_int (s.n - 1)
+let series_mean_scale s = if s.n = 0 then nan else s.scale_sum /. float_of_int s.n
+
+type t = { scale : float; ckpt : series array; restart : series array }
+
+let create ?(scale = 1.) ~levels () =
+  if levels <= 0 then invalid_arg "Cost_estimator.create: levels must be positive";
+  if scale <= 0. then invalid_arg "Cost_estimator.create: non-positive scale";
+  { scale; ckpt = Array.make levels empty_series; restart = Array.make levels empty_series }
+
+let levels t = Array.length t.ckpt
+
+let check_level t level =
+  if level < 1 || level > levels t then
+    invalid_arg (Printf.sprintf "Cost_estimator: level %d out of range 1..%d" level (levels t))
+
+let add t which level duration =
+  check_level t level;
+  let arr = Array.copy which in
+  arr.(level - 1) <- add_sample arr.(level - 1) duration ~scale:t.scale;
+  arr
+
+let observe t = function
+  | Telemetry.Run_start { scale; _ } -> if scale > 0. then { t with scale } else t
+  | Telemetry.Ckpt { level; duration; _ } -> { t with ckpt = add t t.ckpt level duration }
+  | Telemetry.Restart { level; duration; _ } -> { t with restart = add t t.restart level duration }
+  | Telemetry.Compute _ | Telemetry.Failure _ | Telemetry.Run_end _ -> t
+
+let observe_all t events = List.fold_left observe t events
+
+let ckpt_count t ~level = check_level t level; t.ckpt.(level - 1).n
+let ckpt_mean t ~level = check_level t level; t.ckpt.(level - 1).mean
+let ckpt_variance t ~level = check_level t level; series_variance t.ckpt.(level - 1)
+let restart_count t ~level = check_level t level; t.restart.(level - 1).n
+let restart_mean t ~level = check_level t level; t.restart.(level - 1).mean
+let restart_variance t ~level = check_level t level; series_variance t.restart.(level - 1)
+
+let calibrate ~min_samples series law =
+  if series.n < min_samples then law
+  else
+    let at = series_mean_scale series in
+    let prior = Overhead.cost law at in
+    if prior <= 0. then law else Overhead.scaled law (series.mean /. prior)
+
+let calibrated_levels ?(min_samples = 3) t ~prior =
+  if min_samples < 1 then invalid_arg "Cost_estimator.calibrated_levels: min_samples < 1";
+  if Array.length prior <> levels t then
+    invalid_arg "Cost_estimator.calibrated_levels: level-count mismatch";
+  Array.mapi
+    (fun i level ->
+      {
+        level with
+        Level.ckpt = calibrate ~min_samples t.ckpt.(i) level.Level.ckpt;
+        Level.restart = calibrate ~min_samples t.restart.(i) level.Level.restart;
+      })
+    prior
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  for level = 1 to levels t do
+    let c = t.ckpt.(level - 1) and r = t.restart.(level - 1) in
+    Format.fprintf ppf "level %d: ckpt %d obs mean %.3f s; restart %d obs mean %.3f s@," level c.n
+      c.mean r.n r.mean
+  done;
+  Format.fprintf ppf "@]"

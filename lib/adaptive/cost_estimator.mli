@@ -1,0 +1,46 @@
+(** Online estimation of per-level checkpoint/restart costs.
+
+    Welford's algorithm keeps a numerically stable running mean and
+    variance of the observed (jittered) durations of completed checkpoint
+    writes and recovery reads, per level, together with the mean scale
+    they were observed at.  {!calibrated_levels} folds the evidence back
+    into the model: each prior overhead law [C_i(N) = eps_i + alpha_i H(N)]
+    (paper Eq. 19/20) is rescaled multiplicatively so that it reproduces
+    the observed mean cost at the mean observed scale — preserving the
+    law's shape in [N], which the optimizer's scale search relies on.
+
+    Values are immutable; {!observe} returns a new estimator. *)
+
+type t
+
+val create : ?scale:float -> levels:int -> unit -> t
+(** [scale] (default [1.]) is assumed until a [Run_start] announces the
+    real execution scale. *)
+
+val levels : t -> int
+
+val observe : t -> Telemetry.event -> t
+(** Ingest [Ckpt] and [Restart] durations (tagged with the current scale);
+    [Run_start] updates the scale; other events are ignored. *)
+
+val observe_all : t -> Telemetry.event list -> t
+
+val ckpt_count : t -> level:int -> int
+val ckpt_mean : t -> level:int -> float
+(** [nan] while no sample has been seen. *)
+
+val ckpt_variance : t -> level:int -> float
+(** Unbiased sample variance; [nan] with fewer than two samples. *)
+
+val restart_count : t -> level:int -> int
+val restart_mean : t -> level:int -> float
+val restart_variance : t -> level:int -> float
+
+val calibrated_levels :
+  ?min_samples:int -> t -> prior:Ckpt_model.Level.t array -> Ckpt_model.Level.t array
+(** Rescale each prior law by [observed mean / prior cost at the mean
+    observed scale].  A law with fewer than [min_samples] (default [3])
+    observations — or a prior cost that is not positive at that scale —
+    is returned unchanged. *)
+
+val pp : Format.formatter -> t -> unit

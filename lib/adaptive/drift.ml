@@ -1,0 +1,35 @@
+type t = {
+  rate : float;
+  ratio : float;
+  threshold : float;
+  up : float;
+  down : float;
+  alarmed : bool;
+}
+
+let create ?(ratio = 2.) ?(threshold = 6.) ~rate () =
+  if rate <= 0. then invalid_arg "Drift.create: non-positive rate";
+  if ratio <= 1. then invalid_arg "Drift.create: ratio must exceed 1";
+  if threshold <= 0. then invalid_arg "Drift.create: non-positive threshold";
+  { rate; ratio; threshold; up = 0.; down = 0.; alarmed = false }
+
+let llr ~lambda0 ~lambda1 x = Float.log (lambda1 /. lambda0) -. ((lambda1 -. lambda0) *. x)
+
+let observe t x =
+  let x = Float.max 0. x in
+  let up = Float.max 0. (t.up +. llr ~lambda0:t.rate ~lambda1:(t.rate *. t.ratio) x) in
+  let down = Float.max 0. (t.down +. llr ~lambda0:t.rate ~lambda1:(t.rate /. t.ratio) x) in
+  let alarmed = t.alarmed || up >= t.threshold || down >= t.threshold in
+  { t with up; down; alarmed }
+
+let alarmed t = t.alarmed
+let statistics t = (t.up, t.down)
+
+let reset t ~rate =
+  if rate <= 0. then invalid_arg "Drift.reset: non-positive rate";
+  { t with rate; up = 0.; down = 0.; alarmed = false }
+
+let pp ppf t =
+  Format.fprintf ppf "cusum up %.2f down %.2f / %.2f%s (rate %.3e)" t.up t.down t.threshold
+    (if t.alarmed then " ALARM" else "")
+    t.rate

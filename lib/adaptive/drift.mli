@@ -1,0 +1,39 @@
+(** Change-point detection on failure inter-arrival times.
+
+    A two-sided CUSUM of the exponential log-likelihood ratio: under the
+    fitted (null) rate [lambda0], each observed inter-arrival [x]
+    contributes [log(lambda1/lambda0) - (lambda1 - lambda0) x] to a
+    one-sided statistic, with [lambda1 = ratio * lambda0] testing for a
+    rate increase and [lambda1 = lambda0 / ratio] for a decrease.  The
+    statistics are clamped at zero (Page's test) and an alarm raises —
+    stickily, until {!reset} — when either crosses [threshold].
+
+    Inter-arrivals are measured in {e core-seconds of exposure} so the
+    test is invariant to the execution scale; [rate] is per core-second
+    (e.g. {!Ckpt_failures.Failure_spec.total_rate_per_second'}).
+
+    The defaults ([ratio = 2.], [threshold = 6.]) alarm after roughly ten
+    inter-arrivals of a 10x rate shift while keeping the in-control mean
+    time between false alarms at several hundred events. *)
+
+type t
+
+val create : ?ratio:float -> ?threshold:float -> rate:float -> unit -> t
+(** @raise Invalid_argument when [rate <= 0], [ratio <= 1] or
+    [threshold <= 0]. *)
+
+val observe : t -> float -> t
+(** Feed one inter-arrival (core-seconds; negative values are clamped to
+    [0.]). *)
+
+val alarmed : t -> bool
+
+val statistics : t -> float * float
+(** Current (up, down) CUSUM statistics. *)
+
+val reset : t -> rate:float -> t
+(** Clear the statistics and the alarm, re-anchoring the null rate —
+    called after every re-planning evaluation so the test tracks the
+    current estimate. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+module Optimizer = Ckpt_model.Optimizer
+module Multilevel = Ckpt_model.Multilevel
+module Scale_fn = Ckpt_model.Scale_fn
+module Spec = Ckpt_failures.Failure_spec
+
+let wall_clock ?(tol = 1e-9) ?(max_iter = 200) (problem : Optimizer.problem) ~xs ~n =
+  Optimizer.check_problem problem;
+  if Array.length xs <> Array.length problem.Optimizer.levels then
+    invalid_arg "Predict.wall_clock: xs length differs from the hierarchy's";
+  if n < 1. then invalid_arg "Predict.wall_clock: n < 1";
+  let params_at t =
+    {
+      Multilevel.te = problem.Optimizer.te;
+      speedup = problem.Optimizer.speedup;
+      levels = problem.Optimizer.levels;
+      alloc = problem.Optimizer.alloc;
+      mus =
+        Array.init (Array.length problem.Optimizer.levels) (fun i ->
+            let level = i + 1 in
+            {
+              Scale_fn.f =
+                (fun scale -> Spec.rate_per_second problem.Optimizer.spec ~level ~scale *. t);
+              f' = (fun _ -> Spec.rate_per_second' problem.Optimizer.spec ~level *. t);
+            });
+    }
+  in
+  let t0 =
+    Ckpt_model.Speedup.productive_time problem.Optimizer.speedup ~te:problem.Optimizer.te ~n
+  in
+  let horizon = 1e6 *. t0 in
+  let rec iterate t k =
+    let t' = Multilevel.expected_wall_clock (params_at t) ~xs ~n in
+    if not (Float.is_finite t') || t' > horizon then infinity
+    else if Float.abs (t' -. t) <= tol *. Float.max 1. t' then t'
+    else if k >= max_iter then t'
+    else iterate t' (k + 1)
+  in
+  iterate t0 0

@@ -1,0 +1,22 @@
+(** Expected wall-clock of a {e pinned} plan under a problem's rates.
+
+    Hysteresis needs a fair comparison: "what would the current plan's
+    [(x_i, N)] cost if the re-estimated rates are the truth?"
+    {!Ckpt_model.Optimizer.solve} cannot answer that — it re-optimizes
+    the intervals.  This module instead runs only the self-consistency
+    loop: starting from the failure-free time, it iterates
+    [mu_i = lambda_i(N) * T] into Eq. (21) with the intervals and scale
+    held fixed until [T] converges (the same circle Algorithm 1's outer
+    loop closes, without the inner optimization). *)
+
+val wall_clock :
+  ?tol:float ->
+  ?max_iter:int ->
+  Ckpt_model.Optimizer.problem ->
+  xs:float array ->
+  n:float ->
+  float
+(** Self-consistent [E(T_w)] of the fixed plan.  [tol] (default [1e-9])
+    is relative; [max_iter] defaults to [200].  Returns [infinity] when
+    the iteration diverges — the plan cannot sustain the rates.
+    @raise Invalid_argument on mismatched [xs] length or [n < 1]. *)

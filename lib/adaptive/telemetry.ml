@@ -1,0 +1,125 @@
+module Json = Ckpt_json.Json
+
+type event =
+  | Run_start of { at : float; scale : float; levels : int }
+  | Compute of { at : float; duration : float; productive : float }
+  | Ckpt of { at : float; level : int; duration : float }
+  | Restart of { at : float; level : int; duration : float }
+  | Failure of { at : float; level : int }
+  | Run_end of { at : float; completed : bool }
+
+let at = function
+  | Run_start { at; _ }
+  | Compute { at; _ }
+  | Ckpt { at; _ }
+  | Restart { at; _ }
+  | Failure { at; _ }
+  | Run_end { at; _ } ->
+      at
+
+let shift event ~by =
+  match event with
+  | Run_start r -> Run_start { r with at = r.at +. by }
+  | Compute r -> Compute { r with at = r.at +. by }
+  | Ckpt r -> Ckpt { r with at = r.at +. by }
+  | Restart r -> Restart { r with at = r.at +. by }
+  | Failure r -> Failure { r with at = r.at +. by }
+  | Run_end r -> Run_end { r with at = r.at +. by }
+
+let to_json event =
+  let obj kind fields = Json.Obj (("t", Json.Number (at event)) :: ("ev", Json.String kind) :: fields) in
+  match event with
+  | Run_start { scale; levels; _ } ->
+      obj "start" [ ("scale", Json.Number scale); ("levels", Json.Number (float_of_int levels)) ]
+  | Compute { duration; productive; _ } ->
+      obj "compute" [ ("dur", Json.Number duration); ("productive", Json.Number productive) ]
+  | Ckpt { level; duration; _ } ->
+      obj "ckpt" [ ("level", Json.Number (float_of_int level)); ("dur", Json.Number duration) ]
+  | Restart { level; duration; _ } ->
+      obj "restart" [ ("level", Json.Number (float_of_int level)); ("dur", Json.Number duration) ]
+  | Failure { level; _ } -> obj "failure" [ ("level", Json.Number (float_of_int level)) ]
+  | Run_end { completed; _ } -> obj "end" [ ("completed", Json.Bool completed) ]
+
+let ( let* ) = Result.bind
+
+let field name conv json =
+  match Option.bind (Json.member name json) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or invalid field %S" name)
+
+let of_json json =
+  let* t = field "t" Json.to_float json in
+  let* kind = field "ev" Json.to_str json in
+  match kind with
+  | "start" ->
+      let* scale = field "scale" Json.to_float json in
+      let* levels = field "levels" Json.to_int json in
+      Ok (Run_start { at = t; scale; levels })
+  | "compute" ->
+      let* duration = field "dur" Json.to_float json in
+      let* productive = field "productive" Json.to_float json in
+      Ok (Compute { at = t; duration; productive })
+  | "ckpt" ->
+      let* level = field "level" Json.to_int json in
+      let* duration = field "dur" Json.to_float json in
+      Ok (Ckpt { at = t; level; duration })
+  | "restart" ->
+      let* level = field "level" Json.to_int json in
+      let* duration = field "dur" Json.to_float json in
+      Ok (Restart { at = t; level; duration })
+  | "failure" ->
+      let* level = field "level" Json.to_int json in
+      Ok (Failure { at = t; level })
+  | "end" ->
+      let* completed = field "completed" Json.to_bool json in
+      Ok (Run_end { at = t; completed })
+  | other -> Error (Printf.sprintf "unknown event kind %S" other)
+
+let to_line event = Json.to_string (to_json event)
+
+let of_line line =
+  let* json = Json.parse_result line in
+  of_json json
+
+let read_lines lines =
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        if String.trim line = "" then go acc (lineno + 1) rest
+        else (
+          match of_line line with
+          | Ok event -> go (event :: acc) (lineno + 1) rest
+          | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  go [] 1 lines
+
+let of_run ?semantics ~seed config =
+  let config =
+    match semantics with
+    | None -> config
+    | Some semantics -> { config with Ckpt_sim.Run_config.semantics }
+  in
+  let events = ref [] in
+  let push e = events := e :: !events in
+  let probe : Ckpt_sim.Probe.t = function
+    | Ckpt_sim.Probe.Segment { at; duration; productive } ->
+        push (Compute { at; duration; productive })
+    | Ckpt_sim.Probe.Ckpt { at; level; duration; first = _ } ->
+        push (Ckpt { at; level; duration })
+    | Ckpt_sim.Probe.Failure { at; level } -> push (Failure { at; level })
+    | Ckpt_sim.Probe.Recovery { at; level; alloc = _; duration } ->
+        push (Restart { at; level; duration })
+    | Ckpt_sim.Probe.Ckpt_aborted _ | Ckpt_sim.Probe.Recovery_aborted _ ->
+        (* censored: a real log only records completed operations *)
+        ()
+    | Ckpt_sim.Probe.End { at; completed } -> push (Run_end { at; completed })
+  in
+  let outcome = Ckpt_sim.Engine.run ~probe ~seed config in
+  let start =
+    Run_start
+      { at = 0.; scale = config.Ckpt_sim.Run_config.n;
+        levels = Array.length config.Ckpt_sim.Run_config.levels }
+  in
+  (start :: List.rev !events, outcome)
+
+let pp ppf event = Format.pp_print_string ppf (to_line event)

@@ -1,0 +1,60 @@
+(** Execution telemetry: the event stream the adaptive layer consumes.
+
+    A telemetry log is what a resilience runtime (FTI, SCR, ...) would
+    record during a real run: computation segments, checkpoint writes,
+    failures, restarts.  Here the stream either comes from the simulator
+    (via {!of_run}, which taps {!Ckpt_sim.Engine}'s probe hook) or from a
+    JSON-lines file (one {!event} per line, see {!of_line}).
+
+    Timestamps [at] are wall-clock seconds from an arbitrary origin;
+    durations are wall-clock seconds.  Events concerning a checkpoint
+    level use 1-based level indices, cheapest level first. *)
+
+type event =
+  | Run_start of { at : float; scale : float; levels : int }
+      (** a (segment of an) execution begins on [scale] cores with
+          [levels] checkpoint levels; estimators read the scale from here,
+          so exposure accrued before any [Run_start] is counted at the
+          estimator's default scale *)
+  | Compute of { at : float; duration : float; productive : float }
+      (** uninterrupted computation; [productive <= duration] is first-time
+          progress, the rest re-executed rollback work *)
+  | Ckpt of { at : float; level : int; duration : float }
+  | Restart of { at : float; level : int; duration : float }
+      (** a completed recovery read; [duration] excludes re-allocation *)
+  | Failure of { at : float; level : int }
+  | Run_end of { at : float; completed : bool }
+
+val at : event -> float
+(** The event's timestamp. *)
+
+val shift : event -> by:float -> event
+(** Translate the event's timestamp — used to splice per-epoch simulator
+    logs into one global-time stream. *)
+
+val to_json : event -> Ckpt_json.Json.t
+val of_json : Ckpt_json.Json.t -> (event, string) result
+
+val to_line : event -> string
+(** One compact JSON object, no trailing newline:
+    [{"t":12.5,"ev":"failure","level":2}]. *)
+
+val of_line : string -> (event, string) result
+
+val read_lines : string list -> (event list, string) result
+(** Decode a JSON-lines log; blank lines are skipped and errors carry the
+    offending 1-based line number. *)
+
+val of_run :
+  ?semantics:Ckpt_sim.Run_config.semantics ->
+  seed:int ->
+  Ckpt_sim.Run_config.t ->
+  event list * Ckpt_sim.Outcome.t
+(** Simulate one execution and return its telemetry (with a [Run_start]
+    at time 0 and the terminating [Run_end]) alongside the outcome.
+    Aborted checkpoint writes and interrupted recoveries are {e not}
+    reported — a real log only shows completed operations, so cost
+    estimators never see censored durations.  [semantics] overrides the
+    config's semantics when given. *)
+
+val pp : Format.formatter -> event -> unit

@@ -19,6 +19,10 @@ let custom ~eps ~alpha ~h ~h_name =
 let cost t n = t.eps +. (t.alpha *. t.h.Scale_fn.f n)
 let cost' t n = t.alpha *. t.h.Scale_fn.f' n
 
+let scaled t factor =
+  if factor <= 0. then invalid_arg "Overhead.scaled: non-positive factor";
+  { t with eps = t.eps *. factor; alpha = t.alpha *. factor }
+
 let law t =
   { Scale_fn.f = (fun n -> cost t n); f' = (fun n -> cost' t n) }
 

@@ -29,6 +29,12 @@ val cost : t -> float -> float
 val cost' : t -> float -> float
 (** Derivative with respect to the scale. *)
 
+val scaled : t -> float -> t
+(** [scaled t f] multiplies both coefficients by [f > 0], preserving the
+    baseline function [H] (and hence serializability).  Telemetry-driven
+    re-estimation calibrates a prior law to observed costs this way.
+    @raise Invalid_argument when [f <= 0]. *)
+
 val law : t -> Scale_fn.t
 
 val fit :

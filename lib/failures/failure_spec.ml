@@ -27,6 +27,12 @@ let to_string t =
 
 let levels t = Array.length t.rates_per_day
 
+let with_baseline t ~baseline_scale =
+  assert (baseline_scale > 0.);
+  (* lambda_i(N) is invariant: r_i / N_b stays fixed. *)
+  let factor = baseline_scale /. t.baseline_scale in
+  { rates_per_day = Array.map (fun r -> r *. factor) t.rates_per_day; baseline_scale }
+
 let rate_per_second t ~level ~scale =
   assert (level >= 1 && level <= levels t);
   assert (scale >= 0.);

@@ -26,6 +26,12 @@ val to_string : t -> string
 
 val levels : t -> int
 
+val with_baseline : t -> baseline_scale:float -> t
+(** Re-express the same rate law at another baseline scale: the per-day
+    rates are rescaled so that [rate_per_second] is unchanged at every
+    execution scale.  Used to compare specs fitted from telemetry against
+    priors quoted at a different [N_b]. *)
+
 val rate_per_second : t -> level:int -> scale:float -> float
 (** [rate_per_second t ~level ~scale] is [lambda_level(scale)] in events
     per second.  [level] is 1-based. *)

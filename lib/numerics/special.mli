@@ -15,3 +15,17 @@ val gamma : float -> float
 val factorial : int -> float
 (** [factorial n] as a float ([gamma (n + 1)] with exact small cases).
     Requires [n >= 0]. *)
+
+val gamma_p : a:float -> x:float -> float
+(** Regularized lower incomplete gamma [P(a, x)] for [a > 0] — the CDF of
+    a unit-scale gamma variate with shape [a], and of half a chi-square
+    with [2a] degrees of freedom.  Power series below [x = a + 1], Lentz
+    continued fraction above. *)
+
+val gamma_q : a:float -> x:float -> float
+(** [1 - gamma_p ~a ~x]. *)
+
+val gamma_p_inv : a:float -> p:float -> float
+(** Quantile: the [x] with [P(a, x) = p], for [p] in [\[0, 1)].  Used for
+    exact Poisson confidence bounds on observed failure counts
+    ([chi^2_q(2k) / 2 = gamma_p_inv ~a:k ~p:q]). *)

@@ -28,6 +28,7 @@ type t = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   solve_ms : Buffer.t;
+  replan_ms : Buffer.t;
   batch_ms : Buffer.t;
 }
 
@@ -42,6 +43,7 @@ let create () =
     cache_hits = 0;
     cache_misses = 0;
     solve_ms = Buffer.create ();
+    replan_ms = Buffer.create ();
     batch_ms = Buffer.create () }
 
 let locked t f =
@@ -54,7 +56,29 @@ let add_queries t n = locked t (fun () -> t.queries <- t.queries + n)
 let incr_cache_hit t = locked t (fun () -> t.cache_hits <- t.cache_hits + 1)
 let incr_cache_miss t = locked t (fun () -> t.cache_misses <- t.cache_misses + 1)
 let record_solve_ms t ms = locked t (fun () -> Buffer.add t.solve_ms ms)
+let record_replan_ms t ms = locked t (fun () -> Buffer.add t.replan_ms ms)
 let record_batch_ms t ms = locked t (fun () -> Buffer.add t.batch_ms ms)
+
+type quantiles = { p50 : float; p90 : float; p95 : float; p99 : float }
+
+let zero_quantiles = { p50 = 0.; p90 = 0.; p95 = 0.; p99 = 0. }
+
+type series = {
+  count : int;
+  summary : Stats.summary option;  (** [None] before any sample *)
+  quantiles : quantiles;
+}
+
+let series_of samples =
+  if Array.length samples = 0 then { count = 0; summary = None; quantiles = zero_quantiles }
+  else
+    { count = Array.length samples;
+      summary = Some (Stats.summarize samples);
+      quantiles =
+        { p50 = Stats.percentile samples 0.5;
+          p90 = Stats.percentile samples 0.9;
+          p95 = Stats.percentile samples 0.95;
+          p99 = Stats.percentile samples 0.99 } }
 
 type snapshot = {
   uptime_s : float;
@@ -65,20 +89,18 @@ type snapshot = {
   cache_misses : int;
   hit_rate : float;
   solves : int;
-  solve_ms : Stats.summary option;
-  solve_ms_p50 : float;
-  solve_ms_p90 : float;
-  solve_ms_p99 : float;
+  solve_ms : series;
+  replans : int;
+  replan_ms : series;
   batches : int;
-  batch_ms : Stats.summary option;
+  batch_ms : series;
 }
 
 let snapshot t =
   locked t (fun () ->
-      let solve_samples = Buffer.to_array t.solve_ms in
-      let batch_samples = Buffer.to_array t.batch_ms in
-      let summarize a = if Array.length a = 0 then None else Some (Stats.summarize a) in
-      let pct a p = if Array.length a = 0 then 0. else Stats.percentile a p in
+      let solve_ms = series_of (Buffer.to_array t.solve_ms) in
+      let replan_ms = series_of (Buffer.to_array t.replan_ms) in
+      let batch_ms = series_of (Buffer.to_array t.batch_ms) in
       let lookups = t.cache_hits + t.cache_misses in
       { uptime_s = Unix.gettimeofday () -. t.started_at;
         requests = t.requests;
@@ -87,36 +109,30 @@ let snapshot t =
         cache_hits = t.cache_hits;
         cache_misses = t.cache_misses;
         hit_rate = (if lookups = 0 then 0. else float_of_int t.cache_hits /. float_of_int lookups);
-        solves = Array.length solve_samples;
-        solve_ms = summarize solve_samples;
-        solve_ms_p50 = pct solve_samples 0.5;
-        solve_ms_p90 = pct solve_samples 0.9;
-        solve_ms_p99 = pct solve_samples 0.99;
-        batches = Array.length batch_samples;
-        batch_ms = summarize batch_samples })
+        solves = solve_ms.count;
+        solve_ms;
+        replans = replan_ms.count;
+        replan_ms;
+        batches = batch_ms.count;
+        batch_ms })
 
-let summary_json = function
+let series_json s =
+  match s.summary with
   | None -> Json.Null
-  | Some (s : Stats.summary) ->
+  | Some (sm : Stats.summary) ->
       Json.Obj
-        [ ("count", Json.Number (float_of_int s.Stats.n));
-          ("mean", Json.Number s.Stats.mean);
-          ("std", Json.Number s.Stats.std);
-          ("min", Json.Number s.Stats.min);
-          ("max", Json.Number s.Stats.max) ]
+        [ ("count", Json.Number (float_of_int sm.Stats.n));
+          ("mean", Json.Number sm.Stats.mean);
+          ("std", Json.Number sm.Stats.std);
+          ("min", Json.Number sm.Stats.min);
+          ("max", Json.Number sm.Stats.max);
+          ("p50", Json.Number s.quantiles.p50);
+          ("p90", Json.Number s.quantiles.p90);
+          ("p95", Json.Number s.quantiles.p95);
+          ("p99", Json.Number s.quantiles.p99) ]
 
 let to_json t =
   let s = snapshot t in
-  let solve =
-    match summary_json s.solve_ms with
-    | Json.Obj fields ->
-        Json.Obj
-          (fields
-          @ [ ("p50", Json.Number s.solve_ms_p50);
-              ("p90", Json.Number s.solve_ms_p90);
-              ("p99", Json.Number s.solve_ms_p99) ])
-    | other -> other
-  in
   Json.Obj
     [ ("uptime_s", Json.Number s.uptime_s);
       ("requests", Json.Number (float_of_int s.requests));
@@ -128,9 +144,19 @@ let to_json t =
            ("misses", Json.Number (float_of_int s.cache_misses));
            ("hit_rate", Json.Number s.hit_rate) ]);
       ("solves", Json.Number (float_of_int s.solves));
-      ("solve_ms", solve);
+      ("solve_ms", series_json s.solve_ms);
+      ("replans", Json.Number (float_of_int s.replans));
+      ("replan_ms", series_json s.replan_ms);
       ("batches", Json.Number (float_of_int s.batches));
-      ("batch_ms", summary_json s.batch_ms) ]
+      ("batch_ms", series_json s.batch_ms) ]
+
+let pp_series ppf name s =
+  match s.summary with
+  | None -> ()
+  | Some sm ->
+      Format.fprintf ppf "  %-10s %d: mean %.3f ms, p50 %.3f, p90 %.3f, p95 %.3f, p99 %.3f, max %.3f@,"
+        name sm.Stats.n sm.Stats.mean s.quantiles.p50 s.quantiles.p90 s.quantiles.p95
+        s.quantiles.p99 sm.Stats.max
 
 let pp ppf t =
   let s = snapshot t in
@@ -139,14 +165,8 @@ let pp ppf t =
   Format.fprintf ppf "  queries    %d@," s.queries;
   Format.fprintf ppf "  cache      %d hits / %d misses (hit rate %.1f%%)@," s.cache_hits
     s.cache_misses (100. *. s.hit_rate);
-  (match s.solve_ms with
-  | None -> Format.fprintf ppf "  solves     0@,"
-  | Some sm ->
-      Format.fprintf ppf "  solves     %d: mean %.3f ms, p50 %.3f, p90 %.3f, p99 %.3f, max %.3f@,"
-        sm.Stats.n sm.Stats.mean s.solve_ms_p50 s.solve_ms_p90 s.solve_ms_p99 sm.Stats.max);
-  (match s.batch_ms with
-  | None -> ()
-  | Some bm ->
-      Format.fprintf ppf "  batches    %d: mean %.3f ms, max %.3f ms@," bm.Stats.n bm.Stats.mean
-        bm.Stats.max);
+  (if s.solves = 0 then Format.fprintf ppf "  solves     0@,"
+   else pp_series ppf "solves" s.solve_ms);
+  pp_series ppf "replans" s.replan_ms;
+  pp_series ppf "batches" s.batch_ms;
   Format.fprintf ppf "  uptime     %.3f s@]" s.uptime_s

@@ -4,7 +4,8 @@
     shutdown report print: request/error/query counters, cache hit and
     miss totals (counted here, not in {!Lru_cache} — deduplication
     within a batch also counts as a hit), and latency sample series
-    summarized with {!Ckpt_numerics.Stats} (mean, spread, p50/p90/p99).
+    (solves, replans, whole batches) summarized with
+    {!Ckpt_numerics.Stats} plus p50/p90/p95/p99 quantiles.
 
     Every operation takes the internal mutex, so workers and the
     coordinator may record concurrently. *)
@@ -35,10 +36,23 @@ val incr_cache_miss : t -> unit
 val record_solve_ms : t -> float -> unit
 (** One optimizer solve (a cache miss actually computed). *)
 
+val record_replan_ms : t -> float -> unit
+(** One telemetry-driven [replan] solve (never cached, so every replan
+    is a sample — the latency the adaptive control loop pays). *)
+
 val record_batch_ms : t -> float -> unit
 (** One whole [handle_batch] call. *)
 
 (** {1 Reading} *)
+
+type quantiles = { p50 : float; p90 : float; p95 : float; p99 : float }
+(** All [0.] while the series is empty. *)
+
+type series = {
+  count : int;
+  summary : Ckpt_numerics.Stats.summary option;  (** [None] before any sample *)
+  quantiles : quantiles;
+}
 
 type snapshot = {
   uptime_s : float;
@@ -49,12 +63,11 @@ type snapshot = {
   cache_misses : int;
   hit_rate : float;  (** [hits / (hits + misses)]; [0.] before traffic *)
   solves : int;
-  solve_ms : Ckpt_numerics.Stats.summary option;  (** [None] before any solve *)
-  solve_ms_p50 : float;
-  solve_ms_p90 : float;
-  solve_ms_p99 : float;
+  solve_ms : series;
+  replans : int;
+  replan_ms : series;
   batches : int;
-  batch_ms : Ckpt_numerics.Stats.summary option;
+  batch_ms : series;
 }
 
 val snapshot : t -> snapshot

@@ -51,6 +51,36 @@ let solve_timed q =
   in
   (result, Metrics.now_ms () -. t0)
 
+(* A replan solves a *fitted* problem: the template query's spec and
+   overhead laws are replaced by the session estimates.  Never cached —
+   the estimates move with every observe, so a fingerprint hit would
+   serve stale parameters — and timed into its own metrics series. *)
+let replan t ~rates ~costs ~prior_strength (q : Protocol.query) =
+  let p = q.Protocol.problem in
+  let fit () =
+    let spec =
+      Ckpt_adaptive.Rate_estimator.to_spec ~prior_strength rates ~like:p.Optimizer.spec
+    in
+    let levels = Ckpt_adaptive.Cost_estimator.calibrated_levels costs ~prior:p.Optimizer.levels in
+    { p with Optimizer.spec; levels }
+  in
+  match fit () with
+  | exception Invalid_argument m -> Error { Protocol.code = "invalid-request"; message = m }
+  | fitted -> (
+      let t0 = Metrics.now_ms () in
+      let result =
+        try Ok (run_query { q with Protocol.problem = fitted })
+        with e ->
+          Error
+            { Protocol.code = "solve-failure";
+              message =
+                (match e with
+                | Invalid_argument m | Failure m -> m
+                | e -> Printexc.to_string e) }
+      in
+      Metrics.record_replan_ms t.metrics (Metrics.now_ms () -. t0);
+      match result with Ok plan -> Ok (plan, fitted) | Error e -> Error e)
+
 let solve_batch ?pool t queries =
   let n = Array.length queries in
   Metrics.add_queries t.metrics n;

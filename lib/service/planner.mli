@@ -33,6 +33,20 @@ val run_query : Protocol.query -> Ckpt_model.Optimizer.plan
 (** Uncached dispatch to the matching [Optimizer] entry point.
     @raise Invalid_argument, [Failure] as the optimizer does. *)
 
+val replan :
+  t ->
+  rates:Ckpt_adaptive.Rate_estimator.t ->
+  costs:Ckpt_adaptive.Cost_estimator.t ->
+  prior_strength:float ->
+  Protocol.query ->
+  (Ckpt_model.Optimizer.plan * Ckpt_model.Optimizer.problem, Protocol.error) result
+(** Solve the query with its problem's spec replaced by the session's
+    fitted rates ([prior_strength] core-seconds of shrinkage toward the
+    template's own rates) and its overhead laws calibrated to the
+    observed costs; returns the plan and the fitted problem.  Replans
+    bypass the cache entirely and are timed into the [replan_ms]
+    series. *)
+
 val solve_batch :
   ?pool:Pool.t ->
   t ->

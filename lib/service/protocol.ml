@@ -21,6 +21,9 @@ type request =
   | Plan of query
   | Sweep of { base : query; param : sweep_param; values : float array }
   | Simulate_validate of { query : query; replications : int; seed : int }
+  | Observe of { events : Ckpt_adaptive.Telemetry.event list }
+  | Estimate of { baseline_scale : float; coverage : float }
+  | Replan of { query : query; prior_strength : float }
   | Stats
 
 type envelope = { id : Json.t option; request : (request, error) result }
@@ -118,6 +121,48 @@ let parse_validate json =
   let seed = Option.value (Option.bind (Json.member "seed" json) Json.to_int) ~default:1 in
   Ok (Simulate_validate { query; replications; seed })
 
+let parse_observe json =
+  match Json.member "events" json with
+  | None -> err "invalid-request" "missing field \"events\""
+  | Some (Json.List items) ->
+      let rec decode acc i = function
+        | [] -> Ok (Observe { events = List.rev acc })
+        | item :: rest -> (
+            match Ckpt_adaptive.Telemetry.of_json item with
+            | Ok event -> decode (event :: acc) (i + 1) rest
+            | Error m -> err "invalid-request" "events[%d]: %s" i m)
+      in
+      decode [] 0 items
+  | Some _ -> err "invalid-request" "field \"events\" must be an array"
+
+(* Failure_spec's default N_b (the paper's N_star). *)
+let default_baseline_scale =
+  (Ckpt_failures.Failure_spec.v [| 0. |]).Ckpt_failures.Failure_spec.baseline_scale
+
+let parse_estimate json =
+  let baseline_scale =
+    Option.value (Json.float_field "baseline_scale" json) ~default:default_baseline_scale
+  in
+  let* () =
+    if baseline_scale > 0. then Ok ()
+    else err "invalid-request" "baseline_scale must be positive"
+  in
+  let coverage = Option.value (Json.float_field "coverage" json) ~default:0.95 in
+  let* () =
+    if coverage > 0. && coverage < 1. then Ok ()
+    else err "invalid-request" "coverage must be in (0, 1)"
+  in
+  Ok (Estimate { baseline_scale; coverage })
+
+let parse_replan json =
+  let* query = parse_query json in
+  let prior_strength = Option.value (Json.float_field "prior_strength" json) ~default:0. in
+  let* () =
+    if prior_strength >= 0. then Ok ()
+    else err "invalid-request" "prior_strength must be non-negative"
+  in
+  Ok (Replan { query; prior_strength })
+
 let parse_request line =
   match Json.parse_result line with
   | Error m -> { id = None; request = Error { code = "parse"; message = m } }
@@ -131,6 +176,9 @@ let parse_request line =
             Ok (Plan q)
         | Some "sweep" -> parse_sweep json
         | Some "simulate-validate" -> parse_validate json
+        | Some "observe" -> parse_observe json
+        | Some "estimate" -> parse_estimate json
+        | Some "replan" -> parse_replan json
         | Some "stats" -> Ok Stats
         | Some op -> err "invalid-request" "unknown op %S" op
       in
@@ -208,6 +256,26 @@ let validation_response ?id ~cached ~plan v =
               ("max", Json.Number v.simulated.Stats.max) ]);
          ("relative_error", Json.Number v.relative_error);
          ("plan", Codec.plan_to_json plan) ])
+
+let observe_response ?id ~events ~failures ~exposure () =
+  Json.Obj
+    (with_id id
+       [ ("ok", Json.Bool true); ("op", Json.String "observe");
+         ("events", Json.Number (float_of_int events));
+         ("failures", Json.Number (float_of_int failures));
+         ("exposure_core_seconds", Json.Number exposure) ])
+
+let estimate_response ?id payload =
+  Json.Obj
+    (with_id id
+       [ ("ok", Json.Bool true); ("op", Json.String "estimate"); ("estimate", payload) ])
+
+let replan_response ?id ~plan ~fitted () =
+  Json.Obj
+    (with_id id
+       [ ("ok", Json.Bool true); ("op", Json.String "replan");
+         ("plan", Codec.plan_to_json plan);
+         ("fitted_problem", Codec.problem_to_json fitted) ])
 
 let stats_response ?id payload =
   Json.Obj

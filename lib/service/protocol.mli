@@ -1,6 +1,6 @@
 (** The `ckpt_serve` JSON-lines protocol.
 
-    One request per line, one response per line, order preserved.  Four
+    One request per line, one response per line, order preserved.  The
     operations:
 
     - [{"op":"plan", "problem":P, ...}] — one optimizer solve;
@@ -10,7 +10,23 @@
     - [{"op":"simulate-validate", "problem":P, "replications":k,
         "seed":s}] — solve, then validate the predicted wall clock
       against [k] simulated executions;
+    - [{"op":"observe", "events":[...]}] — feed
+      {!Ckpt_adaptive.Telemetry} events (the {!Ckpt_adaptive.Telemetry.of_json}
+      shape) into the service's session estimators;
+    - [{"op":"estimate", "baseline_scale":N_b, "coverage":0.95}] —
+      report the fitted per-level failure rates with exact Poisson
+      confidence intervals and the observed cost means;
+    - [{"op":"replan", "problem":P, "prior_strength":tau}] — re-run
+      Algorithm 1 with [P]'s spec and overhead laws replaced by the
+      session estimates ([tau] core-seconds of shrinkage toward [P]'s
+      own rates); never cached, timed into the [replan_ms] metrics
+      series;
     - [{"op":"stats"}] — the {!Metrics} snapshot.
+
+    [observe]/[estimate]/[replan] are stateful: they read and mutate the
+    service's telemetry session, and are therefore executed inline, in
+    line order, rather than fanned out — an [observe] earlier in a batch
+    is visible to a [replan] later in the same batch.
 
     Every request accepts an optional ["id"] (any JSON value, echoed
     back), ["solution"] (["ml-opt"] default, ["ml-ori"], ["sl-opt"],
@@ -28,7 +44,8 @@ type error = { code : string; message : string }
 (** Codes: ["parse"] (not JSON), ["invalid-request"] (JSON but not a
     valid request), ["invalid-problem"] (problem fails decoding or
     {!Ckpt_model.Optimizer.check_problem}), ["solve-failure"] (the
-    optimizer raised). *)
+    optimizer raised), ["no-telemetry"] ([estimate]/[replan] before any
+    exposure was observed). *)
 
 type solution = Ml_opt | Ml_ori | Sl_opt | Sl_ori
 
@@ -45,6 +62,9 @@ type request =
   | Plan of query
   | Sweep of { base : query; param : sweep_param; values : float array }
   | Simulate_validate of { query : query; replications : int; seed : int }
+  | Observe of { events : Ckpt_adaptive.Telemetry.event list }
+  | Estimate of { baseline_scale : float; coverage : float }
+  | Replan of { query : query; prior_strength : float }
   | Stats
 
 type envelope = { id : Ckpt_json.Json.t option; request : (request, error) result }
@@ -97,6 +117,24 @@ val validation_response :
   plan:Ckpt_model.Optimizer.plan ->
   validation ->
   Ckpt_json.Json.t
+
+val observe_response :
+  ?id:Ckpt_json.Json.t -> events:int -> failures:int -> exposure:float -> unit -> Ckpt_json.Json.t
+(** Acknowledge an [observe]: events ingested this call, cumulative
+    failure count and raw exposure of the session. *)
+
+val estimate_response : ?id:Ckpt_json.Json.t -> Ckpt_json.Json.t -> Ckpt_json.Json.t
+(** Wrap the estimate payload the service assembles (fitted rates,
+    confidence intervals, cost means). *)
+
+val replan_response :
+  ?id:Ckpt_json.Json.t ->
+  plan:Ckpt_model.Optimizer.plan ->
+  fitted:Ckpt_model.Optimizer.problem ->
+  unit ->
+  Ckpt_json.Json.t
+(** The re-planned solution together with the telemetry-fitted problem
+    it solves. *)
 
 val stats_response : ?id:Ckpt_json.Json.t -> Ckpt_json.Json.t -> Ckpt_json.Json.t
 (** Wrap a {!Metrics.to_json} payload. *)

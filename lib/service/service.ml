@@ -1,10 +1,22 @@
 module Json = Ckpt_json.Json
 module Stats = Ckpt_numerics.Stats
+module Telemetry = Ckpt_adaptive.Telemetry
+module Rate_estimator = Ckpt_adaptive.Rate_estimator
+module Cost_estimator = Ckpt_adaptive.Cost_estimator
+
+(* The telemetry session: what observe accumulates and estimate/replan
+   read.  Only the coordinator thread touches it (stateful ops are
+   handled inline, never fanned out), so no lock is needed. *)
+type session = {
+  mutable rates : Rate_estimator.t;
+  mutable costs : Cost_estimator.t;
+}
 
 type t = {
   pool : Pool.t option;
   planner : Planner.t;
   metrics : Metrics.t;
+  mutable session : session option;
   mutable live : bool;
 }
 
@@ -13,9 +25,10 @@ let create ?(workers = 1) ?cache_capacity ?precision () =
   let metrics = Metrics.create () in
   let planner = Planner.create ?cache_capacity ?precision metrics in
   let pool = if workers = 0 then None else Some (Pool.create ~workers) in
-  { pool; planner; metrics; live = true }
+  { pool; planner; metrics; session = None; live = true }
 
 let workers t = match t.pool with None -> 0 | Some p -> Pool.workers p
+let session_estimators t = Option.map (fun s -> (s.rates, s.costs)) t.session
 let metrics t = t.metrics
 let planner t = t.planner
 let stats_json t = Metrics.to_json t.metrics
@@ -32,7 +45,10 @@ let queries_of_request = function
   | Protocol.Sweep { base; param; values } ->
       Array.map (Protocol.sweep_point base param) values
   | Protocol.Simulate_validate { query; _ } -> [| query |]
-  | Protocol.Stats -> [||]
+  (* Stateful adaptive ops never enter the flat query array: they are
+     handled inline, in line order, so an observe is visible to a replan
+     later in the same batch. *)
+  | Protocol.Observe _ | Protocol.Estimate _ | Protocol.Replan _ | Protocol.Stats -> [||]
 
 let simulate ~query ~plan ~replications ~seed =
   let problem = Protocol.simulation_problem query in
@@ -51,6 +67,108 @@ let simulate ~query ~plan ~replications ~seed =
       Stats.relative_error ~expected:plan.Ckpt_model.Optimizer.wall_clock
         simulated.Stats.mean;
     completed_runs = !completed }
+
+(* ---------------- stateful adaptive ops ---------------- *)
+
+let infer_levels events =
+  let explicit =
+    List.find_map (function Telemetry.Run_start { levels; _ } -> Some levels | _ -> None) events
+  in
+  match explicit with
+  | Some levels when levels > 0 -> Some levels
+  | Some _ -> None
+  | None ->
+      let max_level =
+        List.fold_left
+          (fun acc -> function
+            | Telemetry.Ckpt { level; _ }
+            | Telemetry.Restart { level; _ }
+            | Telemetry.Failure { level; _ } ->
+                max acc level
+            | _ -> acc)
+          0 events
+      in
+      if max_level > 0 then Some max_level else None
+
+let handle_observe t events =
+  let session =
+    match t.session with
+    | Some s -> Ok s
+    | None -> (
+        match infer_levels events with
+        | Some levels ->
+            let s =
+              { rates = Rate_estimator.create ~levels ();
+                costs = Cost_estimator.create ~levels () }
+            in
+            t.session <- Some s;
+            Ok s
+        | None ->
+            Error
+              { Protocol.code = "invalid-request";
+                message =
+                  "cannot infer the level count: include a start event or a leveled event" })
+  in
+  match session with
+  | Error e -> Error e
+  | Ok s -> (
+      match
+        (Rate_estimator.observe_all s.rates events, Cost_estimator.observe_all s.costs events)
+      with
+      | rates, costs ->
+          s.rates <- rates;
+          s.costs <- costs;
+          Ok
+            ( List.length events,
+              Rate_estimator.total_count rates,
+              Rate_estimator.exposure rates )
+      | exception Invalid_argument m -> Error { Protocol.code = "invalid-request"; message = m })
+
+let no_telemetry =
+  { Protocol.code = "no-telemetry";
+    message = "no exposure observed yet: send an \"observe\" request first" }
+
+let with_session t f =
+  match t.session with
+  | Some s when Rate_estimator.exposure s.rates > 0. -> f s
+  | _ -> Error no_telemetry
+
+let handle_estimate t ~baseline_scale ~coverage =
+  with_session t (fun s ->
+      let levels = Rate_estimator.levels s.rates in
+      let rate level =
+        let per_day = Rate_estimator.rate_per_day s.rates ~level ~baseline_scale in
+        let lo, hi = Rate_estimator.confidence_per_day ~coverage s.rates ~level ~baseline_scale in
+        Json.Obj
+          [ ("level", Json.Number (float_of_int level));
+            ("per_day", Json.Number per_day);
+            ("ci_low", Json.Number lo);
+            ("ci_high", Json.Number hi);
+            ("failures", Json.Number (float_of_int (Rate_estimator.count s.rates ~level))) ]
+      in
+      let cost level =
+        Json.Obj
+          [ ("level", Json.Number (float_of_int level));
+            ("ckpt_samples", Json.Number (float_of_int (Cost_estimator.ckpt_count s.costs ~level)));
+            ("ckpt_mean", Json.Number (Cost_estimator.ckpt_mean s.costs ~level));
+            ("restart_samples",
+             Json.Number (float_of_int (Cost_estimator.restart_count s.costs ~level)));
+            ("restart_mean", Json.Number (Cost_estimator.restart_mean s.costs ~level)) ]
+      in
+      let ix = List.init levels (fun i -> i + 1) in
+      Ok
+        (Json.Obj
+           [ ("baseline_scale", Json.Number baseline_scale);
+             ("coverage", Json.Number coverage);
+             ("exposure_core_seconds", Json.Number (Rate_estimator.exposure s.rates));
+             ("failures", Json.Number (float_of_int (Rate_estimator.total_count s.rates)));
+             ("rates", Json.List (List.map rate ix));
+             ("costs", Json.List (List.map cost ix)) ]))
+
+let handle_replan t ~query ~prior_strength =
+  with_session t (fun s ->
+      Metrics.add_queries t.metrics 1;
+      Planner.replan t.planner ~rates:s.rates ~costs:s.costs ~prior_strength query)
 
 let handle_batch t lines =
   if not t.live then invalid_arg "Service.handle_batch: service is shut down";
@@ -125,6 +243,25 @@ let handle_batch t lines =
     | Ok request -> (
         match request with
         | Protocol.Stats -> Protocol.stats_response ?id (stats_json t)
+        | Protocol.Observe { events } -> (
+            match handle_observe t events with
+            | Ok (events, failures, exposure) ->
+                Protocol.observe_response ?id ~events ~failures ~exposure ()
+            | Error e ->
+                Metrics.incr_errors t.metrics;
+                Protocol.error_response ?id e)
+        | Protocol.Estimate { baseline_scale; coverage } -> (
+            match handle_estimate t ~baseline_scale ~coverage with
+            | Ok payload -> Protocol.estimate_response ?id payload
+            | Error e ->
+                Metrics.incr_errors t.metrics;
+                Protocol.error_response ?id e)
+        | Protocol.Replan { query; prior_strength } -> (
+            match handle_replan t ~query ~prior_strength with
+            | Ok (plan, fitted) -> Protocol.replan_response ?id ~plan ~fitted ()
+            | Error e ->
+                Metrics.incr_errors t.metrics;
+                Protocol.error_response ?id e)
         | Protocol.Plan _ -> (
             match outcomes.(job.offset) with
             | Ok (plan, cached) -> Protocol.plan_response ?id ~cached plan

@@ -9,6 +9,16 @@
     replay the plan through the event-driven simulator, also on the
     pool.
 
+    The service also carries one {e telemetry session}: [observe]
+    requests fold {!Ckpt_adaptive.Telemetry} events into per-level rate
+    and cost estimators, [estimate] reports the fitted parameters with
+    confidence intervals, and [replan] re-runs the optimizer with a
+    request's problem re-parameterized by the estimates.  These stateful
+    ops are executed inline in line order (never fanned out), so an
+    [observe] earlier in a batch is visible to a [replan] later in the
+    same one; [estimate]/[replan] before any observed exposure answer a
+    ["no-telemetry"] error.
+
     A service owns its pool; call {!shutdown} (idempotent) when done so
     the worker domains are joined. *)
 
@@ -23,6 +33,10 @@ val create : ?workers:int -> ?cache_capacity:int -> ?precision:int -> unit -> t
 val workers : t -> int
 val metrics : t -> Metrics.t
 val planner : t -> Planner.t
+
+val session_estimators : t -> (Ckpt_adaptive.Rate_estimator.t * Ckpt_adaptive.Cost_estimator.t) option
+(** The telemetry session's current estimators, once an [observe] has
+    created them. *)
 
 val handle_batch : t -> string list -> Ckpt_json.Json.t list
 (** [handle_batch t lines] answers one response per request line, order

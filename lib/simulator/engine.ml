@@ -8,6 +8,7 @@ module Trace = Ckpt_simkernel.Trace
 type state = {
   config : Run_config.t;
   trace : Trace.t option;
+  probe : Probe.t option;
   rng : Rng.t;
   next_failure_after : float -> Arrivals.event option;
   target : float;  (* parallel productive seconds to complete *)
@@ -38,6 +39,8 @@ let record s ~tag detail =
   match s.trace with
   | None -> ()
   | Some trace -> Trace.record trace ~time:s.t ~tag detail
+
+let emit s event = match s.probe with None -> () | Some probe -> probe event
 
 let jittered s v =
   let ratio = s.config.Run_config.semantics.Run_config.jitter_ratio in
@@ -73,6 +76,8 @@ let advance_progress s pos =
   let first_time = Float.max 0. (pos -. Float.max s.p s.hw) in
   s.productive <- s.productive +. first_time;
   s.rollback <- s.rollback +. (pos -. s.p -. first_time);
+  if pos > s.p then
+    emit s (Probe.Segment { at = s.t; duration = pos -. s.p; productive = first_time });
   s.hw <- Float.max s.hw pos;
   s.p <- pos
 
@@ -94,6 +99,7 @@ let out_of_time s = s.t >= s.config.Run_config.max_wall_clock
 let rec handle_failure s f =
   s.failures.(f - 1) <- s.failures.(f - 1) + 1;
   record s ~tag:"failure" (Printf.sprintf "level %d at progress %.0f" f s.p);
+  emit s (Probe.Failure { at = s.t; level = f });
   sample_failure s;
   (* Restore point: newest checkpoint among levels >= f (position 0 - the
      job start - always qualifies). *)
@@ -139,6 +145,7 @@ and run_recovery s f =
     | None ->
         s.allocation <- s.allocation +. alloc;
         s.restart <- s.restart +. rec_cost;
+        emit s (Probe.Recovery { at = s.t; level = f; alloc; duration = rec_cost });
         s.t <- t_rec_end
     | Some ev ->
         let at = ev.Arrivals.at in
@@ -147,6 +154,7 @@ and run_recovery s f =
           s.allocation <- s.allocation +. alloc;
           s.restart <- s.restart +. (at -. t_alloc_end)
         end;
+        emit s (Probe.Recovery_aborted { at = s.t; level = f; elapsed = at -. s.t });
         s.t <- at;
         handle_failure s ev.Arrivals.level
   end
@@ -167,12 +175,15 @@ let write_checkpoint s lvl k =
       (* The partial write is wasted overhead: rollback portion. *)
       s.rollback <- s.rollback +. (ev.Arrivals.at -. s.t);
       s.ckpts_aborted.(lvl - 1) <- s.ckpts_aborted.(lvl - 1) + 1;
+      emit s
+        (Probe.Ckpt_aborted { at = s.t; level = lvl; wasted = ev.Arrivals.at -. s.t });
       s.t <- ev.Arrivals.at;
       record s ~tag:"ckpt-abort" (Printf.sprintf "level %d" lvl);
       `Failed ev
   | None ->
       let marks = s.completed_marks.(lvl - 1) in
-      if Hashtbl.mem marks k then begin
+      let first = not (Hashtbl.mem marks k) in
+      if not first then begin
         s.rollback <- s.rollback +. dur;
         s.ckpts_redone.(lvl - 1) <- s.ckpts_redone.(lvl - 1) + 1;
         record s ~tag:"ckpt-redo" (Printf.sprintf "level %d mark %d" lvl k)
@@ -183,6 +194,7 @@ let write_checkpoint s lvl k =
         Hashtbl.replace marks k ();
         record s ~tag:"ckpt" (Printf.sprintf "level %d mark %d at progress %.0f" lvl k s.p)
       end;
+      emit s (Probe.Ckpt { at = s.t; level = lvl; duration = dur; first });
       s.t <- t_end;
       s.last_pos.(lvl - 1) <- s.p;
       s.next_k.(lvl - 1) <- k + 1;
@@ -195,6 +207,7 @@ let write_checkpoint s lvl k =
 let finish s completed =
   record s ~tag:(if completed then "complete" else "horizon")
     (Printf.sprintf "wall %.0f" s.t);
+  emit s (Probe.End { at = s.t; completed });
   { Outcome.completed;
     wall_clock = s.t;
     productive = s.productive;
@@ -208,7 +221,7 @@ let finish s completed =
     ckpts_redone = Array.copy s.ckpts_redone;
     ckpts_aborted = Array.copy s.ckpts_aborted }
 
-let run ?trace ~seed config =
+let run ?trace ?probe ~seed config =
   let rng = Rng.of_int seed in
   let next_failure_after =
     match config.Run_config.failure_trace with
@@ -241,7 +254,7 @@ let run ?trace ~seed config =
   let target = Run_config.productive_target config in
   let nlevels = Array.length config.Run_config.levels in
   let s =
-    { config; trace; rng; next_failure_after; target;
+    { config; trace; probe; rng; next_failure_after; target;
       tau = Array.map (fun x -> target /. x) config.Run_config.xs;
       last_pos = Array.make nlevels 0.;
       next_k = Array.make nlevels 1;

@@ -18,10 +18,14 @@
     - failures can land during checkpoint writes and recoveries; the
       behaviour is configured by {!Run_config.semantics}. *)
 
-val run : ?trace:Ckpt_simkernel.Trace.t -> seed:int -> Run_config.t -> Outcome.t
+val run :
+  ?trace:Ckpt_simkernel.Trace.t -> ?probe:Probe.t -> seed:int -> Run_config.t -> Outcome.t
 (** [run ~seed config] simulates one execution; equal seeds reproduce
     equal outcomes bit-for-bit.  When [trace] is given, the engine records
     tagged events into it — ["failure"], ["recovery"], ["ckpt"],
     ["ckpt-redo"], ["ckpt-abort"], ["complete"], ["horizon"] — with the
     simulated wall-clock timestamps; tests use this to assert event
-    orderings. *)
+    orderings.  When [probe] is given it receives structured
+    {!Probe.event} observations (segments, checkpoint/recovery durations,
+    failures) in wall-clock order — the telemetry source for the adaptive
+    layer. *)

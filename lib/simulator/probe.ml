@@ -1,0 +1,35 @@
+type event =
+  | Segment of { at : float; duration : float; productive : float }
+  | Ckpt of { at : float; level : int; duration : float; first : bool }
+  | Ckpt_aborted of { at : float; level : int; wasted : float }
+  | Failure of { at : float; level : int }
+  | Recovery of { at : float; level : int; alloc : float; duration : float }
+  | Recovery_aborted of { at : float; level : int; elapsed : float }
+  | End of { at : float; completed : bool }
+
+type t = event -> unit
+
+let level = function
+  | Segment _ | End _ -> None
+  | Ckpt { level; _ }
+  | Ckpt_aborted { level; _ }
+  | Failure { level; _ }
+  | Recovery { level; _ }
+  | Recovery_aborted { level; _ } ->
+      Some level
+
+let pp_event ppf = function
+  | Segment { at; duration; productive } ->
+      Format.fprintf ppf "%.3f segment dur=%.3f productive=%.3f" at duration productive
+  | Ckpt { at; level; duration; first } ->
+      Format.fprintf ppf "%.3f ckpt level=%d dur=%.3f%s" at level duration
+        (if first then "" else " redo")
+  | Ckpt_aborted { at; level; wasted } ->
+      Format.fprintf ppf "%.3f ckpt-abort level=%d wasted=%.3f" at level wasted
+  | Failure { at; level } -> Format.fprintf ppf "%.3f failure level=%d" at level
+  | Recovery { at; level; alloc; duration } ->
+      Format.fprintf ppf "%.3f recovery level=%d alloc=%.3f dur=%.3f" at level alloc duration
+  | Recovery_aborted { at; level; elapsed } ->
+      Format.fprintf ppf "%.3f recovery-abort level=%d elapsed=%.3f" at level elapsed
+  | End { at; completed } ->
+      Format.fprintf ppf "%.3f %s" at (if completed then "complete" else "horizon")

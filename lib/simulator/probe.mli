@@ -1,0 +1,34 @@
+(** Execution observation hooks for the event-driven engine.
+
+    A probe is a callback {!Engine.run} invokes as the simulated
+    execution unfolds, with exact timestamps and (jittered) durations —
+    the raw material execution telemetry is made of.  Unlike
+    {!Ckpt_simkernel.Trace} entries, probe events are structured values:
+    no string formatting on the hot path, no parsing downstream.
+
+    Events are emitted in wall-clock order.  [at] is always the start of
+    the reported activity. *)
+
+type event =
+  | Segment of { at : float; duration : float; productive : float }
+      (** uninterrupted computation; [productive <= duration] is the
+          first-time share, the rest re-executed rollback work *)
+  | Ckpt of { at : float; level : int; duration : float; first : bool }
+      (** a completed checkpoint write ([first = false]: re-written after
+          a rollback); [duration] includes the run's cost jitter *)
+  | Ckpt_aborted of { at : float; level : int; wasted : float }
+      (** a write destroyed by a failure [wasted] seconds in *)
+  | Failure of { at : float; level : int }
+  | Recovery of { at : float; level : int; alloc : float; duration : float }
+      (** a completed re-allocation ([alloc]) plus recovery read
+          ([duration], jittered) *)
+  | Recovery_aborted of { at : float; level : int; elapsed : float }
+      (** a recovery interrupted by another failure [elapsed] seconds in *)
+  | End of { at : float; completed : bool }
+
+type t = event -> unit
+
+val level : event -> int option
+(** The checkpoint level an event concerns, when it has one. *)
+
+val pp_event : Format.formatter -> event -> unit

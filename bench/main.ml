@@ -13,7 +13,9 @@
 
    Run with:  dune exec bench/main.exe
    Pass --quick to skip part 2, or experiment ids to regenerate a
-   subset. *)
+   subset.  Pass --json to instead run the parallel/warm-start
+   regression kernels and write BENCH_results.json (the artifact CI
+   archives per revision). *)
 
 open Bechamel
 open Toolkit
@@ -38,11 +40,15 @@ let sim_config =
   Ckpt_sim.Run_config.of_plan ~semantics:Ckpt_sim.Run_config.paper_semantics
     ~problem:eval_problem ~plan:eval_plan ()
 
-let seed_counter = ref 0
+(* Each simulation kernel owns its seed counter, at a distinct base: with
+   a shared counter, how many iterations bechamel granted one kernel
+   shifted the seeds — and so the timings — of every other, making runs
+   incomparable. *)
+let fig5_seed = ref 0
 
 let fig5_sim_kernel () =
-  incr seed_counter;
-  Ckpt_sim.Engine.run ~seed:!seed_counter sim_config
+  incr fig5_seed;
+  Ckpt_sim.Engine.run ~seed:!fig5_seed sim_config
 
 let fig1_kernel () = Optimizer.solve ~fixed_n:5e5 eval_problem
 
@@ -61,22 +67,28 @@ let small_validation_config =
   let plan = Optimizer.ml_ori_scale ~n:1024. problem in
   Ckpt_sim.Run_config.of_plan ~problem ~plan ()
 
+let fig4_event_seed = ref 100_000
+
 let fig4_event_kernel () =
-  incr seed_counter;
-  Ckpt_sim.Engine.run ~seed:!seed_counter small_validation_config
+  incr fig4_event_seed;
+  Ckpt_sim.Engine.run ~seed:!fig4_event_seed small_validation_config
+
+let fig4_tick_seed = ref 200_000
 
 let fig4_tick_kernel () =
-  incr seed_counter;
-  Ckpt_sim.Tick_engine.run ~seed:!seed_counter small_validation_config
+  incr fig4_tick_seed;
+  Ckpt_sim.Tick_engine.run ~seed:!fig4_tick_seed small_validation_config
 
 let table3_kernel () = Optimizer.sl_opt_scale eval_problem
 
 let fig6_problem = E.Paper_data.eval_problem ~te_core_days:1e7 ~case:"8-6-4-2" ()
 let fig6_kernel () = Optimizer.ml_opt_scale fig6_problem
 
+let fig7_seed = ref 300_000
+
 let fig7_kernel () =
-  incr seed_counter;
-  let o = Ckpt_sim.Engine.run ~seed:!seed_counter sim_config in
+  incr fig7_seed;
+  let o = Ckpt_sim.Engine.run ~seed:!fig7_seed sim_config in
   Ckpt_sim.Outcome.efficiency o ~te:eval_problem.Optimizer.te ~n:eval_plan.Optimizer.n
 
 let table4_problem =
@@ -275,6 +287,128 @@ let substrate_tests =
       Test.make ~name:"adaptive-ingest-run-telemetry" (Staged.stage adaptive_ingest_kernel);
       Test.make ~name:"adaptive-controller-step-run" (Staged.stage adaptive_controller_kernel) ]
 
+(* --- JSON regression harness (--json) ------------------------------------ *)
+
+(* A lightweight wall-clock harness for the kernels whose performance
+   this PR sequence tracks across commits: the parallel replication
+   layer, warm-started sweeps and concurrent registry regeneration.
+   Bechamel stays the tool for micro-kernels; this mode emits a small
+   machine-readable BENCH_results.json that CI archives per revision. *)
+
+module Pool = Ckpt_parallel.Pool
+module J = Ckpt_json.Json
+
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "unknown" in
+    match Unix.close_process_in ic with Unix.WEXITED 0 -> line | _ -> "unknown"
+  with _ -> "unknown"
+
+let time_ns ~reps f =
+  ignore (Sys.opaque_identity (f ()));
+  let samples =
+    Array.init reps (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (Sys.opaque_identity (f ()));
+        (Unix.gettimeofday () -. t0) *. 1e9)
+  in
+  let mean = Array.fold_left ( +. ) 0. samples /. float_of_int reps in
+  let var =
+    Array.fold_left (fun acc s -> acc +. ((s -. mean) *. (s -. mean))) 0. samples
+    /. float_of_int (max 1 (reps - 1))
+  in
+  (mean, sqrt var)
+
+let timing_obj label (mean, std) =
+  (label, J.Obj [ ("mean_ns", J.Number mean); ("stddev_ns", J.Number std) ])
+
+let bench_entry ~kernel ~workers ~reps ~baseline ~optimized extra =
+  let base_mean = fst baseline and opt_mean = fst optimized in
+  J.Obj
+    ([ ("kernel", J.String kernel);
+       ("workers", J.Number (float_of_int workers));
+       ("reps", J.Number (float_of_int reps));
+       timing_obj "sequential" baseline;
+       timing_obj "parallel" optimized;
+       ( "speedup_vs_1_worker",
+         J.Number (if opt_mean > 0. then base_mean /. opt_mean else 0.) ) ]
+    @ extra)
+
+let json_bench () =
+  let workers = Pool.recommended_workers () in
+  let reps = 5 in
+  let entries =
+    Pool.with_pool ~workers (fun pool ->
+        (* Replication: the Monte-Carlo fan-out (bit-identical either way). *)
+        let repl_runs = 20 in
+        let repl_seq =
+          time_ns ~reps (fun () ->
+              Ckpt_sim.Replication.run ~runs:repl_runs small_validation_config)
+        in
+        let repl_par =
+          time_ns ~reps (fun () ->
+              Ckpt_sim.Replication.run ~pool ~runs:repl_runs small_validation_config)
+        in
+        (* Sweep: cold solves per grid point vs the warm-started walk. *)
+        let sweep_values =
+          Array.init 16 (fun i -> 2e5 +. (float_of_int i *. 5e4))
+        in
+        let sweep_cold =
+          time_ns ~reps (fun () ->
+              Optimizer.sweep ~warm:false ~axis:`Scale ~values:sweep_values
+                eval_problem)
+        in
+        let sweep_warm =
+          time_ns ~reps (fun () ->
+              Optimizer.sweep ~axis:`Scale ~values:sweep_values eval_problem)
+        in
+        let _, cold_stats =
+          Optimizer.sweep ~warm:false ~axis:`Scale ~values:sweep_values eval_problem
+        in
+        let _, warm_stats =
+          Optimizer.sweep ~axis:`Scale ~values:sweep_values eval_problem
+        in
+        (* Registry: independent experiment renders, fanned across domains. *)
+        let registry_ids = [ "fig3"; "table2"; "costmodel" ] in
+        let registry_experiments =
+          List.filter_map E.Registry.find registry_ids
+        in
+        let registry_seq =
+          time_ns ~reps (fun () -> E.Registry.render_all registry_experiments)
+        in
+        let registry_par =
+          time_ns ~reps (fun () -> E.Registry.render_all ~pool registry_experiments)
+        in
+        [ bench_entry ~kernel:(Printf.sprintf "replication-%d-runs" repl_runs)
+            ~workers ~reps ~baseline:repl_seq ~optimized:repl_par [];
+          bench_entry
+            ~kernel:(Printf.sprintf "sweep-scale-%dpt-warm-vs-cold"
+                       (Array.length sweep_values))
+            ~workers:1 ~reps ~baseline:sweep_cold ~optimized:sweep_warm
+            [ ( "cold_inner_iterations",
+                J.Number (float_of_int cold_stats.Optimizer.inner_iterations) );
+              ( "warm_inner_iterations",
+                J.Number (float_of_int warm_stats.Optimizer.inner_iterations) ) ];
+          bench_entry
+            ~kernel:(Printf.sprintf "registry-%s" (String.concat "+" registry_ids))
+            ~workers ~reps ~baseline:registry_seq ~optimized:registry_par [] ])
+  in
+  let doc =
+    J.Obj
+      [ ("schema", J.String "ckpt-bench/1");
+        ("git_rev", J.String (git_rev ()));
+        ("workers", J.Number (float_of_int workers));
+        ("benchmarks", J.List entries) ]
+  in
+  let path = "BENCH_results.json" in
+  let oc = open_out path in
+  output_string oc (J.to_string ~pretty:true doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d kernels, %d workers, rev %s)\n" path
+    (List.length entries) workers (git_rev ())
+
 (* --- bechamel driver ----------------------------------------------------- *)
 
 let benchmark tests =
@@ -304,7 +438,10 @@ let print_bench_results results =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
-  let requested = List.filter (fun a -> a <> "--quick") args in
+  let json = List.mem "--json" args in
+  let requested = List.filter (fun a -> a <> "--quick" && a <> "--json") args in
+  if json then json_bench ()
+  else begin
   print_endline "== Bechamel micro-benchmarks (one per paper table/figure) ==";
   print_bench_results (benchmark tests);
   print_bench_results (benchmark substrate_tests);
@@ -320,4 +457,5 @@ let () =
             Format.pp_print_flush ppf ()
         | None -> Printf.printf "unknown experiment %S\n" id)
       ids
+  end
   end

@@ -15,7 +15,8 @@ let load_bundle path =
   | Error e -> Error ("cannot parse " ^ path ^ ": " ^ e)
   | Ok json -> Codec.bundle_of_json json
 
-let run te_days rates kappa n_star alloc solution runs seed horizon_days plan_file =
+let run te_days rates kappa n_star alloc solution runs seed horizon_days workers
+    plan_file =
   match
     match plan_file with
     | Some path -> load_bundle path
@@ -54,7 +55,14 @@ let run te_days rates kappa n_star alloc solution runs seed horizon_days plan_fi
         Ckpt_sim.Run_config.of_plan ~max_wall_clock:(horizon_days *. 86400.) ~problem
           ~plan ()
       in
-      let aggregate = Ckpt_sim.Replication.run ~runs ~base_seed:seed config in
+      (* Replications use split RNG substreams fixed up front, so the
+         aggregate is bit-identical for any worker count. *)
+      let aggregate =
+        if workers <= 1 then Ckpt_sim.Replication.run ~runs ~base_seed:seed config
+        else
+          Ckpt_parallel.Pool.with_pool ~workers (fun pool ->
+              Ckpt_sim.Replication.run ~pool ~runs ~base_seed:seed config)
+      in
       Format.printf "simulation (%d runs):@\n%a@." runs Ckpt_sim.Replication.pp aggregate;
       Ok ()
 
@@ -71,6 +79,13 @@ let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Base RNG seed.")
 let horizon_days =
   Arg.(value & opt float 2000. & info [ "horizon-days" ] ~doc:"Safety horizon per run.")
 
+let workers =
+  Arg.(value
+       & opt int (Ckpt_parallel.Pool.recommended_workers ())
+       & info [ "workers" ]
+           ~doc:"Worker domains for the replications (default: the number of cores; \
+                 results are identical for any value).")
+
 let plan_file =
   Arg.(value & opt (some string) None
        & info [ "plan" ] ~docv:"FILE"
@@ -81,7 +96,7 @@ let cmd =
   let doc = "Simulate a multilevel-checkpointed execution (SC'14 evaluation)" in
   let term =
     Term.(const run $ te_days $ rates $ kappa $ n_star $ alloc $ solution $ runs $ seed
-          $ horizon_days $ plan_file)
+          $ horizon_days $ workers $ plan_file)
   in
   Cmd.v (Cmd.info "ckpt-simulate" ~doc) Term.(term_result' term)
 

@@ -10,21 +10,32 @@ let list_experiments () =
     (fun e -> Printf.printf "%-14s %s\n" e.Ckpt_experiments.Registry.id e.Ckpt_experiments.Registry.title)
     Ckpt_experiments.Registry.all
 
-let run_ids ids =
-  let ppf = Format.std_formatter in
-  let run_one id =
+let run_ids ~workers ids =
+  let resolve id =
     match Ckpt_experiments.Registry.find id with
-    | Some e ->
-        e.Ckpt_experiments.Registry.run ppf;
-        Format.pp_print_flush ppf ();
-        Ok ()
+    | Some e -> Ok e
     | None -> Error (Printf.sprintf "unknown experiment %S (try --list)" id)
   in
-  let rec go = function
-    | [] -> Ok ()
-    | id :: rest -> ( match run_one id with Ok () -> go rest | Error _ as e -> e)
+  let rec resolve_all = function
+    | [] -> Ok []
+    | id :: rest ->
+        Result.bind (resolve id) (fun e ->
+            Result.map (fun es -> e :: es) (resolve_all rest))
   in
-  go ids
+  Result.map
+    (fun experiments ->
+      (* The experiments are independent, so rendering them across
+         domains is output-identical to the sequential run; the results
+         print in request order either way. *)
+      let rendered =
+        if workers <= 1 || List.length experiments <= 1 then
+          Ckpt_experiments.Registry.render_all experiments
+        else
+          Ckpt_parallel.Pool.with_pool ~workers (fun pool ->
+              Ckpt_experiments.Registry.render_all ~pool experiments)
+      in
+      List.iter (fun (_, output) -> print_string output) rendered)
+    (resolve_all ids)
 
 open Cmdliner
 
@@ -51,6 +62,15 @@ let report_arg =
   let doc = "Write a generated Markdown reproduction report to $(docv) and exit." in
   Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
 
+let workers_arg =
+  let doc =
+    "Worker domains for regenerating independent experiments concurrently \
+     (default: the number of cores; 1 disables parallelism)."
+  in
+  Arg.(value
+       & opt int (Ckpt_parallel.Pool.recommended_workers ())
+       & info [ "workers" ] ~docv:"N" ~doc)
+
 let write_csv dir runs =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let written = Ckpt_experiments.Csv_export.write_analytic ~dir in
@@ -61,7 +81,7 @@ let write_csv dir runs =
   List.iter (Printf.printf "wrote %s\n") written;
   Ok ()
 
-let main list csv csv_runs report ids =
+let main list csv csv_runs report workers ids =
   if list then begin
     list_experiments ();
     Ok ()
@@ -81,13 +101,14 @@ let main list csv csv_runs report ids =
         | Some dir -> write_csv dir csv_runs
         | None ->
             let ids = if ids = [] then Ckpt_experiments.Registry.ids () else ids in
-            run_ids ids)
+            run_ids ~workers ids)
   end
 
 let cmd =
   let doc = "Regenerate the tables and figures of the multilevel checkpoint paper" in
   let term =
-    Term.(const main $ list_arg $ csv_arg $ csv_runs_arg $ report_arg $ ids_arg)
+    Term.(const main $ list_arg $ csv_arg $ csv_runs_arg $ report_arg $ workers_arg
+          $ ids_arg)
   in
   Cmd.v (Cmd.info "ckpt-experiments" ~doc) Term.(term_result' term)
 

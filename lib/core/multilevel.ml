@@ -148,17 +148,59 @@ let young_init p ~n =
       if ci <= 0. then 1.
       else Float.max 1. (sqrt (mu p i n *. p.te /. g /. (2. *. ci))))
 
-let solve_scale p ~xs ~n_hi =
+let solve_scale ?hint p ~xs ~n_hi =
   let f n = d_dn p ~xs ~n in
   if f n_hi <= 0. then n_hi
   else if f 1. >= 0. then 1.
-  else (Roots.bisect_integer ~f ~lo:1. ~hi:n_hi ()).Roots.root
+  else begin
+    (* Warm start: the root moves little between neighbouring sweep
+       points, so grow a geometric bracket around the previous one and
+       only fall back to the full [1, n_hi] interval if the sign
+       condition never holds.  Termination: [lo] decays to 1 and [hi]
+       grows to [n_hi], where the guards above established the signs. *)
+    let lo, hi =
+      match hint with
+      | Some h when h > 1. && h < n_hi ->
+          let rec widen lo hi =
+            let lo_ok = f lo < 0. and hi_ok = f hi > 0. in
+            if lo_ok && hi_ok then (lo, hi)
+            else
+              let lo' = if lo_ok then lo else Float.max 1. (lo /. 4.) in
+              let hi' = if hi_ok then hi else Float.min n_hi (hi *. 4.) in
+              widen lo' hi'
+          in
+          widen (Float.max 1. (h /. 2.)) (Float.min n_hi (h *. 2.))
+      | _ -> (1., n_hi)
+    in
+    (Roots.bisect_integer ~f ~lo ~hi ()).Roots.root
+  end
 
-let optimize ?(tol = 1e-6) ?(max_iter = 10_000) ?(n_max = 1e9) ?fixed_n p =
+let optimize ?(tol = 1e-6) ?(max_iter = 10_000) ?(n_max = 1e9) ?fixed_n ?init p =
   check_params p;
   let n_hi = Speedup.search_upper_bound p.speedup ~default:n_max in
-  let n0 = Option.value fixed_n ~default:n_hi in
-  let xs = young_init p ~n:n0 in
+  let warm_n =
+    match init with
+    | Some (_, n) when Float.is_finite n && n >= 1. -> Some (Float.min n_hi n)
+    | _ -> None
+  in
+  let n0 =
+    match (fixed_n, warm_n) with
+    | Some n, _ -> n
+    | None, Some n -> n
+    | None, None -> n_hi
+  in
+  let xs =
+    match init with
+    | Some (xs0, _) when Array.length xs0 = num_levels p ->
+        Array.map (fun x -> if Float.is_finite x && x > 1. then x else 1.) xs0
+    | _ -> young_init p ~n:n0
+  in
+  (* Only the first warm iteration narrows the scale bisection: later
+     iterations use the full bracket, whose fixed width keeps n' stable
+     as xs converges (a moving bracket makes the width-0.5 bisection
+     jitter by up to the convergence threshold and cycle).  The cold
+     path never brackets around a hint, so it stays byte-identical. *)
+  let hinted = init <> None in
   let rec loop xs n iter =
     if iter >= max_iter then
       { xs; n; wall_clock = expected_wall_clock p ~xs ~n; iterations = iter; converged = false }
@@ -167,7 +209,13 @@ let optimize ?(tol = 1e-6) ?(max_iter = 10_000) ?(n_max = 1e9) ?fixed_n p =
       for level = 1 to num_levels p do
         xs'.(level - 1) <- x_update p ~xs:xs' ~n ~level
       done;
-      let n' = match fixed_n with Some n -> n | None -> solve_scale p ~xs:xs' ~n_hi in
+      let n' =
+        match fixed_n with
+        | Some n -> n
+        | None ->
+            let hint = if hinted && iter = 0 then Some n else None in
+            solve_scale ?hint p ~xs:xs' ~n_hi
+      in
       let dx = Ckpt_numerics.Fixed_point.max_abs_diff xs xs' in
       if dx <= tol && Float.abs (n' -. n) <= 0.5 then
         { xs = xs'; n = n';

@@ -71,8 +71,18 @@ val optimize :
   ?max_iter:int ->
   ?n_max:float ->
   ?fixed_n:float ->
+  ?init:float array * float ->
   params ->
   solution
 (** Inner optimizer: Gauss–Seidel sweeps of {!x_update} over the levels
     alternated with a bisection solve of [d_dn = 0] on [\[1, N_star\]].
-    [fixed_n] pins the scale (the ML(ori-scale) baseline). *)
+    [fixed_n] pins the scale (the ML(ori-scale) baseline).
+
+    [init] warm-starts the iteration from [(xs, n)] — typically a
+    neighbouring solution — instead of {!young_init}: the [xs] are
+    clamped to [>= 1] (and ignored if the arity differs), [n] seeds the
+    scale when [fixed_n] is absent, and the scale bisection brackets
+    geometrically around the previous iterate before falling back to the
+    full interval.  Warm starts only change the starting point of a
+    contraction, so the fixed point reached agrees with the cold solve
+    to the solver tolerance; without [init] the behaviour is unchanged. *)

@@ -73,18 +73,40 @@ let divergent_plan p ~n ~outer ~inner =
     inner_iterations = inner;
     converged = false }
 
-let solve ?(delta = 1e-9) ?(max_outer = 1_000) ?fixed_n ?(n_max = 1e9) p =
+let solve ?(delta = 1e-9) ?(max_outer = 1_000) ?fixed_n ?(n_max = 1e9) ?warm p =
   check_problem p;
   let n_hi = Speedup.search_upper_bound p.speedup ~default:n_max in
   let n0 = Option.value fixed_n ~default:n_hi in
+  (* A warm plan is usable only if it describes the same hierarchy and
+     carries a finite wall clock to seed the mu estimate with. *)
+  let warm =
+    match warm with
+    | Some w
+      when Array.length w.xs = Array.length p.levels
+           && Float.is_finite w.wall_clock && w.wall_clock > 0. ->
+        Some w
+    | _ -> None
+  in
   (* Line 2 of Algorithm 1: initialize the failure counts from the
-     failure-free productive time. *)
-  let estimate0 = Speedup.productive_time p.speedup ~te:p.te ~n:n0 in
-  let rec outer_loop estimate prev_mus outer inner =
+     failure-free productive time — or, warm-started, from the
+     neighbouring plan's converged wall clock, which is already close to
+     this problem's fixed point. *)
+  let estimate0 =
+    match warm with
+    | Some w -> w.wall_clock
+    | None -> Speedup.productive_time p.speedup ~te:p.te ~n:n0
+  in
+  let init0 = Option.map (fun w -> (w.xs, w.n)) warm in
+  (* Seeding the drift reference with the warm plan's mus lets a solve
+     that starts at its own fixed point stop after one outer round. *)
+  let prev_mus0 =
+    Option.map (fun w -> Array.map (fun m -> if Float.is_finite m then m else 0.) w.mus) warm
+  in
+  let rec outer_loop estimate prev_mus init outer inner =
     if not (Float.is_finite estimate) then divergent_plan p ~n:n0 ~outer ~inner
     else begin
     let params = multilevel_params p ~estimate in
-    let sol = Multilevel.optimize ?fixed_n ~n_max params in
+    let sol = Multilevel.optimize ?fixed_n ~n_max ?init params in
     let inner = inner + sol.Multilevel.iterations in
     let estimate' = sol.Multilevel.wall_clock in
     if not (Float.is_finite estimate') then
@@ -103,11 +125,83 @@ let solve ?(delta = 1e-9) ?(max_outer = 1_000) ?fixed_n ?(n_max = 1e9) p =
         ~converged:sol.Multilevel.converged
     else if outer + 1 >= max_outer then
       finish p ~sol ~estimate:estimate' ~outer:(outer + 1) ~inner ~converged:false
-    else outer_loop estimate' (Some mus') (outer + 1) inner
+    else
+      (* Rounds after the first run cold (init = None): each round's
+         inner solution must be a function of the estimate alone, or the
+         tol-sized dependence on the previous round's starting point
+         keeps the mu drift above delta forever.  The warm gain is the
+         near-fixed-point initial estimate, not per-round seeding. *)
+      outer_loop estimate' (Some mus') None (outer + 1) inner
     end
     end
   in
-  outer_loop estimate0 None 0 0
+  outer_loop estimate0 prev_mus0 init0 0 0
+
+type sweep_axis = [ `Scale | `Te | `Alloc ]
+
+type sweep_stats = {
+  points : int;
+  warm_starts : int;
+  inner_iterations : int;
+  outer_iterations : int;
+}
+
+let sweep ?delta ?(n_max = 1e9) ?(warm = true) ~axis ~values p =
+  check_problem p;
+  Array.iteri
+    (fun i v ->
+      let bad =
+        match axis with
+        | `Scale | `Te -> not (Float.is_finite v) || v <= 0.
+        | `Alloc -> not (Float.is_finite v) || v < 0.
+      in
+      if bad then
+        invalid_arg (Printf.sprintf "Optimizer.sweep: bad value %g at index %d" v i))
+    values;
+  let points = Array.length values in
+  (* Walk the grid in neighbour (sorted-value) order so each solve can
+     reuse the previous converged plan; results return in input order. *)
+  let order = Array.init points Fun.id in
+  Array.sort
+    (fun i j ->
+      match compare values.(i) values.(j) with 0 -> compare i j | c -> c)
+    order;
+  let plans = Array.make points None in
+  let prev = ref None in
+  let warm_starts = ref 0 and inner = ref 0 and outer = ref 0 in
+  Array.iter
+    (fun idx ->
+      let v = values.(idx) in
+      let problem, fixed_n =
+        match axis with
+        | `Scale -> (p, Some v)
+        | `Te -> ({ p with te = v }, None)
+        | `Alloc -> ({ p with alloc = v }, None)
+      in
+      let warm_plan = if warm then !prev else None in
+      if Option.is_some warm_plan then incr warm_starts;
+      let plan = solve ?delta ?fixed_n ~n_max ?warm:warm_plan problem in
+      inner := !inner + plan.inner_iterations;
+      outer := !outer + plan.outer_iterations;
+      plans.(idx) <- Some plan;
+      (* A divergent or unconverged plan would poison its neighbour's
+         start; break the chain and let the next point solve cold. *)
+      prev :=
+        if plan.converged && Float.is_finite plan.wall_clock then Some plan
+        else None)
+    order;
+  let plans =
+    Array.map (function Some plan -> plan | None -> assert false) plans
+  in
+  ( plans,
+    { points;
+      warm_starts = !warm_starts;
+      inner_iterations = !inner;
+      outer_iterations = !outer } )
+
+let pp_sweep_stats ppf s =
+  Format.fprintf ppf "%d points, %d warm-started, %d inner / %d outer iterations"
+    s.points s.warm_starts s.inner_iterations s.outer_iterations
 
 let single_level_problem p =
   let last = p.levels.(Array.length p.levels - 1) in

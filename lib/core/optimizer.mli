@@ -40,11 +40,53 @@ val solve :
   ?max_outer:int ->
   ?fixed_n:float ->
   ?n_max:float ->
+  ?warm:plan ->
   problem ->
   plan
 (** Run Algorithm 1.  [delta] (default [1e-9]) bounds
     [max_i |mu_i' - mu_i|]; [fixed_n] pins the scale (ori-scale
-    baselines); [n_max] bounds the scale search for peakless speedups. *)
+    baselines); [n_max] bounds the scale search for peakless speedups.
+
+    [warm] seeds the solve from a neighbouring problem's plan: its wall
+    clock replaces the failure-free initial estimate and its [(xs, n)]
+    initialize the inner fixed point ({!Multilevel.optimize}'s [init]).
+    A [warm] plan whose level arity differs or whose wall clock is not
+    finite-positive is ignored.  Warm starting moves only the starting
+    point of the contraction, so the returned plan matches a cold solve
+    to the solver tolerances while spending fewer iterations; omitting
+    [warm] leaves the solve byte-identical to before. *)
+
+type sweep_axis = [ `Scale | `Te | `Alloc ]
+(** Which problem coordinate a sweep varies: [`Scale] pins [fixed_n] at
+    each value, [`Te] substitutes the productive time, [`Alloc] the
+    allocation period. *)
+
+type sweep_stats = {
+  points : int;
+  warm_starts : int;  (** solves seeded from a neighbouring plan *)
+  inner_iterations : int;  (** summed over the whole grid *)
+  outer_iterations : int;
+}
+
+val sweep :
+  ?delta:float ->
+  ?n_max:float ->
+  ?warm:bool ->
+  axis:sweep_axis ->
+  values:float array ->
+  problem ->
+  plan array * sweep_stats
+(** [sweep ~axis ~values p] solves [p] at every grid value and returns
+    the plans aligned with [values], plus iteration totals.  The grid is
+    walked in sorted (neighbour) order so each solve warm-starts from
+    the previous converged plan — divergent or unconverged points break
+    the chain and the next point solves cold.  [warm:false] forces every
+    point to solve cold (the baseline the regression benchmark compares
+    against).  Values must be finite and positive ([`Alloc] allows 0).
+
+    @raise Invalid_argument on a bad grid value. *)
+
+val pp_sweep_stats : Format.formatter -> sweep_stats -> unit
 
 val ml_opt_scale : ?delta:float -> problem -> plan
 (** This paper's solution: all levels, optimized intervals and scale. *)

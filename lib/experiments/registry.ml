@@ -39,3 +39,20 @@ let find id =
   List.find_opt (fun e -> String.equal e.id id) all
 
 let ids () = List.map (fun e -> e.id) all
+
+let render e =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  e.run ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let render_all ?pool es =
+  match pool with
+  | None -> List.map (fun e -> (e, render e)) es
+  | Some pool ->
+      (* Experiments are independent pure renders (no module-level state
+         in this library), so fanning them across domains only reorders
+         the work; Pool.map returns them in list order regardless. *)
+      Array.to_list
+        (Ckpt_parallel.Pool.map pool ~f:(fun e -> (e, render e)) (Array.of_list es))

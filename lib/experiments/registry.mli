@@ -15,3 +15,12 @@ val find : string -> experiment option
 (** Lookup by id (case-insensitive). *)
 
 val ids : unit -> string list
+
+val render : experiment -> string
+(** Run one experiment into a buffer and return its textual output. *)
+
+val render_all :
+  ?pool:Ckpt_parallel.Pool.t -> experiment list -> (experiment * string) list
+(** Render every experiment, across [pool]'s domains when given (the
+    experiments are independent, so this is output-identical to the
+    sequential render — only faster), preserving list order. *)

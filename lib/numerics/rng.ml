@@ -50,6 +50,17 @@ let int64 t =
 
 let split t = create (int64 t)
 
+let streams ~n t =
+  if n < 0 then invalid_arg "Rng.streams: negative count";
+  let out = Array.make n t in
+  (* An explicit loop: the parent must be consumed in index order so
+     that stream [i] is the same generator no matter who later uses
+     it, or on how many domains. *)
+  for i = 0 to n - 1 do
+    out.(i) <- split t
+  done;
+  out
+
 let float t =
   (* Use the top 53 bits for a uniform double in [0, 1). *)
   let bits = Int64.shift_right_logical (int64 t) 11 in

@@ -40,6 +40,14 @@ val split : t -> t
 (** [split t] draws from [t] to seed a fresh, independent generator.
     The parent stream advances, so successive splits are distinct. *)
 
+val streams : n:int -> t -> t array
+(** [streams ~n t] derives [n] independent substreams by successive
+    {!split}s consumed in index order (the parent advances [n] draws).
+    Because the whole family is derived up front from the parent's
+    state, stream [i] is identical regardless of how many threads or
+    domains later consume the array — the seeding scheme behind the
+    simulator's deterministic parallel replication. *)
+
 val int64 : t -> int64
 (** [int64 t] returns a uniform 64-bit integer. *)
 

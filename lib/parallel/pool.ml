@@ -21,6 +21,8 @@ let create ~workers =
 
 let workers t = Array.length t.domains
 
+let recommended_workers () = Domain.recommended_domain_count ()
+
 let map t ~f xs =
   if not t.live then invalid_arg "Pool.map: pool is shut down";
   let n = Array.length xs in
@@ -66,3 +68,7 @@ let shutdown t =
     Work_queue.close t.queue;
     Array.iter Domain.join t.domains
   end
+
+let with_pool ~workers f =
+  let pool = create ~workers in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -1,11 +1,12 @@
 (** A fixed pool of OCaml 5 worker domains fed by a {!Work_queue}.
 
-    The batch executor under the service: [map] fans an array of
-    independent jobs out to the workers and reassembles the results in
-    submission order, so callers observe exactly the semantics of
+    The shared deterministic-parallelism executor: [map] fans an array
+    of independent jobs out to the workers and reassembles the results
+    in submission order, so callers observe exactly the semantics of
     [Array.map] — only faster.  Jobs must be pure with respect to shared
-    state (the optimizer solves handed to the pool are), which is what
-    makes parallel results bit-identical to sequential ones.
+    state (optimizer solves and seeded simulator runs are), which is
+    what makes parallel results bit-identical to sequential ones for
+    any worker count.
 
     A job that raises does not kill its worker domain: the exception is
     captured, the remaining jobs still run, and the first captured
@@ -18,6 +19,14 @@ val create : workers:int -> t
     @raise Invalid_argument when [workers < 1]. *)
 
 val workers : t -> int
+
+val recommended_workers : unit -> int
+(** [Domain.recommended_domain_count ()]: the worker count beyond which
+    extra domains cannot help on this machine (1 on a single core). *)
+
+val with_pool : workers:int -> (t -> 'a) -> 'a
+(** [with_pool ~workers f] runs [f] with a transient pool, shutting it
+    down (joining every domain) on the way out, exception or not. *)
 
 val map : t -> f:('a -> 'b) -> 'a array -> 'b array
 (** [map t ~f xs] runs [f xs.(i)] for every [i] across the pool and

@@ -1,4 +1,5 @@
 open Ckpt_model
+module Pool = Ckpt_parallel.Pool
 
 type t = {
   cache : Optimizer.plan Lru_cache.t;

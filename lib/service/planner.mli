@@ -48,7 +48,7 @@ val replan :
     series. *)
 
 val solve_batch :
-  ?pool:Pool.t ->
+  ?pool:Ckpt_parallel.Pool.t ->
   t ->
   Protocol.query array ->
   (Ckpt_model.Optimizer.plan * bool, Protocol.error) result array

@@ -1,4 +1,5 @@
 module Json = Ckpt_json.Json
+module Pool = Ckpt_parallel.Pool
 module Stats = Ckpt_numerics.Stats
 module Telemetry = Ckpt_adaptive.Telemetry
 module Rate_estimator = Ckpt_adaptive.Rate_estimator

@@ -221,8 +221,8 @@ let finish s completed =
     ckpts_redone = Array.copy s.ckpts_redone;
     ckpts_aborted = Array.copy s.ckpts_aborted }
 
-let run ?trace ?probe ~seed config =
-  let rng = Rng.of_int seed in
+let run ?trace ?probe ?rng ~seed config =
+  let rng = match rng with Some rng -> rng | None -> Rng.of_int seed in
   let next_failure_after =
     match config.Run_config.failure_trace with
     | Some events ->

@@ -19,9 +19,19 @@
       behaviour is configured by {!Run_config.semantics}. *)
 
 val run :
-  ?trace:Ckpt_simkernel.Trace.t -> ?probe:Probe.t -> seed:int -> Run_config.t -> Outcome.t
+  ?trace:Ckpt_simkernel.Trace.t ->
+  ?probe:Probe.t ->
+  ?rng:Ckpt_numerics.Rng.t ->
+  seed:int ->
+  Run_config.t ->
+  Outcome.t
 (** [run ~seed config] simulates one execution; equal seeds reproduce
-    equal outcomes bit-for-bit.  When [trace] is given, the engine records
+    equal outcomes bit-for-bit.  When [rng] is given it supplies the
+    randomness instead of [seed] (which is then ignored): the caller
+    owns the stream, which is how {!Replication} hands each replication
+    a {!Ckpt_numerics.Rng.split}-derived substream of one base seed.
+    The engine consumes (and advances) the given generator.
+    When [trace] is given, the engine records
     tagged events into it — ["failure"], ["recovery"], ["ckpt"],
     ["ckpt-redo"], ["ckpt-abort"], ["complete"], ["horizon"] — with the
     simulated wall-clock timestamps; tests use this to assert event

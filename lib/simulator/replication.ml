@@ -1,4 +1,6 @@
+module Rng = Ckpt_numerics.Rng
 module Stats = Ckpt_numerics.Stats
+module Pool = Ckpt_parallel.Pool
 
 type aggregate = {
   runs : int;
@@ -14,20 +16,51 @@ type aggregate = {
   wall_clock_ci95 : float * float;
 }
 
-let outcomes ?(runs = 100) ?(base_seed = 42) config =
+let outcomes ?pool ?(runs = 100) ?(base_seed = 42) config =
   assert (runs > 0);
-  Array.init runs (fun i -> Engine.run ~seed:(base_seed + i) config)
+  (* The whole family of per-replication streams is split off the base
+     seed up front, in index order, by the coordinating domain.  Each
+     replication then owns stream [i] outright, so the outcome array is
+     bit-identical whether the runs execute here or across any number
+     of pool workers in any schedule. *)
+  let rngs = Rng.streams ~n:runs (Rng.of_int base_seed) in
+  let job i = Engine.run ~rng:rngs.(i) ~seed:(base_seed + i) config in
+  match pool with
+  | None -> Array.init runs job
+  | Some pool -> Pool.map pool ~f:job (Array.init runs Fun.id)
 
-let run ?runs ?base_seed config =
-  let all = outcomes ?runs ?base_seed config in
-  let completed = Array.of_list (List.filter (fun o -> o.Outcome.completed) (Array.to_list all)) in
-  let pick f =
-    if Array.length completed = 0 then [| 0. |] else Array.map f completed
+let run ?pool ?runs ?base_seed config =
+  let all = outcomes ?pool ?runs ?base_seed config in
+  (* One pass to collect the completed outcomes, one fold per aggregate
+     field: no per-field re-filtering and no list round-trips. *)
+  let n_completed =
+    Array.fold_left (fun k o -> if o.Outcome.completed then k + 1 else k) 0 all
   in
-  let walls = pick (fun o -> o.Outcome.wall_clock) in
-  let mean f = Stats.mean (pick f) in
+  let completed =
+    if n_completed = 0 then [||]
+    else begin
+      let out = Array.make n_completed all.(0) in
+      let j = ref 0 in
+      Array.iter
+        (fun o ->
+          if o.Outcome.completed then begin
+            out.(!j) <- o;
+            incr j
+          end)
+        all;
+      out
+    end
+  in
+  let walls =
+    if n_completed = 0 then [| 0. |]
+    else Array.map (fun o -> o.Outcome.wall_clock) completed
+  in
+  let mean f =
+    if n_completed = 0 then 0.
+    else Array.fold_left (fun acc o -> acc +. f o) 0. completed /. float_of_int n_completed
+  in
   { runs = Array.length all;
-    completed_runs = Array.length completed;
+    completed_runs = n_completed;
     wall_clock = Stats.summarize walls;
     productive = mean (fun o -> o.Outcome.productive);
     checkpoint = mean (fun o -> o.Outcome.checkpoint);

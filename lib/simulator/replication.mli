@@ -2,7 +2,17 @@
 
     The paper reports mean values over 100 runs with random failure
     arrivals per configuration (Section IV-A).  This module runs a
-    configuration across seeds and aggregates the outcome portions. *)
+    configuration across independent RNG streams and aggregates the
+    outcome portions.
+
+    {b Determinism contract.}  Replication [i] consumes the [i]-th
+    substream of [Rng.streams ~n:runs (Rng.of_int base_seed)], derived
+    up front by the coordinator.  Passing a {!Ckpt_parallel.Pool} fans
+    the replications across its worker domains; because the streams are
+    fixed before any run starts and {!Ckpt_parallel.Pool.map} preserves
+    index order, the outcome array — and hence every aggregate — is
+    bit-identical for any worker count and any scheduling order
+    (property-tested in [test/test_simulator.ml]). *)
 
 type aggregate = {
   runs : int;
@@ -18,13 +28,17 @@ type aggregate = {
   wall_clock_ci95 : float * float;
 }
 
-val run : ?runs:int -> ?base_seed:int -> Run_config.t -> aggregate
-(** [run config] simulates [runs] executions (default 100) with seeds
-    [base_seed + i] (default base 42) and aggregates.  Runs that hit the
-    safety horizon are counted in [runs - completed_runs] and excluded
-    from the means (a warning case the caller should surface). *)
+val run :
+  ?pool:Ckpt_parallel.Pool.t -> ?runs:int -> ?base_seed:int -> Run_config.t -> aggregate
+(** [run config] simulates [runs] executions (default 100) on split
+    substreams of [base_seed] (default 42) and aggregates.  Runs that
+    hit the safety horizon are counted in [runs - completed_runs] and
+    excluded from the means (a warning case the caller should surface).
+    [pool] parallelizes the runs without changing any result. *)
 
-val outcomes : ?runs:int -> ?base_seed:int -> Run_config.t -> Outcome.t array
-(** The raw per-run outcomes, for custom statistics. *)
+val outcomes :
+  ?pool:Ckpt_parallel.Pool.t -> ?runs:int -> ?base_seed:int -> Run_config.t -> Outcome.t array
+(** The raw per-run outcomes, for custom statistics.  Slot [i] always
+    holds the outcome of stream [i], pool or not. *)
 
 val pp : Format.formatter -> aggregate -> unit

@@ -470,5 +470,12 @@ let () =
        [ Alcotest.test_case "observe/estimate/replan round-trip" `Quick
            test_service_adaptive_round_trip ]);
       ("properties",
-       List.map QCheck_alcotest.to_alcotest
-         [ qcheck_telemetry_round_trip; qcheck_mle_ci_covers_exponential ]) ]
+       [ QCheck_alcotest.to_alcotest qcheck_telemetry_round_trip;
+         (* Fixed seed: each random trial has a small (~0.1%) chance the
+            99.9% interval excludes the truth, so 60 trials under a fresh
+            seed fail a few percent of the time.  The sharp coverage
+            statement is the empirical test; this one just needs a
+            reproducible sample of seeds. *)
+         QCheck_alcotest.to_alcotest
+           ~rand:(Random.State.make [| 0x5eed |])
+           qcheck_mle_ci_covers_exponential ]) ]

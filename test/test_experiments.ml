@@ -206,9 +206,11 @@ let test_costmodel () =
     from_meas.Optimizer.n from_pred.Optimizer.n
 
 let test_report () =
-  (* A cheap report (2 runs/cell) must contain every check and no
-     deviation. *)
-  let lines = E.Report.compute ~runs:2 () in
+  (* A cheap report must contain every check and no deviation.  10
+     runs/cell is the floor: the ML(opt) vs ML(ori) gap is only ~7-26%
+     (paper), so fewer runs can flip the improvement's sign on pure
+     Monte-Carlo noise. *)
+  let lines = E.Report.compute ~runs:10 () in
   Alcotest.(check int) "20 checks" 20 (List.length lines);
   Alcotest.(check bool) "no deviations" true
     (List.for_all (fun l -> l.E.Report.verdict <> E.Report.Deviates) lines);

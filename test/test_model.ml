@@ -438,6 +438,104 @@ let test_optimizer_sl_ori_is_young () =
     (Young.interval_count ~productive ~ckpt_cost:c ~failures)
     plan.Optimizer.xs.(0)
 
+(* ---------------- Optimizer.sweep (warm starts) ---------------- *)
+
+let check_plan_matches msg (cold : Optimizer.plan) (warm : Optimizer.plan) =
+  check_rel ~tol:1e-6 (msg ^ ": wall clock") cold.Optimizer.wall_clock
+    warm.Optimizer.wall_clock;
+  Alcotest.(check bool)
+    (msg ^ ": scale") true
+    (Float.abs (cold.Optimizer.n -. warm.Optimizer.n) <= 1.);
+  Array.iteri
+    (fun i x ->
+      check_rel ~tol:1e-4
+        (Printf.sprintf "%s: x_%d" msg (i + 1))
+        x warm.Optimizer.xs.(i))
+    cold.Optimizer.xs
+
+let test_sweep_warm_matches_cold () =
+  let problem = eval_problem () in
+  (* Scale points stay at or below the speedup peak (n_star = 1e6). *)
+  let scale_values = [| 2e5; 4e5; 6e5; 8e5; 1e6; 5e5; 3e5 |] in
+  let te_values = Array.map (fun d -> d *. 86400.) [| 1e6; 2e6; 3e6; 4e6; 2.5e6 |] in
+  List.iter
+    (fun (axis, values, label) ->
+      let warm_plans, warm_stats =
+        Optimizer.sweep ~axis ~values problem
+      in
+      let cold_plans, cold_stats =
+        Optimizer.sweep ~warm:false ~axis ~values problem
+      in
+      Alcotest.(check int) (label ^ ": plan count") (Array.length values)
+        (Array.length warm_plans);
+      Alcotest.(check int)
+        (label ^ ": warm start count")
+        (Array.length values - 1)
+        warm_stats.Optimizer.warm_starts;
+      Alcotest.(check int) (label ^ ": cold never warm-starts") 0
+        cold_stats.Optimizer.warm_starts;
+      Array.iteri
+        (fun i cold ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: point %d converged" label i)
+            true warm_plans.(i).Optimizer.converged;
+          check_plan_matches (Printf.sprintf "%s: point %d" label i) cold
+            warm_plans.(i))
+        cold_plans;
+      Alcotest.(check bool)
+        (label ^ ": warm spends fewer inner iterations")
+        true
+        (warm_stats.Optimizer.inner_iterations
+        < cold_stats.Optimizer.inner_iterations))
+    [ (`Scale, scale_values, "scale");
+      (`Te, te_values, "te");
+      (`Alloc, [| 30.; 60.; 90.; 120.; 45. |], "alloc") ]
+
+let test_sweep_preserves_input_order () =
+  let problem = eval_problem () in
+  let values = [| 8e5; 2e5; 5e5 |] in
+  let plans, _ = Optimizer.sweep ~axis:`Scale ~values problem in
+  Array.iteri
+    (fun i v ->
+      check_close ~tol:1e-9
+        (Printf.sprintf "plan %d pinned at its own scale" i)
+        v plans.(i).Optimizer.n)
+    values
+
+let test_sweep_rejects_bad_values () =
+  let problem = eval_problem () in
+  let rejected axis values =
+    try
+      ignore (Optimizer.sweep ~axis ~values problem);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "zero scale rejected" true (rejected `Scale [| 1e6; 0. |]);
+  Alcotest.(check bool) "negative te rejected" true (rejected `Te [| -1. |]);
+  Alcotest.(check bool) "nan alloc rejected" true (rejected `Alloc [| Float.nan |]);
+  Alcotest.(check bool) "zero alloc allowed" true
+    (not
+       (try
+          ignore (Optimizer.sweep ~axis:`Alloc ~values:[| 0. |] problem);
+          false
+        with Invalid_argument _ -> true))
+
+let test_warm_solve_matches_cold () =
+  let problem = eval_problem () in
+  let cold = Optimizer.ml_opt_scale problem in
+  (* Warm-start the same problem from its own solution: the answer must
+     not move, and the solve should spend strictly fewer iterations. *)
+  let warm = Optimizer.solve ~warm:cold problem in
+  check_plan_matches "self warm start" cold warm;
+  Alcotest.(check bool) "fewer inner iterations" true
+    (warm.Optimizer.inner_iterations < cold.Optimizer.inner_iterations);
+  (* A warm plan with the wrong arity is ignored, not an error. *)
+  let sl = Optimizer.single_level_problem problem in
+  let warm_bad = Optimizer.solve ~warm:cold sl in
+  let cold_sl = Optimizer.solve sl in
+  check_close ~tol:0. "mismatched warm plan ignored" cold_sl.Optimizer.wall_clock
+    warm_bad.Optimizer.wall_clock
+
 (* ---------------- Level_selection ---------------- *)
 
 let test_selection_subsets () =
@@ -981,6 +1079,11 @@ let () =
           Alcotest.test_case "amdahl end to end" `Quick test_optimizer_amdahl_end_to_end;
           Alcotest.test_case "young init form" `Quick test_young_init_matches_young_module;
           Alcotest.test_case "pp plan" `Quick test_pp_plan_renders ] );
+      ( "sweep",
+        [ Alcotest.test_case "warm matches cold" `Quick test_sweep_warm_matches_cold;
+          Alcotest.test_case "input order" `Quick test_sweep_preserves_input_order;
+          Alcotest.test_case "bad values" `Quick test_sweep_rejects_bad_values;
+          Alcotest.test_case "warm solve" `Quick test_warm_solve_matches_cold ] );
       ( "level-selection",
         [ Alcotest.test_case "subsets" `Quick test_selection_subsets;
           Alcotest.test_case "regroup" `Quick test_selection_regroup;

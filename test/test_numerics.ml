@@ -80,6 +80,43 @@ let test_rng_bool () =
   done;
   Alcotest.(check bool) "roughly fair" true (!trues > 4_600 && !trues < 5_400)
 
+(* Draw [n] values, sorted, for overlap checks. *)
+let sorted_window rng n =
+  let a = Array.init n (fun _ -> Rng.int64 rng) in
+  Array.sort Int64.compare a;
+  a
+
+(* Two-pointer count of values present in both sorted windows. *)
+let common_count a b =
+  let n = Array.length a and m = Array.length b in
+  let rec go i j acc =
+    if i >= n || j >= m then acc
+    else
+      match Int64.compare a.(i) b.(j) with
+      | 0 -> go (i + 1) (j + 1) (acc + 1)
+      | c when c < 0 -> go (i + 1) j acc
+      | _ -> go i (j + 1) acc
+  in
+  go 0 0 0
+
+(* The determinism contract of the parallel replication layer leans on
+   split/jump substreams not revisiting each other's outputs.  With
+   64-bit draws, a shared value inside 10^6-draw windows has probability
+   ~3e-8 for truly independent streams — so any collision here means the
+   derivation scheme is broken, not bad luck. *)
+let test_rng_substreams_do_not_overlap () =
+  let n = 1_000_000 in
+  let parent = Rng.of_int 2024 in
+  let child = Rng.split parent in
+  let jumped = Rng.copy child in
+  Rng.jump jumped;
+  let wp = sorted_window parent n in
+  let wc = sorted_window child n in
+  let wj = sorted_window jumped n in
+  Alcotest.(check int) "parent/child disjoint" 0 (common_count wp wc);
+  Alcotest.(check int) "parent/jumped disjoint" 0 (common_count wp wj);
+  Alcotest.(check int) "child/jumped disjoint" 0 (common_count wc wj)
+
 (* ---------------- Dist ---------------- *)
 
 let sample_mean n f =
@@ -562,7 +599,37 @@ let qcheck_tests =
       (fun xs ->
         let o = Stats.Online.create () in
         Array.iter (Stats.Online.add o) xs;
-        Float.abs (Stats.Online.mean o -. Stats.mean xs) < 1e-6) ]
+        Float.abs (Stats.Online.mean o -. Stats.mean xs) < 1e-6);
+    Test.make ~name:"rng stream families are pairwise disjoint" ~count:25
+      (pair small_int (int_range 2 8))
+      (fun (seed, n_streams) ->
+        let streams = Rng.streams ~n:n_streams (Rng.of_int seed) in
+        let windows = Array.map (fun rng -> sorted_window rng 2_048) streams in
+        let ok = ref true in
+        Array.iteri
+          (fun i wi ->
+            Array.iteri
+              (fun j wj -> if i < j && common_count wi wj > 0 then ok := false)
+              windows)
+          windows;
+        !ok);
+    Test.make ~name:"rng streams are schedule-independent" ~count:50
+      (pair small_int (int_range 1 8))
+      (fun (seed, n_streams) ->
+        (* The family is fixed by (seed, n): consuming stream i first,
+           last, or not at all never changes what stream i yields. *)
+        let a = Rng.streams ~n:n_streams (Rng.of_int seed) in
+        let b = Rng.streams ~n:n_streams (Rng.of_int seed) in
+        let draws rng = Array.init 64 (fun _ -> Rng.int64 rng) in
+        let forward = Array.map draws a in
+        let backward =
+          let out = Array.make n_streams [||] in
+          for i = n_streams - 1 downto 0 do
+            out.(i) <- draws b.(i)
+          done;
+          out
+        in
+        forward = backward) ]
 
 let () =
   Alcotest.run "ckpt_numerics"
@@ -576,7 +643,9 @@ let () =
           Alcotest.test_case "split independence" `Quick test_rng_split_independent;
           Alcotest.test_case "copy" `Quick test_rng_copy;
           Alcotest.test_case "jump" `Quick test_rng_jump;
-          Alcotest.test_case "bool fair" `Quick test_rng_bool ] );
+          Alcotest.test_case "bool fair" `Quick test_rng_bool;
+          Alcotest.test_case "substreams do not overlap (1e6 window)" `Quick
+            test_rng_substreams_do_not_overlap ] );
       ( "dist",
         [ Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
           Alcotest.test_case "exponential positive" `Quick test_exponential_positive;

@@ -5,6 +5,8 @@
 
 open Ckpt_model
 open Ckpt_service
+module Pool = Ckpt_parallel.Pool
+module Work_queue = Ckpt_parallel.Work_queue
 module Json = Ckpt_json.Json
 module Failure_spec = Ckpt_failures.Failure_spec
 

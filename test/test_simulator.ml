@@ -431,6 +431,52 @@ let test_subsumption_engines_agree () =
   in
   check_rel ~tol:0.04 "engines agree under subsumption" tk ev
 
+(* ---------------- parallel replication ---------------- *)
+
+module Pool = Ckpt_parallel.Pool
+
+(* The determinism contract: per-replication RNG substreams are fixed
+   before any run starts, so fanning the runs across worker domains must
+   not change a single bit of any outcome or aggregate. *)
+let test_parallel_replication_bit_identical () =
+  let config = small_config () in
+  let runs = 12 and base_seed = 7 in
+  let baseline_outcomes = Replication.outcomes ~runs ~base_seed config in
+  let baseline_aggregate = Replication.run ~runs ~base_seed config in
+  List.iter
+    (fun workers ->
+      Pool.with_pool ~workers (fun pool ->
+          Alcotest.(check bool)
+            (Printf.sprintf "outcomes bit-identical at %d workers" workers)
+            true
+            (Replication.outcomes ~pool ~runs ~base_seed config = baseline_outcomes);
+          Alcotest.(check bool)
+            (Printf.sprintf "aggregate bit-identical at %d workers" workers)
+            true
+            (Replication.run ~pool ~runs ~base_seed config = baseline_aggregate)))
+    [ 1; 2; 4 ]
+
+(* Only a timing comparison is scheduling-sensitive; on a single-core
+   machine a 4-domain pool cannot win, so the comparison is skipped
+   rather than asserted backwards (same policy as test_service). *)
+let test_parallel_replication_speedup () =
+  if Domain.recommended_domain_count () < 4 then Alcotest.skip ()
+  else begin
+    let config = small_config () in
+    let runs = 60 in
+    let time workers =
+      Pool.with_pool ~workers (fun pool ->
+          let t0 = Unix.gettimeofday () in
+          ignore (Replication.run ~pool ~runs ~base_seed:3 config);
+          Unix.gettimeofday () -. t0)
+    in
+    let t1 = time 1 and t4 = time 4 in
+    Alcotest.(check bool)
+      (Printf.sprintf "4 workers (%.1f ms) beat 1 worker (%.1f ms)" (t4 *. 1e3)
+         (t1 *. 1e3))
+      true (t4 < t1)
+  end
+
 (* ---------------- properties ---------------- *)
 
 let qcheck_tests =
@@ -459,7 +505,15 @@ let qcheck_tests =
       (fun seed ->
         let config = small_config () in
         let o = Engine.run ~seed config in
-        o.Outcome.wall_clock >= Run_config.productive_target config) ]
+        o.Outcome.wall_clock >= Run_config.productive_target config);
+    Test.make ~name:"parallel replication is schedule-independent" ~count:10
+      (pair small_int (int_range 1 4))
+      (fun (base_seed, workers) ->
+        let config = small_config () in
+        let runs = 8 in
+        let sequential = Replication.run ~runs ~base_seed config in
+        Pool.with_pool ~workers (fun pool ->
+            Replication.run ~pool ~runs ~base_seed config = sequential)) ]
 
 let () =
   Alcotest.run "ckpt_sim"
@@ -503,4 +557,9 @@ let () =
         [ Alcotest.test_case "aggregate" `Quick test_replication_aggregate;
           Alcotest.test_case "deterministic seeds" `Quick
             test_outcomes_deterministic_base_seed ] );
+      ( "parallel",
+        [ Alcotest.test_case "bit-identical across workers" `Quick
+            test_parallel_replication_bit_identical;
+          Alcotest.test_case "speedup (multi-core only)" `Slow
+            test_parallel_replication_speedup ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests) ]

@@ -394,6 +394,65 @@ let json_bench () =
             ~kernel:(Printf.sprintf "registry-%s" (String.concat "+" registry_ids))
             ~workers ~reps ~baseline:registry_seq ~optimized:registry_par [] ])
   in
+  (* Planner under faults: the resilience tax.  The same 64-query
+     all-miss batch, healthy vs a seeded ~10% pool+solver fault rate
+     (retries, fallback chain and worker respawns included in the
+     timing).  Each run shifts the grid so the LRU never serves it. *)
+  let entries =
+    entries
+    @
+    let module Chaos = Ckpt_chaos.Chaos in
+    let module Planner = Ckpt_service.Planner in
+    let module Metrics = Ckpt_service.Metrics in
+    let planner_offset = ref 0. in
+    let batch () =
+      planner_offset := !planner_offset +. 7.;
+      Array.init 64 (fun i ->
+          { Ckpt_service.Protocol.problem = eval_problem;
+            solution = Ckpt_service.Protocol.Ml_opt;
+            fixed_n = Some (2e5 +. !planner_offset +. (float_of_int i *. 1e3));
+            delta = 1e-9 })
+    in
+    let fault_spec =
+      { Chaos.disabled with
+        Chaos.seed = 5;
+        pool_crash = 0.05;
+        pool_stall = 0.05;
+        stall_max_s = 5e-4;
+        solver_diverge = 0.05;
+        solver_non_finite = 0.05 }
+    in
+    let time_planner ?chaos () =
+      let metrics = Metrics.create () in
+      let planner = Planner.create ~cache_capacity:16 ?chaos metrics in
+      let degraded = ref 0 in
+      let timing =
+        match chaos with
+        | None ->
+            Pool.with_pool ~workers (fun pool ->
+                time_ns ~reps (fun () -> Planner.solve_batch ~pool planner (batch ())))
+        | Some c ->
+            Pool.with_pool ~chaos:c ~workers (fun pool ->
+                time_ns ~reps (fun () -> Planner.solve_batch ~pool planner (batch ())))
+      in
+      degraded := (Metrics.snapshot metrics).Metrics.degraded;
+      (timing, !degraded)
+    in
+    let healthy, _ = time_planner () in
+    let faulted, degraded = time_planner ~chaos:(Chaos.create fault_spec) () in
+    let planner_entry ~kernel ~fault_rate ~timing extra =
+      J.Obj
+        ([ ("kernel", J.String kernel);
+           ("workers", J.Number (float_of_int workers));
+           ("reps", J.Number (float_of_int reps));
+           ("fault_rate", J.Number fault_rate);
+           timing_obj "wall" timing ]
+        @ extra)
+    in
+    [ planner_entry ~kernel:"planner-batch64-fault-0pct" ~fault_rate:0. ~timing:healthy [];
+      planner_entry ~kernel:"planner-batch64-fault-10pct" ~fault_rate:0.1 ~timing:faulted
+        [ ("degraded_answers", J.Number (float_of_int degraded)) ] ]
+  in
   let doc =
     J.Obj
       [ ("schema", J.String "ckpt-bench/1");

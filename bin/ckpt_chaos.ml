@@ -1,0 +1,240 @@
+(* Chaos driver: replay a seeded fault schedule against a live service.
+
+   Synthesizes (or reads) a JSON-lines request stream, runs it through a
+   Service carrying a Chaos policy, prints one response per line, and
+   reports what was injected and how the service degraded.  Because the
+   fault schedule is a pure function of (seed, site, index, attempt),
+   re-running with the same seed and stream replays the exact same
+   faults — and must produce the exact same responses — at any worker
+   count.
+
+   Examples:
+     ckpt_chaos --seed 42 --rate 0.1 --workers 4 --requests 500
+     ckpt_chaos --input traffic.jsonl --rate 0.25
+     ckpt_chaos --self-check *)
+
+open Cmdliner
+module Service = Ckpt_service.Service
+module Protocol = Ckpt_service.Protocol
+module Chaos = Ckpt_chaos.Chaos
+module Json = Ckpt_json.Json
+
+let read_lines ic =
+  let rec loop acc =
+    match In_channel.input_line ic with
+    | Some line -> loop (line :: acc)
+    | None -> List.rev acc
+  in
+  loop []
+
+let non_blank line = String.trim line <> ""
+
+(* ---------------- synthetic traffic ---------------- *)
+
+let base_problem =
+  let open Ckpt_model in
+  { Optimizer.te = 1e4 *. 86_400.;
+    speedup = Speedup.quadratic ~kappa:0.46 ~n_star:1e5;
+    levels = Level.fti_fusion;
+    alloc = 60.;
+    spec = Ckpt_failures.Failure_spec.of_string ~baseline_scale:1e5 "16-12-8-4" }
+
+let problem_json = Ckpt_model.Codec.problem_to_json base_problem
+
+let observe_line i =
+  let t0 = float_of_int (i * 1000) in
+  let events =
+    [ Json.Obj
+        [ ("t", Json.Number t0); ("ev", Json.String "start");
+          ("scale", Json.Number 1e5); ("levels", Json.Number 4.) ];
+      Json.Obj
+        [ ("t", Json.Number (t0 +. 10.)); ("ev", Json.String "compute");
+          ("dur", Json.Number 500.); ("productive", Json.Number 480.) ];
+      Json.Obj
+        [ ("t", Json.Number (t0 +. 510.)); ("ev", Json.String "failure");
+          ("level", Json.Number (float_of_int (1 + (i mod 4)))) ];
+      Json.Obj
+        [ ("t", Json.Number (t0 +. 520.)); ("ev", Json.String "ckpt");
+          ("level", Json.Number 1.); ("dur", Json.Number 12.) ];
+      Json.Obj
+        [ ("t", Json.Number (t0 +. 600.)); ("ev", Json.String "end");
+          ("completed", Json.Bool true) ] ]
+  in
+  Json.to_string
+    (Json.Obj
+       [ ("id", Json.Number (float_of_int i)); ("op", Json.String "observe");
+         ("events", Json.List events) ])
+
+let replan_line i =
+  Json.to_string
+    (Json.Obj
+       [ ("id", Json.Number (float_of_int i)); ("op", Json.String "replan");
+         ("fixed_n", Json.Number (2e4 +. (float_of_int i *. 10.)));
+         ("problem", problem_json) ])
+
+let sweep_line i =
+  let base = 1e4 +. (float_of_int i *. 40.) in
+  Json.to_string
+    (Json.Obj
+       [ ("id", Json.Number (float_of_int i)); ("op", Json.String "sweep");
+         ("param", Json.String "scale");
+         ("values", Json.List (List.map (fun k -> Json.Number (base +. (float_of_int k *. 1e3))) [ 0; 1; 2 ]));
+         ("problem", problem_json) ])
+
+let plan_line i =
+  Json.to_string
+    (Json.Obj
+       [ ("id", Json.Number (float_of_int i)); ("op", Json.String "plan");
+         ("solution", Json.String (if i mod 5 = 0 then "sl-opt" else "ml-opt"));
+         ("fixed_n", Json.Number (1e4 +. (float_of_int i *. 150.)));
+         ("problem", problem_json) ])
+
+(* A mix that exercises every chaos site: plans and sweeps feed the pool
+   and solver, observes feed the telemetry intake, replans read it back. *)
+let synthesize n =
+  List.init n (fun i ->
+      if i mod 17 = 0 then observe_line i
+      else if i mod 13 = 0 then replan_line i
+      else if i mod 7 = 0 then sweep_line i
+      else plan_line i)
+
+(* ---------------- the replay ---------------- *)
+
+let chunks size list =
+  let rec go acc current k = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | x :: rest ->
+        if k = size then go (List.rev current :: acc) [ x ] 1 rest
+        else go acc (x :: current) (k + 1) rest
+  in
+  go [] [] 0 list
+
+let replay ~seed ~rate ~workers ~batch lines =
+  let chaos = if rate > 0. then Some (Chaos.create (Chaos.spec ~seed ~rate ())) else None in
+  let service = Service.create ~workers ?chaos () in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+  let responses =
+    List.concat_map (fun chunk -> Service.handle_batch service chunk) (chunks batch lines)
+  in
+  (responses, chaos, Service.metrics service)
+
+let classify responses =
+  let ok = ref 0 and degraded = ref 0 and errors = ref 0 in
+  List.iter
+    (fun r ->
+      if Protocol.response_degraded r then incr degraded
+      else if Protocol.response_ok r then incr ok
+      else incr errors)
+    responses;
+  (!ok, !degraded, !errors)
+
+let report ppf ~chaos ~metrics responses =
+  let ok, degraded, errors = classify responses in
+  Format.fprintf ppf "@[<v>chaos replay: %d responses (%d ok, %d degraded, %d errors)@,"
+    (List.length responses) ok degraded errors;
+  (match chaos with
+  | Some c -> Format.fprintf ppf "%a@," Chaos.pp c
+  | None -> Format.fprintf ppf "chaos disabled (rate 0)@,");
+  Format.fprintf ppf "%a@]@." Ckpt_service.Metrics.pp metrics
+
+(* --self-check: the determinism contract, end to end.  The same seeded
+   stream must produce byte-identical responses with 0 and 2 workers,
+   and every response must be well-formed: ok, degraded, or a
+   structured error with a code. *)
+let self_check () =
+  let lines = synthesize 120 in
+  let run workers =
+    let responses, chaos, _ = replay ~seed:7 ~rate:0.15 ~workers ~batch:40 lines in
+    (List.map Json.to_string responses, Option.map Chaos.injected chaos)
+  in
+  let sequential, injected0 = run 0 in
+  let parallel, injected2 = run 2 in
+  if List.length sequential <> List.length lines then
+    Error
+      (Printf.sprintf "self-check: %d responses for %d requests" (List.length sequential)
+         (List.length lines))
+  else if sequential <> parallel then
+    Error "self-check: responses differ between 0 and 2 workers under the same chaos seed"
+  else if injected0 = Some 0 && injected2 = Some 0 then
+    Error "self-check: the chaos policy never fired at rate 0.15"
+  else begin
+    let malformed =
+      List.filter
+        (fun line ->
+          let r = Json.parse line in
+          not
+            (Protocol.response_ok r || Protocol.response_degraded r
+            || match Protocol.response_error r with
+               | Some e -> e.Protocol.code <> ""
+               | None -> false))
+        sequential
+    in
+    match malformed with
+    | [] ->
+        print_endline "self-check ok";
+        Ok ()
+    | bad :: _ -> Error ("self-check: malformed response " ^ bad)
+  end
+
+let run input output seed rate workers requests batch self =
+  if rate < 0. || rate > 1. then Error (Printf.sprintf "--rate must be in [0, 1], got %g" rate)
+  else if workers < 0 then Error (Printf.sprintf "--workers must be >= 0, got %d" workers)
+  else if requests < 1 then Error (Printf.sprintf "--requests must be >= 1, got %d" requests)
+  else if batch < 1 then Error (Printf.sprintf "--batch must be >= 1, got %d" batch)
+  else if self then self_check ()
+  else begin
+    let lines =
+      match input with
+      | None -> synthesize requests
+      | Some path -> List.filter non_blank (In_channel.with_open_text path read_lines)
+    in
+    let responses, chaos, metrics = replay ~seed ~rate ~workers ~batch lines in
+    let emit oc =
+      List.iter (fun r -> output_string oc (Json.to_string r); output_char oc '\n') responses
+    in
+    (match output with
+    | None -> emit stdout
+    | Some path -> Out_channel.with_open_text path emit);
+    report Format.err_formatter ~chaos ~metrics responses;
+    Ok ()
+  end
+
+let input =
+  Arg.(value & opt (some file) None
+       & info [ "input"; "i" ] ~docv:"FILE"
+           ~doc:"JSON-lines request file (default: synthesized traffic).")
+
+let output =
+  Arg.(value & opt (some string) None
+       & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Response file (default stdout).")
+
+let seed =
+  Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Chaos seed; same seed, same fault schedule.")
+
+let rate =
+  Arg.(value & opt float 0.1
+       & info [ "rate" ] ~doc:"Total fault probability per site (0 disables chaos).")
+
+let workers =
+  Arg.(value & opt int 2 & info [ "workers"; "j" ] ~doc:"Worker domains; 0 solves inline.")
+
+let requests =
+  Arg.(value & opt int 200
+       & info [ "requests"; "n" ] ~doc:"Synthesized request count (ignored with --input).")
+
+let batch =
+  Arg.(value & opt int 50 & info [ "batch" ] ~doc:"Requests per handle_batch call.")
+
+let self =
+  Arg.(value & flag
+       & info [ "self-check" ]
+           ~doc:"Replay a seeded stream at 0 and 2 workers, require identical responses, and exit.")
+
+let cmd =
+  let doc = "Deterministic fault-injection replay against the planning service" in
+  let term =
+    Term.(const run $ input $ output $ seed $ rate $ workers $ requests $ batch $ self)
+  in
+  Cmd.v (Cmd.info "ckpt-chaos" ~doc) Term.(term_result' term)
+
+let () = exit (Cmd.eval cmd)

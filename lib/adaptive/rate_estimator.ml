@@ -40,11 +40,16 @@ let check_level t level =
    the closed form of  integral_0^d e^(-gamma (d - u)) du = (1 - e^(-gamma d)) / gamma. *)
 let advance t at =
   match t.last_at with
-  | None -> { t with last_at = Some at }
+  | None -> if Float.is_finite at then { t with last_at = Some at } else t
   | Some last ->
-      let dt = Float.max 0. (at -. last) in
+      (* Skewed or corrupted logs can present out-of-order or even
+         non-finite timestamps; exposure only ever moves forward, and
+         the watermark never rewinds (a backwards event must not make
+         the span up to it count twice). *)
+      let gap = at -. last in
+      let dt = if Float.is_finite gap && gap > 0. then gap else 0. in
       let dcore = dt *. t.scale in
-      let t = { t with last_at = Some at; raw_exposure = t.raw_exposure +. dcore } in
+      let t = { t with last_at = Some (last +. dt); raw_exposure = t.raw_exposure +. dcore } in
       if dcore = 0. then t
       else (
         match t.half_life with
@@ -62,8 +67,9 @@ let observe t event =
   match event with
   | Telemetry.Run_start { at; scale; levels = _ } ->
       (* no exposure across the inter-run gap *)
-      let scale = if scale > 0. then scale else t.scale in
-      { t with scale; last_at = Some at }
+      let scale = if scale > 0. && Float.is_finite scale then scale else t.scale in
+      let last_at = if Float.is_finite at then Some at else t.last_at in
+      { t with scale; last_at }
   | Telemetry.Failure { at; level } ->
       check_level t level;
       let t = advance t at in

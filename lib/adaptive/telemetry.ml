@@ -42,33 +42,58 @@ let to_json event =
 
 let ( let* ) = Result.bind
 
+let max_levels = 4096
+
 let field name conv json =
   match Option.bind (Json.member name json) conv with
   | Some v -> Ok v
   | None -> Error (Printf.sprintf "missing or invalid field %S" name)
 
+(* Decoded events feed estimators that allocate per-level arrays and
+   accumulate exposure, so a hostile or corrupted log must not smuggle
+   in NaN/infinite numbers or absurd level counts. *)
+let finite name v =
+  if Float.is_finite v then Ok v
+  else Error (Printf.sprintf "field %S is not finite" name)
+
+let checked_dur name v =
+  if Float.is_finite v && v >= 0. then Ok v
+  else Error (Printf.sprintf "field %S must be a finite non-negative duration" name)
+
+let level_index name v =
+  if v >= 1 && v <= max_levels then Ok v
+  else Error (Printf.sprintf "field %S outside 1..%d" name max_levels)
+
 let of_json json =
   let* t = field "t" Json.to_float json in
+  let* t = finite "t" t in
   let* kind = field "ev" Json.to_str json in
   match kind with
   | "start" ->
       let* scale = field "scale" Json.to_float json in
+      let* scale = finite "scale" scale in
       let* levels = field "levels" Json.to_int json in
+      let* levels =
+        if levels >= 0 && levels <= max_levels then Ok levels
+        else Error (Printf.sprintf "field \"levels\" outside 0..%d" max_levels)
+      in
       Ok (Run_start { at = t; scale; levels })
   | "compute" ->
-      let* duration = field "dur" Json.to_float json in
-      let* productive = field "productive" Json.to_float json in
+      let* duration = Result.bind (field "dur" Json.to_float json) (checked_dur "dur") in
+      let* productive =
+        Result.bind (field "productive" Json.to_float json) (checked_dur "productive")
+      in
       Ok (Compute { at = t; duration; productive })
   | "ckpt" ->
-      let* level = field "level" Json.to_int json in
-      let* duration = field "dur" Json.to_float json in
+      let* level = Result.bind (field "level" Json.to_int json) (level_index "level") in
+      let* duration = Result.bind (field "dur" Json.to_float json) (checked_dur "dur") in
       Ok (Ckpt { at = t; level; duration })
   | "restart" ->
-      let* level = field "level" Json.to_int json in
-      let* duration = field "dur" Json.to_float json in
+      let* level = Result.bind (field "level" Json.to_int json) (level_index "level") in
+      let* duration = Result.bind (field "dur" Json.to_float json) (checked_dur "dur") in
       Ok (Restart { at = t; level; duration })
   | "failure" ->
-      let* level = field "level" Json.to_int json in
+      let* level = Result.bind (field "level" Json.to_int json) (level_index "level") in
       Ok (Failure { at = t; level })
   | "end" ->
       let* completed = field "completed" Json.to_bool json in

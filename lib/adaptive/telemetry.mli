@@ -32,8 +32,17 @@ val shift : event -> by:float -> event
 (** Translate the event's timestamp — used to splice per-epoch simulator
     logs into one global-time stream. *)
 
+val max_levels : int
+(** Upper bound on level counts and level indices {!of_json} accepts
+    (4096) — a corrupted log must not make the estimators allocate
+    per-level arrays of arbitrary size. *)
+
 val to_json : event -> Ckpt_json.Json.t
+
 val of_json : Ckpt_json.Json.t -> (event, string) result
+(** Besides shape, validates the numbers: timestamps and scales must be
+    finite, durations finite and non-negative, level indices within
+    [1..max_levels] (level counts within [0..max_levels]). *)
 
 val to_line : event -> string
 (** One compact JSON object, no trailing newline:

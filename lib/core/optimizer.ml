@@ -20,11 +20,58 @@ type plan = {
   converged : bool;
 }
 
+(* Non-finite inputs must be rejected at the boundary: a single NaN in a
+   rate or overhead coefficient survives every range check below (NaN
+   comparisons are false) and only surfaces deep in the fixed point as a
+   NaN plan. *)
+let check_finite what v =
+  if not (Float.is_finite v) then
+    invalid_arg (Printf.sprintf "Optimizer: non-finite %s" what)
+
 let check_problem p =
   if Array.length p.levels = 0 then invalid_arg "Optimizer: no levels";
   if Failure_spec.levels p.spec <> Array.length p.levels then
     invalid_arg "Optimizer: failure spec level count differs from hierarchy";
-  if p.te <= 0. then invalid_arg "Optimizer: non-positive productive time"
+  check_finite "productive time" p.te;
+  if p.te <= 0. then invalid_arg "Optimizer: non-positive productive time";
+  check_finite "allocation period" p.alloc;
+  if p.alloc < 0. then invalid_arg "Optimizer: negative allocation period";
+  check_finite "baseline scale" p.spec.Failure_spec.baseline_scale;
+  if p.spec.Failure_spec.baseline_scale <= 0. then
+    invalid_arg "Optimizer: non-positive baseline scale";
+  Array.iteri
+    (fun i r ->
+      if not (Float.is_finite r) || r < 0. then
+        invalid_arg
+          (Printf.sprintf
+             "Optimizer: level %d failure rate must be finite and >= 0" (i + 1)))
+    p.spec.Failure_spec.rates_per_day;
+  Array.iteri
+    (fun i (l : Level.t) ->
+      let check_law which (o : Overhead.t) =
+        if
+          not (Float.is_finite o.Overhead.eps)
+          || o.Overhead.eps < 0.
+          || not (Float.is_finite o.Overhead.alpha)
+        then
+          invalid_arg
+            (Printf.sprintf
+               "Optimizer: level %d %s law has non-finite or negative \
+                coefficients"
+               (i + 1) which)
+      in
+      check_law "checkpoint" l.Level.ckpt;
+      check_law "restart" l.Level.restart)
+    p.levels;
+  (match Speedup.eval p.speedup 1. with
+  | g when Float.is_finite g && g > 0. -> ()
+  | _ -> invalid_arg "Optimizer: speedup not finite-positive at N = 1"
+  | exception _ -> invalid_arg "Optimizer: speedup not finite-positive at N = 1");
+  match Speedup.search_upper_bound p.speedup ~default:1e9 with
+  | n when Float.is_finite n && n >= 1. -> ()
+  | _ -> invalid_arg "Optimizer: speedup ideal scale must be finite and >= 1"
+  | exception _ ->
+      invalid_arg "Optimizer: speedup ideal scale must be finite and >= 1"
 
 (* mu_i(N) = lambda_i(N) * wall_clock_estimate; lambda is linear in N, so
    mu_i is linear with slope lambda'_i * estimate. *)
@@ -73,7 +120,8 @@ let divergent_plan p ~n ~outer ~inner =
     inner_iterations = inner;
     converged = false }
 
-let solve ?(delta = 1e-9) ?(max_outer = 1_000) ?fixed_n ?(n_max = 1e9) ?warm p =
+let solve_with ?(delta = 1e-9) ?(max_outer = 1_000) ?fixed_n ?(n_max = 1e9)
+    ?warm ?initial_estimate p =
   check_problem p;
   let n_hi = Speedup.search_upper_bound p.speedup ~default:n_max in
   let n0 = Option.value fixed_n ~default:n_hi in
@@ -92,9 +140,12 @@ let solve ?(delta = 1e-9) ?(max_outer = 1_000) ?fixed_n ?(n_max = 1e9) ?warm p =
      neighbouring plan's converged wall clock, which is already close to
      this problem's fixed point. *)
   let estimate0 =
-    match warm with
-    | Some w -> w.wall_clock
-    | None -> Speedup.productive_time p.speedup ~te:p.te ~n:n0
+    match initial_estimate with
+    | Some e -> e
+    | None -> (
+        match warm with
+        | Some w -> w.wall_clock
+        | None -> Speedup.productive_time p.speedup ~te:p.te ~n:n0)
   in
   let init0 = Option.map (fun w -> (w.xs, w.n)) warm in
   (* Seeding the drift reference with the warm plan's mus lets a solve
@@ -136,6 +187,38 @@ let solve ?(delta = 1e-9) ?(max_outer = 1_000) ?fixed_n ?(n_max = 1e9) ?warm p =
     end
   in
   outer_loop estimate0 prev_mus0 init0 0 0
+
+let solve ?delta ?max_outer ?fixed_n ?n_max ?warm p =
+  solve_with ?delta ?max_outer ?fixed_n ?n_max ?warm p
+
+type outcome = Converged of plan | Diverged of plan | Non_finite of plan
+
+let plan_of_outcome = function
+  | Converged p | Diverged p | Non_finite p -> p
+
+let classify plan =
+  if not (Float.is_finite plan.wall_clock) then Non_finite plan
+  else if plan.converged then Converged plan
+  else Diverged plan
+
+let solve_outcome ?delta ?max_outer ?fixed_n ?n_max ?warm ?inject p =
+  let plan =
+    match inject with
+    | Some Ckpt_chaos.Chaos.Non_finite ->
+        (* Poison the initial wall-clock estimate: the outer loop's own
+           finiteness guard must catch it and report a divergent plan —
+           the injection exercises the real guard path, it does not
+           fabricate the outcome. *)
+        solve_with ?delta ?max_outer ?fixed_n ?n_max ~initial_estimate:Float.nan
+          p
+    | Some Ckpt_chaos.Chaos.Diverge ->
+        (* Starve the outer fixed point of iterations (and of its warm
+           start, whose seeded drift reference could legitimately settle
+           in one round): the solve runs but cannot converge. *)
+        solve_with ?delta ~max_outer:1 ?fixed_n ?n_max p
+    | Some _ | None -> solve_with ?delta ?max_outer ?fixed_n ?n_max ?warm p
+  in
+  classify plan
 
 type sweep_axis = [ `Scale | `Te | `Alloc ]
 

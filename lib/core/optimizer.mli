@@ -32,8 +32,14 @@ type plan = {
 }
 
 val check_problem : problem -> unit
-(** @raise Invalid_argument when the spec's level count differs from the
-    hierarchy's. *)
+(** Boundary validation: every numeric field of the problem must be
+    finite ([te > 0], [alloc >= 0], rates [>= 0], positive baseline
+    scale, finite overhead coefficients with [eps >= 0], and a speedup
+    that is finite-positive at [N = 1] with a finite ideal scale) — a
+    NaN or [±inf] anywhere would otherwise slip past the range checks
+    and surface as a NaN plan deep in the fixed point.
+    @raise Invalid_argument on any violation, including a spec whose
+    level count differs from the hierarchy's. *)
 
 val solve :
   ?delta:float ->
@@ -55,6 +61,42 @@ val solve :
     point of the contraction, so the returned plan matches a cold solve
     to the solver tolerances while spending fewer iterations; omitting
     [warm] leaves the solve byte-identical to before. *)
+
+(** How a solve ended.  [solve] already hard-caps both iteration layers
+    ([max_outer], {!Multilevel.optimize}'s [max_iter]), so it always
+    terminates; the outcome makes the three terminal states explicit
+    instead of leaving callers to decode [converged]/[wall_clock]:
+
+    - [Converged]: the fixed point settled — the plan is trustworthy;
+    - [Diverged]: the iteration caps ran out before the [mu] drift fell
+      under [delta] — the plan is the best iterate, not an optimum;
+    - [Non_finite]: the failure burden exceeds what any schedule can
+      absorb (paper Section III-D) or an estimate went NaN — the plan's
+      wall clock is not finite and must not be served. *)
+type outcome = Converged of plan | Diverged of plan | Non_finite of plan
+
+val classify : plan -> outcome
+(** Classify a finished solve: non-finite wall clock wins, then
+    [converged]. *)
+
+val plan_of_outcome : outcome -> plan
+
+val solve_outcome :
+  ?delta:float ->
+  ?max_outer:int ->
+  ?fixed_n:float ->
+  ?n_max:float ->
+  ?warm:plan ->
+  ?inject:Ckpt_chaos.Chaos.fault ->
+  problem ->
+  outcome
+(** {!solve}, classified.  Without [inject] the underlying plan is
+    byte-identical to {!solve}'s.  [inject] applies a chaos fault to
+    this solve: [Diverge] starves the outer loop of iterations (and of
+    its warm start) so it cannot settle, [Non_finite] poisons the
+    initial wall-clock estimate with NaN so the loop's own finiteness
+    guard trips; both exercise the real failure paths rather than
+    fabricating an outcome.  Other faults are ignored here. *)
 
 type sweep_axis = [ `Scale | `Te | `Alloc ]
 (** Which problem coordinate a sweep varies: [`Scale] pins [fixed_n] at

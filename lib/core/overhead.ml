@@ -4,16 +4,26 @@ type t = { eps : float; alpha : float; h : Scale_fn.t; h_name : string }
 
 let identity_h = Scale_fn.linear ~slope:1. ()
 
+let check_eps name eps =
+  if not (Float.is_finite eps && eps >= 0.) then
+    invalid_arg (Printf.sprintf "Overhead.%s: cost %g must be finite and >= 0" name eps)
+
+let check_alpha name alpha =
+  if not (Float.is_finite alpha) then
+    invalid_arg (Printf.sprintf "Overhead.%s: alpha %g must be finite" name alpha)
+
 let constant c =
-  assert (c >= 0.);
+  check_eps "constant" c;
   { eps = c; alpha = 0.; h = Scale_fn.const 0.; h_name = "0" }
 
 let linear ~eps ~alpha =
-  assert (eps >= 0.);
+  check_eps "linear" eps;
+  check_alpha "linear" alpha;
   { eps; alpha; h = identity_h; h_name = "N" }
 
 let custom ~eps ~alpha ~h ~h_name =
-  assert (eps >= 0.);
+  check_eps "custom" eps;
+  check_alpha "custom" alpha;
   { eps; alpha; h; h_name }
 
 let cost t n = t.eps +. (t.alpha *. t.h.Scale_fn.f n)

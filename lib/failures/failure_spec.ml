@@ -3,9 +3,14 @@ type t = { rates_per_day : float array; baseline_scale : float }
 let seconds_per_day = 86_400.
 
 let v ?(baseline_scale = 1e6) rates_per_day =
-  assert (Array.length rates_per_day > 0);
-  Array.iter (fun r -> assert (r >= 0.)) rates_per_day;
-  assert (baseline_scale > 0.);
+  if Array.length rates_per_day = 0 then invalid_arg "Failure_spec.v: no levels";
+  Array.iter
+    (fun r ->
+      if not (Float.is_finite r && r >= 0.) then
+        invalid_arg (Printf.sprintf "Failure_spec.v: rate %g must be finite and >= 0" r))
+    rates_per_day;
+  if not (Float.is_finite baseline_scale && baseline_scale > 0.) then
+    invalid_arg "Failure_spec.v: baseline_scale must be finite and positive";
   { rates_per_day; baseline_scale }
 
 let of_string ?baseline_scale s =

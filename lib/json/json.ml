@@ -130,7 +130,13 @@ let parse_string_body st =
   in
   loop ()
 
-let rec parse_value st =
+(* The parser recurses once per nesting level, so adversarial input like
+   ["[[[[..."] would otherwise turn into a stack overflow — an exception
+   [parse_result] does not catch.  Capping the depth converts that into
+   an ordinary [Parse_error] long before the stack is at risk. *)
+let max_depth = 512
+
+let rec parse_value st ~depth =
   skip_ws st;
   match peek st with
   | None -> fail st "unexpected end of input"
@@ -141,6 +147,7 @@ let rec parse_value st =
       advance st;
       String (parse_string_body st)
   | Some '[' ->
+      if depth >= max_depth then fail st "nesting too deep";
       advance st;
       skip_ws st;
       if peek st = Some ']' then begin
@@ -149,7 +156,7 @@ let rec parse_value st =
       end
       else begin
         let rec items acc =
-          let v = parse_value st in
+          let v = parse_value st ~depth:(depth + 1) in
           skip_ws st;
           match peek st with
           | Some ',' ->
@@ -163,6 +170,7 @@ let rec parse_value st =
         items []
       end
   | Some '{' ->
+      if depth >= max_depth then fail st "nesting too deep";
       advance st;
       skip_ws st;
       if peek st = Some '}' then begin
@@ -176,7 +184,7 @@ let rec parse_value st =
           let key = parse_string_body st in
           skip_ws st;
           expect st ':';
-          let v = parse_value st in
+          let v = parse_value st ~depth:(depth + 1) in
           (key, v)
         in
         let rec pairs acc =
@@ -198,7 +206,7 @@ let rec parse_value st =
 
 let parse input =
   let st = { input; pos = 0 } in
-  let v = parse_value st in
+  let v = parse_value st ~depth:0 in
   skip_ws st;
   if st.pos <> String.length input then fail st "trailing characters";
   v

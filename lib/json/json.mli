@@ -16,8 +16,15 @@ type t =
 
 exception Parse_error of { position : int; message : string }
 
+val max_depth : int
+(** Maximum container nesting the parser accepts (512).  Deeper input —
+    e.g. an adversarial ["[[[[..."] that would otherwise overflow the
+    stack of the recursive-descent parser — fails with {!Parse_error}
+    ("nesting too deep") instead. *)
+
 val parse : string -> t
-(** @raise Parse_error on malformed input (position is a byte offset). *)
+(** @raise Parse_error on malformed input (position is a byte offset) or
+    nesting deeper than {!max_depth}. *)
 
 val parse_result : string -> (t, string) result
 (** Like {!parse}, with the error rendered as a message. *)

@@ -1,25 +1,60 @@
+module Chaos = Ckpt_chaos.Chaos
+
 type t = {
   queue : (unit -> unit) Work_queue.t;
-  domains : unit Domain.t array;
+  lock : Mutex.t;  (* guards [domains], [live], [respawns] *)
+  mutable domains : unit Domain.t list;  (* every spawned, not yet joined *)
   mutable live : bool;
+  mutable respawns : int;
+  workers : int;
+  chaos : Chaos.t option;
+  mutable chaos_base : int;  (* next pool-site chaos item index *)
 }
 
-let worker_loop queue () =
-  let rec loop () =
-    match Work_queue.pop queue with
-    | Some job ->
-        job ();
-        loop ()
-    | None -> ()
-  in
-  loop ()
+(* A worker dies only on an injected {!Chaos.Killed_worker} crash; the
+   supervisor then spawns a replacement so the pool keeps its capacity.
+   Any other exception escaping a job is swallowed: jobs built by [map]
+   capture their own errors, so this is belt-and-braces against a future
+   job kind killing a domain and wedging the queue. *)
+let rec worker_loop pool () =
+  match Work_queue.pop pool.queue with
+  | None -> ()
+  | Some job -> (
+      match job () with
+      | () -> worker_loop pool ()
+      | exception Chaos.Killed_worker -> respawn pool
+      | exception _ -> worker_loop pool ())
 
-let create ~workers =
+and respawn pool =
+  Mutex.lock pool.lock;
+  if pool.live then begin
+    pool.respawns <- pool.respawns + 1;
+    pool.domains <- Domain.spawn (fun () -> worker_loop pool ()) :: pool.domains
+  end;
+  Mutex.unlock pool.lock
+
+let create ?chaos ~workers () =
   if workers < 1 then invalid_arg "Pool.create: workers < 1";
-  let queue = Work_queue.create () in
-  { queue; domains = Array.init workers (fun _ -> Domain.spawn (worker_loop queue)); live = true }
+  let pool =
+    { queue = Work_queue.create ();
+      lock = Mutex.create ();
+      domains = [];
+      live = true;
+      respawns = 0;
+      workers;
+      chaos;
+      chaos_base = 0 }
+  in
+  pool.domains <-
+    List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop pool ()));
+  pool
 
-let workers t = Array.length t.domains
+let workers t = t.workers
+let respawns t =
+  Mutex.lock t.lock;
+  let n = t.respawns in
+  Mutex.unlock t.lock;
+  n
 
 let recommended_workers () = Domain.recommended_domain_count ()
 
@@ -30,24 +65,68 @@ let map t ~f xs =
   else begin
     (* Contiguous chunks, a few per worker for load balance: per-item
        queue traffic would dominate sub-millisecond jobs. *)
-    let chunks = min n (4 * Array.length t.domains) in
+    let chunks = min n (4 * t.workers) in
     let results = Array.make n None in
-    let remaining = ref chunks in
+    (* Chaos item indices are assigned by the coordinator before any
+       fan-out, so the fault schedule is a function of the submission
+       stream, never of which worker ran what. *)
+    let base = t.chaos_base in
+    t.chaos_base <- base + n;
+    let attempts = Array.make (if Option.is_some t.chaos then n else 0) 0 in
+    (* Completion is counted in items, not chunks: a crashing worker
+       completes a chunk prefix and requeues the rest, so chunk identity
+       is not stable but item identity is. *)
+    let remaining = ref n in
     let mutex = Mutex.create () in
     let all_done = Condition.create () in
-    for c = 0 to chunks - 1 do
-      let lo = c * n / chunks and hi = ((c + 1) * n / chunks) - 1 in
-      Work_queue.push t.queue (fun () ->
+    let complete k =
+      if k > 0 then begin
+        Mutex.lock mutex;
+        remaining := !remaining - k;
+        if !remaining = 0 then Condition.signal all_done;
+        Mutex.unlock mutex
+      end
+    in
+    (* Run items [lo..hi].  An injected crash requeues the unfinished
+       tail [i..hi] (attempt bumped for item [i], so the schedule stays
+       keyed by (item, attempt) and a retried item eventually proceeds)
+       and kills this worker; the supervisor replaces it. *)
+    let rec chunk_job lo hi () =
+      let i = ref lo in
+      try
+        while !i <= hi do
+          (match t.chaos with
+          | None -> ()
+          | Some chaos -> (
+              match
+                Chaos.pool_fault chaos ~index:(base + !i) ~attempt:attempts.(!i)
+              with
+              | `Proceed -> ()
+              | `Crash ->
+                  attempts.(!i) <- attempts.(!i) + 1;
+                  raise Chaos.Killed_worker));
           (* Chunks own disjoint result slots, so only the completion
              counter needs the lock.  Capture instead of raising: a
-             failing job must not kill the worker domain. *)
-          for i = lo to hi do
-            results.(i) <- Some (try Ok (f xs.(i)) with e -> Error e)
-          done;
-          Mutex.lock mutex;
-          decr remaining;
-          if !remaining = 0 then Condition.signal all_done;
-          Mutex.unlock mutex)
+             failing [f] must not kill the worker domain. *)
+          results.(!i) <- Some (try Ok (f xs.(!i)) with e -> Error e);
+          incr i
+        done;
+        complete (!i - lo)
+      with Chaos.Killed_worker ->
+        complete (!i - lo);
+        (try Work_queue.push t.queue (chunk_job !i hi)
+         with Work_queue.Closed ->
+           (* Shutdown raced the crash: account for the tail so the
+              coordinator (if still waiting) cannot hang. *)
+           for j = !i to hi do
+             results.(j) <- Some (Error Chaos.Killed_worker)
+           done;
+           complete (hi - !i + 1));
+        raise Chaos.Killed_worker
+    in
+    for c = 0 to chunks - 1 do
+      let lo = c * n / chunks and hi = ((c + 1) * n / chunks) - 1 in
+      Work_queue.push t.queue (chunk_job lo hi)
     done;
     Mutex.lock mutex;
     while !remaining > 0 do
@@ -63,12 +142,29 @@ let map t ~f xs =
   end
 
 let shutdown t =
-  if t.live then begin
-    t.live <- false;
+  Mutex.lock t.lock;
+  let was_live = t.live in
+  t.live <- false;
+  Mutex.unlock t.lock;
+  if was_live then begin
     Work_queue.close t.queue;
-    Array.iter Domain.join t.domains
+    (* Drain-join loop: a crashing worker may have spawned a replacement
+       between our snapshot and its exit, so keep joining until the list
+       is empty.  [live = false] stops further respawns. *)
+    let rec drain () =
+      Mutex.lock t.lock;
+      let ds = t.domains in
+      t.domains <- [];
+      Mutex.unlock t.lock;
+      match ds with
+      | [] -> ()
+      | ds ->
+          List.iter Domain.join ds;
+          drain ()
+    in
+    drain ()
   end
 
-let with_pool ~workers f =
-  let pool = create ~workers in
+let with_pool ?chaos ~workers f =
+  let pool = create ?chaos ~workers () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

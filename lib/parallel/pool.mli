@@ -1,4 +1,4 @@
-(** A fixed pool of OCaml 5 worker domains fed by a {!Work_queue}.
+(** A supervised pool of OCaml 5 worker domains fed by a {!Work_queue}.
 
     The shared deterministic-parallelism executor: [map] fans an array
     of independent jobs out to the workers and reassembles the results
@@ -10,21 +10,38 @@
 
     A job that raises does not kill its worker domain: the exception is
     captured, the remaining jobs still run, and the first captured
-    exception (in submission order) is re-raised in the caller. *)
+    exception (in submission order) is re-raised in the caller — only
+    after every submitted item has completed, so a failing job can never
+    leave the queue wedged or a later [map] observing stale state.
+
+    Workers are supervised: a domain that dies mid-chunk (the seeded
+    {!Ckpt_chaos.Chaos} policy injects such crashes via
+    [Chaos.Killed_worker]) requeues its unfinished items and is replaced
+    by a fresh domain, so a dead worker can neither lose work nor
+    deadlock {!shutdown}.  Because chaos decisions are pure functions of
+    the item's submission index (and per-item retry attempt), the fault
+    schedule — and therefore [map]'s result — is identical for any
+    worker count. *)
 
 type t
 
-val create : workers:int -> t
-(** Spawn [workers] domains ([>= 1]) blocked on an empty queue.
+val create : ?chaos:Ckpt_chaos.Chaos.t -> workers:int -> unit -> t
+(** Spawn [workers] domains ([>= 1]) blocked on an empty queue.  With
+    [?chaos], every mapped item consults the policy's [Pool] site first
+    (possible injected stall or worker crash).
     @raise Invalid_argument when [workers < 1]. *)
 
 val workers : t -> int
+(** The pool's capacity (stable across supervised restarts). *)
+
+val respawns : t -> int
+(** How many crashed workers the supervisor has replaced so far. *)
 
 val recommended_workers : unit -> int
 (** [Domain.recommended_domain_count ()]: the worker count beyond which
     extra domains cannot help on this machine (1 on a single core). *)
 
-val with_pool : workers:int -> (t -> 'a) -> 'a
+val with_pool : ?chaos:Ckpt_chaos.Chaos.t -> workers:int -> (t -> 'a) -> 'a
 (** [with_pool ~workers f] runs [f] with a transient pool, shutting it
     down (joining every domain) on the way out, exception or not. *)
 
@@ -35,4 +52,7 @@ val map : t -> f:('a -> 'b) -> 'a array -> 'b array
     (single coordinator), nor after {!shutdown}. *)
 
 val shutdown : t -> unit
-(** Close the queue and join every worker.  Idempotent. *)
+(** Close the queue and join every worker, including replacements
+    spawned by supervision (the join loop re-snapshots until no domain
+    is left, so a crash racing shutdown cannot leak a domain or hang).
+    Idempotent. *)

@@ -27,6 +27,9 @@ type t = {
   mutable queries : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable degraded : int;
+  mutable retries : int;
+  mutable breaker_trips : int;
   solve_ms : Buffer.t;
   replan_ms : Buffer.t;
   batch_ms : Buffer.t;
@@ -42,6 +45,9 @@ let create () =
     queries = 0;
     cache_hits = 0;
     cache_misses = 0;
+    degraded = 0;
+    retries = 0;
+    breaker_trips = 0;
     solve_ms = Buffer.create ();
     replan_ms = Buffer.create ();
     batch_ms = Buffer.create () }
@@ -55,6 +61,9 @@ let incr_errors t = locked t (fun () -> t.errors <- t.errors + 1)
 let add_queries t n = locked t (fun () -> t.queries <- t.queries + n)
 let incr_cache_hit t = locked t (fun () -> t.cache_hits <- t.cache_hits + 1)
 let incr_cache_miss t = locked t (fun () -> t.cache_misses <- t.cache_misses + 1)
+let incr_degraded t = locked t (fun () -> t.degraded <- t.degraded + 1)
+let add_retries t n = locked t (fun () -> t.retries <- t.retries + n)
+let incr_breaker_trip t = locked t (fun () -> t.breaker_trips <- t.breaker_trips + 1)
 let record_solve_ms t ms = locked t (fun () -> Buffer.add t.solve_ms ms)
 let record_replan_ms t ms = locked t (fun () -> Buffer.add t.replan_ms ms)
 let record_batch_ms t ms = locked t (fun () -> Buffer.add t.batch_ms ms)
@@ -88,6 +97,9 @@ type snapshot = {
   cache_hits : int;
   cache_misses : int;
   hit_rate : float;
+  degraded : int;
+  retries : int;
+  breaker_trips : int;
   solves : int;
   solve_ms : series;
   replans : int;
@@ -109,6 +121,9 @@ let snapshot t =
         cache_hits = t.cache_hits;
         cache_misses = t.cache_misses;
         hit_rate = (if lookups = 0 then 0. else float_of_int t.cache_hits /. float_of_int lookups);
+        degraded = t.degraded;
+        retries = t.retries;
+        breaker_trips = t.breaker_trips;
         solves = solve_ms.count;
         solve_ms;
         replans = replan_ms.count;
@@ -134,7 +149,7 @@ let series_json s =
 let to_json t =
   let s = snapshot t in
   Json.Obj
-    [ ("uptime_s", Json.Number s.uptime_s);
+    ([ ("uptime_s", Json.Number s.uptime_s);
       ("requests", Json.Number (float_of_int s.requests));
       ("errors", Json.Number (float_of_int s.errors));
       ("queries", Json.Number (float_of_int s.queries));
@@ -147,8 +162,18 @@ let to_json t =
       ("solve_ms", series_json s.solve_ms);
       ("replans", Json.Number (float_of_int s.replans));
       ("replan_ms", series_json s.replan_ms);
-      ("batches", Json.Number (float_of_int s.batches));
-      ("batch_ms", series_json s.batch_ms) ]
+       ("batches", Json.Number (float_of_int s.batches));
+       ("batch_ms", series_json s.batch_ms) ]
+    (* The resilience block appears only once degradation machinery has
+       actually fired, so healthy sessions keep the pre-PR stats shape. *)
+    @
+    if s.degraded = 0 && s.retries = 0 && s.breaker_trips = 0 then []
+    else
+      [ ("resilience",
+         Json.Obj
+           [ ("degraded", Json.Number (float_of_int s.degraded));
+             ("retries", Json.Number (float_of_int s.retries));
+             ("breaker_trips", Json.Number (float_of_int s.breaker_trips)) ]) ])
 
 let pp_series ppf name s =
   match s.summary with
@@ -165,6 +190,9 @@ let pp ppf t =
   Format.fprintf ppf "  queries    %d@," s.queries;
   Format.fprintf ppf "  cache      %d hits / %d misses (hit rate %.1f%%)@," s.cache_hits
     s.cache_misses (100. *. s.hit_rate);
+  if s.degraded > 0 || s.retries > 0 || s.breaker_trips > 0 then
+    Format.fprintf ppf "  resilience %d degraded, %d retries, %d breaker trips@,"
+      s.degraded s.retries s.breaker_trips;
   (if s.solves = 0 then Format.fprintf ppf "  solves     0@,"
    else pp_series ppf "solves" s.solve_ms);
   pp_series ppf "replans" s.replan_ms;

@@ -31,6 +31,15 @@ val add_queries : t -> int -> unit
 val incr_cache_hit : t -> unit
 val incr_cache_miss : t -> unit
 
+val incr_degraded : t -> unit
+(** One request answered by the closed-form fallback chain. *)
+
+val add_retries : t -> int -> unit
+(** Extra solve attempts beyond the first, summed per request. *)
+
+val incr_breaker_trip : t -> unit
+(** The circuit breaker opened (primary path suspended). *)
+
 (** {1 Latency series} *)
 
 val record_solve_ms : t -> float -> unit
@@ -62,6 +71,9 @@ type snapshot = {
   cache_hits : int;
   cache_misses : int;
   hit_rate : float;  (** [hits / (hits + misses)]; [0.] before traffic *)
+  degraded : int;
+  retries : int;
+  breaker_trips : int;
   solves : int;
   solve_ms : series;
   replans : int;
@@ -74,7 +86,9 @@ val snapshot : t -> snapshot
 
 val to_json : t -> Ckpt_json.Json.t
 (** The [stats] payload: counters, cache ratios and latency summaries as
-    a JSON object. *)
+    a JSON object.  A ["resilience"] block (degraded answers, retries,
+    breaker trips) is appended only when at least one of those counters
+    is nonzero, so healthy sessions serialize exactly as before. *)
 
 val pp : Format.formatter -> t -> unit
 (** The human-readable shutdown report. *)

@@ -1,17 +1,71 @@
 open Ckpt_model
 module Pool = Ckpt_parallel.Pool
+module Chaos = Ckpt_chaos.Chaos
+module Rng = Ckpt_numerics.Rng
+
+type resilience = {
+  max_attempts : int;
+  backoff_ms : float;
+  backoff_factor : float;
+  jitter : float;
+  deadline_ms : float;
+  breaker_threshold : int;
+  breaker_cooldown : int;
+  fallback : bool;
+}
+
+let default_resilience =
+  { max_attempts = 3;
+    backoff_ms = 1.;
+    backoff_factor = 2.;
+    jitter = 0.5;
+    deadline_ms = 10_000.;
+    breaker_threshold = 5;
+    breaker_cooldown = 16;
+    fallback = true }
+
+let check_resilience r =
+  if r.max_attempts < 1 then invalid_arg "Planner: max_attempts < 1";
+  if not (Float.is_finite r.backoff_ms) || r.backoff_ms < 0. then
+    invalid_arg "Planner: backoff_ms must be finite and >= 0";
+  if not (Float.is_finite r.backoff_factor) || r.backoff_factor < 1. then
+    invalid_arg "Planner: backoff_factor must be finite and >= 1";
+  if not (Float.is_finite r.jitter) || r.jitter < 0. || r.jitter > 1. then
+    invalid_arg "Planner: jitter must be in [0, 1]";
+  if Float.is_nan r.deadline_ms || r.deadline_ms <= 0. then
+    invalid_arg "Planner: deadline_ms must be positive";
+  if r.breaker_threshold < 0 then invalid_arg "Planner: breaker_threshold < 0";
+  if r.breaker_cooldown < 1 then invalid_arg "Planner: breaker_cooldown < 1"
 
 type t = {
   cache : Optimizer.plan Lru_cache.t;
   metrics : Metrics.t;
   precision : int;
+  resilience : resilience;
+  chaos : Chaos.t option;
+  (* Breaker state and the solve sequence counter are only touched by
+     the coordinator (solve_batch / replan callers), never by pool
+     workers, so they need no lock. *)
+  mutable seq : int;  (* chaos/backoff key of the next uncached solve *)
+  mutable consecutive_failures : int;
+  mutable open_remaining : int;  (* > 0: breaker open, skip primary *)
 }
 
-let create ?(cache_capacity = 4096) ?(precision = Fingerprint.default_precision) metrics =
-  { cache = Lru_cache.create ~capacity:cache_capacity; metrics; precision }
+let create ?(cache_capacity = 4096) ?(precision = Fingerprint.default_precision)
+    ?(resilience = default_resilience) ?chaos metrics =
+  check_resilience resilience;
+  { cache = Lru_cache.create ~capacity:cache_capacity;
+    metrics;
+    precision;
+    resilience;
+    chaos;
+    seq = 0;
+    consecutive_failures = 0;
+    open_remaining = 0 }
 
 let cache t = t.cache
 let metrics t = t.metrics
+let breaker_open t = t.open_remaining > 0
 
 let query_key t (q : Protocol.query) =
   let f = Fingerprint.float_repr ~precision:t.precision in
@@ -24,38 +78,180 @@ let query_key t (q : Protocol.query) =
   in
   Fingerprint.hash_string canonical
 
-let run_query (q : Protocol.query) =
+(* Uncached dispatch, classified.  Without [inject] the underlying solve
+   is byte-identical to the pre-outcome dispatch. *)
+let run_query_outcome ?inject (q : Protocol.query) =
   let delta = q.Protocol.delta in
   let p = q.Protocol.problem in
   match (q.Protocol.solution, q.Protocol.fixed_n) with
-  | Protocol.Ml_opt, None -> Optimizer.ml_opt_scale ~delta p
-  | Protocol.Ml_opt, Some n -> Optimizer.solve ~delta ~fixed_n:n p
-  | Protocol.Ml_ori, n -> Optimizer.ml_ori_scale ~delta ?n p
-  | Protocol.Sl_opt, None -> Optimizer.sl_opt_scale ~delta p
+  | Protocol.Ml_opt, None -> Optimizer.solve_outcome ~delta ?inject p
+  | Protocol.Ml_opt, Some n -> Optimizer.solve_outcome ~delta ~fixed_n:n ?inject p
+  | Protocol.Ml_ori, n ->
+      let n =
+        Option.value n
+          ~default:(Speedup.search_upper_bound p.Optimizer.speedup ~default:1e9)
+      in
+      Optimizer.solve_outcome ~delta ~fixed_n:n ?inject p
+  | Protocol.Sl_opt, None ->
+      Optimizer.solve_outcome ~delta ?inject (Optimizer.single_level_problem p)
   | Protocol.Sl_opt, Some n ->
-      Optimizer.solve ~delta ~fixed_n:n (Optimizer.single_level_problem p)
-  | Protocol.Sl_ori, n -> Optimizer.sl_ori_scale ?n p
+      Optimizer.solve_outcome ~delta ~fixed_n:n ?inject
+        (Optimizer.single_level_problem p)
+  | Protocol.Sl_ori, n ->
+      (* Young's closed form has no fixed point to starve and no estimate
+         to poison — solver faults cannot apply to it. *)
+      Optimizer.classify (Optimizer.sl_ori_scale ?n p)
 
-(* Each miss is solved under a timer; the captured result and duration
-   travel back to the coordinator, which owns cache and metrics. *)
-let solve_timed q =
-  let t0 = Metrics.now_ms () in
-  let result =
-    try Ok (run_query q)
-    with e ->
+let run_query q = Optimizer.plan_of_outcome (run_query_outcome q)
+
+let solve_error e =
+  Protocol.error_v "solve-failure"
+    (match e with Invalid_argument m | Failure m -> m | e -> Printexc.to_string e)
+
+(* Deterministic backoff jitter: keyed by (request key, attempt), not by
+   a shared stream, for the same reason chaos draws are. *)
+let backoff_sleep r ~key ~attempt =
+  let base = r.backoff_ms *. (r.backoff_factor ** float_of_int (attempt - 1)) in
+  let rng = Rng.of_int ((key * 2654435761) + attempt) in
+  let factor = 1. +. (r.jitter *. ((2. *. Rng.float rng) -. 1.)) in
+  let ms = Float.min 1_000. (base *. factor) in
+  if ms > 0. then Unix.sleepf (ms /. 1000.)
+
+(* One uncached solve under the full retry discipline: bounded attempts,
+   exponential backoff with jitter between them, and a per-request
+   deadline checked before each retry (an in-flight OCaml solve cannot
+   be interrupted, so the deadline bounds retrying, not one solve).
+   Safe to run on a pool worker: everything it touches is immutable or
+   its own. *)
+let solve_with_retries t ~key (q : Protocol.query) =
+  let r = t.resilience in
+  let deadline = Metrics.now_ms () +. r.deadline_ms in
+  let rec attempt k last_err =
+    if k >= r.max_attempts then Error { last_err with Protocol.attempts = k }
+    else if k > 0 && Metrics.now_ms () >= deadline then
       Error
-        { Protocol.code = "solve-failure";
-          message =
-            (match e with
-            | Invalid_argument m | Failure m -> m
-            | e -> Printexc.to_string e) }
+        (Protocol.error_v ~attempts:k "deadline-exceeded"
+           (Printf.sprintf "retry budget (%g ms) exhausted after %d attempts"
+              r.deadline_ms k))
+    else begin
+      if k > 0 then backoff_sleep r ~key ~attempt:k;
+      let inject =
+        Option.bind t.chaos (fun ch -> Chaos.solver_fault ch ~index:key ~attempt:k)
+      in
+      match run_query_outcome ?inject q with
+      | Optimizer.Converged plan -> Ok (plan, k + 1)
+      | Optimizer.Diverged _ ->
+          attempt (k + 1)
+            (Protocol.error_v "solver-diverged"
+               "outer fixed point hit its iteration cap before the mu drift \
+                converged")
+      | Optimizer.Non_finite _ ->
+          attempt (k + 1)
+            (Protocol.error_v "solver-non-finite"
+               "expected wall clock is unbounded at this failure burden")
+      | exception e ->
+          (* Invalid_argument and friends are permanent: retrying cannot
+             change a rejected problem. *)
+          Error { (solve_error e) with Protocol.attempts = k + 1 }
+    end
   in
-  (result, Metrics.now_ms () -. t0)
+  attempt 0 (Protocol.error_v "solve-failure" "no attempt made")
+
+(* The degraded chain: cheaper, better-conditioned solutions in quality
+   order.  sl-opt still optimizes interval and scale over the collapsed
+   hierarchy; sl-ori (Young) is a closed form that cannot diverge.  The
+   fallback solves run without injection — chaos targets primary solves,
+   and the chain is the mechanism under test, not the subject. *)
+let fallback_candidates (q : Protocol.query) =
+  match q.Protocol.solution with
+  | Protocol.Ml_opt | Protocol.Ml_ori -> [ Protocol.Sl_opt; Protocol.Sl_ori ]
+  | Protocol.Sl_opt -> [ Protocol.Sl_ori ]
+  | Protocol.Sl_ori -> []
+
+let fallback_chain (q : Protocol.query) =
+  List.find_map
+    (fun solution ->
+      match run_query_outcome { q with Protocol.solution } with
+      | Optimizer.Converged plan -> Some (solution, plan)
+      | Optimizer.Diverged _ | Optimizer.Non_finite _ -> None
+      | exception _ -> None)
+    (fallback_candidates q)
+
+(* One uncached query end to end: primary with retries (unless the
+   breaker says skip), then the fallback chain.  Returns the answer plus
+   whether the *primary* path failed — the signal the breaker folds. *)
+let solve_uncached t ~skip_primary ~key (q : Protocol.query) =
+  let primary =
+    if skip_primary then
+      Error
+        (Protocol.error_v "circuit-open"
+           "multilevel path suspended after repeated failures; serving \
+            closed-form fallback")
+    else solve_with_retries t ~key q
+  in
+  match primary with
+  | Ok (plan, attempts) ->
+      (attempts - 1, false, Ok { Protocol.plan; cached = false; degraded = None })
+  | Error reason ->
+      let retries = max 0 (reason.Protocol.attempts - 1) in
+      if not t.resilience.fallback then (retries, true, Error reason)
+      else (
+        match fallback_chain q with
+        | Some (fallback, plan) ->
+            ( retries,
+              true,
+              Ok
+                { Protocol.plan;
+                  cached = false;
+                  degraded = Some { Protocol.fallback; reason } } )
+        | None -> (retries, true, Error reason))
+
+let solve_timed t ~skip_primary ~key q =
+  let t0 = Metrics.now_ms () in
+  let outcome = solve_uncached t ~skip_primary ~key q in
+  (outcome, Metrics.now_ms () -. t0)
+
+(* Coordinator-side bookkeeping for one primary-path outcome, in
+   submission order: count-based breaker (open after [breaker_threshold]
+   consecutive primary failures, serve fallbacks for [breaker_cooldown]
+   requests, then re-try the primary path) plus the resilience
+   counters. *)
+let fold_outcome t ~skipped ~retries ~primary_failed ~degraded =
+  if retries > 0 then Metrics.add_retries t.metrics retries;
+  if degraded then Metrics.incr_degraded t.metrics;
+  let r = t.resilience in
+  if r.breaker_threshold > 0 && not skipped then begin
+    if primary_failed then begin
+      t.consecutive_failures <- t.consecutive_failures + 1;
+      if t.consecutive_failures >= r.breaker_threshold then begin
+        t.consecutive_failures <- 0;
+        t.open_remaining <- r.breaker_cooldown;
+        Metrics.incr_breaker_trip t.metrics
+      end
+    end
+    else t.consecutive_failures <- 0
+  end
+
+(* Decide, before fan-out, whether this uncached request may try the
+   primary path.  Consumes one cooldown tick when open. *)
+let decide_skip t =
+  if t.open_remaining > 0 then begin
+    t.open_remaining <- t.open_remaining - 1;
+    true
+  end
+  else false
+
+let next_key t =
+  let key = t.seq in
+  t.seq <- key + 1;
+  key
 
 (* A replan solves a *fitted* problem: the template query's spec and
    overhead laws are replaced by the session estimates.  Never cached —
    the estimates move with every observe, so a fingerprint hit would
-   serve stale parameters — and timed into its own metrics series. *)
+   serve stale parameters — and timed into its own metrics series.  It
+   runs inline on the coordinator, so it gets per-request breaker
+   granularity. *)
 let replan t ~rates ~costs ~prior_strength (q : Protocol.query) =
   let p = q.Protocol.problem in
   let fit () =
@@ -66,28 +262,34 @@ let replan t ~rates ~costs ~prior_strength (q : Protocol.query) =
     { p with Optimizer.spec; levels }
   in
   match fit () with
-  | exception Invalid_argument m -> Error { Protocol.code = "invalid-request"; message = m }
+  | exception Invalid_argument m -> Error (Protocol.error_v "invalid-request" m)
   | fitted -> (
-      let t0 = Metrics.now_ms () in
-      let result =
-        try Ok (run_query { q with Protocol.problem = fitted })
-        with e ->
-          Error
-            { Protocol.code = "solve-failure";
-              message =
-                (match e with
-                | Invalid_argument m | Failure m -> m
-                | e -> Printexc.to_string e) }
+      let skip_primary = decide_skip t in
+      let key = next_key t in
+      let (retries, primary_failed, outcome), ms =
+        solve_timed t ~skip_primary ~key { q with Protocol.problem = fitted }
       in
-      Metrics.record_replan_ms t.metrics (Metrics.now_ms () -. t0);
-      match result with Ok plan -> Ok (plan, fitted) | Error e -> Error e)
+      Metrics.record_replan_ms t.metrics ms;
+      fold_outcome t ~skipped:skip_primary ~retries ~primary_failed
+        ~degraded:
+          (match outcome with
+          | Ok { Protocol.degraded = Some _; _ } -> true
+          | _ -> false);
+      match outcome with
+      | Ok answer -> Ok (answer, fitted)
+      | Error e -> Error e)
 
 let solve_batch ?pool t queries =
   let n = Array.length queries in
   Metrics.add_queries t.metrics n;
-  let results = Array.make n (Error { Protocol.code = "internal"; message = "unset" }) in
+  let results = Array.make n (Error (Protocol.error_v "internal" "unset")) in
   (* Pass 1: serve cache hits, collapse duplicates, collect unique
-     misses.  [slot_of.(i)]: where query [i]'s plan comes from. *)
+     misses.  [slot_of.(i)]: where query [i]'s plan comes from.  Chaos
+     keys and breaker skip decisions are fixed here, in submission
+     order, so the fault schedule cannot depend on worker scheduling.
+     (Breaker decisions within one batch share the state at batch entry;
+     outcomes fold back in submission order below — line-at-a-time
+     traffic gets per-request granularity.) *)
   let slot_of = Array.make n (-1) in
   let pending = Hashtbl.create 64 in
   let miss_rev = ref [] in
@@ -104,29 +306,39 @@ let solve_batch ?pool t queries =
           match Lru_cache.find t.cache key with
           | Some plan ->
               Metrics.incr_cache_hit t.metrics;
-              results.(i) <- Ok (plan, true)
+              results.(i) <- Ok { Protocol.plan; cached = true; degraded = None }
           | None ->
               Metrics.incr_cache_miss t.metrics;
               let slot = !n_miss in
               incr n_miss;
               Hashtbl.add pending key slot;
-              miss_rev := (key, q) :: !miss_rev;
+              miss_rev := (key, q, next_key t, decide_skip t) :: !miss_rev;
               slot_of.(i) <- slot))
     queries;
   (* Pass 2: fan the unique misses out. *)
   let misses = Array.of_list (List.rev !miss_rev) in
+  let solve (_, q, key, skip_primary) = solve_timed t ~skip_primary ~key q in
   let solved =
     match pool with
-    | Some pool -> Pool.map pool ~f:(fun (_, q) -> solve_timed q) misses
-    | None -> Array.map (fun (_, q) -> solve_timed q) misses
+    | Some pool -> Pool.map pool ~f:solve misses
+    | None -> Array.map solve misses
   in
-  (* Pass 3: record, cache, reassemble in submission order. *)
+  (* Pass 3: record, fold breaker state in submission order, cache
+     healthy plans (degraded answers are never cached — the primary
+     might recover on the next miss), reassemble. *)
   Array.iteri
-    (fun slot (outcome, ms) ->
+    (fun slot ((retries, primary_failed, outcome), ms) ->
       Metrics.record_solve_ms t.metrics ms;
-      match outcome with
-      | Ok plan -> Lru_cache.add t.cache (fst misses.(slot)) plan
-      | Error _ -> ())
+      let cache_key, _, _, skipped = misses.(slot) in
+      (match outcome with
+      | Ok { Protocol.plan; degraded = None; _ } ->
+          Lru_cache.add t.cache cache_key plan
+      | Ok _ | Error _ -> ());
+      fold_outcome t ~skipped ~retries ~primary_failed
+        ~degraded:
+          (match outcome with
+          | Ok { Protocol.degraded = Some _; _ } -> true
+          | _ -> false))
     solved;
   (* [cached] flag: the first occurrence of a missed key did the solve;
      later in-batch duplicates were served without one. *)
@@ -138,9 +350,9 @@ let solve_batch ?pool t queries =
         let cached = Hashtbl.mem first_seen slot in
         Hashtbl.replace first_seen slot ();
         results.(i) <-
-          (match fst solved.(slot) with
-          | Ok plan -> Ok (plan, cached)
-          | Error e -> Error e)
+          (match solved.(slot) with
+          | (_, _, Ok answer), _ -> Ok { answer with Protocol.cached }
+          | (_, _, Error e), _ -> Error e)
       end)
     queries;
   results

@@ -1,7 +1,7 @@
-(** Cached, batched execution of optimizer queries.
+(** Cached, batched, failure-hardened execution of optimizer queries.
 
     The heart of the service: a batch of {!Protocol.query} values comes
-    in, plans come out in submission order, and as little work as
+    in, answers come out in submission order, and as little work as
     possible happens in between —
 
     + each query is keyed by its {!Fingerprint} plus solver options;
@@ -14,24 +14,86 @@
 
     Because [Optimizer.solve] is a pure function of the query, the
     parallel path returns bit-identical plans to sequential solving —
-    the property the test suite pins down. *)
+    the property the test suite pins down.
+
+    {2 Resilience}
+
+    Every uncached solve runs under a retry-and-degrade discipline:
+
+    - the solve is classified ({!Ckpt_model.Optimizer.outcome});
+      [Diverged]/[Non_finite] outcomes are retried up to
+      [max_attempts] times with exponential backoff and deterministic
+      jitter, inside a per-request [deadline_ms] budget;
+    - a request whose primary (multilevel) path still fails degrades
+      onto the closed-form chain [sl_opt_scale] → Young's [sl_ori_scale]
+      — the answer carries [degraded = Some _] with the fallback used
+      and the reason, and is {e never cached};
+    - a count-based circuit breaker opens after [breaker_threshold]
+      consecutive primary failures: the next [breaker_cooldown] uncached
+      requests skip the primary solve entirely (reason ["circuit-open"])
+      and are served by the chain, after which the primary is retried.
+
+    With no chaos policy and a healthy solver none of this machinery
+    fires, and answers are byte-identical to the pre-resilience planner.
+
+    Chaos solver faults and backoff jitter are keyed by a per-request
+    sequence number assigned in submission order on the coordinator, so
+    the full failure schedule — like the plans themselves — is
+    independent of pool size. *)
+
+(** Knobs for the retry / deadline / breaker / fallback discipline. *)
+type resilience = {
+  max_attempts : int;  (** solve attempts per request, >= 1 *)
+  backoff_ms : float;  (** base pause before retry 1 (then * factor) *)
+  backoff_factor : float;  (** >= 1 *)
+  jitter : float;  (** fraction in [0, 1] of the pause randomized *)
+  deadline_ms : float;  (** per-request retry budget, > 0 (may be [infinity]) *)
+  breaker_threshold : int;  (** consecutive failures to trip; 0 disables *)
+  breaker_cooldown : int;  (** fallback-only requests while open, >= 1 *)
+  fallback : bool;  (** serve closed-form plans when the primary fails *)
+}
+
+val default_resilience : resilience
+(** 3 attempts, 1 ms base backoff doubling with 50% jitter, 10 s
+    deadline, breaker at 5 consecutive failures for 16 requests,
+    fallback on. *)
 
 type t
 
-val create : ?cache_capacity:int -> ?precision:int -> Metrics.t -> t
+val create :
+  ?cache_capacity:int ->
+  ?precision:int ->
+  ?resilience:resilience ->
+  ?chaos:Ckpt_chaos.Chaos.t ->
+  Metrics.t ->
+  t
 (** [cache_capacity] defaults to 4096 entries, [precision] to
-    {!Fingerprint.default_precision} significant digits in cache keys. *)
+    {!Fingerprint.default_precision} significant digits in cache keys.
+    [chaos] injects solver faults into uncached solves (testing only).
+    @raise Invalid_argument on nonsensical [resilience] values. *)
 
 val cache : t -> Ckpt_model.Optimizer.plan Lru_cache.t
 val metrics : t -> Metrics.t
+
+val breaker_open : t -> bool
+(** Whether the circuit breaker is currently serving fallbacks only. *)
 
 val query_key : t -> Protocol.query -> string
 (** The cache key: problem fingerprint + solution + [fixed_n] +
     [delta], all at the planner's precision. *)
 
 val run_query : Protocol.query -> Ckpt_model.Optimizer.plan
-(** Uncached dispatch to the matching [Optimizer] entry point.
+(** Uncached dispatch to the matching [Optimizer] entry point, without
+    any retry/fallback wrapping.
     @raise Invalid_argument, [Failure] as the optimizer does. *)
+
+val run_query_outcome :
+  ?inject:Ckpt_chaos.Chaos.fault ->
+  Protocol.query ->
+  Ckpt_model.Optimizer.outcome
+(** {!run_query}, classified; [inject] forwards a chaos solver fault
+    ([Sl_ori] queries ignore it — Young's closed form has no fixed point
+    to perturb). *)
 
 val replan :
   t ->
@@ -39,20 +101,22 @@ val replan :
   costs:Ckpt_adaptive.Cost_estimator.t ->
   prior_strength:float ->
   Protocol.query ->
-  (Ckpt_model.Optimizer.plan * Ckpt_model.Optimizer.problem, Protocol.error) result
+  (Protocol.answer * Ckpt_model.Optimizer.problem, Protocol.error) result
 (** Solve the query with its problem's spec replaced by the session's
     fitted rates ([prior_strength] core-seconds of shrinkage toward the
     template's own rates) and its overhead laws calibrated to the
-    observed costs; returns the plan and the fitted problem.  Replans
-    bypass the cache entirely and are timed into the [replan_ms]
-    series. *)
+    observed costs; returns the answer and the fitted problem.  Replans
+    bypass the cache entirely, are timed into the [replan_ms] series,
+    and run under the same retry/fallback discipline as batch solves. *)
 
 val solve_batch :
   ?pool:Ckpt_parallel.Pool.t ->
   t ->
   Protocol.query array ->
-  (Ckpt_model.Optimizer.plan * bool, Protocol.error) result array
-(** [solve_batch ?pool t qs] solves every query; slot [i] holds the plan
-    for [qs.(i)] and whether it was served from cache, or a
-    ["solve-failure"] error if the optimizer raised (captured — a bad
-    query never kills a worker domain or the batch). *)
+  (Protocol.answer, Protocol.error) result array
+(** [solve_batch ?pool t qs] solves every query; slot [i] holds the
+    answer for [qs.(i)] — its plan, cached flag, and degraded marker if
+    it came from the fallback chain — or a structured error when even
+    the chain could not produce a converged plan (the error's [attempts]
+    counts the solve attempts made; a bad query never kills a worker
+    domain or the batch). *)

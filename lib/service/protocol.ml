@@ -2,9 +2,10 @@ open Ckpt_model
 module Json = Ckpt_json.Json
 module Stats = Ckpt_numerics.Stats
 
-type error = { code : string; message : string }
+type error = { code : string; message : string; attempts : int }
 
-let err code fmt = Printf.ksprintf (fun message -> Error { code; message }) fmt
+let error_v ?(attempts = 0) code message = { code; message; attempts }
+let err code fmt = Printf.ksprintf (fun message -> Error (error_v code message)) fmt
 
 type solution = Ml_opt | Ml_ori | Sl_opt | Sl_ori
 
@@ -63,15 +64,15 @@ let parse_query json =
            boundary turns every such case into a structured error. *)
         match Codec.problem_of_json pj with
         | Ok p -> Ok p
-        | Error m -> Error { code = "invalid-problem"; message = m }
-        | exception e -> Error { code = "invalid-problem"; message = Printexc.to_string e })
+        | Error m -> Error (error_v "invalid-problem" m)
+        | exception e -> Error (error_v "invalid-problem" (Printexc.to_string e)))
   in
   (* The satellite contract: every request is validated here, before any
      query can reach a worker domain. *)
   let* () =
     match Optimizer.check_problem problem with
     | () -> Ok ()
-    | exception Invalid_argument m -> Error { code = "invalid-problem"; message = m }
+    | exception Invalid_argument m -> Error (error_v "invalid-problem" m)
   in
   let* solution =
     match Json.string_field "solution" json with
@@ -165,7 +166,7 @@ let parse_replan json =
 
 let parse_request line =
   match Json.parse_result line with
-  | Error m -> { id = None; request = Error { code = "parse"; message = m } }
+  | Error m -> { id = None; request = Error (error_v "parse" m) }
   | Ok json ->
       let id = Json.member "id" json in
       let request =
@@ -195,29 +196,59 @@ let simulation_problem q =
   | Ml_opt | Ml_ori -> q.problem
   | Sl_opt | Sl_ori -> Optimizer.single_level_problem q.problem
 
+(* --------------- answers --------------- *)
+
+type degraded = { fallback : solution; reason : error }
+
+type answer = {
+  plan : Optimizer.plan;
+  cached : bool;
+  degraded : degraded option;
+}
+
 (* --------------- responses --------------- *)
 
 let with_id id fields = match id with None -> fields | Some id -> ("id", id) :: fields
 
-let error_json { code; message } =
-  Json.Obj [ ("code", Json.String code); ("message", Json.String message) ]
+let error_json { code; message; attempts } =
+  (* [attempts] appears only when retries actually happened, so error
+     payloads from paths that never retry are byte-identical to the
+     pre-taxonomy wire format. *)
+  Json.Obj
+    (("code", Json.String code)
+    :: ("message", Json.String message)
+    ::
+    (if attempts > 0 then [ ("attempts", Json.Number (float_of_int attempts)) ]
+     else []))
 
 let error_response ?id e =
   Json.Obj (with_id id [ ("ok", Json.Bool false); ("error", error_json e) ])
 
-let plan_response ?id ~cached plan =
+(* Degraded markers are appended after the payload and omitted entirely
+   on the healthy path — chaos off means byte-identical responses. *)
+let degraded_fields = function
+  | None -> []
+  | Some { fallback; reason } ->
+      [ ("degraded", Json.Bool true);
+        ("fallback", Json.String (solution_to_string fallback));
+        ("degraded_reason", error_json reason) ]
+
+let plan_response ?id answer =
   Json.Obj
     (with_id id
-       [ ("ok", Json.Bool true); ("op", Json.String "plan"); ("cached", Json.Bool cached);
-         ("plan", Codec.plan_to_json plan) ])
+       ([ ("ok", Json.Bool true); ("op", Json.String "plan");
+          ("cached", Json.Bool answer.cached);
+          ("plan", Codec.plan_to_json answer.plan) ]
+       @ degraded_fields answer.degraded))
 
 let sweep_response ?id ~param points =
   let point (v, outcome) =
     let fields =
       match outcome with
-      | Ok (plan, cached) ->
-          [ ("value", Json.Number v); ("cached", Json.Bool cached);
-            ("plan", Codec.plan_to_json plan) ]
+      | Ok answer ->
+          [ ("value", Json.Number v); ("cached", Json.Bool answer.cached);
+            ("plan", Codec.plan_to_json answer.plan) ]
+          @ degraded_fields answer.degraded
       | Error e -> [ ("value", Json.Number v); ("error", error_json e) ]
     in
     Json.Obj fields
@@ -240,22 +271,23 @@ type validation = {
   completed_runs : int;
 }
 
-let validation_response ?id ~cached ~plan v =
+let validation_response ?id ?degraded ~cached ~plan v =
   Json.Obj
     (with_id id
-       [ ("ok", Json.Bool true); ("op", Json.String "simulate-validate");
-         ("cached", Json.Bool cached);
-         ("predicted_wall_clock", Json.Number v.predicted_wall_clock);
-         ("simulated",
-          Json.Obj
-            [ ("replications", Json.Number (float_of_int v.simulated.Stats.n));
-              ("completed", Json.Number (float_of_int v.completed_runs));
-              ("mean", Json.Number v.simulated.Stats.mean);
-              ("std", Json.Number v.simulated.Stats.std);
-              ("min", Json.Number v.simulated.Stats.min);
-              ("max", Json.Number v.simulated.Stats.max) ]);
-         ("relative_error", Json.Number v.relative_error);
-         ("plan", Codec.plan_to_json plan) ])
+       ([ ("ok", Json.Bool true); ("op", Json.String "simulate-validate");
+          ("cached", Json.Bool cached);
+          ("predicted_wall_clock", Json.Number v.predicted_wall_clock);
+          ("simulated",
+           Json.Obj
+             [ ("replications", Json.Number (float_of_int v.simulated.Stats.n));
+               ("completed", Json.Number (float_of_int v.completed_runs));
+               ("mean", Json.Number v.simulated.Stats.mean);
+               ("std", Json.Number v.simulated.Stats.std);
+               ("min", Json.Number v.simulated.Stats.min);
+               ("max", Json.Number v.simulated.Stats.max) ]);
+          ("relative_error", Json.Number v.relative_error);
+          ("plan", Codec.plan_to_json plan) ]
+       @ degraded_fields degraded))
 
 let observe_response ?id ~events ~failures ~exposure () =
   Json.Obj
@@ -270,12 +302,13 @@ let estimate_response ?id payload =
     (with_id id
        [ ("ok", Json.Bool true); ("op", Json.String "estimate"); ("estimate", payload) ])
 
-let replan_response ?id ~plan ~fitted () =
+let replan_response ?id ?degraded ~plan ~fitted () =
   Json.Obj
     (with_id id
-       [ ("ok", Json.Bool true); ("op", Json.String "replan");
-         ("plan", Codec.plan_to_json plan);
-         ("fitted_problem", Codec.problem_to_json fitted) ])
+       ([ ("ok", Json.Bool true); ("op", Json.String "replan");
+          ("plan", Codec.plan_to_json plan);
+          ("fitted_problem", Codec.problem_to_json fitted) ]
+       @ degraded_fields degraded))
 
 let stats_response ?id payload =
   Json.Obj
@@ -288,5 +321,11 @@ let response_error json =
   | None -> None
   | Some e -> (
       match (Json.string_field "code" e, Json.string_field "message" e) with
-      | Some code, Some message -> Some { code; message }
+      | Some code, Some message ->
+          let attempts =
+            Option.value ~default:0 (Option.bind (Json.member "attempts" e) Json.to_int)
+          in
+          Some { code; message; attempts }
       | _ -> None)
+
+let response_degraded json = Json.member "degraded" json = Some (Json.Bool true)

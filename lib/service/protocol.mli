@@ -34,18 +34,33 @@
     threshold, default 1e-9).
 
     Responses carry ["ok"] — [true] with the payload, or [false] with a
-    structured [{"code", "message"}] error.  Malformed input can never
-    crash a worker: {!parse_request} funnels JSON errors, missing
-    fields and {!Ckpt_model.Optimizer.check_problem} failures (e.g. a
-    spec/hierarchy level-count mismatch) into [Error _] before any
-    query reaches the pool. *)
+    structured [{"code", "message", "attempts"?}] error.  Malformed
+    input can never crash a worker: {!parse_request} funnels JSON
+    errors, missing fields and {!Ckpt_model.Optimizer.check_problem}
+    failures (e.g. a spec/hierarchy level-count mismatch) into
+    [Error _] before any query reaches the pool.
 
-type error = { code : string; message : string }
+    A response answered from the closed-form fallback chain additionally
+    carries ["degraded": true], the ["fallback"] solution that produced
+    the plan, and a ["degraded_reason"] error explaining why the primary
+    solve was abandoned. *)
+
+type error = { code : string; message : string; attempts : int }
 (** Codes: ["parse"] (not JSON), ["invalid-request"] (JSON but not a
     valid request), ["invalid-problem"] (problem fails decoding or
     {!Ckpt_model.Optimizer.check_problem}), ["solve-failure"] (the
-    optimizer raised), ["no-telemetry"] ([estimate]/[replan] before any
-    exposure was observed). *)
+    optimizer raised), ["solver-diverged"] (outer fixed point hit its
+    iteration cap), ["solver-non-finite"] (failure burden unbounded /
+    NaN estimate), ["deadline-exceeded"] (per-request retry budget ran
+    out), ["circuit-open"] (breaker is serving fallbacks only),
+    ["no-telemetry"] ([estimate]/[replan] before any exposure was
+    observed).  [attempts] counts solve attempts actually made (0 when
+    the failure precedes any solve); it is serialized only when
+    positive, keeping no-retry error payloads byte-identical to the
+    pre-taxonomy format. *)
+
+val error_v : ?attempts:int -> string -> string -> error
+(** [error_v code message] builds an error ([attempts] defaults to 0). *)
 
 type solution = Ml_opt | Ml_ori | Sl_opt | Sl_ori
 
@@ -89,20 +104,34 @@ val simulation_problem : query -> Ckpt_model.Optimizer.problem
     solutions, {!Ckpt_model.Optimizer.single_level_problem} for SL ones
     (their plans only have a PFS level). *)
 
+(** {1 Answers}
+
+    What the planner hands back for a solvable query: the plan, whether
+    it came from the cache, and — when the primary multilevel solve was
+    abandoned — which closed-form fallback produced it and why. *)
+
+type degraded = { fallback : solution; reason : error }
+
+type answer = {
+  plan : Ckpt_model.Optimizer.plan;
+  cached : bool;
+  degraded : degraded option;
+}
+
 (** {1 Responses} *)
 
 val error_response : ?id:Ckpt_json.Json.t -> error -> Ckpt_json.Json.t
 
-val plan_response :
-  ?id:Ckpt_json.Json.t -> cached:bool -> Ckpt_model.Optimizer.plan -> Ckpt_json.Json.t
+val plan_response : ?id:Ckpt_json.Json.t -> answer -> Ckpt_json.Json.t
 
 val sweep_response :
   ?id:Ckpt_json.Json.t ->
   param:sweep_param ->
-  (float * (Ckpt_model.Optimizer.plan * bool, error) result) array ->
+  (float * (answer, error) result) array ->
   Ckpt_json.Json.t
 (** Per-point results: each grid value maps to a plan (with its cached
-    flag) or an error; one bad point does not fail the sweep. *)
+    flag, and degraded markers when served by a fallback) or an error;
+    one bad point does not fail the sweep. *)
 
 type validation = {
   predicted_wall_clock : float;
@@ -113,6 +142,7 @@ type validation = {
 
 val validation_response :
   ?id:Ckpt_json.Json.t ->
+  ?degraded:degraded ->
   cached:bool ->
   plan:Ckpt_model.Optimizer.plan ->
   validation ->
@@ -129,6 +159,7 @@ val estimate_response : ?id:Ckpt_json.Json.t -> Ckpt_json.Json.t -> Ckpt_json.Js
 
 val replan_response :
   ?id:Ckpt_json.Json.t ->
+  ?degraded:degraded ->
   plan:Ckpt_model.Optimizer.plan ->
   fitted:Ckpt_model.Optimizer.problem ->
   unit ->
@@ -141,3 +172,6 @@ val stats_response : ?id:Ckpt_json.Json.t -> Ckpt_json.Json.t -> Ckpt_json.Json.
 
 val response_ok : Ckpt_json.Json.t -> bool
 val response_error : Ckpt_json.Json.t -> error option
+
+val response_degraded : Ckpt_json.Json.t -> bool
+(** Whether a response carries the ["degraded": true] marker. *)

@@ -1,6 +1,7 @@
 module Json = Ckpt_json.Json
 module Pool = Ckpt_parallel.Pool
 module Stats = Ckpt_numerics.Stats
+module Chaos = Ckpt_chaos.Chaos
 module Telemetry = Ckpt_adaptive.Telemetry
 module Rate_estimator = Ckpt_adaptive.Rate_estimator
 module Cost_estimator = Ckpt_adaptive.Cost_estimator
@@ -17,21 +18,35 @@ type t = {
   pool : Pool.t option;
   planner : Planner.t;
   metrics : Metrics.t;
+  chaos : Chaos.t option;
+  (* Chaos indices for the service-owned sites, assigned in arrival
+     order by the coordinator (line mangling and telemetry skew are
+     decided before any fan-out, so they are worker-count independent). *)
+  mutable line_seq : int;
+  mutable event_seq : int;
   mutable session : session option;
   mutable live : bool;
 }
 
-let create ?(workers = 1) ?cache_capacity ?precision () =
+let create ?(workers = 1) ?cache_capacity ?precision ?resilience ?chaos () =
   if workers < 0 then invalid_arg "Service.create: workers < 0";
   let metrics = Metrics.create () in
-  let planner = Planner.create ?cache_capacity ?precision metrics in
-  let pool = if workers = 0 then None else Some (Pool.create ~workers) in
-  { pool; planner; metrics; session = None; live = true }
+  let planner = Planner.create ?cache_capacity ?precision ?resilience ?chaos metrics in
+  let pool = if workers = 0 then None else Some (Pool.create ?chaos ~workers ()) in
+  { pool;
+    planner;
+    metrics;
+    chaos;
+    line_seq = 0;
+    event_seq = 0;
+    session = None;
+    live = true }
 
 let workers t = match t.pool with None -> 0 | Some p -> Pool.workers p
 let session_estimators t = Option.map (fun s -> (s.rates, s.costs)) t.session
 let metrics t = t.metrics
 let planner t = t.planner
+let chaos t = t.chaos
 let stats_json t = Metrics.to_json t.metrics
 
 (* One parsed request, with the span of the flat query array it owns. *)
@@ -51,8 +66,16 @@ let queries_of_request = function
      later in the same batch. *)
   | Protocol.Observe _ | Protocol.Estimate _ | Protocol.Replan _ | Protocol.Stats -> [||]
 
-let simulate ~query ~plan ~replications ~seed =
-  let problem = Protocol.simulation_problem query in
+(* A degraded answer's plan came from the single-level chain, so its
+   xs arity matches the collapsed problem, not the query's solution —
+   simulate it against the problem it actually solves. *)
+let simulation_problem ~(answer : Protocol.answer) query =
+  match answer.Protocol.degraded with
+  | None -> Protocol.simulation_problem query
+  | Some _ ->
+      Ckpt_model.Optimizer.single_level_problem query.Protocol.problem
+
+let simulate ~problem ~plan ~replications ~seed =
   let config = Ckpt_sim.Run_config.of_plan ~problem ~plan () in
   let wall_clocks = Array.make replications 0. in
   let completed = ref 0 in
@@ -91,7 +114,24 @@ let infer_levels events =
       in
       if max_level > 0 then Some max_level else None
 
+(* Chaos telemetry site: skew event timestamps before they reach the
+   estimators — which must tolerate the resulting out-of-order and
+   shifted times (exposure clamps, no NaNs). *)
+let skew_events t events =
+  match t.chaos with
+  | None -> events
+  | Some chaos ->
+      List.map
+        (fun event ->
+          let index = t.event_seq in
+          t.event_seq <- index + 1;
+          match Chaos.skew chaos ~index with
+          | 0. -> event
+          | by -> Telemetry.shift event ~by)
+        events
+
 let handle_observe t events =
+  let events = skew_events t events in
   let session =
     match t.session with
     | Some s -> Ok s
@@ -106,9 +146,8 @@ let handle_observe t events =
             Ok s
         | None ->
             Error
-              { Protocol.code = "invalid-request";
-                message =
-                  "cannot infer the level count: include a start event or a leveled event" })
+              (Protocol.error_v "invalid-request"
+                 "cannot infer the level count: include a start event or a leveled event"))
   in
   match session with
   | Error e -> Error e
@@ -123,11 +162,11 @@ let handle_observe t events =
             ( List.length events,
               Rate_estimator.total_count rates,
               Rate_estimator.exposure rates )
-      | exception Invalid_argument m -> Error { Protocol.code = "invalid-request"; message = m })
+      | exception Invalid_argument m -> Error (Protocol.error_v "invalid-request" m))
 
 let no_telemetry =
-  { Protocol.code = "no-telemetry";
-    message = "no exposure observed yet: send an \"observe\" request first" }
+  Protocol.error_v "no-telemetry"
+    "no exposure observed yet: send an \"observe\" request first"
 
 let with_session t f =
   match t.session with
@@ -171,9 +210,26 @@ let handle_replan t ~query ~prior_strength =
       Metrics.add_queries t.metrics 1;
       Planner.replan t.planner ~rates:s.rates ~costs:s.costs ~prior_strength query)
 
+(* Chaos line site: corrupt or truncate raw request lines before the
+   parser sees them — the parse/validate boundary must answer every
+   mangled line with a structured error, never an exception. *)
+let mangle_lines t lines =
+  match t.chaos with
+  | None -> lines
+  | Some chaos ->
+      List.map
+        (fun line ->
+          let index = t.line_seq in
+          t.line_seq <- index + 1;
+          match Chaos.mangle_line chaos ~index line with
+          | None -> line
+          | Some mangled -> mangled)
+        lines
+
 let handle_batch t lines =
   if not t.live then invalid_arg "Service.handle_batch: service is shut down";
   let t0 = Metrics.now_ms () in
+  let lines = mangle_lines t lines in
   (* Parse + validate every line, laying queries out flat. *)
   let offset = ref 0 in
   let jobs =
@@ -210,20 +266,23 @@ let handle_batch t lines =
         match job.envelope.Protocol.request with
         | Ok (Protocol.Simulate_validate { query; replications; seed }) -> (
             match outcomes.(job.offset) with
-            | Ok (plan, _) -> Some (job.offset, query, plan, replications, seed)
+            | Ok answer ->
+                let problem = simulation_problem ~answer query in
+                Some (job.offset, problem, answer.Protocol.plan, replications, seed)
             | Error _ -> None)
         | _ -> None)
       jobs
   in
   let sim_results =
-    let run (slot, query, plan, replications, seed) =
+    let run (slot, problem, plan, replications, seed) =
       let r =
-        try Ok (simulate ~query ~plan ~replications ~seed)
+        try Ok (simulate ~problem ~plan ~replications ~seed)
         with e ->
           Error
-            { Protocol.code = "simulate-failure";
-              message =
-                (match e with Invalid_argument m | Failure m -> m | e -> Printexc.to_string e) }
+            (Protocol.error_v "simulate-failure"
+               (match e with
+               | Invalid_argument m | Failure m -> m
+               | e -> Printexc.to_string e))
       in
       (slot, r)
     in
@@ -259,13 +318,16 @@ let handle_batch t lines =
                 Protocol.error_response ?id e)
         | Protocol.Replan { query; prior_strength } -> (
             match handle_replan t ~query ~prior_strength with
-            | Ok (plan, fitted) -> Protocol.replan_response ?id ~plan ~fitted ()
+            | Ok (answer, fitted) ->
+                Protocol.replan_response ?id
+                  ?degraded:answer.Protocol.degraded
+                  ~plan:answer.Protocol.plan ~fitted ()
             | Error e ->
                 Metrics.incr_errors t.metrics;
                 Protocol.error_response ?id e)
         | Protocol.Plan _ -> (
             match outcomes.(job.offset) with
-            | Ok (plan, cached) -> Protocol.plan_response ?id ~cached plan
+            | Ok answer -> Protocol.plan_response ?id answer
             | Error e ->
                 Metrics.incr_errors t.metrics;
                 Protocol.error_response ?id e)
@@ -279,9 +341,12 @@ let handle_batch t lines =
             | Error e ->
                 Metrics.incr_errors t.metrics;
                 Protocol.error_response ?id e
-            | Ok (plan, cached) -> (
+            | Ok answer -> (
                 match Hashtbl.find_opt sim_by_slot job.offset with
-                | Some (Ok v) -> Protocol.validation_response ?id ~cached ~plan v
+                | Some (Ok v) ->
+                    Protocol.validation_response ?id
+                      ?degraded:answer.Protocol.degraded
+                      ~cached:answer.Protocol.cached ~plan:answer.Protocol.plan v
                 | Some (Error e) ->
                     Metrics.incr_errors t.metrics;
                     Protocol.error_response ?id e

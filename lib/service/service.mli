@@ -19,20 +19,52 @@
     same one; [estimate]/[replan] before any observed exposure answer a
     ["no-telemetry"] error.
 
+    {2 Failure handling}
+
+    Every request is answered: malformed or corrupted lines get a
+    structured [error] response, solver failures are retried and then
+    degraded onto the closed-form fallback chain by the {!Planner}
+    (answers marked ["degraded"]), and a crashed worker domain is
+    respawned by the {!Ckpt_parallel.Pool} supervisor with its work
+    requeued.  [handle_batch] itself only raises if called after
+    {!shutdown}.
+
+    When a {!Ckpt_chaos.Chaos.t} policy is installed the service also
+    exercises its own fault sites: incoming request lines may be
+    corrupted or truncated before parsing, and observed telemetry
+    timestamps may be skewed before reaching the estimators.  Chaos
+    indices for both sites are assigned in arrival order on the
+    coordinator, so a given seed produces the same fault schedule — and
+    the same responses — at any worker count.
+
     A service owns its pool; call {!shutdown} (idempotent) when done so
     the worker domains are joined. *)
 
 type t
 
-val create : ?workers:int -> ?cache_capacity:int -> ?precision:int -> unit -> t
+val create :
+  ?workers:int ->
+  ?cache_capacity:int ->
+  ?precision:int ->
+  ?resilience:Planner.resilience ->
+  ?chaos:Ckpt_chaos.Chaos.t ->
+  unit ->
+  t
 (** [workers] defaults to 1; [workers = 1] still runs through a single
     worker domain, [workers = 0] disables the pool entirely (solves run
     in the calling domain).  [cache_capacity] and [precision] configure
-    the {!Planner}. *)
+    the {!Planner}; [resilience] tunes its retry/breaker/fallback
+    discipline.  [chaos] installs a fault-injection policy across the
+    pool, the solver, the line decoder and the telemetry intake
+    (testing only — omit it in production). *)
 
 val workers : t -> int
 val metrics : t -> Metrics.t
 val planner : t -> Planner.t
+
+val chaos : t -> Ckpt_chaos.Chaos.t option
+(** The installed fault policy, if any (its {!Ckpt_chaos.Chaos.records}
+    log tells you what actually fired). *)
 
 val session_estimators : t -> (Ckpt_adaptive.Rate_estimator.t * Ckpt_adaptive.Cost_estimator.t) option
 (** The telemetry session's current estimators, once an [observe] has

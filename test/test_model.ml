@@ -424,6 +424,55 @@ let test_optimizer_check_problem () =
        false
      with Invalid_argument _ -> true)
 
+(* Satellite: check_problem must reject NaN/infinity in every numeric
+   field — a poisoned problem must never reach the fixed-point loop. *)
+let test_check_problem_rejects_non_finite () =
+  let problem = eval_problem () in
+  (* Constructors and check_problem share the validation duty, so the
+     thunk covers both: either may raise, neither may let the value
+     through. *)
+  let rejected name mk =
+    Alcotest.(check bool) (name ^ " rejected") true
+      (try
+         Optimizer.check_problem (mk ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  List.iter
+    (fun bad ->
+      rejected "te" (fun () -> { problem with Optimizer.te = bad });
+      rejected "alloc" (fun () -> { problem with Optimizer.alloc = bad });
+      rejected "rates" (fun () ->
+          { problem with
+            Optimizer.spec =
+              Failure_spec.v ~baseline_scale:1e6 [| bad; 12.; 8.; 4. |] });
+      rejected "ckpt eps" (fun () ->
+          { problem with
+            Optimizer.levels =
+              Array.mapi
+                (fun i l -> if i = 0 then Level.v (Overhead.constant bad) else l)
+                problem.Optimizer.levels }))
+    [ Float.nan; Float.infinity; Float.neg_infinity ];
+  rejected "negative te" (fun () -> { problem with Optimizer.te = -1. });
+  rejected "zero te" (fun () -> { problem with Optimizer.te = 0. });
+  rejected "negative alloc" (fun () -> { problem with Optimizer.alloc = -1. });
+  (* A healthy problem still passes. *)
+  Optimizer.check_problem problem
+
+let test_solve_outcome_classification () =
+  let problem = eval_problem () in
+  (match Optimizer.solve_outcome problem with
+  | Optimizer.Converged plan ->
+      Alcotest.(check bool) "converged plan equals solve" true
+        (plan = Optimizer.solve problem)
+  | _ -> Alcotest.fail "healthy problem must converge");
+  match Optimizer.solve_outcome ~max_outer:1 problem with
+  | Optimizer.Diverged plan ->
+      Alcotest.(check bool) "plan_of_outcome recovers the plan" true
+        (Optimizer.plan_of_outcome (Optimizer.Diverged plan) == plan)
+  | Optimizer.Converged _ -> Alcotest.fail "one outer iteration cannot converge here"
+  | Optimizer.Non_finite _ -> Alcotest.fail "finite problem classified non-finite"
+
 let test_optimizer_sl_ori_is_young () =
   let problem = eval_problem () in
   let plan = Optimizer.sl_ori_scale problem in
@@ -1075,6 +1124,10 @@ let () =
           Alcotest.test_case "single-level collapse" `Quick
             test_optimizer_single_level_collapse;
           Alcotest.test_case "check problem" `Quick test_optimizer_check_problem;
+          Alcotest.test_case "check problem rejects non-finite" `Quick
+            test_check_problem_rejects_non_finite;
+          Alcotest.test_case "solve outcome classification" `Quick
+            test_solve_outcome_classification;
           Alcotest.test_case "sl-ori is young" `Quick test_optimizer_sl_ori_is_young;
           Alcotest.test_case "amdahl end to end" `Quick test_optimizer_amdahl_end_to_end;
           Alcotest.test_case "young init form" `Quick test_young_init_matches_young_module;

@@ -144,14 +144,14 @@ let test_work_queue_fifo () =
   Alcotest.check_raises "push after close" Work_queue.Closed (fun () -> Work_queue.push q 4)
 
 let test_pool_map_order () =
-  let pool = Pool.create ~workers:4 in
+  let pool = Pool.create ~workers:4 () in
   Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
   let xs = Array.init 100 Fun.id in
   let ys = Pool.map pool ~f:(fun x -> x * x) xs in
   Alcotest.(check bool) "order preserved" true (ys = Array.map (fun x -> x * x) xs)
 
 let test_pool_exception_does_not_kill_worker () =
-  let pool = Pool.create ~workers:2 in
+  let pool = Pool.create ~workers:2 () in
   Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
   (match Pool.map pool ~f:(fun x -> if x = 1 then failwith "boom" else x) [| 0; 1; 2 |] with
   | _ -> Alcotest.fail "expected Failure"
@@ -178,7 +178,7 @@ let qcheck_parallel_bit_identical =
         |> Array.of_list
       in
       let sequential = Array.map Planner.run_query queries in
-      let pool = Pool.create ~workers:4 in
+      let pool = Pool.create ~workers:4 () in
       let parallel =
         Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
         Pool.map pool ~f:Planner.run_query queries
@@ -281,7 +281,9 @@ let test_planner_cache_and_dedup () =
   (* q1 twice in one batch: 1 solve, 1 dedup hit. *)
   let r = Planner.solve_batch planner [| q1; q2; q1 |] in
   (match (r.(0), r.(2)) with
-  | Ok (p0, false), Ok (p2, true) -> Alcotest.(check bool) "dedup returns same plan" true (p0 = p2)
+  | ( Ok { Protocol.plan = p0; cached = false; degraded = None },
+      Ok { Protocol.plan = p2; cached = true; degraded = None } ) ->
+      Alcotest.(check bool) "dedup returns same plan" true (p0 = p2)
   | _ -> Alcotest.fail "expected fresh + deduped plan");
   let s = Metrics.snapshot metrics in
   Alcotest.(check int) "two solves" 2 s.Metrics.solves;
@@ -291,7 +293,7 @@ let test_planner_cache_and_dedup () =
   let r' = Planner.solve_batch planner [| q1; q2 |] in
   Array.iter
     (function
-      | Ok (_, cached) -> Alcotest.(check bool) "served from cache" true cached
+      | Ok { Protocol.cached; _ } -> Alcotest.(check bool) "served from cache" true cached
       | Error _ -> Alcotest.fail "unexpected error")
     r';
   Alcotest.(check int) "no new solves" 2 (Metrics.snapshot metrics).Metrics.solves
@@ -446,9 +448,59 @@ let test_service_simulate_validate () =
         (Float.abs (mean -. predicted) /. predicted < 0.5)
   | _ -> Alcotest.fail "missing simulation payload"
 
+(* ---------------- fuzzing the front door ---------------- *)
+
+(* Satellite: whatever bytes arrive on a line, the answer is a JSON
+   response (structured error for garbage) — never an exception.  One
+   worker-less service is shared across cases: it must survive the
+   whole stream, too. *)
+let fuzz_service = lazy (Service.create ~workers:0 ())
+
+let line_survives line =
+  let service = Lazy.force fuzz_service in
+  match Service.handle_line service line with
+  | response -> Json.to_string response <> ""
+  | exception e ->
+      QCheck.Test.fail_reportf "handle_line raised %s on %S" (Printexc.to_string e) line
+
+let qcheck_fuzz_arbitrary_lines =
+  let open QCheck in
+  Test.make ~name:"handle_line never raises on arbitrary bytes" ~count:500
+    (make Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 200)))
+    line_survives
+
+let qcheck_fuzz_truncated_requests =
+  let open QCheck in
+  let valid =
+    Printf.sprintf {|{"op": "plan", "fixed_n": 2e4, "problem": %s}|} (problem_json base_problem)
+  in
+  Test.make ~name:"handle_line never raises on truncated requests" ~count:200
+    (make Gen.(int_range 0 (String.length valid)))
+    (fun len -> line_survives (String.sub valid 0 len))
+
+let qcheck_fuzz_nested_json =
+  let open QCheck in
+  Test.make ~name:"handle_line never raises on deeply nested JSON" ~count:20
+    (make Gen.(pair (int_range 1 4000) bool))
+    (fun (depth, braces) ->
+      let opener = if braces then "{\"a\":" else "[" in
+      let buf = Buffer.create (depth * String.length opener) in
+      for _ = 1 to depth do Buffer.add_string buf opener done;
+      line_survives (Buffer.contents buf))
+
+let test_fuzz_depth_limit_is_structured () =
+  let service = Lazy.force fuzz_service in
+  let bomb = String.concat "" (List.init 2000 (fun _ -> "[")) in
+  let r = Service.handle_line service bomb in
+  Alcotest.(check bool) "depth bomb is an error response" false (Protocol.response_ok r);
+  match Protocol.response_error r with
+  | Some e -> Alcotest.(check string) "parse error code" "parse" e.Protocol.code
+  | None -> Alcotest.fail "expected a structured error payload"
+
 let qcheck_tests =
   [ qcheck_fingerprint_noise; qcheck_fingerprint_problem_noise; qcheck_lru_capacity_bound;
-    qcheck_parallel_bit_identical; qcheck_service_parallel_equals_sequential ]
+    qcheck_parallel_bit_identical; qcheck_service_parallel_equals_sequential;
+    qcheck_fuzz_arbitrary_lines; qcheck_fuzz_truncated_requests; qcheck_fuzz_nested_json ]
 
 let () =
   Alcotest.run "service"
@@ -477,5 +529,7 @@ let () =
          Alcotest.test_case "error isolation" `Quick test_service_error_isolation;
          Alcotest.test_case "simulate-validate" `Quick test_service_simulate_validate;
          Alcotest.test_case "parallel speedup (multi-core only)" `Slow
-           test_service_parallel_speedup ]);
+           test_service_parallel_speedup;
+         Alcotest.test_case "depth bomb answered structurally" `Quick
+           test_fuzz_depth_limit_is_structured ]);
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests) ]

@@ -1,0 +1,94 @@
+(* Compare a fresh BENCH_results.json against a committed baseline.
+
+   Usage:  diff.exe BASELINE.json FRESH.json [--threshold PCT]
+
+   For every kernel present in both files, the primary mean time
+   (sequential.mean_ns, or wall.mean_ns for the planner kernels) is
+   compared; a kernel slower than baseline by more than the threshold
+   (default 25%) is a regression and the exit status is 1.  Kernels only
+   on one side are reported but never fail the run — the set changes as
+   benchmarks are added.  Machine-to-machine noise is why the threshold
+   is generous: this is a tripwire for order-of-magnitude mistakes
+   (a re-boxed inner loop, an accidentally-quadratic pass), not a
+   substitute for looking at the numbers. *)
+
+module J = Ckpt_json.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt
+
+let load path =
+  let ic = try open_in path with Sys_error m -> fail "cannot open %s: %s" path m in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match J.parse_result s with
+  | Ok doc -> doc
+  | Error m -> fail "%s: %s" path m
+
+(* kernel name -> primary mean_ns *)
+let kernels doc =
+  match Option.bind (J.member "benchmarks" doc) J.to_list with
+  | None -> fail "missing benchmarks list"
+  | Some entries ->
+      List.filter_map
+        (fun entry ->
+          match J.string_field "kernel" entry with
+          | None -> None
+          | Some kernel ->
+              let mean timing =
+                Option.bind (J.member timing entry) (J.float_field "mean_ns")
+              in
+              let primary =
+                match mean "sequential" with Some m -> Some m | None -> mean "wall"
+              in
+              Option.map (fun m -> (kernel, m)) primary)
+        entries
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let threshold = ref 25. in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some t when t > 0. -> threshold := t
+        | _ -> fail "--threshold wants a positive number, got %s" v);
+        parse rest
+    | p :: rest ->
+        paths := p :: !paths;
+        parse rest
+  in
+  parse args;
+  let baseline_path, fresh_path =
+    match List.rev !paths with
+    | [ b; f ] -> (b, f)
+    | _ -> fail "usage: diff.exe BASELINE.json FRESH.json [--threshold PCT]"
+  in
+  let baseline = kernels (load baseline_path) in
+  let fresh = kernels (load fresh_path) in
+  let regressions = ref 0 in
+  List.iter
+    (fun (kernel, base_ns) ->
+      match List.assoc_opt kernel fresh with
+      | None -> Printf.printf "~ %-34s only in baseline\n" kernel
+      | Some fresh_ns ->
+          let ratio = if base_ns > 0. then fresh_ns /. base_ns else 1. in
+          let pct = (ratio -. 1.) *. 100. in
+          let regressed = pct > !threshold in
+          if regressed then incr regressions;
+          Printf.printf "%s %-34s %10.3f ms -> %10.3f ms  (%+.1f%%)\n"
+            (if regressed then "!" else " ")
+            kernel (base_ns /. 1e6) (fresh_ns /. 1e6) pct)
+    baseline;
+  List.iter
+    (fun (kernel, _) ->
+      if not (List.mem_assoc kernel baseline) then
+        Printf.printf "~ %-34s only in fresh\n" kernel)
+    fresh;
+  if !regressions > 0 then begin
+    Printf.printf "%d kernel(s) regressed by more than %.0f%%\n" !regressions
+      !threshold;
+    exit 1
+  end
+  else Printf.printf "no kernel regressed by more than %.0f%%\n" !threshold

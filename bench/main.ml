@@ -305,26 +305,37 @@ let git_rev () =
     match Unix.close_process_in ic with Unix.WEXITED 0 -> line | _ -> "unknown"
   with _ -> "unknown"
 
+(* Each rep also reads the minor-heap allocation counter: allocation per
+   rep is the fastpath's primary regression signal — a kernel can stay
+   fast on one machine while quietly re-boxing, and wall time alone
+   would not catch it until the next slow box. *)
 let time_ns ~reps f =
   ignore (Sys.opaque_identity (f ()));
+  let w0 = Gc.minor_words () in
   let samples =
     Array.init reps (fun _ ->
         let t0 = Unix.gettimeofday () in
         ignore (Sys.opaque_identity (f ()));
         (Unix.gettimeofday () -. t0) *. 1e9)
   in
+  let minor_words = (Gc.minor_words () -. w0) /. float_of_int reps in
   let mean = Array.fold_left ( +. ) 0. samples /. float_of_int reps in
   let var =
     Array.fold_left (fun acc s -> acc +. ((s -. mean) *. (s -. mean))) 0. samples
     /. float_of_int (max 1 (reps - 1))
   in
-  (mean, sqrt var)
+  (mean, sqrt var, minor_words)
 
-let timing_obj label (mean, std) =
-  (label, J.Obj [ ("mean_ns", J.Number mean); ("stddev_ns", J.Number std) ])
+let timing_obj label (mean, std, minor_words) =
+  ( label,
+    J.Obj
+      [ ("mean_ns", J.Number mean);
+        ("stddev_ns", J.Number std);
+        ("minor_words_per_rep", J.Number minor_words) ] )
 
 let bench_entry ~kernel ~workers ~reps ~baseline ~optimized extra =
-  let base_mean = fst baseline and opt_mean = fst optimized in
+  let base_mean, _, _ = baseline in
+  let opt_mean, _, _ = optimized in
   J.Obj
     ([ ("kernel", J.String kernel);
        ("workers", J.Number (float_of_int workers));

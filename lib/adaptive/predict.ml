@@ -17,11 +17,10 @@ let wall_clock ?(tol = 1e-9) ?(max_iter = 200) (problem : Optimizer.problem) ~xs
       mus =
         Array.init (Array.length problem.Optimizer.levels) (fun i ->
             let level = i + 1 in
-            {
-              Scale_fn.f =
-                (fun scale -> Spec.rate_per_second problem.Optimizer.spec ~level ~scale *. t);
-              f' = (fun _ -> Spec.rate_per_second' problem.Optimizer.spec ~level *. t);
-            });
+            Scale_fn.opaque
+              ~f:(fun scale ->
+                Spec.rate_per_second problem.Optimizer.spec ~level ~scale *. t)
+              ~f':(fun _ -> Spec.rate_per_second' problem.Optimizer.spec ~level *. t));
     }
   in
   let t0 =

@@ -175,7 +175,8 @@ let solve_scale ?hint p ~xs ~n_hi =
     (Roots.bisect_integer ~f ~lo ~hi ()).Roots.root
   end
 
-let optimize ?(tol = 1e-6) ?(max_iter = 10_000) ?(n_max = 1e9) ?fixed_n ?init p =
+let optimize_reference ?(tol = 1e-6) ?(max_iter = 10_000) ?(n_max = 1e9) ?fixed_n ?init
+    p =
   check_params p;
   let n_hi = Speedup.search_upper_bound p.speedup ~default:n_max in
   let warm_n =
@@ -225,3 +226,154 @@ let optimize ?(tol = 1e-6) ?(max_iter = 10_000) ?(n_max = 1e9) ?fixed_n ?init p 
     end
   in
   loop xs n0 0
+
+(* ------------------------------------------------------------------ *)
+(* Fast path: the same iteration evaluated through a reusable
+   {!Ckpt_fastpath.Workspace}.  [fill] caches every per-level term at
+   one scale (the workspace key), so a fixed-n Gauss–Seidel sweep
+   re-evaluates no overhead law and allocates nothing, and each scale
+   probed by the Eq. 24 bisection fills exactly once.  Every kernel is
+   bit-identical to its reference twin above (see
+   lib/fastpath/README.md for the contract); the property tests in
+   test/test_fastpath.ml compare the two paths on random problems. *)
+
+module Workspace = Ckpt_fastpath.Workspace
+module Eval = Ckpt_fastpath.Eval
+
+(* Speedup terms by form, replicating each constructor's closure
+   arithmetic exactly; laws without a special form (including Custom)
+   evaluate through the shape-dispatched [Scale_fn.eval]. *)
+let fill_speedup sp n s =
+  match sp.Speedup.form with
+  | Speedup.Quadratic { kappa; n_star } ->
+      let a = -.kappa /. (2. *. n_star) in
+      s.(Workspace.slot_g) <- (a *. n *. n) +. (kappa *. n);
+      s.(Workspace.slot_gd) <- (2. *. a *. n) +. kappa
+  | Speedup.Amdahl { serial_fraction = sf; _ } ->
+      let denom = sf +. ((1. -. sf) /. n) in
+      s.(Workspace.slot_g) <- 1. /. denom;
+      s.(Workspace.slot_gd) <- (1. -. sf) /. (n *. n *. denom *. denom)
+  | Speedup.Linear _ | Speedup.Gustafson _ | Speedup.Custom ->
+      s.(Workspace.slot_g) <- Scale_fn.eval sp.Speedup.law n;
+      s.(Workspace.slot_gd) <- Scale_fn.eval' sp.Speedup.law n
+
+let fill ws p n =
+  let s = ws.Workspace.s in
+  if s.(Workspace.slot_key) <> n then begin
+    fill_speedup p.speedup n s;
+    for i = 0 to num_levels p - 1 do
+      let lvl = p.levels.(i) in
+      ws.Workspace.ci.(i) <- Overhead.cost lvl.Level.ckpt n;
+      ws.Workspace.ci_d.(i) <- Overhead.cost' lvl.Level.ckpt n;
+      ws.Workspace.ri.(i) <- Overhead.cost lvl.Level.restart n;
+      ws.Workspace.ri_d.(i) <- Overhead.cost' lvl.Level.restart n;
+      ws.Workspace.mi.(i) <- Scale_fn.eval p.mus.(i) n;
+      ws.Workspace.mi_d.(i) <- Scale_fn.eval' p.mus.(i) n
+    done;
+    s.(Workspace.slot_key) <- n
+  end
+
+(* Mirrors [solve_scale], with [d_dn] reading cached terms; the
+   bisection probes the same scale sequence, so results are bitwise
+   equal.  Leaves the workspace filled at the last probed scale. *)
+let solve_scale_ws ws ?hint p ~n_hi =
+  let f n =
+    fill ws p n;
+    Eval.d_dn ws ~te:p.te ~alloc:p.alloc
+  in
+  if f n_hi <= 0. then n_hi
+  else if f 1. >= 0. then 1.
+  else begin
+    let lo, hi =
+      match hint with
+      | Some h when h > 1. && h < n_hi ->
+          let rec widen lo hi =
+            let lo_ok = f lo < 0. and hi_ok = f hi > 0. in
+            if lo_ok && hi_ok then (lo, hi)
+            else
+              let lo' = if lo_ok then lo else Float.max 1. (lo /. 4.) in
+              let hi' = if hi_ok then hi else Float.min n_hi (hi *. 4.) in
+              widen lo' hi'
+          in
+          widen (Float.max 1. (h /. 2.)) (Float.min n_hi (h *. 2.))
+      | _ -> (1., n_hi)
+    in
+    (Roots.bisect_integer ~f ~lo ~hi ()).Roots.root
+  end
+
+(* One workspace per domain: [optimize] is not reentrant within a
+   domain (nothing in this library calls it from inside a solve), and
+   domains never share a workspace. *)
+let ws_key = Domain.DLS.new_key (fun () -> Workspace.create ())
+
+let optimize ?(tol = 1e-6) ?(max_iter = 10_000) ?(n_max = 1e9) ?fixed_n ?init p =
+  check_params p;
+  let ws = Domain.DLS.get ws_key in
+  Workspace.reserve ws ~levels:(num_levels p);
+  let n_hi = Speedup.search_upper_bound p.speedup ~default:n_max in
+  let warm_n =
+    match init with
+    | Some (_, n) when Float.is_finite n && n >= 1. -> Some (Float.min n_hi n)
+    | _ -> None
+  in
+  let n0 =
+    match (fixed_n, warm_n) with
+    | Some n, _ -> n
+    | None, Some n -> n
+    | None, None -> n_hi
+  in
+  (match init with
+  | Some (xs0, _) when Array.length xs0 = num_levels p ->
+      for i = 0 to num_levels p - 1 do
+        let x = xs0.(i) in
+        ws.Workspace.xs.(i) <- (if Float.is_finite x && x > 1. then x else 1.)
+      done
+  | _ ->
+      fill ws p n0;
+      Eval.young_init ws ~te:p.te);
+  let hinted = init <> None in
+  let finish n iter converged =
+    (* The reference evaluates E(T_w) at the final (xs, n); fill makes
+       the terms valid at [n] (a no-op when the key already is). *)
+    fill ws p n;
+    { xs = Workspace.xs_copy ws;
+      n;
+      wall_clock = Eval.expected_wall_clock ws ~te:p.te ~alloc:p.alloc;
+      iterations = iter;
+      converged }
+  in
+  (* The scale iterate rides in a workspace slot: a float argument of a
+     non-inlined recursive loop would box on every iteration. *)
+  let s = ws.Workspace.s in
+  s.(Workspace.slot_n) <- n0;
+  let rec loop iter =
+    let n = s.(Workspace.slot_n) in
+    if iter >= max_iter then finish n iter false
+    else begin
+      Eval.save_xs ws;
+      if s.(Workspace.slot_key) <> n then fill ws p n;
+      Eval.x_sweep ws ~te:p.te;
+      let n' =
+        match fixed_n with
+        | Some n -> n
+        | None ->
+            let hint = if hinted && iter = 0 then Some n else None in
+            solve_scale_ws ws ?hint p ~n_hi
+      in
+      let dx = Eval.max_abs_diff_xs ws in
+      if dx <= tol && Float.abs (n' -. n) <= 0.5 then finish n' (iter + 1) true
+      else begin
+        s.(Workspace.slot_n) <- n';
+        loop (iter + 1)
+      end
+    end
+  in
+  loop 0
+
+(* Fast E(T_w) through a private workspace — the evaluation twin the
+   property tests exercise directly. *)
+let expected_wall_clock_fast ws p ~xs ~n =
+  Workspace.reserve ws ~levels:(num_levels p);
+  Array.blit xs 0 ws.Workspace.xs 0 (num_levels p);
+  fill ws p n;
+  Eval.expected_wall_clock ws ~te:p.te ~alloc:p.alloc

@@ -85,4 +85,29 @@ val optimize :
     geometrically around the previous iterate before falling back to the
     full interval.  Warm starts only change the starting point of a
     contraction, so the fixed point reached agrees with the cold solve
-    to the solver tolerance; without [init] the behaviour is unchanged. *)
+    to the solver tolerance; without [init] the behaviour is unchanged.
+
+    The iteration runs on the {!Ckpt_fastpath} workspace path: per-level
+    terms are cached per scale in preallocated arrays (one per-domain
+    workspace), so inner iterations do no heap allocation.  Results are
+    bit-identical to {!optimize_reference} — the direct, closure-based
+    evaluation this path is property-tested against. *)
+
+val optimize_reference :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?n_max:float ->
+  ?fixed_n:float ->
+  ?init:float array * float ->
+  params ->
+  solution
+(** The reference implementation of {!optimize}: identical signature and
+    (bitwise) identical results, evaluating every term through the
+    overhead-law closures with no workspace.  Kept as the oracle for the
+    fastpath bit-identity property tests. *)
+
+val expected_wall_clock_fast :
+  Ckpt_fastpath.Workspace.t -> params -> xs:float array -> n:float -> float
+(** {!expected_wall_clock} evaluated through the given workspace —
+    bit-identical to the reference; exposed for the property tests and
+    for callers evaluating E(T_w) in a loop. *)

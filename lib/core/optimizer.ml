@@ -120,8 +120,8 @@ let divergent_plan p ~n ~outer ~inner =
     inner_iterations = inner;
     converged = false }
 
-let solve_with ?(delta = 1e-9) ?(max_outer = 1_000) ?fixed_n ?(n_max = 1e9)
-    ?warm ?initial_estimate p =
+let solve_with ?(reference = false) ?(delta = 1e-9) ?(max_outer = 1_000) ?fixed_n
+    ?(n_max = 1e9) ?warm ?initial_estimate p =
   check_problem p;
   let n_hi = Speedup.search_upper_bound p.speedup ~default:n_max in
   let n0 = Option.value fixed_n ~default:n_hi in
@@ -157,7 +157,10 @@ let solve_with ?(delta = 1e-9) ?(max_outer = 1_000) ?fixed_n ?(n_max = 1e9)
     if not (Float.is_finite estimate) then divergent_plan p ~n:n0 ~outer ~inner
     else begin
     let params = multilevel_params p ~estimate in
-    let sol = Multilevel.optimize ?fixed_n ~n_max ?init params in
+    let sol =
+      if reference then Multilevel.optimize_reference ?fixed_n ~n_max ?init params
+      else Multilevel.optimize ?fixed_n ~n_max ?init params
+    in
     let inner = inner + sol.Multilevel.iterations in
     let estimate' = sol.Multilevel.wall_clock in
     if not (Float.is_finite estimate') then
@@ -190,6 +193,9 @@ let solve_with ?(delta = 1e-9) ?(max_outer = 1_000) ?fixed_n ?(n_max = 1e9)
 
 let solve ?delta ?max_outer ?fixed_n ?n_max ?warm p =
   solve_with ?delta ?max_outer ?fixed_n ?n_max ?warm p
+
+let solve_reference ?delta ?max_outer ?fixed_n ?n_max ?warm p =
+  solve_with ~reference:true ?delta ?max_outer ?fixed_n ?n_max ?warm p
 
 type outcome = Converged of plan | Diverged of plan | Non_finite of plan
 

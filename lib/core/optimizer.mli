@@ -62,6 +62,19 @@ val solve :
     to the solver tolerances while spending fewer iterations; omitting
     [warm] leaves the solve byte-identical to before. *)
 
+val solve_reference :
+  ?delta:float ->
+  ?max_outer:int ->
+  ?fixed_n:float ->
+  ?n_max:float ->
+  ?warm:plan ->
+  problem ->
+  plan
+(** {!solve} with the inner fixed point run on
+    {!Multilevel.optimize_reference} instead of the fastpath workspace —
+    bit-identical results by contract; the oracle the fastpath property
+    tests compare against. *)
+
 (** How a solve ended.  [solve] already hard-caps both iteration layers
     ([max_outer], {!Multilevel.optimize}'s [max_iter]), so it always
     terminates; the outcome makes the three terminal states explicit

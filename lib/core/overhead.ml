@@ -26,15 +26,18 @@ let custom ~eps ~alpha ~h ~h_name =
   check_alpha "custom" alpha;
   { eps; alpha; h; h_name }
 
-let cost t n = t.eps +. (t.alpha *. t.h.Scale_fn.f n)
-let cost' t n = t.alpha *. t.h.Scale_fn.f' n
+(* [Scale_fn.eval] dispatches on the law's shape — bit-identical to the
+   closure call it replaces, but constant/affine laws (every law the
+   paper fits) evaluate without closure indirection. *)
+let cost t n = t.eps +. (t.alpha *. Scale_fn.eval t.h n)
+let cost' t n = t.alpha *. Scale_fn.eval' t.h n
 
 let scaled t factor =
   if factor <= 0. then invalid_arg "Overhead.scaled: non-positive factor";
   { t with eps = t.eps *. factor; alpha = t.alpha *. factor }
 
 let law t =
-  { Scale_fn.f = (fun n -> cost t n); f' = (fun n -> cost' t n) }
+  Scale_fn.opaque ~f:(fun n -> cost t n) ~f':(fun n -> cost' t n)
 
 let fit ?(h = identity_h) ?(h_name = "N") ?(snap = 0.) ~scales ~costs () =
   let { Least_squares.coefficients; _ } =

@@ -1,17 +1,45 @@
 module Derivative = Ckpt_numerics.Derivative
 
-type t = { f : float -> float; f' : float -> float }
+type shape =
+  | Const of float
+  | Affine of { intercept : float; slope : float }
+  | Opaque
 
-let const c = { f = (fun _ -> c); f' = (fun _ -> 0.) }
+type t = { f : float -> float; f' : float -> float; shape : shape }
+
+let const c = { f = (fun _ -> c); f' = (fun _ -> 0.); shape = Const c }
 
 let linear ?(intercept = 0.) ~slope () =
-  { f = (fun n -> intercept +. (slope *. n)); f' = (fun _ -> slope) }
+  { f = (fun n -> intercept +. (slope *. n));
+    f' = (fun _ -> slope);
+    shape = Affine { intercept; slope } }
 
-let scale c t = { f = (fun n -> c *. t.f n); f' = (fun n -> c *. t.f' n) }
+let opaque ~f ~f' = { f; f'; shape = Opaque }
 
-let add a b = { f = (fun n -> a.f n +. b.f n); f' = (fun n -> a.f' n +. b.f' n) }
+(* Folding the factor into an Affine shape would change the arithmetic
+   ([c*i + c*s*n] vs [c * (i + s*n)]) and therefore the bits, so derived
+   laws stay Opaque and evaluate through their closures. *)
+let scale c t = opaque ~f:(fun n -> c *. t.f n) ~f':(fun n -> c *. t.f' n)
 
-let of_fun ?h f = { f; f' = (fun x -> Derivative.central ?h ~f x) }
+let add a b = opaque ~f:(fun n -> a.f n +. b.f n) ~f':(fun n -> a.f' n +. b.f' n)
+
+let of_fun ?h f = opaque ~f ~f':(fun x -> Derivative.central ?h ~f x)
+
+(* Shape-dispatched evaluation, bit-identical to calling the closures:
+   each arm replicates the corresponding constructor's closure body, so
+   fast paths can evaluate laws without a closure call (and without
+   boxing the argument/result when the caller is inlined). *)
+let eval t n =
+  match t.shape with
+  | Const c -> c
+  | Affine { intercept; slope } -> intercept +. (slope *. n)
+  | Opaque -> t.f n
+
+let eval' t n =
+  match t.shape with
+  | Const _ -> 0.
+  | Affine { slope; _ } -> slope
+  | Opaque -> t.f' n
 
 let check_derivative ?(at = [ 1.; 10.; 1e3; 1e5 ]) ?(tol = 1e-4) t =
   List.for_all

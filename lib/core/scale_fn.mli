@@ -6,9 +6,20 @@
     counts [mu_i(N)].  A {!t} packages both, so the model can assemble
     [dE(T_w)/dN] analytically. *)
 
+(** Structural description of a law, when one is known.  Fast paths
+    dispatch on it ({!eval}/{!eval'}) to evaluate values and derivatives
+    without a closure call; [Opaque] laws fall back to the closures.
+    The shape arms replicate the constructor closures' arithmetic
+    exactly, so shape-dispatched evaluation is bit-identical. *)
+type shape =
+  | Const of float
+  | Affine of { intercept : float; slope : float }
+  | Opaque
+
 type t = {
   f : float -> float;
   f' : float -> float;  (** derivative of [f] *)
+  shape : shape;
 }
 
 val const : float -> t
@@ -22,6 +33,17 @@ val scale : float -> t -> t
 (** [scale c t] is [c * t], with the derivative scaled too. *)
 
 val add : t -> t -> t
+
+val opaque : f:(float -> float) -> f':(float -> float) -> t
+(** [opaque ~f ~f'] packages hand-written closures with [shape =
+    Opaque] — the constructor for laws with no structural shape. *)
+
+val eval : t -> float -> float
+(** Shape-dispatched value: [Const]/[Affine] laws are computed directly
+    (bit-identical to their closures), [Opaque] laws call [t.f]. *)
+
+val eval' : t -> float -> float
+(** Shape-dispatched derivative; [Opaque] laws call [t.f']. *)
 
 val of_fun : ?h:float -> (float -> float) -> t
 (** [of_fun f] pairs [f] with a central-difference derivative — handy when

@@ -20,8 +20,9 @@ let quadratic ~kappa ~n_star =
   { name = Printf.sprintf "quadratic(kappa=%g, n_star=%g)" kappa n_star;
     form = Quadratic { kappa; n_star };
     law =
-      { Scale_fn.f = (fun n -> (a *. n *. n) +. (kappa *. n));
-        f' = (fun n -> (2. *. a *. n) +. kappa) };
+      Scale_fn.opaque
+        ~f:(fun n -> (a *. n *. n) +. (kappa *. n))
+        ~f':(fun n -> (2. *. a *. n) +. kappa);
     n_ideal = Some n_star }
 
 let amdahl ~serial_fraction ~peak =
@@ -30,11 +31,11 @@ let amdahl ~serial_fraction ~peak =
   { name = Printf.sprintf "amdahl(s=%g)" s;
     form = Amdahl { serial_fraction; peak };
     law =
-      { Scale_fn.f = (fun n -> 1. /. (s +. ((1. -. s) /. n)));
-        f' =
-          (fun n ->
-            let denom = s +. ((1. -. s) /. n) in
-            (1. -. s) /. (n *. n *. denom *. denom)) };
+      Scale_fn.opaque
+        ~f:(fun n -> 1. /. (s +. ((1. -. s) /. n)))
+        ~f':(fun n ->
+          let denom = s +. ((1. -. s) /. n) in
+          (1. -. s) /. (n *. n *. denom *. denom));
     n_ideal = Some peak }
 
 let gustafson ~serial_fraction ~peak =

@@ -1,27 +1,37 @@
 module Rng = Ckpt_numerics.Rng
 module Dist = Ckpt_numerics.Dist
 module Special = Ckpt_numerics.Special
+module Draw_buffer = Ckpt_fastpath.Draw_buffer
 
 type law = Exponential | Weibull of { shape : float }
 
-type level_stream = {
-  rng : Rng.t;
-  rate : float;  (* mean events per second *)
-  law : law;
-  weibull_scale : float;  (* pre-computed for Weibull laws *)
-  mutable next : float;  (* absolute time of this level's next arrival *)
-}
+(* Each level's inter-arrival draws come from its own substream, either
+   through a refillable batch buffer (the default — the buffer owns the
+   substream and pre-draws blocks) or one at a time.  Both produce the
+   identical draw sequence: the substream is private to the level, so
+   drawing ahead cannot interleave with anything. *)
+type source =
+  | Buffered of Draw_buffer.t
+  | Direct of { rng : Rng.t; law : law; weibull_scale : float }
 
 type event = { at : float; level : int }
 
-type t = { streams : level_stream array; total : float }
+type t = {
+  rates : float array;  (* mean events per second, per level *)
+  sources : source array;
+  next : float array;  (* absolute time of each level's next arrival *)
+  total : float;
+}
 
-let sample_gap s =
-  match s.law with
-  | Exponential -> Dist.exponential s.rng ~rate:s.rate
-  | Weibull { shape } -> Dist.weibull s.rng ~shape ~scale:s.weibull_scale
+let gap t i =
+  match t.sources.(i) with
+  | Buffered b -> Draw_buffer.next b
+  | Direct { rng; law; weibull_scale } -> (
+      match law with
+      | Exponential -> Dist.exponential rng ~rate:t.rates.(i)
+      | Weibull { shape } -> Dist.weibull rng ~shape ~scale:weibull_scale)
 
-let create ?laws ~rng ~spec ~scale () =
+let create ?laws ?(batched = true) ~rng ~spec ~scale () =
   let levels = Failure_spec.levels spec in
   let laws =
     match laws with
@@ -37,9 +47,14 @@ let create ?laws ~rng ~spec ~scale () =
           laws;
         laws
   in
-  let streams =
+  let rates = Array.make levels 0. in
+  let next = Array.make levels infinity in
+  (* Split the parent stream per level in index order — the substream
+     contract shared with [Rng.streams] consumers. *)
+  let sources =
     Array.init levels (fun i ->
         let rate = Failure_spec.rate_per_second spec ~level:(i + 1) ~scale in
+        rates.(i) <- rate;
         let weibull_scale =
           match laws.(i) with
           | Exponential -> 0.
@@ -47,36 +62,43 @@ let create ?laws ~rng ~spec ~scale () =
               if rate <= 0. then 0.
               else 1. /. (rate *. Special.gamma (1. +. (1. /. shape)))
         in
-        let s =
-          { rng = Rng.split rng; rate; law = laws.(i); weibull_scale; next = infinity }
-        in
-        if rate > 0. then s.next <- sample_gap s;
-        s)
+        let child = Rng.split rng in
+        if batched && rate > 0. then
+          Buffered
+            (Draw_buffer.create ~rng:child
+               (match laws.(i) with
+               | Exponential -> Draw_buffer.Exponential { rate }
+               | Weibull { shape } ->
+                   Draw_buffer.Weibull { shape; scale = weibull_scale }))
+        else Direct { rng = child; law = laws.(i); weibull_scale })
   in
-  { streams; total = Array.fold_left (fun acc s -> acc +. s.rate) 0. streams }
+  let t = { rates; sources; next; total = Array.fold_left ( +. ) 0. rates } in
+  for i = 0 to levels - 1 do
+    if rates.(i) > 0. then next.(i) <- gap t i
+  done;
+  t
 
 let total_rate t = t.total
 
 let next_after t now =
   if t.total <= 0. then None
   else begin
+    let levels = Array.length t.rates in
     (* Advance every level past [now], then take the earliest. *)
-    Array.iter
-      (fun s ->
-        if s.rate > 0. then
-          while s.next <= now do
-            s.next <- s.next +. sample_gap s
-          done)
-      t.streams;
+    for i = 0 to levels - 1 do
+      if t.rates.(i) > 0. then
+        while t.next.(i) <= now do
+          t.next.(i) <- t.next.(i) +. gap t i
+        done
+    done;
     let best = ref (-1) in
-    Array.iteri
-      (fun i s ->
-        if s.rate > 0. && (!best < 0 || s.next < t.streams.(!best).next) then best := i)
-      t.streams;
-    let s = t.streams.(!best) in
-    let at = s.next in
-    s.next <- at +. sample_gap s;
-    Some { at; level = !best + 1 }
+    for i = 0 to levels - 1 do
+      if t.rates.(i) > 0. && (!best < 0 || t.next.(i) < t.next.(!best)) then best := i
+    done;
+    let b = !best in
+    let at = t.next.(b) in
+    t.next.(b) <- at +. gap t b;
+    Some { at; level = b + 1 }
   end
 
 let sequence t ~horizon =

@@ -1,0 +1,61 @@
+module Rng = Ckpt_numerics.Rng
+
+type law =
+  | Exponential of { rate : float }
+  | Weibull of { shape : float; scale : float }
+  | Sampler of (Rng.t -> float)
+
+type t = {
+  rng : Rng.t;
+  law : law;
+  inv_shape : float;  (* 1/shape, pre-computed for Weibull laws *)
+  buf : float array;
+  mutable pos : int;  (* next unconsumed index *)
+  mutable len : int;  (* valid prefix length *)
+}
+
+let create ?(capacity = 64) ~rng law =
+  if capacity < 1 then invalid_arg "Draw_buffer.create: capacity < 1";
+  (match law with
+   | Exponential { rate } ->
+       if not (rate > 0.) then invalid_arg "Draw_buffer.create: rate <= 0"
+   | Weibull { shape; scale } ->
+       if not (shape > 0. && scale > 0.) then
+         invalid_arg "Draw_buffer.create: Weibull shape or scale <= 0"
+   | Sampler _ -> ());
+  { rng; law;
+    inv_shape = (match law with Weibull { shape; _ } -> 1. /. shape | _ -> 0.);
+    buf = Array.make capacity 0.;
+    pos = 0;
+    len = 0 }
+
+(* The per-draw arithmetic must stay exactly [Ckpt_numerics.Dist]'s:
+   [1. -. Rng.float] then [-.log u /. rate] (the division is kept — a
+   cached [1/rate] multiplication would change bits).  Only draw-count-
+   independent work is hoisted: the law dispatch and, for Weibull,
+   [1/shape] (a deterministic sub-expression, so bitwise the same). *)
+let refill t =
+  let n = Array.length t.buf in
+  (match t.law with
+   | Exponential { rate } ->
+       for i = 0 to n - 1 do
+         let u = 1. -. Rng.float t.rng in
+         t.buf.(i) <- -.log u /. rate
+       done
+   | Weibull { scale; _ } ->
+       for i = 0 to n - 1 do
+         let u = 1. -. Rng.float t.rng in
+         t.buf.(i) <- scale *. ((-.log u) ** t.inv_shape)
+       done
+   | Sampler f ->
+       for i = 0 to n - 1 do
+         t.buf.(i) <- f t.rng
+       done);
+  t.pos <- 0;
+  t.len <- n
+
+let next t =
+  if t.pos >= t.len then refill t;
+  let v = t.buf.(t.pos) in
+  t.pos <- t.pos + 1;
+  v

@@ -1,0 +1,32 @@
+(** Batched random draws from one private generator stream.
+
+    A draw buffer owns an {!Ckpt_numerics.Rng.t} substream and fills a
+    preallocated block of inverse-CDF samples from it at a time, so the
+    per-draw cost on the consumer's hot path is an array read and an
+    index bump instead of a generator step plus transcendentals.
+
+    Bit-identity contract: because the buffer draws from a {e private}
+    stream (the simulator hands each failure level its own
+    [Rng.split]-derived substream) and consumes it in order, drawing
+    ahead block-wise yields exactly the sequence lazy one-at-a-time
+    sampling would — draw-for-draw, for any consumer interleaving across
+    levels.  The per-draw arithmetic replicates
+    {!Ckpt_numerics.Dist.exponential} / {!Ckpt_numerics.Dist.weibull}
+    operation for operation, so values are bitwise equal. *)
+
+type law =
+  | Exponential of { rate : float }  (** mean [1/rate] inter-arrival *)
+  | Weibull of { shape : float; scale : float }
+  | Sampler of (Ckpt_numerics.Rng.t -> float)
+      (** escape hatch for custom laws: called once per buffered draw *)
+
+type t
+
+val create : ?capacity:int -> rng:Ckpt_numerics.Rng.t -> law -> t
+(** A buffer drawing [capacity] samples (default 64) per refill from
+    [rng], which the buffer now owns and advances.
+    @raise Invalid_argument on non-positive capacity or law
+    parameters. *)
+
+val next : t -> float
+(** The next sample in stream order, refilling transparently. *)

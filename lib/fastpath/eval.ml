@@ -1,0 +1,101 @@
+(* Allocation-free kernels over a filled {!Workspace}.
+
+   Bit-identity contract: every kernel reproduces the floating-point
+   operation sequence of the corresponding reference function in
+   [Ckpt_model.Multilevel] exactly — same terms, same association, same
+   division placement — so results are bitwise equal, not merely close.
+   Prefix sums that the reference recomputes per level are carried as
+   running accumulators here, which is the identical addition chain;
+   suffix sums (the [higher] term of Eq. 23) are recomputed per level in
+   increasing index order because a running suffix would reassociate.
+   Accumulators live in workspace scalar slots: local float lets stay in
+   registers, but anything mutable across iterations must be an array
+   slot to avoid boxed [ref] cells. *)
+
+open Workspace
+
+(* One Gauss–Seidel sweep of Eq. (23) over the levels, in place:
+   [xs.(j)] for [j < level] already hold the new iterate, [j > level]
+   the old one.  Mirrors [Multilevel.x_update] called level by level,
+   with the [lower] prefix (T_e/g + sum_{j<i} C_j x_j) carried as a
+   running accumulator. *)
+let x_sweep ws ~te =
+  let s = ws.s in
+  s.(slot_acc) <- te /. s.(slot_g);
+  for i = 0 to ws.levels - 1 do
+    let ci = ws.ci.(i) in
+    let x =
+      if ci <= 0. then 1.
+      else begin
+        s.(slot_acc2) <- 0.;
+        for j = i + 1 to ws.levels - 1 do
+          s.(slot_acc2) <- s.(slot_acc2) +. (ws.mi.(j) /. ws.xs.(j))
+        done;
+        let denom = 2. *. ci *. (1. +. (s.(slot_acc2) /. 2.)) in
+        Float.max 1. (sqrt (ws.mi.(i) *. s.(slot_acc) /. denom))
+      end
+    in
+    ws.xs.(i) <- x;
+    s.(slot_acc) <- s.(slot_acc) +. (ci *. x)
+  done
+
+(* Eq. (24) at the workspace's key scale.  Mirrors [Multilevel.d_dn];
+   the [repaid]/[repaid'] prefix sums are running accumulators. *)
+let d_dn ws ~te ~alloc =
+  let s = ws.s in
+  let g = s.(slot_g) and g' = s.(slot_gd) in
+  s.(slot_acc) <- -.te *. g' /. (g *. g);
+  s.(slot_acc2) <- 0.;
+  s.(slot_acc3) <- 0.;
+  for i = 0 to ws.levels - 1 do
+    let xi = ws.xs.(i) in
+    let m = ws.mi.(i) and m' = ws.mi_d.(i) in
+    s.(slot_acc) <- s.(slot_acc) +. (ws.ci_d.(i) *. (xi -. 1.));
+    s.(slot_acc) <- s.(slot_acc) +. (m' *. te /. (2. *. xi *. g));
+    s.(slot_acc) <- s.(slot_acc) -. (m *. te *. g' /. (2. *. xi *. g *. g));
+    s.(slot_acc2) <- s.(slot_acc2) +. (ws.ci.(i) *. xi);
+    s.(slot_acc3) <- s.(slot_acc3) +. (ws.ci_d.(i) *. xi);
+    let repaid = s.(slot_acc2) /. (2. *. xi)
+    and repaid' = s.(slot_acc3) /. (2. *. xi) in
+    s.(slot_acc) <- s.(slot_acc) +. (m' *. (repaid +. alloc +. ws.ri.(i)));
+    s.(slot_acc) <- s.(slot_acc) +. (m *. (repaid' +. ws.ri_d.(i)))
+  done;
+  s.(slot_acc)
+
+(* Eq. (21) at the workspace's key scale.  Mirrors
+   [Multilevel.expected_wall_clock] with the rollback numerator
+   (T_e/g + sum_{k<=i} C_k x_k, Eq. 18) carried as a running prefix. *)
+let expected_wall_clock ws ~te ~alloc =
+  let s = ws.s in
+  let g = s.(slot_g) in
+  s.(slot_acc) <- te /. g;
+  s.(slot_acc2) <- te /. g;
+  for i = 0 to ws.levels - 1 do
+    let xi = ws.xs.(i) in
+    s.(slot_acc) <- s.(slot_acc) +. (ws.ci.(i) *. (xi -. 1.));
+    s.(slot_acc2) <- s.(slot_acc2) +. (ws.ci.(i) *. xi);
+    let rollback = s.(slot_acc2) /. (2. *. xi) in
+    s.(slot_acc) <- s.(slot_acc) +. (ws.mi.(i) *. (rollback +. alloc +. ws.ri.(i)))
+  done;
+  s.(slot_acc)
+
+(* Eq. (25) into [xs], in place.  Mirrors [Multilevel.young_init]. *)
+let young_init ws ~te =
+  let g = ws.s.(slot_g) in
+  for i = 0 to ws.levels - 1 do
+    let ci = ws.ci.(i) in
+    ws.xs.(i) <-
+      (if ci <= 0. then 1.
+       else Float.max 1. (sqrt (ws.mi.(i) *. te /. g /. (2. *. ci))))
+  done
+
+let save_xs ws = Array.blit ws.xs 0 ws.xs_prev 0 ws.levels
+
+(* Mirrors [Fixed_point.max_abs_diff] over the live prefix. *)
+let max_abs_diff_xs ws =
+  let s = ws.s in
+  s.(slot_acc) <- 0.;
+  for i = 0 to ws.levels - 1 do
+    s.(slot_acc) <- Float.max s.(slot_acc) (Float.abs (ws.xs.(i) -. ws.xs_prev.(i)))
+  done;
+  s.(slot_acc)

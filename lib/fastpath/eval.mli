@@ -1,0 +1,33 @@
+(** Allocation-free evaluation kernels over a filled {!Workspace}.
+
+    Each kernel is the fast twin of a reference function in
+    [Ckpt_model.Multilevel] and is {e bit-identical} to it: the same
+    floating-point operations in the same order, reading per-level terms
+    from the workspace instead of re-evaluating overhead laws.  The
+    caller owns filling the workspace (terms and speedup slots valid at
+    the scale being evaluated) before invoking a kernel; kernels use the
+    [slot_acc*] scratch slots and allocate nothing. *)
+
+val x_sweep : Workspace.t -> te:float -> unit
+(** One in-place Gauss–Seidel sweep of Eq. (23) over [xs] — the loop
+    body of [Multilevel.optimize] with [x_update] applied level by
+    level. *)
+
+val d_dn : Workspace.t -> te:float -> alloc:float -> float
+(** Eq. (24), [dE(T_w)/dN] at the workspace's key scale — fast twin of
+    [Multilevel.d_dn]. *)
+
+val expected_wall_clock : Workspace.t -> te:float -> alloc:float -> float
+(** Eq. (21) at the workspace's key scale — fast twin of
+    [Multilevel.expected_wall_clock]. *)
+
+val young_init : Workspace.t -> te:float -> unit
+(** Eq. (25) written into [xs] in place — fast twin of
+    [Multilevel.young_init]. *)
+
+val save_xs : Workspace.t -> unit
+(** [xs_prev <- xs] (blit, no allocation). *)
+
+val max_abs_diff_xs : Workspace.t -> float
+(** [max_i |xs.(i) - xs_prev.(i)|] over the live prefix — the
+    convergence metric of [Multilevel.optimize]. *)

@@ -1,0 +1,61 @@
+(* Reusable per-solve scratch memory.  See workspace.mli and README.md
+   for the invariants; the short version: every float the inner solver
+   loops touch lives in one of these preallocated arrays, so an inner
+   iteration performs no heap allocation.  Scalars live in [s] because a
+   mutable float field of a mixed record (or a [float ref]) boxes on
+   every write under the non-flambda compiler, while a [float array]
+   store is an unboxed write. *)
+
+type t = {
+  mutable levels : int;
+  mutable ci : float array;  (* C_i(n), checkpoint cost per level *)
+  mutable ci_d : float array;  (* C_i'(n) *)
+  mutable ri : float array;  (* R_i(n), restart cost per level *)
+  mutable ri_d : float array;  (* R_i'(n) *)
+  mutable mi : float array;  (* mu_i(n), expected failures per level *)
+  mutable mi_d : float array;  (* mu_i'(n) *)
+  mutable xs : float array;  (* current interval-count iterate *)
+  mutable xs_prev : float array;  (* previous iterate, for convergence *)
+  s : float array;  (* scalar slots, see below *)
+}
+
+(* Scalar slots.  [slot_key] holds the scale [n] the per-level term
+   arrays were filled at (nan = nothing filled); [slot_g]/[slot_gd] the
+   speedup value and derivative at that scale; the rest are accumulator
+   scratch for the evaluation kernels. *)
+let slot_key = 0
+let slot_g = 1
+let slot_gd = 2
+let slot_acc = 3
+let slot_acc2 = 4
+let slot_acc3 = 5
+let slot_n = 6
+let num_slots = 7
+
+let create ?(levels = 4) () =
+  let levels = max 1 levels in
+  let mk () = Array.make levels 0. in
+  { levels;
+    ci = mk (); ci_d = mk ();
+    ri = mk (); ri_d = mk ();
+    mi = mk (); mi_d = mk ();
+    xs = mk (); xs_prev = mk ();
+    s = Array.make num_slots nan }
+
+let invalidate t = t.s.(slot_key) <- nan
+
+let reserve t ~levels =
+  if levels < 1 then invalid_arg "Workspace.reserve: levels < 1";
+  if levels > Array.length t.ci then begin
+    let mk () = Array.make levels 0. in
+    t.ci <- mk (); t.ci_d <- mk ();
+    t.ri <- mk (); t.ri_d <- mk ();
+    t.mi <- mk (); t.mi_d <- mk ();
+    t.xs <- mk (); t.xs_prev <- mk ()
+  end;
+  t.levels <- levels;
+  invalidate t
+
+let key t = t.s.(slot_key)
+
+let xs_copy t = Array.sub t.xs 0 t.levels

@@ -1,0 +1,71 @@
+(** Preallocated scratch memory for allocation-free model evaluation.
+
+    A workspace holds every per-level term the multilevel model's inner
+    loops need — checkpoint/restart costs, failure counts and their
+    scale-derivatives, plus the iterate arrays — in flat float arrays,
+    together with a small scalar-slot array for the speedup terms and
+    kernel accumulators.  Filling it is the caller's job (the model
+    library knows the overhead laws); the {!Eval} kernels then read and
+    write only workspace state, so one inner solver iteration performs
+    no heap allocation.
+
+    {2 Term-cache invariant}
+
+    [s.(slot_key)] is the scale the term arrays were filled at, [nan]
+    when nothing valid is cached.  A fill routine must skip refilling
+    when its scale equals the key and must set the key after filling;
+    anything that changes the problem (not the scale) must {!invalidate}
+    or {!reserve}.  Scalars are kept in the [s] array rather than
+    mutable record fields because unboxed float stores need a float
+    array under the non-flambda compiler — a mutable float field of
+    this mixed record would box on every write. *)
+
+type t = {
+  mutable levels : int;  (** live prefix length of every array below *)
+  mutable ci : float array;  (** checkpoint cost [C_i(n)] *)
+  mutable ci_d : float array;  (** [C_i'(n)] *)
+  mutable ri : float array;  (** restart cost [R_i(n)] *)
+  mutable ri_d : float array;  (** [R_i'(n)] *)
+  mutable mi : float array;  (** expected failure count [mu_i(n)] *)
+  mutable mi_d : float array;  (** [mu_i'(n)] *)
+  mutable xs : float array;  (** current interval-count iterate *)
+  mutable xs_prev : float array;  (** previous iterate *)
+  s : float array;  (** scalar slots, indexed by the [slot_*] values *)
+}
+
+val slot_key : int
+(** Scale [n] the term arrays are valid at; [nan] = invalid. *)
+
+val slot_g : int
+(** Speedup [g(n)] at the key scale. *)
+
+val slot_gd : int
+(** Speedup derivative [g'(n)] at the key scale. *)
+
+val slot_acc : int
+val slot_acc2 : int
+val slot_acc3 : int
+(** Accumulator scratch owned by whichever kernel is running. *)
+
+val slot_n : int
+(** Scratch for a solver's scale iterate — kept in a slot because a
+    float argument threaded through a (non-inlined) recursive loop
+    boxes on every call. *)
+
+val create : ?levels:int -> unit -> t
+(** A workspace with capacity for [levels] (default 4, grown on
+    demand by {!reserve}); the term cache starts invalid. *)
+
+val reserve : t -> levels:int -> unit
+(** Size the live prefix to [levels], growing the arrays if the
+    capacity is short, and invalidate the term cache. *)
+
+val invalidate : t -> unit
+(** Forget the cached terms ([s.(slot_key) <- nan]). *)
+
+val key : t -> float
+(** [s.(slot_key)]. *)
+
+val xs_copy : t -> float array
+(** Fresh copy of the live [xs] prefix — the only allocating helper,
+    for handing a result out of the workspace. *)

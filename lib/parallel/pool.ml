@@ -7,6 +7,7 @@ type t = {
   mutable live : bool;
   mutable respawns : int;
   workers : int;
+  inline : bool;  (* workers = 1, no chaos: run jobs in the caller *)
   chaos : Chaos.t option;
   mutable chaos_base : int;  (* next pool-site chaos item index *)
 }
@@ -35,6 +36,12 @@ and respawn pool =
 
 let create ?chaos ~workers () =
   if workers < 1 then invalid_arg "Pool.create: workers < 1";
+  (* A single fault-free worker gains nothing from a domain: jobs would
+     run one at a time anyway, paying spawn, queue traffic and
+     cross-domain signalling.  Run them in the caller instead.  Chaos
+     still forces the domain path — crash injection kills a worker
+     domain, which only exists there. *)
+  let inline = workers = 1 && Option.is_none chaos in
   let pool =
     { queue = Work_queue.create ();
       lock = Mutex.create ();
@@ -42,11 +49,13 @@ let create ?chaos ~workers () =
       live = true;
       respawns = 0;
       workers;
+      inline;
       chaos;
       chaos_base = 0 }
   in
-  pool.domains <-
-    List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop pool ()));
+  if not inline then
+    pool.domains <-
+      List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop pool ()));
   pool
 
 let workers t = t.workers
@@ -58,10 +67,17 @@ let respawns t =
 
 let recommended_workers () = Domain.recommended_domain_count ()
 
+let map_inline ~f xs =
+  (* Same error contract as the pooled path: run every item, then raise
+     the lowest-index failure. *)
+  let results = Array.map (fun x -> try Ok (f x) with e -> Error e) xs in
+  Array.map (function Ok r -> r | Error e -> raise e) results
+
 let map t ~f xs =
   if not t.live then invalid_arg "Pool.map: pool is shut down";
   let n = Array.length xs in
   if n = 0 then [||]
+  else if t.inline then map_inline ~f xs
   else begin
     (* Contiguous chunks, a few per worker for load balance: per-item
        queue traffic would dominate sub-millisecond jobs. *)

@@ -29,6 +29,11 @@ val create : ?chaos:Ckpt_chaos.Chaos.t -> workers:int -> unit -> t
 (** Spawn [workers] domains ([>= 1]) blocked on an empty queue.  With
     [?chaos], every mapped item consults the policy's [Pool] site first
     (possible injected stall or worker crash).
+    A fault-free single-worker pool ([workers = 1], no [?chaos]) spawns
+    no domain at all: [map] runs jobs inline in the caller with the same
+    semantics, so a [workers:1] pool costs the same as plain sequential
+    code instead of paying spawn and queue overhead for zero
+    parallelism.
     @raise Invalid_argument when [workers < 1]. *)
 
 val workers : t -> int

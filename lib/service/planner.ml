@@ -38,7 +38,7 @@ let check_resilience r =
   if r.breaker_cooldown < 1 then invalid_arg "Planner: breaker_cooldown < 1"
 
 type t = {
-  cache : Optimizer.plan Lru_cache.t;
+  cache : Optimizer.plan Sharded_cache.t;
   metrics : Metrics.t;
   precision : int;
   resilience : resilience;
@@ -54,7 +54,7 @@ type t = {
 let create ?(cache_capacity = 4096) ?(precision = Fingerprint.default_precision)
     ?(resilience = default_resilience) ?chaos metrics =
   check_resilience resilience;
-  { cache = Lru_cache.create ~capacity:cache_capacity;
+  { cache = Sharded_cache.create ~capacity:cache_capacity ();
     metrics;
     precision;
     resilience;
@@ -303,7 +303,7 @@ let solve_batch ?pool t queries =
           Metrics.incr_cache_hit t.metrics;
           slot_of.(i) <- slot
       | None -> (
-          match Lru_cache.find t.cache key with
+          match Sharded_cache.find t.cache key with
           | Some plan ->
               Metrics.incr_cache_hit t.metrics;
               results.(i) <- Ok { Protocol.plan; cached = true; degraded = None }
@@ -332,7 +332,7 @@ let solve_batch ?pool t queries =
       let cache_key, _, _, skipped = misses.(slot) in
       (match outcome with
       | Ok { Protocol.plan; degraded = None; _ } ->
-          Lru_cache.add t.cache cache_key plan
+          Sharded_cache.add t.cache cache_key plan
       | Ok _ | Error _ -> ());
       fold_outcome t ~skipped ~retries ~primary_failed
         ~degraded:

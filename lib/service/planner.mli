@@ -5,7 +5,8 @@
     possible happens in between —
 
     + each query is keyed by its {!Fingerprint} plus solver options;
-    + keys resident in the {!Lru_cache} are served immediately (a hit);
+    + keys resident in the {!Sharded_cache} are served immediately (a
+      hit);
     + duplicate keys within the batch collapse onto one solve (the
       duplicates also count as hits — the solver runs once);
     + the remaining unique misses fan out over the {!Pool} (or run
@@ -72,7 +73,7 @@ val create :
     [chaos] injects solver faults into uncached solves (testing only).
     @raise Invalid_argument on nonsensical [resilience] values. *)
 
-val cache : t -> Ckpt_model.Optimizer.plan Lru_cache.t
+val cache : t -> Ckpt_model.Optimizer.plan Sharded_cache.t
 val metrics : t -> Metrics.t
 
 val breaker_open : t -> bool

@@ -1,0 +1,45 @@
+(** A plan cache sharded N ways over {!Lru_cache}, one mutex per shard.
+
+    The planner's cache was a single LRU touched only from the
+    coordinating domain.  Sharding it by fingerprint prefix removes that
+    restriction: each shard carries its own lock, so concurrent lookups
+    of different keys contend only when their leading nibble collides —
+    lookups from pool workers or several coordinators stay mostly
+    lock-free of each other.  Recency is tracked per shard; with the
+    uniform FNV-1a fingerprints the service uses as keys, per-shard LRU
+    evicts within a hair of global LRU at a fraction of the
+    synchronisation cost.
+
+    Capacity is a global budget split evenly across shards (remainder to
+    the first shards), so total capacity is exactly the requested
+    figure. *)
+
+type 'a t
+
+val create : ?shards:int -> capacity:int -> unit -> 'a t
+(** [shards] (default 8) must be a positive power of two, and
+    [capacity >= shards] so no shard rounds down to zero.
+    @raise Invalid_argument otherwise. *)
+
+val shards : 'a t -> int
+val capacity : 'a t -> int
+(** Sum of shard capacities — equals the [capacity] given to {!create}. *)
+
+val length : 'a t -> int
+(** Total bindings across shards. *)
+
+val find : 'a t -> string -> 'a option
+(** [find t k] returns the cached value and marks [k] most recently used
+    within its shard. *)
+
+val mem : 'a t -> string -> bool
+(** Membership without touching recency. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** [add t k v] binds [k] in its shard, evicting that shard's least
+    recently used binding on overflow. *)
+
+val evictions : 'a t -> int
+(** Total evictions across shards since [create]. *)
+
+val clear : 'a t -> unit

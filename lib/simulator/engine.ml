@@ -5,6 +5,23 @@ module Level = Ckpt_model.Level
 module Overhead = Ckpt_model.Overhead
 module Trace = Ckpt_simkernel.Trace
 
+(* The wall clock, position and portion accounts change on every event,
+   so they live in their own all-float record, which the compiler keeps
+   flat: every store is an unboxed write.  A mutable float field of the
+   mixed [state] record below would box on each assignment — the main
+   allocation source of the previous event loop. *)
+type accum = {
+  mutable t : float;  (* wall clock *)
+  mutable p : float;  (* productive position *)
+  mutable hw : float;  (* first-time progress high-water mark *)
+  mutable productive : float;
+  mutable checkpoint : float;
+  mutable restart : float;
+  mutable allocation : float;
+  mutable rollback : float;
+  mutable mark_pos : float;  (* scratch: position found by [first_mark] *)
+}
+
 type state = {
   config : Run_config.t;
   trace : Trace.t option;
@@ -12,20 +29,16 @@ type state = {
   rng : Rng.t;
   next_failure_after : float -> Arrivals.event option;
   target : float;  (* parallel productive seconds to complete *)
+  jitter : bool;  (* jitter_ratio <> 0: overhead draws consume the rng *)
   tau : float array;  (* interval length per level *)
+  ckpt_costs : float array;  (* per-level overhead at config.n, constant per run *)
+  restart_costs : float array;
   last_pos : float array;  (* newest valid checkpoint position per level *)
   next_k : int array;  (* next mark index per level *)
-  completed_marks : (int, unit) Hashtbl.t array;
-  mutable t : float;  (* wall clock *)
-  mutable p : float;  (* productive position *)
-  mutable hw : float;  (* first-time progress high-water mark *)
+  completed_marks : Bytes.t array;  (* bitset per level, indexed by mark *)
+  acc : accum;
+  mutable mark_lvl : int;  (* scratch: level found by [first_mark], 0 = none *)
   mutable next_failure : Arrivals.event option;
-  (* accounting *)
-  mutable productive : float;
-  mutable checkpoint : float;
-  mutable restart : float;
-  mutable allocation : float;
-  mutable rollback : float;
   failures : int array;
   mutable recoveries : int;
   ckpts_written : int array;
@@ -35,53 +48,78 @@ type state = {
 
 let levels s = Array.length s.config.Run_config.levels
 
-let record s ~tag detail =
-  match s.trace with
-  | None -> ()
-  | Some trace -> Trace.record trace ~time:s.t ~tag detail
-
-let emit s event = match s.probe with None -> () | Some probe -> probe event
+(* Trace records and probe events are built lazily at the call sites
+   (match on the option first): the sprintf/record construction cost
+   must not be paid on untraced runs. *)
 
 let jittered s v =
-  let ratio = s.config.Run_config.semantics.Run_config.jitter_ratio in
-  if ratio = 0. then v else Dist.jittered s.rng ~ratio v
+  if s.jitter then
+    Dist.jittered s.rng ~ratio:s.config.Run_config.semantics.Run_config.jitter_ratio v
+  else v
 
-let ckpt_cost s lvl = Overhead.cost s.config.Run_config.levels.(lvl - 1).Level.ckpt s.config.Run_config.n
-let restart_cost s lvl =
-  Overhead.cost s.config.Run_config.levels.(lvl - 1).Level.restart s.config.Run_config.n
+(* Mark bitsets: mark [k] of a level is bit [k] of its Bytes buffer,
+   grown by doubling on demand — memory tracks the highest mark actually
+   written, like the hash table it replaces, without its per-checkpoint
+   hashing or allocation. *)
+let mark_mem s lvl k =
+  let b = s.completed_marks.(lvl - 1) in
+  let byte = k lsr 3 in
+  byte < Bytes.length b
+  && Char.code (Bytes.unsafe_get b byte) land (1 lsl (k land 7)) <> 0
 
-(* Position of level [lvl]'s next checkpoint mark, if it lies before the
-   end of the workload. *)
+let mark_set s lvl k =
+  let byte = k lsr 3 in
+  let b = s.completed_marks.(lvl - 1) in
+  let b =
+    if byte < Bytes.length b then b
+    else begin
+      let bigger = Bytes.make (max (2 * Bytes.length b) (byte + 1)) '\000' in
+      Bytes.blit b 0 bigger 0 (Bytes.length b);
+      s.completed_marks.(lvl - 1) <- bigger;
+      bigger
+    end
+  in
+  Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lor (1 lsl (k land 7))))
+
+(* Position of level [lvl]'s next checkpoint mark; [infinity] when it
+   lies at or past the end of the workload. *)
 let next_mark_pos s lvl =
   let pos = float_of_int s.next_k.(lvl - 1) *. s.tau.(lvl - 1) in
-  let eps = 1e-9 *. s.target in
-  if pos < s.target -. eps then Some pos else None
+  if pos < s.target -. (1e-9 *. s.target) then pos else infinity
 
+(* Earliest pending mark into the scratch fields: [mark_lvl] = 0 when no
+   mark remains before the end ([mark_pos] then infinity).  Ties keep
+   the lowest level, like the option-returning scan it replaces. *)
 let first_mark s =
-  let best = ref None in
+  let acc = s.acc in
+  acc.mark_pos <- infinity;
+  s.mark_lvl <- 0;
   for lvl = 1 to levels s do
-    match next_mark_pos s lvl with
-    | None -> ()
-    | Some pos -> (
-        match !best with
-        | Some (bpos, _) when bpos <= pos -> ()
-        | _ -> best := Some (pos, lvl))
-  done;
-  !best
+    let pos = next_mark_pos s lvl in
+    if pos < acc.mark_pos then begin
+      acc.mark_pos <- pos;
+      s.mark_lvl <- lvl
+    end
+  done
 
-(* Advance productive position from [s.p] to [pos], charging first-time
+(* Advance productive position from [p] to [pos], charging first-time
    progress to the productive portion and re-execution to rollback. *)
 let advance_progress s pos =
-  assert (pos >= s.p -. 1e-9);
-  let first_time = Float.max 0. (pos -. Float.max s.p s.hw) in
-  s.productive <- s.productive +. first_time;
-  s.rollback <- s.rollback +. (pos -. s.p -. first_time);
-  if pos > s.p then
-    emit s (Probe.Segment { at = s.t; duration = pos -. s.p; productive = first_time });
-  s.hw <- Float.max s.hw pos;
-  s.p <- pos
+  let acc = s.acc in
+  assert (pos >= acc.p -. 1e-9);
+  let first_time = Float.max 0. (pos -. Float.max acc.p acc.hw) in
+  acc.productive <- acc.productive +. first_time;
+  acc.rollback <- acc.rollback +. (pos -. acc.p -. first_time);
+  if pos > acc.p then (
+    match s.probe with
+    | None -> ()
+    | Some probe ->
+        probe
+          (Probe.Segment { at = acc.t; duration = pos -. acc.p; productive = first_time }));
+  acc.hw <- Float.max acc.hw pos;
+  acc.p <- pos
 
-let sample_failure s = s.next_failure <- s.next_failure_after s.t
+let sample_failure s = s.next_failure <- s.next_failure_after s.acc.t
 
 (* Recompute each level's next mark index after restoring position [q]:
    the first mark strictly after [q]. *)
@@ -91,15 +129,21 @@ let reset_marks s q =
     s.next_k.(lvl - 1) <- int_of_float ((q +. (1e-9 *. s.target)) /. tau) + 1
   done
 
-let out_of_time s = s.t >= s.config.Run_config.max_wall_clock
+let out_of_time s = s.acc.t >= s.config.Run_config.max_wall_clock
 
-(* Handle a failure of level [f] occurring at the current clock [s.t]:
+(* Handle a failure of level [f] occurring at the current clock:
    roll back and run the allocation + recovery sequence, which may itself
    be interrupted by further failures. *)
 let rec handle_failure s f =
   s.failures.(f - 1) <- s.failures.(f - 1) + 1;
-  record s ~tag:"failure" (Printf.sprintf "level %d at progress %.0f" f s.p);
-  emit s (Probe.Failure { at = s.t; level = f });
+  (match s.trace with
+  | None -> ()
+  | Some trace ->
+      Trace.record trace ~time:s.acc.t ~tag:"failure"
+        (Printf.sprintf "level %d at progress %.0f" f s.acc.p));
+  (match s.probe with
+  | None -> ()
+  | Some probe -> probe (Probe.Failure { at = s.acc.t; level = f }));
   sample_failure s;
   (* Restore point: newest checkpoint among levels >= f (position 0 - the
      job start - always qualifies). *)
@@ -112,18 +156,23 @@ let rec handle_failure s f =
   for j = 1 to f - 1 do
     if s.last_pos.(j - 1) > q then s.last_pos.(j - 1) <- q
   done;
-  s.p <- q;
+  s.acc.p <- q;
   reset_marks s q;
-  record s ~tag:"recovery" (Printf.sprintf "level %d restored to %.0f" f q);
+  (match s.trace with
+  | None -> ()
+  | Some trace ->
+      Trace.record trace ~time:s.acc.t ~tag:"recovery"
+        (Printf.sprintf "level %d restored to %.0f" f q));
   run_recovery s f
 
 and run_recovery s f =
   if out_of_time s then ()
   else begin
     s.recoveries <- s.recoveries + 1;
+    let acc = s.acc in
     let alloc = s.config.Run_config.alloc in
-    let rec_cost = jittered s (restart_cost s f) in
-    let t_alloc_end = s.t +. alloc in
+    let rec_cost = jittered s s.restart_costs.(f - 1) in
+    let t_alloc_end = acc.t +. alloc in
     let t_rec_end = t_alloc_end +. rec_cost in
     let interrupted =
       match (s.next_failure, s.config.Run_config.semantics.Run_config.on_recovery_failure) with
@@ -143,27 +192,34 @@ and run_recovery s f =
     in
     match interrupted with
     | None ->
-        s.allocation <- s.allocation +. alloc;
-        s.restart <- s.restart +. rec_cost;
-        emit s (Probe.Recovery { at = s.t; level = f; alloc; duration = rec_cost });
-        s.t <- t_rec_end
+        acc.allocation <- acc.allocation +. alloc;
+        acc.restart <- acc.restart +. rec_cost;
+        (match s.probe with
+        | None -> ()
+        | Some probe ->
+            probe (Probe.Recovery { at = acc.t; level = f; alloc; duration = rec_cost }));
+        acc.t <- t_rec_end
     | Some ev ->
         let at = ev.Arrivals.at in
-        if at < t_alloc_end then s.allocation <- s.allocation +. (at -. s.t)
+        if at < t_alloc_end then acc.allocation <- acc.allocation +. (at -. acc.t)
         else begin
-          s.allocation <- s.allocation +. alloc;
-          s.restart <- s.restart +. (at -. t_alloc_end)
+          acc.allocation <- acc.allocation +. alloc;
+          acc.restart <- acc.restart +. (at -. t_alloc_end)
         end;
-        emit s (Probe.Recovery_aborted { at = s.t; level = f; elapsed = at -. s.t });
-        s.t <- at;
+        (match s.probe with
+        | None -> ()
+        | Some probe ->
+            probe (Probe.Recovery_aborted { at = acc.t; level = f; elapsed = at -. acc.t }));
+        acc.t <- at;
         handle_failure s ev.Arrivals.level
   end
 
 (* Write the level [lvl] checkpoint at mark index [k] (current position).
    Returns [`Done] or [`Failed ev] when an aborting failure interrupted. *)
 let write_checkpoint s lvl k =
-  let dur = jittered s (ckpt_cost s lvl) in
-  let t_end = s.t +. dur in
+  let acc = s.acc in
+  let dur = jittered s s.ckpt_costs.(lvl - 1) in
+  let t_end = acc.t +. dur in
   let semantics = s.config.Run_config.semantics in
   let aborting_failure =
     match (s.next_failure, semantics.Run_config.on_ckpt_failure) with
@@ -173,55 +229,76 @@ let write_checkpoint s lvl k =
   match aborting_failure with
   | Some ev ->
       (* The partial write is wasted overhead: rollback portion. *)
-      s.rollback <- s.rollback +. (ev.Arrivals.at -. s.t);
+      acc.rollback <- acc.rollback +. (ev.Arrivals.at -. acc.t);
       s.ckpts_aborted.(lvl - 1) <- s.ckpts_aborted.(lvl - 1) + 1;
-      emit s
-        (Probe.Ckpt_aborted { at = s.t; level = lvl; wasted = ev.Arrivals.at -. s.t });
-      s.t <- ev.Arrivals.at;
-      record s ~tag:"ckpt-abort" (Printf.sprintf "level %d" lvl);
+      (match s.probe with
+      | None -> ()
+      | Some probe ->
+          probe
+            (Probe.Ckpt_aborted { at = acc.t; level = lvl; wasted = ev.Arrivals.at -. acc.t }));
+      acc.t <- ev.Arrivals.at;
+      (match s.trace with
+      | None -> ()
+      | Some trace ->
+          Trace.record trace ~time:acc.t ~tag:"ckpt-abort" (Printf.sprintf "level %d" lvl));
       `Failed ev
   | None ->
-      let marks = s.completed_marks.(lvl - 1) in
-      let first = not (Hashtbl.mem marks k) in
+      let first = not (mark_mem s lvl k) in
       if not first then begin
-        s.rollback <- s.rollback +. dur;
+        acc.rollback <- acc.rollback +. dur;
         s.ckpts_redone.(lvl - 1) <- s.ckpts_redone.(lvl - 1) + 1;
-        record s ~tag:"ckpt-redo" (Printf.sprintf "level %d mark %d" lvl k)
+        match s.trace with
+        | None -> ()
+        | Some trace ->
+            Trace.record trace ~time:acc.t ~tag:"ckpt-redo"
+              (Printf.sprintf "level %d mark %d" lvl k)
       end
       else begin
-        s.checkpoint <- s.checkpoint +. dur;
+        acc.checkpoint <- acc.checkpoint +. dur;
         s.ckpts_written.(lvl - 1) <- s.ckpts_written.(lvl - 1) + 1;
-        Hashtbl.replace marks k ();
-        record s ~tag:"ckpt" (Printf.sprintf "level %d mark %d at progress %.0f" lvl k s.p)
+        mark_set s lvl k;
+        match s.trace with
+        | None -> ()
+        | Some trace ->
+            Trace.record trace ~time:acc.t ~tag:"ckpt"
+              (Printf.sprintf "level %d mark %d at progress %.0f" lvl k acc.p)
       end;
-      emit s (Probe.Ckpt { at = s.t; level = lvl; duration = dur; first });
-      s.t <- t_end;
-      s.last_pos.(lvl - 1) <- s.p;
+      (match s.probe with
+      | None -> ()
+      | Some probe -> probe (Probe.Ckpt { at = acc.t; level = lvl; duration = dur; first }));
+      acc.t <- t_end;
+      s.last_pos.(lvl - 1) <- acc.p;
       s.next_k.(lvl - 1) <- k + 1;
       (* Under atomic-write semantics a failure that landed during the
          write is processed now, at the write's end. *)
       (match s.next_failure with
-       | Some ev when ev.Arrivals.at <= s.t -> `Failed { ev with Arrivals.at = s.t }
+       | Some ev when ev.Arrivals.at <= acc.t -> `Failed { ev with Arrivals.at = acc.t }
        | _ -> `Done)
 
 let finish s completed =
-  record s ~tag:(if completed then "complete" else "horizon")
-    (Printf.sprintf "wall %.0f" s.t);
-  emit s (Probe.End { at = s.t; completed });
+  (match s.trace with
+  | None -> ()
+  | Some trace ->
+      Trace.record trace ~time:s.acc.t
+        ~tag:(if completed then "complete" else "horizon")
+        (Printf.sprintf "wall %.0f" s.acc.t));
+  (match s.probe with
+  | None -> ()
+  | Some probe -> probe (Probe.End { at = s.acc.t; completed }));
   { Outcome.completed;
-    wall_clock = s.t;
-    productive = s.productive;
-    checkpoint = s.checkpoint;
-    restart = s.restart;
-    allocation = s.allocation;
-    rollback = s.rollback;
+    wall_clock = s.acc.t;
+    productive = s.acc.productive;
+    checkpoint = s.acc.checkpoint;
+    restart = s.acc.restart;
+    allocation = s.acc.allocation;
+    rollback = s.acc.rollback;
     failures = Array.copy s.failures;
     recoveries = s.recoveries;
     ckpts_written = Array.copy s.ckpts_written;
     ckpts_redone = Array.copy s.ckpts_redone;
     ckpts_aborted = Array.copy s.ckpts_aborted }
 
-let run ?trace ?probe ?rng ~seed config =
+let run ?trace ?probe ?rng ?(batched = true) ~seed config =
   let rng = match rng with Some rng -> rng | None -> Rng.of_int seed in
   let next_failure_after =
     match config.Run_config.failure_trace with
@@ -246,8 +323,9 @@ let run ?trace ?probe ?rng ~seed config =
           pick ()
     | None ->
         let arrivals =
-          Arrivals.create ?laws:config.Run_config.failure_laws ~rng:(Rng.split rng)
-            ~spec:config.Run_config.spec ~scale:config.Run_config.n ()
+          Arrivals.create ?laws:config.Run_config.failure_laws ~batched
+            ~rng:(Rng.split rng) ~spec:config.Run_config.spec
+            ~scale:config.Run_config.n ()
         in
         fun now -> Arrivals.next_after arrivals now
   in
@@ -255,13 +333,25 @@ let run ?trace ?probe ?rng ~seed config =
   let nlevels = Array.length config.Run_config.levels in
   let s =
     { config; trace; probe; rng; next_failure_after; target;
+      jitter = config.Run_config.semantics.Run_config.jitter_ratio <> 0.;
       tau = Array.map (fun x -> target /. x) config.Run_config.xs;
+      ckpt_costs =
+        Array.map
+          (fun (l : Level.t) -> Overhead.cost l.Level.ckpt config.Run_config.n)
+          config.Run_config.levels;
+      restart_costs =
+        Array.map
+          (fun (l : Level.t) -> Overhead.cost l.Level.restart config.Run_config.n)
+          config.Run_config.levels;
       last_pos = Array.make nlevels 0.;
       next_k = Array.make nlevels 1;
-      completed_marks = Array.init nlevels (fun _ -> Hashtbl.create 64);
-      t = 0.; p = 0.; hw = 0.;
+      completed_marks = Array.init nlevels (fun _ -> Bytes.make 128 '\000');
+      acc =
+        { t = 0.; p = 0.; hw = 0.;
+          productive = 0.; checkpoint = 0.; restart = 0.; allocation = 0.;
+          rollback = 0.; mark_pos = infinity };
+      mark_lvl = 0;
       next_failure = None;
-      productive = 0.; checkpoint = 0.; restart = 0.; allocation = 0.; rollback = 0.;
       failures = Array.make nlevels 0;
       recoveries = 0;
       ckpts_written = Array.make nlevels 0;
@@ -270,54 +360,54 @@ let run ?trace ?probe ?rng ~seed config =
   in
   sample_failure s;
   let eps = 1e-9 *. target in
+  let acc = s.acc in
   let rec step () =
-    if s.p >= target -. eps then finish s true
+    if acc.p >= target -. eps then finish s true
     else if out_of_time s then finish s false
     else begin
-      let mark = first_mark s in
-      let seg_end_pos = match mark with Some (pos, _) -> pos | None -> target in
-      let t_seg_end = s.t +. (seg_end_pos -. s.p) in
+      first_mark s;
+      let mark_lvl = s.mark_lvl in
+      let seg_end_pos = if mark_lvl > 0 then acc.mark_pos else target in
+      let t_seg_end = acc.t +. (seg_end_pos -. acc.p) in
       match s.next_failure with
       | Some ev when ev.Arrivals.at < t_seg_end ->
           (* Failure strikes mid-computation. *)
-          advance_progress s (s.p +. (ev.Arrivals.at -. s.t));
-          s.t <- ev.Arrivals.at;
+          advance_progress s (acc.p +. (ev.Arrivals.at -. acc.t));
+          acc.t <- ev.Arrivals.at;
           handle_failure s ev.Arrivals.level;
           step ()
       | _ ->
           advance_progress s seg_end_pos;
-          s.t <- t_seg_end;
-          (match mark with
-           | None -> finish s true  (* reached the end of the workload *)
-           | Some (pos, lvl) -> (
-               let lvl =
-                 if not s.config.Run_config.semantics.Run_config.subsume_coincident then lvl
-                 else begin
-                   (* Every level whose next mark lands on this position is
-                      subsumed by the highest one: skip the cheap writes. *)
-                   let eps = 1e-9 *. s.target in
-                   let highest = ref lvl in
-                   for l = lvl + 1 to levels s do
-                     match next_mark_pos s l with
-                     | Some p when Float.abs (p -. pos) <= eps -> highest := l
-                     | _ -> ()
-                   done;
-                   if !highest > lvl then
-                     for l = lvl to !highest - 1 do
-                       match next_mark_pos s l with
-                       | Some p when Float.abs (p -. pos) <= eps ->
-                           s.next_k.(l - 1) <- s.next_k.(l - 1) + 1
-                       | _ -> ()
-                     done;
-                   !highest
-                 end
-               in
-               let k = s.next_k.(lvl - 1) in
-               match write_checkpoint s lvl k with
-               | `Done -> step ()
-               | `Failed ev ->
-                   handle_failure s ev.Arrivals.level;
-                   step ()))
+          acc.t <- t_seg_end;
+          if mark_lvl = 0 then finish s true  (* reached the end of the workload *)
+          else begin
+            let pos = seg_end_pos in
+            let lvl =
+              if not s.config.Run_config.semantics.Run_config.subsume_coincident then
+                mark_lvl
+              else begin
+                (* Every level whose next mark lands on this position is
+                   subsumed by the highest one: skip the cheap writes. *)
+                let eps = 1e-9 *. s.target in
+                let highest = ref mark_lvl in
+                for l = mark_lvl + 1 to levels s do
+                  if Float.abs (next_mark_pos s l -. pos) <= eps then highest := l
+                done;
+                if !highest > mark_lvl then
+                  for l = mark_lvl to !highest - 1 do
+                    if Float.abs (next_mark_pos s l -. pos) <= eps then
+                      s.next_k.(l - 1) <- s.next_k.(l - 1) + 1
+                  done;
+                !highest
+              end
+            in
+            let k = s.next_k.(lvl - 1) in
+            match write_checkpoint s lvl k with
+            | `Done -> step ()
+            | `Failed ev ->
+                handle_failure s ev.Arrivals.level;
+                step ()
+          end
     end
   in
   step ()

@@ -22,6 +22,7 @@ val run :
   ?trace:Ckpt_simkernel.Trace.t ->
   ?probe:Probe.t ->
   ?rng:Ckpt_numerics.Rng.t ->
+  ?batched:bool ->
   seed:int ->
   Run_config.t ->
   Outcome.t
@@ -31,6 +32,9 @@ val run :
     owns the stream, which is how {!Replication} hands each replication
     a {!Ckpt_numerics.Rng.split}-derived substream of one base seed.
     The engine consumes (and advances) the given generator.
+    [batched] (default [true]) controls whether failure inter-arrival
+    draws are pre-drawn in blocks (see {!Ckpt_failures.Arrivals.create});
+    both settings produce bit-identical outcomes.
     When [trace] is given, the engine records
     tagged events into it — ["failure"], ["recovery"], ["ckpt"],
     ["ckpt-redo"], ["ckpt-abort"], ["complete"], ["horizon"] — with the

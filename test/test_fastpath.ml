@@ -1,0 +1,290 @@
+(* Bit-identity contract of the fastpath: the workspace solver, the
+   batched failure sampling and the inline single-worker pool must all
+   return results *bitwise* equal to the reference paths they replace.
+   Property tests draw random problems (plus the paper's six Table II
+   rate cases) and compare against the retained reference
+   implementations. *)
+
+open Ckpt_model
+module Failure_spec = Ckpt_failures.Failure_spec
+module Arrivals = Ckpt_failures.Arrivals
+module Rng = Ckpt_numerics.Rng
+module Dist = Ckpt_numerics.Dist
+module Workspace = Ckpt_fastpath.Workspace
+module Draw_buffer = Ckpt_fastpath.Draw_buffer
+module Pool = Ckpt_parallel.Pool
+
+let table2_cases =
+  [ "16-12-8-4"; "8-6-4-2"; "4-3-2-1"; "16-8-4-2"; "8-4-2-1"; "4-2-1-0.5" ]
+
+let problem ?(case = "16-12-8-4") ?(te_core_days = 3e6) ?(alloc = 60.) () =
+  { Optimizer.te = te_core_days *. 86400.;
+    speedup = Speedup.quadratic ~kappa:0.46 ~n_star:1e6;
+    levels = Level.fti_fusion;
+    alloc;
+    spec = Failure_spec.of_string ~baseline_scale:1e6 case }
+
+let params_of (p : Optimizer.problem) ~estimate =
+  { Multilevel.te = p.Optimizer.te;
+    speedup = p.Optimizer.speedup;
+    levels = p.Optimizer.levels;
+    alloc = p.Optimizer.alloc;
+    mus =
+      Array.init
+        (Array.length p.Optimizer.levels)
+        (fun i ->
+          Scale_fn.linear
+            ~slope:
+              (Failure_spec.rate_per_second' p.Optimizer.spec ~level:(i + 1)
+              *. estimate)
+            ()) }
+
+(* Bitwise float equality: NaN = NaN, 0. <> -0. — exactly the contract
+   the fastpath promises. *)
+let same_bits a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let same_float_array a b =
+  Array.length a = Array.length b && Array.for_all2 same_bits a b
+
+let check_same_plan msg (a : Optimizer.plan) (b : Optimizer.plan) =
+  let ok =
+    same_float_array a.Optimizer.xs b.Optimizer.xs
+    && same_bits a.Optimizer.n b.Optimizer.n
+    && same_bits a.Optimizer.wall_clock b.Optimizer.wall_clock
+    && same_float_array a.Optimizer.mus b.Optimizer.mus
+    && a.Optimizer.outer_iterations = b.Optimizer.outer_iterations
+    && a.Optimizer.inner_iterations = b.Optimizer.inner_iterations
+    && a.Optimizer.converged = b.Optimizer.converged
+  in
+  if not ok then
+    Alcotest.failf "%s: fastpath plan differs from reference (n %h vs %h, Ew %h vs %h)"
+      msg a.Optimizer.n b.Optimizer.n a.Optimizer.wall_clock b.Optimizer.wall_clock
+
+(* ---------------- workspace & draw buffer units ---------------- *)
+
+let test_workspace_reserve () =
+  let ws = Workspace.create ~levels:2 () in
+  Workspace.reserve ws ~levels:2;
+  ws.Workspace.s.(Workspace.slot_key) <- 7.;
+  Workspace.reserve ws ~levels:9;
+  Alcotest.(check int) "live prefix" 9 ws.Workspace.levels;
+  Alcotest.(check bool) "reserve invalidates" true
+    (Float.is_nan (Workspace.key ws));
+  Alcotest.(check bool) "capacity grew" true (Array.length ws.Workspace.ci >= 9);
+  ws.Workspace.xs.(3) <- 42.;
+  Alcotest.(check bool) "xs_copy takes the live prefix" true
+    (Array.length (Workspace.xs_copy ws) = 9 && (Workspace.xs_copy ws).(3) = 42.)
+
+let test_draw_buffer_matches_direct () =
+  List.iter
+    (fun capacity ->
+      let law_pairs =
+        [ ( Draw_buffer.Exponential { rate = 3.5e-5 },
+            fun rng -> Dist.exponential rng ~rate:3.5e-5 );
+          ( Draw_buffer.Weibull { shape = 0.7; scale = 2e4 },
+            fun rng -> Dist.weibull rng ~shape:0.7 ~scale:2e4 ) ]
+      in
+      List.iteri
+        (fun j (law, direct) ->
+          let b = Draw_buffer.create ~capacity ~rng:(Rng.of_int (17 + j)) law in
+          let rng = Rng.of_int (17 + j) in
+          for k = 0 to 199 do
+            let got = Draw_buffer.next b and want = direct rng in
+            if not (same_bits got want) then
+              Alcotest.failf "draw %d (capacity %d, law %d): %h <> %h" k capacity
+                j got want
+          done)
+        law_pairs)
+    [ 1; 3; 64 ]
+
+let test_draw_buffer_validation () =
+  let bad f = Alcotest.(check bool) "rejected" true (try f () |> ignore; false with Invalid_argument _ -> true) in
+  bad (fun () -> Draw_buffer.create ~capacity:0 ~rng:(Rng.of_int 1) (Draw_buffer.Exponential { rate = 1. }));
+  bad (fun () -> Draw_buffer.create ~rng:(Rng.of_int 1) (Draw_buffer.Exponential { rate = 0. }));
+  bad (fun () -> Draw_buffer.create ~rng:(Rng.of_int 1) (Draw_buffer.Weibull { shape = 0.; scale = 1. }))
+
+(* ---------------- solver bit-identity ---------------- *)
+
+let test_table2_solves_bit_identical () =
+  List.iter
+    (fun case ->
+      let p = problem ~case () in
+      check_same_plan case (Optimizer.solve p) (Optimizer.solve_reference p);
+      check_same_plan (case ^ " fixed_n")
+        (Optimizer.solve ~fixed_n:5e5 p)
+        (Optimizer.solve_reference ~fixed_n:5e5 p))
+    table2_cases
+
+let test_wall_clock_fast_bit_identical () =
+  let ws = Workspace.create () in
+  let p = params_of (problem ()) ~estimate:(40. *. 86400.) in
+  List.iter
+    (fun (xs, n) ->
+      let want = Multilevel.expected_wall_clock p ~xs ~n in
+      let got = Multilevel.expected_wall_clock_fast ws p ~xs ~n in
+      if not (same_bits got want) then
+        Alcotest.failf "E(Tw) at n=%g: %h <> %h" n got want)
+    [ ([| 1000.; 500.; 200.; 50. |], 5e5);
+      ([| 1.; 1.; 1.; 1. |], 1e3);
+      ([| 17.3; 5.9; 88.1; 2.2 |], 9.7e5) ]
+
+let qcheck_tests =
+  let open QCheck in
+  let case = oneofl table2_cases in
+  [ Test.make ~name:"optimize is bit-identical to optimize_reference" ~count:60
+      (quad case (float_range 1e5 1e7) (float_range 10. 600.) (float_range 10. 80.))
+      (fun (case, te_core_days, alloc, estimate_days) ->
+        let p =
+          params_of (problem ~case ~te_core_days ~alloc ())
+            ~estimate:(estimate_days *. 86400.)
+        in
+        let fast = Multilevel.optimize p in
+        let slow = Multilevel.optimize_reference p in
+        same_float_array fast.Multilevel.xs slow.Multilevel.xs
+        && same_bits fast.Multilevel.n slow.Multilevel.n
+        && same_bits fast.Multilevel.wall_clock slow.Multilevel.wall_clock
+        && fast.Multilevel.iterations = slow.Multilevel.iterations
+        && fast.Multilevel.converged = slow.Multilevel.converged);
+    Test.make ~name:"optimize with fixed_n and warm init stays bit-identical"
+      ~count:40
+      (triple case (float_range 1e4 9e5) (float_range 1. 3.))
+      (fun (case, fixed_n, x0) ->
+        let p = params_of (problem ~case ()) ~estimate:(30. *. 86400.) in
+        let init = ([| x0; x0 *. 2.; x0 *. 7.; x0 |], fixed_n) in
+        let fast = Multilevel.optimize ~fixed_n ~init p in
+        let slow = Multilevel.optimize_reference ~fixed_n ~init p in
+        same_float_array fast.Multilevel.xs slow.Multilevel.xs
+        && same_bits fast.Multilevel.wall_clock slow.Multilevel.wall_clock
+        && fast.Multilevel.iterations = slow.Multilevel.iterations);
+    Test.make ~name:"full Algorithm 1 solve is bit-identical" ~count:25
+      (pair case (float_range 5e5 5e6))
+      (fun (case, te_core_days) ->
+        let p = problem ~case ~te_core_days () in
+        let fast = Optimizer.solve p and slow = Optimizer.solve_reference p in
+        same_float_array fast.Optimizer.xs slow.Optimizer.xs
+        && same_bits fast.Optimizer.n slow.Optimizer.n
+        && same_bits fast.Optimizer.wall_clock slow.Optimizer.wall_clock
+        && fast.Optimizer.inner_iterations = slow.Optimizer.inner_iterations);
+    Test.make ~name:"E(Tw) workspace evaluation is bit-identical" ~count:100
+      (pair
+         (quad (float_range 1. 1e4) (float_range 1. 5e3) (float_range 1. 1e3)
+            (float_range 1. 200.))
+         (float_range 1e3 9e5))
+      (fun ((x1, x2, x3, x4), n) ->
+        let ws = Workspace.create () in
+        let p = params_of (problem ()) ~estimate:(40. *. 86400.) in
+        let xs = [| x1; x2; x3; x4 |] in
+        same_bits
+          (Multilevel.expected_wall_clock_fast ws p ~xs ~n)
+          (Multilevel.expected_wall_clock p ~xs ~n));
+    Test.make ~name:"batched arrivals equal unbatched draw-for-draw" ~count:40
+      (triple (int_range 0 1_000_000) (oneofl table2_cases) (float_range 1e4 9e5))
+      (fun (seed, case, scale) ->
+        let spec = Failure_spec.of_string ~baseline_scale:1e6 case in
+        let laws =
+          [| Arrivals.Exponential; Arrivals.Weibull { shape = 0.8 };
+             Arrivals.Exponential; Arrivals.Weibull { shape = 1.4 } |]
+        in
+        let seq batched =
+          Arrivals.sequence
+            (Arrivals.create ~laws ~batched ~rng:(Rng.of_int seed) ~spec ~scale ())
+            ~horizon:1e7
+        in
+        let a = seq true and b = seq false in
+        List.length a = List.length b
+        && List.for_all2
+             (fun (x : Arrivals.event) (y : Arrivals.event) ->
+               same_bits x.Arrivals.at y.Arrivals.at
+               && x.Arrivals.level = y.Arrivals.level)
+             a b) ]
+
+(* ---------------- batched simulation across worker counts ------------- *)
+
+let test_batched_replication_outcomes () =
+  let p = problem () in
+  let plan = Optimizer.ml_ori_scale ~n:5e5 p in
+  let config =
+    Ckpt_sim.Run_config.of_plan ~semantics:Ckpt_sim.Run_config.paper_semantics
+      ~problem:p ~plan ()
+  in
+  let runs = 12 and base_seed = 42 in
+  (* Reference: unbatched sampling, run sequentially on the same
+     substream family Replication uses. *)
+  let rngs = Rng.streams ~n:runs (Rng.of_int base_seed) in
+  let reference =
+    Array.init runs (fun i ->
+        Ckpt_sim.Engine.run ~rng:rngs.(i) ~batched:false ~seed:(base_seed + i)
+          config)
+  in
+  let check label outcomes =
+    Array.iteri
+      (fun i (o : Ckpt_sim.Outcome.t) ->
+        let r = reference.(i) in
+        let ok =
+          o.Ckpt_sim.Outcome.completed = r.Ckpt_sim.Outcome.completed
+          && same_bits o.Ckpt_sim.Outcome.wall_clock r.Ckpt_sim.Outcome.wall_clock
+          && same_bits o.Ckpt_sim.Outcome.productive r.Ckpt_sim.Outcome.productive
+          && same_bits o.Ckpt_sim.Outcome.rollback r.Ckpt_sim.Outcome.rollback
+          && o.Ckpt_sim.Outcome.failures = r.Ckpt_sim.Outcome.failures
+          && o.Ckpt_sim.Outcome.ckpts_written = r.Ckpt_sim.Outcome.ckpts_written
+        in
+        if not ok then Alcotest.failf "%s: run %d differs from unbatched" label i)
+      outcomes
+  in
+  check "no pool" (Ckpt_sim.Replication.outcomes ~runs ~base_seed config);
+  List.iter
+    (fun workers ->
+      Pool.with_pool ~workers (fun pool ->
+          check
+            (Printf.sprintf "%d workers" workers)
+            (Ckpt_sim.Replication.outcomes ~pool ~runs ~base_seed config)))
+    [ 1; 2; 4 ]
+
+(* ---------------- inline single-worker pool ---------------- *)
+
+let test_inline_pool_matches_array_map () =
+  Pool.with_pool ~workers:1 (fun pool ->
+      let xs = Array.init 100 Fun.id in
+      Alcotest.(check (array int))
+        "map = Array.map" (Array.map (fun x -> x * x) xs)
+        (Pool.map pool ~f:(fun x -> x * x) xs);
+      Alcotest.(check int) "workers" 1 (Pool.workers pool))
+
+exception Boom of int
+
+let test_inline_pool_error_contract () =
+  Pool.with_pool ~workers:1 (fun pool ->
+      let ran = ref 0 in
+      let attempt () =
+        Pool.map pool
+          ~f:(fun x ->
+            incr ran;
+            if x mod 3 = 1 then raise (Boom x) else x)
+          (Array.init 9 Fun.id)
+      in
+      (match attempt () with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom x -> Alcotest.(check int) "lowest failing index" 1 x);
+      Alcotest.(check int) "every item still ran" 9 !ran)
+
+let () =
+  Alcotest.run "ckpt_fastpath"
+    [ ( "units",
+        [ Alcotest.test_case "workspace reserve" `Quick test_workspace_reserve;
+          Alcotest.test_case "draw buffer = direct draws" `Quick
+            test_draw_buffer_matches_direct;
+          Alcotest.test_case "draw buffer validation" `Quick
+            test_draw_buffer_validation ] );
+      ( "bit-identity",
+        [ Alcotest.test_case "six Table II cases" `Quick
+            test_table2_solves_bit_identical;
+          Alcotest.test_case "E(Tw) evaluation" `Quick
+            test_wall_clock_fast_bit_identical ] );
+      ( "simulation",
+        [ Alcotest.test_case "batched replication at 1/2/4 workers" `Quick
+            test_batched_replication_outcomes ] );
+      ( "pool",
+        [ Alcotest.test_case "inline map" `Quick test_inline_pool_matches_array_map;
+          Alcotest.test_case "inline error contract" `Quick
+            test_inline_pool_error_contract ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests) ]

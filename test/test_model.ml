@@ -34,7 +34,7 @@ let test_scale_fn_of_fun () =
 let test_scale_fn_check_derivative () =
   Alcotest.(check bool) "good derivative passes" true
     (Scale_fn.check_derivative (Scale_fn.linear ~slope:2. ()));
-  let broken = { Scale_fn.f = (fun x -> x *. x); f' = (fun _ -> 0.) } in
+  let broken = Scale_fn.opaque ~f:(fun x -> x *. x) ~f':(fun _ -> 0.) in
   Alcotest.(check bool) "broken derivative fails" false (Scale_fn.check_derivative broken)
 
 (* ---------------- Speedup ---------------- *)

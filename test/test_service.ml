@@ -129,6 +129,41 @@ let qcheck_lru_capacity_bound =
       List.iter (fun k -> Lru_cache.add c (string_of_int k) k) keys;
       Lru_cache.length c = min cap (List.length (List.sort_uniq compare keys)))
 
+(* ---------------- sharded cache ---------------- *)
+
+let test_sharded_basics () =
+  let c = Sharded_cache.create ~shards:4 ~capacity:10 () in
+  Alcotest.(check int) "shards" 4 (Sharded_cache.shards c);
+  Alcotest.(check int) "capacity adds up" 10 (Sharded_cache.capacity c);
+  (* Fingerprint-shaped keys land on shards by leading nibble. *)
+  List.iter
+    (fun (k, v) -> Sharded_cache.add c k v)
+    [ ("0abc", 1); ("1abc", 2); ("aabc", 3); ("0abc", 10) ];
+  Alcotest.(check int) "replace does not duplicate" 3 (Sharded_cache.length c);
+  Alcotest.(check (option int)) "replaced" (Some 10) (Sharded_cache.find c "0abc");
+  Alcotest.(check bool) "mem" true (Sharded_cache.mem c "aabc");
+  Sharded_cache.clear c;
+  Alcotest.(check int) "cleared" 0 (Sharded_cache.length c)
+
+let test_sharded_validation () =
+  let rejected f = try f () |> ignore; false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "non-power-of-two" true
+    (rejected (fun () -> (Sharded_cache.create ~shards:3 ~capacity:9 () : int Sharded_cache.t)));
+  Alcotest.(check bool) "capacity below shards" true
+    (rejected (fun () -> (Sharded_cache.create ~shards:8 ~capacity:4 () : int Sharded_cache.t)))
+
+let qcheck_sharded_capacity_bound =
+  let open QCheck in
+  Test.make ~name:"sharded cache never exceeds its global budget" ~count:100
+    (make Gen.(pair (int_range 0 2) (list_size (int_range 0 80) (int_range 0 255))))
+    (fun (log_shards, keys) ->
+      let shards = 1 lsl log_shards in
+      let c = Sharded_cache.create ~shards ~capacity:(max shards 6) () in
+      List.iter (fun k -> Sharded_cache.add c (Printf.sprintf "%02x" k) k) keys;
+      Sharded_cache.length c <= Sharded_cache.capacity c
+      && Sharded_cache.length c
+         <= List.length (List.sort_uniq compare keys))
+
 (* ---------------- work queue + pool ---------------- *)
 
 let test_work_queue_fifo () =
@@ -499,6 +534,7 @@ let test_fuzz_depth_limit_is_structured () =
 
 let qcheck_tests =
   [ qcheck_fingerprint_noise; qcheck_fingerprint_problem_noise; qcheck_lru_capacity_bound;
+    qcheck_sharded_capacity_bound;
     qcheck_parallel_bit_identical; qcheck_service_parallel_equals_sequential;
     qcheck_fuzz_arbitrary_lines; qcheck_fuzz_truncated_requests; qcheck_fuzz_nested_json ]
 
@@ -512,6 +548,9 @@ let () =
        [ Alcotest.test_case "eviction at capacity" `Quick test_lru_eviction;
          Alcotest.test_case "recency refresh" `Quick test_lru_recency_refresh;
          Alcotest.test_case "replace" `Quick test_lru_replace ]);
+      ("sharded-cache",
+       [ Alcotest.test_case "basics" `Quick test_sharded_basics;
+         Alcotest.test_case "validation" `Quick test_sharded_validation ]);
       ("pool",
        [ Alcotest.test_case "work queue fifo" `Quick test_work_queue_fifo;
          Alcotest.test_case "map preserves order" `Quick test_pool_map_order;

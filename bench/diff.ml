@@ -25,24 +25,58 @@ let load path =
   | Ok doc -> doc
   | Error m -> fail "%s: %s" path m
 
-(* kernel name -> primary mean_ns *)
+(* Each kernel contributes up to three gated metrics: the primary mean
+   time (all kernels), and — for loadgen kernels carrying a
+   "throughput" object — sustained QPS (gated on drops) and p99 latency
+   (gated on rises).  Tail latency regressions hide inside a healthy
+   mean, and a throughput collapse can even improve per-request means by
+   shedding the expensive requests, so both get their own tripwire. *)
+type metric = {
+  kernel : string;
+  what : string;  (* "mean_ns" | "qps" | "p99_ns" *)
+  value : float;
+  better : [ `Lower | `Higher ];
+  unit_ : string;
+  scale : float;  (* value / scale is printed *)
+}
+
 let kernels doc =
   match Option.bind (J.member "benchmarks" doc) J.to_list with
   | None -> fail "missing benchmarks list"
   | Some entries ->
-      List.filter_map
+      List.concat_map
         (fun entry ->
           match J.string_field "kernel" entry with
-          | None -> None
+          | None -> []
           | Some kernel ->
               let mean timing =
                 Option.bind (J.member timing entry) (J.float_field "mean_ns")
               in
+              let throughput field =
+                Option.bind (J.member "throughput" entry) (J.float_field field)
+              in
               let primary =
                 match mean "sequential" with Some m -> Some m | None -> mean "wall"
               in
-              Option.map (fun m -> (kernel, m)) primary)
+              List.filter_map Fun.id
+                [ Option.map
+                    (fun value ->
+                      { kernel; what = "mean_ns"; value; better = `Lower;
+                        unit_ = "ms"; scale = 1e6 })
+                    primary;
+                  Option.map
+                    (fun value ->
+                      { kernel; what = "qps"; value; better = `Higher;
+                        unit_ = "qps"; scale = 1. })
+                    (throughput "qps");
+                  Option.map
+                    (fun value ->
+                      { kernel; what = "p99_ns"; value; better = `Lower;
+                        unit_ = "ms"; scale = 1e6 })
+                    (throughput "p99_ns") ])
         entries
+
+let metric_key m = m.kernel ^ "/" ^ m.what
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -69,26 +103,32 @@ let () =
   let fresh = kernels (load fresh_path) in
   let regressions = ref 0 in
   List.iter
-    (fun (kernel, base_ns) ->
-      match List.assoc_opt kernel fresh with
-      | None -> Printf.printf "~ %-34s only in baseline\n" kernel
-      | Some fresh_ns ->
-          let ratio = if base_ns > 0. then fresh_ns /. base_ns else 1. in
-          let pct = (ratio -. 1.) *. 100. in
+    (fun base ->
+      match List.find_opt (fun m -> metric_key m = metric_key base) fresh with
+      | None -> Printf.printf "~ %-40s only in baseline\n" (metric_key base)
+      | Some fresh_m ->
+          let ratio = if base.value > 0. then fresh_m.value /. base.value else 1. in
+          (* Positive pct = worse, whichever direction "worse" is. *)
+          let pct =
+            match base.better with
+            | `Lower -> (ratio -. 1.) *. 100.
+            | `Higher -> (1. -. ratio) *. 100.
+          in
           let regressed = pct > !threshold in
           if regressed then incr regressions;
-          Printf.printf "%s %-34s %10.3f ms -> %10.3f ms  (%+.1f%%)\n"
+          Printf.printf "%s %-40s %10.3f %s -> %10.3f %s  (%+.1f%% worse)\n"
             (if regressed then "!" else " ")
-            kernel (base_ns /. 1e6) (fresh_ns /. 1e6) pct)
+            (metric_key base) (base.value /. base.scale) base.unit_
+            (fresh_m.value /. fresh_m.scale) fresh_m.unit_ pct)
     baseline;
   List.iter
-    (fun (kernel, _) ->
-      if not (List.mem_assoc kernel baseline) then
-        Printf.printf "~ %-34s only in fresh\n" kernel)
+    (fun m ->
+      if not (List.exists (fun b -> metric_key b = metric_key m) baseline) then
+        Printf.printf "~ %-40s only in fresh\n" (metric_key m))
     fresh;
   if !regressions > 0 then begin
-    Printf.printf "%d kernel(s) regressed by more than %.0f%%\n" !regressions
+    Printf.printf "%d metric(s) regressed by more than %.0f%%\n" !regressions
       !threshold;
     exit 1
   end
-  else Printf.printf "no kernel regressed by more than %.0f%%\n" !threshold
+  else Printf.printf "no metric regressed by more than %.0f%%\n" !threshold

@@ -1,0 +1,416 @@
+(* Closed-loop load generator for the ckpt_net planning server.
+
+   N worker threads each own one TCP connection and replay a
+   deterministic request mix back-to-back (closed loop: the next request
+   leaves when the previous response lands), recording per-request
+   latency.  The run reports QPS and p50/p99/p999 latency per connection
+   count, as BENCH_results.json-shaped kernel entries that diff.exe can
+   gate.
+
+   Usage:
+     loadgen.exe --spawn --requests 10000 --connections 8
+     loadgen.exe --host 127.0.0.1 --port 7401 --requests 5000 --connections 4
+     loadgen.exe --spawn --trajectory 1,2,4 --merge BENCH_results.json
+
+   --spawn starts an in-process server on an ephemeral loopback port (no
+   second process needed, same socket path end-to-end); --merge rewrites
+   the given BENCH_results.json with the loadgen kernels replaced;
+   --fail-on-error exits 1 if any request is answered with ok=false or a
+   connection dies mid-run. *)
+
+open Cmdliner
+module Json = Ckpt_json.Json
+module Codec = Ckpt_model.Codec
+module Frame = Ckpt_net.Frame
+module Server = Ckpt_net.Server
+module Service = Ckpt_service.Service
+
+(* ---------------- the request mix ---------------- *)
+
+(* A fixed pool of distinct problems: small enough that the server's plan
+   cache warms up over the run (steady-state serving), large enough that
+   the run starts with real solves. *)
+let pool_size = 32
+
+let problem_pool =
+  let open Ckpt_model in
+  let patterns = [| "16-12-8-4"; "8-6-4-2"; "24-18-12-6" |] in
+  Array.init pool_size (fun i ->
+      { Optimizer.te = (8e3 +. (250. *. float_of_int i)) *. 86_400.;
+        speedup = Speedup.quadratic ~kappa:0.46 ~n_star:1e5;
+        levels = Level.fti_fusion;
+        alloc = 40. +. float_of_int (i mod 3) *. 20.;
+        spec =
+          Ckpt_failures.Failure_spec.of_string ~baseline_scale:1e5
+            patterns.(i mod Array.length patterns) })
+
+let with_op op fields = Json.Obj (("op", Json.String op) :: fields)
+
+let plan_request idx =
+  with_op "plan"
+    [ ("id", Json.Number (float_of_int idx));
+      ("problem", Codec.problem_to_json problem_pool.(idx mod pool_size)) ]
+
+let sweep_request idx =
+  with_op "sweep"
+    [ ("id", Json.Number (float_of_int idx));
+      ("problem", Codec.problem_to_json problem_pool.(idx mod pool_size));
+      ("param", Json.String "scale");
+      ("values", Json.float_array [| 5e4; 7.5e4; 1e5; 1.25e5 |]) ]
+
+let observe_request idx =
+  (* One complete little run: start / compute / ckpt / end.  The start
+     event carries the level count, so the first observe on a fresh
+     server creates the telemetry session and later estimates never see
+     "no-telemetry". *)
+  let t0 = float_of_int idx *. 10_000. in
+  let ev fields = Json.Obj fields in
+  with_op "observe"
+    [ ("id", Json.Number (float_of_int idx));
+      ( "events",
+        Json.List
+          [ ev [ ("t", Json.Number t0); ("ev", Json.String "start");
+                 ("scale", Json.Number 1e5); ("levels", Json.Number 4.) ];
+            ev [ ("t", Json.Number (t0 +. 3600.)); ("ev", Json.String "compute");
+                 ("dur", Json.Number 3600.); ("productive", Json.Number 3500.) ];
+            ev [ ("t", Json.Number (t0 +. 3630.)); ("ev", Json.String "ckpt");
+                 ("level", Json.Number (float_of_int (1 + (idx mod 4))));
+                 ("dur", Json.Number 30.) ];
+            ev [ ("t", Json.Number (t0 +. 3630.)); ("ev", Json.String "end");
+                 ("completed", Json.Bool true) ] ] ) ]
+
+let estimate_request idx =
+  with_op "estimate" [ ("id", Json.Number (float_of_int idx)) ]
+
+type mix = Plan_only | Mixed
+
+let mix_name = function Plan_only -> "plan" | Mixed -> "mix"
+
+let mix_of_string = function
+  | "plan" -> Ok Plan_only
+  | "mix" -> Ok Mixed
+  | s -> Error (Printf.sprintf "--mix wants plan|mix, got %S" s)
+
+(* Deterministic in the global request index, so every run replays the
+   same request stream regardless of how threads interleave. *)
+let request_of_index mix idx =
+  let json =
+    match mix with
+    | Plan_only -> plan_request idx
+    | Mixed -> (
+        match idx mod 20 with
+        | 0 | 1 | 2 | 3 | 4 | 5 | 6 | 7 | 8 | 9 | 10 | 11 | 12 | 13 -> plan_request idx
+        | 14 | 15 | 16 -> sweep_request idx
+        | 17 | 18 -> observe_request idx
+        | _ -> estimate_request idx)
+  in
+  Json.to_string json
+
+(* ---------------- the closed loop ---------------- *)
+
+type outcome = {
+  latencies_ns : float array;  (* answered requests only *)
+  errors : int;  (* ok=false responses *)
+  dead_connections : int;  (* connections that died mid-run *)
+  elapsed_s : float;
+}
+
+let run_load ~host ~port ~connections ~requests ~mix =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let next = ref 0 in
+  let next_lock = Mutex.create () in
+  let take () =
+    Mutex.lock next_lock;
+    let i = !next in
+    if i < requests then incr next;
+    Mutex.unlock next_lock;
+    if i < requests then Some i else None
+  in
+  let buffers = Array.make connections [] in
+  let errors = Array.make connections 0 in
+  let dead = Array.make connections 0 in
+  let worker c () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        dead.(c) <- dead.(c) + 1;
+        Printf.eprintf "loadgen: connection %d failed: %s\n%!" c (Printexc.to_string e)
+    | () ->
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+        let reader = Frame.reader fd in
+        (* First request per connection is an observe so the telemetry
+           session exists before any estimate can reach the server. *)
+        let warmed = ref (mix = Plan_only) in
+        let rec loop () =
+          match take () with
+          | None -> ()
+          | Some idx ->
+              let line =
+                if not !warmed then begin
+                  warmed := true;
+                  Json.to_string (observe_request idx)
+                end
+                else request_of_index mix idx
+              in
+              let t0 = Unix.gettimeofday () in
+              let alive =
+                match Frame.write_line fd line with
+                | () -> (
+                    match Frame.read_line reader with
+                    | Frame.Line response ->
+                        let dt_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+                        buffers.(c) <- dt_ns :: buffers.(c);
+                        (match Json.parse_result response with
+                        | Ok json when Ckpt_service.Protocol.response_ok json -> ()
+                        | _ -> errors.(c) <- errors.(c) + 1);
+                        true
+                    | Frame.Eof ->
+                        Printf.eprintf "loadgen: conn %d req %d: eof\n%!" c idx;
+                        false
+                    | Frame.Timeout ->
+                        Printf.eprintf "loadgen: conn %d req %d: timeout\n%!" c idx;
+                        false
+                    | Frame.Oversized -> false)
+                | exception (Unix.Unix_error (e, _, _)) ->
+                    Printf.eprintf "loadgen: conn %d req %d: write %s\n%!" c idx
+                      (Unix.error_message e);
+                    false
+                | exception Sys_error m ->
+                    Printf.eprintf "loadgen: conn %d req %d: write %s\n%!" c idx m;
+                    false
+              in
+              if alive then loop ()
+              else begin
+                dead.(c) <- dead.(c) + 1;
+                errors.(c) <- errors.(c) + 1
+              end
+        in
+        loop ();
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init connections (fun c -> Thread.create (worker c) ()) in
+  List.iter Thread.join threads;
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let latencies_ns =
+    Array.of_list (List.concat (Array.to_list buffers)) |> fun a ->
+    Array.sort compare a;
+    a
+  in
+  { latencies_ns;
+    errors = Array.fold_left ( + ) 0 errors;
+    dead_connections = Array.fold_left ( + ) 0 dead;
+    elapsed_s }
+
+(* ---------------- reporting ---------------- *)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1 |> max 0))
+
+let mean_std a =
+  let n = Array.length a in
+  if n = 0 then (nan, nan)
+  else begin
+    let mean = Array.fold_left ( +. ) 0. a /. float_of_int n in
+    let var =
+      Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. a /. float_of_int n
+    in
+    (mean, sqrt var)
+  end
+
+let entry_of_outcome ~mix ~connections ~requests o =
+  let answered = Array.length o.latencies_ns in
+  let mean, std = mean_std o.latencies_ns in
+  let qps = if o.elapsed_s > 0. then float_of_int answered /. o.elapsed_s else 0. in
+  Json.Obj
+    [ ("kernel", Json.String (Printf.sprintf "loadgen-%s-c%d" (mix_name mix) connections));
+      ("workers", Json.Number (float_of_int connections));
+      ("reps", Json.Number (float_of_int requests));
+      ("answered", Json.Number (float_of_int answered));
+      ("errors", Json.Number (float_of_int o.errors));
+      ("dead_connections", Json.Number (float_of_int o.dead_connections));
+      ("elapsed_s", Json.Number o.elapsed_s);
+      ( "wall",
+        Json.Obj [ ("mean_ns", Json.Number mean); ("stddev_ns", Json.Number std) ] );
+      ( "throughput",
+        Json.Obj
+          [ ("qps", Json.Number qps);
+            ("p50_ns", Json.Number (percentile o.latencies_ns 0.50));
+            ("p99_ns", Json.Number (percentile o.latencies_ns 0.99));
+            ("p999_ns", Json.Number (percentile o.latencies_ns 0.999)) ] ) ]
+
+let kernel_of entry = Json.string_field "kernel" entry
+
+(* Replace same-named kernels in an existing BENCH_results.json, keeping
+   everything else (schema, git_rev, the bechamel kernels) untouched. *)
+let merge_into path new_entries =
+  let doc =
+    if Sys.file_exists path then (
+      let ic = open_in path in
+      let s =
+        Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+            really_input_string ic (in_channel_length ic))
+      in
+      match Json.parse_result s with
+      | Ok d -> d
+      | Error m -> failwith (Printf.sprintf "%s: %s" path m))
+    else
+      Json.Obj [ ("schema", Json.String "ckpt-bench/1"); ("benchmarks", Json.List []) ]
+  in
+  let fields = match doc with Json.Obj fs -> fs | _ -> failwith (path ^ ": not an object") in
+  let new_names = List.filter_map kernel_of new_entries in
+  let old_entries =
+    match List.assoc_opt "benchmarks" fields with
+    | Some (Json.List es) ->
+        List.filter
+          (fun e ->
+            match kernel_of e with
+            | Some k -> not (List.mem k new_names)
+            | None -> true)
+          es
+    | _ -> []
+  in
+  let fields =
+    List.map
+      (function
+        | "benchmarks", _ -> ("benchmarks", Json.List (old_entries @ new_entries))
+        | kv -> kv)
+      fields
+  in
+  let fields =
+    if List.mem_assoc "benchmarks" fields then fields
+    else fields @ [ ("benchmarks", Json.List new_entries) ]
+  in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+      output_string oc (Json.to_string ~pretty:true (Json.Obj fields));
+      output_char oc '\n')
+
+(* ---------------- CLI ---------------- *)
+
+let parse_trajectory s =
+  let parts = String.split_on_char ',' (String.trim s) in
+  let rec walk acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest -> (
+        match int_of_string_opt (String.trim p) with
+        | Some c when c >= 1 -> walk (c :: acc) rest
+        | _ -> Error (Printf.sprintf "--trajectory wants positive ints, got %S" s))
+  in
+  match walk [] parts with Ok [] -> Error "--trajectory is empty" | r -> r
+
+let run spawn host port requests connections trajectory mix_s server_workers merge
+    fail_on_error =
+  let ( let* ) = Result.bind in
+  let* mix = mix_of_string mix_s in
+  let* () =
+    if requests < 1 then Error "--requests must be >= 1"
+    else if connections < 1 then Error "--connections must be >= 1"
+    else if (not spawn) && port = 0 then Error "--port is required without --spawn"
+    else Ok ()
+  in
+  let* counts =
+    match trajectory with
+    | None -> Ok [ connections ]
+    | Some t -> parse_trajectory t
+  in
+  let service, server, host, port =
+    if spawn then begin
+      let service = Service.create ~workers:server_workers () in
+      let server = Server.start service in
+      (Some service, Some server, "127.0.0.1", Server.port server)
+    end
+    else (None, None, host, port)
+  in
+  Fun.protect ~finally:(fun () ->
+      Option.iter (fun s -> Server.stop s; Server.join s) server;
+      Option.iter Service.shutdown service)
+  @@ fun () ->
+  let entries =
+    List.map
+      (fun connections ->
+        let o = run_load ~host ~port ~connections ~requests ~mix in
+        let entry = entry_of_outcome ~mix ~connections ~requests o in
+        Printf.eprintf
+          "loadgen-%s-c%d: %d/%d answered in %.2fs, %.0f qps, p50 %.2fms p99 %.2fms p999 %.2fms, %d errors\n%!"
+          (mix_name mix) connections (Array.length o.latencies_ns) requests o.elapsed_s
+          (float_of_int (Array.length o.latencies_ns) /. o.elapsed_s)
+          (percentile o.latencies_ns 0.50 /. 1e6)
+          (percentile o.latencies_ns 0.99 /. 1e6)
+          (percentile o.latencies_ns 0.999 /. 1e6)
+          o.errors;
+        (entry, o))
+      counts
+  in
+  let jsons = List.map fst entries in
+  print_endline (Json.to_string ~pretty:true (Json.List jsons));
+  Option.iter (fun path -> merge_into path jsons) merge;
+  let total_errors =
+    List.fold_left (fun acc (_, o) -> acc + o.errors + o.dead_connections) 0 entries
+  in
+  let answered = List.fold_left (fun acc (_, o) -> acc + Array.length o.latencies_ns) 0 entries in
+  if fail_on_error && total_errors > 0 then
+    Error (Printf.sprintf "%d request(s) failed or connections died" total_errors)
+  else if fail_on_error && answered < List.length counts * requests then
+    Error
+      (Printf.sprintf "only %d of %d requests were answered" answered
+         (List.length counts * requests))
+  else Ok ()
+
+let spawn =
+  Arg.(value & flag
+       & info [ "spawn" ] ~doc:"Start an in-process server on an ephemeral loopback port.")
+
+let host =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Server host.")
+
+let port = Arg.(value & opt int 0 & info [ "port" ] ~docv:"PORT" ~doc:"Server port.")
+
+let requests =
+  Arg.(value & opt int 1000
+       & info [ "requests"; "n" ] ~docv:"N" ~doc:"Total requests per connection count.")
+
+let connections =
+  Arg.(value & opt int 4
+       & info [ "connections"; "c" ] ~docv:"N" ~doc:"Concurrent connections.")
+
+let trajectory =
+  Arg.(value & opt (some string) None
+       & info [ "trajectory" ] ~docv:"N,N,.."
+           ~doc:"Run at several connection counts (overrides --connections).")
+
+let mix_arg =
+  Arg.(value & opt string "mix"
+       & info [ "mix" ] ~docv:"MIX" ~doc:"Request mix: plan (cacheable plans only) or mix \
+                                          (70/15/10/5 plan/sweep/observe/estimate).")
+
+let server_workers =
+  Arg.(value & opt int 2
+       & info [ "server-workers" ] ~docv:"N" ~doc:"Worker domains for the --spawn server.")
+
+let merge =
+  Arg.(value & opt (some string) None
+       & info [ "merge" ] ~docv:"FILE"
+           ~doc:"Merge the kernels into this BENCH_results.json (replacing same names).")
+
+let fail_on_error =
+  Arg.(value & flag
+       & info [ "fail-on-error" ]
+           ~doc:"Exit 1 if any request errors, goes unanswered, or a connection dies.")
+
+let cmd =
+  let doc = "Closed-loop load generator for the ckpt_net planning server" in
+  let term =
+    Term.(const run $ spawn $ host $ port $ requests $ connections $ trajectory $ mix_arg
+          $ server_workers $ merge $ fail_on_error)
+  in
+  Cmd.v (Cmd.info "loadgen" ~doc) Term.(term_result' term)
+
+let () =
+  (* A server closing mid-write must surface as EPIPE, not kill us. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  exit (Cmd.eval cmd)

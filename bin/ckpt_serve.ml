@@ -1,16 +1,26 @@
 (* Batch planning service over the Algorithm-1 optimizer.
 
-   Reads JSON-lines requests (plan / sweep / simulate-validate / stats),
-   answers one JSON response per line in the same order, and prints a
-   metrics report on shutdown.
+   Two front doors over the same service and protocol:
+
+   - stdin mode (default): read JSON-lines requests (plan / sweep /
+     simulate-validate / observe / estimate / replan / stats), answer one
+     JSON response per line in the same order, print a metrics report on
+     shutdown;
+   - server mode (--listen HOST:PORT): a TCP accept loop with bounded
+     admission, per-request deadlines, graceful drain on SIGTERM /
+     SIGINT / an in-band {"op":"shutdown"} request, and (with
+     --snapshot-dir) periodic atomic snapshots plus warm restart.
 
    Examples:
      ckpt_serve --input examples/fig5_sweep.jsonl --workers 4
      echo '{"op":"stats"}' | ckpt_serve
+     ckpt_serve --listen 127.0.0.1:7401 --snapshot-dir /var/tmp/ckpt \
+                --snapshot-interval 256 --max-inflight 64
      ckpt_serve --self-check *)
 
 open Cmdliner
 module Service = Ckpt_service.Service
+module Server = Ckpt_net.Server
 module Json = Ckpt_json.Json
 
 let read_lines ic =
@@ -22,32 +32,33 @@ let read_lines ic =
   loop []
 
 let non_blank line = String.trim line <> ""
+let ( let* ) = Result.bind
 
 (* --self-check: round-trip one plan request end-to-end through the
-   protocol, planner and pool, and compare against a direct solve.
-   Exercised by `dune runtest` so the binary path stays covered. *)
-let self_check () =
+   protocol, planner and pool, and compare against a direct solve — then
+   do it again over a loopback TCP connection through the ckpt_net
+   server, including a garbage frame and an in-band shutdown drain.
+   Exercised by `dune runtest` so both binary paths stay covered. *)
+
+let self_check_problem () =
   let open Ckpt_model in
-  let problem =
-    { Optimizer.te = 1e4 *. 86_400.;
-      speedup = Speedup.quadratic ~kappa:0.46 ~n_star:1e5;
-      levels = Level.fti_fusion;
-      alloc = 60.;
-      spec = Ckpt_failures.Failure_spec.of_string ~baseline_scale:1e5 "16-12-8-4" }
-  in
-  let expected = Optimizer.ml_opt_scale problem in
-  let request =
-    Json.to_string
-      (Json.Obj
-         [ ("id", Json.String "self-check"); ("op", Json.String "plan");
-           ("problem", Codec.problem_to_json problem) ])
-  in
-  let service = Service.create ~workers:2 () in
-  Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
-  let response = Service.handle_line service request in
-  let reparsed = Json.parse (Json.to_string response) in
+  { Optimizer.te = 1e4 *. 86_400.;
+    speedup = Speedup.quadratic ~kappa:0.46 ~n_star:1e5;
+    levels = Level.fti_fusion;
+    alloc = 60.;
+    spec = Ckpt_failures.Failure_spec.of_string ~baseline_scale:1e5 "16-12-8-4" }
+
+let self_check_request problem =
+  Json.to_string
+    (Json.Obj
+       [ ("id", Json.String "self-check"); ("op", Json.String "plan");
+         ("problem", Ckpt_model.Codec.problem_to_json problem) ])
+
+let check_plan_response ~expected response_text =
+  let open Ckpt_model in
+  let reparsed = Json.parse response_text in
   if not (Ckpt_service.Protocol.response_ok reparsed) then
-    Error (Printf.sprintf "self-check response not ok: %s" (Json.to_string response))
+    Error (Printf.sprintf "self-check response not ok: %s" response_text)
   else
     match Option.map Codec.plan_of_json (Json.member "plan" reparsed) with
     | Some (Ok plan) when plan = expected -> Ok ()
@@ -59,19 +70,122 @@ let self_check () =
     | Some (Error m) -> Error ("self-check plan does not decode: " ^ m)
     | None -> Error "self-check response has no plan"
 
-let run input output workers cache_capacity precision append_stats self =
+let self_check_inline () =
+  let problem = self_check_problem () in
+  let expected = Ckpt_model.Optimizer.ml_opt_scale problem in
+  let service = Service.create ~workers:2 () in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+  check_plan_response ~expected
+    (Json.to_string (Service.handle_line service (self_check_request problem)))
+
+let self_check_loopback () =
+  let problem = self_check_problem () in
+  let expected = Ckpt_model.Optimizer.ml_opt_scale problem in
+  let service = Service.create ~workers:2 () in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+  let server = Server.start service in
+  Fun.protect ~finally:(fun () -> Server.stop server; Server.join server) @@ fun () ->
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server));
+  let reader = Ckpt_net.Frame.reader fd in
+  let ask line =
+    Ckpt_net.Frame.write_line fd line;
+    match Ckpt_net.Frame.read_line reader with
+    | Ckpt_net.Frame.Line response -> Ok response
+    | _ -> Error "loopback connection closed before a response arrived"
+  in
+  let* response = ask (self_check_request problem) in
+  let* () = check_plan_response ~expected response in
+  let* garbage = ask "\x01 this is not a request" in
+  let* () =
+    if Ckpt_service.Protocol.response_ok (Json.parse garbage) then
+      Error "garbage frame was answered ok"
+    else Ok ()
+  in
+  let* drained = ask {|{"op":"shutdown"}|} in
+  match Json.member "draining" (Json.parse drained) with
+  | Some (Json.Bool true) -> Ok ()
+  | _ -> Error ("shutdown request not acknowledged: " ^ drained)
+
+let self_check () =
+  let* () = self_check_inline () in
+  self_check_loopback ()
+
+(* --listen HOST:PORT.  A bare ":PORT" binds loopback; port 0 asks the
+   kernel for an ephemeral port (printed on startup). *)
+let parse_listen s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "--listen expects HOST:PORT, got %S" s)
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let host = if host = "" then "127.0.0.1" else host in
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some port when port >= 0 && port <= 65_535 -> Ok (host, port)
+      | _ -> Error (Printf.sprintf "--listen port must be 0..65535, got %S" s))
+
+let run_server ~host ~port ~workers ~cache_capacity ~precision ~snapshot_dir
+    ~snapshot_interval ~max_inflight =
+  let service = Service.create ~workers ~cache_capacity ~precision () in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+  let config =
+    { Server.default_config with
+      host; port; snapshot_dir; snapshot_interval; max_inflight }
+  in
+  match Server.start ~config service with
+  | exception Invalid_argument m -> Error m
+  | exception Unix.Unix_error (err, fn, _) ->
+      Error (Printf.sprintf "cannot listen on %s:%d: %s: %s" host port fn
+               (Unix.error_message err))
+  | server ->
+      (* Graceful drain on SIGTERM / SIGINT: stop accepting, let every
+         in-flight request finish, cut a final snapshot, then [join]
+         below falls through and the metrics report prints. *)
+      let drain _ = Server.stop server in
+      (try
+         Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
+         Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
+         Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+       with Invalid_argument _ | Sys_error _ -> ());
+      Printf.printf "ckpt-serve listening on %s:%d (workers=%d max-inflight=%d%s)\n%!"
+        host (Server.port server) workers max_inflight
+        (match snapshot_dir with
+        | None -> ""
+        | Some dir ->
+            Printf.sprintf " snapshot-dir=%s restored=%d" dir (Server.restored server));
+      Server.join server;
+      Printf.printf
+        "ckpt-serve drained: %d connections, %d requests answered, %d rejected\n%!"
+        (Server.connections server) (Server.requests server)
+        (Server.rejections server);
+      Format.eprintf "%a@." Ckpt_service.Metrics.pp (Service.metrics service);
+      Ok ()
+
+let run input output workers cache_capacity precision append_stats self listen
+    snapshot_dir snapshot_interval max_inflight =
   if workers < 0 then Error (Printf.sprintf "--workers must be >= 0, got %d" workers)
   else if cache_capacity < 1 then
     Error (Printf.sprintf "--cache-capacity must be >= 1, got %d" cache_capacity)
   else if precision < 1 then
     Error (Printf.sprintf "--precision must be >= 1, got %d" precision)
+  else if snapshot_interval < 0 then
+    Error (Printf.sprintf "--snapshot-interval must be >= 0, got %d" snapshot_interval)
+  else if max_inflight < 1 then
+    Error (Printf.sprintf "--max-inflight must be >= 1, got %d" max_inflight)
   else if self then (
     match self_check () with
     | Ok () ->
         print_endline "self-check ok";
         Ok ()
     | Error m -> Error m)
-  else begin
+  else
+    match listen with
+    | Some spec ->
+        let* host, port = parse_listen spec in
+        run_server ~host ~port ~workers ~cache_capacity ~precision ~snapshot_dir
+          ~snapshot_interval ~max_inflight
+    | None -> begin
     let lines =
       match input with
       | None -> read_lines stdin
@@ -89,6 +203,27 @@ let run input output workers cache_capacity precision append_stats self =
     Format.eprintf "%a@." Ckpt_service.Metrics.pp (Service.metrics service);
     Ok ()
   end
+
+let listen =
+  Arg.(value & opt (some string) None
+       & info [ "listen" ] ~docv:"HOST:PORT"
+           ~doc:"Serve over TCP instead of stdin; port 0 picks an ephemeral port.")
+
+let snapshot_dir =
+  Arg.(value & opt (some string) None
+       & info [ "snapshot-dir" ] ~docv:"DIR"
+           ~doc:"Durability: cut atomic snapshots here and warm-restart from the \
+                 newest valid one (server mode).")
+
+let snapshot_interval =
+  Arg.(value & opt int Server.default_config.Server.snapshot_interval
+       & info [ "snapshot-interval" ] ~docv:"N"
+           ~doc:"Requests between snapshots; 0 snapshots only on drain.")
+
+let max_inflight =
+  Arg.(value & opt int Server.default_config.Server.max_inflight
+       & info [ "max-inflight" ] ~docv:"N"
+           ~doc:"Admission bound: further requests are rejected as overloaded.")
 
 let input =
   Arg.(value & opt (some file) None
@@ -123,7 +258,7 @@ let cmd =
   let doc = "Concurrent batch planning service over the SC'14 multilevel checkpoint optimizer" in
   let term =
     Term.(const run $ input $ output $ workers $ cache_capacity $ precision $ append_stats
-          $ self)
+          $ self $ listen $ snapshot_dir $ snapshot_interval $ max_inflight)
   in
   Cmd.v (Cmd.info "ckpt-serve" ~doc) Term.(term_result' term)
 

@@ -72,6 +72,69 @@ let calibrated_levels ?(min_samples = 3) t ~prior =
       })
     prior
 
+(* ---------------- snapshot serialization ----------------
+   An empty series' mean is [nan], which JSON cannot carry — [n = 0] is
+   the marker instead, and decode rebuilds the exact [empty_series]
+   constant, so round-tripped estimators are structurally equal. *)
+
+module Json = Ckpt_json.Json
+
+let series_to_json s =
+  Json.Obj
+    (("n", Json.Number (float_of_int s.n))
+    :: (if s.n = 0 then []
+        else
+          [ ("mean", Json.Number s.mean);
+            ("m2", Json.Number s.m2);
+            ("scale_sum", Json.Number s.scale_sum) ]))
+
+let series_of_json json =
+  match Option.bind (Json.member "n" json) Json.to_int with
+  | Some 0 -> Ok empty_series
+  | Some n when n > 0 -> (
+      let f name = Option.bind (Json.member name json) Json.to_float in
+      match (f "mean", f "m2", f "scale_sum") with
+      | Some mean, Some m2, Some scale_sum
+        when Float.is_finite mean && Float.is_finite m2 && Float.is_finite scale_sum ->
+          Ok { n; mean; m2; scale_sum }
+      | _ -> Error "Cost_estimator.of_json: malformed series")
+  | _ -> Error "Cost_estimator.of_json: series count must be a non-negative integer"
+
+let to_json t =
+  Json.Obj
+    [ ("scale", Json.Number t.scale);
+      ("ckpt", Json.List (Array.to_list (Array.map series_to_json t.ckpt)));
+      ("restart", Json.List (Array.to_list (Array.map series_to_json t.restart))) ]
+
+let of_json json =
+  let ( let* ) = Result.bind in
+  let arr name ~levels =
+    match Option.bind (Json.member name json) Json.to_list with
+    | Some l when List.length l = levels ->
+        List.fold_left
+          (fun acc s ->
+            let* acc = acc in
+            let* s = series_of_json s in
+            Ok (s :: acc))
+          (Ok []) l
+        |> Result.map (fun l -> Array.of_list (List.rev l))
+    | _ -> Error (Printf.sprintf "Cost_estimator.of_json: %s arity mismatch" name)
+  in
+  let* scale =
+    match Option.bind (Json.member "scale" json) Json.to_float with
+    | Some s when Float.is_finite s && s > 0. -> Ok s
+    | _ -> Error "Cost_estimator.of_json: scale must be finite and positive"
+  in
+  let* levels =
+    match Option.bind (Json.member "ckpt" json) Json.to_list with
+    | Some l when List.length l >= 1 && List.length l <= Telemetry.max_levels ->
+        Ok (List.length l)
+    | _ -> Error "Cost_estimator.of_json: ckpt levels outside 1..max_levels"
+  in
+  let* ckpt = arr "ckpt" ~levels in
+  let* restart = arr "restart" ~levels in
+  Ok { scale; ckpt; restart }
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
   for level = 1 to levels t do

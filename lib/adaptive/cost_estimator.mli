@@ -43,4 +43,13 @@ val calibrated_levels :
     observations — or a prior cost that is not positive at that scale —
     is returned unchanged. *)
 
+val to_json : t -> Ckpt_json.Json.t
+(** The full Welford state per level, for durable snapshots.  Empty
+    series are marked by their zero count (their [nan] mean is not
+    serialized), so {!of_json} restores a structurally equal value. *)
+
+val of_json : Ckpt_json.Json.t -> (t, string) result
+(** Validated decode of a {!to_json} document; malformed input is an
+    [Error], never an exception. *)
+
 val pp : Format.formatter -> t -> unit

@@ -147,6 +147,80 @@ let to_spec ?(prior_strength = 0.) t ~like =
   in
   Spec.v ~baseline_scale:nb rates
 
+(* ---------------- snapshot serialization ----------------
+   Every field round-trips so a warm-restarted estimator is structurally
+   equal to the live one it was snapshotted from: Ckpt_json prints floats
+   with enough digits to parse back bit-identically, and the only
+   non-finite value that can appear ([last_at] absent) is encoded as
+   JSON null rather than relying on the non-finite->null printing rule. *)
+
+module Json = Ckpt_json.Json
+
+let to_json t =
+  Json.Obj
+    [ ("levels", Json.Number (float_of_int t.levels));
+      ("half_life", (match t.half_life with None -> Json.Null | Some h -> Json.Number h));
+      ("counts", Json.float_array t.counts);
+      ("exposure", Json.Number t.exposure);
+      ("raw_counts", Json.List (Array.to_list (Array.map (fun c -> Json.Number (float_of_int c)) t.raw_counts)));
+      ("raw_exposure", Json.Number t.raw_exposure);
+      ("scale", Json.Number t.scale);
+      ("last_at", (match t.last_at with None -> Json.Null | Some a -> Json.Number a)) ]
+
+let of_json json =
+  let ( let* ) = Result.bind in
+  let field name = Json.member name json in
+  let number name =
+    match Option.bind (field name) Json.to_float with
+    | Some f when Float.is_finite f -> Ok f
+    | Some _ -> Error (Printf.sprintf "Rate_estimator.of_json: non-finite %s" name)
+    | None -> Error (Printf.sprintf "Rate_estimator.of_json: missing number %s" name)
+  in
+  let optional name =
+    match field name with
+    | None | Some Json.Null -> Ok None
+    | Some v -> (
+        match Json.to_float v with
+        | Some f when Float.is_finite f -> Ok (Some f)
+        | _ -> Error (Printf.sprintf "Rate_estimator.of_json: bad %s" name))
+  in
+  let* levels =
+    match Option.bind (field "levels") Json.to_int with
+    | Some l when l >= 1 && l <= Telemetry.max_levels -> Ok l
+    | _ -> Error "Rate_estimator.of_json: levels outside 1..max_levels"
+  in
+  let* half_life = optional "half_life" in
+  let* () =
+    match half_life with
+    | Some h when h <= 0. -> Error "Rate_estimator.of_json: non-positive half_life"
+    | _ -> Ok ()
+  in
+  let* counts =
+    match Option.bind (field "counts") Json.of_float_array with
+    | Some a when Array.length a = levels && Array.for_all Float.is_finite a -> Ok a
+    | _ -> Error "Rate_estimator.of_json: counts arity/finiteness mismatch"
+  in
+  let* raw_counts =
+    match Option.bind (field "raw_counts") Json.to_list with
+    | Some l when List.length l = levels ->
+        let ints = List.filter_map Json.to_int l in
+        if List.length ints = levels && List.for_all (fun c -> c >= 0) ints then
+          Ok (Array.of_list ints)
+        else Error "Rate_estimator.of_json: raw_counts must be non-negative integers"
+    | _ -> Error "Rate_estimator.of_json: raw_counts arity mismatch"
+  in
+  let* exposure = number "exposure" in
+  let* raw_exposure = number "raw_exposure" in
+  let* scale = number "scale" in
+  let* () =
+    if exposure < 0. || raw_exposure < 0. then
+      Error "Rate_estimator.of_json: negative exposure"
+    else if scale <= 0. then Error "Rate_estimator.of_json: non-positive scale"
+    else Ok ()
+  in
+  let* last_at = optional "last_at" in
+  Ok { levels; half_life; counts; exposure; raw_counts; raw_exposure; scale; last_at }
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>exposure %.3e core-seconds, %d failures" t.raw_exposure (total_count t);
   for level = 1 to t.levels do

@@ -76,4 +76,15 @@ val to_spec :
     [(count + prior_rate * tau) / (exposure + tau)] — stabilizing early
     estimates when few failures have been seen. *)
 
+val to_json : t -> Ckpt_json.Json.t
+(** The full estimator state — weighted and raw histories, current scale
+    and the exposure watermark [last_at] — for durable snapshots.  Floats
+    serialize losslessly, so {!of_json} restores a structurally equal
+    value. *)
+
+val of_json : Ckpt_json.Json.t -> (t, string) result
+(** Validated decode of a {!to_json} document: arity, finiteness and
+    sign checks mirror {!create}'s; any malformed input is an [Error],
+    never an exception. *)
+
 val pp : Format.formatter -> t -> unit

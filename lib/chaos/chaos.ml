@@ -1,7 +1,7 @@
 module Rng = Ckpt_numerics.Rng
 module Json = Ckpt_json.Json
 
-type site = Pool | Solver | Line | Telemetry
+type site = Pool | Solver | Line | Telemetry | Net
 
 type fault =
   | Crash
@@ -11,6 +11,9 @@ type fault =
   | Corrupt
   | Truncate
   | Skew of float
+  | Drop
+  | Half_close
+  | Garbage
 
 type spec = {
   seed : int;
@@ -23,11 +26,16 @@ type spec = {
   line_truncate : float;
   telemetry_skew : float;
   skew_max_s : float;
+  net_drop : float;
+  net_slow : float;
+  net_half_close : float;
+  net_garbage : float;
 }
 
 let spec ?(seed = 0) ?(stall_max_s = 2e-3) ?(skew_max_s = 30.) ?(rate = 0.1) ()
     =
   let half = rate /. 2. in
+  let quarter = rate /. 4. in
   { seed;
     pool_crash = half;
     pool_stall = half;
@@ -37,7 +45,11 @@ let spec ?(seed = 0) ?(stall_max_s = 2e-3) ?(skew_max_s = 30.) ?(rate = 0.1) ()
     line_corrupt = half;
     line_truncate = half;
     telemetry_skew = rate;
-    skew_max_s }
+    skew_max_s;
+    net_drop = quarter;
+    net_slow = quarter;
+    net_half_close = quarter;
+    net_garbage = quarter }
 
 let disabled =
   { seed = 0;
@@ -49,7 +61,11 @@ let disabled =
     line_corrupt = 0.;
     line_truncate = 0.;
     telemetry_skew = 0.;
-    skew_max_s = 0. }
+    skew_max_s = 0.;
+    net_drop = 0.;
+    net_slow = 0.;
+    net_half_close = 0.;
+    net_garbage = 0. }
 
 type record = { site : site; index : int; attempt : int; fault : fault }
 
@@ -82,6 +98,12 @@ let create spec =
   check_prob "line corrupt" spec.line_corrupt;
   check_prob "line truncate" spec.line_truncate;
   check_prob "telemetry skew" spec.telemetry_skew;
+  check_prob "net drop" spec.net_drop;
+  check_prob "net slow" spec.net_slow;
+  check_prob "net half-close" spec.net_half_close;
+  check_prob "net garbage" spec.net_garbage;
+  if spec.net_drop +. spec.net_slow +. spec.net_half_close +. spec.net_garbage > 1. then
+    invalid_arg "Chaos: net fault probabilities sum above 1";
   if spec.pool_crash +. spec.pool_stall > 1. then
     invalid_arg "Chaos: pool fault probabilities sum above 1";
   if spec.solver_diverge +. spec.solver_non_finite > 1. then
@@ -94,12 +116,13 @@ let create spec =
 
 let spec_of t = t.spec
 
-let site_id = function Pool -> 1 | Solver -> 2 | Line -> 3 | Telemetry -> 4
+let site_id = function Pool -> 1 | Solver -> 2 | Line -> 3 | Telemetry -> 4 | Net -> 5
 let site_name = function
   | Pool -> "pool"
   | Solver -> "solver"
   | Line -> "line"
   | Telemetry -> "telemetry"
+  | Net -> "net"
 
 let fault_name = function
   | Crash -> "crash"
@@ -109,6 +132,9 @@ let fault_name = function
   | Corrupt -> "corrupt"
   | Truncate -> "truncate"
   | Skew _ -> "skew"
+  | Drop -> "drop"
+  | Half_close -> "half-close"
+  | Garbage -> "garbage"
 
 (* splitmix64 finalizer: a strong 64-bit mix so that the derived stream
    for (seed, site, index, attempt) is statistically independent of its
@@ -156,6 +182,18 @@ let decide t rng ~site =
         (fun rng -> Skew ((2. *. Rng.float rng -. 1.) *. s.skew_max_s))
         0.
         (fun _ -> assert false)
+  | Net ->
+      (* Four kinds at one site: walk the cumulative distribution with the
+         same single uniform draw the two-kind sites use. *)
+      let c1 = s.net_drop in
+      let c2 = c1 +. s.net_slow in
+      let c3 = c2 +. s.net_half_close in
+      let c4 = c3 +. s.net_garbage in
+      if u < c1 then Some Drop
+      else if u < c2 then Some (Stall (Rng.float rng *. s.stall_max_s))
+      else if u < c3 then Some Half_close
+      else if u < c4 then Some Garbage
+      else None
 
 let draw t ~site ~index ~attempt = decide t (derive t ~site ~index ~attempt) ~site
 
@@ -209,6 +247,8 @@ let skew t ~index =
   match fire t ~site:Telemetry ~index ~attempt:0 with
   | Some (Skew d) -> d
   | Some _ | None -> 0.
+
+let net_fault t ~index = fire t ~site:Net ~index ~attempt:0
 
 let injected t =
   Mutex.lock t.lock;

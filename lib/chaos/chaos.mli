@@ -23,34 +23,46 @@
     - {!Line} — a protocol line is {e corrupted} (random byte flips) or
       {e truncated} before parsing;
     - {!Telemetry} — an observed telemetry event's timestamp is {e skewed}
-      by a bounded signed offset.
+      by a bounded signed offset;
+    - {!Net} — an accepted server connection is {e dropped} (closed
+      before any byte is served), {e slowed} (every response write is
+      delayed), {e half-closed} (the write side is shut down after the
+      first response) or fed {e garbage} bytes ahead of its first
+      request line.
 
     Each applied fault is recorded (thread-safely) so tests and the
     [ckpt_chaos] driver can compare schedules across runs and report
     injection counts. *)
 
-type site = Pool | Solver | Line | Telemetry
+type site = Pool | Solver | Line | Telemetry | Net
 
 type fault =
   | Crash  (** kill the pool worker before computing the item *)
-  | Stall of float  (** sleep this many seconds before computing *)
+  | Stall of float  (** sleep this many seconds (pool compute or net response) *)
   | Diverge  (** deny outer fixed-point convergence *)
   | Non_finite  (** poison the solver's wall-clock estimate *)
   | Corrupt  (** flip random bytes in the protocol line *)
   | Truncate  (** cut the protocol line short *)
   | Skew of float  (** shift a telemetry timestamp by this many seconds *)
+  | Drop  (** close the connection before serving anything *)
+  | Half_close  (** shut the connection's write side after one response *)
+  | Garbage  (** prepend garbage bytes to the connection's first line *)
 
 type spec = {
   seed : int;
   pool_crash : float;  (** P(worker crash) per (item, attempt) *)
   pool_stall : float;  (** P(worker stall) per (item, attempt) *)
-  stall_max_s : float;  (** stall durations are uniform in [0, max] *)
+  stall_max_s : float;  (** stall/slow durations are uniform in [0, max] *)
   solver_diverge : float;  (** P(forced divergence) per solve attempt *)
   solver_non_finite : float;  (** P(poisoned estimate) per solve attempt *)
   line_corrupt : float;  (** P(byte corruption) per protocol line *)
   line_truncate : float;  (** P(truncation) per protocol line *)
   telemetry_skew : float;  (** P(timestamp skew) per telemetry event *)
   skew_max_s : float;  (** skews are uniform in [-max, +max] *)
+  net_drop : float;  (** P(connection dropped) per accepted connection *)
+  net_slow : float;  (** P(slow responses) per accepted connection *)
+  net_half_close : float;  (** P(half-close) per accepted connection *)
+  net_garbage : float;  (** P(garbage prefix) per accepted connection *)
 }
 
 val spec :
@@ -118,6 +130,13 @@ val mangle_line : t -> index:int -> string -> string option
 val skew : t -> index:int -> float
 (** Signed timestamp offset (seconds) for telemetry event [index]; [0.]
     when no fault fires (nothing is recorded in that case). *)
+
+val net_fault : t -> index:int -> fault option
+(** Fault for accepted connection [index] (assigned in accept order):
+    [Some Drop], [Some (Stall d)] (slow the connection's responses by
+    [d] seconds each), [Some Half_close], [Some Garbage] or [None].
+    Unlike {!pool_fault}, no sleep happens here — the server applies
+    the slow-down where it writes. *)
 
 (** {1 Injection log} *)
 

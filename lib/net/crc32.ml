@@ -1,0 +1,24 @@
+(* Reflected CRC-32, polynomial 0xEDB88320, init/final xor 0xFFFFFFFF —
+   byte-for-byte what zlib's crc32() computes.  OCaml's 63-bit ints hold
+   the 32-bit state directly; [land 0xFFFF_FFFF] keeps it in range. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let sub s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.sub: invalid range";
+  let table = Lazy.force table in
+  let crc = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    crc := table.((!crc lxor Char.code s.[i]) land 0xFF) lxor (!crc lsr 8)
+  done;
+  !crc lxor 0xFFFFFFFF
+
+let string s = sub s ~pos:0 ~len:(String.length s)

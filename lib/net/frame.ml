@@ -1,0 +1,49 @@
+type reader = {
+  fd : Unix.file_descr;
+  chunk : bytes;
+  max_line_bytes : int;
+  mutable pending : string;  (* received, not yet framed *)
+}
+
+type read_result = Line of string | Eof | Timeout | Oversized
+
+let reader ?(max_line_bytes = 1 lsl 20) fd =
+  if max_line_bytes < 1 then invalid_arg "Frame.reader: max_line_bytes < 1";
+  { fd; chunk = Bytes.create 8192; max_line_bytes; pending = "" }
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let rec read_line r =
+  match String.index_opt r.pending '\n' with
+  | Some i ->
+      let line = String.sub r.pending 0 i in
+      r.pending <- String.sub r.pending (i + 1) (String.length r.pending - i - 1);
+      (* The bound applies to framed lines too: a complete over-long
+         line that arrived within one chunk must not dodge it. *)
+      if i > r.max_line_bytes then Oversized else Line (strip_cr line)
+  | None ->
+      if String.length r.pending > r.max_line_bytes then Oversized
+      else begin
+        match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+        | 0 -> Eof  (* a partial trailing line is a half-sent request: dropped *)
+        | n ->
+            r.pending <- r.pending ^ Bytes.sub_string r.chunk 0 n;
+            read_line r
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> Timeout
+        | exception Unix.Unix_error (EINTR, _, _) -> read_line r
+        | exception Unix.Unix_error (_, _, _) -> Eof
+      end
+
+let write_line fd line =
+  let payload = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length payload in
+  let rec push off =
+    if off < len then begin
+      match Unix.write fd payload off (len - off) with
+      | n -> push (off + n)
+      | exception Unix.Unix_error (EINTR, _, _) -> push off
+    end
+  in
+  push 0

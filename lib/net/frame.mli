@@ -1,0 +1,37 @@
+(** Newline-delimited framing over a socket.
+
+    The wire protocol is the service's JSON-lines protocol verbatim: one
+    request per [\n]-terminated line, one response line back.  The
+    reader buffers partial TCP segments until a full line arrives, strips
+    an optional trailing [\r], and bounds how many bytes it will hold
+    for a single line so a client streaming garbage without a newline
+    cannot grow the buffer without limit.
+
+    Read timeouts are expected to come from [SO_RCVTIMEO] on the file
+    descriptor: the resulting [EAGAIN]/[EWOULDBLOCK] surfaces as
+    {!read_result.Timeout} rather than an exception, and connection
+    resets surface as {!read_result.Eof} — a misbehaving peer never
+    raises out of the reader. *)
+
+type reader
+
+val reader : ?max_line_bytes:int -> Unix.file_descr -> reader
+(** [max_line_bytes] (default 1 MiB) bounds the unframed backlog held
+    for one line. *)
+
+type read_result =
+  | Line of string  (** one complete frame, newline stripped *)
+  | Eof  (** orderly close, reset, or a truncated trailing line *)
+  | Timeout  (** the descriptor's receive timeout expired *)
+  | Oversized
+      (** [max_line_bytes] exceeded, by a complete line or by unframed
+          backlog; the reader's buffer state is unreliable afterwards,
+          so callers should answer and close *)
+
+val read_line : reader -> read_result
+
+val write_line : Unix.file_descr -> string -> unit
+(** Write [line ^ "\n"] fully, resuming short writes.
+    @raise Unix.Unix_error when the peer is gone ([EPIPE], reset) or the
+    descriptor's send timeout expires — callers treat any of these as a
+    dead connection. *)

@@ -1,0 +1,38 @@
+type t = {
+  lock : Mutex.t;
+  capacity : int;
+  mutable in_flight : int;
+  mutable peak : int;
+  mutable rejected : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Gate.create: capacity < 1";
+  { lock = Mutex.create (); capacity; in_flight = 0; peak = 0; rejected = 0 }
+
+let capacity t = t.capacity
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let try_acquire t =
+  locked t (fun () ->
+      if t.in_flight >= t.capacity then begin
+        t.rejected <- t.rejected + 1;
+        false
+      end
+      else begin
+        t.in_flight <- t.in_flight + 1;
+        if t.in_flight > t.peak then t.peak <- t.in_flight;
+        true
+      end)
+
+let release t =
+  locked t (fun () ->
+      if t.in_flight <= 0 then invalid_arg "Gate.release: no slot held";
+      t.in_flight <- t.in_flight - 1)
+
+let in_flight t = locked t (fun () -> t.in_flight)
+let peak t = locked t (fun () -> t.peak)
+let rejected t = locked t (fun () -> t.rejected)

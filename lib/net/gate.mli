@@ -1,0 +1,36 @@
+(** The server's bounded admission gate.
+
+    A counting semaphore that never blocks: a request either takes a
+    slot immediately or is turned away, which is what lets the server
+    answer [{"code": "overloaded"}] under pressure instead of queueing
+    unboundedly.  Slots cover a request's whole residency — waiting for
+    the coordinator {e and} executing — so [capacity] bounds total
+    in-flight requests across every connection.
+
+    All operations are mutex-protected; connection threads share one
+    gate. *)
+
+type t
+
+val create : capacity:int -> t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : t -> int
+
+val try_acquire : t -> bool
+(** Take a slot, or return [false] (and count a rejection) when all
+    [capacity] slots are held. *)
+
+val release : t -> unit
+(** Give a slot back.  Calls without a matching {!try_acquire} are a
+    programming error.
+    @raise Invalid_argument when no slot is held. *)
+
+val in_flight : t -> int
+(** Slots currently held. *)
+
+val peak : t -> int
+(** High-water mark of {!in_flight} since [create]. *)
+
+val rejected : t -> int
+(** Total requests turned away so far. *)

@@ -1,0 +1,347 @@
+module Json = Ckpt_json.Json
+module Service = Ckpt_service.Service
+module Protocol = Ckpt_service.Protocol
+module Chaos = Ckpt_chaos.Chaos
+
+type config = {
+  host : string;
+  port : int;
+  backlog : int;
+  max_inflight : int;
+  request_deadline_ms : float;
+  idle_timeout_s : float;
+  max_line_bytes : int;
+  snapshot_dir : string option;
+  snapshot_interval : int;
+  snapshot_keep : int;
+  chaos : Chaos.t option;
+}
+
+let default_config =
+  { host = "127.0.0.1";
+    port = 0;
+    backlog = 64;
+    max_inflight = 64;
+    request_deadline_ms = 30_000.;
+    idle_timeout_s = 30.;
+    max_line_bytes = 1 lsl 20;
+    snapshot_dir = None;
+    snapshot_interval = 256;
+    snapshot_keep = 4;
+    chaos = None }
+
+type t = {
+  config : config;
+  service : Service.t;
+  listen_fd : Unix.file_descr;
+  port : int;
+  gate : Gate.t;
+  (* Serializes every Service call and snapshot cut: the service's
+     stateful ops assume a single coordinator. *)
+  coordinator : Mutex.t;
+  state_lock : Mutex.t;  (* the mutable counters below *)
+  mutable accept_thread : Thread.t option;
+  mutable conn_threads : Thread.t list;
+  mutable conn_seq : int;
+  mutable requests : int;
+  mutable last_snapshot_at : int;  (* [requests] when the last snapshot was cut *)
+  mutable draining : bool;
+  mutable restored : int;
+}
+
+let locked t f =
+  Mutex.lock t.state_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.state_lock) f
+
+let port t = t.port
+let service t = t.service
+let restored t = t.restored
+let requests t = locked t (fun () -> t.requests)
+let rejections t = Gate.rejected t.gate
+let connections t = locked t (fun () -> t.conn_seq)
+let draining t = locked t (fun () -> t.draining)
+let stop t = locked t (fun () -> t.draining <- true)
+
+(* ---------------- responses outside the service ---------------- *)
+
+(* The id must survive even on paths that never reach the parser, so
+   overload rejections can be correlated by the client.  A line that is
+   not JSON has no id to echo. *)
+let id_of_line line =
+  match Json.parse line with
+  | json -> Json.member "id" json
+  | exception _ -> None
+
+let overloaded_response line ~capacity =
+  Protocol.error_response ?id:(id_of_line line)
+    (Protocol.error_v "overloaded"
+       (Printf.sprintf "admission queue full (%d requests in flight); retry later" capacity))
+
+let deadline_response line ~ms =
+  Protocol.error_response ?id:(id_of_line line)
+    (Protocol.error_v "deadline-exceeded"
+       (Printf.sprintf "request waited more than %.0f ms for the coordinator" ms))
+
+let oversized_response ~max_line_bytes =
+  Protocol.error_response
+    (Protocol.error_v "invalid-request"
+       (Printf.sprintf "request line exceeds %d bytes" max_line_bytes))
+
+let internal_response line e =
+  Protocol.error_response ?id:(id_of_line line)
+    (Protocol.error_v "internal" (Printexc.to_string e))
+
+let shutdown_response line =
+  match id_of_line line with
+  | Some id -> Json.Obj [ ("id", id); ("ok", Json.Bool true); ("draining", Json.Bool true) ]
+  | None -> Json.Obj [ ("ok", Json.Bool true); ("draining", Json.Bool true) ]
+
+let is_shutdown_op line =
+  match Json.parse line with
+  | json -> Json.string_field "op" json = Some "shutdown"
+  | exception _ -> false
+
+(* ---------------- snapshots ---------------- *)
+
+(* Caller holds the coordinator lock. *)
+let cut_snapshot_locked t =
+  match t.config.snapshot_dir with
+  | None -> Error "no snapshot directory configured"
+  | Some dir ->
+      let seq = locked t (fun () -> t.requests) in
+      let state = Snapshot.of_service ~seq t.service in
+      let r = Snapshot.save ~keep:t.config.snapshot_keep ~dir state in
+      (match r with
+      | Ok _ -> locked t (fun () -> t.last_snapshot_at <- seq)
+      | Error m -> Format.eprintf "ckpt_net: snapshot failed: %s@." m);
+      r
+
+let snapshot_now t =
+  Mutex.lock t.coordinator;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.coordinator) (fun () ->
+      cut_snapshot_locked t)
+
+let maybe_snapshot_locked t =
+  let interval = t.config.snapshot_interval in
+  if t.config.snapshot_dir <> None && interval > 0 then begin
+    let due = locked t (fun () -> t.requests - t.last_snapshot_at >= interval) in
+    if due then ignore (cut_snapshot_locked t)
+  end
+
+(* ---------------- request path ---------------- *)
+
+(* [Mutex] has no timed lock: spin on [try_lock] with sub-millisecond
+   naps.  The coordinator's critical sections are short (one request),
+   so the spin granularity costs far less than the deadline budget. *)
+let lock_with_deadline mutex ~ms =
+  let deadline = Unix.gettimeofday () +. (ms /. 1000.) in
+  let rec try_until () =
+    if Mutex.try_lock mutex then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      Thread.delay 2e-4;
+      try_until ()
+    end
+  in
+  try_until ()
+
+let process t line =
+  if not (Gate.try_acquire t.gate) then
+    overloaded_response line ~capacity:(Gate.capacity t.gate)
+  else
+    Fun.protect ~finally:(fun () -> Gate.release t.gate) @@ fun () ->
+    if not (lock_with_deadline t.coordinator ~ms:t.config.request_deadline_ms) then
+      deadline_response line ~ms:t.config.request_deadline_ms
+    else
+      Fun.protect ~finally:(fun () -> Mutex.unlock t.coordinator) @@ fun () ->
+      let response =
+        (* The service answers every parseable-or-not line structurally;
+           anything it still raises is a server bug, answered as an
+           [internal] error rather than a dropped connection. *)
+        try Service.handle_line t.service line with e -> internal_response line e
+      in
+      locked t (fun () -> t.requests <- t.requests + 1);
+      maybe_snapshot_locked t;
+      response
+
+(* ---------------- connections ---------------- *)
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let handle_connection t fd index =
+  let fault = Option.bind t.config.chaos (fun c -> Chaos.net_fault c ~index) in
+  match fault with
+  | Some Chaos.Drop -> close_quietly fd
+  | _ ->
+      let slow = match fault with Some (Chaos.Stall d) -> d | _ -> 0. in
+      let garbage = fault = Some Chaos.Garbage in
+      let half_close = fault = Some Chaos.Half_close in
+      let reader = Frame.reader ~max_line_bytes:t.config.max_line_bytes fd in
+      let first = ref true in
+      let answered = ref 0 in
+      let respond json =
+        if slow > 0. then Thread.delay slow;
+        Frame.write_line fd (Json.to_string json);
+        incr answered
+      in
+      (try
+         let rec loop () =
+           if draining t then ()
+           else
+             match Frame.read_line reader with
+             | Frame.Eof | Frame.Timeout -> ()
+             | Frame.Oversized ->
+                 respond (oversized_response ~max_line_bytes:t.config.max_line_bytes)
+             | Frame.Line line when String.trim line = "" -> loop ()
+             | Frame.Line line ->
+                 let line =
+                   (* The garbage fault models a client whose first frame
+                      is noise: the parse boundary must answer it
+                      structurally, exactly like a chaos'd stdin line. *)
+                   if garbage && !first then "\x02\xff garbage " ^ line else line
+                 in
+                 first := false;
+                 if is_shutdown_op line then begin
+                   respond (shutdown_response line);
+                   stop t
+                 end
+                 else begin
+                   respond (process t line);
+                   if half_close && !answered = 1 then
+                     (* Injected half-close: our write side goes away
+                        after the first response; keep draining reads so
+                        the client can finish talking, answers go
+                        nowhere.  The send failure path exits the loop. *)
+                     Unix.shutdown fd Unix.SHUTDOWN_SEND;
+                   loop ()
+                 end
+         in
+         loop ()
+       with Unix.Unix_error (_, _, _) | Sys_error _ -> ());
+      close_quietly fd
+
+let accept_loop t =
+  let rec loop () =
+    if draining t then ()
+    else begin
+      (* Poll with a short select so the drain flag is honored even
+         while no client is connecting; accept after readiness cannot
+         block for long. *)
+      match Unix.select [ t.listen_fd ] [] [] 0.05 with
+      | [], _, _ -> loop ()
+      | _ :: _, _, _ -> (
+          match Unix.accept t.listen_fd with
+          | fd, _ ->
+              if draining t then close_quietly fd
+              else begin
+                (try
+                   Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.idle_timeout_s;
+                   Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.config.idle_timeout_s;
+                   Unix.setsockopt fd Unix.TCP_NODELAY true
+                 with Unix.Unix_error _ -> ());
+                let index = locked t (fun () ->
+                    let i = t.conn_seq in
+                    t.conn_seq <- i + 1;
+                    i)
+                in
+                let thread = Thread.create (fun () -> handle_connection t fd index) () in
+                locked t (fun () -> t.conn_threads <- thread :: t.conn_threads)
+              end;
+              loop ()
+          | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR | ECONNABORTED), _, _) ->
+              loop ()
+          | exception Unix.Unix_error (_, _, _) -> ())
+      | exception Unix.Unix_error (EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error (_, _, _) -> ()
+    end
+  in
+  loop ();
+  (* Single owner of the listening socket: closing it here (not in
+     [stop]) means no thread can race an accept on a closed fd. *)
+  close_quietly t.listen_fd
+
+let check_config c =
+  if c.max_inflight < 1 then invalid_arg "Server: max_inflight < 1";
+  if c.backlog < 1 then invalid_arg "Server: backlog < 1";
+  if not (Float.is_finite c.request_deadline_ms) || c.request_deadline_ms <= 0. then
+    invalid_arg "Server: request_deadline_ms must be positive";
+  if not (Float.is_finite c.idle_timeout_s) || c.idle_timeout_s <= 0. then
+    invalid_arg "Server: idle_timeout_s must be positive";
+  if c.max_line_bytes < 1 then invalid_arg "Server: max_line_bytes < 1";
+  if c.snapshot_interval < 0 then invalid_arg "Server: snapshot_interval < 0";
+  if c.snapshot_keep < 1 then invalid_arg "Server: snapshot_keep < 1"
+
+let start ?(config = default_config) service =
+  check_config config;
+  (* A peer resetting its connection must surface as EPIPE from the
+     write, not kill the whole process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let restored =
+    match config.snapshot_dir with
+    | None -> 0
+    | Some dir -> (
+        match
+          Snapshot.load_latest
+            ~log:(fun m -> Format.eprintf "ckpt_net: %s@." m)
+            ~dir ()
+        with
+        | None -> 0
+        | Some state -> Snapshot.install state service)
+  in
+  let addr =
+    try Unix.inet_addr_of_string config.host
+    with Failure _ ->
+      (try (Unix.gethostbyname config.host).Unix.h_addr_list.(0)
+       with Not_found -> invalid_arg ("Server: cannot resolve host " ^ config.host))
+  in
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd (Unix.ADDR_INET (addr, config.port));
+     Unix.listen listen_fd config.backlog
+   with e ->
+     close_quietly listen_fd;
+     raise e);
+  let port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  let t =
+    { config;
+      service;
+      listen_fd;
+      port;
+      gate = Gate.create ~capacity:config.max_inflight;
+      coordinator = Mutex.create ();
+      state_lock = Mutex.create ();
+      accept_thread = None;
+      conn_threads = [];
+      conn_seq = 0;
+      requests = 0;
+      last_snapshot_at = 0;
+      draining = false;
+      restored }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let join t =
+  Option.iter Thread.join t.accept_thread;
+  t.accept_thread <- None;
+  (* Threads spawned after the snapshot of the list are impossible: the
+     accept loop has exited, so the list is final once it is joined. *)
+  let rec drain_threads () =
+    let threads = locked t (fun () ->
+        let l = t.conn_threads in
+        t.conn_threads <- [];
+        l)
+    in
+    if threads <> [] then begin
+      List.iter Thread.join threads;
+      drain_threads ()
+    end
+  in
+  drain_threads ();
+  if t.config.snapshot_dir <> None then ignore (snapshot_now t)

@@ -1,0 +1,109 @@
+(** The networked planning server: a TCP front door for
+    {!Ckpt_service.Service}.
+
+    An accept loop hands each connection to its own thread; frames are
+    newline-delimited JSON ({!Frame}), and every request line is answered
+    with exactly one response line from the service — the same protocol
+    (and byte-identical responses) as the stdin mode of [ckpt_serve].
+
+    {2 Admission and deadlines}
+
+    The service coordinator is single-threaded (stateful ops require
+    line order), so connection threads funnel through one lock.  A
+    bounded {!Gate} fronts that funnel: when [max_inflight] requests are
+    already queued or executing, new requests are answered immediately
+    with [{"ok": false, "error": {"code": "overloaded"}}] instead of
+    queueing unboundedly.  A request that does get a slot but cannot
+    reach the coordinator within [request_deadline_ms] is answered
+    ["deadline-exceeded"].  Idle connections are reaped after
+    [idle_timeout_s] (the socket's receive timeout), and response writes
+    carry the same bound as a send timeout, so a stalled client cannot
+    wedge its thread.
+
+    {2 Durability}
+
+    With [snapshot_dir] set, the server cuts an atomic {!Snapshot} every
+    [snapshot_interval] requests and once more on drain; [start]
+    warm-restarts from the newest valid snapshot, so a restarted server
+    serves previously-solved plans from cache and keeps its telemetry
+    session.
+
+    {2 Drain}
+
+    {!stop} (also triggered by an in-band [{"op": "shutdown"}] request,
+    and by SIGTERM in the binary) begins a graceful drain: the accept
+    loop closes the listening socket, every in-flight request completes
+    and is answered, connection threads exit after their current
+    request, and a final snapshot is cut.  {!join} blocks until the
+    drain is complete.  The server does not own the service — callers
+    still {!Ckpt_service.Service.shutdown} it afterwards.
+
+    {2 Chaos}
+
+    With a {!Ckpt_chaos.Chaos.t} installed, every accepted connection
+    consults the [Net] site (index = accept order): the connection may
+    be dropped, slowed, half-closed after its first response, or have
+    garbage bytes prepended to its first line.  Faulted connections
+    degrade per the framing/error contract; healthy connections are
+    unaffected — the soak test's invariant. *)
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** [0] picks an ephemeral port (see {!port}) *)
+  backlog : int;
+  max_inflight : int;  (** admission gate capacity, >= 1 *)
+  request_deadline_ms : float;  (** wait-for-coordinator budget *)
+  idle_timeout_s : float;  (** per-connection receive/send timeout *)
+  max_line_bytes : int;  (** per-line framing bound *)
+  snapshot_dir : string option;
+  snapshot_interval : int;  (** requests between snapshots; [0] = only on drain *)
+  snapshot_keep : int;
+  chaos : Ckpt_chaos.Chaos.t option;  (** [Net]-site fault injection (testing only) *)
+}
+
+val default_config : config
+(** Loopback, ephemeral port, 64 in-flight, 30 s deadlines, 1 MiB
+    lines, snapshots off. *)
+
+type t
+
+val start : ?config:config -> Ckpt_service.Service.t -> t
+(** Bind, warm-restart from [snapshot_dir] if a valid snapshot exists,
+    and spawn the accept loop.  The service must not be driven from
+    elsewhere while the server runs.  Sets [SIGPIPE] to ignore
+    process-wide: a peer resetting its connection must surface as
+    [EPIPE] from the write, never kill the process.
+    @raise Invalid_argument on nonsensical config values.
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val port : t -> int
+(** The actually bound port (resolves [port = 0]). *)
+
+val service : t -> Ckpt_service.Service.t
+
+val restored : t -> int
+(** Plans installed from the warm-restart snapshot (0 on a cold start). *)
+
+val requests : t -> int
+(** Requests answered through the socket so far (excludes overloaded
+    and deadline rejections, which {!rejections} counts). *)
+
+val rejections : t -> int
+(** Requests answered with [overloaded] or [deadline-exceeded]. *)
+
+val connections : t -> int
+(** Connections accepted so far. *)
+
+val draining : t -> bool
+
+val snapshot_now : t -> (string, string) result
+(** Cut a snapshot immediately (requires [snapshot_dir]); takes the
+    coordinator lock, so it serializes with request handling. *)
+
+val stop : t -> unit
+(** Begin a graceful drain; idempotent, returns immediately. *)
+
+val join : t -> unit
+(** Wait for the drain to complete: accept loop exited, listening
+    socket closed, every connection thread joined, final snapshot cut.
+    Call {!stop} first (or send [{"op": "shutdown"}]). *)

@@ -64,6 +64,13 @@ let add t k v =
       push_front t node);
   if Hashtbl.length t.tbl > t.cap then evict_lru t
 
+let to_list t =
+  let rec walk acc = function
+    | None -> List.rev acc
+    | Some node -> walk ((node.key, node.value) :: acc) node.next
+  in
+  walk [] t.head
+
 let evictions t = t.evicted
 
 let clear t =

@@ -30,6 +30,11 @@ val add : 'a t -> string -> 'a -> unit
     it most recently used); when the cache is over capacity the least
     recently used binding is evicted. *)
 
+val to_list : 'a t -> (string * 'a) list
+(** All bindings, most recently used first; does not touch recency.
+    Re-adding them in reverse order reproduces the same recency order —
+    what the snapshot layer relies on for warm restarts. *)
+
 val evictions : 'a t -> int
 (** Total bindings evicted by capacity pressure since [create]. *)
 

@@ -44,6 +44,11 @@ let create ?(workers = 1) ?cache_capacity ?precision ?resilience ?chaos () =
 
 let workers t = match t.pool with None -> 0 | Some p -> Pool.workers p
 let session_estimators t = Option.map (fun s -> (s.rates, s.costs)) t.session
+
+let restore_session t ~rates ~costs =
+  if Rate_estimator.levels rates <> Cost_estimator.levels costs then
+    invalid_arg "Service.restore_session: estimator level counts differ";
+  t.session <- Some { rates; costs }
 let metrics t = t.metrics
 let planner t = t.planner
 let chaos t = t.chaos

@@ -70,6 +70,18 @@ val session_estimators : t -> (Ckpt_adaptive.Rate_estimator.t * Ckpt_adaptive.Co
 (** The telemetry session's current estimators, once an [observe] has
     created them. *)
 
+val restore_session :
+  t ->
+  rates:Ckpt_adaptive.Rate_estimator.t ->
+  costs:Ckpt_adaptive.Cost_estimator.t ->
+  unit
+(** Install estimator state (typically loaded from a durable snapshot)
+    as the telemetry session, replacing any current one.  Subsequent
+    [observe]/[estimate]/[replan] requests continue exactly where the
+    snapshotted service left off.
+    @raise Invalid_argument when the two estimators disagree on the
+    level count. *)
+
 val handle_batch : t -> string list -> Ckpt_json.Json.t list
 (** [handle_batch t lines] answers one response per request line, order
     preserved.  Malformed lines yield error responses; they never

@@ -54,6 +54,9 @@ let fold_stores t f init =
       Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) (fun () -> f acc s.store))
     init t.shards
 
+let to_list t =
+  List.concat (List.rev (fold_stores t (fun acc store -> Lru_cache.to_list store :: acc) []))
+
 let length t = fold_stores t (fun acc store -> acc + Lru_cache.length store) 0
 let capacity t = fold_stores t (fun acc store -> acc + Lru_cache.capacity store) 0
 let evictions t = fold_stores t (fun acc store -> acc + Lru_cache.evictions store) 0

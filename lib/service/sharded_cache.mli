@@ -39,6 +39,13 @@ val add : 'a t -> string -> 'a -> unit
 (** [add t k v] binds [k] in its shard, evicting that shard's least
     recently used binding on overflow. *)
 
+val to_list : 'a t -> (string * 'a) list
+(** All bindings, shard by shard (most recently used first within each
+    shard); recency untouched.  The deterministic dump the snapshot
+    layer persists: re-{!add}ing a shard's bindings in reverse order
+    into a fresh cache reproduces its recency order, so a warm restart
+    evicts the same keys the original would have. *)
+
 val evictions : 'a t -> int
 (** Total evictions across shards since [create]. *)
 

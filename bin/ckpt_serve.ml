@@ -141,7 +141,10 @@ let run_server ~host ~port ~workers ~cache_capacity ~precision ~snapshot_dir
   | server ->
       (* Graceful drain on SIGTERM / SIGINT: stop accepting, let every
          in-flight request finish, cut a final snapshot, then [join]
-         below falls through and the metrics report prints. *)
+         below falls through and the metrics report prints.
+         [Server.stop] is a single atomic store — no mutex — so it is
+         safe even though OCaml runs the handler at a poll point in an
+         arbitrary thread that may already hold server locks. *)
       let drain _ = Server.stop server in
       (try
          Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);

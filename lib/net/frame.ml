@@ -2,34 +2,53 @@ type reader = {
   fd : Unix.file_descr;
   chunk : bytes;
   max_line_bytes : int;
-  mutable pending : string;  (* received, not yet framed *)
+  lines : string Queue.t;  (* complete frames, oldest first *)
+  partial : Buffer.t;  (* trailing bytes with no newline yet *)
 }
 
 type read_result = Line of string | Eof | Timeout | Oversized
 
 let reader ?(max_line_bytes = 1 lsl 20) fd =
   if max_line_bytes < 1 then invalid_arg "Frame.reader: max_line_bytes < 1";
-  { fd; chunk = Bytes.create 8192; max_line_bytes; pending = "" }
+  { fd;
+    chunk = Bytes.create 8192;
+    max_line_bytes;
+    lines = Queue.create ();
+    partial = Buffer.create 256 }
 
 let strip_cr line =
   let n = String.length line in
   if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
 
+(* Split the freshly-read chunk on newlines as it arrives, so each byte
+   is appended and extracted exactly once — a client trickling a long
+   line in small segments costs O(line), not O(line^2). *)
+let absorb r n =
+  let start = ref 0 in
+  for j = 0 to n - 1 do
+    if Bytes.get r.chunk j = '\n' then begin
+      Buffer.add_subbytes r.partial r.chunk !start (j - !start);
+      Queue.push (Buffer.contents r.partial) r.lines;
+      Buffer.clear r.partial;
+      start := j + 1
+    end
+  done;
+  Buffer.add_subbytes r.partial r.chunk !start (n - !start)
+
 let rec read_line r =
-  match String.index_opt r.pending '\n' with
-  | Some i ->
-      let line = String.sub r.pending 0 i in
-      r.pending <- String.sub r.pending (i + 1) (String.length r.pending - i - 1);
+  match Queue.take_opt r.lines with
+  | Some line ->
       (* The bound applies to framed lines too: a complete over-long
          line that arrived within one chunk must not dodge it. *)
-      if i > r.max_line_bytes then Oversized else Line (strip_cr line)
+      if String.length line > r.max_line_bytes then Oversized
+      else Line (strip_cr line)
   | None ->
-      if String.length r.pending > r.max_line_bytes then Oversized
+      if Buffer.length r.partial > r.max_line_bytes then Oversized
       else begin
         match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
         | 0 -> Eof  (* a partial trailing line is a half-sent request: dropped *)
         | n ->
-            r.pending <- r.pending ^ Bytes.sub_string r.chunk 0 n;
+            absorb r n;
             read_line r
         | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> Timeout
         | exception Unix.Unix_error (EINTR, _, _) -> read_line r

@@ -42,10 +42,19 @@ type t = {
   state_lock : Mutex.t;  (* the mutable counters below *)
   mutable accept_thread : Thread.t option;
   mutable conn_threads : Thread.t list;
+  (* Thread ids of connection threads that have finished: the accept
+     loop joins and drops these opportunistically so [conn_threads]
+     stays bounded by the number of *live* connections. *)
+  finished : (int, unit) Hashtbl.t;
   mutable conn_seq : int;
-  mutable requests : int;
+  mutable requests : int;  (* answered by this incarnation *)
   mutable last_snapshot_at : int;  (* [requests] when the last snapshot was cut *)
-  mutable draining : bool;
+  (* Snapshot seq of the restored image: snapshot filenames must stay
+     monotonic across restarts ([seq_base + requests]), or a restarted
+     server's fresh snapshots would sort below — and be pruned in favor
+     of — the previous incarnation's stale ones. *)
+  seq_base : int;
+  draining : bool Atomic.t;
   mutable restored : int;
 }
 
@@ -59,8 +68,13 @@ let restored t = t.restored
 let requests t = locked t (fun () -> t.requests)
 let rejections t = Gate.rejected t.gate
 let connections t = locked t (fun () -> t.conn_seq)
-let draining t = locked t (fun () -> t.draining)
-let stop t = locked t (fun () -> t.draining <- true)
+
+(* [draining] is an atomic, not a [locked] field: [stop] is called from
+   the binary's SIGTERM/SIGINT handler, which OCaml may run at a poll
+   point in a thread that already holds [state_lock] — taking a mutex
+   there would self-deadlock.  A plain atomic store is signal-safe. *)
+let draining t = Atomic.get t.draining
+let stop t = Atomic.set t.draining true
 
 (* ---------------- responses outside the service ---------------- *)
 
@@ -108,11 +122,11 @@ let cut_snapshot_locked t =
   match t.config.snapshot_dir with
   | None -> Error "no snapshot directory configured"
   | Some dir ->
-      let seq = locked t (fun () -> t.requests) in
-      let state = Snapshot.of_service ~seq t.service in
+      let reqs = locked t (fun () -> t.requests) in
+      let state = Snapshot.of_service ~seq:(t.seq_base + reqs) t.service in
       let r = Snapshot.save ~keep:t.config.snapshot_keep ~dir state in
       (match r with
-      | Ok _ -> locked t (fun () -> t.last_snapshot_at <- seq)
+      | Ok _ -> locked t (fun () -> t.last_snapshot_at <- reqs)
       | Error m -> Format.eprintf "ckpt_net: snapshot failed: %s@." m);
       r
 
@@ -220,6 +234,34 @@ let handle_connection t fd index =
        with Unix.Unix_error (_, _, _) | Sys_error _ -> ());
       close_quietly fd
 
+(* Join connection threads that have marked themselves finished.  The
+   mark is each thread's last action, so the joins below are immediate;
+   without this a long-running server retains one Thread.t handle per
+   connection it ever accepted until drain. *)
+let reap_finished t =
+  let done_ =
+    locked t (fun () ->
+        let done_, live =
+          List.partition (fun th -> Hashtbl.mem t.finished (Thread.id th)) t.conn_threads
+        in
+        t.conn_threads <- live;
+        List.iter (fun th -> Hashtbl.remove t.finished (Thread.id th)) done_;
+        done_)
+  in
+  List.iter Thread.join done_
+
+let spawn_connection t fd index =
+  let thread =
+    Thread.create
+      (fun () ->
+        Fun.protect
+          ~finally:(fun () ->
+            locked t (fun () -> Hashtbl.replace t.finished (Thread.id (Thread.self ())) ()))
+          (fun () -> handle_connection t fd index))
+      ()
+  in
+  locked t (fun () -> t.conn_threads <- thread :: t.conn_threads)
+
 let accept_loop t =
   let rec loop () =
     if draining t then ()
@@ -244,8 +286,8 @@ let accept_loop t =
                     t.conn_seq <- i + 1;
                     i)
                 in
-                let thread = Thread.create (fun () -> handle_connection t fd index) () in
-                locked t (fun () -> t.conn_threads <- thread :: t.conn_threads)
+                spawn_connection t fd index;
+                reap_finished t
               end;
               loop ()
           | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR | ECONNABORTED), _, _) ->
@@ -277,17 +319,17 @@ let start ?(config = default_config) service =
      write, not kill the whole process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
-  let restored =
+  let restored, seq_base =
     match config.snapshot_dir with
-    | None -> 0
+    | None -> (0, 0)
     | Some dir -> (
         match
           Snapshot.load_latest
             ~log:(fun m -> Format.eprintf "ckpt_net: %s@." m)
             ~dir ()
         with
-        | None -> 0
-        | Some state -> Snapshot.install state service)
+        | None -> (0, 0)
+        | Some state -> (Snapshot.install state service, state.Snapshot.seq))
   in
   let addr =
     try Unix.inet_addr_of_string config.host
@@ -318,10 +360,12 @@ let start ?(config = default_config) service =
       state_lock = Mutex.create ();
       accept_thread = None;
       conn_threads = [];
+      finished = Hashtbl.create 16;
       conn_seq = 0;
       requests = 0;
       last_snapshot_at = 0;
-      draining = false;
+      seq_base;
+      draining = Atomic.make false;
       restored }
   in
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
@@ -344,4 +388,5 @@ let join t =
     end
   in
   drain_threads ();
+  locked t (fun () -> Hashtbl.reset t.finished);
   if t.config.snapshot_dir <> None then ignore (snapshot_now t)

@@ -26,7 +26,10 @@
     [snapshot_interval] requests and once more on drain; [start]
     warm-restarts from the newest valid snapshot, so a restarted server
     serves previously-solved plans from cache and keeps its telemetry
-    session.
+    session.  Snapshot sequence numbers resume from the restored
+    snapshot's [seq], so filenames stay monotonic across restarts and
+    pruning (newest-by-name) never favors a previous incarnation's stale
+    snapshots over fresh ones.
 
     {2 Drain}
 
@@ -101,7 +104,9 @@ val snapshot_now : t -> (string, string) result
     coordinator lock, so it serializes with request handling. *)
 
 val stop : t -> unit
-(** Begin a graceful drain; idempotent, returns immediately. *)
+(** Begin a graceful drain; idempotent, returns immediately.
+    Async-signal-safe (a single atomic store, no locks taken), so it may
+    be called directly from a SIGTERM/SIGINT handler. *)
 
 val join : t -> unit
 (** Wait for the drain to complete: accept loop exited, listening

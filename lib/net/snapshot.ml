@@ -160,6 +160,17 @@ let list_snapshots dir =
       |> List.sort (fun a b -> compare b a)  (* newest (highest seq) first *)
   | exception Sys_error _ -> []
 
+(* The rename makes the snapshot's *contents* durable, but the directory
+   entry itself is not on disk until the directory is fsynced — without
+   this, a crash shortly after save can lose the whole file.  Best
+   effort: some platforms refuse to fsync a directory fd. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
 let save ?(keep = 4) ~dir state =
   if keep < 1 then invalid_arg "Snapshot.save: keep < 1";
   try
@@ -178,6 +189,7 @@ let save ?(keep = 4) ~dir state =
         done;
         Unix.fsync fd);
     Unix.rename tmp path;
+    fsync_dir dir;
     (* Prune: everything but the [keep] newest.  Best effort — a file
        that vanishes or resists unlinking never fails the snapshot. *)
     List.iteri

@@ -22,7 +22,8 @@
 
     The CRC-32 covers the payload bytes, so truncation, bit rot and torn
     writes are all detected before any decoding happens.  {!save} writes
-    to a temp file in the same directory, fsyncs, then renames — a crash
+    to a temp file in the same directory, fsyncs, renames, then fsyncs
+    the directory (so the rename itself survives a crash) — a crash
     mid-write can only ever leave a stale-but-valid previous snapshot
     plus a temp file that {!load_latest} ignores.
 
@@ -66,9 +67,10 @@ val decode : string -> (state, string) result
     failure — including a future version — is [Error _]. *)
 
 val save : ?keep:int -> dir:string -> state -> (string, string) result
-(** Atomically write [dir/snapshot-<seq>.ckpt] (temp + fsync + rename),
-    creating [dir] if needed, then prune all but the [keep] (default 4)
-    newest snapshots.  Returns the path written.  Never raises. *)
+(** Atomically write [dir/snapshot-<seq>.ckpt] (temp + fsync + rename +
+    directory fsync), creating [dir] if needed, then prune all but the
+    [keep] (default 4) newest snapshots.  Returns the path written.
+    Never raises. *)
 
 val load_latest : ?log:(string -> unit) -> dir:string -> unit -> state option
 (** Newest snapshot in [dir] that decodes cleanly.  Invalid files are

@@ -219,6 +219,19 @@ let test_frame_reassembly () =
   Alcotest.(check (option string)) "line 2, cr stripped" (Some {|{"y":2}|})
     (match Frame.read_line r with Frame.Line l -> Some l | _ -> None);
   (* A partial trailing line is dropped at EOF. *)
+  (* Several lines arriving in one chunk are queued and returned in
+     order. *)
+  write_all a "a\nb\nc\n";
+  Alcotest.(check bool) "queued a" true (Frame.read_line r = Frame.Line "a");
+  Alcotest.(check bool) "queued b" true (Frame.read_line r = Frame.Line "b");
+  Alcotest.(check bool) "queued c" true (Frame.read_line r = Frame.Line "c");
+  (* A long line trickled in many small segments reassembles intact. *)
+  let seg = String.make 100 'z' in
+  for _ = 1 to 50 do write_all a seg done;
+  write_all a "\n";
+  Alcotest.(check bool) "trickled line reassembled" true
+    (Frame.read_line r = Frame.Line (String.concat "" (List.init 50 (fun _ -> seg))));
+  (* A partial trailing line is dropped at EOF. *)
   write_all a "half a request";
   Unix.close a;
   Alcotest.(check bool) "eof, partial dropped" true (Frame.read_line r = Frame.Eof)
@@ -575,6 +588,39 @@ let test_restart_cache_hit () =
             (Json.member "cached" (Json.parse r) = Some (Json.Bool true)))
         responses)
 
+let test_restart_seq_monotonic () =
+  (* Regression: a restarted server must number its snapshots past the
+     restored seq.  Were the counter reset to zero, the second life's
+     snapshot-1 would sort below the first life's snapshot-2, pruning
+     would keep the stale file, and a third life would restore
+     pre-restart state — losing the second life's progress. *)
+  with_tmp_dir @@ fun dir ->
+  let config =
+    { Server.default_config with Server.snapshot_dir = Some dir; snapshot_interval = 1 }
+  in
+  let latest_seq life =
+    match Snapshot.load_latest ~dir () with
+    | Some s -> s.Snapshot.seq
+    | None -> Alcotest.failf "life %d left no loadable snapshot" life
+  in
+  (* First life: two requests. *)
+  serve_stream ~config [ plan_line 0; plan_line 1 ] (fun _ _ -> ());
+  Alcotest.(check int) "first life snapshots its request count" 2 (latest_seq 1);
+  (* Second life: one more request; its snapshots must continue the
+     sequence, not restart it. *)
+  serve_stream ~config [ plan_line 2 ] (fun server _ ->
+      Alcotest.(check int) "second life warm-restarts" 2 (Server.restored server));
+  Alcotest.(check bool) "second life seq continues past the first" true (latest_seq 2 > 2);
+  (* Third life: the problem solved in the second life is still cached,
+     i.e. the snapshot recording it survived pruning and won the
+     newest-first load. *)
+  serve_stream ~config [ plan_line 2 ] (fun _ responses ->
+      List.iter
+        (fun r ->
+          Alcotest.(check bool) "second life's progress survives a third restart" true
+            (Json.member "cached" (Json.parse r) = Some (Json.Bool true)))
+        responses)
+
 (* ---------------- network chaos soak ---------------- *)
 
 let test_net_chaos_soak () =
@@ -709,5 +755,6 @@ let () =
           Alcotest.test_case "config-validation" `Quick test_config_validation ] );
       ( "restart",
         [ qc test_restart_byte_identity;
-          Alcotest.test_case "cache-hit" `Quick test_restart_cache_hit ] );
+          Alcotest.test_case "cache-hit" `Quick test_restart_cache_hit;
+          Alcotest.test_case "seq-monotonic" `Quick test_restart_seq_monotonic ] );
       ("chaos", [ Alcotest.test_case "net-soak" `Quick test_net_chaos_soak ]) ]

@@ -33,11 +33,12 @@ let load path =
    shedding the expensive requests, so both get their own tripwire. *)
 type metric = {
   kernel : string;
-  what : string;  (* "mean_ns" | "qps" | "p99_ns" *)
+  what : string;  (* "mean_ns" | "qps" | "p99_ns" | "speedup" *)
   value : float;
   better : [ `Lower | `Higher ];
   unit_ : string;
   scale : float;  (* value / scale is printed *)
+  lenience : float;  (* the threshold is multiplied by this *)
 }
 
 let kernels doc =
@@ -58,22 +59,37 @@ let kernels doc =
               let primary =
                 match mean "sequential" with Some m -> Some m | None -> mean "wall"
               in
+              (* Worker-scaling trajectory entries also gate their
+                 speedup_vs_1_worker: a scaling collapse (a new lock on
+                 the fan-out path) can hide inside acceptable absolute
+                 times.  Scaling curves move more between machines than
+                 times do, so the gate runs at double the threshold. *)
+              let speedup =
+                if J.member "trajectory" entry = Some (J.Bool true) then
+                  J.float_field "speedup_vs_1_worker" entry
+                else None
+              in
               List.filter_map Fun.id
                 [ Option.map
                     (fun value ->
                       { kernel; what = "mean_ns"; value; better = `Lower;
-                        unit_ = "ms"; scale = 1e6 })
+                        unit_ = "ms"; scale = 1e6; lenience = 1. })
                     primary;
                   Option.map
                     (fun value ->
                       { kernel; what = "qps"; value; better = `Higher;
-                        unit_ = "qps"; scale = 1. })
+                        unit_ = "qps"; scale = 1.; lenience = 1. })
                     (throughput "qps");
                   Option.map
                     (fun value ->
                       { kernel; what = "p99_ns"; value; better = `Lower;
-                        unit_ = "ms"; scale = 1e6 })
-                    (throughput "p99_ns") ])
+                        unit_ = "ms"; scale = 1e6; lenience = 1. })
+                    (throughput "p99_ns");
+                  Option.map
+                    (fun value ->
+                      { kernel; what = "speedup"; value; better = `Higher;
+                        unit_ = "x"; scale = 1.; lenience = 2. })
+                    speedup ])
         entries
 
 let metric_key m = m.kernel ^ "/" ^ m.what
@@ -114,7 +130,7 @@ let () =
             | `Lower -> (ratio -. 1.) *. 100.
             | `Higher -> (1. -. ratio) *. 100.
           in
-          let regressed = pct > !threshold in
+          let regressed = pct > !threshold *. base.lenience in
           if regressed then incr regressions;
           Printf.printf "%s %-40s %10.3f %s -> %10.3f %s  (%+.1f%% worse)\n"
             (if regressed then "!" else " ")

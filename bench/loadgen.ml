@@ -82,6 +82,27 @@ let observe_request idx =
 let estimate_request idx =
   with_op "estimate" [ ("id", Json.Number (float_of_int idx)) ]
 
+let calibrate_request idx =
+  (* A small inline SCR-style session: one run, a failure, the restart
+     that recovered from it, and a checkpoint at a rotating level.  Each
+     calibrate re-plans the pooled problem from the accumulated session
+     evidence — the expensive stateful op in the mix. *)
+  let t0 = float_of_int idx *. 10_000. in
+  let level = 1 + (idx mod 4) in
+  let line fmt = Printf.ksprintf (fun s -> Json.String s) fmt in
+  with_op "calibrate"
+    [ ("id", Json.Number (float_of_int idx));
+      ("problem", Codec.problem_to_json problem_pool.(idx mod pool_size));
+      ( "log",
+        Json.List
+          [ line "t=%.0f event=START scale=100000 levels=4" t0;
+            line "t=%.0f event=COMPUTE secs=3600 productive=3500" (t0 +. 3600.);
+            line "t=%.0f event=CHECKPOINT secs=30 level=%d" (t0 +. 3630.) level;
+            line "t=%.0f event=FAILURE level=%d" (t0 +. 4000.) level;
+            line "t=%.0f event=FETCH secs=40 level=%d" (t0 +. 4100.) level;
+            line "t=%.0f event=REBUILD secs=20" (t0 +. 4140.);
+            line "t=%.0f event=END complete=1" (t0 +. 5000.) ] ) ]
+
 type mix = Plan_only | Mixed
 
 let mix_name = function Plan_only -> "plan" | Mixed -> "mix"
@@ -101,7 +122,8 @@ let request_of_index mix idx =
         match idx mod 20 with
         | 0 | 1 | 2 | 3 | 4 | 5 | 6 | 7 | 8 | 9 | 10 | 11 | 12 | 13 -> plan_request idx
         | 14 | 15 | 16 -> sweep_request idx
-        | 17 | 18 -> observe_request idx
+        | 17 -> observe_request idx
+        | 18 -> calibrate_request idx
         | _ -> estimate_request idx)
   in
   Json.to_string json
@@ -385,7 +407,7 @@ let trajectory =
 let mix_arg =
   Arg.(value & opt string "mix"
        & info [ "mix" ] ~docv:"MIX" ~doc:"Request mix: plan (cacheable plans only) or mix \
-                                          (70/15/10/5 plan/sweep/observe/estimate).")
+                                          (70/15/5/5/5 plan/sweep/observe/calibrate/estimate).")
 
 let server_workers =
   Arg.(value & opt int 2

@@ -464,6 +464,55 @@ let json_bench () =
       planner_entry ~kernel:"planner-batch64-fault-10pct" ~fault_rate:0.1 ~timing:faulted
         [ ("degraded_answers", J.Number (float_of_int degraded)) ] ]
   in
+  (* Per-worker scaling trajectories: the two pool-driven kernels at
+     1/2/4/8 workers, each entry tagged "trajectory": true so diff.exe
+     gates speedup_vs_1_worker (with extra leniency — scaling curves
+     move more between machines than absolute times do). *)
+  let entries =
+    entries
+    @
+    let module Planner = Ckpt_service.Planner in
+    let module Metrics = Ckpt_service.Metrics in
+    let counts = [ 1; 2; 4; 8 ] in
+    let repl_runs = 20 in
+    let planner_offset = ref 1e6 in
+    let planner_batch () =
+      planner_offset := !planner_offset +. 7.;
+      Array.init 64 (fun i ->
+          { Ckpt_service.Protocol.problem = eval_problem;
+            solution = Ckpt_service.Protocol.Ml_opt;
+            fixed_n = Some (2e5 +. !planner_offset +. (float_of_int i *. 1e3));
+            delta = 1e-9 })
+    in
+    let trajectory name time_at =
+      let timings = List.map (fun w -> (w, time_at w)) counts in
+      let w1_mean =
+        match timings with (1, (m, _, _)) :: _ -> m | _ -> assert false
+      in
+      List.map
+        (fun (w, timing) ->
+          let mean, _, _ = timing in
+          J.Obj
+            [ ("kernel", J.String (Printf.sprintf "%s-w%d" name w));
+              ("trajectory", J.Bool true);
+              ("workers", J.Number (float_of_int w));
+              ("reps", J.Number (float_of_int reps));
+              timing_obj "wall" timing;
+              ( "speedup_vs_1_worker",
+                J.Number (if mean > 0. then w1_mean /. mean else 0.) ) ])
+        timings
+    in
+    trajectory (Printf.sprintf "replication-%d-runs" repl_runs) (fun w ->
+        Pool.with_pool ~workers:w (fun pool ->
+            time_ns ~reps (fun () ->
+                Ckpt_sim.Replication.run ~pool ~runs:repl_runs
+                  small_validation_config)))
+    @ trajectory "planner-batch64" (fun w ->
+          let planner = Planner.create ~cache_capacity:16 (Metrics.create ()) in
+          Pool.with_pool ~workers:w (fun pool ->
+              time_ns ~reps (fun () ->
+                  Planner.solve_batch ~pool planner (planner_batch ()))))
+  in
   let doc =
     J.Obj
       [ ("schema", J.String "ckpt-bench/1");

@@ -1,0 +1,282 @@
+module Telemetry = Ckpt_adaptive.Telemetry
+module J = Ckpt_json.Json
+
+type config = { levels : int; default_scale : float }
+
+let config ?(default_scale = 1.) ~levels () =
+  if levels < 1 then invalid_arg "Account.config: levels must be >= 1";
+  if not (Float.is_finite default_scale && default_scale > 0.) then
+    invalid_arg "Account.config: default_scale must be positive";
+  { levels; default_scale }
+
+type phase_totals = {
+  starts : int;
+  runs_interrupted : int;
+  inferred_failures : int;
+  explicit_failures : int array;
+  fetch_time : float;
+  fetch_count : int;
+  rebuild_time : float;
+  rebuild_count : int;
+  restart_time : float array;
+  restart_count : int array;
+  ckpt_time : float array;
+  ckpt_count : int array;
+  compute_time : float;
+  compute_count : int;
+  flush_output_time : float;
+  flush_output_count : int;
+  out_of_range_levels : int;
+}
+
+type t = { events : Telemetry.event list; totals : phase_totals }
+
+(* Mutable builder; the public totals are a frozen copy. *)
+type state = {
+  cfg : config;
+  mutable events : Telemetry.event list;  (* reversed *)
+  mutable pending : pending option;
+  mutable run_open : bool;
+  mutable last_at : float;
+  mutable scale : float;  (* last announced execution scale *)
+  mutable starts : int;
+  mutable runs_interrupted : int;
+  mutable inferred_failures : int;
+  explicit_failures : int array;
+  mutable fetch_time : float;
+  mutable fetch_count : int;
+  mutable rebuild_time : float;
+  mutable rebuild_count : int;
+  restart_time : float array;
+  restart_count : int array;
+  ckpt_time : float array;
+  ckpt_count : int array;
+  mutable compute_time : float;
+  mutable compute_count : int;
+  mutable flush_output_time : float;
+  mutable flush_output_count : int;
+  mutable out_of_range : int;
+}
+
+and pending =
+  | Pfetch of { at : float; secs : float; level : int option }
+  | Pckpt of { at : float; secs : float; level : int }
+
+let clamp_level st = function
+  | None -> None
+  | Some l when l >= 1 && l <= st.cfg.levels -> Some l
+  | Some l ->
+      st.out_of_range <- st.out_of_range + 1;
+      Some (if l < 1 then 1 else st.cfg.levels)
+
+let pfs st = st.cfg.levels
+
+let emit st ev = st.events <- ev :: st.events
+
+let flush_pending st =
+  match st.pending with
+  | None -> ()
+  | Some p ->
+      st.pending <- None;
+      (match p with
+      | Pfetch { at; secs; level } ->
+          let level = Option.value level ~default:(pfs st) in
+          st.restart_time.(level - 1) <- st.restart_time.(level - 1) +. secs;
+          st.restart_count.(level - 1) <- st.restart_count.(level - 1) + 1;
+          emit st (Telemetry.Restart { at; level; duration = secs })
+      | Pckpt { at; secs; level } ->
+          st.ckpt_time.(level - 1) <- st.ckpt_time.(level - 1) +. secs;
+          st.ckpt_count.(level - 1) <- st.ckpt_count.(level - 1) + 1;
+          emit st (Telemetry.Ckpt { at; level; duration = secs }))
+
+(* The level an inferred interruption is attributed to: the first FETCH
+   of the run that follows it read the surviving checkpoint, so its tier
+   is the failure's severity.  [records] is scanned forward from the
+   START at [i] until the next START. *)
+let first_fetch_level records i =
+  let n = Array.length records in
+  let rec scan j =
+    if j >= n then None
+    else
+      match snd records.(j) with
+      | Scr_log.Start _ -> None
+      | Scr_log.Fetch { level; _ } -> Some level
+      | _ -> scan (j + 1)
+  in
+  Option.join (scan (i + 1))
+
+let run cfg record_list =
+  let records = Array.of_list record_list in
+  let st =
+    { cfg;
+      events = [];
+      pending = None;
+      run_open = false;
+      last_at = 0.;
+      scale = cfg.default_scale;
+      starts = 0;
+      runs_interrupted = 0;
+      inferred_failures = 0;
+      explicit_failures = Array.make cfg.levels 0;
+      fetch_time = 0.;
+      fetch_count = 0;
+      rebuild_time = 0.;
+      rebuild_count = 0;
+      restart_time = Array.make cfg.levels 0.;
+      restart_count = Array.make cfg.levels 0;
+      ckpt_time = Array.make cfg.levels 0.;
+      ckpt_count = Array.make cfg.levels 0;
+      compute_time = 0.;
+      compute_count = 0;
+      flush_output_time = 0.;
+      flush_output_count = 0;
+      out_of_range = 0 }
+  in
+  Array.iteri
+    (fun i (_line, record) ->
+      (match record with
+      | Scr_log.Start { at; scale; levels = _ } ->
+          flush_pending st;
+          if st.run_open then begin
+            (* Back-to-back START: the previous run died without an END.
+               Close it at its last timestamp so no exposure accrues
+               across the downtime, and record the failure at the tier
+               the restart read from. *)
+            let level =
+              Option.value (clamp_level st (first_fetch_level records i))
+                ~default:(pfs st)
+            in
+            st.inferred_failures <- st.inferred_failures + 1;
+            st.runs_interrupted <- st.runs_interrupted + 1;
+            emit st (Telemetry.Failure { at = st.last_at; level });
+            emit st (Telemetry.Run_end { at = st.last_at; completed = false })
+          end;
+          (match scale with Some s -> st.scale <- s | None -> ());
+          st.starts <- st.starts + 1;
+          st.run_open <- true;
+          emit st
+            (Telemetry.Run_start { at; scale = st.scale; levels = cfg.levels })
+      | Scr_log.Fetch { at; secs; level } ->
+          flush_pending st;
+          st.fetch_time <- st.fetch_time +. secs;
+          st.fetch_count <- st.fetch_count + 1;
+          st.pending <- Some (Pfetch { at; secs; level = clamp_level st level })
+      | Scr_log.Rebuild { at; secs; level } -> (
+          st.rebuild_time <- st.rebuild_time +. secs;
+          st.rebuild_count <- st.rebuild_count + 1;
+          let level = clamp_level st level in
+          match st.pending with
+          | Some (Pfetch f) ->
+              (* fetch + rebuild = one restart; an explicit rebuild level
+                 overrides the fetch's.  The merge window closes here —
+                 "immediately followed" means exactly one rebuild. *)
+              let level = match level with Some _ -> level | None -> f.level in
+              st.pending <- Some (Pfetch { at = f.at; secs = f.secs +. secs; level });
+              flush_pending st
+          | _ ->
+              flush_pending st;
+              st.pending <- Some (Pfetch { at; secs; level }))
+      | Scr_log.Compute { at; secs; productive } ->
+          flush_pending st;
+          st.compute_time <- st.compute_time +. secs;
+          st.compute_count <- st.compute_count + 1;
+          let productive = Float.min secs (Option.value productive ~default:secs) in
+          emit st (Telemetry.Compute { at; duration = secs; productive })
+      | Scr_log.Checkpoint { at; secs; level } ->
+          flush_pending st;
+          let level = Option.value (clamp_level st level) ~default:1 in
+          st.pending <- Some (Pckpt { at; secs; level })
+      | Scr_log.Flush { at; secs; level; output = false } -> (
+          let level = Option.value (clamp_level st level) ~default:(pfs st) in
+          match st.pending with
+          | Some (Pckpt c) ->
+              (* checkpoint + flush = one checkpoint sample at the deeper
+                 tier the data finally landed on; one flush per
+                 checkpoint, so the sample completes here and a further
+                 flush starts a fresh (lone, PFS) sample. *)
+              st.pending <-
+                Some (Pckpt { at = c.at; secs = c.secs +. secs; level = max c.level level });
+              flush_pending st
+          | _ ->
+              flush_pending st;
+              st.pending <- Some (Pckpt { at; secs; level }))
+      | Scr_log.Flush { at; secs; output = true; _ } ->
+          flush_pending st;
+          st.flush_output_time <- st.flush_output_time +. secs;
+          st.flush_output_count <- st.flush_output_count + 1;
+          emit st (Telemetry.Compute { at; duration = secs; productive = secs })
+      | Scr_log.Failure { at; level } ->
+          flush_pending st;
+          let level = Option.value (clamp_level st level) ~default:(pfs st) in
+          st.explicit_failures.(level - 1) <- st.explicit_failures.(level - 1) + 1;
+          emit st (Telemetry.Failure { at; level })
+      | Scr_log.End { at; complete } ->
+          flush_pending st;
+          if not complete then st.runs_interrupted <- st.runs_interrupted + 1;
+          st.run_open <- false;
+          emit st (Telemetry.Run_end { at; completed = complete }));
+      st.last_at <- Scr_log.record_at record)
+    records;
+  flush_pending st;
+  let totals =
+    { starts = st.starts;
+      runs_interrupted = st.runs_interrupted;
+      inferred_failures = st.inferred_failures;
+      explicit_failures = st.explicit_failures;
+      fetch_time = st.fetch_time;
+      fetch_count = st.fetch_count;
+      rebuild_time = st.rebuild_time;
+      rebuild_count = st.rebuild_count;
+      restart_time = st.restart_time;
+      restart_count = st.restart_count;
+      ckpt_time = st.ckpt_time;
+      ckpt_count = st.ckpt_count;
+      compute_time = st.compute_time;
+      compute_count = st.compute_count;
+      flush_output_time = st.flush_output_time;
+      flush_output_count = st.flush_output_count;
+      out_of_range_levels = st.out_of_range }
+  in
+  { events = List.rev st.events; totals }
+
+let totals_to_json (t : phase_totals) =
+  let num v = J.Number v in
+  let int v = J.Number (float_of_int v) in
+  let ints a = J.List (Array.to_list a |> List.map int) in
+  J.Obj
+    [ ("starts", int t.starts);
+      ("runs_interrupted", int t.runs_interrupted);
+      ("inferred_failures", int t.inferred_failures);
+      ("explicit_failures", ints t.explicit_failures);
+      ("fetch_time", num t.fetch_time);
+      ("fetch_count", int t.fetch_count);
+      ("rebuild_time", num t.rebuild_time);
+      ("rebuild_count", int t.rebuild_count);
+      ("restart_time", J.float_array t.restart_time);
+      ("restart_count", ints t.restart_count);
+      ("ckpt_time", J.float_array t.ckpt_time);
+      ("ckpt_count", ints t.ckpt_count);
+      ("compute_time", num t.compute_time);
+      ("compute_count", int t.compute_count);
+      ("flush_output_time", num t.flush_output_time);
+      ("flush_output_count", int t.flush_output_count);
+      ("out_of_range_levels", int t.out_of_range_levels) ]
+
+let pp_totals ppf (t : phase_totals) =
+  let levels = Array.length t.ckpt_count in
+  Format.fprintf ppf "@[<v>starts: %d (interrupted %d, inferred failures %d)@ "
+    t.starts t.runs_interrupted t.inferred_failures;
+  Format.fprintf ppf
+    "compute: %.1f s in %d segments (+ %.1f s output flush in %d)@ "
+    t.compute_time t.compute_count t.flush_output_time t.flush_output_count;
+  Format.fprintf ppf "fetch: %.1f s in %d; rebuild: %.1f s in %d@ " t.fetch_time
+    t.fetch_count t.rebuild_time t.rebuild_count;
+  for i = 0 to levels - 1 do
+    Format.fprintf ppf
+      "level %d: %d ckpt (%.1f s), %d restart (%.1f s), %d failures@ " (i + 1)
+      t.ckpt_count.(i) t.ckpt_time.(i) t.restart_count.(i) t.restart_time.(i)
+      t.explicit_failures.(i)
+  done;
+  if t.out_of_range_levels > 0 then
+    Format.fprintf ppf "out-of-range levels clamped: %d@ " t.out_of_range_levels;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,68 @@
+(** Phase accounting: fold parsed {!Scr_log.record}s into telemetry
+    events and per-phase totals, in the style of SCR's log walkers.
+
+    The rules (documented in [lib/calibrate/README.md]):
+
+    - A [FETCH] immediately followed by a [REBUILD] merges into one
+      restart-cost sample (durations summed, the fetch's level kept;
+      a rebuild's explicit level wins when it carries one).  A lone
+      [FETCH] or [REBUILD] is a restart sample by itself.  The default
+      restart level is the PFS (the hierarchy's last level).
+    - A [CHECKPOINT] immediately followed by a checkpoint-kind [FLUSH]
+      merges into one checkpoint-cost sample (durations summed, level =
+      the deeper of the two; a flush without a level means the PFS).
+      A lone flush is a PFS checkpoint sample.  The default checkpoint
+      level is 1 (a local write).
+    - [FLUSH kind=output] counts toward compute time (the job is making
+      progress while draining results), never checkpoint cost.
+    - The stream is {e multi-run aware}: a [START] while a previous run
+      is still open marks an uncontrolled interruption — the accountant
+      emits a synthetic [Failure] (at the level of the new run's first
+      [FETCH], the storage tier the restart actually read, else the PFS)
+      plus an incomplete [Run_end] at the dead run's last timestamp, so
+      failure-interarrival exposure never accrues across downtime.
+    - Level indices outside the configured hierarchy are clamped to the
+      nearest bound and counted in [out_of_range_levels]; records are
+      processed in input order (the estimators clamp time regressions),
+      so out-of-order timestamps cannot raise. *)
+
+type config = {
+  levels : int;  (** hierarchy size; must be >= 1 *)
+  default_scale : float;  (** scale assumed before any [START] carries one *)
+}
+
+val config : ?default_scale:float -> levels:int -> unit -> config
+(** [default_scale] defaults to [1.].
+    @raise Invalid_argument when [levels < 1] or [default_scale <= 0]. *)
+
+type phase_totals = {
+  starts : int;  (** [START] records seen *)
+  runs_interrupted : int;  (** runs closed by inference or [complete=0] *)
+  inferred_failures : int;  (** synthetic failures from back-to-back starts *)
+  explicit_failures : int array;  (** per level, from [FAILURE] records *)
+  fetch_time : float;
+  fetch_count : int;
+  rebuild_time : float;
+  rebuild_count : int;
+  restart_time : float array;  (** per level, merged fetch+rebuild *)
+  restart_count : int array;
+  ckpt_time : float array;  (** per level, merged checkpoint+flush *)
+  ckpt_count : int array;
+  compute_time : float;
+  compute_count : int;
+  flush_output_time : float;
+  flush_output_count : int;
+  out_of_range_levels : int;
+}
+
+type t = {
+  events : Ckpt_adaptive.Telemetry.event list;
+      (** ready for {!Ckpt_adaptive.Rate_estimator} / {!Cost_estimator} *)
+  totals : phase_totals;
+}
+
+val run : config -> (int * Scr_log.record) list -> t
+(** Total: any record sequence accounts without raising. *)
+
+val totals_to_json : phase_totals -> Ckpt_json.Json.t
+val pp_totals : Format.formatter -> phase_totals -> unit

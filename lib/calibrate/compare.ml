@@ -1,0 +1,76 @@
+module Optimizer = Ckpt_model.Optimizer
+module Codec = Ckpt_model.Codec
+module Speedup = Ckpt_model.Speedup
+module Predict = Ckpt_adaptive.Predict
+module J = Ckpt_json.Json
+
+type entry = {
+  label : string;
+  plan : Optimizer.plan;
+  wall_clock : float;
+  interval_s : float;
+}
+
+type t = { problem : Optimizer.problem; entries : entry list }
+
+let interval_s (problem : Optimizer.problem) (plan : Optimizer.plan) =
+  let levels = Array.length plan.Optimizer.xs in
+  if levels = 0 then nan
+  else
+    let productive =
+      Speedup.productive_time problem.Optimizer.speedup ~te:problem.Optimizer.te
+        ~n:plan.Optimizer.n
+    in
+    productive /. plan.Optimizer.xs.(levels - 1)
+
+let entry label problem plan =
+  let wall_clock =
+    Predict.wall_clock problem ~xs:plan.Optimizer.xs ~n:plan.Optimizer.n
+  in
+  { label; plan; wall_clock; interval_s = interval_s problem plan }
+
+let run ?ml_plan problem =
+  let ml = match ml_plan with Some p -> p | None -> Optimizer.solve problem in
+  let n = ml.Optimizer.n in
+  (* The SL baselines are evaluated on the PFS-only collapse (that is
+     the model they plan against) but at the ML plan's scale, so the
+     three columns differ only in checkpointing policy. *)
+  let sl = Optimizer.single_level_problem problem in
+  let young = Optimizer.sl_ori_scale ~n problem in
+  let daly = Optimizer.sl_daly_scale ~n problem in
+  { problem;
+    entries =
+      [ entry "young" sl young; entry "daly" sl daly; entry "ml-opt" problem ml ] }
+
+let to_json t =
+  let entry_json e =
+    let fin v = if Float.is_finite v then J.Number v else J.Null in
+    J.Obj
+      [ ("label", J.String e.label);
+        ("wall_clock_s", fin e.wall_clock);
+        ("interval_s", fin e.interval_s);
+        ("plan", Codec.plan_to_json e.plan) ]
+  in
+  J.Obj
+    [ ("problem", Codec.problem_to_json t.problem);
+      ("plans", J.List (List.map entry_json t.entries)) ]
+
+let pp ppf t =
+  let best =
+    List.fold_left (fun acc e -> Float.min acc e.wall_clock) infinity t.entries
+  in
+  Format.fprintf ppf "@[<v>%-8s %12s %12s %10s %8s@ " "plan" "E(Tw) days"
+    "interval s" "scale" "vs best";
+  List.iter
+    (fun e ->
+      if Float.is_finite e.wall_clock then
+        Format.fprintf ppf "%-8s %12.4f %12.1f %10.0f %+7.1f%%@ " e.label
+          (e.wall_clock /. 86400.) e.interval_s e.plan.Optimizer.n
+          (if best > 0. then (e.wall_clock /. best -. 1.) *. 100. else nan)
+      else
+        (* MTBF at this scale is shorter than the policy's interval: the
+           re-execution fixed point has no finite solution. *)
+        Format.fprintf ppf "%-8s %12s %12.1f %10.0f %8s@ " e.label "diverged"
+          e.interval_s e.plan.Optimizer.n "--")
+    t.entries;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,27 @@
+(** Side-by-side Young vs. Daly vs. ML-optimal plans on one problem.
+
+    The single-level baselines optimize a PFS-only collapse of the
+    hierarchy; to make the wall clocks commensurable, each plan's
+    E(T_w) is re-evaluated as the self-consistent fixed point of its
+    {e pinned} intervals and scale ({!Ckpt_adaptive.Predict.wall_clock})
+    under the problem it was solved on — the same notion of cost for
+    all three columns, so the ML advantage shown is the advantage the
+    model actually predicts. *)
+
+type entry = {
+  label : string;  (** ["young"], ["daly"], ["ml-opt"] *)
+  plan : Ckpt_model.Optimizer.plan;
+  wall_clock : float;  (** self-consistent E(T_w) of the pinned plan *)
+  interval_s : float;  (** productive seconds between checkpoints at the
+                           deepest used level; [nan] if none is used *)
+}
+
+type t = { problem : Ckpt_model.Optimizer.problem; entries : entry list }
+
+val run : ?ml_plan:Ckpt_model.Optimizer.plan -> Ckpt_model.Optimizer.problem -> t
+(** Solve the three plans on [problem] (reusing [ml_plan] when the
+    caller already solved it) at the shared optimized scale of the ML
+    plan, so the columns differ only in checkpointing policy. *)
+
+val to_json : t -> Ckpt_json.Json.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,179 @@
+module Optimizer = Ckpt_model.Optimizer
+module Rate_estimator = Ckpt_adaptive.Rate_estimator
+module Cost_estimator = Ckpt_adaptive.Cost_estimator
+module J = Ckpt_json.Json
+
+type level_report = {
+  level : int;
+  ckpt_samples : int;
+  ckpt_mean : float;
+  restart_samples : int;
+  restart_mean : float;
+  failures : int;
+  rate_per_day : float;
+  ci_low : float;
+  ci_high : float;
+}
+
+type report = {
+  lines : int;
+  parsed : int;
+  skipped : int;
+  blank : int;
+  starts : int;
+  runs_interrupted : int;
+  inferred_failures : int;
+  exposure_core_seconds : float;
+  total_failures : int;
+  prior_strength : float;
+  coverage : float;
+  levels : level_report array;
+}
+
+type fitted = {
+  problem : Optimizer.problem;
+  rates : Rate_estimator.t;
+  costs : Cost_estimator.t;
+  report : report;
+}
+
+let apply ?(prior_strength = 0.) ?min_samples ~template ~rates ~costs () =
+  { template with
+    Optimizer.spec =
+      Rate_estimator.to_spec ~prior_strength rates ~like:template.Optimizer.spec;
+    levels = Cost_estimator.calibrated_levels ?min_samples costs ~prior:template.Optimizer.levels }
+
+let report ?(coverage = 0.95) ?(prior_strength = 0.) ?log ?totals ~template
+    ~rates ~costs () =
+  let baseline_scale =
+    template.Optimizer.spec.Ckpt_failures.Failure_spec.baseline_scale
+  in
+  let fitted_spec =
+    Rate_estimator.to_spec ~prior_strength rates ~like:template.Optimizer.spec
+  in
+  let levels =
+    Array.init (Rate_estimator.levels rates) (fun idx ->
+        let level = idx + 1 in
+        let ci_low, ci_high =
+          Rate_estimator.confidence_per_day ~coverage rates ~level ~baseline_scale
+        in
+        { level;
+          ckpt_samples = Cost_estimator.ckpt_count costs ~level;
+          ckpt_mean = Cost_estimator.ckpt_mean costs ~level;
+          restart_samples = Cost_estimator.restart_count costs ~level;
+          restart_mean = Cost_estimator.restart_mean costs ~level;
+          failures = Rate_estimator.count rates ~level;
+          rate_per_day =
+            fitted_spec.Ckpt_failures.Failure_spec.rates_per_day.(idx);
+          ci_low;
+          ci_high })
+  in
+  let lines, parsed, skipped, blank =
+    match log with
+    | None -> (0, 0, 0, 0)
+    | Some (l : Scr_log.t) ->
+        (l.lines, List.length l.records, List.length l.skips, l.blank)
+  in
+  let starts, runs_interrupted, inferred_failures =
+    match totals with
+    | None -> (0, 0, 0)
+    | Some (t : Account.phase_totals) ->
+        (t.starts, t.runs_interrupted, t.inferred_failures)
+  in
+  { lines;
+    parsed;
+    skipped;
+    blank;
+    starts;
+    runs_interrupted;
+    inferred_failures;
+    exposure_core_seconds = Rate_estimator.exposure rates;
+    total_failures = Rate_estimator.total_count rates;
+    prior_strength;
+    coverage;
+    levels }
+
+let calibrate ?(prior_strength = 0.) ?min_samples ?coverage ?half_life
+    ~template (log : Scr_log.t) =
+  let levels = Array.length template.Optimizer.levels in
+  let default_scale =
+    template.Optimizer.spec.Ckpt_failures.Failure_spec.baseline_scale
+  in
+  let cfg = Account.config ~default_scale ~levels () in
+  let accounted = Account.run cfg log.records in
+  let rates =
+    Rate_estimator.observe_all
+      (Rate_estimator.create ?half_life ~scale:default_scale ~levels ())
+      accounted.events
+  in
+  let costs =
+    Cost_estimator.observe_all
+      (Cost_estimator.create ~scale:default_scale ~levels ())
+      accounted.events
+  in
+  if Rate_estimator.exposure rates <= 0. then
+    Error
+      (Printf.sprintf
+         "log carries no exposure: %d records parsed, %d skipped — nothing \
+          advances the clock"
+         (List.length log.records) (List.length log.skips))
+  else
+    let problem = apply ~prior_strength ?min_samples ~template ~rates ~costs () in
+    match Optimizer.check_problem problem with
+    | () ->
+        let report =
+          report ?coverage ~prior_strength ~log ~totals:accounted.totals
+            ~template ~rates ~costs ()
+        in
+        Ok { problem; rates; costs; report }
+    | exception Invalid_argument m -> Error ("calibrated problem invalid: " ^ m)
+
+let level_to_json l =
+  let num v = J.Number v in
+  let int v = J.Number (float_of_int v) in
+  (* nan means "no samples"; JSON has no nan, so encode as null. *)
+  let fin v = if Float.is_finite v then J.Number v else J.Null in
+  J.Obj
+    [ ("level", int l.level);
+      ("ckpt_samples", int l.ckpt_samples);
+      ("ckpt_mean_s", fin l.ckpt_mean);
+      ("restart_samples", int l.restart_samples);
+      ("restart_mean_s", fin l.restart_mean);
+      ("failures", int l.failures);
+      ("rate_per_day", num l.rate_per_day);
+      ("ci_low", num l.ci_low);
+      ("ci_high", fin l.ci_high) ]
+
+let report_to_json r =
+  let num v = J.Number v in
+  let int v = J.Number (float_of_int v) in
+  J.Obj
+    [ ("lines", int r.lines);
+      ("parsed", int r.parsed);
+      ("skipped", int r.skipped);
+      ("blank", int r.blank);
+      ("starts", int r.starts);
+      ("runs_interrupted", int r.runs_interrupted);
+      ("inferred_failures", int r.inferred_failures);
+      ("exposure_core_seconds", num r.exposure_core_seconds);
+      ("total_failures", int r.total_failures);
+      ("prior_strength", num r.prior_strength);
+      ("coverage", num r.coverage);
+      ("levels", J.List (Array.to_list r.levels |> List.map level_to_json)) ]
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>lines: %d (%d parsed, %d skipped, %d blank)@ starts: %d \
+     (interrupted %d, inferred failures %d)@ exposure: %.4g core-seconds, %d \
+     failures total@ prior strength: %g core-seconds@ " r.lines r.parsed
+    r.skipped r.blank r.starts r.runs_interrupted r.inferred_failures
+    r.exposure_core_seconds r.total_failures r.prior_strength;
+  Array.iter
+    (fun l ->
+      Format.fprintf ppf
+        "level %d: rate %.4g/day [%.4g, %.4g] (%d failures), ckpt %.4g s \
+         (%d), restart %.4g s (%d)@ "
+        l.level l.rate_per_day l.ci_low l.ci_high l.failures l.ckpt_mean
+        l.ckpt_samples l.restart_mean l.restart_samples)
+    r.levels;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,89 @@
+(** Fitting: feed accounted samples through the adaptive estimators and
+    emit a calibrated {!Ckpt_model.Optimizer.problem} plus a provenance
+    report.
+
+    The fit is the same transform the adaptive planner applies online:
+    per-level failure rates from {!Ckpt_adaptive.Rate_estimator.to_spec}
+    (conjugate Gamma shrinkage toward the template's rates, weighted by
+    [prior_strength] core-seconds of pseudo-exposure) and per-level
+    overhead laws from {!Ckpt_adaptive.Cost_estimator.calibrated_levels}
+    (multiplicative rescale at the mean observed scale; levels with
+    fewer than [min_samples] cost samples keep the template's law).  The
+    report records what the fit rests on — sample counts, exact Garwood
+    CIs, the prior weight — so a consumer can judge how much is data and
+    how much is prior. *)
+
+type level_report = {
+  level : int;  (** 1-based *)
+  ckpt_samples : int;
+  ckpt_mean : float;  (** observed mean write cost, seconds; [nan] if none *)
+  restart_samples : int;
+  restart_mean : float;
+  failures : int;  (** raw count attributed to this level *)
+  rate_per_day : float;  (** fitted [r_i] at the template's baseline scale *)
+  ci_low : float;  (** Garwood interval on the raw counts *)
+  ci_high : float;
+}
+
+type report = {
+  lines : int;  (** log lines seen (0 when fitting bare telemetry) *)
+  parsed : int;
+  skipped : int;
+  blank : int;
+  starts : int;
+  runs_interrupted : int;
+  inferred_failures : int;
+  exposure_core_seconds : float;
+  total_failures : int;
+  prior_strength : float;
+  coverage : float;  (** CI coverage used for [ci_low]/[ci_high] *)
+  levels : level_report array;
+}
+
+type fitted = {
+  problem : Ckpt_model.Optimizer.problem;  (** calibrated *)
+  rates : Ckpt_adaptive.Rate_estimator.t;
+  costs : Ckpt_adaptive.Cost_estimator.t;
+  report : report;
+}
+
+val apply :
+  ?prior_strength:float ->
+  ?min_samples:int ->
+  template:Ckpt_model.Optimizer.problem ->
+  rates:Ckpt_adaptive.Rate_estimator.t ->
+  costs:Ckpt_adaptive.Cost_estimator.t ->
+  unit ->
+  Ckpt_model.Optimizer.problem
+(** The calibrated problem: the template with fitted spec and levels.
+    [prior_strength] defaults to [0.] (pure MLE), [min_samples] to [3]. *)
+
+val report :
+  ?coverage:float ->
+  ?prior_strength:float ->
+  ?log:Scr_log.t ->
+  ?totals:Account.phase_totals ->
+  template:Ckpt_model.Optimizer.problem ->
+  rates:Ckpt_adaptive.Rate_estimator.t ->
+  costs:Ckpt_adaptive.Cost_estimator.t ->
+  unit ->
+  report
+(** Provenance for estimator state (cumulative when the estimators have
+    seen more than one log).  [coverage] defaults to [0.95]. *)
+
+val calibrate :
+  ?prior_strength:float ->
+  ?min_samples:int ->
+  ?coverage:float ->
+  ?half_life:float ->
+  template:Ckpt_model.Optimizer.problem ->
+  Scr_log.t ->
+  (fitted, string) result
+(** One-shot pipeline: account the parsed log (hierarchy size and
+    default scale from [template]), fit fresh estimators, and build the
+    calibrated problem.  [Error] when the log yields no exposure (no
+    parsable timestamps advance the clock) or the calibrated problem
+    fails {!Ckpt_model.Optimizer.check_problem}; never raises. *)
+
+val report_to_json : report -> Ckpt_json.Json.t
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,256 @@
+module Telemetry = Ckpt_adaptive.Telemetry
+
+type record =
+  | Start of { at : float; scale : float option; levels : int option }
+  | Fetch of { at : float; secs : float; level : int option }
+  | Rebuild of { at : float; secs : float; level : int option }
+  | Compute of { at : float; secs : float; productive : float option }
+  | Checkpoint of { at : float; secs : float; level : int option }
+  | Flush of { at : float; secs : float; level : int option; output : bool }
+  | Failure of { at : float; level : int option }
+  | End of { at : float; complete : bool }
+
+type skip = { line : int; reason : string; text : string }
+
+type t = {
+  records : (int * record) list;
+  skips : skip list;
+  lines : int;
+  blank : int;
+}
+
+let max_levels = Telemetry.max_levels
+let max_skip_text = 120
+
+let is_space = function ' ' | '\t' | '\r' -> true | _ -> false
+
+let is_blank s =
+  let n = String.length s in
+  let rec all i = i >= n || (is_space s.[i] && all (i + 1)) in
+  let rec first i = if i >= n then n else if is_space s.[i] then first (i + 1) else i in
+  let f = first 0 in
+  all 0 || (f < n && s.[f] = '#')
+
+(* key=value tokens; tokens without '=' are toolkit noise and ignored,
+   a repeated key's last value wins. *)
+let fields line =
+  String.split_on_char ' ' (String.map (fun c -> if is_space c then ' ' else c) line)
+  |> List.filter_map (fun tok ->
+         match String.index_opt tok '=' with
+         | None | Some 0 -> None
+         | Some i ->
+             Some
+               ( String.lowercase_ascii (String.sub tok 0 i),
+                 String.sub tok (i + 1) (String.length tok - i - 1) ))
+  |> List.fold_left (fun acc (k, v) -> (k, v) :: List.remove_assoc k acc) []
+
+let ( let* ) = Result.bind
+
+let float_field fs key =
+  match List.assoc_opt key fs with
+  | None -> Ok None
+  | Some raw -> (
+      match float_of_string_opt raw with
+      | Some v when Float.is_finite v -> Ok (Some v)
+      | Some _ -> Error (Printf.sprintf "%s is not finite" key)
+      | None -> Error (Printf.sprintf "bad %s %S" key raw))
+
+let required what = function
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing %s" what)
+
+let duration_field ?(key = "secs") fs =
+  let* v = float_field fs key in
+  let* v = required key v in
+  if v < 0. then Error (Printf.sprintf "negative %s" key) else Ok v
+
+let int_field fs key ~lo ~hi =
+  match List.assoc_opt key fs with
+  | None -> Ok None
+  | Some raw -> (
+      match int_of_string_opt raw with
+      | Some v when v >= lo && v <= hi -> Ok (Some v)
+      | Some v -> Error (Printf.sprintf "%s %d out of range [%d..%d]" key v lo hi)
+      | None -> Error (Printf.sprintf "bad %s %S" key raw))
+
+let level_field fs = int_field fs "level" ~lo:1 ~hi:max_levels
+
+let bool_field fs key ~default =
+  match List.assoc_opt key fs with
+  | None -> Ok default
+  | Some ("1" | "true") -> Ok true
+  | Some ("0" | "false") -> Ok false
+  | Some raw -> Error (Printf.sprintf "bad %s %S" key raw)
+
+let parse_line line =
+  if is_blank line then Ok None
+  else
+    let fs = fields line in
+    let* at =
+      let* t = float_field fs "t" in
+      required "t" t
+    in
+    let* label = required "event" (List.assoc_opt "event" fs) in
+    let* record =
+      match String.uppercase_ascii label with
+      | "START" ->
+          let* scale = float_field fs "scale" in
+          let* () =
+            match scale with
+            | Some s when s <= 0. -> Error "scale must be positive"
+            | _ -> Ok ()
+          in
+          let* levels = int_field fs "levels" ~lo:0 ~hi:max_levels in
+          Ok (Start { at; scale; levels })
+      | "FETCH" ->
+          let* secs = duration_field fs in
+          let* level = level_field fs in
+          Ok (Fetch { at; secs; level })
+      | "REBUILD" | "RESTART_SUCCESS" ->
+          let* secs = duration_field fs in
+          let* level = level_field fs in
+          Ok (Rebuild { at; secs; level })
+      | "COMPUTE" ->
+          let* secs = duration_field fs in
+          let* productive = float_field fs "productive" in
+          let* () =
+            match productive with
+            | Some p when p < 0. -> Error "negative productive"
+            | Some p when p > secs -> Error "productive exceeds secs"
+            | _ -> Ok ()
+          in
+          Ok (Compute { at; secs; productive })
+      | "CHECKPOINT" | "CKPT" ->
+          let* secs = duration_field fs in
+          let* level = level_field fs in
+          Ok (Checkpoint { at; secs; level })
+      | "FLUSH" ->
+          let* secs = duration_field fs in
+          let* level = level_field fs in
+          let* output =
+            match List.assoc_opt "kind" fs with
+            | None | Some "ckpt" -> Ok false
+            | Some "output" -> Ok true
+            | Some raw -> Error (Printf.sprintf "bad kind %S" raw)
+          in
+          Ok (Flush { at; secs; level; output })
+      | "FAILURE" ->
+          let* level = level_field fs in
+          Ok (Failure { at; level })
+      | "END" ->
+          let* complete = bool_field fs "complete" ~default:true in
+          Ok (End { at; complete })
+      | other -> Error (Printf.sprintf "unknown event %S" other)
+    in
+    Ok (Some record)
+
+let parse lines =
+  let records, skips, blank, total =
+    List.fold_left
+      (fun (records, skips, blank, n) line ->
+        let n = n + 1 in
+        match parse_line line with
+        | Ok None -> (records, skips, blank + 1, n)
+        | Ok (Some r) -> ((n, r) :: records, skips, blank, n)
+        | Error reason ->
+            let text =
+              if String.length line <= max_skip_text then line
+              else String.sub line 0 max_skip_text
+            in
+            (records, { line = n; reason; text } :: skips, blank, n))
+      ([], [], 0, 0) lines
+  in
+  { records = List.rev records; skips = List.rev skips; blank; lines = total }
+
+let parse_string s =
+  let lines = String.split_on_char '\n' s in
+  let lines =
+    match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+  in
+  parse lines
+
+let record_at = function
+  | Start { at; _ } | Fetch { at; _ } | Rebuild { at; _ } | Compute { at; _ }
+  | Checkpoint { at; _ } | Flush { at; _ } | Failure { at; _ } | End { at; _ } ->
+      at
+
+let fnum = Printf.sprintf "%.12g"
+
+let to_line r =
+  let opt f = function None -> "" | Some v -> f v in
+  match r with
+  | Start { at; scale; levels } ->
+      Printf.sprintf "t=%s event=START%s%s" (fnum at)
+        (opt (fun s -> " scale=" ^ fnum s) scale)
+        (opt (Printf.sprintf " levels=%d") levels)
+  | Fetch { at; secs; level } ->
+      Printf.sprintf "t=%s event=FETCH secs=%s%s" (fnum at) (fnum secs)
+        (opt (Printf.sprintf " level=%d") level)
+  | Rebuild { at; secs; level } ->
+      Printf.sprintf "t=%s event=REBUILD secs=%s%s" (fnum at) (fnum secs)
+        (opt (Printf.sprintf " level=%d") level)
+  | Compute { at; secs; productive } ->
+      Printf.sprintf "t=%s event=COMPUTE secs=%s%s" (fnum at) (fnum secs)
+        (opt (fun p -> " productive=" ^ fnum p) productive)
+  | Checkpoint { at; secs; level } ->
+      Printf.sprintf "t=%s event=CHECKPOINT secs=%s%s" (fnum at) (fnum secs)
+        (opt (Printf.sprintf " level=%d") level)
+  | Flush { at; secs; level; output } ->
+      Printf.sprintf "t=%s event=FLUSH secs=%s kind=%s%s" (fnum at) (fnum secs)
+        (if output then "output" else "ckpt")
+        (opt (Printf.sprintf " level=%d") level)
+  | Failure { at; level } ->
+      Printf.sprintf "t=%s event=FAILURE%s" (fnum at)
+        (opt (Printf.sprintf " level=%d") level)
+  | End { at; complete } ->
+      Printf.sprintf "t=%s event=END complete=%d" (fnum at)
+        (if complete then 1 else 0)
+
+let infer_pfs events =
+  let last_start_levels =
+    List.fold_left
+      (fun acc ev ->
+        match ev with Telemetry.Run_start { levels; _ } -> Some levels | _ -> acc)
+      None events
+  in
+  match last_start_levels with
+  | Some l when l > 0 -> l
+  | _ ->
+      List.fold_left
+        (fun acc ev ->
+          match ev with
+          | Telemetry.Ckpt { level; _ }
+          | Telemetry.Restart { level; _ }
+          | Telemetry.Failure { level; _ } ->
+              max acc level
+          | _ -> acc)
+        0 events
+
+let of_telemetry ?pfs_level events =
+  let pfs = match pfs_level with Some l -> l | None -> infer_pfs events in
+  List.concat_map
+    (fun ev ->
+      match ev with
+      | Telemetry.Run_start { at; scale; levels } ->
+          [ Start { at; scale = Some scale; levels = Some levels } ]
+      | Telemetry.Compute { at; duration; productive } ->
+          [ Compute { at; secs = duration; productive = Some productive } ]
+      | Telemetry.Ckpt { at; level; duration } when level = pfs ->
+          (* A deep checkpoint is a local write plus a drain to slower
+             storage; the accountant re-merges the pair. *)
+          [ Checkpoint { at; secs = duration *. 0.6; level = Some level };
+            Flush { at; secs = duration *. 0.4; level = None; output = false } ]
+      | Telemetry.Ckpt { at; level; duration } ->
+          [ Checkpoint { at; secs = duration; level = Some level } ]
+      | Telemetry.Restart { at; level; duration } when level = pfs ->
+          [ Fetch { at; secs = duration *. 0.6; level = Some level };
+            Rebuild { at; secs = duration *. 0.4; level = None } ]
+      | Telemetry.Restart { at; level; duration } ->
+          [ Fetch { at; secs = duration; level = Some level } ]
+      | Telemetry.Failure { at; level } -> [ Failure { at; level = Some level } ]
+      | Telemetry.Run_end { at; completed } -> [ End { at; complete = completed } ])
+    events
+  |> List.map to_line
+
+let pp_skip ppf { line; reason; text } =
+  Format.fprintf ppf "line %d: %s (%S)" line reason text

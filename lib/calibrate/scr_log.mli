@@ -1,0 +1,92 @@
+(** A total parser for SCR/FTI-style line-oriented event logs.
+
+    Checkpoint toolkits log one event per line as whitespace-separated
+    [key=value] tokens; the grammar here is the subset a calibration
+    pipeline needs (see [lib/calibrate/README.md] for the full grammar):
+
+    {v
+    t=120.5 event=START scale=100000 levels=4
+    t=3720.5 event=COMPUTE secs=3600 productive=3450
+    t=3745.5 event=CHECKPOINT level=1 secs=25
+    t=3900.0 event=FLUSH secs=140 kind=ckpt level=4
+    t=4100.0 event=FAILURE level=2
+    t=4200.0 event=FETCH secs=40 level=4
+    t=4220.0 event=REBUILD secs=20
+    t=9000.0 event=END complete=1
+    v}
+
+    Every line needs [t] (a finite timestamp, seconds) and [event] (a
+    label, matched case-insensitively).  Duration fields ([secs],
+    [productive]) must be finite and non-negative; level indices must
+    lie in [1..max_levels].  Unknown keys are ignored; a repeated key's
+    last value wins.  Blank lines and lines starting with [#] are
+    comments.
+
+    The parser is {e total}: arbitrary bytes — truncated lines, binary
+    garbage, malformed numbers, unknown labels — yield structured
+    {!skip}s carrying the 1-based line number, a reason, and a truncated
+    copy of the offending text.  No input raises. *)
+
+type record =
+  | Start of { at : float; scale : float option; levels : int option }
+      (** a job (re)starts; [scale] in cores, [levels] the hierarchy size *)
+  | Fetch of { at : float; secs : float; level : int option }
+      (** checkpoint read from storage during restart *)
+  | Rebuild of { at : float; secs : float; level : int option }
+      (** state reconstruction after a fetch ([RESTART_SUCCESS] is an
+          accepted alias) *)
+  | Compute of { at : float; secs : float; productive : float option }
+      (** application progress; [productive <= secs] is first-time work *)
+  | Checkpoint of { at : float; secs : float; level : int option }
+      (** a completed checkpoint write *)
+  | Flush of { at : float; secs : float; level : int option; output : bool }
+      (** asynchronous drain to slower storage; [kind=ckpt] (default)
+          counts toward checkpoint cost, [kind=output] toward compute *)
+  | Failure of { at : float; level : int option }
+      (** an observed failure, recoverable from [level] *)
+  | End of { at : float; complete : bool }
+      (** the job ends; [complete=0] marks a known-interrupted run *)
+
+type skip = {
+  line : int;  (** 1-based line number *)
+  reason : string;
+  text : string;  (** the offending line, truncated to 120 bytes *)
+}
+
+type t = {
+  records : (int * record) list;  (** (line number, record), input order *)
+  skips : skip list;  (** input order *)
+  lines : int;  (** total lines seen *)
+  blank : int;  (** blank and [#]-comment lines *)
+}
+
+val max_levels : int
+(** Same bound as {!Ckpt_adaptive.Telemetry.max_levels}. *)
+
+val parse_line : string -> (record option, string) result
+(** One line; [Ok None] for blank/comment lines.  Total. *)
+
+val parse : string list -> t
+(** A whole log.  [List.length records + List.length skips + blank =
+    lines] always holds.  Total. *)
+
+val parse_string : string -> t
+(** {!parse} after splitting on newlines (a sole trailing newline does
+    not count an extra blank line). *)
+
+val record_at : record -> float
+
+val to_line : record -> string
+(** Render one record in the grammar; [parse_line (to_line r)] yields
+    [Ok (Some r)] up to float formatting. *)
+
+val of_telemetry :
+  ?pfs_level:int -> Ckpt_adaptive.Telemetry.event list -> string list
+(** Render simulator telemetry as an SCR-style session log, exercising
+    the composite phases a real log has: a [Ckpt] at [pfs_level]
+    (default: the level count announced by the last [Run_start], else
+    the highest level seen) becomes [CHECKPOINT] + [FLUSH kind=ckpt]
+    whose durations sum to the original; a [Restart] becomes [FETCH] +
+    [REBUILD] likewise.  Other events map 1:1.  Deterministic. *)
+
+val pp_skip : Format.formatter -> skip -> unit

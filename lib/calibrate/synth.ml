@@ -1,0 +1,57 @@
+module Optimizer = Ckpt_model.Optimizer
+module Speedup = Ckpt_model.Speedup
+module Level = Ckpt_model.Level
+module Overhead = Ckpt_model.Overhead
+module Failure_spec = Ckpt_failures.Failure_spec
+module Telemetry = Ckpt_adaptive.Telemetry
+
+let demo_problem () =
+  { Optimizer.te = 1024. *. 3600.;
+    speedup = Speedup.quadratic ~kappa:0.46 ~n_star:1e6;
+    levels = Level.fti_fusion;
+    alloc = 10.;
+    spec = Failure_spec.of_string ~baseline_scale:1024. "24-18-12-6" }
+
+let demo_config ?(n = 1024.) problem =
+  let plan = Optimizer.ml_ori_scale ~n problem in
+  Ckpt_sim.Run_config.of_plan ~problem ~plan ()
+
+let last_at events =
+  List.fold_left (fun _ ev -> Telemetry.at ev) 0. events
+
+let drop_run_end events =
+  List.filter (function Telemetry.Run_end _ -> false | _ -> true) events
+
+let session ?(runs = 4) ?(gap_s = 900.) ?(restart_on_resume = true) ~seed
+    (config : Ckpt_sim.Run_config.t) =
+  let pfs = Array.length config.levels in
+  let pfs_restart =
+    Overhead.cost config.levels.(pfs - 1).Level.restart config.n
+  in
+  let chunks = ref [] in
+  let t0 = ref 0. in
+  for i = 0 to runs - 1 do
+    let events, _outcome = Telemetry.of_run ~seed:(seed + (7919 * i)) config in
+    let killed = i < runs - 1 in
+    let events = if killed then drop_run_end events else events in
+    let events = List.map (fun ev -> Telemetry.shift ev ~by:!t0) events in
+    let events =
+      (* A resumed run opens by reading the last surviving (PFS)
+         checkpoint back — the fetch a real toolkit logs first. *)
+      if restart_on_resume && i > 0 then
+        match events with
+        | (Telemetry.Run_start { at; _ } as start) :: rest ->
+            start
+            :: Telemetry.Restart
+                 { at = at +. pfs_restart; level = pfs; duration = pfs_restart }
+            :: rest
+        | other -> other
+      else events
+    in
+    t0 := last_at events +. gap_s;
+    chunks := events :: !chunks
+  done;
+  List.concat (List.rev !chunks)
+
+let session_lines ?runs ?gap_s ?restart_on_resume ~seed config =
+  Scr_log.of_telemetry (session ?runs ?gap_s ?restart_on_resume ~seed config)

@@ -1,0 +1,40 @@
+(** Deterministic synthetic SCR sessions from the simulator telemetry
+    tap — the fixture source for the committed example log, the CLI
+    self-check and the round-trip tests.
+
+    A session is [runs] simulated executions of one configuration
+    spliced onto a global clock with [gap_s] of downtime between them.
+    Every run but the last is {e killed}: its terminating [Run_end] is
+    dropped, so the accountant must infer the interruption from the
+    back-to-back [START]; resumed runs open with a PFS restart read
+    (the fetch a real toolkit would log), so fetch+rebuild attribution
+    is exercised end to end. *)
+
+val demo_problem : unit -> Ckpt_model.Optimizer.problem
+(** A small 4-level FTI-style problem (1024-core baseline, rates
+    [24-18-12-6] per day) that simulates in milliseconds — the same
+    scale as the benchmark validation config. *)
+
+val demo_config : ?n:float -> Ckpt_model.Optimizer.problem -> Ckpt_sim.Run_config.t
+(** Simulate the ML plan for [problem] pinned at scale [n] (default
+    [1024.]). *)
+
+val session :
+  ?runs:int ->
+  ?gap_s:float ->
+  ?restart_on_resume:bool ->
+  seed:int ->
+  Ckpt_sim.Run_config.t ->
+  Ckpt_adaptive.Telemetry.event list
+(** [runs] defaults to [4], [gap_s] to [900.] seconds of downtime,
+    [restart_on_resume] (inject the PFS recovery read at the head of
+    each resumed run) to [true].  Deterministic in [seed]. *)
+
+val session_lines :
+  ?runs:int ->
+  ?gap_s:float ->
+  ?restart_on_resume:bool ->
+  seed:int ->
+  Ckpt_sim.Run_config.t ->
+  string list
+(** {!session} rendered through {!Scr_log.of_telemetry}. *)

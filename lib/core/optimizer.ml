@@ -324,6 +324,26 @@ let sl_ori_scale ?n p =
   in
   finish sl ~sol ~estimate:productive ~outer:0 ~inner:0 ~converged:true
 
+let sl_daly_scale ?n p =
+  let sl = single_level_problem p in
+  let n = Option.value n ~default:(Speedup.search_upper_bound sl.speedup ~default:1e9) in
+  (* Daly's refinement of Young: same shape as [sl_ori_scale] but the
+     interval count comes from the higher-order formula, which keeps the
+     checkpoint cost term when it is not negligible next to the MTBF. *)
+  let productive = Speedup.productive_time sl.speedup ~te:sl.te ~n in
+  let ckpt_cost = Overhead.cost sl.levels.(0).Level.ckpt n in
+  let failures =
+    Failure_spec.rate_per_second sl.spec ~level:1 ~scale:n *. productive
+  in
+  let x = if ckpt_cost <= 0. then 1. else Daly.interval_count ~productive ~ckpt_cost ~failures in
+  let xs = [| x |] in
+  let params = multilevel_params sl ~estimate:productive in
+  let wall_clock = Multilevel.expected_wall_clock params ~xs ~n in
+  let sol =
+    { Multilevel.xs; n; wall_clock; iterations = 0; converged = true }
+  in
+  finish sl ~sol ~estimate:productive ~outer:0 ~inner:0 ~converged:true
+
 let pp_plan ppf t =
   let b = t.breakdown in
   Format.fprintf ppf

@@ -159,6 +159,13 @@ val sl_ori_scale : ?n:float -> problem -> plan
     the productive-time failure count, scale fixed at [n] (default: ideal
     scale).  No outer iteration — Young's formula is not self-consistent. *)
 
+val sl_daly_scale : ?n:float -> problem -> plan
+(** Daly's higher-order refinement [4] of {!sl_ori_scale}: PFS level
+    only, interval count from {!Daly.interval_count} (which keeps the
+    checkpoint-cost correction Young drops), scale fixed at [n]
+    (default: ideal scale).  Like Young, not self-consistent — the
+    wall clock is the one-shot Eq. (21) evaluation of the pinned plan. *)
+
 val single_level_problem : problem -> problem
 (** The PFS-only collapse used by the SL baselines: keeps the last level
     and aggregates every level's failure rate onto it. *)

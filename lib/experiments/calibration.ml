@@ -1,0 +1,94 @@
+module Optimizer = Ckpt_model.Optimizer
+module Overhead = Ckpt_model.Overhead
+module Level = Ckpt_model.Level
+module Spec = Ckpt_failures.Failure_spec
+module Predict = Ckpt_adaptive.Predict
+module C = Ckpt_calibrate
+
+type row = {
+  level : int;
+  true_rate_per_day : float;
+  fitted_rate_per_day : float;
+  ci_low : float;
+  ci_high : float;
+  covered : bool;
+  ckpt_samples : int;
+  true_ckpt_cost : float;
+  fitted_ckpt_cost : float;
+}
+
+type result = {
+  rows : row list;
+  lines : int;
+  failures : int;
+  plan_gap : float;
+}
+
+let compute ?(runs = 4) ?(seed = 42) () =
+  let problem = C.Synth.demo_problem () in
+  let config = C.Synth.demo_config problem in
+  let n = 1024. in
+  let parsed = C.Scr_log.parse (C.Synth.session_lines ~runs ~seed config) in
+  let fitted =
+    match C.Fit.calibrate ~template:problem parsed with
+    | Ok f -> f
+    | Error m -> failwith ("calibration experiment: " ^ m)
+  in
+  let report = fitted.C.Fit.report in
+  let nb = problem.Optimizer.spec.Spec.baseline_scale in
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i (lr : C.Fit.level_report) ->
+           let true_rate =
+             Spec.rate_per_second problem.Optimizer.spec ~level:(i + 1)
+               ~scale:nb
+             *. 86_400.
+           in
+           { level = i + 1;
+             true_rate_per_day = true_rate;
+             fitted_rate_per_day = lr.C.Fit.rate_per_day;
+             ci_low = lr.C.Fit.ci_low;
+             ci_high = lr.C.Fit.ci_high;
+             covered = lr.C.Fit.ci_low <= true_rate && true_rate <= lr.C.Fit.ci_high;
+             ckpt_samples = lr.C.Fit.ckpt_samples;
+             true_ckpt_cost =
+               Overhead.cost problem.Optimizer.levels.(i).Level.ckpt n;
+             fitted_ckpt_cost = lr.C.Fit.ckpt_mean })
+         report.C.Fit.levels)
+  in
+  let true_plan = Optimizer.ml_ori_scale ~n problem in
+  let cal_plan = Optimizer.ml_ori_scale ~n fitted.C.Fit.problem in
+  let priced = Predict.wall_clock problem ~xs:cal_plan.Optimizer.xs ~n in
+  { rows;
+    lines = report.C.Fit.lines;
+    failures = report.C.Fit.total_failures;
+    plan_gap =
+      Float.abs (priced -. true_plan.Optimizer.wall_clock)
+      /. true_plan.Optimizer.wall_clock }
+
+let run ppf =
+  let r = compute () in
+  Render.section ppf
+    "Log-driven calibration round trip (4 interrupted runs at n=1024, seed 42)";
+  Render.table ppf
+    ~headers:
+      [ "level"; "true r/day"; "fitted r/day"; "CI low"; "CI high"; "covered";
+        "ckpt samples"; "true C(n)"; "fitted C(n)" ]
+    ~rows:
+      (List.map
+         (fun row ->
+           [ string_of_int row.level;
+             Render.float_cell ~decimals:2 row.true_rate_per_day;
+             Render.float_cell ~decimals:2 row.fitted_rate_per_day;
+             Render.float_cell ~decimals:2 row.ci_low;
+             Render.float_cell ~decimals:2 row.ci_high;
+             (if row.covered then "yes" else "NO");
+             string_of_int row.ckpt_samples;
+             Render.float_cell ~decimals:2 row.true_ckpt_cost;
+             Render.float_cell ~decimals:2 row.fitted_ckpt_cost ])
+         r.rows);
+  Format.fprintf ppf
+    "calibrated from %d log lines carrying %d failures; plan gap under true \
+     parameters: %s@."
+    r.lines r.failures (Render.pct r.plan_gap)

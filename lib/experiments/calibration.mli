@@ -1,0 +1,31 @@
+(** Log-driven calibration round trip ({!Ckpt_calibrate}).
+
+    Simulates a multi-run SCR-style session with known parameters,
+    renders it to log text, calibrates the model back from the text
+    alone, and reports how well the fit recovers the truth: per-level
+    failure rates against their Garwood intervals, checkpoint cost
+    means, and the end-to-end planning gap (the calibrated ML plan
+    priced under the true parameters vs the plan solved on the truth
+    directly). *)
+
+type row = {
+  level : int;
+  true_rate_per_day : float;
+  fitted_rate_per_day : float;
+  ci_low : float;
+  ci_high : float;
+  covered : bool;  (** true rate inside the fitted CI *)
+  ckpt_samples : int;
+  true_ckpt_cost : float;  (** template cost at the session scale *)
+  fitted_ckpt_cost : float;  (** observed mean, [nan] if no samples *)
+}
+
+type result = {
+  rows : row list;
+  lines : int;  (** log lines the calibration consumed *)
+  failures : int;
+  plan_gap : float;  (** relative E(T_w) gap of the calibrated plan *)
+}
+
+val compute : ?runs:int -> ?seed:int -> unit -> result
+val run : Format.formatter -> unit

@@ -32,7 +32,9 @@ let all =
       run = Scr_comparison.run };
     { id = "weakscaling"; title = "Weak-scaling efficiency vs scale";
       run = Weak_scaling_study.run };
-    { id = "ablations"; title = "Ablation studies"; run = Ablations.run } ]
+    { id = "ablations"; title = "Ablation studies"; run = Ablations.run };
+    { id = "calibration"; title = "Log-driven calibration round trip";
+      run = Calibration.run } ]
 
 let find id =
   let id = String.lowercase_ascii id in

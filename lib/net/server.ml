@@ -48,6 +48,9 @@ type t = {
   finished : (int, unit) Hashtbl.t;
   mutable conn_seq : int;
   mutable requests : int;  (* answered by this incarnation *)
+  (* Requests answered, keyed by the line's "op" field — the routing
+     observability behind {!op_counts}. *)
+  ops : (string, int) Hashtbl.t;
   mutable last_snapshot_at : int;  (* [requests] when the last snapshot was cut *)
   (* Snapshot seq of the restored image: snapshot filenames must stay
      monotonic across restarts ([seq_base + requests]), or a restarted
@@ -76,23 +79,35 @@ let connections t = locked t (fun () -> t.conn_seq)
 let draining t = Atomic.get t.draining
 let stop t = Atomic.set t.draining true
 
+(* Caller holds [state_lock]. *)
+let count_op_locked t op =
+  let key = Option.value op ~default:"invalid" in
+  Hashtbl.replace t.ops key (1 + Option.value (Hashtbl.find_opt t.ops key) ~default:0)
+
+let op_counts t =
+  locked t (fun () -> Hashtbl.fold (fun op n acc -> (op, n) :: acc) t.ops [])
+  |> List.sort compare
+
 (* ---------------- responses outside the service ---------------- *)
 
-(* The id must survive even on paths that never reach the parser, so
-   overload rejections can be correlated by the client.  A line that is
-   not JSON has no id to echo. *)
-let id_of_line line =
+(* One JSON parse per request line yields everything the server itself
+   routes on: the id (which must survive even on paths that never reach
+   the service's parser, so overload rejections can be correlated by
+   the client) and the op (in-band shutdown routing and the per-op
+   accounting behind {!op_counts}).  A line that is not JSON has
+   neither. *)
+let envelope_of_line line =
   match Json.parse line with
-  | json -> Json.member "id" json
-  | exception _ -> None
+  | json -> (Json.member "id" json, Json.string_field "op" json)
+  | exception _ -> (None, None)
 
-let overloaded_response line ~capacity =
-  Protocol.error_response ?id:(id_of_line line)
+let overloaded_response ?id ~capacity () =
+  Protocol.error_response ?id
     (Protocol.error_v "overloaded"
        (Printf.sprintf "admission queue full (%d requests in flight); retry later" capacity))
 
-let deadline_response line ~ms =
-  Protocol.error_response ?id:(id_of_line line)
+let deadline_response ?id ~ms () =
+  Protocol.error_response ?id
     (Protocol.error_v "deadline-exceeded"
        (Printf.sprintf "request waited more than %.0f ms for the coordinator" ms))
 
@@ -101,19 +116,12 @@ let oversized_response ~max_line_bytes =
     (Protocol.error_v "invalid-request"
        (Printf.sprintf "request line exceeds %d bytes" max_line_bytes))
 
-let internal_response line e =
-  Protocol.error_response ?id:(id_of_line line)
-    (Protocol.error_v "internal" (Printexc.to_string e))
+let internal_response ?id e =
+  Protocol.error_response ?id (Protocol.error_v "internal" (Printexc.to_string e))
 
-let shutdown_response line =
-  match id_of_line line with
+let shutdown_response = function
   | Some id -> Json.Obj [ ("id", id); ("ok", Json.Bool true); ("draining", Json.Bool true) ]
   | None -> Json.Obj [ ("ok", Json.Bool true); ("draining", Json.Bool true) ]
-
-let is_shutdown_op line =
-  match Json.parse line with
-  | json -> Json.string_field "op" json = Some "shutdown"
-  | exception _ -> false
 
 (* ---------------- snapshots ---------------- *)
 
@@ -159,22 +167,24 @@ let lock_with_deadline mutex ~ms =
   in
   try_until ()
 
-let process t line =
+let process t ?id ~op line =
   if not (Gate.try_acquire t.gate) then
-    overloaded_response line ~capacity:(Gate.capacity t.gate)
+    overloaded_response ?id ~capacity:(Gate.capacity t.gate) ()
   else
     Fun.protect ~finally:(fun () -> Gate.release t.gate) @@ fun () ->
     if not (lock_with_deadline t.coordinator ~ms:t.config.request_deadline_ms) then
-      deadline_response line ~ms:t.config.request_deadline_ms
+      deadline_response ?id ~ms:t.config.request_deadline_ms ()
     else
       Fun.protect ~finally:(fun () -> Mutex.unlock t.coordinator) @@ fun () ->
       let response =
         (* The service answers every parseable-or-not line structurally;
            anything it still raises is a server bug, answered as an
            [internal] error rather than a dropped connection. *)
-        try Service.handle_line t.service line with e -> internal_response line e
+        try Service.handle_line t.service line with e -> internal_response ?id e
       in
-      locked t (fun () -> t.requests <- t.requests + 1);
+      locked t (fun () ->
+          t.requests <- t.requests + 1;
+          count_op_locked t op);
       maybe_snapshot_locked t;
       response
 
@@ -215,12 +225,14 @@ let handle_connection t fd index =
                    if garbage && !first then "\x02\xff garbage " ^ line else line
                  in
                  first := false;
-                 if is_shutdown_op line then begin
-                   respond (shutdown_response line);
+                 let id, op = envelope_of_line line in
+                 if op = Some "shutdown" then begin
+                   locked t (fun () -> count_op_locked t op);
+                   respond (shutdown_response id);
                    stop t
                  end
                  else begin
-                   respond (process t line);
+                   respond (process t ?id ~op line);
                    if half_close && !answered = 1 then
                      (* Injected half-close: our write side goes away
                         after the first response; keep draining reads so
@@ -363,6 +375,7 @@ let start ?(config = default_config) service =
       finished = Hashtbl.create 16;
       conn_seq = 0;
       requests = 0;
+      ops = Hashtbl.create 16;
       last_snapshot_at = 0;
       seq_base;
       draining = Atomic.make false;

@@ -94,6 +94,14 @@ val requests : t -> int
 val rejections : t -> int
 (** Requests answered with [overloaded] or [deadline-exceeded]. *)
 
+val op_counts : t -> (string * int) list
+(** Requests answered so far grouped by the line's ["op"] field, sorted
+    by op name — ["invalid"] buckets lines whose op could not be read
+    (non-JSON or missing field), and in-band ["shutdown"] requests are
+    counted even though they never reach the service.  The server parses
+    each line's envelope exactly once and routes from it, so these
+    counters cost no extra parse. *)
+
 val connections : t -> int
 (** Connections accepted so far. *)
 

@@ -25,6 +25,12 @@ type request =
   | Observe of { events : Ckpt_adaptive.Telemetry.event list }
   | Estimate of { baseline_scale : float; coverage : float }
   | Replan of { query : query; prior_strength : float }
+  | Calibrate of {
+      query : query;
+      log : string list;
+      prior_strength : float;
+      compare : bool;
+    }
   | Stats
 
 type envelope = { id : Json.t option; request : (request, error) result }
@@ -164,6 +170,35 @@ let parse_replan json =
   in
   Ok (Replan { query; prior_strength })
 
+let parse_calibrate json =
+  let* query = parse_query json in
+  let* log =
+    match Json.member "log" json with
+    | None -> err "invalid-request" "missing field \"log\""
+    | Some (Json.List items) ->
+        let rec decode acc i = function
+          | [] -> Ok (List.rev acc)
+          | Json.String s :: rest -> decode (s :: acc) (i + 1) rest
+          | _ :: _ -> err "invalid-request" "log[%d] must be a string" i
+        in
+        decode [] 0 items
+    | Some _ -> err "invalid-request" "field \"log\" must be an array of strings"
+  in
+  let prior_strength = Option.value (Json.float_field "prior_strength" json) ~default:0. in
+  let* () =
+    if prior_strength >= 0. then Ok ()
+    else err "invalid-request" "prior_strength must be non-negative"
+  in
+  let* compare =
+    match Json.member "compare" json with
+    | None -> Ok false
+    | Some v -> (
+        match Json.to_bool v with
+        | Some b -> Ok b
+        | None -> err "invalid-request" "field \"compare\" must be a boolean")
+  in
+  Ok (Calibrate { query; log; prior_strength; compare })
+
 let parse_request line =
   match Json.parse_result line with
   | Error m -> { id = None; request = Error (error_v "parse" m) }
@@ -180,6 +215,7 @@ let parse_request line =
         | Some "observe" -> parse_observe json
         | Some "estimate" -> parse_estimate json
         | Some "replan" -> parse_replan json
+        | Some "calibrate" -> parse_calibrate json
         | Some "stats" -> Ok Stats
         | Some op -> err "invalid-request" "unknown op %S" op
       in
@@ -308,6 +344,16 @@ let replan_response ?id ?degraded ~plan ~fitted () =
        ([ ("ok", Json.Bool true); ("op", Json.String "replan");
           ("plan", Codec.plan_to_json plan);
           ("fitted_problem", Codec.problem_to_json fitted) ]
+       @ degraded_fields degraded))
+
+let calibrate_response ?id ?degraded ?comparison ~plan ~fitted ~provenance () =
+  Json.Obj
+    (with_id id
+       ([ ("ok", Json.Bool true); ("op", Json.String "calibrate");
+          ("plan", Codec.plan_to_json plan);
+          ("fitted_problem", Codec.problem_to_json fitted);
+          ("provenance", provenance) ]
+       @ (match comparison with None -> [] | Some c -> [ ("comparison", c) ])
        @ degraded_fields degraded))
 
 let stats_response ?id payload =

@@ -21,9 +21,15 @@
       session estimates ([tau] core-seconds of shrinkage toward [P]'s
       own rates); never cached, timed into the [replan_ms] metrics
       series;
+    - [{"op":"calibrate", "problem":P, "log":[...], "prior_strength":tau,
+        "compare":b}] — POST raw SCR-style log lines: they are parsed
+      (totally — garbage lines become skip counts), phase-accounted into
+      the session estimators, and [P] is re-planned from the fit; the
+      response carries the plan, the fitted problem, a provenance report
+      and (with [compare]) the Young/Daly/ML side-by-side;
     - [{"op":"stats"}] — the {!Metrics} snapshot.
 
-    [observe]/[estimate]/[replan] are stateful: they read and mutate the
+    [observe]/[estimate]/[replan]/[calibrate] are stateful: they read and mutate the
     service's telemetry session, and are therefore executed inline, in
     line order, rather than fanned out — an [observe] earlier in a batch
     is visible to a [replan] later in the same batch.
@@ -80,6 +86,19 @@ type request =
   | Observe of { events : Ckpt_adaptive.Telemetry.event list }
   | Estimate of { baseline_scale : float; coverage : float }
   | Replan of { query : query; prior_strength : float }
+  | Calibrate of {
+      query : query;
+      log : string list;
+      prior_strength : float;
+      compare : bool;
+    }
+      (** [{"op":"calibrate", "problem":P, "log":[lines...],
+          "prior_strength":tau, "compare":bool}] — feed raw SCR-style
+          log lines through the {!Ckpt_calibrate} pipeline into the
+          session estimators (stateful, like [observe]: successive
+          calibrates accumulate evidence) and re-plan [P] from the
+          fitted parameters.  With [compare], the response also carries
+          the Young/Daly/ML side-by-side. *)
   | Stats
 
 type envelope = { id : Ckpt_json.Json.t option; request : (request, error) result }
@@ -166,6 +185,20 @@ val replan_response :
   Ckpt_json.Json.t
 (** The re-planned solution together with the telemetry-fitted problem
     it solves. *)
+
+val calibrate_response :
+  ?id:Ckpt_json.Json.t ->
+  ?degraded:degraded ->
+  ?comparison:Ckpt_json.Json.t ->
+  plan:Ckpt_model.Optimizer.plan ->
+  fitted:Ckpt_model.Optimizer.problem ->
+  provenance:Ckpt_json.Json.t ->
+  unit ->
+  Ckpt_json.Json.t
+(** The calibrated plan, the fitted problem it solves, the provenance
+    report ({!Ckpt_calibrate.Fit.report_to_json} shape: parse/skip
+    counts, per-level samples, CIs, prior weight) and — when requested —
+    the Young/Daly/ML comparison. *)
 
 val stats_response : ?id:Ckpt_json.Json.t -> Ckpt_json.Json.t -> Ckpt_json.Json.t
 (** Wrap a {!Metrics.to_json} payload. *)

@@ -69,7 +69,9 @@ let queries_of_request = function
   (* Stateful adaptive ops never enter the flat query array: they are
      handled inline, in line order, so an observe is visible to a replan
      later in the same batch. *)
-  | Protocol.Observe _ | Protocol.Estimate _ | Protocol.Replan _ | Protocol.Stats -> [||]
+  | Protocol.Observe _ | Protocol.Estimate _ | Protocol.Replan _
+  | Protocol.Calibrate _ | Protocol.Stats ->
+      [||]
 
 (* A degraded answer's plan came from the single-level chain, so its
    xs arity matches the collapsed problem, not the query's solution —
@@ -215,6 +217,91 @@ let handle_replan t ~query ~prior_strength =
       Metrics.add_queries t.metrics 1;
       Planner.replan t.planner ~rates:s.rates ~costs:s.costs ~prior_strength query)
 
+(* The calibrate op: raw SCR log lines -> total parse -> phase
+   accounting -> session estimators -> replan, all inline on the
+   coordinator (stateful, like observe).  The session is created from
+   the query problem's hierarchy when absent; a level-count mismatch
+   with an existing session is a request error, not a silent resize. *)
+let handle_calibrate t ~query ~log ~prior_strength ~compare =
+  let problem = query.Protocol.problem in
+  let levels = Array.length problem.Ckpt_model.Optimizer.levels in
+  let session =
+    match t.session with
+    | Some s when Rate_estimator.levels s.rates = levels -> Ok s
+    | Some s ->
+        Error
+          (Protocol.error_v "invalid-request"
+             (Printf.sprintf
+                "calibrate problem has %d levels but the session tracks %d"
+                levels (Rate_estimator.levels s.rates)))
+    | None ->
+        let s =
+          { rates = Rate_estimator.create ~levels ();
+            costs = Cost_estimator.create ~levels () }
+        in
+        t.session <- Some s;
+        Ok s
+  in
+  match session with
+  | Error e -> Error e
+  | Ok s -> (
+      let parsed = Ckpt_calibrate.Scr_log.parse log in
+      let default_scale =
+        problem.Ckpt_model.Optimizer.spec
+          .Ckpt_failures.Failure_spec.baseline_scale
+      in
+      let accounted =
+        Ckpt_calibrate.Account.run
+          (Ckpt_calibrate.Account.config ~default_scale ~levels ())
+          parsed.Ckpt_calibrate.Scr_log.records
+      in
+      let events = skew_events t accounted.Ckpt_calibrate.Account.events in
+      match
+        ( Rate_estimator.observe_all s.rates events,
+          Cost_estimator.observe_all s.costs events )
+      with
+      | exception Invalid_argument m ->
+          Error (Protocol.error_v "invalid-request" m)
+      | rates, costs -> (
+          s.rates <- rates;
+          s.costs <- costs;
+          if Rate_estimator.exposure rates <= 0. then
+            Error
+              (Protocol.error_v "no-telemetry"
+                 (Printf.sprintf
+                    "log yields no exposure (%d records parsed, %d skipped): \
+                     nothing advances the clock"
+                    (List.length parsed.Ckpt_calibrate.Scr_log.records)
+                    (List.length parsed.Ckpt_calibrate.Scr_log.skips)))
+          else begin
+            Metrics.add_queries t.metrics 1;
+            match
+              Planner.replan t.planner ~rates ~costs ~prior_strength query
+            with
+            | Error e -> Error e
+            | Ok (answer, fitted) ->
+                let report =
+                  Ckpt_calibrate.Fit.report ~prior_strength ~log:parsed
+                    ~totals:accounted.Ckpt_calibrate.Account.totals
+                    ~template:problem ~rates ~costs ()
+                in
+                let provenance = Ckpt_calibrate.Fit.report_to_json report in
+                (* A degraded answer's plan has single-level arity; the
+                   pinned re-evaluation inside the comparison needs the
+                   fitted problem's arity, so the side-by-side is only
+                   built on the healthy path (the response still carries
+                   the degraded markers). *)
+                let comparison =
+                  if compare && answer.Protocol.degraded = None then
+                    Some
+                      (Ckpt_calibrate.Compare.to_json
+                         (Ckpt_calibrate.Compare.run
+                            ~ml_plan:answer.Protocol.plan fitted))
+                  else None
+                in
+                Ok (answer, fitted, provenance, comparison)
+          end))
+
 (* Chaos line site: corrupt or truncate raw request lines before the
    parser sees them — the parse/validate boundary must answer every
    mangled line with a structured error, never an exception. *)
@@ -327,6 +414,15 @@ let handle_batch t lines =
                 Protocol.replan_response ?id
                   ?degraded:answer.Protocol.degraded
                   ~plan:answer.Protocol.plan ~fitted ()
+            | Error e ->
+                Metrics.incr_errors t.metrics;
+                Protocol.error_response ?id e)
+        | Protocol.Calibrate { query; log; prior_strength; compare } -> (
+            match handle_calibrate t ~query ~log ~prior_strength ~compare with
+            | Ok (answer, fitted, provenance, comparison) ->
+                Protocol.calibrate_response ?id
+                  ?degraded:answer.Protocol.degraded ?comparison
+                  ~plan:answer.Protocol.plan ~fitted ~provenance ()
             | Error e ->
                 Metrics.incr_errors t.metrics;
                 Protocol.error_response ?id e)

@@ -1,0 +1,560 @@
+(* Tests for ckpt_calibrate: the total SCR-log parser, the phase
+   accountant, the fit pipeline, the round-trip property against the
+   simulator, the committed-fixture golden lock, and the service-level
+   calibrate op. *)
+
+open Ckpt_calibrate
+module Optimizer = Ckpt_model.Optimizer
+module Codec = Ckpt_model.Codec
+module Spec = Ckpt_failures.Failure_spec
+module Telemetry = Ckpt_adaptive.Telemetry
+module Predict = Ckpt_adaptive.Predict
+module Service = Ckpt_service.Service
+module Json = Ckpt_json.Json
+
+let approx ?(tol = 1e-9) what expected got =
+  if Float.abs (expected -. got) > tol *. Float.max 1. (Float.abs expected) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" what expected got
+
+(* ---------------- parser ---------------- *)
+
+let ok_record line =
+  match Scr_log.parse_line line with
+  | Ok (Some r) -> r
+  | Ok None -> Alcotest.failf "expected a record, got a comment: %S" line
+  | Error e -> Alcotest.failf "expected a record, got error %S on %S" e line
+
+let expect_skip line =
+  match Scr_log.parse_line line with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "expected a skip on %S" line
+
+let test_parse_line_records () =
+  (match ok_record "t=120.5 event=START scale=100000 levels=4" with
+  | Scr_log.Start { at; scale; levels } ->
+      approx "start.at" 120.5 at;
+      Alcotest.(check (option (float 0.))) "start.scale" (Some 100000.) scale;
+      Alcotest.(check (option int)) "start.levels" (Some 4) levels
+  | _ -> Alcotest.fail "not a Start");
+  (match ok_record "t=10 event=COMPUTE secs=3600 productive=3450" with
+  | Scr_log.Compute { secs; productive; _ } ->
+      approx "compute.secs" 3600. secs;
+      Alcotest.(check (option (float 0.))) "compute.productive" (Some 3450.)
+        productive
+  | _ -> Alcotest.fail "not a Compute");
+  (match ok_record "t=1 event=FLUSH secs=140 kind=output" with
+  | Scr_log.Flush { output; level; _ } ->
+      Alcotest.(check bool) "flush output kind" true output;
+      Alcotest.(check (option int)) "flush level" None level
+  | _ -> Alcotest.fail "not a Flush");
+  (match ok_record "t=2 event=RESTART_SUCCESS secs=20 level=3" with
+  | Scr_log.Rebuild { level; _ } ->
+      Alcotest.(check (option int)) "rebuild alias level" (Some 3) level
+  | _ -> Alcotest.fail "RESTART_SUCCESS is not a Rebuild");
+  (match ok_record "t=3 event=END complete=0" with
+  | Scr_log.End { complete; _ } ->
+      Alcotest.(check bool) "end incomplete" false complete
+  | _ -> Alcotest.fail "not an End")
+
+let test_parse_line_lenient_grammar () =
+  (* Case-insensitive labels, unknown keys ignored, '='-less tokens
+     ignored, repeated key last-wins, comments and blanks. *)
+  (match ok_record "t=5 event=ckpt secs=1 secs=2 level=1 noise rank=17 host=n01" with
+  | Scr_log.Checkpoint { secs; _ } -> approx "last secs wins" 2. secs
+  | _ -> Alcotest.fail "lenient line is not a Checkpoint");
+  Alcotest.(check bool) "comment" true (Scr_log.parse_line "# hi" = Ok None);
+  Alcotest.(check bool) "blank" true (Scr_log.parse_line "   " = Ok None)
+
+let test_parse_line_rejections () =
+  List.iter expect_skip
+    [ "event=COMPUTE secs=1" (* missing t *);
+      "t=nan event=COMPUTE secs=1" (* non-finite t *);
+      "t=1 event=COMPUTE" (* missing secs *);
+      "t=1 event=COMPUTE secs=-3" (* negative duration *);
+      "t=1 event=COMPUTE secs=inf" (* non-finite duration *);
+      "t=1 event=COMPUTE secs=10 productive=11" (* productive > secs *);
+      "t=1 event=CHECKPOINT secs=1 level=0" (* level below range *);
+      "t=1 event=CHECKPOINT secs=1 level=5000" (* level above max_levels *);
+      "t=1 event=START scale=0" (* non-positive scale *);
+      "t=1 event=NO_SUCH_EVENT" (* unknown label *);
+      "t=1" (* no event *);
+      "\x00\x01\xffbinary" ]
+
+let test_parse_invariant_and_numbering () =
+  let lines =
+    [ "# header"; "t=0 event=START"; ""; "garbage"; "t=1 event=END complete=1" ]
+  in
+  let p = Scr_log.parse lines in
+  Alcotest.(check int) "lines" 5 p.Scr_log.lines;
+  Alcotest.(check int) "records" 2 (List.length p.Scr_log.records);
+  Alcotest.(check int) "skips" 1 (List.length p.Scr_log.skips);
+  Alcotest.(check int) "blank" 2 p.Scr_log.blank;
+  (match p.Scr_log.skips with
+  | [ s ] -> Alcotest.(check int) "skip line number" 4 s.Scr_log.line
+  | _ -> Alcotest.fail "one skip expected");
+  Alcotest.(check (list int)) "record line numbers" [ 2; 5 ]
+    (List.map fst p.Scr_log.records);
+  (* parse_string: a sole trailing newline is not an extra blank line. *)
+  Alcotest.(check int) "parse_string trailing newline" 2
+    (Scr_log.parse_string "t=0 event=START\nt=1 event=END\n").Scr_log.lines
+
+let test_to_line_roundtrip () =
+  let records =
+    [ Scr_log.Start { at = 0.; scale = Some 1024.; levels = Some 4 };
+      Scr_log.Start { at = 12.5; scale = None; levels = None };
+      Scr_log.Fetch { at = 1.; secs = 40.; level = Some 4 };
+      Scr_log.Rebuild { at = 2.; secs = 20.; level = None };
+      Scr_log.Compute { at = 3.; secs = 3600.; productive = Some 3450. };
+      Scr_log.Checkpoint { at = 4.; secs = 25.; level = Some 1 };
+      Scr_log.Flush { at = 5.; secs = 140.; level = Some 4; output = false };
+      Scr_log.Flush { at = 6.; secs = 9.; level = None; output = true };
+      Scr_log.Failure { at = 7.; level = Some 2 };
+      Scr_log.Failure { at = 7.5; level = None };
+      Scr_log.End { at = 8.; complete = false } ]
+  in
+  List.iter
+    (fun r ->
+      let line = Scr_log.to_line r in
+      match Scr_log.parse_line line with
+      | Ok (Some r') when r' = r -> ()
+      | Ok (Some _) -> Alcotest.failf "roundtrip changed %S" line
+      | Ok None | Error _ -> Alcotest.failf "roundtrip rejected %S" line)
+    records
+
+(* ---------------- parser fuzz: totality ---------------- *)
+
+let check_total lines =
+  match Scr_log.parse lines with
+  | p ->
+      let n = List.length p.Scr_log.records + List.length p.Scr_log.skips + p.Scr_log.blank in
+      if n <> p.Scr_log.lines || p.Scr_log.lines <> List.length lines then
+        QCheck.Test.fail_reportf
+          "accounting broken: %d records + %d skips + %d blank <> %d lines"
+          (List.length p.Scr_log.records) (List.length p.Scr_log.skips)
+          p.Scr_log.blank p.Scr_log.lines;
+      true
+  | exception e ->
+      QCheck.Test.fail_reportf "parse raised %s" (Printexc.to_string e)
+
+let line_no_newline =
+  QCheck.Gen.(
+    map
+      (fun s -> String.concat "" (String.split_on_char '\n' s))
+      (string_size ~gen:(map Char.chr (int_range 0 255)) (int_bound 80)))
+
+let fuzz_arbitrary_bytes =
+  QCheck.Test.make ~name:"parse is total on arbitrary bytes" ~count:500
+    (QCheck.make QCheck.Gen.(list_size (int_bound 30) line_no_newline))
+    check_total
+
+let fuzz_truncated_lines =
+  (* Every prefix of every valid rendered line: either parses or skips,
+     never raises, and the invariant holds. *)
+  let config = Synth.demo_config (Synth.demo_problem ()) in
+  let valid = Array.of_list (Synth.session_lines ~runs:2 ~seed:11 config) in
+  QCheck.Test.make ~name:"parse is total on truncated valid lines" ~count:500
+    (QCheck.make
+       QCheck.Gen.(
+         map2
+           (fun i frac ->
+             let line = valid.(i mod Array.length valid) in
+             [ String.sub line 0
+                 (int_of_float (frac *. float_of_int (String.length line))) ])
+           (int_bound 10_000) (float_range 0. 1.)))
+    check_total
+
+let fuzz_interleaved_sessions =
+  (* Two sessions shuffled together with junk: still total, and the
+     accountant downstream must also take it without raising. *)
+  let config = Synth.demo_config (Synth.demo_problem ()) in
+  let a = Array.of_list (Synth.session_lines ~runs:2 ~seed:3 config) in
+  let b = Array.of_list (Synth.session_lines ~runs:2 ~seed:4 config) in
+  let junk = [| "x"; "t=oops event=START"; "#c"; "" |] in
+  let pick (arr : string array) i = arr.(i mod Array.length arr) in
+  QCheck.Test.make
+    ~name:"parse+account total on interleaved out-of-order sessions" ~count:100
+    (QCheck.make QCheck.Gen.(list_size (int_bound 60) (int_bound 100_000)))
+    (fun choices ->
+      let lines =
+        List.mapi
+          (fun i c ->
+            match c mod 3 with
+            | 0 -> pick a (c / 3)
+            | 1 -> pick b (c / 3)
+            | _ -> pick junk (c + i))
+          choices
+      in
+      ignore (check_total lines);
+      let p = Scr_log.parse lines in
+      match Account.run (Account.config ~levels:4 ()) p.Scr_log.records with
+      | (_ : Account.t) -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "account raised %s" (Printexc.to_string e))
+
+(* ---------------- accountant ---------------- *)
+
+let account ?(levels = 4) lines =
+  let p = Scr_log.parse lines in
+  Alcotest.(check int) "fixture parses cleanly" 0 (List.length p.Scr_log.skips);
+  Account.run (Account.config ~levels ()) p.Scr_log.records
+
+let test_account_merges () =
+  let t =
+    account
+      [ "t=0 event=START scale=1024 levels=4";
+        "t=1 event=FETCH secs=40 level=4";
+        "t=41 event=REBUILD secs=20";
+        (* checkpoint + ckpt-kind flush merge, level = deeper of the two *)
+        "t=100 event=CHECKPOINT secs=5 level=1";
+        "t=105 event=FLUSH secs=15 kind=ckpt level=4";
+        (* a lone flush is a PFS checkpoint sample *)
+        "t=200 event=FLUSH secs=30 kind=ckpt";
+        (* an output flush is compute, not checkpoint cost *)
+        "t=300 event=FLUSH secs=7 kind=output";
+        "t=400 event=COMPUTE secs=50 productive=50";
+        "t=450 event=END complete=1" ]
+  in
+  let tot = t.Account.totals in
+  Alcotest.(check int) "one merged restart" 1 tot.Account.restart_count.(3);
+  approx "restart cost = fetch + rebuild" 60. tot.Account.restart_time.(3);
+  Alcotest.(check int) "two PFS ckpt samples" 2 tot.Account.ckpt_count.(3);
+  approx "merged + lone flush cost" 50. tot.Account.ckpt_time.(3);
+  Alcotest.(check int) "no level-1 ckpt left behind" 0 tot.Account.ckpt_count.(0);
+  approx "compute time excludes the output flush" 50. tot.Account.compute_time;
+  approx "output flush accounted separately" 7. tot.Account.flush_output_time;
+  Alcotest.(check int) "output flush count" 1 tot.Account.flush_output_count;
+  (* ...but the output flush still reaches the estimators as progress. *)
+  let compute_telemetry =
+    List.fold_left
+      (fun acc -> function
+        | Telemetry.Compute { duration; _ } -> acc +. duration | _ -> acc)
+      0. t.Account.events
+  in
+  approx "telemetry compute includes the output flush" 57. compute_telemetry
+
+let test_account_interruption_inference () =
+  let t =
+    account
+      [ "t=0 event=START scale=1024 levels=4";
+        "t=10 event=CHECKPOINT secs=1 level=2";
+        (* no END: the next START marks an uncontrolled interruption *)
+        "t=1000 event=START";
+        "t=1001 event=FETCH secs=5 level=2";
+        "t=1006 event=REBUILD secs=2";
+        "t=1100 event=END complete=1" ]
+  in
+  let tot = t.Account.totals in
+  Alcotest.(check int) "starts" 2 tot.Account.starts;
+  Alcotest.(check int) "interrupted" 1 tot.Account.runs_interrupted;
+  Alcotest.(check int) "inferred failures" 1 tot.Account.inferred_failures;
+  (* The synthetic failure lands at the dead run's last timestamp, at
+     the level of the new run's first FETCH (2, not the PFS). *)
+  let failure =
+    List.find_map
+      (function
+        | Telemetry.Failure { at; level } -> Some (at, level) | _ -> None)
+      t.Account.events
+  in
+  (match failure with
+  | Some (at, level) ->
+      approx "failure at the dead run's last timestamp" 10. at;
+      Alcotest.(check int) "failure at fetch level" 2 level
+  | None -> Alcotest.fail "no synthetic failure emitted");
+  (* And the dead run is closed before the new one opens, so exposure
+     does not accrue across the downtime gap. *)
+  let rec closed_before_second_start = function
+    | Telemetry.Run_end { completed = false; _ } :: rest ->
+        List.exists (function Telemetry.Run_start _ -> true | _ -> false) rest
+    | _ :: rest -> closed_before_second_start rest
+    | [] -> false
+  in
+  Alcotest.(check bool) "incomplete Run_end before resumed Run_start" true
+    (closed_before_second_start t.Account.events)
+
+let test_account_level_clamping () =
+  let p =
+    Scr_log.parse
+      [ "t=0 event=START";
+        "t=1 event=CHECKPOINT secs=1 level=9" (* above a 4-level hierarchy *);
+        "t=2 event=END complete=1" ]
+  in
+  let t = Account.run (Account.config ~levels:4 ()) p.Scr_log.records in
+  Alcotest.(check int) "clamped to PFS" 1 t.Account.totals.Account.ckpt_count.(3);
+  Alcotest.(check int) "clamp counted" 1
+    t.Account.totals.Account.out_of_range_levels
+
+(* ---------------- round trip ---------------- *)
+
+let test_roundtrip_calibration () =
+  (* Simulate with known parameters, render to log text, calibrate back:
+     every true per-level rate must lie inside its fitted Garwood CI and
+     the ML plan from the calibrated problem must price within 5% of the
+     truth's own plan under the true parameters. *)
+  let problem = Synth.demo_problem () in
+  let config = Synth.demo_config problem in
+  let lines = Synth.session_lines ~runs:4 ~seed:42 config in
+  let parsed = Scr_log.parse lines in
+  Alcotest.(check int) "synthetic log has no skips" 0
+    (List.length parsed.Scr_log.skips);
+  let fitted =
+    match Fit.calibrate ~template:problem parsed with
+    | Ok f -> f
+    | Error m -> Alcotest.failf "calibrate failed: %s" m
+  in
+  let r = fitted.Fit.report in
+  Alcotest.(check bool) "exposure accrued" true
+    (r.Fit.exposure_core_seconds > 0.);
+  let nb = problem.Optimizer.spec.Spec.baseline_scale in
+  Array.iteri
+    (fun i (lr : Fit.level_report) ->
+      let truth =
+        Spec.rate_per_second problem.Optimizer.spec ~level:(i + 1) ~scale:nb
+        *. nb *. 86_400. /. nb
+      in
+      let truth_per_day =
+        Spec.rate_per_second problem.Optimizer.spec ~level:(i + 1) ~scale:nb
+        *. 86_400.
+      in
+      ignore truth;
+      if not (lr.Fit.ci_low <= truth_per_day && truth_per_day <= lr.Fit.ci_high)
+      then
+        Alcotest.failf "level %d: true rate %.3g/day outside CI [%.3g, %.3g]"
+          (i + 1) truth_per_day lr.Fit.ci_low lr.Fit.ci_high)
+    r.Fit.levels;
+  let n = 1024. in
+  let true_plan = Optimizer.ml_ori_scale ~n problem in
+  let cal_plan = Optimizer.ml_ori_scale ~n fitted.Fit.problem in
+  let priced = Predict.wall_clock problem ~xs:cal_plan.Optimizer.xs ~n in
+  let gap =
+    Float.abs (priced -. true_plan.Optimizer.wall_clock)
+    /. true_plan.Optimizer.wall_clock
+  in
+  if not (Float.is_finite gap && gap < 0.05) then
+    Alcotest.failf "calibrated plan off by %.1f%% under true parameters"
+      (100. *. gap)
+
+(* ---------------- golden: the committed fixture ---------------- *)
+
+(* dune runtest runs from _build/default/test; dune exec from the root. *)
+let fixture_path =
+  if Sys.file_exists "examples/scr_session.log" then "examples/scr_session.log"
+  else "../examples/scr_session.log"
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file -> close_in ic; List.rev acc
+  in
+  go []
+
+let test_golden_fixture () =
+  let parsed = Scr_log.parse (read_lines fixture_path) in
+  Alcotest.(check int) "lines" 1761 parsed.Scr_log.lines;
+  Alcotest.(check int) "records" 1754 (List.length parsed.Scr_log.records);
+  Alcotest.(check int) "skips" 3 (List.length parsed.Scr_log.skips);
+  Alcotest.(check int) "blank" 4 parsed.Scr_log.blank;
+  let problem = Synth.demo_problem () in
+  let fitted =
+    match Fit.calibrate ~template:problem parsed with
+    | Ok f -> f
+    | Error m -> Alcotest.failf "calibrate failed: %s" m
+  in
+  let r = fitted.Fit.report in
+  Alcotest.(check int) "starts" 4 r.Fit.starts;
+  Alcotest.(check int) "interrupted" 3 r.Fit.runs_interrupted;
+  Alcotest.(check int) "inferred failures" 3 r.Fit.inferred_failures;
+  Alcotest.(check int) "total failures" 28 r.Fit.total_failures;
+  approx ~tol:1e-4 "exposure" 3.60104e+07 r.Fit.exposure_core_seconds;
+  let expect =
+    (* level, failures, rate/day, ckpt samples, ckpt mean, restart samples *)
+    [| (11, 27.0258, 425, 0.869157, 10);
+       (6, 14.7413, 214, 2.5892, 6);
+       (8, 19.6551, 140, 3.90662, 8);
+       (3, 7.37067, 36, 26.4052, 3) |]
+  in
+  Array.iteri
+    (fun i (fails, rate, ckpt_n, ckpt_mean, rst_n) ->
+      let lr = r.Fit.levels.(i) in
+      Alcotest.(check int) (Printf.sprintf "l%d failures" (i + 1)) fails
+        lr.Fit.failures;
+      approx ~tol:1e-4 (Printf.sprintf "l%d rate" (i + 1)) rate lr.Fit.rate_per_day;
+      Alcotest.(check int) (Printf.sprintf "l%d ckpt samples" (i + 1)) ckpt_n
+        lr.Fit.ckpt_samples;
+      approx ~tol:1e-4 (Printf.sprintf "l%d ckpt mean" (i + 1)) ckpt_mean
+        lr.Fit.ckpt_mean;
+      Alcotest.(check int) (Printf.sprintf "l%d restart samples" (i + 1)) rst_n
+        lr.Fit.restart_samples)
+    expect;
+  (* The plan comparison on the calibrated problem: the ML plan is
+     finite while both single-level baselines diverge at its scale —
+     MTBF at n=8777 is shorter than either closed-form interval. *)
+  let cmp = Compare.run fitted.Fit.problem in
+  (match cmp.Compare.entries with
+  | [ young; daly; ml ] ->
+      Alcotest.(check (list string)) "labels" [ "young"; "daly"; "ml-opt" ]
+        (List.map (fun e -> e.Compare.label) cmp.Compare.entries);
+      Alcotest.(check bool) "young diverges" false
+        (Float.is_finite young.Compare.wall_clock);
+      Alcotest.(check bool) "daly diverges" false
+        (Float.is_finite daly.Compare.wall_clock);
+      approx ~tol:1e-3 "ml wall clock" 2446.52 ml.Compare.wall_clock;
+      approx ~tol:1e-3 "ml scale" 8777.42 ml.Compare.plan.Optimizer.n
+  | _ -> Alcotest.fail "three comparison entries expected");
+  (* The report serializes. *)
+  Alcotest.(check bool) "report_to_json is an object" true
+    (match Fit.report_to_json r with Json.Obj _ -> true | _ -> false)
+
+(* ---------------- service op ---------------- *)
+
+let with_service f =
+  let service = Service.create ~workers:0 () in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) (fun () -> f service)
+
+let demo_problem_json () = Codec.problem_to_json (Synth.demo_problem ())
+
+let calibrate_line ?(compare = false) ?(id = 1.) lines =
+  Json.to_string
+    (Json.Obj
+       [ ("id", Json.Number id); ("op", Json.String "calibrate");
+         ("problem", demo_problem_json ());
+         ("log", Json.List (List.map (fun s -> Json.String s) lines));
+         ("compare", Json.Bool compare) ])
+
+let error_code response =
+  match Json.member "error" response with
+  | Some e -> Json.string_field "code" e
+  | None -> None
+
+let test_service_calibrate_ok () =
+  with_service @@ fun service ->
+  let lines =
+    Synth.session_lines ~runs:4 ~seed:42
+      (Synth.demo_config (Synth.demo_problem ()))
+  in
+  let r = Service.handle_line service (calibrate_line ~compare:true lines) in
+  Alcotest.(check bool) "ok" true (Json.member "ok" r = Some (Json.Bool true));
+  Alcotest.(check (option string)) "op echoed" (Some "calibrate")
+    (Json.string_field "op" r);
+  List.iter
+    (fun field ->
+      Alcotest.(check bool) (field ^ " present") true
+        (Json.member field r <> None))
+    [ "plan"; "fitted_problem"; "provenance"; "comparison" ];
+  (* Provenance carries the parse accounting. *)
+  let prov = Option.get (Json.member "provenance" r) in
+  Alcotest.(check (option int)) "provenance parsed count"
+    (Some (List.length lines))
+    (Option.bind (Json.member "parsed" prov) Json.to_int);
+  (* The session is stateful: a follow-up estimate sees the exposure,
+     and a second calibrate accumulates (total failures grows). *)
+  let est = Service.handle_line service {|{"op":"estimate","id":2}|} in
+  Alcotest.(check bool) "estimate after calibrate" true
+    (Json.member "ok" est = Some (Json.Bool true));
+  let r2 = Service.handle_line service (calibrate_line ~id:3. lines) in
+  let failures_of resp =
+    let prov = Option.get (Json.member "provenance" resp) in
+    Option.get (Option.bind (Json.member "total_failures" prov) Json.to_int)
+  in
+  Alcotest.(check bool) "second calibrate accumulates" true
+    (failures_of r2 > failures_of r)
+
+let test_service_calibrate_errors () =
+  with_service @@ fun service ->
+  (* log must be an array of strings *)
+  let bad =
+    Printf.sprintf {|{"op":"calibrate","id":1,"problem":%s,"log":"nope"}|}
+      (Json.to_string (demo_problem_json ()))
+  in
+  Alcotest.(check (option string)) "non-array log" (Some "invalid-request")
+    (error_code (Service.handle_line service bad));
+  let bad_elem =
+    Printf.sprintf {|{"op":"calibrate","id":2,"problem":%s,"log":["x", 7]}|}
+      (Json.to_string (demo_problem_json ()))
+  in
+  Alcotest.(check (option string)) "non-string log element"
+    (Some "invalid-request")
+    (error_code (Service.handle_line service bad_elem));
+  (* A log with no usable exposure is no-telemetry, not a crash. *)
+  Alcotest.(check (option string)) "empty log" (Some "no-telemetry")
+    (error_code (Service.handle_line service (calibrate_line [])));
+  Alcotest.(check (option string)) "garbage-only log" (Some "no-telemetry")
+    (error_code
+       (Service.handle_line service (calibrate_line [ "junk"; "# c"; "" ])))
+
+let test_service_calibrate_level_mismatch () =
+  with_service @@ fun service ->
+  let lines =
+    Synth.session_lines ~runs:2 ~seed:9
+      (Synth.demo_config (Synth.demo_problem ()))
+  in
+  (* Establish a 4-level session... *)
+  let r = Service.handle_line service (calibrate_line lines) in
+  Alcotest.(check bool) "first calibrate ok" true
+    (Json.member "ok" r = Some (Json.Bool true));
+  (* ...then calibrate a problem with a different hierarchy size: the
+     session cannot hold both, so the request is rejected cleanly. *)
+  let p = Synth.demo_problem () in
+  let mono =
+    { p with
+      Optimizer.levels = [| p.Optimizer.levels.(3) |];
+      spec =
+        Spec.of_string
+          ~baseline_scale:p.Optimizer.spec.Spec.baseline_scale "6" }
+  in
+  let req =
+    Json.to_string
+      (Json.Obj
+         [ ("op", Json.String "calibrate");
+           ("problem", Codec.problem_to_json mono);
+           ("log", Json.List [ Json.String "t=0 event=START" ]) ])
+  in
+  Alcotest.(check (option string)) "level mismatch" (Some "invalid-request")
+    (error_code (Service.handle_line service req))
+
+let fuzz_service_calibrate =
+  (* The op is total: arbitrary byte noise in the log array can shrink
+     the usable evidence but never raise. *)
+  QCheck.Test.make ~name:"service calibrate never raises on junk logs"
+    ~count:50
+    (QCheck.make QCheck.Gen.(list_size (int_bound 20) line_no_newline))
+    (fun lines ->
+      with_service @@ fun service ->
+      match Service.handle_line service (calibrate_line lines) with
+      | r -> (
+          match Json.member "ok" r with
+          | Some (Json.Bool _) -> true
+          | _ -> QCheck.Test.fail_reportf "response has no ok field")
+      | exception e ->
+          QCheck.Test.fail_reportf "calibrate raised %s" (Printexc.to_string e))
+
+(* ---------------- runner ---------------- *)
+
+let qcheck = List.map (QCheck_alcotest.to_alcotest ~verbose:false)
+
+let () =
+  Alcotest.run "ckpt_calibrate"
+    [ ( "scr-log",
+        [ Alcotest.test_case "records" `Quick test_parse_line_records;
+          Alcotest.test_case "lenient-grammar" `Quick test_parse_line_lenient_grammar;
+          Alcotest.test_case "rejections" `Quick test_parse_line_rejections;
+          Alcotest.test_case "invariant-and-numbering" `Quick
+            test_parse_invariant_and_numbering;
+          Alcotest.test_case "to-line-roundtrip" `Quick test_to_line_roundtrip ] );
+      ( "scr-log-fuzz",
+        qcheck [ fuzz_arbitrary_bytes; fuzz_truncated_lines; fuzz_interleaved_sessions ] );
+      ( "account",
+        [ Alcotest.test_case "merges" `Quick test_account_merges;
+          Alcotest.test_case "interruption-inference" `Quick
+            test_account_interruption_inference;
+          Alcotest.test_case "level-clamping" `Quick test_account_level_clamping ] );
+      ( "fit",
+        [ Alcotest.test_case "roundtrip" `Quick test_roundtrip_calibration;
+          Alcotest.test_case "golden-fixture" `Quick test_golden_fixture ] );
+      ( "service",
+        [ Alcotest.test_case "calibrate-ok" `Quick test_service_calibrate_ok;
+          Alcotest.test_case "calibrate-errors" `Quick test_service_calibrate_errors;
+          Alcotest.test_case "level-mismatch" `Quick
+            test_service_calibrate_level_mismatch ]
+        @ qcheck [ fuzz_service_calibrate ] ) ]

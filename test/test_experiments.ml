@@ -172,7 +172,7 @@ let test_time_analysis_small () =
     sl_ori
 
 let test_registry () =
-  Alcotest.(check int) "17 experiments" 17 (List.length E.Registry.all);
+  Alcotest.(check int) "18 experiments" 18 (List.length E.Registry.all);
   List.iter
     (fun id ->
       match E.Registry.find id with
@@ -180,7 +180,7 @@ let test_registry () =
       | None -> Alcotest.fail ("missing " ^ id))
     [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "table2"; "table3";
       "table4"; "convergence"; "nonconvexity"; "costmodel"; "sensitivity"; "scr";
-      "weakscaling"; "ablations" ];
+      "weakscaling"; "ablations"; "calibration" ];
   Alcotest.(check bool) "case-insensitive" true (E.Registry.find "FIG3" <> None);
   Alcotest.(check bool) "unknown" true (E.Registry.find "fig99" = None)
 

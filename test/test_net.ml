@@ -410,6 +410,30 @@ let test_loopback_byte_identical_to_stdin_path () =
   Alcotest.(check int) "request counter" (List.length stream) (Server.requests server);
   Alcotest.(check int) "connection counter" 1 (Server.connections server)
 
+let test_op_counts () =
+  (* The per-op routing counters: every answered line is bucketed by its
+     envelope's "op" (parsed once, reused for routing), unreadable
+     envelopes land in "invalid", and in-band shutdown is counted even
+     though it never reaches the service. *)
+  with_server @@ fun _service server ->
+  Alcotest.(check (list (pair string int))) "fresh server" []
+    (Server.op_counts server);
+  ( with_client server @@ fun c ->
+    List.iter
+      (fun l -> send c l; ignore (recv_exn c "op-counts"))
+      [ plan_line 0; plan_line 1; sweep_line 2; observe_line 0;
+        estimate_line 3; "not json at all"; "{\"problem\": {}}" ] );
+  Alcotest.(check (list (pair string int))) "buckets sorted by op"
+    [ ("estimate", 1); ("invalid", 2); ("observe", 1); ("plan", 2); ("sweep", 1) ]
+    (Server.op_counts server);
+  (* In-band shutdown is acknowledged and counted. *)
+  ( with_client server @@ fun c ->
+    send c "{\"op\": \"shutdown\", \"id\": 9}";
+    ignore (recv_exn c "shutdown ack") );
+  Server.join server;
+  Alcotest.(check (option int)) "shutdown counted" (Some 1)
+    (List.assoc_opt "shutdown" (Server.op_counts server))
+
 let test_loopback_blank_and_oversized_lines () =
   let config = { Server.default_config with Server.max_line_bytes = 2048 } in
   with_server ~config @@ fun _service server ->
@@ -747,6 +771,7 @@ let () =
       ( "server",
         [ Alcotest.test_case "loopback-byte-identical" `Quick
             test_loopback_byte_identical_to_stdin_path;
+          Alcotest.test_case "op-counts" `Quick test_op_counts;
           Alcotest.test_case "blank-and-oversized" `Quick
             test_loopback_blank_and_oversized_lines;
           Alcotest.test_case "overloaded" `Quick test_overloaded_rejection;

@@ -3,9 +3,10 @@
    Usage:  diff.exe BASELINE.json FRESH.json [--threshold PCT]
 
    For every kernel present in both files, the primary mean time
-   (sequential.mean_ns, or wall.mean_ns for the planner kernels) is
-   compared; a kernel slower than baseline by more than the threshold
-   (default 25%) is a regression and the exit status is 1.  Kernels only
+   (sequential.mean_ns, or wall.mean_ns for the planner kernels) and its
+   minor-heap allocation per rep are compared; a kernel worse than
+   baseline by more than the threshold (default 25%) on either is a
+   regression and the exit status is 1.  Kernels only
    on one side are reported but never fail the run — the set changes as
    benchmarks are added.  Machine-to-machine noise is why the threshold
    is generous: this is a tripwire for order-of-magnitude mistakes
@@ -59,6 +60,26 @@ let kernels doc =
               let primary =
                 match mean "sequential" with Some m -> Some m | None -> mean "wall"
               in
+              (* Allocation per rep is the one machine-independent
+                 metric here: wall time drifts with the box, but a
+                 kernel that suddenly allocates more re-boxed something.
+                 Same lenience as mean time; kernels allocating under a
+                 few kwords are skipped — at that size a single extra
+                 closure trips the percentage gate without meaning
+                 anything. *)
+              let words timing =
+                Option.bind (J.member timing entry)
+                  (J.float_field "minor_words_per_rep")
+              in
+              let primary_words =
+                match
+                  (match words "sequential" with
+                  | Some w -> Some w
+                  | None -> words "wall")
+                with
+                | Some w when w >= 4096. -> Some w
+                | _ -> None
+              in
               (* Worker-scaling trajectory entries also gate their
                  speedup_vs_1_worker: a scaling collapse (a new lock on
                  the fan-out path) can hide inside acceptable absolute
@@ -75,6 +96,11 @@ let kernels doc =
                       { kernel; what = "mean_ns"; value; better = `Lower;
                         unit_ = "ms"; scale = 1e6; lenience = 1. })
                     primary;
+                  Option.map
+                    (fun value ->
+                      { kernel; what = "minor_words_per_rep"; value;
+                        better = `Lower; unit_ = "kw"; scale = 1e3; lenience = 1. })
+                    primary_words;
                   Option.map
                     (fun value ->
                       { kernel; what = "qps"; value; better = `Higher;

@@ -51,6 +51,16 @@ let plan_request idx =
     [ ("id", Json.Number (float_of_int idx));
       ("problem", Codec.problem_to_json problem_pool.(idx mod pool_size)) ]
 
+let batch_plan_request idx =
+  (* Four problems per request, walking the pool: the planner's SoA batch
+     solver path, one wire round-trip amortized over K solves. *)
+  with_op "batch-plan"
+    [ ("id", Json.Number (float_of_int idx));
+      ( "problems",
+        Json.List
+          (List.init 4 (fun k ->
+               Codec.problem_to_json problem_pool.((idx + k) mod pool_size))) ) ]
+
 let sweep_request idx =
   with_op "sweep"
     [ ("id", Json.Number (float_of_int idx));
@@ -120,7 +130,8 @@ let request_of_index mix idx =
     | Plan_only -> plan_request idx
     | Mixed -> (
         match idx mod 20 with
-        | 0 | 1 | 2 | 3 | 4 | 5 | 6 | 7 | 8 | 9 | 10 | 11 | 12 | 13 -> plan_request idx
+        | 0 | 1 | 2 | 3 | 4 | 5 | 6 | 7 | 8 | 9 | 10 | 11 -> plan_request idx
+        | 12 | 13 -> batch_plan_request idx
         | 14 | 15 | 16 -> sweep_request idx
         | 17 -> observe_request idx
         | 18 -> calibrate_request idx
@@ -406,8 +417,9 @@ let trajectory =
 
 let mix_arg =
   Arg.(value & opt string "mix"
-       & info [ "mix" ] ~docv:"MIX" ~doc:"Request mix: plan (cacheable plans only) or mix \
-                                          (70/15/5/5/5 plan/sweep/observe/calibrate/estimate).")
+       & info [ "mix" ] ~docv:"MIX"
+           ~doc:"Request mix: plan (cacheable plans only) or mix (60/10/15/5/5/5 \
+                 plan/batch-plan/sweep/observe/calibrate/estimate).")
 
 let server_workers =
   Arg.(value & opt int 2

@@ -198,8 +198,8 @@ let run input output workers cache_capacity precision append_stats self listen
     let lines = if append_stats then lines @ [ {|{"op":"stats"}|} ] else lines in
     let service = Service.create ~workers ~cache_capacity ~precision () in
     Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
-    let responses = Service.handle_batch service lines in
-    let emit oc = List.iter (fun r -> output_string oc (Json.to_string r); output_char oc '\n') responses in
+    let responses = Service.handle_batch_lines service lines in
+    let emit oc = List.iter (fun r -> output_string oc r; output_char oc '\n') responses in
     (match output with
     | None -> emit stdout
     | Some path -> Out_channel.with_open_text path emit);

@@ -166,6 +166,52 @@ let plan_to_json (p : Optimizer.plan) =
       ("inner_iterations", Json.Number (float_of_int p.Optimizer.inner_iterations));
       ("converged", Json.Bool p.Optimizer.converged) ]
 
+(* [plan_to_json] + compact serialization in one pass, byte-identical
+   to [Json.to_string (plan_to_json p)]: plans dominate response bytes
+   on the service fast path, so they are streamed into the response
+   buffer without building the tree. *)
+let write_float_array buf a =
+  if Array.length a = 0 then Buffer.add_string buf "[]"
+  else begin
+    Buffer.add_char buf '[';
+    Array.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        Json.add_number buf x)
+      a;
+    Buffer.add_char buf ']'
+  end
+
+let write_plan buf (p : Optimizer.plan) =
+  Buffer.add_string buf "{\"xs\":";
+  write_float_array buf p.Optimizer.xs;
+  Buffer.add_string buf ",\"n\":";
+  Json.add_number buf p.Optimizer.n;
+  Buffer.add_string buf ",\"wall_clock\":";
+  Json.add_number buf p.Optimizer.wall_clock;
+  Buffer.add_string buf ",\"mus\":";
+  write_float_array buf p.Optimizer.mus;
+  let b = p.Optimizer.breakdown in
+  Buffer.add_string buf ",\"breakdown\":{\"productive\":";
+  Json.add_number buf b.Multilevel.productive;
+  Buffer.add_string buf ",\"checkpoint\":";
+  Json.add_number buf b.Multilevel.checkpoint;
+  Buffer.add_string buf ",\"restart\":";
+  Json.add_number buf b.Multilevel.restart;
+  Buffer.add_string buf ",\"allocation\":";
+  Json.add_number buf b.Multilevel.allocation;
+  Buffer.add_string buf ",\"rollback\":";
+  Json.add_number buf b.Multilevel.rollback;
+  Buffer.add_string buf "},\"efficiency\":";
+  Json.add_number buf p.Optimizer.efficiency;
+  Buffer.add_string buf ",\"outer_iterations\":";
+  Json.add_number buf (float_of_int p.Optimizer.outer_iterations);
+  Buffer.add_string buf ",\"inner_iterations\":";
+  Json.add_number buf (float_of_int p.Optimizer.inner_iterations);
+  Buffer.add_string buf ",\"converged\":";
+  Buffer.add_string buf (if p.Optimizer.converged then "true" else "false");
+  Buffer.add_char buf '}'
+
 let plan_of_json json =
   let need_int key =
     match Option.bind (Json.member key json) Json.to_int with

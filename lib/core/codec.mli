@@ -24,6 +24,11 @@ val plan_of_json : Ckpt_json.Json.t -> (Optimizer.plan, string) result
 (** The breakdown, iteration counters and flags round-trip; plans loaded
     from JSON are complete for simulation and reporting. *)
 
+val write_plan : Buffer.t -> Optimizer.plan -> unit
+(** Stream the plan's compact JSON into [buf], byte-identical to
+    [Json.to_string (plan_to_json p)] — the service fast path encodes
+    plans without building the tree. *)
+
 val bundle_to_json : problem:Optimizer.problem -> plan:Optimizer.plan -> Ckpt_json.Json.t
 (** The [{"problem": ..., "plan": ...}] document the CLIs exchange. *)
 

@@ -111,3 +111,10 @@ val expected_wall_clock_fast :
 (** {!expected_wall_clock} evaluated through the given workspace —
     bit-identical to the reference; exposed for the property tests and
     for callers evaluating E(T_w) in a loop. *)
+
+val fill_speedup : Speedup.t -> float -> float array -> unit
+(** Write [g(n)] and [g'(n)] into slots [Workspace.slot_g] /
+    [Workspace.slot_gd] of the given scalar-slot array (the {!Ckpt_fastpath}
+    [Workspace] and [Batch] scratch share those indices), replicating each
+    speedup form's closure arithmetic exactly.  Exposed for the batch
+    solver's fill, which must stay bit-identical to this one. *)

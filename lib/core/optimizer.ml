@@ -197,6 +197,210 @@ let solve ?delta ?max_outer ?fixed_n ?n_max ?warm p =
 let solve_reference ?delta ?max_outer ?fixed_n ?n_max ?warm p =
   solve_with ~reference:true ?delta ?max_outer ?fixed_n ?n_max ?warm p
 
+(* ------------------------------------------------------------------ *)
+(* Batch solving: K problems per pass through the struct-of-arrays
+   fastpath workspace.  One [Batch.t] per domain (like the solver
+   workspace), so pool workers fan stripes out without sharing scratch.
+   Every kernel and fill mirrors the single-solve path's arithmetic —
+   each row's plan is bitwise equal to [solve] (and so to
+   [solve_reference]) of the same job; test/test_fastpath.ml checks. *)
+
+module Batch = Ckpt_fastpath.Batch
+
+type batch_job = { problem : problem; fixed_n : float option; delta : float }
+
+let batch_job ?(delta = 1e-9) ?fixed_n problem = { problem; fixed_n; delta }
+
+let batch_ws_key = Domain.DLS.new_key (fun () -> Batch.create ())
+
+(* Mirrors [Multilevel.fill]: overhead-law terms guarded by the row's
+   [cost_key] (functions of the scale alone, they survive the outer
+   mu re-estimation rounds), mu terms and the shared speedup slots by
+   the full [key].  [mi] replicates [Scale_fn.eval] of the Affine law
+   [mus_for] builds: [0. +. (slope*estimate) *. n]. *)
+let batch_fill b (p : problem) ~row n =
+  if b.Batch.key.(row) <> n then begin
+    Multilevel.fill_speedup p.speedup n b.Batch.s;
+    let off = row * b.Batch.stride in
+    let nl = b.Batch.nlev.(row) in
+    if b.Batch.cost_key.(row) <> n then begin
+      for i = 0 to nl - 1 do
+        let lvl = p.levels.(i) in
+        b.Batch.ci.(off + i) <- Overhead.cost lvl.Level.ckpt n;
+        b.Batch.ci_d.(off + i) <- Overhead.cost' lvl.Level.ckpt n;
+        b.Batch.ri.(off + i) <- Overhead.cost lvl.Level.restart n;
+        b.Batch.ri_d.(off + i) <- Overhead.cost' lvl.Level.restart n
+      done;
+      b.Batch.cost_key.(row) <- n
+    end;
+    for i = 0 to nl - 1 do
+      let se = b.Batch.slope.(off + i) in
+      b.Batch.mi.(off + i) <- 0. +. (se *. n);
+      b.Batch.mi_d.(off + i) <- se
+    done;
+    b.Batch.key.(row) <- n
+  end
+
+(* Mirrors [Multilevel.solve_scale_ws] without a hint (batch rows run
+   cold, like [solve_with]'s outer rounds). *)
+let batch_solve_scale b p ~row ~n_hi =
+  let f n =
+    batch_fill b p ~row n;
+    Batch.d_dn b ~row ~te:p.te ~alloc:p.alloc
+  in
+  if f n_hi <= 0. then n_hi
+  else if f 1. >= 0. then 1.
+  else
+    (Ckpt_numerics.Roots.bisect_integer ~f ~lo:1. ~hi:n_hi ())
+      .Ckpt_numerics.Roots.root
+
+(* Mirrors [Multilevel.optimize] (cold start, default tol/max_iter) on
+   one batch row.  The solved scale lands in [slot_n] and its E(T_w) in
+   [slot_wall]; returns the iteration count, with the converged flag as
+   the sign bit (a tuple or closure here would allocate once per outer
+   round).  The loop and its finisher are top-level functions for the
+   same reason the single-solve path keeps its scale iterate in a slot:
+   local closures allocate per call under the non-flambda compiler. *)
+let batch_opt_finish b p ~row n iter converged =
+  batch_fill b p ~row n;
+  b.Batch.s.(Batch.slot_n) <- n;
+  b.Batch.s.(Batch.slot_wall) <-
+    Batch.expected_wall_clock b ~row ~te:p.te ~alloc:p.alloc;
+  if converged then iter else -iter
+
+(* tol/max_iter are [Multilevel.optimize]'s defaults, which [solve_with]
+   never overrides. *)
+let rec batch_opt_loop b p ~row fixed_n ~n_hi iter =
+  let s = b.Batch.s in
+  let n = s.(Batch.slot_n) in
+  if iter >= 10_000 then batch_opt_finish b p ~row n iter false
+  else begin
+    Batch.save_xs b ~row;
+    if b.Batch.key.(row) <> n then batch_fill b p ~row n;
+    Batch.x_sweep b ~row ~te:p.te;
+    let n' =
+      match fixed_n with
+      | Some n -> n
+      | None -> batch_solve_scale b p ~row ~n_hi
+    in
+    let dx = Batch.max_abs_diff_xs b ~row in
+    if dx <= 1e-6 && Float.abs (n' -. n) <= 0.5 then
+      batch_opt_finish b p ~row n' (iter + 1) true
+    else begin
+      s.(Batch.slot_n) <- n';
+      batch_opt_loop b p ~row fixed_n ~n_hi (iter + 1)
+    end
+  end
+
+(* The key invalidation at entry is the [Workspace.reserve] twin: each
+   outer round re-fills the mu terms at the new estimate, while
+   [cost_key] keeps the scale-only terms across rounds. *)
+let batch_optimize b p ~row fixed_n ~n_hi =
+  b.Batch.key.(row) <- nan;
+  let n0 = match fixed_n with Some n -> n | None -> n_hi in
+  batch_fill b p ~row n0;
+  Batch.young_init b ~row ~te:p.te;
+  b.Batch.s.(Batch.slot_n) <- n0;
+  batch_opt_loop b p ~row fixed_n ~n_hi 0
+
+(* Mirrors [solve_with]'s outer loop (cold: no warm plan, no injected
+   estimate) on one batch row, allocation-free until the final plan
+   record.  The wall-clock estimate rides in [slot_est]. *)
+let rec batch_outer b ~row ~delta ~max_outer ~n_hi (p : problem) fixed_n
+    prev_valid outer inner =
+  let off = row * b.Batch.stride in
+  let nl = Array.length p.levels in
+  let s = b.Batch.s in
+  let estimate = s.(Batch.slot_est) in
+  if not (Float.is_finite estimate) then
+    let n0 = match fixed_n with Some n -> n | None -> n_hi in
+    divergent_plan p ~n:n0 ~outer ~inner
+  else begin
+    for i = 0 to nl - 1 do
+      b.Batch.slope.(off + i) <-
+        Failure_spec.rate_per_second' p.spec ~level:(i + 1) *. estimate
+    done;
+    let signed_iters = batch_optimize b p ~row fixed_n ~n_hi in
+    let iters = abs signed_iters in
+    let inner_converged = signed_iters >= 0 in
+    let inner = inner + iters in
+    let n_sol = s.(Batch.slot_n) in
+    let estimate' = s.(Batch.slot_wall) in
+    if not (Float.is_finite estimate') then
+      divergent_plan p ~n:n_sol ~outer:(outer + 1) ~inner
+    else begin
+      for i = 0 to nl - 1 do
+        b.Batch.mu.(off + i) <-
+          Failure_spec.rate_per_second p.spec ~level:(i + 1) ~scale:n_sol
+          *. estimate'
+      done;
+      let drift = if prev_valid then Batch.mu_drift b ~row else infinity in
+      if drift <= delta || outer + 1 >= max_outer then begin
+        let sol =
+          { Multilevel.xs = Batch.xs_copy b ~row;
+            n = n_sol;
+            wall_clock = estimate';
+            iterations = iters;
+            converged = inner_converged }
+        in
+        let converged = if drift <= delta then inner_converged else false in
+        finish p ~sol ~estimate:estimate' ~outer:(outer + 1) ~inner ~converged
+      end
+      else begin
+        s.(Batch.slot_est) <- estimate';
+        Batch.commit_mus b ~row;
+        batch_outer b ~row ~delta ~max_outer ~n_hi p fixed_n true (outer + 1)
+          inner
+      end
+    end
+  end
+
+let solve_batch_row b ~row ~delta ~max_outer ~n_max (p : problem) fixed_n =
+  let n_hi = Speedup.search_upper_bound p.speedup ~default:n_max in
+  let n0 = match fixed_n with Some n -> n | None -> n_hi in
+  b.Batch.s.(Batch.slot_est) <-
+    Speedup.productive_time p.speedup ~te:p.te ~n:n0;
+  batch_outer b ~row ~delta ~max_outer ~n_hi p fixed_n false 0 0
+
+let solve_batch ?(max_outer = 1_000) ?(n_max = 1e9) (jobs : batch_job array) =
+  let k = Array.length jobs in
+  if k = 0 then [||]
+  else begin
+    let b = Domain.DLS.get batch_ws_key in
+    let stride =
+      Array.fold_left (fun m j -> max m (Array.length j.problem.levels)) 1 jobs
+    in
+    Batch.reserve b ~rows:k ~stride;
+    Array.iteri
+      (fun row j ->
+        b.Batch.nlev.(row) <- Array.length j.problem.levels;
+        if row = 0 || not (jobs.(row - 1).problem == j.problem) then
+          check_problem j.problem)
+      jobs;
+    Array.mapi
+      (fun row j ->
+        (* A row starting at the scale its neighbour last filled shares
+           the neighbour's overhead-law terms: same hierarchy at the
+           same scale means the same values, copied instead of
+           recomputed. *)
+        (if row > 0 then begin
+           let prev = jobs.(row - 1) in
+           let n0 =
+             match j.fixed_n with
+             | Some n -> n
+             | None ->
+                 Speedup.search_upper_bound j.problem.speedup ~default:n_max
+           in
+           if
+             prev.problem.levels == j.problem.levels
+             && b.Batch.cost_key.(row - 1) = n0
+           then Batch.share_costs b ~src:(row - 1) ~dst:row
+         end);
+        solve_batch_row b ~row ~delta:j.delta ~max_outer ~n_max j.problem
+          j.fixed_n)
+      jobs
+  end
+
 type outcome = Converged of plan | Diverged of plan | Non_finite of plan
 
 let plan_of_outcome = function

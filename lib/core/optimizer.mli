@@ -75,6 +75,30 @@ val solve_reference :
     bit-identical results by contract; the oracle the fastpath property
     tests compare against. *)
 
+(** One problem of a batch solve: [fixed_n]/[delta] as in {!solve}. *)
+type batch_job = { problem : problem; fixed_n : float option; delta : float }
+
+val batch_job : ?delta:float -> ?fixed_n:float -> problem -> batch_job
+(** [delta] defaults to [1e-9], matching {!solve}. *)
+
+val solve_batch :
+  ?max_outer:int -> ?n_max:float -> batch_job array -> plan array
+(** Solve K problems in one pass over the struct-of-arrays batch
+    workspace (one per domain): problem terms live in contiguous
+    per-level stripes, the Algorithm-1 outer loop runs allocation-free
+    per row, overhead-law terms are cached per scale across the outer
+    rounds, and neighbouring rows that share a hierarchy and scale
+    share those terms outright.  Plans return in job order.
+
+    Bit-identity: each row's plan is bitwise equal to
+    [solve ?delta ?fixed_n problem] of its job — the batch path is an
+    evaluation-order-preserving rearrangement of the single solve, and
+    the property tests compare it per problem against
+    {!solve_reference}.
+
+    @raise Invalid_argument if any job's problem fails
+    {!check_problem}. *)
+
 (** How a solve ended.  [solve] already hard-caps both iteration layers
     ([max_outer], {!Multilevel.optimize}'s [max_iter]), so it always
     terminates; the outcome makes the three terminal states explicit

@@ -1,0 +1,81 @@
+(** Struct-of-arrays batch workspace for solving K problems per pass.
+
+    Each row of the batch owns a contiguous stripe of every per-level
+    array; the evaluation kernels are row-indexed twins of {!Eval} (and
+    therefore of the [Multilevel] reference implementation) under the
+    same bit-identity contract — see lib/fastpath/README.md, "Batch
+    evaluation".  A batch instance is single-domain scratch: the driver
+    ([Optimizer.solve_batch]) keeps one per domain in DLS, and stripes
+    handed to pool workers land on that worker's own instance. *)
+
+type t = {
+  mutable rows : int;
+  mutable stride : int;
+  mutable ci : float array;
+  mutable ci_d : float array;
+  mutable ri : float array;
+  mutable ri_d : float array;
+  mutable mi : float array;
+  mutable mi_d : float array;
+  mutable xs : float array;
+  mutable xs_prev : float array;
+  mutable slope : float array;
+  mutable mu : float array;
+  mutable prev_mu : float array;
+  mutable nlev : int array;
+  mutable key : float array;
+  mutable cost_key : float array;
+  s : float array;
+}
+
+(** Shared scalar slots.  [slot_g]/[slot_gd] equal the {!Workspace}
+    indices so [Multilevel.fill_speedup] writes either scratch array. *)
+
+val slot_g : int
+val slot_gd : int
+val slot_acc : int
+val slot_acc2 : int
+val slot_acc3 : int
+val slot_n : int
+val slot_wall : int
+val slot_est : int
+val num_slots : int
+
+val create : ?rows:int -> ?stride:int -> unit -> t
+(** Allocate a batch workspace; it grows on {!reserve}. *)
+
+val reserve : t -> rows:int -> stride:int -> unit
+(** Size the workspace for [rows] problems of up to [stride] levels
+    each and invalidate every row's fill keys. *)
+
+val share_costs : t -> src:int -> dst:int -> unit
+(** Copy the overhead-law stripes (and their [cost_key]) from [src] to
+    [dst].  Only valid when both rows have physically equal level
+    hierarchies and [dst] is about to be filled at [cost_key.(src)];
+    the caller checks both. *)
+
+val x_sweep : t -> row:int -> te:float -> unit
+(** One Gauss–Seidel sweep of Eq. (23) over the row, in place. *)
+
+val d_dn : t -> row:int -> te:float -> alloc:float -> float
+(** Eq. (24) at the row's key scale. *)
+
+val expected_wall_clock : t -> row:int -> te:float -> alloc:float -> float
+(** Eq. (21) at the row's key scale. *)
+
+val young_init : t -> row:int -> te:float -> unit
+(** Eq. (25) into the row's [xs], in place. *)
+
+val save_xs : t -> row:int -> unit
+val max_abs_diff_xs : t -> row:int -> float
+
+val mu_drift : t -> row:int -> float
+(** Max absolute difference between the row's [prev_mu] and [mu]
+    stripes — the Algorithm-1 outer drift. *)
+
+val commit_mus : t -> row:int -> unit
+(** Make the row's current [mu] stripe the next round's drift
+    reference. *)
+
+val xs_copy : t -> row:int -> float array
+(** The row's live [xs] prefix as a fresh array. *)

@@ -248,6 +248,56 @@ let number_to_string f =
     if float_of_string shorter = f then shorter else s
   end
 
+let rec add_digits buf i =
+  if i >= 10 then add_digits buf (i / 10);
+  Buffer.add_char buf (Char.unsafe_chr (Char.code '0' + (i mod 10)))
+
+(* [number_to_string] into a caller's buffer, with the integral case —
+   iteration counts, grid scales, array lengths, most of a response's
+   numbers — rendered digit by digit instead of through printf.  The
+   output is byte-identical: [%.0f] on an integral |f| < 1e15 is the
+   plain decimal spelling ("-0" included). *)
+let add_number buf f =
+  if Float.is_integer f && Float.abs f < 1e15 then begin
+    if f = 0. then
+      Buffer.add_string buf (if 1. /. f < 0. then "-0" else "0")
+    else begin
+      if f < 0. then Buffer.add_char buf '-';
+      add_digits buf (int_of_float (Float.abs f))
+    end
+  end
+  else Buffer.add_string buf (number_to_string f)
+
+let add_escaped = escape_string
+
+(* Compact emission into a caller's buffer: the non-pretty [to_string],
+   reusable across responses without rebuilding the buffer. *)
+let rec add_json buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Number f -> add_number buf f
+  | String s -> escape_string buf s
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_json buf v)
+        items;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_string buf k;
+          Buffer.add_char buf ':';
+          add_json buf v)
+        fields;
+      Buffer.add_char buf '}'
+
 let to_string ?(pretty = false) t =
   let buf = Buffer.create 256 in
   let indent level = if pretty then Buffer.add_string buf (String.make (2 * level) ' ') in

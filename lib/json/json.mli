@@ -34,6 +34,21 @@ val to_string : ?pretty:bool -> t -> string
     indentation.  Strings are escaped per RFC 8259; non-finite numbers
     are emitted as [null] (JSON cannot represent them). *)
 
+(** {1 Buffer writers} — the compact serializer piecewise, for encoders
+    that stream a response into a reusable buffer without building the
+    tree first.  Output is byte-identical to the corresponding
+    [to_string ~pretty:false] fragment. *)
+
+val add_json : Buffer.t -> t -> unit
+(** Compact {!to_string} into [buf]. *)
+
+val add_number : Buffer.t -> float -> unit
+(** One number, with integral values rendered digit-by-digit (no printf
+    on the hot path) and non-finite values as [null]. *)
+
+val add_escaped : Buffer.t -> string -> unit
+(** One RFC 8259-escaped string literal, quotes included. *)
+
 (** {1 Accessors} — total functions returning [option]. *)
 
 val member : string -> t -> t option

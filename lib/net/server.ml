@@ -167,20 +167,25 @@ let lock_with_deadline mutex ~ms =
   in
   try_until ()
 
+(* Returns the response already rendered to its wire line: the hot
+   plan-shaped responses are streamed by [Service.handle_line_string]
+   without ever materializing a JSON tree, and the server writes the
+   string out verbatim. *)
 let process t ?id ~op line =
   if not (Gate.try_acquire t.gate) then
-    overloaded_response ?id ~capacity:(Gate.capacity t.gate) ()
+    Json.to_string (overloaded_response ?id ~capacity:(Gate.capacity t.gate) ())
   else
     Fun.protect ~finally:(fun () -> Gate.release t.gate) @@ fun () ->
     if not (lock_with_deadline t.coordinator ~ms:t.config.request_deadline_ms) then
-      deadline_response ?id ~ms:t.config.request_deadline_ms ()
+      Json.to_string (deadline_response ?id ~ms:t.config.request_deadline_ms ())
     else
       Fun.protect ~finally:(fun () -> Mutex.unlock t.coordinator) @@ fun () ->
       let response =
         (* The service answers every parseable-or-not line structurally;
            anything it still raises is a server bug, answered as an
            [internal] error rather than a dropped connection. *)
-        try Service.handle_line t.service line with e -> internal_response ?id e
+        try Service.handle_line_string t.service line
+        with e -> Json.to_string (internal_response ?id e)
       in
       locked t (fun () ->
           t.requests <- t.requests + 1;
@@ -203,11 +208,12 @@ let handle_connection t fd index =
       let reader = Frame.reader ~max_line_bytes:t.config.max_line_bytes fd in
       let first = ref true in
       let answered = ref 0 in
-      let respond json =
+      let respond_line s =
         if slow > 0. then Thread.delay slow;
-        Frame.write_line fd (Json.to_string json);
+        Frame.write_line fd s;
         incr answered
       in
+      let respond json = respond_line (Json.to_string json) in
       (try
          let rec loop () =
            if draining t then ()
@@ -232,7 +238,7 @@ let handle_connection t fd index =
                    stop t
                  end
                  else begin
-                   respond (process t ?id ~op line);
+                   respond_line (process t ?id ~op line);
                    if half_close && !answered = 1 then
                      (* Injected half-close: our write side goes away
                         after the first response; keep draining reads so

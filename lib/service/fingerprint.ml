@@ -48,12 +48,28 @@ let canonical ?(precision = default_precision) (p : Optimizer.problem) =
     (speedup_repr ~f p.Optimizer.speedup)
     (f p.Optimizer.te)
 
-let hash_string s =
-  let h = ref 0xcbf29ce484222325L in
+let hash_init = 0xcbf29ce484222325L
+
+let hash_fold h s =
+  let h = ref h in
   String.iter
     (fun c ->
       h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
     s;
-  Printf.sprintf "%016Lx" !h
+  !h
+
+let hex_digits = "0123456789abcdef"
+
+(* Same 16 lowercase hex digits [%016Lx] prints, without the printf
+   machinery — the hot key path renders one per query. *)
+let hash_hex h =
+  let b = Bytes.create 16 in
+  for i = 0 to 15 do
+    let nibble = Int64.to_int (Int64.shift_right_logical h ((15 - i) * 4)) land 0xf in
+    Bytes.unsafe_set b i (String.unsafe_get hex_digits nibble)
+  done;
+  Bytes.unsafe_to_string b
+
+let hash_string s = hash_hex (hash_fold hash_init s)
 
 let of_problem ?precision p = hash_string (canonical ?precision p)

@@ -41,4 +41,16 @@ val of_problem : ?precision:int -> Ckpt_model.Optimizer.problem -> string
 
 val hash_string : string -> string
 (** 64-bit FNV-1a of an arbitrary string, as 16 lowercase hex digits.
-    Deterministic across runs and domains (no [Hashtbl.hash] seeding). *)
+    Deterministic across runs and domains (no [Hashtbl.hash] seeding).
+    Equal to [hash_hex (hash_fold hash_init s)]. *)
+
+val hash_init : int64
+(** The FNV-1a offset basis — the accumulator before any byte. *)
+
+val hash_fold : int64 -> string -> int64
+(** Fold a piece into a running FNV-1a accumulator.  Folding
+    [s1, s2, ...] in order equals hashing their concatenation, so hot
+    paths can key on composite strings without building them. *)
+
+val hash_hex : int64 -> string
+(** Render an accumulator as 16 lowercase hex digits ([%016Lx]). *)

@@ -43,12 +43,18 @@ type t = {
   precision : int;
   resilience : resilience;
   chaos : Chaos.t option;
-  (* Breaker state and the solve sequence counter are only touched by
-     the coordinator (solve_batch / replan callers), never by pool
-     workers, so they need no lock. *)
+  (* Breaker state, the canonical-form memo and the solve sequence
+     counter are only touched by the coordinator (solve_batch / replan
+     callers), never by pool workers, so they need no lock. *)
   mutable seq : int;  (* chaos/backoff key of the next uncached solve *)
   mutable consecutive_failures : int;
   mutable open_remaining : int;  (* > 0: breaker open, skip primary *)
+  mutable canon_memo : (Optimizer.problem * int64) option;
+      (* last problem fingerprinted, by physical identity, as the FNV
+         accumulator after folding its canonical form: batch clients
+         send one problem object across a whole batch, so the expensive
+         half of the key — rendering and hashing ~400 canonical bytes —
+         happens once, not per query *)
 }
 
 let create ?(cache_capacity = 4096) ?(precision = Fingerprint.default_precision)
@@ -61,22 +67,43 @@ let create ?(cache_capacity = 4096) ?(precision = Fingerprint.default_precision)
     chaos;
     seq = 0;
     consecutive_failures = 0;
-    open_remaining = 0 }
+    open_remaining = 0;
+    canon_memo = None }
 
 let cache t = t.cache
 let metrics t = t.metrics
 let breaker_open t = t.open_remaining > 0
 
+let canonical_hash t p =
+  match t.canon_memo with
+  | Some (p', h) when p' == p -> h
+  | _ ->
+      let h =
+        Fingerprint.hash_fold Fingerprint.hash_init
+          (Fingerprint.canonical ~precision:t.precision p)
+      in
+      t.canon_memo <- Some (p, h);
+      h
+
+(* The key hashes the byte sequence
+   [canonical ^ "|solution=" ^ ... ^ "|delta=" ^ f delta], folded piece
+   by piece so the composite string is never built.  The canonical
+   prefix's accumulator is memoized per problem object — the two
+   together take the key off the batch critical path.  Coordinator-only
+   (it reads the memo). *)
 let query_key t (q : Protocol.query) =
   let f = Fingerprint.float_repr ~precision:t.precision in
-  let canonical =
-    Printf.sprintf "%s|solution=%s|fixed_n=%s|delta=%s"
-      (Fingerprint.canonical ~precision:t.precision q.Protocol.problem)
-      (Protocol.solution_to_string q.Protocol.solution)
+  let h = canonical_hash t q.Protocol.problem in
+  let h = Fingerprint.hash_fold h "|solution=" in
+  let h = Fingerprint.hash_fold h (Protocol.solution_to_string q.Protocol.solution) in
+  let h = Fingerprint.hash_fold h "|fixed_n=" in
+  let h =
+    Fingerprint.hash_fold h
       (match q.Protocol.fixed_n with None -> "free" | Some n -> f n)
-      (f q.Protocol.delta)
   in
-  Fingerprint.hash_string canonical
+  let h = Fingerprint.hash_fold h "|delta=" in
+  let h = Fingerprint.hash_fold h (f q.Protocol.delta) in
+  Fingerprint.hash_hex h
 
 (* Uncached dispatch, classified.  Without [inject] the underlying solve
    is byte-identical to the pre-outcome dispatch. *)
@@ -211,6 +238,34 @@ let solve_timed t ~skip_primary ~key q =
   let outcome = solve_uncached t ~skip_primary ~key q in
   (outcome, Metrics.now_ms () -. t0)
 
+(* Map a query onto a batch job — the same dispatch [run_query_outcome]
+   performs, minus what the batch solver cannot express: Sl_ori's
+   closed form, and problems that fail validation (the classic path
+   owns the error shape for those).  [None] means "classic path". *)
+let batch_job_of (q : Protocol.query) =
+  let delta = q.Protocol.delta in
+  let p = q.Protocol.problem in
+  match
+    match (q.Protocol.solution, q.Protocol.fixed_n) with
+    | Protocol.Ml_opt, fixed_n -> Some (p, fixed_n)
+    | Protocol.Ml_ori, n ->
+        Some
+          ( p,
+            Some
+              (Option.value n
+                 ~default:
+                   (Speedup.search_upper_bound p.Optimizer.speedup ~default:1e9))
+          )
+    | Protocol.Sl_opt, fixed_n ->
+        Some (Optimizer.single_level_problem p, fixed_n)
+    | Protocol.Sl_ori, _ -> None
+  with
+  | None -> None
+  | Some (p, fixed_n) ->
+      Optimizer.check_problem p;
+      Some (Optimizer.batch_job ~delta ?fixed_n p)
+  | exception _ -> None
+
 (* Coordinator-side bookkeeping for one primary-path outcome, in
    submission order: count-based breaker (open after [breaker_threshold]
    consecutive primary failures, serve fallbacks for [breaker_cooldown]
@@ -315,13 +370,95 @@ let solve_batch ?pool t queries =
               miss_rev := (key, q, next_key t, decide_skip t) :: !miss_rev;
               slot_of.(i) <- slot))
     queries;
-  (* Pass 2: fan the unique misses out. *)
+  (* Pass 2: fan the unique misses out.  Misses the batch solver can
+     express — chaos off, breaker closed, a solver-backed solution
+     shape, a valid problem — go through [Optimizer.solve_batch] in
+     contiguous stripes (one SoA pass per stripe, fanned across the
+     pool), which is bit-identical per row to the classic dispatch, so
+     a converged row IS the classic first-attempt success: zero
+     retries, primary intact, per-row time the stripe mean.  Rows that
+     do not converge are re-dispatched down the classic path, whose
+     retry discipline and fallback chain would have engaged on exactly
+     the same (deterministic) outcome. *)
   let misses = Array.of_list (List.rev !miss_rev) in
+  let solved = Array.make (Array.length misses) None in
+  if t.chaos = None then begin
+    let rows_rev = ref [] in
+    Array.iteri
+      (fun i (_, q, _, skip_primary) ->
+        if not skip_primary then
+          match batch_job_of q with
+          | Some job -> rows_rev := (i, job) :: !rows_rev
+          | None -> ())
+      misses;
+    let rows = Array.of_list (List.rev !rows_rev) in
+    let nrows = Array.length rows in
+    if nrows > 0 then begin
+      let jobs = Array.map snd rows in
+      (* Stripe count: enough to keep every worker busy twice over, but
+         never stripes of fewer than ~8 rows — below that the stripe
+         setup outweighs the shared-term reuse inside it. *)
+      let stripes =
+        match pool with
+        | Some pool when Pool.workers pool > 1 && nrows >= 16 ->
+            let nstripes = min (2 * Pool.workers pool) ((nrows + 7) / 8) in
+            let per = (nrows + nstripes - 1) / nstripes in
+            Array.init nstripes (fun s ->
+                let lo = s * per in
+                (lo, min nrows (lo + per) - lo))
+        | _ -> [| (0, nrows) |]
+      in
+      let solve_stripe (lo, len) =
+        if len <= 0 then ([||], 0.)
+        else
+          let t0 = Metrics.now_ms () in
+          match Optimizer.solve_batch (Array.sub jobs lo len) with
+          | plans -> (plans, (Metrics.now_ms () -. t0) /. float_of_int len)
+          | exception _ -> ([||], 0.)  (* stripe falls back to classic *)
+      in
+      let stripe_results =
+        match pool with
+        | Some pool when Array.length stripes > 1 ->
+            Pool.map pool ~f:solve_stripe stripes
+        | _ -> Array.map solve_stripe stripes
+      in
+      Array.iteri
+        (fun s (lo, len) ->
+          let plans, per_row_ms = stripe_results.(s) in
+          if Array.length plans = len then
+            for k = 0 to len - 1 do
+              let mi, _ = rows.(lo + k) in
+              match Optimizer.classify plans.(k) with
+              | Optimizer.Converged plan ->
+                  solved.(mi) <-
+                    Some
+                      ( ( 0,
+                          false,
+                          Ok { Protocol.plan; cached = false; degraded = None }
+                        ),
+                        per_row_ms )
+              | Optimizer.Diverged _ | Optimizer.Non_finite _ -> ()
+            done)
+        stripes
+    end
+  end;
+  (* Whatever the batch path did not serve goes down the classic path. *)
   let solve (_, q, key, skip_primary) = solve_timed t ~skip_primary ~key q in
-  let solved =
+  let rest_idx =
+    Array.of_list
+      (List.filter
+         (fun i -> Option.is_none solved.(i))
+         (List.init (Array.length misses) Fun.id))
+  in
+  let rest = Array.map (fun i -> misses.(i)) rest_idx in
+  let rest_solved =
     match pool with
-    | Some pool -> Pool.map pool ~f:solve misses
-    | None -> Array.map solve misses
+    | Some pool when Array.length rest > 1 -> Pool.map pool ~f:solve rest
+    | _ -> Array.map solve rest
+  in
+  Array.iteri (fun k i -> solved.(i) <- Some rest_solved.(k)) rest_idx;
+  let solved =
+    Array.map (function Some x -> x | None -> assert false) solved
   in
   (* Pass 3: record, fold breaker state in submission order, cache
      healthy plans (degraded answers are never cached — the primary

@@ -20,6 +20,7 @@ type sweep_param = Scale | Te | Alloc
 
 type request =
   | Plan of query
+  | Batch_plan of { queries : query array }
   | Sweep of { base : query; param : sweep_param; values : float array }
   | Simulate_validate of { query : query; replications : int; seed : int }
   | Observe of { events : Ckpt_adaptive.Telemetry.event list }
@@ -96,6 +97,50 @@ let parse_query json =
     if delta > 0. then Ok () else err "invalid-request" "delta must be positive"
   in
   Ok { problem; solution; fixed_n; delta }
+
+(* A batch-plan is K plan queries sharing the envelope's solution /
+   fixed_n / delta: the shape batch clients (and the SoA batch solver
+   behind the planner) are built for.  Parsed like K independent plan
+   requests — each problem is decoded and validated before anything can
+   reach a worker — but rejected atomically: one bad problem fails the
+   whole request, exactly as one bad value fails a sweep. *)
+let parse_batch_plan json =
+  let* solution =
+    match Json.string_field "solution" json with
+    | None -> Ok Ml_opt
+    | Some s -> solution_of_string s
+  in
+  let fixed_n = Json.float_field "fixed_n" json in
+  let* () =
+    match fixed_n with
+    | Some n when n <= 0. -> err "invalid-request" "fixed_n must be positive"
+    | _ -> Ok ()
+  in
+  let delta = Option.value (Json.float_field "delta" json) ~default:default_delta in
+  let* () =
+    if delta > 0. then Ok () else err "invalid-request" "delta must be positive"
+  in
+  let* items =
+    match Json.list_field "problems" json with
+    | None ->
+        err "invalid-request" "missing field \"problems\" (an array of problem objects)"
+    | Some [] -> err "invalid-request" "empty \"problems\""
+    | Some items -> Ok items
+  in
+  let rec decode acc i = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | item :: rest -> (
+        match Codec.problem_of_json item with
+        | Ok p -> (
+            match Optimizer.check_problem p with
+            | () ->
+                decode ({ problem = p; solution; fixed_n; delta } :: acc) (i + 1) rest
+            | exception Invalid_argument m -> err "invalid-problem" "problems[%d]: %s" i m)
+        | Error m -> err "invalid-problem" "problems[%d]: %s" i m
+        | exception e -> err "invalid-problem" "problems[%d]: %s" i (Printexc.to_string e))
+  in
+  let* queries = decode [] 0 items in
+  Ok (Batch_plan { queries })
 
 let parse_sweep json =
   let* base = parse_query json in
@@ -210,6 +255,7 @@ let parse_request line =
         | Some "plan" ->
             let* q = parse_query json in
             Ok (Plan q)
+        | Some "batch-plan" -> parse_batch_plan json
         | Some "sweep" -> parse_sweep json
         | Some "simulate-validate" -> parse_validate json
         | Some "observe" -> parse_observe json
@@ -276,6 +322,28 @@ let plan_response ?id answer =
           ("cached", Json.Bool answer.cached);
           ("plan", Codec.plan_to_json answer.plan) ]
        @ degraded_fields answer.degraded))
+
+let batch_plan_response ?id points =
+  let point outcome =
+    let fields =
+      match outcome with
+      | Ok answer ->
+          [ ("cached", Json.Bool answer.cached);
+            ("plan", Codec.plan_to_json answer.plan) ]
+          @ degraded_fields answer.degraded
+      | Error e -> [ ("error", error_json e) ]
+    in
+    Json.Obj fields
+  in
+  let solved =
+    Array.fold_left (fun n o -> if Result.is_ok o then n + 1 else n) 0 points
+  in
+  Json.Obj
+    (with_id id
+       [ ("ok", Json.Bool true); ("op", Json.String "batch-plan");
+         ("count", Json.Number (float_of_int (Array.length points)));
+         ("solved", Json.Number (float_of_int solved));
+         ("results", Json.List (Array.to_list (Array.map point points))) ])
 
 let sweep_response ?id ~param points =
   let point (v, outcome) =

@@ -81,6 +81,13 @@ type sweep_param = Scale | Te | Alloc
 
 type request =
   | Plan of query
+  | Batch_plan of { queries : query array }
+      (** [{"op":"batch-plan", "problems":[P1; P2; ...], "solution":s,
+          "fixed_n":n, "delta":d}] — K plan queries sharing the
+          envelope's solution/fixed_n/delta, answered per problem in
+          order.  The canonical wire shape for the planner's SoA batch
+          solver.  Rejected atomically: one undecodable or invalid
+          problem fails the whole request, like a bad sweep value. *)
   | Sweep of { base : query; param : sweep_param; values : float array }
   | Simulate_validate of { query : query; replications : int; seed : int }
   | Observe of { events : Ckpt_adaptive.Telemetry.event list }
@@ -104,6 +111,9 @@ type request =
 type envelope = { id : Ckpt_json.Json.t option; request : (request, error) result }
 (** The [id] survives even when the request itself is rejected, so error
     responses can still be correlated by the client. *)
+
+val default_delta : float
+(** Outer-loop threshold applied when a request omits ["delta"] (1e-9). *)
 
 val solution_of_string : string -> (solution, error) result
 val solution_to_string : solution -> string
@@ -142,6 +152,11 @@ type answer = {
 val error_response : ?id:Ckpt_json.Json.t -> error -> Ckpt_json.Json.t
 
 val plan_response : ?id:Ckpt_json.Json.t -> answer -> Ckpt_json.Json.t
+
+val batch_plan_response :
+  ?id:Ckpt_json.Json.t -> (answer, error) result array -> Ckpt_json.Json.t
+(** Per-problem results in request order; like {!sweep_response}, one
+    failed solve does not fail the batch. *)
 
 val sweep_response :
   ?id:Ckpt_json.Json.t ->

@@ -63,6 +63,7 @@ type job = {
 
 let queries_of_request = function
   | Protocol.Plan q -> [| q |]
+  | Protocol.Batch_plan { queries } -> queries
   | Protocol.Sweep { base; param; values } ->
       Array.map (Protocol.sweep_point base param) values
   | Protocol.Simulate_validate { query; _ } -> [| query |]
@@ -318,9 +319,11 @@ let mangle_lines t lines =
           | Some mangled -> mangled)
         lines
 
-let handle_batch t lines =
+(* The shared pipeline behind {handle_batch} and {handle_batch_lines}:
+   parse/validate, flat solver fan-out, simulation fan-out.  Rendering
+   is the caller's choice — JSON trees or streamed strings. *)
+let run_batch t lines =
   if not t.live then invalid_arg "Service.handle_batch: service is shut down";
-  let t0 = Metrics.now_ms () in
   let lines = mangle_lines t lines in
   (* Parse + validate every line, laying queries out flat. *)
   let offset = ref 0 in
@@ -328,7 +331,7 @@ let handle_batch t lines =
     List.map
       (fun line ->
         Metrics.incr_requests t.metrics;
-        let envelope = Protocol.parse_request line in
+        let envelope = Wire.parse_request line in
         let span =
           match envelope.Protocol.request with
           | Ok request -> Array.length (queries_of_request request)
@@ -385,80 +388,134 @@ let handle_batch t lines =
   in
   let sim_by_slot = Hashtbl.create 8 in
   Array.iter (fun (slot, r) -> Hashtbl.replace sim_by_slot slot r) sim_results;
-  (* Reassemble one response per line, in order. *)
-  let respond job =
+  (jobs, outcomes, sim_by_slot)
+
+(* Reassemble one response per line, in order. *)
+let respond t ~outcomes ~sim_by_slot job =
+  let id = job.envelope.Protocol.id in
+  match job.envelope.Protocol.request with
+  | Error e ->
+      Metrics.incr_errors t.metrics;
+      Protocol.error_response ?id e
+  | Ok request -> (
+      match request with
+      | Protocol.Stats -> Protocol.stats_response ?id (stats_json t)
+      | Protocol.Observe { events } -> (
+          match handle_observe t events with
+          | Ok (events, failures, exposure) ->
+              Protocol.observe_response ?id ~events ~failures ~exposure ()
+          | Error e ->
+              Metrics.incr_errors t.metrics;
+              Protocol.error_response ?id e)
+      | Protocol.Estimate { baseline_scale; coverage } -> (
+          match handle_estimate t ~baseline_scale ~coverage with
+          | Ok payload -> Protocol.estimate_response ?id payload
+          | Error e ->
+              Metrics.incr_errors t.metrics;
+              Protocol.error_response ?id e)
+      | Protocol.Replan { query; prior_strength } -> (
+          match handle_replan t ~query ~prior_strength with
+          | Ok (answer, fitted) ->
+              Protocol.replan_response ?id
+                ?degraded:answer.Protocol.degraded
+                ~plan:answer.Protocol.plan ~fitted ()
+          | Error e ->
+              Metrics.incr_errors t.metrics;
+              Protocol.error_response ?id e)
+      | Protocol.Calibrate { query; log; prior_strength; compare } -> (
+          match handle_calibrate t ~query ~log ~prior_strength ~compare with
+          | Ok (answer, fitted, provenance, comparison) ->
+              Protocol.calibrate_response ?id
+                ?degraded:answer.Protocol.degraded ?comparison
+                ~plan:answer.Protocol.plan ~fitted ~provenance ()
+          | Error e ->
+              Metrics.incr_errors t.metrics;
+              Protocol.error_response ?id e)
+      | Protocol.Plan _ -> (
+          match outcomes.(job.offset) with
+          | Ok answer -> Protocol.plan_response ?id answer
+          | Error e ->
+              Metrics.incr_errors t.metrics;
+              Protocol.error_response ?id e)
+      | Protocol.Batch_plan { queries } ->
+          let points =
+            Array.init (Array.length queries) (fun i ->
+                outcomes.(job.offset + i))
+          in
+          Protocol.batch_plan_response ?id points
+      | Protocol.Sweep { param; values; _ } ->
+          let points =
+            Array.mapi (fun i v -> (v, outcomes.(job.offset + i))) values
+          in
+          Protocol.sweep_response ?id ~param points
+      | Protocol.Simulate_validate _ -> (
+          match outcomes.(job.offset) with
+          | Error e ->
+              Metrics.incr_errors t.metrics;
+              Protocol.error_response ?id e
+          | Ok answer -> (
+              match Hashtbl.find_opt sim_by_slot job.offset with
+              | Some (Ok v) ->
+                  Protocol.validation_response ?id
+                    ?degraded:answer.Protocol.degraded
+                    ~cached:answer.Protocol.cached ~plan:answer.Protocol.plan v
+              | Some (Error e) ->
+                  Metrics.incr_errors t.metrics;
+                  Protocol.error_response ?id e
+              | None -> assert false)))
+
+let handle_batch t lines =
+  let t0 = Metrics.now_ms () in
+  let jobs, outcomes, sim_by_slot = run_batch t lines in
+  let responses = List.map (respond t ~outcomes ~sim_by_slot) jobs in
+  Metrics.record_batch_ms t.metrics (Metrics.now_ms () -. t0);
+  responses
+
+(* String-rendering variant: the hot solver-bound responses are streamed
+   through {!Wire} into one reusable buffer — no [Json.t] tree is ever
+   built for them — and everything else goes through {!respond} +
+   [Json.to_string].  Output strings are byte-identical to
+   [List.map Json.to_string (handle_batch t lines)]. *)
+let handle_batch_lines t lines =
+  let t0 = Metrics.now_ms () in
+  let jobs, outcomes, sim_by_slot = run_batch t lines in
+  let buf = Buffer.create 4096 in
+  let finish () =
+    let s = Buffer.contents buf in
+    (* Don't let one huge sweep response pin its capacity forever. *)
+    if Buffer.length buf > 1 lsl 20 then Buffer.reset buf else Buffer.clear buf;
+    s
+  in
+  let render job =
     let id = job.envelope.Protocol.id in
     match job.envelope.Protocol.request with
-    | Error e ->
-        Metrics.incr_errors t.metrics;
-        Protocol.error_response ?id e
-    | Ok request -> (
-        match request with
-        | Protocol.Stats -> Protocol.stats_response ?id (stats_json t)
-        | Protocol.Observe { events } -> (
-            match handle_observe t events with
-            | Ok (events, failures, exposure) ->
-                Protocol.observe_response ?id ~events ~failures ~exposure ()
-            | Error e ->
-                Metrics.incr_errors t.metrics;
-                Protocol.error_response ?id e)
-        | Protocol.Estimate { baseline_scale; coverage } -> (
-            match handle_estimate t ~baseline_scale ~coverage with
-            | Ok payload -> Protocol.estimate_response ?id payload
-            | Error e ->
-                Metrics.incr_errors t.metrics;
-                Protocol.error_response ?id e)
-        | Protocol.Replan { query; prior_strength } -> (
-            match handle_replan t ~query ~prior_strength with
-            | Ok (answer, fitted) ->
-                Protocol.replan_response ?id
-                  ?degraded:answer.Protocol.degraded
-                  ~plan:answer.Protocol.plan ~fitted ()
-            | Error e ->
-                Metrics.incr_errors t.metrics;
-                Protocol.error_response ?id e)
-        | Protocol.Calibrate { query; log; prior_strength; compare } -> (
-            match handle_calibrate t ~query ~log ~prior_strength ~compare with
-            | Ok (answer, fitted, provenance, comparison) ->
-                Protocol.calibrate_response ?id
-                  ?degraded:answer.Protocol.degraded ?comparison
-                  ~plan:answer.Protocol.plan ~fitted ~provenance ()
-            | Error e ->
-                Metrics.incr_errors t.metrics;
-                Protocol.error_response ?id e)
-        | Protocol.Plan _ -> (
-            match outcomes.(job.offset) with
-            | Ok answer -> Protocol.plan_response ?id answer
-            | Error e ->
-                Metrics.incr_errors t.metrics;
-                Protocol.error_response ?id e)
-        | Protocol.Sweep { param; values; _ } ->
-            let points =
-              Array.mapi (fun i v -> (v, outcomes.(job.offset + i))) values
-            in
-            Protocol.sweep_response ?id ~param points
-        | Protocol.Simulate_validate _ -> (
-            match outcomes.(job.offset) with
-            | Error e ->
-                Metrics.incr_errors t.metrics;
-                Protocol.error_response ?id e
-            | Ok answer -> (
-                match Hashtbl.find_opt sim_by_slot job.offset with
-                | Some (Ok v) ->
-                    Protocol.validation_response ?id
-                      ?degraded:answer.Protocol.degraded
-                      ~cached:answer.Protocol.cached ~plan:answer.Protocol.plan v
-                | Some (Error e) ->
-                    Metrics.incr_errors t.metrics;
-                    Protocol.error_response ?id e
-                | None -> assert false)))
+    | Ok (Protocol.Plan _) when Result.is_ok outcomes.(job.offset) -> (
+        match outcomes.(job.offset) with
+        | Ok answer ->
+            Wire.write_plan_response buf ?id answer;
+            finish ()
+        | Error _ -> assert false)
+    | Ok (Protocol.Batch_plan { queries }) ->
+        let points =
+          Array.init (Array.length queries) (fun i -> outcomes.(job.offset + i))
+        in
+        Wire.write_batch_plan_response buf ?id points;
+        finish ()
+    | Ok (Protocol.Sweep { param; values; _ }) ->
+        let points = Array.mapi (fun i v -> (v, outcomes.(job.offset + i))) values in
+        Wire.write_sweep_response buf ?id ~param points;
+        finish ()
+    | _ -> Json.to_string (respond t ~outcomes ~sim_by_slot job)
   in
-  let responses = List.map respond jobs in
+  let responses = List.map render jobs in
   Metrics.record_batch_ms t.metrics (Metrics.now_ms () -. t0);
   responses
 
 let handle_line t line =
   match handle_batch t [ line ] with [ r ] -> r | _ -> assert false
+
+let handle_line_string t line =
+  match handle_batch_lines t [ line ] with [ r ] -> r | _ -> assert false
 
 let shutdown t =
   if t.live then begin

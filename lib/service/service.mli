@@ -90,6 +90,17 @@ val handle_batch : t -> string list -> Ckpt_json.Json.t list
 val handle_line : t -> string -> Ckpt_json.Json.t
 (** Single-request convenience over {!handle_batch}. *)
 
+val handle_batch_lines : t -> string list -> string list
+(** [handle_batch] rendered straight to wire strings: the hot
+    solver-bound responses (plan, batch-plan, sweep) are streamed
+    through {!Wire} into one reusable buffer instead of materializing a
+    {!Ckpt_json.Json.t} tree per response.  Output is byte-identical to
+    [List.map (Ckpt_json.Json.to_string ?pretty:None) (handle_batch t lines)];
+    servers that write lines out verbatim should prefer this. *)
+
+val handle_line_string : t -> string -> string
+(** Single-request convenience over {!handle_batch_lines}. *)
+
 val stats_json : t -> Ckpt_json.Json.t
 (** The current {!Metrics.to_json} payload (also served by the
     [stats] op). *)

@@ -165,6 +165,34 @@ let qcheck_tests =
         && same_bits fast.Optimizer.n slow.Optimizer.n
         && same_bits fast.Optimizer.wall_clock slow.Optimizer.wall_clock
         && fast.Optimizer.inner_iterations = slow.Optimizer.inner_iterations);
+    Test.make ~name:"solve_batch rows are bit-identical to solve_reference"
+      ~count:20
+      (small_list
+         (triple case (float_range 5e5 5e6) (option (float_range 1e4 9e5))))
+      (fun specs ->
+        let jobs =
+          Array.of_list
+            (List.map
+               (fun (case, te_core_days, fixed_n) ->
+                 Optimizer.batch_job ?fixed_n (problem ~case ~te_core_days ()))
+               specs)
+        in
+        let plans = Optimizer.solve_batch jobs in
+        Array.length plans = Array.length jobs
+        && Array.for_all2
+             (fun (plan : Optimizer.plan) (j : Optimizer.batch_job) ->
+               let want =
+                 Optimizer.solve_reference ~delta:j.Optimizer.delta
+                   ?fixed_n:j.Optimizer.fixed_n j.Optimizer.problem
+               in
+               same_float_array plan.Optimizer.xs want.Optimizer.xs
+               && same_bits plan.Optimizer.n want.Optimizer.n
+               && same_bits plan.Optimizer.wall_clock want.Optimizer.wall_clock
+               && same_float_array plan.Optimizer.mus want.Optimizer.mus
+               && plan.Optimizer.outer_iterations = want.Optimizer.outer_iterations
+               && plan.Optimizer.inner_iterations = want.Optimizer.inner_iterations
+               && plan.Optimizer.converged = want.Optimizer.converged)
+             plans jobs);
     Test.make ~name:"E(Tw) workspace evaluation is bit-identical" ~count:100
       (pair
          (quad (float_range 1. 1e4) (float_range 1. 5e3) (float_range 1. 1e3)
@@ -197,6 +225,36 @@ let qcheck_tests =
                same_bits x.Arrivals.at y.Arrivals.at
                && x.Arrivals.level = y.Arrivals.level)
              a b) ]
+
+(* [solve_batch] on the planner kernel's shape: one shared problem (so
+   consecutive rows exercise the cross-row cost sharing), a fixed-n
+   grid, plus mixed rows — free scale, the single-level collapse and a
+   non-default delta.  Each row must be bitwise the plan the reference
+   solver returns for that job alone. *)
+let test_solve_batch_mixed () =
+  let p = problem () in
+  let sl = Optimizer.single_level_problem p in
+  let grid =
+    Array.init 16 (fun i ->
+        Optimizer.batch_job ~fixed_n:(2e5 +. (float_of_int i *. 1e3)) p)
+  in
+  let mixed =
+    [| Optimizer.batch_job p;
+       Optimizer.batch_job sl;
+       Optimizer.batch_job ~delta:1e-6 p;
+       Optimizer.batch_job ~fixed_n:3e5 sl |]
+  in
+  let jobs = Array.append grid mixed in
+  let plans = Optimizer.solve_batch jobs in
+  Array.iteri
+    (fun i (j : Optimizer.batch_job) ->
+      check_same_plan
+        (Printf.sprintf "batch row %d" i)
+        plans.(i)
+        (Optimizer.solve_reference ~delta:j.Optimizer.delta
+           ?fixed_n:j.Optimizer.fixed_n j.Optimizer.problem))
+    jobs;
+  Alcotest.(check int) "empty batch" 0 (Array.length (Optimizer.solve_batch [||]))
 
 (* ---------------- batched simulation across worker counts ------------- *)
 
@@ -278,6 +336,8 @@ let () =
       ( "bit-identity",
         [ Alcotest.test_case "six Table II cases" `Quick
             test_table2_solves_bit_identical;
+          Alcotest.test_case "batch solve, mixed jobs" `Quick
+            test_solve_batch_mixed;
           Alcotest.test_case "E(Tw) evaluation" `Quick
             test_wall_clock_fast_bit_identical ] );
       ( "simulation",

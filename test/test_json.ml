@@ -94,6 +94,35 @@ let test_print_numbers () =
   Alcotest.(check string) "nan becomes null" "null" (str (Json.Number Float.nan));
   Alcotest.(check string) "inf becomes null" "null" (str (Json.Number Float.infinity))
 
+(* ---------------- buffer writers ---------------- *)
+
+let via_buffer add v =
+  let buf = Buffer.create 64 in
+  add buf v;
+  Buffer.contents buf
+
+let test_add_number () =
+  let render f = via_buffer Json.add_number f in
+  let same f = Alcotest.(check string) (string_of_float f) (str (Json.Number f)) (render f) in
+  List.iter same
+    [ 0.; 42.; -7.; 0.1; -0.25; 1e6; 123456789.; 1e14; 1e15; 1e16; -1e15; 2.3e-7;
+      1e300; Float.max_float; Float.min_float; Float.epsilon ];
+  Alcotest.(check string) "negative zero" (str (Json.Number (-0.))) (render (-0.));
+  Alcotest.(check string) "nan is null" "null" (render Float.nan);
+  Alcotest.(check string) "inf is null" "null" (render Float.infinity);
+  Alcotest.(check string) "-inf is null" "null" (render Float.neg_infinity)
+
+let test_add_json_compact () =
+  let v =
+    Json.Obj
+      [ ("a", Json.List [ Json.Number 1.; Json.Bool true; Json.String "x\"\n" ]);
+        ("b", Json.Null);
+        ("", Json.Obj []) ]
+  in
+  Alcotest.(check string) "matches to_string" (str v) (via_buffer Json.add_json v);
+  Alcotest.(check string) "escaped string" (str (Json.String "a\001b\\"))
+    (via_buffer Json.add_escaped "a\001b\\")
+
 (* ---------------- accessors ---------------- *)
 
 let test_accessors () =
@@ -140,12 +169,28 @@ let json_gen =
                      (pair (string_size ~gen:printable (int_range 1 6)) (self (n / 2)))) ])
         (Int.min n 4))
 
+let any_float =
+  QCheck.Gen.oneof
+    [ QCheck.Gen.float;
+      QCheck.Gen.map float_of_int QCheck.Gen.int;
+      QCheck.Gen.oneofl [ 0.; -0.; 1e15; -1e15; 1e16; Float.nan; Float.infinity ] ]
+
 let qcheck_tests =
   let open QCheck in
   [ Test.make ~name:"print/parse roundtrips" ~count:300 (make json_gen) (fun v ->
         Json.parse (Json.to_string v) = v);
     Test.make ~name:"pretty print/parse roundtrips" ~count:300 (make json_gen) (fun v ->
-        Json.parse (Json.to_string ~pretty:true v) = v) ]
+        Json.parse (Json.to_string ~pretty:true v) = v);
+    Test.make ~name:"add_json matches compact to_string" ~count:300 (make json_gen)
+      (fun v ->
+        let buf = Buffer.create 64 in
+        Json.add_json buf v;
+        Buffer.contents buf = Json.to_string v);
+    Test.make ~name:"add_number matches to_string on any float" ~count:500
+      (make any_float) (fun f ->
+        let buf = Buffer.create 32 in
+        Json.add_number buf f;
+        Buffer.contents buf = Json.to_string (Json.Number f)) ]
 
 let () =
   Alcotest.run "ckpt_json"
@@ -161,6 +206,9 @@ let () =
           Alcotest.test_case "pretty reparses" `Quick test_print_pretty_reparses;
           Alcotest.test_case "escapes" `Quick test_print_escapes;
           Alcotest.test_case "numbers" `Quick test_print_numbers ] );
+      ( "writers",
+        [ Alcotest.test_case "add_number" `Quick test_add_number;
+          Alcotest.test_case "add_json compact" `Quick test_add_json_compact ] );
       ( "accessors",
         [ Alcotest.test_case "fields" `Quick test_accessors;
           Alcotest.test_case "float arrays" `Quick test_float_array;

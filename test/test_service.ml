@@ -483,6 +483,145 @@ let test_service_simulate_validate () =
         (Float.abs (mean -. predicted) /. predicted < 0.5)
   | _ -> Alcotest.fail "missing simulation payload"
 
+(* ---------------- wire fastpath ---------------- *)
+
+(* Envelope equivalence, with problems compared through the codec
+   (speedups embed closures, so structural equality is off the table). *)
+let wire_query_eq (a : Protocol.query) (b : Protocol.query) =
+  Codec.problem_to_json a.Protocol.problem = Codec.problem_to_json b.Protocol.problem
+  && a.Protocol.solution = b.Protocol.solution
+  && a.Protocol.fixed_n = b.Protocol.fixed_n
+  && a.Protocol.delta = b.Protocol.delta
+
+let wire_request_eq a b =
+  match (a, b) with
+  | Protocol.Plan qa, Protocol.Plan qb -> wire_query_eq qa qb
+  | Protocol.Batch_plan { queries = qa }, Protocol.Batch_plan { queries = qb } ->
+      Array.length qa = Array.length qb && Array.for_all2 wire_query_eq qa qb
+  | ( Protocol.Sweep { base = ba; param = pa; values = va },
+      Protocol.Sweep { base = bb; param = pb; values = vb } ) ->
+      wire_query_eq ba bb && pa = pb && va = vb
+  | _ -> a = b
+
+let wire_envelope_eq (a : Protocol.envelope) (b : Protocol.envelope) =
+  a.Protocol.id = b.Protocol.id
+  &&
+  match (a.Protocol.request, b.Protocol.request) with
+  | Ok ra, Ok rb -> wire_request_eq ra rb
+  | Error ea, Error eb -> ea = eb
+  | _ -> false
+
+let test_wire_parse_equivalence () =
+  let pj = problem_json base_problem in
+  let lines =
+    [ Printf.sprintf {|{"op":"plan","problem":%s}|} pj;
+      Printf.sprintf {|{"op":"plan","fixed_n":2e4,"problem":%s}|} pj;
+      Printf.sprintf {|{"id":7,"op":"plan","solution":"sl-opt","delta":1e-6,"problem":%s}|} pj;
+      Printf.sprintf {|{"problem":%s,"op":"plan","id":"late-op"}|} pj;
+      Printf.sprintf {| { "op" : "plan" ,
+                          "fixed_n" : 31000.5 , "problem" : %s } |} pj;
+      Printf.sprintf {|{"op":"batch-plan","fixed_n":2e4,"problems":[%s,%s]}|} pj pj;
+      Printf.sprintf
+        {|{"op":"sweep","param":"scale","values":[1e4,2e4],"problem":%s}|} pj;
+      Printf.sprintf {|{"id":null,"op":"sweep","param":"te","values":[8.64e8],"problem":%s}|} pj;
+      (* Tree-only shapes: the scanner must fall back, not diverge. *)
+      Printf.sprintf {|{"op":"plan","note":"extra field","problem":%s}|} pj;
+      Printf.sprintf {|{"id":"esc\"aped","op":"plan","problem":%s}|} pj;
+      Printf.sprintf {|{"id":[1,2],"op":"plan","problem":%s}|} pj;
+      Printf.sprintf {|{"op":"plan","fixed_n":-3,"problem":%s}|} pj;
+      Printf.sprintf {|{"op":"plan","problem":%s,"problem":%s}|} pj pj;
+      Printf.sprintf {|{"op":"sweep","param":"scale","values":[],"problem":%s}|} pj;
+      Printf.sprintf {|{"op":"batch-plan","problems":[]}|};
+      {|{"op":"stats"}|};
+      {|{"op":"plan"}|};
+      "not json at all";
+      "" ]
+  in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool)
+        (Printf.sprintf "wire parse equals tree parse on %s"
+           (String.sub line 0 (min 48 (String.length line))))
+        true
+        (wire_envelope_eq (Wire.parse_request line) (Protocol.parse_request line)))
+    lines
+
+(* Satellite: the streamed renderer is byte-identical to serializing the
+   tree responses, across the whole op mix (fast paths and fallbacks). *)
+let test_wire_lines_byte_identical () =
+  let pj = problem_json base_problem in
+  let pj2 = problem_json (mk_problem ~te_days:2e4 ()) in
+  let lines =
+    [ Printf.sprintf {|{"id":1,"op":"plan","fixed_n":2e4,"problem":%s}|} pj;
+      Printf.sprintf {|{"id":"b","op":"batch-plan","fixed_n":2.1e4,"problems":[%s,%s]}|} pj pj2;
+      Printf.sprintf {|{"op":"sweep","param":"scale","values":[1e4,2e4,3e4],"problem":%s}|} pj;
+      Printf.sprintf {|{"id":2,"op":"plan","solution":"sl-ori","problem":%s}|} pj;
+      Printf.sprintf {|{"op":"simulate-validate","replications":3,"seed":1,"fixed_n":2e4,"problem":%s}|} pj;
+      (* stats is excluded: its payload embeds wall-clock timings. *)
+      {|{"id":"bad","op":"plan"}|};
+      "garbage line" ]
+  in
+  let run render =
+    (* Identically configured fresh services: same cache state, same
+       metrics, so the responses must agree byte for byte. *)
+    let service = Service.create ~workers:0 ~cache_capacity:64 () in
+    Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+    render service
+  in
+  let trees = run (fun s -> List.map Json.to_string (Service.handle_batch s lines)) in
+  let strings = run (fun s -> Service.handle_batch_lines s lines) in
+  List.iteri
+    (fun i (tree, string_) ->
+      Alcotest.(check string) (Printf.sprintf "response %d byte-identical" i) tree string_)
+    (List.combine trees strings)
+
+let test_wire_batch_plan_end_to_end () =
+  let service = Service.create ~workers:0 () in
+  Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+  let pj = problem_json base_problem in
+  let pj2 = problem_json (mk_problem ~te_days:2e4 ()) in
+  let r =
+    Service.handle_line service
+      (Printf.sprintf {|{"id":9,"op":"batch-plan","fixed_n":2e4,"problems":[%s,%s,%s]}|}
+         pj pj2 pj)
+  in
+  Alcotest.(check bool) "ok" true (Protocol.response_ok r);
+  Alcotest.(check (option string)) "op echoed" (Some "batch-plan") (Json.string_field "op" r);
+  Alcotest.(check (option (float 0.))) "count" (Some 3.) (Json.float_field "count" r);
+  Alcotest.(check (option (float 0.))) "solved" (Some 3.) (Json.float_field "solved" r);
+  (match Json.list_field "results" r with
+  | Some [ p0; p1; p2 ] ->
+      (* Same problem + same envelope options twice: the third entry is
+         the in-batch dedup of the first, and both match a direct solve. *)
+      let plan p =
+        match Option.map Codec.plan_of_json (Json.member "plan" p) with
+        | Some (Ok plan) -> plan
+        | _ -> Alcotest.fail "batch point has no plan"
+      in
+      Alcotest.(check bool) "row 0 bit-identical to direct solve" true
+        (plan p0 = Planner.run_query (query ~fixed_n:2e4 base_problem));
+      Alcotest.(check bool) "duplicate row deduped to the same plan" true (plan p0 = plan p2);
+      Alcotest.(check bool) "distinct problem, distinct plan" true (plan p0 <> plan p1)
+  | _ -> Alcotest.fail "expected three results");
+  (* Atomic rejection: one bad problem fails the whole request... *)
+  let bad =
+    Service.handle_line service
+      (Printf.sprintf {|{"op":"batch-plan","problems":[%s,{"te":0}]}|} pj)
+  in
+  Alcotest.(check bool) "bad problem rejects the batch" false (Protocol.response_ok bad);
+  (match Protocol.response_error bad with
+  | Some e ->
+      Alcotest.(check string) "invalid-problem" "invalid-problem" e.Protocol.code;
+      Alcotest.(check bool) "names the offending index" true
+        (String.length e.Protocol.message >= 11
+         && String.sub e.Protocol.message 0 11 = "problems[1]")
+  | None -> Alcotest.fail "expected structured error");
+  (* ...and an empty problems array is an invalid request. *)
+  let empty = Service.handle_line service {|{"op":"batch-plan","problems":[]}|} in
+  match Protocol.response_error empty with
+  | Some e -> Alcotest.(check string) "invalid-request" "invalid-request" e.Protocol.code
+  | None -> Alcotest.fail "expected structured error"
+
 (* ---------------- fuzzing the front door ---------------- *)
 
 (* Satellite: whatever bytes arrive on a line, the answer is a JSON
@@ -513,6 +652,45 @@ let qcheck_fuzz_truncated_requests =
     (make Gen.(int_range 0 (String.length valid)))
     (fun len -> line_survives (String.sub valid 0 len))
 
+(* The scanner is total and tree-equal on every prefix of a valid
+   batch-plan line (mid-number, mid-string, mid-object truncations). *)
+let qcheck_fuzz_wire_truncated =
+  let open QCheck in
+  let valid =
+    Printf.sprintf {|{"id":3,"op":"batch-plan","fixed_n":2e4,"problems":[%s,%s]}|}
+      (problem_json base_problem)
+      (problem_json (mk_problem ~te_days:2e4 ()))
+  in
+  Test.make ~name:"wire parse total and tree-equal on truncated batch-plan" ~count:200
+    (make Gen.(int_range 0 (String.length valid)))
+    (fun len ->
+      let line = String.sub valid 0 len in
+      match Wire.parse_request line with
+      | envelope -> wire_envelope_eq envelope (Protocol.parse_request line)
+      | exception e ->
+          Test.fail_reportf "Wire.parse_request raised %s on %S" (Printexc.to_string e) line)
+
+let qcheck_fuzz_wire_garbage =
+  let open QCheck in
+  Test.make ~name:"wire parse tree-equal on arbitrary bytes" ~count:500
+    (make Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 200)))
+    (fun line ->
+      wire_envelope_eq (Wire.parse_request line) (Protocol.parse_request line))
+
+(* The string renderer survives the same byte storm as the tree one. *)
+let fuzz_service_lines = lazy (Service.create ~workers:0 ())
+
+let qcheck_fuzz_line_strings =
+  let open QCheck in
+  Test.make ~name:"handle_line_string never raises on arbitrary bytes" ~count:300
+    (make Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 200)))
+    (fun line ->
+      let service = Lazy.force fuzz_service_lines in
+      match Service.handle_line_string service line with
+      | response -> response <> ""
+      | exception e ->
+          Test.fail_reportf "handle_line_string raised %s on %S" (Printexc.to_string e) line)
+
 let qcheck_fuzz_nested_json =
   let open QCheck in
   Test.make ~name:"handle_line never raises on deeply nested JSON" ~count:20
@@ -536,7 +714,9 @@ let qcheck_tests =
   [ qcheck_fingerprint_noise; qcheck_fingerprint_problem_noise; qcheck_lru_capacity_bound;
     qcheck_sharded_capacity_bound;
     qcheck_parallel_bit_identical; qcheck_service_parallel_equals_sequential;
-    qcheck_fuzz_arbitrary_lines; qcheck_fuzz_truncated_requests; qcheck_fuzz_nested_json ]
+    qcheck_fuzz_arbitrary_lines; qcheck_fuzz_truncated_requests;
+    qcheck_fuzz_wire_truncated; qcheck_fuzz_wire_garbage; qcheck_fuzz_line_strings;
+    qcheck_fuzz_nested_json ]
 
 let () =
   Alcotest.run "service"
@@ -560,6 +740,10 @@ let () =
          Alcotest.test_case "error codes" `Quick test_protocol_errors;
          Alcotest.test_case "level-count mismatch" `Quick test_protocol_level_count_mismatch;
          Alcotest.test_case "check_problem raises" `Quick test_check_problem_direct ]);
+      ("wire",
+       [ Alcotest.test_case "parse equivalence" `Quick test_wire_parse_equivalence;
+         Alcotest.test_case "streamed lines byte-identical" `Quick test_wire_lines_byte_identical;
+         Alcotest.test_case "batch-plan end-to-end" `Quick test_wire_batch_plan_end_to_end ]);
       ("planner",
        [ Alcotest.test_case "cache + in-batch dedup" `Quick test_planner_cache_and_dedup;
          Alcotest.test_case "key covers solver options" `Quick test_planner_key_varies_with_options ]);

@@ -1,0 +1,225 @@
+(* Crash-recovery smoke test against the real ckpt_serve binary.
+
+   A live server (WAL + snapshots on) takes an observe-heavy stateful
+   load over TCP; after a deterministic number of acked requests it is
+   killed with SIGKILL mid-load, restarted on the same directories, and
+   fed the rest of the load plus estimate/replan probes.  Every
+   post-restart response must be byte-identical to an in-process oracle
+   service that processed the whole load without ever dying — i.e. the
+   acked prefix was fully recovered — and the restarted server's stats
+   must report a real WAL replay.
+
+   Usage:  crash_smoke.exe PATH/TO/ckpt_serve.exe [--ops N] [--kill-after K]
+
+   Exit 0 on success, 1 on any mismatch or lost op.  Run by the CI
+   crash-smoke job; needs nothing beyond the repo's own binaries. *)
+
+module Json = Ckpt_json.Json
+module Codec = Ckpt_model.Codec
+module Frame = Ckpt_net.Frame
+module Service = Ckpt_service.Service
+module Protocol = Ckpt_service.Protocol
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("crash_smoke: " ^ m); exit 1) fmt
+
+(* ---------------- the load ---------------- *)
+
+let problem =
+  let open Ckpt_model in
+  { Optimizer.te = 1e4 *. 86_400.;
+    speedup = Speedup.quadratic ~kappa:0.46 ~n_star:1e5;
+    levels = Level.fti_fusion;
+    alloc = 60.;
+    spec = Ckpt_failures.Failure_spec.of_string ~baseline_scale:1e5 "16-12-8-4" }
+
+let observe_line i =
+  let t0 = float_of_int i *. 1e4 in
+  let ev fields = Json.Obj fields in
+  Json.to_string
+    (Json.Obj
+       [ ("id", Json.Number (float_of_int i)); ("op", Json.String "observe");
+         ( "events",
+           Json.List
+             [ ev [ ("t", Json.Number t0); ("ev", Json.String "start");
+                    ("scale", Json.Number 1e5); ("levels", Json.Number 4.) ];
+               ev [ ("t", Json.Number (t0 +. 7200.)); ("ev", Json.String "compute");
+                    ("dur", Json.Number 7200.);
+                    ("productive", Json.Number (7000. +. float_of_int (i mod 7))) ];
+               ev [ ("t", Json.Number (t0 +. 7230.)); ("ev", Json.String "ckpt");
+                    ("level", Json.Number (float_of_int (1 + (i mod 4))));
+                    ("dur", Json.Number (25. +. float_of_int (i mod 3))) ];
+               ev [ ("t", Json.Number (t0 +. 7230.)); ("ev", Json.String "end");
+                    ("completed", Json.Bool true) ] ] ) ])
+
+let load_line i =
+  if i mod 7 = 6 then
+    Json.to_string
+      (Json.Obj
+         [ ("id", Json.Number (float_of_int i)); ("op", Json.String "replan");
+           ("problem", Codec.problem_to_json problem) ])
+  else observe_line i
+
+let probe_lines =
+  [ Json.to_string (Json.Obj [ ("id", Json.Number 1000.); ("op", Json.String "estimate") ]);
+    Json.to_string
+      (Json.Obj
+         [ ("id", Json.Number 1001.); ("op", Json.String "replan");
+           ("problem", Codec.problem_to_json problem) ]) ]
+
+(* ---------------- process + socket plumbing ---------------- *)
+
+let spawn_server ~serve_bin ~port ~wal_dir ~snapshot_dir =
+  Unix.create_process serve_bin
+    [| serve_bin; "--listen"; Printf.sprintf "127.0.0.1:%d" port;
+       "--wal-dir"; wal_dir; "--snapshot-dir"; snapshot_dir;
+       "--snapshot-interval"; "7"; "--workers"; "0" |]
+    Unix.stdin Unix.stderr Unix.stderr
+
+let connect ~port =
+  let deadline = Unix.gettimeofday () +. 15. in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port)) with
+    | () ->
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.;
+        (fd, Frame.reader fd)
+    | exception Unix.Unix_error ((ECONNREFUSED | ECONNRESET | ETIMEDOUT), _, _)
+      when Unix.gettimeofday () < deadline ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        ignore (Unix.select [] [] [] 0.1);
+        go ()
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        fail "connect to port %d: %s" port (Printexc.to_string e)
+  in
+  go ()
+
+(* In-order map: both the oracle and the live asks are side-effecting,
+   and neither List.init nor (@) guarantees evaluation order. *)
+let map_in_order f xs =
+  List.rev (List.fold_left (fun acc x -> f x :: acc) [] xs)
+
+let range lo hi = List.init (hi - lo) (fun k -> lo + k)
+
+let ask (fd, reader) line =
+  Frame.write_line fd line;
+  match Frame.read_line reader with
+  | Frame.Line l -> l
+  | Frame.Eof -> fail "server closed the connection mid-request"
+  | Frame.Timeout -> fail "request timed out"
+  | Frame.Oversized -> fail "oversized response"
+
+let ok_response line =
+  match Json.parse_result line with
+  | Ok json -> Protocol.response_ok json
+  | Error _ -> false
+
+let rec rm path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+(* ---------------- main ---------------- *)
+
+let () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let serve_bin = ref None in
+  let ops = ref 40 in
+  let kill_after = ref 23 in
+  let rec parse = function
+    | [] -> ()
+    | "--ops" :: v :: rest -> ops := int_of_string v; parse rest
+    | "--kill-after" :: v :: rest -> kill_after := int_of_string v; parse rest
+    | p :: rest when !serve_bin = None -> serve_bin := Some p; parse rest
+    | p :: _ -> fail "unexpected argument %S" p
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let serve_bin =
+    match !serve_bin with
+    | Some p when Sys.file_exists p -> p
+    | Some p -> fail "no such binary: %s" p
+    | None -> fail "usage: crash_smoke.exe PATH/TO/ckpt_serve.exe [--ops N] [--kill-after K]"
+  in
+  if !kill_after < 1 || !kill_after >= !ops then
+    fail "--kill-after must be in [1, ops); got %d of %d" !kill_after !ops;
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ckpt-crash-smoke-%d" (Unix.getpid ()))
+  in
+  let wal_dir = Filename.concat root "wal" in
+  let snapshot_dir = Filename.concat root "snap" in
+  if Sys.file_exists root then rm root;
+  Unix.mkdir root 0o755;
+  let port = 40_000 + (Unix.getpid () mod 20_000) in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists root then rm root)
+  @@ fun () ->
+  (* Life 1: serve the prefix, every response acked, then SIGKILL. *)
+  let pid = spawn_server ~serve_bin ~port ~wal_dir ~snapshot_dir in
+  let client = connect ~port in
+  for i = 0 to !kill_after - 1 do
+    let r = ask client (load_line i) in
+    if not (ok_response r) then fail "life 1: op %d was refused: %s" i r
+  done;
+  Unix.kill pid Sys.sigkill;
+  ignore (Unix.waitpid [] pid);
+  (try Unix.close (fst client) with Unix.Unix_error _ -> ());
+  Printf.eprintf "crash_smoke: killed pid %d after %d acked ops\n%!" pid !kill_after;
+  (* The oracle never died: a fresh in-process service takes the whole
+     load.  Its responses to the tail (and the probes) are the expected
+     bytes — if the restarted server lost any acked prefix op, its
+     telemetry counts shift and the comparison fails. *)
+  let oracle = Service.create ~workers:0 () in
+  let expected =
+    Fun.protect ~finally:(fun () -> Service.shutdown oracle) (fun () ->
+        let all =
+          map_in_order
+            (fun i -> Service.handle_line_string oracle (load_line i))
+            (range 0 !ops)
+        in
+        let tail = List.filteri (fun i _ -> i >= !kill_after) all in
+        let probes = map_in_order (Service.handle_line_string oracle) probe_lines in
+        tail @ probes)
+  in
+  (* Life 2: same directories, serve the tail + probes. *)
+  let pid = spawn_server ~serve_bin ~port ~wal_dir ~snapshot_dir in
+  let client = connect ~port in
+  let got =
+    (* Explicit sequencing: the probes must not reach the server before
+       the tail, and (@) gives no evaluation-order guarantee. *)
+    let tail = map_in_order (fun i -> ask client (load_line i)) (range !kill_after !ops) in
+    let probes = map_in_order (ask client) probe_lines in
+    tail @ probes
+  in
+  List.iteri
+    (fun i (want, have) ->
+      if want <> have then
+        fail "response %d diverged after restart:\n  oracle: %s\n  server: %s" i want have)
+    (List.combine expected got);
+  (* The recovery must have been a real WAL replay, and say so. *)
+  let stats =
+    ask client (Json.to_string (Json.Obj [ ("op", Json.String "stats") ]))
+  in
+  let durability =
+    Option.bind (Json.parse_result stats |> Result.to_option) (fun j ->
+        Option.bind (Json.member "stats" j) (Json.member "durability"))
+  in
+  (match durability with
+  | None -> fail "stats carries no durability object: %s" stats
+  | Some d ->
+      (match Option.bind (Json.member "wal" d) Json.to_bool with
+      | Some true -> ()
+      | _ -> fail "stats says the WAL is off");
+      (match Option.bind (Json.member "replayed" d) Json.to_int with
+      | Some n when n >= 1 ->
+          Printf.eprintf "crash_smoke: restart replayed %d WAL records\n%!" n
+      | Some n -> fail "restart replayed %d records; expected a real replay" n
+      | None -> fail "stats durability object has no replayed count"));
+  ignore (ask client (Json.to_string (Json.Obj [ ("op", Json.String "shutdown") ])));
+  (try Unix.close (fst client) with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] pid);
+  Printf.printf
+    "crash_smoke: PASS — %d ops, kill -9 after %d, acked prefix fully recovered\n" !ops
+    !kill_after

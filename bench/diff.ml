@@ -168,6 +168,32 @@ let () =
       if not (List.exists (fun b -> metric_key b = metric_key m) baseline) then
         Printf.printf "~ %-40s only in fresh\n" (metric_key m))
     fresh;
+  (* Durability overhead gate: a "-wal" kernel is the same load with the
+     write-ahead log on, so its p99 is compared against its WAL-off
+     sibling *within the fresh file* (machine-to-machine noise cancels —
+     both ran on this box, in this run).  The tail is where fsync cost
+     shows first; under group commit (the benched configuration —
+     strict fsync-per-op cost is measured separately by wal-append-b1)
+     it must stay within the threshold of the WAL-off tail. *)
+  List.iter
+    (fun wal_m ->
+      if wal_m.what = "p99_ns" && Filename.check_suffix wal_m.kernel "-wal" then begin
+        let base_kernel = Filename.chop_suffix wal_m.kernel "-wal" in
+        match
+          List.find_opt (fun m -> m.kernel = base_kernel && m.what = "p99_ns") fresh
+        with
+        | None -> Printf.printf "~ %-40s has no WAL-off sibling\n" (metric_key wal_m)
+        | Some base when base.value > 0. ->
+            let pct = ((wal_m.value /. base.value) -. 1.) *. 100. in
+            let regressed = pct > !threshold in
+            if regressed then incr regressions;
+            Printf.printf "%s %-40s %10.3f ms -> %10.3f ms  (%+.1f%% durability overhead)\n"
+              (if regressed then "!" else " ")
+              (wal_m.kernel ^ "/p99-vs-" ^ base_kernel)
+              (base.value /. 1e6) (wal_m.value /. 1e6) pct
+        | Some _ -> ()
+      end)
+    fresh;
   if !regressions > 0 then begin
     Printf.printf "%d metric(s) regressed by more than %.0f%%\n" !regressions
       !threshold;

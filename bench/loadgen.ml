@@ -16,7 +16,12 @@
    second process needed, same socket path end-to-end); --merge rewrites
    the given BENCH_results.json with the loadgen kernels replaced;
    --fail-on-error exits 1 if any request is answered with ok=false or a
-   connection dies mid-run. *)
+   connection dies mid-run.
+
+   --wal-dir enables the spawned server's write-ahead log (with
+   --fsync-batch controlling group commit) and tags the emitted kernels
+   with a "-wal" suffix, so a WAL-on run can be merged next to its
+   WAL-off sibling and diff.exe can gate the durability overhead. *)
 
 open Cmdliner
 module Json = Ckpt_json.Json
@@ -254,12 +259,13 @@ let mean_std a =
     (mean, sqrt var)
   end
 
-let entry_of_outcome ~mix ~connections ~requests o =
+let entry_of_outcome ~mix ~tag ~connections ~requests o =
   let answered = Array.length o.latencies_ns in
   let mean, std = mean_std o.latencies_ns in
   let qps = if o.elapsed_s > 0. then float_of_int answered /. o.elapsed_s else 0. in
   Json.Obj
-    [ ("kernel", Json.String (Printf.sprintf "loadgen-%s-c%d" (mix_name mix) connections));
+    [ ( "kernel",
+        Json.String (Printf.sprintf "loadgen-%s-c%d%s" (mix_name mix) connections tag) );
       ("workers", Json.Number (float_of_int connections));
       ("reps", Json.Number (float_of_int requests));
       ("answered", Json.Number (float_of_int answered));
@@ -335,14 +341,16 @@ let parse_trajectory s =
   in
   match walk [] parts with Ok [] -> Error "--trajectory is empty" | r -> r
 
-let run spawn host port requests connections trajectory mix_s server_workers merge
-    fail_on_error =
+let run spawn host port requests connections trajectory mix_s server_workers wal_dir
+    fsync_batch merge fail_on_error =
   let ( let* ) = Result.bind in
   let* mix = mix_of_string mix_s in
   let* () =
     if requests < 1 then Error "--requests must be >= 1"
     else if connections < 1 then Error "--connections must be >= 1"
     else if (not spawn) && port = 0 then Error "--port is required without --spawn"
+    else if fsync_batch < 1 then Error "--fsync-batch must be >= 1"
+    else if wal_dir <> None && not spawn then Error "--wal-dir requires --spawn"
     else Ok ()
   in
   let* counts =
@@ -350,10 +358,12 @@ let run spawn host port requests connections trajectory mix_s server_workers mer
     | None -> Ok [ connections ]
     | Some t -> parse_trajectory t
   in
+  let tag = match wal_dir with None -> "" | Some _ -> "-wal" in
   let service, server, host, port =
     if spawn then begin
       let service = Service.create ~workers:server_workers () in
-      let server = Server.start service in
+      let config = { Server.default_config with Server.wal_dir; fsync_batch } in
+      let server = Server.start ~config service in
       (Some service, Some server, "127.0.0.1", Server.port server)
     end
     else (None, None, host, port)
@@ -366,10 +376,10 @@ let run spawn host port requests connections trajectory mix_s server_workers mer
     List.map
       (fun connections ->
         let o = run_load ~host ~port ~connections ~requests ~mix in
-        let entry = entry_of_outcome ~mix ~connections ~requests o in
+        let entry = entry_of_outcome ~mix ~tag ~connections ~requests o in
         Printf.eprintf
-          "loadgen-%s-c%d: %d/%d answered in %.2fs, %.0f qps, p50 %.2fms p99 %.2fms p999 %.2fms, %d errors\n%!"
-          (mix_name mix) connections (Array.length o.latencies_ns) requests o.elapsed_s
+          "loadgen-%s-c%d%s: %d/%d answered in %.2fs, %.0f qps, p50 %.2fms p99 %.2fms p999 %.2fms, %d errors\n%!"
+          (mix_name mix) connections tag (Array.length o.latencies_ns) requests o.elapsed_s
           (float_of_int (Array.length o.latencies_ns) /. o.elapsed_s)
           (percentile o.latencies_ns 0.50 /. 1e6)
           (percentile o.latencies_ns 0.99 /. 1e6)
@@ -425,6 +435,17 @@ let server_workers =
   Arg.(value & opt int 2
        & info [ "server-workers" ] ~docv:"N" ~doc:"Worker domains for the --spawn server.")
 
+let wal_dir =
+  Arg.(value & opt (some string) None
+       & info [ "wal-dir" ] ~docv:"DIR"
+           ~doc:"Enable the --spawn server's write-ahead log in $(docv) and tag the \
+                 emitted kernels with a -wal suffix.")
+
+let fsync_batch =
+  Arg.(value & opt int 1
+       & info [ "fsync-batch" ] ~docv:"N"
+           ~doc:"WAL group-commit batch for the --spawn server (1 = strict).")
+
 let merge =
   Arg.(value & opt (some string) None
        & info [ "merge" ] ~docv:"FILE"
@@ -439,7 +460,7 @@ let cmd =
   let doc = "Closed-loop load generator for the ckpt_net planning server" in
   let term =
     Term.(const run $ spawn $ host $ port $ requests $ connections $ trajectory $ mix_arg
-          $ server_workers $ merge $ fail_on_error)
+          $ server_workers $ wal_dir $ fsync_batch $ merge $ fail_on_error)
   in
   Cmd.v (Cmd.info "loadgen" ~doc) Term.(term_result' term)
 

@@ -466,6 +466,60 @@ let json_bench () =
       planner_entry ~kernel:"planner-batch64-fault-10pct" ~fault_rate:0.1 ~timing:faulted
         [ ("degraded_answers", J.Number (float_of_int degraded)) ] ]
   in
+  (* WAL append throughput: the per-op durability cost the server pays
+     under --wal-dir, swept across group-commit batches.  Each rep
+     appends a realistic protocol-line payload 256 times and ends with
+     an explicit flush, so every batch size pays for full durability of
+     the same record count — b1 measures the strict fsync-per-op floor,
+     b64 what group commit buys back. *)
+  let entries =
+    entries
+    @
+    let module Wal = Ckpt_net.Wal in
+    let appends_per_rep = 256 in
+    let payload =
+      {|{"id": 7, "op": "observe", "events": [{"t": 0, "ev": "start", "scale": 100000, "levels": 4}, {"t": 3600, "ev": "compute", "dur": 3600, "productive": 3500}, {"t": 3630, "ev": "ckpt", "level": 2, "dur": 30}, {"t": 3630, "ev": "end", "completed": true}]}|}
+    in
+    let rec rm path =
+      if Sys.is_directory path then begin
+        Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+    in
+    List.map
+      (fun batch ->
+        let dir =
+          Filename.concat (Filename.get_temp_dir_name ())
+            (Printf.sprintf "ckpt-bench-wal-%d-b%d" (Unix.getpid ()) batch)
+        in
+        let wal =
+          match Wal.open_ (Wal.config ~fsync_batch:batch ~dir ()) ~next_seq:1 with
+          | Ok w -> w
+          | Error m -> failwith ("wal-append bench: " ^ m)
+        in
+        let timing =
+          time_ns ~reps (fun () ->
+              for _ = 1 to appends_per_rep do
+                match Wal.append wal payload with
+                | Ok _ -> ()
+                | Error m -> failwith ("wal-append bench: " ^ m)
+              done;
+              match Wal.flush wal with
+              | Ok () -> ()
+              | Error m -> failwith ("wal-append bench: " ^ m))
+        in
+        Wal.close wal;
+        if Sys.file_exists dir then rm dir;
+        J.Obj
+          [ ("kernel", J.String (Printf.sprintf "wal-append-b%d" batch));
+            ("workers", J.Number 1.);
+            ("reps", J.Number (float_of_int reps));
+            ("fsync_batch", J.Number (float_of_int batch));
+            ("appends_per_rep", J.Number (float_of_int appends_per_rep));
+            timing_obj "wall" timing ])
+      [ 1; 8; 64 ]
+  in
   (* Per-worker scaling trajectories: the two pool-driven kernels at
      1/2/4/8 workers, each entry tagged "trajectory": true so diff.exe
      gates speedup_vs_1_worker (with extra leniency — scaling curves

@@ -9,13 +9,20 @@
    - server mode (--listen HOST:PORT): a TCP accept loop with bounded
      admission, per-request deadlines, graceful drain on SIGTERM /
      SIGINT / an in-band {"op":"shutdown"} request, and (with
-     --snapshot-dir) periodic atomic snapshots plus warm restart.
+     --snapshot-dir) periodic atomic snapshots plus warm restart; with
+     --wal-dir, stateful ops are write-ahead logged before they are
+     acked and restart replays the WAL suffix past the newest snapshot.
+     --durability auto measures fsync/snapshot costs and solves the
+     repo's own two-level model for the fsync batch and snapshot
+     interval.
 
    Examples:
      ckpt_serve --input examples/fig5_sweep.jsonl --workers 4
      echo '{"op":"stats"}' | ckpt_serve
      ckpt_serve --listen 127.0.0.1:7401 --snapshot-dir /var/tmp/ckpt \
                 --snapshot-interval 256 --max-inflight 64
+     ckpt_serve --listen :7401 --snapshot-dir /var/tmp/ckpt \
+                --wal-dir /var/tmp/ckpt-wal --durability auto --crash-rate 24
      ckpt_serve --self-check *)
 
 open Cmdliner
@@ -125,16 +132,61 @@ let parse_listen s =
       | Some port when port >= 0 && port <= 65_535 -> Ok (host, port)
       | _ -> Error (Printf.sprintf "--listen port must be 0..65535, got %S" s))
 
+(* --durability auto: measure this machine's fsync and snapshot costs,
+   feed them (plus the configured crash rate) into the repo's own
+   two-level optimizer, and let the paper's model pick the WAL
+   group-commit batch and the snapshot interval. *)
+let solve_durability_auto ~wal_dir ~snapshot_dir ~crash_rate ~op_rate service =
+  match (wal_dir, snapshot_dir) with
+  | None, _ -> Error "--durability auto requires --wal-dir"
+  | _, None -> Error "--durability auto requires --snapshot-dir"
+  | Some wdir, Some sdir ->
+      let* fsync_cost_s = Ckpt_net.Durable.measure_fsync_cost ~dir:wdir in
+      let* snapshot_cost_s =
+        Ckpt_net.Durable.measure_snapshot_cost ~dir:sdir service
+      in
+      (match
+         Ckpt_net.Durable.auto_tune ~op_rate ~fsync_cost_s ~snapshot_cost_s
+           ~crash_rate_per_day:crash_rate ()
+       with
+      | choice -> Ok choice
+      | exception Invalid_argument m -> Error m)
+
 let run_server ~host ~port ~workers ~cache_capacity ~precision ~snapshot_dir
-    ~snapshot_interval ~max_inflight =
+    ~snapshot_interval ~max_inflight ~wal_dir ~fsync_batch ~fsync_interval_ms
+    ~durability ~crash_rate ~op_rate =
   let service = Service.create ~workers ~cache_capacity ~precision () in
   Fun.protect ~finally:(fun () -> Service.shutdown service) @@ fun () ->
+  let* fsync_batch, snapshot_interval, durability_auto =
+    match durability with
+    | `Fixed -> Ok (fsync_batch, snapshot_interval, None)
+    | `Auto ->
+        let* choice =
+          solve_durability_auto ~wal_dir ~snapshot_dir ~crash_rate ~op_rate
+            service
+        in
+        Printf.printf
+          "ckpt-serve durability auto: fsync-batch=%d snapshot-interval=%d \
+           (fsync=%.6fs snapshot=%.6fs crash-rate=%g/day predicted-overhead=%.4f)\n%!"
+          choice.Ckpt_net.Durable.fsync_batch
+          choice.Ckpt_net.Durable.snapshot_interval
+          choice.Ckpt_net.Durable.fsync_cost_s
+          choice.Ckpt_net.Durable.snapshot_cost_s
+          choice.Ckpt_net.Durable.crash_rate_per_day
+          choice.Ckpt_net.Durable.predicted_overhead;
+        Ok
+          ( choice.Ckpt_net.Durable.fsync_batch,
+            choice.Ckpt_net.Durable.snapshot_interval,
+            Some (Ckpt_net.Durable.auto_choice_json choice) )
+  in
   let config =
     { Server.default_config with
-      host; port; snapshot_dir; snapshot_interval; max_inflight }
+      host; port; snapshot_dir; snapshot_interval; max_inflight;
+      wal_dir; fsync_batch; fsync_interval_ms; durability_auto }
   in
   match Server.start ~config service with
   | exception Invalid_argument m -> Error m
+  | exception Failure m -> Error m
   | exception Unix.Unix_error (err, fn, _) ->
       Error (Printf.sprintf "cannot listen on %s:%d: %s: %s" host port fn
                (Unix.error_message err))
@@ -151,12 +203,17 @@ let run_server ~host ~port ~workers ~cache_capacity ~precision ~snapshot_dir
          Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
          Sys.set_signal Sys.sigpipe Sys.Signal_ignore
        with Invalid_argument _ | Sys_error _ -> ());
-      Printf.printf "ckpt-serve listening on %s:%d (workers=%d max-inflight=%d%s)\n%!"
+      Printf.printf "ckpt-serve listening on %s:%d (workers=%d max-inflight=%d%s%s)\n%!"
         host (Server.port server) workers max_inflight
         (match snapshot_dir with
         | None -> ""
         | Some dir ->
-            Printf.sprintf " snapshot-dir=%s restored=%d" dir (Server.restored server));
+            Printf.sprintf " snapshot-dir=%s restored=%d" dir (Server.restored server))
+        (match wal_dir with
+        | None -> ""
+        | Some dir ->
+            Printf.sprintf " wal-dir=%s fsync-batch=%d replayed=%d" dir fsync_batch
+              (Server.persistence server).Ckpt_net.Durable.replayed);
       Server.join server;
       Printf.printf
         "ckpt-serve drained: %d connections, %d requests answered, %d rejected\n%!"
@@ -166,7 +223,8 @@ let run_server ~host ~port ~workers ~cache_capacity ~precision ~snapshot_dir
       Ok ()
 
 let run input output workers cache_capacity precision append_stats self listen
-    snapshot_dir snapshot_interval max_inflight =
+    snapshot_dir snapshot_interval max_inflight wal_dir fsync_batch
+    fsync_interval_ms durability crash_rate op_rate =
   if workers < 0 then Error (Printf.sprintf "--workers must be >= 0, got %d" workers)
   else if cache_capacity < 1 then
     Error (Printf.sprintf "--cache-capacity must be >= 1, got %d" cache_capacity)
@@ -176,6 +234,14 @@ let run input output workers cache_capacity precision append_stats self listen
     Error (Printf.sprintf "--snapshot-interval must be >= 0, got %d" snapshot_interval)
   else if max_inflight < 1 then
     Error (Printf.sprintf "--max-inflight must be >= 1, got %d" max_inflight)
+  else if fsync_batch < 1 then
+    Error (Printf.sprintf "--fsync-batch must be >= 1, got %d" fsync_batch)
+  else if not (Float.is_finite fsync_interval_ms) || fsync_interval_ms < 0. then
+    Error "--fsync-interval-ms must be >= 0"
+  else if not (Float.is_finite crash_rate) || crash_rate <= 0. then
+    Error "--crash-rate must be > 0 (per day)"
+  else if not (Float.is_finite op_rate) || op_rate <= 0. then
+    Error "--op-rate must be > 0 (requests/second)"
   else if self then (
     match self_check () with
     | Ok () ->
@@ -187,7 +253,8 @@ let run input output workers cache_capacity precision append_stats self listen
     | Some spec ->
         let* host, port = parse_listen spec in
         run_server ~host ~port ~workers ~cache_capacity ~precision ~snapshot_dir
-          ~snapshot_interval ~max_inflight
+          ~snapshot_interval ~max_inflight ~wal_dir ~fsync_batch
+          ~fsync_interval_ms ~durability ~crash_rate ~op_rate
     | None -> begin
     let lines =
       match input with
@@ -228,6 +295,44 @@ let max_inflight =
        & info [ "max-inflight" ] ~docv:"N"
            ~doc:"Admission bound: further requests are rejected as overloaded.")
 
+let wal_dir =
+  Arg.(value & opt (some string) None
+       & info [ "wal-dir" ] ~docv:"DIR"
+           ~doc:"Durability: write-ahead log stateful ops here before acking them; \
+                 restart replays the WAL suffix past the newest snapshot (server mode).")
+
+let fsync_batch =
+  Arg.(value & opt int Server.default_config.Server.fsync_batch
+       & info [ "fsync-batch" ] ~docv:"N"
+           ~doc:"WAL group commit: fsync every N records (1 = every acked op is \
+                 durable; larger batches trade an N-1 record loss window for \
+                 throughput).")
+
+let fsync_interval_ms =
+  Arg.(value & opt float Server.default_config.Server.fsync_interval_ms
+       & info [ "fsync-interval-ms" ] ~docv:"MS"
+           ~doc:"WAL group commit time bound: pending records are fsynced at \
+                 latest this many ms after they were written.")
+
+let durability =
+  Arg.(value & opt (enum [ ("fixed", `Fixed); ("auto", `Auto) ]) `Fixed
+       & info [ "durability" ] ~docv:"MODE"
+           ~doc:"$(b,fixed) uses --fsync-batch/--snapshot-interval as given; \
+                 $(b,auto) measures fsync and snapshot costs and solves the \
+                 repo's own two-level checkpoint model for both intervals \
+                 (requires --wal-dir and --snapshot-dir).")
+
+let crash_rate =
+  Arg.(value & opt float 24.
+       & info [ "crash-rate" ] ~docv:"R"
+           ~doc:"Assumed process crash rate per day for --durability auto.")
+
+let op_rate =
+  Arg.(value & opt float 1000.
+       & info [ "op-rate" ] ~docv:"R"
+           ~doc:"Assumed request rate per second for --durability auto (converts \
+                 the model's time intervals into request counts).")
+
 let input =
   Arg.(value & opt (some file) None
        & info [ "input"; "i" ] ~docv:"FILE" ~doc:"JSON-lines request file (default stdin).")
@@ -261,7 +366,9 @@ let cmd =
   let doc = "Concurrent batch planning service over the SC'14 multilevel checkpoint optimizer" in
   let term =
     Term.(const run $ input $ output $ workers $ cache_capacity $ precision $ append_stats
-          $ self $ listen $ snapshot_dir $ snapshot_interval $ max_inflight)
+          $ self $ listen $ snapshot_dir $ snapshot_interval $ max_inflight
+          $ wal_dir $ fsync_batch $ fsync_interval_ms $ durability $ crash_rate
+          $ op_rate)
   in
   Cmd.v (Cmd.info "ckpt-serve" ~doc) Term.(term_result' term)
 

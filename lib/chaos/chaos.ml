@@ -1,7 +1,7 @@
 module Rng = Ckpt_numerics.Rng
 module Json = Ckpt_json.Json
 
-type site = Pool | Solver | Line | Telemetry | Net
+type site = Pool | Solver | Line | Telemetry | Net | Durability
 
 type fault =
   | Crash
@@ -14,6 +14,9 @@ type fault =
   | Drop
   | Half_close
   | Garbage
+  | Torn
+  | Short_write
+  | Fsync_fail
 
 type spec = {
   seed : int;
@@ -30,12 +33,17 @@ type spec = {
   net_slow : float;
   net_half_close : float;
   net_garbage : float;
+  dur_crash : float;
+  dur_torn : float;
+  dur_short : float;
+  dur_fsync : float;
 }
 
-let spec ?(seed = 0) ?(stall_max_s = 2e-3) ?(skew_max_s = 30.) ?(rate = 0.1) ()
-    =
+let spec ?(seed = 0) ?(stall_max_s = 2e-3) ?(skew_max_s = 30.) ?(rate = 0.1)
+    ?(durability_rate = 0.) () =
   let half = rate /. 2. in
   let quarter = rate /. 4. in
+  let dq = durability_rate /. 4. in
   { seed;
     pool_crash = half;
     pool_stall = half;
@@ -49,7 +57,11 @@ let spec ?(seed = 0) ?(stall_max_s = 2e-3) ?(skew_max_s = 30.) ?(rate = 0.1) ()
     net_drop = quarter;
     net_slow = quarter;
     net_half_close = quarter;
-    net_garbage = quarter }
+    net_garbage = quarter;
+    dur_crash = dq;
+    dur_torn = dq;
+    dur_short = dq;
+    dur_fsync = dq }
 
 let disabled =
   { seed = 0;
@@ -65,7 +77,11 @@ let disabled =
     net_drop = 0.;
     net_slow = 0.;
     net_half_close = 0.;
-    net_garbage = 0. }
+    net_garbage = 0.;
+    dur_crash = 0.;
+    dur_torn = 0.;
+    dur_short = 0.;
+    dur_fsync = 0. }
 
 type record = { site : site; index : int; attempt : int; fault : fault }
 
@@ -102,8 +118,14 @@ let create spec =
   check_prob "net slow" spec.net_slow;
   check_prob "net half-close" spec.net_half_close;
   check_prob "net garbage" spec.net_garbage;
+  check_prob "durability crash" spec.dur_crash;
+  check_prob "durability torn" spec.dur_torn;
+  check_prob "durability short" spec.dur_short;
+  check_prob "durability fsync" spec.dur_fsync;
   if spec.net_drop +. spec.net_slow +. spec.net_half_close +. spec.net_garbage > 1. then
     invalid_arg "Chaos: net fault probabilities sum above 1";
+  if spec.dur_crash +. spec.dur_torn +. spec.dur_short +. spec.dur_fsync > 1. then
+    invalid_arg "Chaos: durability fault probabilities sum above 1";
   if spec.pool_crash +. spec.pool_stall > 1. then
     invalid_arg "Chaos: pool fault probabilities sum above 1";
   if spec.solver_diverge +. spec.solver_non_finite > 1. then
@@ -116,13 +138,21 @@ let create spec =
 
 let spec_of t = t.spec
 
-let site_id = function Pool -> 1 | Solver -> 2 | Line -> 3 | Telemetry -> 4 | Net -> 5
+let site_id = function
+  | Pool -> 1
+  | Solver -> 2
+  | Line -> 3
+  | Telemetry -> 4
+  | Net -> 5
+  | Durability -> 6
+
 let site_name = function
   | Pool -> "pool"
   | Solver -> "solver"
   | Line -> "line"
   | Telemetry -> "telemetry"
   | Net -> "net"
+  | Durability -> "durability"
 
 let fault_name = function
   | Crash -> "crash"
@@ -135,6 +165,9 @@ let fault_name = function
   | Drop -> "drop"
   | Half_close -> "half-close"
   | Garbage -> "garbage"
+  | Torn -> "torn"
+  | Short_write -> "short-write"
+  | Fsync_fail -> "fsync-fail"
 
 (* splitmix64 finalizer: a strong 64-bit mix so that the derived stream
    for (seed, site, index, attempt) is statistically independent of its
@@ -194,6 +227,16 @@ let decide t rng ~site =
       else if u < c3 then Some Half_close
       else if u < c4 then Some Garbage
       else None
+  | Durability ->
+      let c1 = s.dur_crash in
+      let c2 = c1 +. s.dur_torn in
+      let c3 = c2 +. s.dur_short in
+      let c4 = c3 +. s.dur_fsync in
+      if u < c1 then Some Crash
+      else if u < c2 then Some Torn
+      else if u < c3 then Some Short_write
+      else if u < c4 then Some Fsync_fail
+      else None
 
 let draw t ~site ~index ~attempt = decide t (derive t ~site ~index ~attempt) ~site
 
@@ -249,6 +292,7 @@ let skew t ~index =
   | Some _ | None -> 0.
 
 let net_fault t ~index = fire t ~site:Net ~index ~attempt:0
+let durability_fault t ~index = fire t ~site:Durability ~index ~attempt:0
 
 let injected t =
   Mutex.lock t.lock;

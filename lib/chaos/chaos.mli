@@ -28,13 +28,20 @@
       before any byte is served), {e slowed} (every response write is
       delayed), {e half-closed} (the write side is shut down after the
       first response) or fed {e garbage} bytes ahead of its first
-      request line.
+      request line;
+    - {!Durability} — a step on the persistence path (WAL append, fsync,
+      snapshot write, compaction unlink) {e crashes} the process at a
+      record boundary, {e tears} a write mid-record, forces a
+      {e short write} (the write loop must resume), or makes the
+      {e fsync fail}.  Indices count durability steps in coordinator
+      order, so the schedule is deterministic for a given request
+      stream.
 
     Each applied fault is recorded (thread-safely) so tests and the
     [ckpt_chaos] driver can compare schedules across runs and report
     injection counts. *)
 
-type site = Pool | Solver | Line | Telemetry | Net
+type site = Pool | Solver | Line | Telemetry | Net | Durability
 
 type fault =
   | Crash  (** kill the pool worker before computing the item *)
@@ -47,6 +54,9 @@ type fault =
   | Drop  (** close the connection before serving anything *)
   | Half_close  (** shut the connection's write side after one response *)
   | Garbage  (** prepend garbage bytes to the connection's first line *)
+  | Torn  (** crash mid-write, leaving a partial record/file behind *)
+  | Short_write  (** force the write to land in several short pieces *)
+  | Fsync_fail  (** make the step's fsync report failure *)
 
 type spec = {
   seed : int;
@@ -63,6 +73,10 @@ type spec = {
   net_slow : float;  (** P(slow responses) per accepted connection *)
   net_half_close : float;  (** P(half-close) per accepted connection *)
   net_garbage : float;  (** P(garbage prefix) per accepted connection *)
+  dur_crash : float;  (** P(crash at a durability step boundary) *)
+  dur_torn : float;  (** P(torn write: partial bytes, then crash) *)
+  dur_short : float;  (** P(forced short write) per durability step *)
+  dur_fsync : float;  (** P(fsync failure) per durability step *)
 }
 
 val spec :
@@ -70,13 +84,17 @@ val spec :
   ?stall_max_s:float ->
   ?skew_max_s:float ->
   ?rate:float ->
+  ?durability_rate:float ->
   unit ->
   spec
 (** [spec ~rate ()] is the uniform policy used by the soak tests: every
     site fires with total probability [rate] (default [0.1]), split
     evenly between the site's fault kinds.  [seed] defaults to [0],
     [stall_max_s] to [2e-3] (long enough to reorder domains, short
-    enough for tests), [skew_max_s] to [30.]. *)
+    enough for tests), [skew_max_s] to [30.].  The {!Durability} site is
+    governed separately by [durability_rate] (default [0.], i.e. off):
+    durability faults kill or degrade the process by design, so only
+    suites prepared to restart the server opt in. *)
 
 val disabled : spec
 (** All probabilities zero — threading [disabled] must be observably
@@ -137,6 +155,13 @@ val net_fault : t -> index:int -> fault option
     [d] seconds each), [Some Half_close], [Some Garbage] or [None].
     Unlike {!pool_fault}, no sleep happens here — the server applies
     the slow-down where it writes. *)
+
+val durability_fault : t -> index:int -> fault option
+(** Fault for durability step [index] (assigned in coordinator order
+    across WAL appends, fsyncs, snapshot stages and compaction):
+    [Some Crash], [Some Torn], [Some Short_write], [Some Fsync_fail] or
+    [None].  The caller — [lib/net]'s durability layer — applies the
+    fault's semantics; this only decides and records it. *)
 
 (** {1 Injection log} *)
 

@@ -14,7 +14,12 @@ type config = {
   snapshot_dir : string option;
   snapshot_interval : int;
   snapshot_keep : int;
+  wal_dir : string option;
+  fsync_batch : int;
+  fsync_interval_ms : float;
   chaos : Chaos.t option;
+  durability_inject : Wal.fault_hook option;
+  durability_auto : Json.t option;
 }
 
 let default_config =
@@ -28,7 +33,12 @@ let default_config =
     snapshot_dir = None;
     snapshot_interval = 256;
     snapshot_keep = 4;
-    chaos = None }
+    wal_dir = None;
+    fsync_batch = 1;
+    fsync_interval_ms = 50.;
+    chaos = None;
+    durability_inject = None;
+    durability_auto = None }
 
 type t = {
   config : config;
@@ -52,13 +62,13 @@ type t = {
      observability behind {!op_counts}. *)
   ops : (string, int) Hashtbl.t;
   mutable last_snapshot_at : int;  (* [requests] when the last snapshot was cut *)
-  (* Snapshot seq of the restored image: snapshot filenames must stay
-     monotonic across restarts ([seq_base + requests]), or a restarted
-     server's fresh snapshots would sort below — and be pruned in favor
-     of — the previous incarnation's stale ones. *)
-  seq_base : int;
+  (* The persistence layer: WAL + snapshots + recovery + health.  Also
+     owns the snapshot seq base — filenames must stay monotonic across
+     restarts ([seq_base + requests]), or a restarted server's fresh
+     snapshots would sort below — and be pruned in favor of — the
+     previous incarnation's stale ones. *)
+  durable : Durable.t;
   draining : bool Atomic.t;
-  mutable restored : int;
 }
 
 let locked t f =
@@ -67,7 +77,8 @@ let locked t f =
 
 let port t = t.port
 let service t = t.service
-let restored t = t.restored
+let restored t = Durable.restored_plans t.durable
+let persistence t = Durable.persistence t.durable
 let requests t = locked t (fun () -> t.requests)
 let rejections t = Gate.rejected t.gate
 let connections t = locked t (fun () -> t.conn_seq)
@@ -129,10 +140,12 @@ let shutdown_response = function
 let cut_snapshot_locked t =
   match t.config.snapshot_dir with
   | None -> Error "no snapshot directory configured"
-  | Some dir ->
+  | Some _ ->
       let reqs = locked t (fun () -> t.requests) in
-      let state = Snapshot.of_service ~seq:(t.seq_base + reqs) t.service in
-      let r = Snapshot.save ~keep:t.config.snapshot_keep ~dir state in
+      let r =
+        Durable.cut t.durable ~service:t.service
+          ~seq:(Durable.seq_base t.durable + reqs)
+      in
       (match r with
       | Ok _ -> locked t (fun () -> t.last_snapshot_at <- reqs)
       | Error m -> Format.eprintf "ckpt_net: snapshot failed: %s@." m);
@@ -286,7 +299,18 @@ let accept_loop t =
     else begin
       (* Poll with a short select so the drain flag is honored even
          while no client is connecting; accept after readiness cannot
-         block for long. *)
+         block for long.  Each round is also the WAL's time-based
+         group-commit tick — under the coordinator, because connection
+         threads append to the same WAL under it; try_lock so a long
+         request cannot stall accepts, and only while no request is in
+         flight so the flush's fsync never sits in a request's latency
+         tail.  Under sustained load the batch threshold still bounds
+         how much can pend, so skipping busy rounds widens nothing
+         beyond the documented fsync_batch - 1 window. *)
+      if Gate.in_flight t.gate = 0 && Mutex.try_lock t.coordinator then
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock t.coordinator)
+          (fun () -> Durable.tick t.durable);
       match Unix.select [ t.listen_fd ] [] [] 0.05 with
       | [], _, _ -> loop ()
       | _ :: _, _, _ -> (
@@ -329,7 +353,10 @@ let check_config c =
     invalid_arg "Server: idle_timeout_s must be positive";
   if c.max_line_bytes < 1 then invalid_arg "Server: max_line_bytes < 1";
   if c.snapshot_interval < 0 then invalid_arg "Server: snapshot_interval < 0";
-  if c.snapshot_keep < 1 then invalid_arg "Server: snapshot_keep < 1"
+  if c.snapshot_keep < 1 then invalid_arg "Server: snapshot_keep < 1";
+  if c.fsync_batch < 1 then invalid_arg "Server: fsync_batch < 1";
+  if not (Float.is_finite c.fsync_interval_ms) || c.fsync_interval_ms < 0. then
+    invalid_arg "Server: fsync_interval_ms must be non-negative"
 
 let start ?(config = default_config) service =
   check_config config;
@@ -337,18 +364,6 @@ let start ?(config = default_config) service =
      write, not kill the whole process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
-  let restored, seq_base =
-    match config.snapshot_dir with
-    | None -> (0, 0)
-    | Some dir -> (
-        match
-          Snapshot.load_latest
-            ~log:(fun m -> Format.eprintf "ckpt_net: %s@." m)
-            ~dir ()
-        with
-        | None -> (0, 0)
-        | Some state -> (Snapshot.install state service, state.Snapshot.seq))
-  in
   let addr =
     try Unix.inet_addr_of_string config.host
     with Failure _ ->
@@ -368,6 +383,35 @@ let start ?(config = default_config) service =
     | Unix.ADDR_INET (_, p) -> p
     | _ -> config.port
   in
+  (* Recovery (tmp cleanup, snapshot install, WAL replay) runs after the
+     bind but before the accept loop exists: no request is answered by a
+     partially recovered service, and a failed bind leaves no fresh WAL
+     segment behind. *)
+  let durable =
+    let wal =
+      Option.map
+        (fun dir ->
+          Wal.config ~fsync_batch:config.fsync_batch
+            ~fsync_interval_ms:config.fsync_interval_ms ~dir ())
+        config.wal_dir
+    in
+    let dcfg =
+      Durable.config ?snapshot_dir:config.snapshot_dir
+        ~snapshot_keep:config.snapshot_keep ?wal ?auto:config.durability_auto ()
+    in
+    match
+      Durable.create ?chaos:config.chaos ?inject:config.durability_inject
+        ~log:(fun m -> Format.eprintf "ckpt_net: %s@." m)
+        dcfg service
+    with
+    | Ok d -> d
+    | Error m ->
+        close_quietly listen_fd;
+        (* An unusable WAL directory must refuse to start: a server that
+           silently acked undurable stateful ops would violate the
+           contract the WAL exists to provide. *)
+        failwith ("Server: durability init failed: " ^ m)
+  in
   let t =
     { config;
       service;
@@ -383,14 +427,13 @@ let start ?(config = default_config) service =
       requests = 0;
       ops = Hashtbl.create 16;
       last_snapshot_at = 0;
-      seq_base;
-      draining = Atomic.make false;
-      restored }
+      durable;
+      draining = Atomic.make false }
   in
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
   t
 
-let join t =
+let join_threads t =
   Option.iter Thread.join t.accept_thread;
   t.accept_thread <- None;
   (* Threads spawned after the snapshot of the list are impossible: the
@@ -407,5 +450,16 @@ let join t =
     end
   in
   drain_threads ();
-  locked t (fun () -> Hashtbl.reset t.finished);
-  if t.config.snapshot_dir <> None then ignore (snapshot_now t)
+  locked t (fun () -> Hashtbl.reset t.finished)
+
+let join t =
+  join_threads t;
+  if t.config.snapshot_dir <> None then ignore (snapshot_now t);
+  Durable.close t.durable
+
+let abort t =
+  stop t;
+  join_threads t;
+  (* No final snapshot, no WAL flush: the on-disk state is exactly what
+     a [kill -9] at this point would have left. *)
+  Durable.abort t.durable

@@ -31,6 +31,15 @@
     pruning (newest-by-name) never favors a previous incarnation's stale
     snapshots over fresh ones.
 
+    With [wal_dir] also set, every stateful op ([observe] / [calibrate]
+    / [replan]) is appended to a {!Wal} — and fsynced per the
+    [fsync_batch] / [fsync_interval_ms] group-commit policy — before it
+    is applied and acked, and recovery becomes snapshot + replay of the
+    WAL suffix past the snapshot's watermark ({!Durable} owns the exact
+    order).  Each successful snapshot retires the WAL segments it
+    covers.  [stats] responses then carry a ["durability"] health
+    object, and {!persistence} exposes the same counters in-process.
+
     {2 Drain}
 
     {!stop} (also triggered by an in-band [{"op": "shutdown"}] request,
@@ -61,23 +70,36 @@ type config = {
   snapshot_dir : string option;
   snapshot_interval : int;  (** requests between snapshots; [0] = only on drain *)
   snapshot_keep : int;
-  chaos : Ckpt_chaos.Chaos.t option;  (** [Net]-site fault injection (testing only) *)
+  wal_dir : string option;  (** enables the write-ahead log *)
+  fsync_batch : int;  (** WAL group-commit batch, >= 1 (1 = strict) *)
+  fsync_interval_ms : float;  (** WAL time-based flush bound *)
+  chaos : Ckpt_chaos.Chaos.t option;
+      (** [Net]-site (per connection) and [Durability]-site (per
+          WAL/snapshot step) fault injection (testing only) *)
+  durability_inject : Wal.fault_hook option;
+      (** overrides the chaos-derived durability hook — tests use it to
+          hit one exact crash point *)
+  durability_auto : Ckpt_json.Json.t option;
+      (** [--durability auto] diagnostics, echoed into [stats] *)
 }
 
 val default_config : config
 (** Loopback, ephemeral port, 64 in-flight, 30 s deadlines, 1 MiB
-    lines, snapshots off. *)
+    lines, snapshots and WAL off, [fsync_batch = 1]. *)
 
 type t
 
 val start : ?config:config -> Ckpt_service.Service.t -> t
-(** Bind, warm-restart from [snapshot_dir] if a valid snapshot exists,
-    and spawn the accept loop.  The service must not be driven from
-    elsewhere while the server runs.  Sets [SIGPIPE] to ignore
-    process-wide: a peer resetting its connection must surface as
-    [EPIPE] from the write, never kill the process.
+(** Bind, run {!Durable} recovery (tmp cleanup, newest valid snapshot,
+    WAL replay past the watermark), and spawn the accept loop.  The
+    service must not be driven from elsewhere while the server runs.
+    Sets [SIGPIPE] to ignore process-wide: a peer resetting its
+    connection must surface as [EPIPE] from the write, never kill the
+    process.
     @raise Invalid_argument on nonsensical config values.
-    @raise Unix.Unix_error when the address cannot be bound. *)
+    @raise Unix.Unix_error when the address cannot be bound.
+    @raise Failure when [wal_dir] is configured but unusable — the
+    server refuses to start rather than ack undurable ops. *)
 
 val port : t -> int
 (** The actually bound port (resolves [port = 0]). *)
@@ -86,6 +108,11 @@ val service : t -> Ckpt_service.Service.t
 
 val restored : t -> int
 (** Plans installed from the warm-restart snapshot (0 on a cold start). *)
+
+val persistence : t -> Durable.persistence
+(** Persistence health: snapshot age/seq and failure counts, WAL
+    segment/byte/fsync/error counters, startup replay accounting — the
+    same numbers the [stats] response reports under ["durability"]. *)
 
 val requests : t -> int
 (** Requests answered through the socket so far (excludes overloaded
@@ -118,5 +145,12 @@ val stop : t -> unit
 
 val join : t -> unit
 (** Wait for the drain to complete: accept loop exited, listening
-    socket closed, every connection thread joined, final snapshot cut.
-    Call {!stop} first (or send [{"op": "shutdown"}]). *)
+    socket closed, every connection thread joined, final snapshot cut,
+    WAL flushed and closed.  Call {!stop} first (or send
+    [{"op": "shutdown"}]). *)
+
+val abort : t -> unit
+(** Stop and join like {!join} but cut no final snapshot and do not
+    flush the WAL: the on-disk state is exactly what [kill -9] at this
+    point would have left.  Test harness only — it turns the in-process
+    restart property from snapshot granularity into op granularity. *)

@@ -8,6 +8,7 @@ module Cost_estimator = Ckpt_adaptive.Cost_estimator
 
 type state = {
   seq : int;
+  wal_seq : int;
   cache : (string * Ckpt_model.Optimizer.plan) list;
   session : (Rate_estimator.t * Cost_estimator.t) option;
 }
@@ -15,8 +16,9 @@ type state = {
 let version = 1
 let magic = "CKPTSNAP"
 
-let of_service ~seq service =
+let of_service ?(wal_seq = 0) ~seq service =
   { seq;
+    wal_seq;
     cache = Sharded_cache.to_list (Planner.cache (Service.planner service));
     session = Service.session_estimators service }
 
@@ -38,6 +40,7 @@ let payload_json state =
     [ ("kind", Json.String "ckpt-net-snapshot");
       ("version", Json.Number (float_of_int version));
       ("seq", Json.Number (float_of_int state.seq));
+      ("wal_seq", Json.Number (float_of_int state.wal_seq));
       ( "cache",
         Json.List
           (List.map
@@ -135,9 +138,17 @@ let decode s =
       | Some n when n >= 0 -> Ok n
       | _ -> Error "missing or negative seq"
     in
+    (* Absent in pre-WAL snapshots (same version, unknown-field rule):
+       watermark 0 means "replay the whole WAL", which is exactly right
+       for a directory that predates the WAL. *)
+    let wal_seq =
+      match Option.bind (Json.member "wal_seq" json) Json.to_int with
+      | Some n when n >= 0 -> n
+      | _ -> 0
+    in
     let* cache = decode_cache json in
     let* session = decode_session json in
-    Ok { seq; cache; session }
+    Ok { seq; wal_seq; cache; session }
   with e -> Error ("snapshot decode raised: " ^ Printexc.to_string e)
 
 (* ---------------- files ---------------- *)
@@ -162,16 +173,43 @@ let list_snapshots dir =
 
 (* The rename makes the snapshot's *contents* durable, but the directory
    entry itself is not on disk until the directory is fsynced — without
-   this, a crash shortly after save can lose the whole file.  Best
-   effort: some platforms refuse to fsync a directory fd. *)
+   this, a crash shortly after save can lose the whole file.  Platforms
+   that cannot fsync a directory fd answer EINVAL/ENOTSUP-style errors,
+   which are benign; anything else (EIO and friends) is a real failure
+   that must reach the health counters, not vanish. *)
 let fsync_dir dir =
   match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
   | fd ->
       Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
-  | exception Unix.Unix_error _ -> ()
+        (fun () ->
+          match Unix.fsync fd with
+          | () -> Ok ()
+          | exception Unix.Unix_error ((EINVAL | ENOSYS | EOPNOTSUPP | EBADF), _, _) ->
+              Ok ()
+          | exception Unix.Unix_error (err, _, _) ->
+              Error
+                (Printf.sprintf "directory fsync %s failed: %s" dir
+                   (Unix.error_message err)))
+  | exception Unix.Unix_error ((EINVAL | ENOSYS | EOPNOTSUPP | EACCES), _, _) -> Ok ()
+  | exception Unix.Unix_error (err, _, _) ->
+      Error
+        (Printf.sprintf "directory open %s failed: %s" dir (Unix.error_message err))
 
-let save ?(keep = 4) ~dir state =
+let clean_tmp ?(log = fun _ -> ()) ~dir () =
+  match Sys.readdir dir with
+  | entries ->
+      Array.fold_left
+        (fun n name ->
+          if Filename.check_suffix name ".tmp" then begin
+            let path = Filename.concat dir name in
+            log (Printf.sprintf "%s: leftover temp from an interrupted save, removing" path);
+            match Sys.remove path with () -> n + 1 | exception Sys_error _ -> n
+          end
+          else n)
+        0 entries
+  | exception Sys_error _ -> 0
+
+let save ?(keep = 4) ?(inject = fun _ -> ()) ~dir state =
   if keep < 1 then invalid_arg "Snapshot.save: keep < 1";
   try
     if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
@@ -183,13 +221,24 @@ let save ?(keep = 4) ~dir state =
       (fun () ->
         let bytes = Bytes.of_string image in
         let len = Bytes.length bytes in
-        let off = ref 0 in
-        while !off < len do
-          off := !off + Unix.write fd bytes !off (len - !off)
-        done;
+        (* Two halves with an injection point between: a crash here
+           leaves a genuinely torn temp file for recovery to ignore. *)
+        let write_range from upto =
+          let off = ref from in
+          while !off < upto do
+            off := !off + Unix.write fd bytes !off (upto - !off)
+          done
+        in
+        write_range 0 (len / 2);
+        inject "snapshot-write";
+        write_range (len / 2) len;
+        inject "snapshot-fsync";
         Unix.fsync fd);
+    inject "snapshot-rename";
     Unix.rename tmp path;
-    fsync_dir dir;
+    inject "snapshot-dir-fsync";
+    let* () = fsync_dir dir in
+    inject "snapshot-prune";
     (* Prune: everything but the [keep] newest.  Best effort — a file
        that vanishes or resists unlinking never fails the snapshot. *)
     List.iteri

@@ -38,6 +38,11 @@
 
 type state = {
   seq : int;  (** requests served when the snapshot was cut *)
+  wal_seq : int;
+      (** WAL watermark: every WAL record with [seq <= wal_seq] is
+          already folded into this snapshot, so recovery replays only
+          the suffix past it and compaction may retire the segments it
+          covers.  [0] in pre-WAL snapshots and WAL-off servers. *)
   cache : (string * Ckpt_model.Optimizer.plan) list;
       (** plan-cache dump, per-shard MRU first (see
           {!Ckpt_service.Sharded_cache.to_list}) *)
@@ -47,9 +52,11 @@ type state = {
 
 val version : int
 
-val of_service : seq:int -> Ckpt_service.Service.t -> state
-(** Capture the service's durable state.  Call while no other thread is
-    mutating the service (the server holds its coordinator lock). *)
+val of_service : ?wal_seq:int -> seq:int -> Ckpt_service.Service.t -> state
+(** Capture the service's durable state.  [wal_seq] (default [0]) is the
+    highest WAL sequence already applied to the service.  Call while no
+    other thread is mutating the service (the server holds its
+    coordinator lock). *)
 
 val install : state -> Ckpt_service.Service.t -> int
 (** Warm-restart: re-add every cached plan (oldest first, so recency
@@ -66,11 +73,26 @@ val decode : string -> (state, string) result
     before parsing, and validates every plan and estimator field.  Any
     failure — including a future version — is [Error _]. *)
 
-val save : ?keep:int -> dir:string -> state -> (string, string) result
+val save :
+  ?keep:int -> ?inject:(string -> unit) -> dir:string -> state -> (string, string) result
 (** Atomically write [dir/snapshot-<seq>.ckpt] (temp + fsync + rename +
     directory fsync), creating [dir] if needed, then prune all but the
     [keep] (default 4) newest snapshots.  Returns the path written.
-    Never raises. *)
+    A non-benign directory-fsync failure is an [Error] (the file is
+    valid but its directory entry may not survive a power cut, so the
+    cut must not retire WAL segments).  [inject] is the durability
+    chaos hook: it is called at each stage boundary
+    ([snapshot-write], [snapshot-fsync], [snapshot-rename],
+    [snapshot-dir-fsync], [snapshot-prune]) and may raise to simulate a
+    crash ({!Wal.Injected_crash} propagates) or an I/O failure
+    ([Unix_error] becomes this function's [Error]).  Never raises
+    otherwise. *)
+
+val clean_tmp : ?log:(string -> unit) -> dir:string -> unit -> int
+(** Remove leftover [*.tmp] files from saves killed mid-write (they are
+    invisible to {!load_latest} but would accumulate).  Returns the
+    number removed; missing directory is [0].  Call once at startup
+    before serving. *)
 
 val load_latest : ?log:(string -> unit) -> dir:string -> unit -> state option
 (** Newest snapshot in [dir] that decodes cleanly.  Invalid files are

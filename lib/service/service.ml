@@ -26,6 +26,13 @@ type t = {
   mutable event_seq : int;
   mutable session : session option;
   mutable live : bool;
+  (* Durability hook: consulted with the raw (post-mangle) line before a
+     stateful op mutates the session, so the server can write-ahead-log
+     it.  [Error] refuses the op — state unchanged, client told why. *)
+  mutable persist : (string -> (unit, Protocol.error) result) option;
+  (* Extra top-level fields appended to the [stats] payload (the server
+     reports persistence health through this). *)
+  mutable stats_extra : (unit -> (string * Json.t) list) option;
 }
 
 let create ?(workers = 1) ?cache_capacity ?precision ?resilience ?chaos () =
@@ -40,7 +47,9 @@ let create ?(workers = 1) ?cache_capacity ?precision ?resilience ?chaos () =
     line_seq = 0;
     event_seq = 0;
     session = None;
-    live = true }
+    live = true;
+    persist = None;
+    stats_extra = None }
 
 let workers t = match t.pool with None -> 0 | Some p -> Pool.workers p
 let session_estimators t = Option.map (fun s -> (s.rates, s.costs)) t.session
@@ -52,11 +61,22 @@ let restore_session t ~rates ~costs =
 let metrics t = t.metrics
 let planner t = t.planner
 let chaos t = t.chaos
-let stats_json t = Metrics.to_json t.metrics
+let set_persist_hook t hook = t.persist <- hook
+let set_stats_extra t extra = t.stats_extra <- extra
+
+let stats_json t =
+  let base = Metrics.to_json t.metrics in
+  match t.stats_extra with
+  | None -> base
+  | Some extra -> (
+      match base with
+      | Json.Obj fields -> Json.Obj (fields @ extra ())
+      | other -> other)
 
 (* One parsed request, with the span of the flat query array it owns. *)
 type job = {
   envelope : Protocol.envelope;
+  line : string;  (** the raw line as parsed (after any chaos mangling) *)
   offset : int;  (** first slot in the flat query array *)
   span : int;  (** number of slots *)
 }
@@ -337,7 +357,7 @@ let run_batch t lines =
           | Ok request -> Array.length (queries_of_request request)
           | Error _ -> 0
         in
-        let job = { envelope; offset = !offset; span } in
+        let job = { envelope; line; offset = !offset; span } in
         offset := !offset + span;
         job)
       lines
@@ -390,6 +410,19 @@ let run_batch t lines =
   Array.iter (fun (slot, r) -> Hashtbl.replace sim_by_slot slot r) sim_results;
   (jobs, outcomes, sim_by_slot)
 
+(* Stateful ops go through the durability gate first: the line must be
+   on disk (per the WAL's policy) before the session mutates, or the op
+   is refused outright and the state left untouched. *)
+let persist_gate t job k =
+  match t.persist with
+  | None -> k ()
+  | Some hook -> (
+      match hook job.line with
+      | Ok () -> k ()
+      | Error e ->
+          Metrics.incr_errors t.metrics;
+          Protocol.error_response ?id:job.envelope.Protocol.id e)
+
 (* Reassemble one response per line, in order. *)
 let respond t ~outcomes ~sim_by_slot job =
   let id = job.envelope.Protocol.id in
@@ -400,7 +433,8 @@ let respond t ~outcomes ~sim_by_slot job =
   | Ok request -> (
       match request with
       | Protocol.Stats -> Protocol.stats_response ?id (stats_json t)
-      | Protocol.Observe { events } -> (
+      | Protocol.Observe { events } ->
+          persist_gate t job @@ fun () -> (
           match handle_observe t events with
           | Ok (events, failures, exposure) ->
               Protocol.observe_response ?id ~events ~failures ~exposure ()
@@ -413,7 +447,8 @@ let respond t ~outcomes ~sim_by_slot job =
           | Error e ->
               Metrics.incr_errors t.metrics;
               Protocol.error_response ?id e)
-      | Protocol.Replan { query; prior_strength } -> (
+      | Protocol.Replan { query; prior_strength } ->
+          persist_gate t job @@ fun () -> (
           match handle_replan t ~query ~prior_strength with
           | Ok (answer, fitted) ->
               Protocol.replan_response ?id
@@ -422,7 +457,8 @@ let respond t ~outcomes ~sim_by_slot job =
           | Error e ->
               Metrics.incr_errors t.metrics;
               Protocol.error_response ?id e)
-      | Protocol.Calibrate { query; log; prior_strength; compare } -> (
+      | Protocol.Calibrate { query; log; prior_strength; compare } ->
+          persist_gate t job @@ fun () -> (
           match handle_calibrate t ~query ~log ~prior_strength ~compare with
           | Ok (answer, fitted, provenance, comparison) ->
               Protocol.calibrate_response ?id

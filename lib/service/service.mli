@@ -103,6 +103,21 @@ val handle_line_string : t -> string -> string
 
 val stats_json : t -> Ckpt_json.Json.t
 (** The current {!Metrics.to_json} payload (also served by the
-    [stats] op). *)
+    [stats] op), with any {!set_stats_extra} fields appended. *)
+
+val set_persist_hook : t -> (string -> (unit, Protocol.error) result) option -> unit
+(** Durability gate for the stateful ops ([observe], [replan],
+    [calibrate]): when set, the hook is called with the raw
+    (post-mangle) request line {e before} the op mutates the session.
+    [Ok ()] lets the op proceed; [Error e] answers the client with [e]
+    and leaves the session untouched — so an acked stateful op is
+    exactly one whose line the hook accepted.  Read-only ops never
+    consult it.  The server installs its WAL append here; replay works
+    by feeding the logged lines back through {!handle_line_string}
+    with the hook unset. *)
+
+val set_stats_extra : t -> (unit -> (string * Ckpt_json.Json.t) list) option -> unit
+(** Extra top-level fields appended to the [stats] payload on every
+    render — the server reports persistence health through this. *)
 
 val shutdown : t -> unit

@@ -1,0 +1,41 @@
+module Wal = Ckpt_net.Wal
+
+let () =
+  let dir = "/tmp/walrepro/wal" in
+  (* life 1: append a, b (synced), then simulate a torn tail by hand *)
+  (match Wal.open_ (Wal.config ~dir ()) ~next_seq:1 with
+   | Error m -> failwith m
+   | Ok w ->
+       ignore (Wal.append w "a");
+       ignore (Wal.append w "b");
+       Wal.abort w);
+  (* hand-tear: append half of a frame for seq 3 to the current segment *)
+  let seg = Filename.concat dir "wal-000000000001.log" in
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 seg in
+  output_string oc "W 3 5 0000";  (* truncated header/frame *)
+  close_out oc;
+  (* life 2: recover, append c (acked+synced), die *)
+  let scan = Wal.load ~dir () in
+  Printf.printf "life2 recovery: records=%s last_seq=%d dropped=%d skipped=%d\n"
+    (String.concat "," (List.map snd scan.Wal.records))
+    scan.Wal.last_seq scan.Wal.dropped_records scan.Wal.skipped_segments;
+  (match Wal.open_ (Wal.config ~dir ()) ~next_seq:(scan.Wal.last_seq + 1) with
+   | Error m -> failwith m
+   | Ok w ->
+       (match Wal.append w "c" with
+        | Ok seq -> Printf.printf "life2: acked 'c' at seq %d (synced=%d)\n" seq (Wal.synced_seq w)
+        | Error m -> Printf.printf "append c failed: %s\n" m);
+       Wal.abort w);
+  (* life 3: recover again — is acked 'c' still there? *)
+  let scan = Wal.load ~dir () in
+  Printf.printf "life3 recovery: records=%s last_seq=%d dropped=%d skipped=%d\n"
+    (String.concat "," (List.map snd scan.Wal.records))
+    scan.Wal.last_seq scan.Wal.dropped_records scan.Wal.skipped_segments;
+  (* and what does a fresh open_ do to the segment holding 'c'? *)
+  (match Wal.open_ (Wal.config ~dir ()) ~next_seq:(scan.Wal.last_seq + 1) with
+   | Error m -> failwith m
+   | Ok w -> Wal.abort w);
+  let scan = Wal.load ~dir () in
+  Printf.printf "after life4 open_: records=%s\n"
+    (String.concat "," (List.map snd scan.Wal.records));
+  Array.iter (fun f -> Printf.printf "  file: %s\n" f) (Sys.readdir dir)

@@ -90,6 +90,15 @@ let kernels doc =
                   J.float_field "speedup_vs_1_worker" entry
                 else None
               in
+              (* Solver kernels carry an "iterations" object: summed
+                 inner iterations and Eq. 24 evaluations for the batch
+                 the kernel times.  These are deterministic — identical
+                 on every machine — so they run at 0.4x the threshold
+                 (CI's --threshold 25 makes the effective gate 10%): an
+                 iteration regression is a solver change, not noise. *)
+              let iter_field f =
+                Option.bind (J.member "iterations" entry) (J.float_field f)
+              in
               List.filter_map Fun.id
                 [ Option.map
                     (fun value ->
@@ -115,7 +124,18 @@ let kernels doc =
                     (fun value ->
                       { kernel; what = "speedup"; value; better = `Higher;
                         unit_ = "x"; scale = 1.; lenience = 2. })
-                    speedup ])
+                    speedup;
+                  Option.map
+                    (fun value ->
+                      { kernel; what = "inner_iterations"; value;
+                        better = `Lower; unit_ = "it"; scale = 1.;
+                        lenience = 0.4 })
+                    (iter_field "inner");
+                  Option.map
+                    (fun value ->
+                      { kernel; what = "f_evals"; value; better = `Lower;
+                        unit_ = "ev"; scale = 1.; lenience = 0.4 })
+                    (iter_field "f_evals") ])
         entries
 
 let metric_key m = m.kernel ^ "/" ^ m.what

@@ -335,6 +335,17 @@ let timing_obj label (mean, std, minor_words) =
         ("stddev_ns", J.Number std);
         ("minor_words_per_rep", J.Number minor_words) ] )
 
+(* Solver iteration telemetry.  Unlike wall time these counts are
+   deterministic — the same batch solves with the same iteration budget
+   on any machine — so diff.exe gates them far tighter than the timing
+   metrics (see the lenience there). *)
+let iterations_obj ~inner ~outer ~f_evals =
+  ( "iterations",
+    J.Obj
+      [ ("inner", J.Number (float_of_int inner));
+        ("outer", J.Number (float_of_int outer));
+        ("f_evals", J.Number (float_of_int f_evals)) ] )
+
 let bench_entry ~kernel ~workers ~reps ~baseline ~optimized extra =
   let base_mean, _, _ = baseline in
   let opt_mean, _, _ = optimized in
@@ -402,7 +413,11 @@ let json_bench () =
             [ ( "cold_inner_iterations",
                 J.Number (float_of_int cold_stats.Optimizer.inner_iterations) );
               ( "warm_inner_iterations",
-                J.Number (float_of_int warm_stats.Optimizer.inner_iterations) ) ];
+                J.Number (float_of_int warm_stats.Optimizer.inner_iterations) );
+              iterations_obj
+                ~inner:warm_stats.Optimizer.inner_iterations
+                ~outer:warm_stats.Optimizer.outer_iterations
+                ~f_evals:warm_stats.Optimizer.f_evals ];
           bench_entry
             ~kernel:(Printf.sprintf "registry-%s" (String.concat "+" registry_ids))
             ~workers ~reps ~baseline:registry_seq ~optimized:registry_par [] ])
@@ -453,6 +468,23 @@ let json_bench () =
     in
     let healthy, _ = time_planner () in
     let faulted, degraded = time_planner ~chaos:(Chaos.create fault_spec) () in
+    (* The same 64-row batch shape solved directly (no pool, offset 0):
+       its summed iteration counts are the deterministic twin of the
+       timed kernel above, gated per revision. *)
+    let planner_iterations =
+      let jobs =
+        Array.init 64 (fun i ->
+            Optimizer.batch_job ~delta:1e-9
+              ~fixed_n:(2e5 +. (float_of_int i *. 1e3))
+              eval_problem)
+      in
+      let plans = Optimizer.solve_batch jobs in
+      let sum f = Array.fold_left (fun acc p -> acc + f p) 0 plans in
+      iterations_obj
+        ~inner:(sum (fun p -> p.Optimizer.inner_iterations))
+        ~outer:(sum (fun p -> p.Optimizer.outer_iterations))
+        ~f_evals:(sum (fun p -> p.Optimizer.f_evals))
+    in
     let planner_entry ~kernel ~fault_rate ~timing extra =
       J.Obj
         ([ ("kernel", J.String kernel);
@@ -462,7 +494,8 @@ let json_bench () =
            timing_obj "wall" timing ]
         @ extra)
     in
-    [ planner_entry ~kernel:"planner-batch64-fault-0pct" ~fault_rate:0. ~timing:healthy [];
+    [ planner_entry ~kernel:"planner-batch64-fault-0pct" ~fault_rate:0. ~timing:healthy
+        [ planner_iterations ];
       planner_entry ~kernel:"planner-batch64-fault-10pct" ~fault_rate:0.1 ~timing:faulted
         [ ("degraded_answers", J.Number (float_of_int degraded)) ] ]
   in
@@ -591,6 +624,81 @@ let json_bench () =
   Printf.printf "wrote %s (%d kernels, %d workers, rev %s)\n" path
     (List.length entries) workers (git_rev ())
 
+(* --- Table II fallback gate (--table2-gate) ------------------------------ *)
+
+(* CI's bench-smoke job runs this after the timing kernels: every case
+   of the paper's Table II corpus is solved on both the accelerated and
+   the reference path, the per-case iteration histogram is written to
+   iteration-histogram.json (archived as an artifact), and the exit
+   status is 1 if any accelerated solve needed a safeguard fallback,
+   spent more inner iterations than the reference, or failed plan
+   equivalence (same integer scale, E(T_w) within 1e-9 relative).  The
+   acceleration is tuned to be safeguard-free on this corpus; a
+   fallback here means a change moved the solver off that operating
+   point even if the answers are still right. *)
+let table2_gate () =
+  let cases =
+    [ "16-12-8-4"; "8-6-4-2"; "4-3-2-1"; "16-8-4-2"; "8-4-2-1"; "4-2-1-0.5" ]
+  in
+  let violations = ref 0 in
+  let entries =
+    List.map
+      (fun case ->
+        let p = E.Paper_data.eval_problem ~te_core_days:3e6 ~case () in
+        let fast = Optimizer.solve p in
+        let slow = Optimizer.solve_reference p in
+        let wall_rel =
+          Float.abs (fast.Optimizer.wall_clock -. slow.Optimizer.wall_clock)
+          /. Float.abs slow.Optimizer.wall_clock
+        in
+        let equivalent =
+          Float.round fast.Optimizer.n = Float.round slow.Optimizer.n
+          && wall_rel <= 1e-9
+        in
+        let ok =
+          equivalent && fast.Optimizer.fallbacks = 0
+          && fast.Optimizer.inner_iterations <= slow.Optimizer.inner_iterations
+        in
+        if not ok then incr violations;
+        Printf.printf "%s %-10s  inner %3d vs %3d  f_evals %4d vs %4d  fallbacks %d  wall rel %.2e\n"
+          (if ok then " " else "!") case fast.Optimizer.inner_iterations
+          slow.Optimizer.inner_iterations fast.Optimizer.f_evals
+          slow.Optimizer.f_evals fast.Optimizer.fallbacks wall_rel;
+        let side (plan : Optimizer.plan) =
+          J.Obj
+            [ ("inner_iterations", J.Number (float_of_int plan.Optimizer.inner_iterations));
+              ("outer_iterations", J.Number (float_of_int plan.Optimizer.outer_iterations));
+              ("f_evals", J.Number (float_of_int plan.Optimizer.f_evals));
+              ("fallbacks", J.Number (float_of_int plan.Optimizer.fallbacks)) ]
+        in
+        J.Obj
+          [ ("case", J.String case);
+            ("accelerated", side fast);
+            ("reference", side slow);
+            ("wall_clock_rel_diff", J.Number wall_rel);
+            ("plan_equivalent", J.Bool equivalent);
+            ("ok", J.Bool ok) ])
+      cases
+  in
+  let doc =
+    J.Obj
+      [ ("schema", J.String "ckpt-iteration-histogram/1");
+        ("git_rev", J.String (git_rev ()));
+        ("corpus", J.String "table2");
+        ("cases", J.List entries) ]
+  in
+  let path = "iteration-histogram.json" in
+  let oc = open_out path in
+  output_string oc (J.to_string ~pretty:true doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d cases, rev %s)\n" path (List.length entries) (git_rev ());
+  if !violations > 0 then begin
+    Printf.printf "%d Table II case(s) violated the safeguard-free contract\n"
+      !violations;
+    exit 1
+  end
+
 (* --- bechamel driver ----------------------------------------------------- *)
 
 let benchmark tests =
@@ -621,8 +729,12 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
   let json = List.mem "--json" args in
-  let requested = List.filter (fun a -> a <> "--quick" && a <> "--json") args in
-  if json then json_bench ()
+  let gate = List.mem "--table2-gate" args in
+  let requested =
+    List.filter (fun a -> a <> "--quick" && a <> "--json" && a <> "--table2-gate") args
+  in
+  if gate then table2_gate ()
+  else if json then json_bench ()
   else begin
   print_endline "== Bechamel micro-benchmarks (one per paper table/figure) ==";
   print_bench_results (benchmark tests);

@@ -164,6 +164,8 @@ let plan_to_json (p : Optimizer.plan) =
       ("efficiency", Json.Number p.Optimizer.efficiency);
       ("outer_iterations", Json.Number (float_of_int p.Optimizer.outer_iterations));
       ("inner_iterations", Json.Number (float_of_int p.Optimizer.inner_iterations));
+      ("f_evals", Json.Number (float_of_int p.Optimizer.f_evals));
+      ("fallbacks", Json.Number (float_of_int p.Optimizer.fallbacks));
       ("converged", Json.Bool p.Optimizer.converged) ]
 
 (* [plan_to_json] + compact serialization in one pass, byte-identical
@@ -208,6 +210,10 @@ let write_plan buf (p : Optimizer.plan) =
   Json.add_number buf (float_of_int p.Optimizer.outer_iterations);
   Buffer.add_string buf ",\"inner_iterations\":";
   Json.add_number buf (float_of_int p.Optimizer.inner_iterations);
+  Buffer.add_string buf ",\"f_evals\":";
+  Json.add_number buf (float_of_int p.Optimizer.f_evals);
+  Buffer.add_string buf ",\"fallbacks\":";
+  Json.add_number buf (float_of_int p.Optimizer.fallbacks);
   Buffer.add_string buf ",\"converged\":";
   Buffer.add_string buf (if p.Optimizer.converged then "true" else "false");
   Buffer.add_char buf '}'
@@ -235,6 +241,15 @@ let plan_of_json json =
   let* efficiency = need_float "efficiency" json in
   let* outer_iterations = need_int "outer_iterations" in
   let* inner_iterations = need_int "inner_iterations" in
+  (* Absent in plans serialized before the telemetry fields existed
+     (snapshots, WAL records): default to 0 rather than reject. *)
+  let opt_int key =
+    match Option.bind (Json.member key json) Json.to_int with
+    | Some i -> i
+    | None -> 0
+  in
+  let f_evals = opt_int "f_evals" in
+  let fallbacks = opt_int "fallbacks" in
   let* converged =
     match Option.bind (Json.member "converged" json) Json.to_bool with
     | Some b -> Ok b
@@ -242,7 +257,7 @@ let plan_of_json json =
   in
   Ok
     { Optimizer.xs; n; wall_clock; mus; breakdown; efficiency; outer_iterations;
-      inner_iterations; converged }
+      inner_iterations; f_evals; fallbacks; converged }
 
 let bundle_to_json ~problem ~plan =
   Json.Obj [ ("problem", problem_to_json problem); ("plan", plan_to_json plan) ]

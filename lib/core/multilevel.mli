@@ -27,6 +27,10 @@ type solution = {
   n : float;  (** optimal scale *)
   wall_clock : float;
   iterations : int;
+  f_evals : int;  (** Eq. 24 derivative evaluations spent in scale searches *)
+  fallbacks : int;
+      (** safeguard reversions taken by the accelerated path (always 0
+          for {!optimize_reference}) *)
   converged : bool;
 }
 
@@ -89,9 +93,22 @@ val optimize :
 
     The iteration runs on the {!Ckpt_fastpath} workspace path: per-level
     terms are cached per scale in preallocated arrays (one per-domain
-    workspace), so inner iterations do no heap allocation.  Results are
-    bit-identical to {!optimize_reference} — the direct, closure-based
-    evaluation this path is property-tested against. *)
+    workspace), so inner iterations do no heap allocation.  The
+    iteration is accelerated — [Roots.itp_integer] (superlinear, with
+    the bisection recurrence replayed exactly over the refined bracket)
+    for the Eq. 24 scale search, and safeguarded Aitken delta-squared
+    extrapolation of the xs fixed point, reverted whenever an
+    extrapolated iterate fails to reduce the residual (counted in
+    [fallbacks]).
+
+    Contract against {!optimize_reference}: {e plan equivalence}, not
+    trajectory equality — both paths converge to the same fixed point
+    of the same contraction under the same tolerance, so a converged
+    solution has the same integer scale [Float.round n] and an E(T_w)
+    within 1e-9 relative, typically in well under half the iterations.
+    The evaluation kernels themselves (E(T_w), Eq. 23/24) remain
+    bit-identical to the reference; test/test_fastpath.ml
+    property-tests both layers. *)
 
 val optimize_reference :
   ?tol:float ->
@@ -101,10 +118,13 @@ val optimize_reference :
   ?init:float array * float ->
   params ->
   solution
-(** The reference implementation of {!optimize}: identical signature and
-    (bitwise) identical results, evaluating every term through the
-    overhead-law closures with no workspace.  Kept as the oracle for the
-    fastpath bit-identity property tests. *)
+(** The reference implementation of {!optimize}: identical signature,
+    plain bisection and plain fixed-point steps, evaluating every term
+    through the overhead-law closures with no workspace.  Kept as the
+    correctness oracle: the accelerated path must produce a
+    plan-equivalent solution (same integer scale, E(T_w) within 1e-9
+    relative) on every problem, which the fastpath property tests
+    check. *)
 
 val expected_wall_clock_fast :
   Ckpt_fastpath.Workspace.t -> params -> xs:float array -> n:float -> float

@@ -17,6 +17,8 @@ type plan = {
   efficiency : float;
   outer_iterations : int;
   inner_iterations : int;
+  f_evals : int;
+  fallbacks : int;
   converged : bool;
 }
 
@@ -91,7 +93,8 @@ let mu_values p ~estimate ~n =
   Array.init (Array.length p.levels) (fun idx ->
       Failure_spec.rate_per_second p.spec ~level:(idx + 1) ~scale:n *. estimate)
 
-let finish p ~(sol : Multilevel.solution) ~estimate ~outer ~inner ~converged =
+let finish p ~(sol : Multilevel.solution) ~estimate ~outer ~inner ~f_evals
+    ~fallbacks ~converged =
   let params = multilevel_params p ~estimate in
   let breakdown = Multilevel.breakdown params ~xs:sol.Multilevel.xs ~n:sol.Multilevel.n in
   { xs = sol.Multilevel.xs;
@@ -102,12 +105,14 @@ let finish p ~(sol : Multilevel.solution) ~estimate ~outer ~inner ~converged =
     efficiency = p.te /. sol.Multilevel.wall_clock /. sol.Multilevel.n;
     outer_iterations = outer;
     inner_iterations = inner;
+    f_evals;
+    fallbacks;
     converged }
 
 (* The plan reported when the failure burden exceeds what any checkpoint
    schedule can absorb (paper Section III-D discusses this divergence for
    "extremely high" failure rates): the expected wall clock is unbounded. *)
-let divergent_plan p ~n ~outer ~inner =
+let divergent_plan p ~n ~outer ~inner ~f_evals ~fallbacks =
   { xs = Array.make (Array.length p.levels) 1.;
     n;
     wall_clock = infinity;
@@ -118,6 +123,8 @@ let divergent_plan p ~n ~outer ~inner =
     efficiency = 0.;
     outer_iterations = outer;
     inner_iterations = inner;
+    f_evals;
+    fallbacks;
     converged = false }
 
 let solve_with ?(reference = false) ?(delta = 1e-9) ?(max_outer = 1_000) ?fixed_n
@@ -153,8 +160,12 @@ let solve_with ?(reference = false) ?(delta = 1e-9) ?(max_outer = 1_000) ?fixed_
   let prev_mus0 =
     Option.map (fun w -> Array.map (fun m -> if Float.is_finite m then m else 0.) w.mus) warm
   in
-  let rec outer_loop estimate prev_mus init outer inner =
-    if not (Float.is_finite estimate) then divergent_plan p ~n:n0 ~outer ~inner
+  (* [pe]/[pr] carry the previous round's outer iterate and residual for
+     the Anderson(1) secant step; [nan] marks "no history yet". *)
+  let rec outer_loop estimate pe pr prev_mus init best_drift stall cold outer
+      inner f_evals fallbacks =
+    if not (Float.is_finite estimate) then
+      divergent_plan p ~n:n0 ~outer ~inner ~f_evals ~fallbacks
     else begin
     let params = multilevel_params p ~estimate in
     let sol =
@@ -162,9 +173,12 @@ let solve_with ?(reference = false) ?(delta = 1e-9) ?(max_outer = 1_000) ?fixed_
       else Multilevel.optimize ?fixed_n ~n_max ?init params
     in
     let inner = inner + sol.Multilevel.iterations in
+    let f_evals = f_evals + sol.Multilevel.f_evals in
+    let fallbacks = fallbacks + sol.Multilevel.fallbacks in
     let estimate' = sol.Multilevel.wall_clock in
     if not (Float.is_finite estimate') then
-      divergent_plan p ~n:sol.Multilevel.n ~outer:(outer + 1) ~inner
+      divergent_plan p ~n:sol.Multilevel.n ~outer:(outer + 1) ~inner ~f_evals
+        ~fallbacks
     else begin
     let mus' = mu_values p ~estimate:estimate' ~n:sol.Multilevel.n in
     let drift =
@@ -175,21 +189,81 @@ let solve_with ?(reference = false) ?(delta = 1e-9) ?(max_outer = 1_000) ?fixed_
       | Some _ -> infinity
     in
     if drift <= delta then
-      finish p ~sol ~estimate:estimate' ~outer:(outer + 1) ~inner
-        ~converged:sol.Multilevel.converged
+      finish p ~sol ~estimate:estimate' ~outer:(outer + 1) ~inner ~f_evals
+        ~fallbacks ~converged:sol.Multilevel.converged
     else if outer + 1 >= max_outer then
-      finish p ~sol ~estimate:estimate' ~outer:(outer + 1) ~inner ~converged:false
-    else
-      (* Rounds after the first run cold (init = None): each round's
-         inner solution must be a function of the estimate alone, or the
-         tol-sized dependence on the previous round's starting point
-         keeps the mu drift above delta forever.  The warm gain is the
-         near-fixed-point initial estimate, not per-round seeding. *)
-      outer_loop estimate' (Some mus') None (outer + 1) inner
+      finish p ~sol ~estimate:estimate' ~outer:(outer + 1) ~inner ~f_evals
+        ~fallbacks ~converged:false
+    else if reference then
+      (* Reference discipline: rounds after the first run cold
+         (init = None) on the plain fixed-point orbit — each round's
+         inner solution is a function of the estimate alone, so the mu
+         drift cannot be pinned above delta by a tol-sized dependence on
+         the previous round's starting point. *)
+      outer_loop estimate' nan nan (Some mus') None infinity 0 false
+        (outer + 1) inner f_evals fallbacks
+    else begin
+      (* Anderson(1): the outer iteration is a smooth scalar fixed point
+         e -> G(e) whose residual r(e) = G(e) - e we evaluate once per
+         round for free, so a secant step on r converges superlinearly
+         where the plain orbit contracts geometrically.  The step is
+         gated a priori — finite, positive, and within three plain steps
+         of G(e) — and degrades to the plain step G(e) otherwise, so
+         nothing is ever evaluated twice or reverted. *)
+      let r = estimate' -. estimate in
+      let e_next =
+        if Float.is_finite pr && Float.abs r < Float.abs pr then begin
+          let cand = estimate -. (r *. (estimate -. pe) /. (r -. pr)) in
+          if
+            Float.is_finite cand && cand > 0.
+            && Float.abs (cand -. estimate') <= 3. *. Float.abs r
+          then cand
+          else estimate'
+        end
+        else estimate'
+      in
+      if cold then
+        outer_loop e_next estimate r (Some mus') None infinity 0 true
+          (outer + 1) inner f_evals fallbacks
+      else if (not (Float.is_finite best_drift)) || drift < best_drift then
+        (* An infinite best just means there is no previous round to
+           compare against (mu values are finite whenever the estimate
+           is), so it cannot be stagnation.
+           Warm discipline: seed the next round from this round's
+           converged solution.  Near the fixed point E(T_w) is flat in
+           xs (first-order conditions), so the init-dependence the cold
+           rule guards against is second-order in the inner tolerance —
+           far below delta — while the inner solve starts close enough
+           to converge in a handful of iterations.  The drift must keep
+           beating its best for this to stay sound, which is checked,
+           not assumed. *)
+        outer_loop e_next estimate r (Some mus')
+          (Some (sol.Multilevel.xs, sol.Multilevel.n))
+          drift 0 false (outer + 1) inner f_evals fallbacks
+      else if stall = 0 then
+        (* One non-improving round is a normal transient of a
+           contraction measured through a tol-bounded inner solve — keep
+           the warm seeding, remember the stall. *)
+        outer_loop e_next estimate r (Some mus')
+          (Some (sol.Multilevel.xs, sol.Multilevel.n))
+          best_drift 1 false (outer + 1) inner f_evals fallbacks
+      else
+        (* Two stalls in a row: the warm-seeding noise floor has been
+           reached without meeting delta — the seeded inner solves stop
+           inside a tol-sized ball whose position depends on the seeding
+           path, so the measured drift can never fall further.  Finish
+           on the reference's cold-round discipline (sticky: cold rounds
+           are a deterministic function of the estimate, so their drift
+           is free of the floor and keeps contracting to delta).  The
+           secant acceleration keeps running — it only needs residuals,
+           not a warm orbit. *)
+        outer_loop e_next estimate r (Some mus') None infinity 0 true
+          (outer + 1) inner f_evals fallbacks
+    end
     end
     end
   in
-  outer_loop estimate0 prev_mus0 init0 0 0
+  outer_loop estimate0 nan nan prev_mus0 init0 infinity 0 false 0 0 0 0
 
 let solve ?delta ?max_outer ?fixed_n ?n_max ?warm p =
   solve_with ?delta ?max_outer ?fixed_n ?n_max ?warm p
@@ -201,9 +275,12 @@ let solve_reference ?delta ?max_outer ?fixed_n ?n_max ?warm p =
 (* Batch solving: K problems per pass through the struct-of-arrays
    fastpath workspace.  One [Batch.t] per domain (like the solver
    workspace), so pool workers fan stripes out without sharing scratch.
-   Every kernel and fill mirrors the single-solve path's arithmetic —
-   each row's plan is bitwise equal to [solve] (and so to
-   [solve_reference]) of the same job; test/test_fastpath.ml checks. *)
+   Every evaluation kernel and fill mirrors the single-solve path's
+   arithmetic bit for bit; the iteration itself is accelerated the same
+   way ([Roots.itp_integer], safeguarded Aitken, warm outer rounds) plus
+   cross-row warm starts, so each row's plan is plan-equivalent to
+   [solve_reference] of the same job — same integer scale, E(T_w)
+   within 1e-9 relative; test/test_fastpath.ml property-tests this. *)
 
 module Batch = Ckpt_fastpath.Batch
 
@@ -241,18 +318,41 @@ let batch_fill b (p : problem) ~row n =
     b.Batch.key.(row) <- n
   end
 
-(* Mirrors [Multilevel.solve_scale_ws] without a hint (batch rows run
-   cold, like [solve_with]'s outer rounds). *)
-let batch_solve_scale b p ~row ~n_hi =
+(* Mirrors [Multilevel.solve_scale_ws]: ITP probes with the bisection
+   recurrence replayed over the refined bracket, bracketing around a
+   warm hint when one is live (warm-seeded rounds and cross-row seeds,
+   iteration 0 only — the same discipline as the single-row path). *)
+let batch_solve_scale b p ?hint ~row ~n_hi () =
+  let s = b.Batch.s in
   let f n =
+    s.(Batch.slot_fevals) <- s.(Batch.slot_fevals) +. 1.;
     batch_fill b p ~row n;
     Batch.d_dn b ~row ~te:p.te ~alloc:p.alloc
   in
-  if f n_hi <= 0. then n_hi
-  else if f 1. >= 0. then 1.
-  else
-    (Ckpt_numerics.Roots.bisect_integer ~f ~lo:1. ~hi:n_hi ())
-      .Ckpt_numerics.Roots.root
+  let f_hi = f n_hi in
+  if f_hi <= 0. then n_hi
+  else begin
+    let f_1 = f 1. in
+    if f_1 >= 0. then 1.
+    else begin
+      let lo, hi, flo, fhi =
+        match hint with
+        | Some h when h > 1. && h < n_hi ->
+            let rec widen lo hi =
+              let flo = f lo and fhi = f hi in
+              if flo < 0. && fhi > 0. then (lo, hi, flo, fhi)
+              else
+                let lo' = if flo < 0. then lo else Float.max 1. (lo /. 4.) in
+                let hi' = if fhi > 0. then hi else Float.min n_hi (hi *. 4.) in
+                widen lo' hi'
+            in
+            widen (Float.max 1. (h /. 2.)) (Float.min n_hi (h *. 2.))
+        | _ -> (1., n_hi, f_1, f_hi)
+      in
+      (Ckpt_numerics.Roots.itp_integer ~flo ~fhi ~f ~lo ~hi ())
+        .Ckpt_numerics.Roots.root
+    end
+  end
 
 (* Mirrors [Multilevel.optimize] (cold start, default tol/max_iter) on
    one batch row.  The solved scale lands in [slot_n] and its E(T_w) in
@@ -269,45 +369,91 @@ let batch_opt_finish b p ~row n iter converged =
   if converged then iter else -iter
 
 (* tol/max_iter are [Multilevel.optimize]'s defaults, which [solve_with]
-   never overrides. *)
-let rec batch_opt_loop b p ~row fixed_n ~n_hi iter =
+   never overrides.  The loop is the batch twin of [Multilevel.optimize]'s
+   accelerated iteration: safeguarded Aitken extrapolation on the xs
+   stripe, with the Steffensen-cadence state machine kept in scalar
+   slots ([slot_hist]/[slot_accel]/[slot_dxref]/[slot_nsafe]). *)
+let rec batch_opt_loop b p ~row ~hinted fixed_n ~n_hi iter =
   let s = b.Batch.s in
   let n = s.(Batch.slot_n) in
   if iter >= 10_000 then batch_opt_finish b p ~row n iter false
   else begin
-    Batch.save_xs b ~row;
+    Batch.rotate_xs b ~row;
     if b.Batch.key.(row) <> n then batch_fill b p ~row n;
     Batch.x_sweep b ~row ~te:p.te;
     let n' =
       match fixed_n with
       | Some n -> n
-      | None -> batch_solve_scale b p ~row ~n_hi
+      | None ->
+          let hint = if hinted && iter = 0 then Some n else None in
+          batch_solve_scale b p ?hint ~row ~n_hi ()
     in
     let dx = Batch.max_abs_diff_xs b ~row in
-    if dx <= 1e-6 && Float.abs (n' -. n) <= 0.5 then
-      batch_opt_finish b p ~row n' (iter + 1) true
+    let pending = s.(Batch.slot_accel) = 1. in
+    s.(Batch.slot_accel) <- 0.;
+    if pending && not (Float.is_finite dx && dx < s.(Batch.slot_dxref)) then begin
+      (* The extrapolated iterate did not contract: revert to the saved
+         plain iterate and resume unaccelerated from there. *)
+      s.(Batch.slot_fallbacks) <- s.(Batch.slot_fallbacks) +. 1.;
+      Batch.restore_xs b ~row;
+      s.(Batch.slot_n) <- s.(Batch.slot_nsafe);
+      s.(Batch.slot_hist) <- 0.;
+      batch_opt_loop b p ~row ~hinted fixed_n ~n_hi (iter + 1)
+    end
     else begin
-      s.(Batch.slot_n) <- n';
-      batch_opt_loop b p ~row fixed_n ~n_hi (iter + 1)
+      s.(Batch.slot_hist) <- (if pending then 0. else s.(Batch.slot_hist) +. 1.);
+      if dx <= 1e-6 && Float.abs (n' -. n) <= 0.5 then
+        batch_opt_finish b p ~row n' (iter + 1) true
+      else begin
+        s.(Batch.slot_n) <- n';
+        (* Warm (hinted) solves skip Aitken, as in [Multilevel.optimize]:
+           a warm seed's step history is tol-scale path noise, not a
+           geometric tail, and attempts there are wasted iterations. *)
+        if (not hinted) && s.(Batch.slot_hist) >= 3. && Batch.aitken b ~row
+        then begin
+          s.(Batch.slot_accel) <- 1.;
+          s.(Batch.slot_dxref) <- dx;
+          s.(Batch.slot_nsafe) <- n';
+          s.(Batch.slot_hist) <- 0.
+        end;
+        batch_opt_loop b p ~row ~hinted fixed_n ~n_hi (iter + 1)
+      end
     end
   end
 
 (* The key invalidation at entry is the [Workspace.reserve] twin: each
    outer round re-fills the mu terms at the new estimate, while
-   [cost_key] keeps the scale-only terms across rounds. *)
-let batch_optimize b p ~row fixed_n ~n_hi =
+   [cost_key] keeps the scale-only terms across rounds.  [warm] skips
+   the Young restart: the xs stripe and [slot_n] already hold a
+   neighbouring solution (the previous outer round's, or a seeded
+   cross-row plan), so the iteration resumes from it and the round-0
+   scale search brackets around it. *)
+let batch_optimize b p ~row ~warm fixed_n ~n_hi =
   b.Batch.key.(row) <- nan;
-  let n0 = match fixed_n with Some n -> n | None -> n_hi in
+  let s = b.Batch.s in
+  let n0 =
+    match fixed_n with
+    | Some n -> n
+    | None -> if warm then Float.min n_hi s.(Batch.slot_n) else n_hi
+  in
   batch_fill b p ~row n0;
-  Batch.young_init b ~row ~te:p.te;
-  b.Batch.s.(Batch.slot_n) <- n0;
-  batch_opt_loop b p ~row fixed_n ~n_hi 0
+  if not warm then Batch.young_init b ~row ~te:p.te;
+  s.(Batch.slot_n) <- n0;
+  s.(Batch.slot_hist) <- 0.;
+  s.(Batch.slot_accel) <- 0.;
+  batch_opt_loop b p ~row ~hinted:warm fixed_n ~n_hi 0
 
-(* Mirrors [solve_with]'s outer loop (cold: no warm plan, no injected
-   estimate) on one batch row, allocation-free until the final plan
-   record.  The wall-clock estimate rides in [slot_est]. *)
+(* Mirrors [solve_with]'s outer loop on one batch row, allocation-free
+   until the final plan record.  The wall-clock estimate rides in
+   [slot_est]; the per-row f_evals/fallbacks counters accumulate in
+   their slots across rounds (reset once in [solve_batch_row]).  [warm]
+   follows [solve_with]'s accelerated discipline: Anderson(1) secant
+   steps on the outer estimate ([pe]/[pr] carry the previous iterate and
+   residual, [nan] = no history), per-round warm seeding while the mu
+   drift keeps beating its best, one tolerated stall, then sticky cold
+   rounds to finish below the warm noise floor. *)
 let rec batch_outer b ~row ~delta ~max_outer ~n_hi (p : problem) fixed_n
-    prev_valid outer inner =
+    prev_valid warm pe pr best_drift stall cold outer inner =
   let off = row * b.Batch.stride in
   let nl = Array.length p.levels in
   let s = b.Batch.s in
@@ -315,12 +461,14 @@ let rec batch_outer b ~row ~delta ~max_outer ~n_hi (p : problem) fixed_n
   if not (Float.is_finite estimate) then
     let n0 = match fixed_n with Some n -> n | None -> n_hi in
     divergent_plan p ~n:n0 ~outer ~inner
+      ~f_evals:(int_of_float s.(Batch.slot_fevals))
+      ~fallbacks:(int_of_float s.(Batch.slot_fallbacks))
   else begin
     for i = 0 to nl - 1 do
       b.Batch.slope.(off + i) <-
         Failure_spec.rate_per_second' p.spec ~level:(i + 1) *. estimate
     done;
-    let signed_iters = batch_optimize b p ~row fixed_n ~n_hi in
+    let signed_iters = batch_optimize b p ~row ~warm fixed_n ~n_hi in
     let iters = abs signed_iters in
     let inner_converged = signed_iters >= 0 in
     let inner = inner + iters in
@@ -328,6 +476,8 @@ let rec batch_outer b ~row ~delta ~max_outer ~n_hi (p : problem) fixed_n
     let estimate' = s.(Batch.slot_wall) in
     if not (Float.is_finite estimate') then
       divergent_plan p ~n:n_sol ~outer:(outer + 1) ~inner
+        ~f_evals:(int_of_float s.(Batch.slot_fevals))
+        ~fallbacks:(int_of_float s.(Batch.slot_fallbacks))
     else begin
       for i = 0 to nl - 1 do
         b.Batch.mu.(off + i) <-
@@ -341,26 +491,86 @@ let rec batch_outer b ~row ~delta ~max_outer ~n_hi (p : problem) fixed_n
             n = n_sol;
             wall_clock = estimate';
             iterations = iters;
+            f_evals = int_of_float s.(Batch.slot_fevals);
+            fallbacks = int_of_float s.(Batch.slot_fallbacks);
             converged = inner_converged }
         in
         let converged = if drift <= delta then inner_converged else false in
-        finish p ~sol ~estimate:estimate' ~outer:(outer + 1) ~inner ~converged
+        finish p ~sol ~estimate:estimate' ~outer:(outer + 1) ~inner
+          ~f_evals:sol.Multilevel.f_evals ~fallbacks:sol.Multilevel.fallbacks
+          ~converged
       end
       else begin
-        s.(Batch.slot_est) <- estimate';
+        (* Anderson(1) secant step on the outer estimate, gated a priori
+           exactly as in [solve_with]. *)
+        let r = estimate' -. estimate in
+        let e_next =
+          if Float.is_finite pr && Float.abs r < Float.abs pr then begin
+            let cand = estimate -. (r *. (estimate -. pe) /. (r -. pr)) in
+            if
+              Float.is_finite cand && cand > 0.
+              && Float.abs (cand -. estimate') <= 3. *. Float.abs r
+            then cand
+            else estimate'
+          end
+          else estimate'
+        in
+        s.(Batch.slot_est) <- e_next;
         Batch.commit_mus b ~row;
-        batch_outer b ~row ~delta ~max_outer ~n_hi p fixed_n true (outer + 1)
-          inner
+        if cold then
+          batch_outer b ~row ~delta ~max_outer ~n_hi p fixed_n true false
+            estimate r infinity 0 true (outer + 1) inner
+        else if (not (Float.is_finite best_drift)) || drift < best_drift then
+          (* Same rule as [solve_with]: an infinite best only means
+             there is nothing to compare against yet, and a drift that
+             keeps beating its best keeps the warm seeding sound — the
+             xs stripe and [slot_n] already hold this round's solution
+             for the next to resume from. *)
+          batch_outer b ~row ~delta ~max_outer ~n_hi p fixed_n true true
+            estimate r drift 0 false (outer + 1) inner
+        else if stall = 0 then
+          (* One non-improving round is a normal transient of a
+             tol-bounded contraction: stay warm, remember the stall. *)
+          batch_outer b ~row ~delta ~max_outer ~n_hi p fixed_n true true
+            estimate r best_drift 1 false (outer + 1) inner
+        else
+          (* Two stalls in a row: the warm noise floor — finish on
+             sticky cold rounds, whose drift is seed-free and keeps
+             contracting; the secant steps keep running. *)
+          batch_outer b ~row ~delta ~max_outer ~n_hi p fixed_n true false
+            estimate r infinity 0 true (outer + 1) inner
       end
     end
   end
 
-let solve_batch_row b ~row ~delta ~max_outer ~n_max (p : problem) fixed_n =
+(* [warm] seeds the row from a neighbouring converged plan (cross-row
+   warm start): its xs land in the stripe, its scale in [slot_n], its
+   wall clock becomes the round-0 mu estimate, and its mus pre-load the
+   drift reference — the batch twin of [solve_with]'s [?warm]. *)
+let solve_batch_row b ~row ~delta ~max_outer ~n_max ?warm (p : problem) fixed_n
+    =
   let n_hi = Speedup.search_upper_bound p.speedup ~default:n_max in
-  let n0 = match fixed_n with Some n -> n | None -> n_hi in
-  b.Batch.s.(Batch.slot_est) <-
-    Speedup.productive_time p.speedup ~te:p.te ~n:n0;
-  batch_outer b ~row ~delta ~max_outer ~n_hi p fixed_n false 0 0
+  let s = b.Batch.s in
+  s.(Batch.slot_fevals) <- 0.;
+  s.(Batch.slot_fallbacks) <- 0.;
+  match warm with
+  | Some w ->
+      let off = row * b.Batch.stride in
+      let nl = Array.length p.levels in
+      for i = 0 to nl - 1 do
+        b.Batch.xs.(off + i) <- Float.max 1. w.xs.(i);
+        b.Batch.prev_mu.(off + i) <-
+          (if Float.is_finite w.mus.(i) then w.mus.(i) else 0.)
+      done;
+      s.(Batch.slot_n) <- w.n;
+      s.(Batch.slot_est) <- w.wall_clock;
+      batch_outer b ~row ~delta ~max_outer ~n_hi p fixed_n true true nan nan
+        infinity 0 false 0 0
+  | None ->
+      let n0 = match fixed_n with Some n -> n | None -> n_hi in
+      s.(Batch.slot_est) <- Speedup.productive_time p.speedup ~te:p.te ~n:n0;
+      batch_outer b ~row ~delta ~max_outer ~n_hi p fixed_n false false nan nan
+        infinity 0 false 0 0
 
 let solve_batch ?(max_outer = 1_000) ?(n_max = 1e9) (jobs : batch_job array) =
   let k = Array.length jobs in
@@ -377,28 +587,63 @@ let solve_batch ?(max_outer = 1_000) ?(n_max = 1e9) (jobs : batch_job array) =
         if row = 0 || not (jobs.(row - 1).problem == j.problem) then
           check_problem j.problem)
       jobs;
-    Array.mapi
-      (fun row j ->
+    (* Walk the rows in scale order (the same neighbour discipline as
+       [sweep]) so each solve can seed from the nearest already-converged
+       row: neighbouring scales have neighbouring fixed points, so the
+       warm row resumes a contraction that is already nearly done.
+       Results return in input order. *)
+    let scale_of (j : batch_job) =
+      match j.fixed_n with
+      | Some n -> n
+      | None -> Speedup.search_upper_bound j.problem.speedup ~default:n_max
+    in
+    let scales = Array.map scale_of jobs in
+    let order = Array.init k Fun.id in
+    Array.sort
+      (fun i j ->
+        match compare scales.(i) scales.(j) with 0 -> compare i j | c -> c)
+      order;
+    let plans = Array.make k None in
+    (* Last converged plan on the walk, kept across diverged rows so one
+       pathological job does not orphan the rest of the batch. *)
+    let warm_src = ref None in
+    Array.iter
+      (fun row ->
+        let j = jobs.(row) in
+        let warm =
+          match !warm_src with
+          | Some (_, src_job, src_plan)
+            when src_job.problem.levels == j.problem.levels
+                 || src_job.problem.levels = j.problem.levels ->
+              Some src_plan
+          | _ -> None
+        in
         (* A row starting at the scale its neighbour last filled shares
            the neighbour's overhead-law terms: same hierarchy at the
            same scale means the same values, copied instead of
-           recomputed. *)
-        (if row > 0 then begin
-           let prev = jobs.(row - 1) in
-           let n0 =
-             match j.fixed_n with
-             | Some n -> n
-             | None ->
-                 Speedup.search_upper_bound j.problem.speedup ~default:n_max
-           in
-           if
-             prev.problem.levels == j.problem.levels
-             && b.Batch.cost_key.(row - 1) = n0
-           then Batch.share_costs b ~src:(row - 1) ~dst:row
-         end);
-        solve_batch_row b ~row ~delta:j.delta ~max_outer ~n_max j.problem
-          j.fixed_n)
-      jobs
+           recomputed.  Warm rows start at the seed plan's scale, which
+           is exactly where a same-hierarchy neighbour's last fill sits
+           after its own converged solve. *)
+        (match (!warm_src, warm) with
+         | Some (src_row, src_job, src_plan), Some _
+           when src_job.problem.levels == j.problem.levels ->
+             let n0 =
+               match j.fixed_n with
+               | Some n -> n
+               | None -> Float.min scales.(row) src_plan.n
+             in
+             if src_row <> row && b.Batch.cost_key.(src_row) = n0 then
+               Batch.share_costs b ~src:src_row ~dst:row
+         | _ -> ());
+        let plan =
+          solve_batch_row b ~row ~delta:j.delta ~max_outer ~n_max ?warm
+            j.problem j.fixed_n
+        in
+        plans.(row) <- Some plan;
+        if plan.converged && Float.is_finite plan.wall_clock then
+          warm_src := Some (row, j, plan))
+      order;
+    Array.map (function Some plan -> plan | None -> assert false) plans
   end
 
 type outcome = Converged of plan | Diverged of plan | Non_finite of plan
@@ -437,6 +682,7 @@ type sweep_stats = {
   warm_starts : int;
   inner_iterations : int;
   outer_iterations : int;
+  f_evals : int;
 }
 
 let sweep ?delta ?(n_max = 1e9) ?(warm = true) ~axis ~values p =
@@ -462,6 +708,7 @@ let sweep ?delta ?(n_max = 1e9) ?(warm = true) ~axis ~values p =
   let plans = Array.make points None in
   let prev = ref None in
   let warm_starts = ref 0 and inner = ref 0 and outer = ref 0 in
+  let fevals = ref 0 in
   Array.iter
     (fun idx ->
       let v = values.(idx) in
@@ -476,6 +723,7 @@ let sweep ?delta ?(n_max = 1e9) ?(warm = true) ~axis ~values p =
       let plan = solve ?delta ?fixed_n ~n_max ?warm:warm_plan problem in
       inner := !inner + plan.inner_iterations;
       outer := !outer + plan.outer_iterations;
+      fevals := !fevals + plan.f_evals;
       plans.(idx) <- Some plan;
       (* A divergent or unconverged plan would poison its neighbour's
          start; break the chain and let the next point solve cold. *)
@@ -490,11 +738,13 @@ let sweep ?delta ?(n_max = 1e9) ?(warm = true) ~axis ~values p =
     { points;
       warm_starts = !warm_starts;
       inner_iterations = !inner;
-      outer_iterations = !outer } )
+      outer_iterations = !outer;
+      f_evals = !fevals } )
 
 let pp_sweep_stats ppf s =
-  Format.fprintf ppf "%d points, %d warm-started, %d inner / %d outer iterations"
-    s.points s.warm_starts s.inner_iterations s.outer_iterations
+  Format.fprintf ppf
+    "%d points, %d warm-started, %d inner / %d outer iterations, %d f-evals"
+    s.points s.warm_starts s.inner_iterations s.outer_iterations s.f_evals
 
 let single_level_problem p =
   let last = p.levels.(Array.length p.levels - 1) in
@@ -524,9 +774,11 @@ let sl_ori_scale ?n p =
   let xs = Multilevel.young_init params ~n in
   let wall_clock = Multilevel.expected_wall_clock params ~xs ~n in
   let sol =
-    { Multilevel.xs; n; wall_clock; iterations = 0; converged = true }
+    { Multilevel.xs; n; wall_clock; iterations = 0; f_evals = 0;
+      fallbacks = 0; converged = true }
   in
-  finish sl ~sol ~estimate:productive ~outer:0 ~inner:0 ~converged:true
+  finish sl ~sol ~estimate:productive ~outer:0 ~inner:0 ~f_evals:0
+    ~fallbacks:0 ~converged:true
 
 let sl_daly_scale ?n p =
   let sl = single_level_problem p in
@@ -544,16 +796,19 @@ let sl_daly_scale ?n p =
   let params = multilevel_params sl ~estimate:productive in
   let wall_clock = Multilevel.expected_wall_clock params ~xs ~n in
   let sol =
-    { Multilevel.xs; n; wall_clock; iterations = 0; converged = true }
+    { Multilevel.xs; n; wall_clock; iterations = 0; f_evals = 0;
+      fallbacks = 0; converged = true }
   in
-  finish sl ~sol ~estimate:productive ~outer:0 ~inner:0 ~converged:true
+  finish sl ~sol ~estimate:productive ~outer:0 ~inner:0 ~f_evals:0
+    ~fallbacks:0 ~converged:true
 
 let pp_plan ppf t =
   let b = t.breakdown in
   Format.fprintf ppf
     "@[<v>xs = [%s]@ N = %.0f@ E(Tw) = %.4g s (%.3f days)@ mus = [%s]@ \
      portions: productive=%.4g ckpt=%.4g restart=%.4g alloc=%.4g rollback=%.4g@ \
-     efficiency = %.4f@ iterations: outer=%d inner=%d converged=%b@]"
+     efficiency = %.4f@ iterations: outer=%d inner=%d f_evals=%d \
+     fallbacks=%d converged=%b@]"
     (String.concat "; "
        (Array.to_list (Array.map (fun x -> Printf.sprintf "%.1f" x) t.xs)))
     t.n t.wall_clock
@@ -562,4 +817,4 @@ let pp_plan ppf t =
        (Array.to_list (Array.map (fun m -> Printf.sprintf "%.2f" m) t.mus)))
     b.Multilevel.productive b.Multilevel.checkpoint b.Multilevel.restart
     b.Multilevel.allocation b.Multilevel.rollback t.efficiency t.outer_iterations
-    t.inner_iterations t.converged
+    t.inner_iterations t.f_evals t.fallbacks t.converged

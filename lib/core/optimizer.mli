@@ -28,6 +28,12 @@ type plan = {
   efficiency : float;  (** [(te / wall_clock) / n] — paper Section IV-A *)
   outer_iterations : int;
   inner_iterations : int;  (** total inner fixed-point iterations *)
+  f_evals : int;  (** Eq. 24 derivative evaluations across all scale searches *)
+  fallbacks : int;
+      (** safeguard reversions: Aitken extrapolations whose iterate
+          failed to beat the plain step's residual and were rolled back
+          (always 0 on {!solve_reference}, and 0 on the paper's Table II
+          corpus — the CI bench-smoke job gates on that) *)
   converged : bool;
 }
 
@@ -59,8 +65,18 @@ val solve :
     A [warm] plan whose level arity differs or whose wall clock is not
     finite-positive is ignored.  Warm starting moves only the starting
     point of the contraction, so the returned plan matches a cold solve
-    to the solver tolerances while spending fewer iterations; omitting
-    [warm] leaves the solve byte-identical to before. *)
+    to the solver tolerances while spending fewer iterations.
+
+    The solve runs accelerated end to end: {!Multilevel.optimize}'s
+    superlinear scale search and safeguarded Aitken extrapolation
+    inside each round, Anderson(1) secant steps on the outer wall-clock
+    estimate (gated a priori, degrading to the plain fixed-point step),
+    and warm-seeded outer rounds — each round resumes from the previous
+    round's solution while the mu drift keeps contracting, switching to
+    the reference's cold-round discipline for the endgame once the
+    warm-seeding noise floor is reached.  The contract against
+    {!solve_reference} is plan equivalence: same integer scale, E(T_w)
+    within 1e-9 relative. *)
 
 val solve_reference :
   ?delta:float ->
@@ -70,10 +86,11 @@ val solve_reference :
   ?warm:plan ->
   problem ->
   plan
-(** {!solve} with the inner fixed point run on
-    {!Multilevel.optimize_reference} instead of the fastpath workspace —
-    bit-identical results by contract; the oracle the fastpath property
-    tests compare against. *)
+(** {!solve} with plain bisection, plain fixed-point steps and cold
+    outer rounds ({!Multilevel.optimize_reference}, no workspace) — the
+    correctness oracle: {!solve}, {!solve_batch} and {!sweep} must all
+    produce plan-equivalent results, which the fastpath property tests
+    check. *)
 
 (** One problem of a batch solve: [fixed_n]/[delta] as in {!solve}. *)
 type batch_job = { problem : problem; fixed_n : float option; delta : float }
@@ -90,11 +107,17 @@ val solve_batch :
     rounds, and neighbouring rows that share a hierarchy and scale
     share those terms outright.  Plans return in job order.
 
-    Bit-identity: each row's plan is bitwise equal to
-    [solve ?delta ?fixed_n problem] of its job — the batch path is an
-    evaluation-order-preserving rearrangement of the single solve, and
-    the property tests compare it per problem against
-    {!solve_reference}.
+    Rows are {e solved} in scale order ([fixed_n], else the speedup's
+    ideal scale): each row warm-starts from the nearest
+    already-converged row of the same hierarchy — seeded xs, scale
+    bracket and mu estimate — the cross-row twin of {!sweep}'s
+    neighbour walk.  A diverged row is skipped as a seed source, not a
+    chain breaker.
+
+    Contract: each row's plan is plan-equivalent to
+    [solve_reference ?delta ?fixed_n problem] of its job — same integer
+    scale, E(T_w) within 1e-9 relative — with the evaluation kernels
+    themselves bit-identical; the fastpath property tests check both.
 
     @raise Invalid_argument if any job's problem fails
     {!check_problem}. *)
@@ -145,6 +168,7 @@ type sweep_stats = {
   warm_starts : int;  (** solves seeded from a neighbouring plan *)
   inner_iterations : int;  (** summed over the whole grid *)
   outer_iterations : int;
+  f_evals : int;  (** Eq. 24 evaluations summed over the whole grid *)
 }
 
 val sweep :

@@ -34,6 +34,8 @@ type t = {
   mutable mi_d : float array;  (* mu_i'(n) *)
   mutable xs : float array;  (* interval-count iterate *)
   mutable xs_prev : float array;  (* previous iterate, for convergence *)
+  mutable xs_prev2 : float array;  (* second-previous iterate (Aitken history) *)
+  mutable xs_safe : float array;  (* plain iterate saved across an extrapolation *)
   mutable slope : float array;  (* lambda'_i * estimate, the mu slope *)
   mutable mu : float array;  (* mu values at the row's solved scale *)
   mutable prev_mu : float array;  (* previous outer round's mu values *)
@@ -56,7 +58,13 @@ let slot_acc3 = 5
 let slot_n = 6
 let slot_wall = 7
 let slot_est = 8
-let num_slots = 9
+let slot_fevals = 9
+let slot_fallbacks = 10
+let slot_hist = 11
+let slot_accel = 12
+let slot_dxref = 13
+let slot_nsafe = 14
+let num_slots = 15
 
 let create ?(rows = 16) ?(stride = 4) () =
   let rows = max 1 rows and stride = max 1 stride in
@@ -67,6 +75,7 @@ let create ?(rows = 16) ?(stride = 4) () =
     ri = mk (); ri_d = mk ();
     mi = mk (); mi_d = mk ();
     xs = mk (); xs_prev = mk ();
+    xs_prev2 = mk (); xs_safe = mk ();
     slope = mk (); mu = mk (); prev_mu = mk ();
     nlev = Array.make rows 0;
     key = Array.make rows nan;
@@ -82,6 +91,7 @@ let reserve t ~rows ~stride =
     t.ri <- mk (); t.ri_d <- mk ();
     t.mi <- mk (); t.mi_d <- mk ();
     t.xs <- mk (); t.xs_prev <- mk ();
+    t.xs_prev2 <- mk (); t.xs_safe <- mk ();
     t.slope <- mk (); t.mu <- mk (); t.prev_mu <- mk ()
   end;
   if rows > Array.length t.nlev then begin
@@ -190,6 +200,43 @@ let young_init t ~row ~te =
 let save_xs t ~row =
   let off = row * t.stride in
   Array.blit t.xs off t.xs_prev off t.nlev.(row)
+
+(* Mirrors [Eval.rotate_xs] on one row's stripe. *)
+let rotate_xs t ~row =
+  let off = row * t.stride in
+  Array.blit t.xs_prev off t.xs_prev2 off t.nlev.(row);
+  Array.blit t.xs off t.xs_prev off t.nlev.(row)
+
+(* Mirrors [Eval.aitken] on one row's stripe: safeguarded delta-squared
+   extrapolation of the last three iterates, with the plain iterate
+   saved for {!restore_xs}. *)
+let aitken t ~row =
+  let off = row * t.stride in
+  let last = off + t.nlev.(row) - 1 in
+  Array.blit t.xs off t.xs_safe off t.nlev.(row);
+  let moved = ref false in
+  for i = off to last do
+    let x2 = t.xs.(i) in
+    let d2 = x2 -. t.xs_prev.(i) in
+    let d1 = t.xs_prev.(i) -. t.xs_prev2.(i) in
+    let corr = d2 *. d2 /. (d2 -. d1) in
+    if
+      Float.is_finite corr
+      && Float.abs corr <= 1e6 *. (Float.abs d1 +. Float.abs d2)
+    then begin
+      let z = Float.max 1. (x2 -. corr) in
+      if z <> x2 then begin
+        t.xs.(i) <- z;
+        moved := true
+      end
+    end
+  done;
+  !moved
+
+(* Mirrors [Eval.restore_xs] on one row's stripe. *)
+let restore_xs t ~row =
+  let off = row * t.stride in
+  Array.blit t.xs_safe off t.xs off t.nlev.(row)
 
 (* Mirrors [Fixed_point.max_abs_diff] over the row's live prefix. *)
 let max_abs_diff_xs t ~row =

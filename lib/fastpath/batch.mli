@@ -19,6 +19,8 @@ type t = {
   mutable mi_d : float array;
   mutable xs : float array;
   mutable xs_prev : float array;
+  mutable xs_prev2 : float array;
+  mutable xs_safe : float array;
   mutable slope : float array;
   mutable mu : float array;
   mutable prev_mu : float array;
@@ -39,6 +41,12 @@ val slot_acc3 : int
 val slot_n : int
 val slot_wall : int
 val slot_est : int
+val slot_fevals : int
+val slot_fallbacks : int
+val slot_hist : int
+val slot_accel : int
+val slot_dxref : int
+val slot_nsafe : int
 val num_slots : int
 
 val create : ?rows:int -> ?stride:int -> unit -> t
@@ -68,6 +76,18 @@ val young_init : t -> row:int -> te:float -> unit
 
 val save_xs : t -> row:int -> unit
 val max_abs_diff_xs : t -> row:int -> float
+
+val rotate_xs : t -> row:int -> unit
+(** [Eval.rotate_xs] on one row's stripe: push the iterate history down
+    one step before a sweep. *)
+
+val aitken : t -> row:int -> bool
+(** [Eval.aitken] on one row's stripe: safeguarded Aitken delta-squared
+    extrapolation, plain iterate saved for {!restore_xs}; returns
+    [true] iff some component moved. *)
+
+val restore_xs : t -> row:int -> unit
+(** Revert a rejected extrapolation on one row's stripe. *)
 
 val mu_drift : t -> row:int -> float
 (** Max absolute difference between the row's [prev_mu] and [mu]

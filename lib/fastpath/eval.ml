@@ -91,6 +91,46 @@ let young_init ws ~te =
 
 let save_xs ws = Array.blit ws.xs 0 ws.xs_prev 0 ws.levels
 
+(* Push the iterate history down one step: [xs_prev -> xs_prev2],
+   [xs -> xs_prev].  Run before a sweep so that afterwards
+   [xs_prev2, xs_prev, xs] are three consecutive iterates. *)
+let rotate_xs ws =
+  Array.blit ws.xs_prev 0 ws.xs_prev2 0 ws.levels;
+  Array.blit ws.xs 0 ws.xs_prev 0 ws.levels
+
+(* Componentwise Aitken delta-squared extrapolation over the last three
+   iterates [x0 = xs_prev2, x1 = xs_prev, x2 = xs]: the geometric-series
+   limit estimate [x2 - (x2-x1)^2 / ((x2-x1) - (x1-x0))].  The plain
+   iterate [x2] is first saved to [xs_safe] so a rejected step can be
+   reverted.  A component keeps its plain value when the correction is
+   non-finite (vanishing denominator) or implausibly large relative to
+   the recent steps; the result is clamped to the model's [x >= 1]
+   domain.  Returns [true] when at least one component actually moved —
+   the caller only pays the acceptance test for a real extrapolation. *)
+let aitken ws =
+  Array.blit ws.xs 0 ws.xs_safe 0 ws.levels;
+  let moved = ref false in
+  for i = 0 to ws.levels - 1 do
+    let x2 = ws.xs.(i) in
+    let d2 = x2 -. ws.xs_prev.(i) in
+    let d1 = ws.xs_prev.(i) -. ws.xs_prev2.(i) in
+    let corr = d2 *. d2 /. (d2 -. d1) in
+    if
+      Float.is_finite corr
+      && Float.abs corr <= 1e6 *. (Float.abs d1 +. Float.abs d2)
+    then begin
+      let z = Float.max 1. (x2 -. corr) in
+      if z <> x2 then begin
+        ws.xs.(i) <- z;
+        moved := true
+      end
+    end
+  done;
+  !moved
+
+(* Revert a rejected extrapolation: [xs <- xs_safe]. *)
+let restore_xs ws = Array.blit ws.xs_safe 0 ws.xs 0 ws.levels
+
 (* Mirrors [Fixed_point.max_abs_diff] over the live prefix. *)
 let max_abs_diff_xs ws =
   let s = ws.s in

@@ -28,6 +28,23 @@ val young_init : Workspace.t -> te:float -> unit
 val save_xs : Workspace.t -> unit
 (** [xs_prev <- xs] (blit, no allocation). *)
 
+val rotate_xs : Workspace.t -> unit
+(** [xs_prev -> xs_prev2; xs -> xs_prev] — run before a sweep so the
+    workspace afterwards holds three consecutive iterates for
+    {!aitken}. *)
+
+val aitken : Workspace.t -> bool
+(** Componentwise Aitken delta-squared extrapolation of
+    [xs_prev2, xs_prev, xs] written into [xs], with the plain iterate
+    saved to [xs_safe] first.  Components with a vanishing or wildly
+    scaled denominator keep their plain value; results are clamped to
+    [>= 1].  Returns [true] iff some component moved.  The caller must
+    measure the next residual and {!restore_xs} on increase — see
+    [Multilevel.optimize]. *)
+
+val restore_xs : Workspace.t -> unit
+(** [xs <- xs_safe] — revert a rejected extrapolation. *)
+
 val max_abs_diff_xs : Workspace.t -> float
 (** [max_i |xs.(i) - xs_prev.(i)|] over the live prefix — the
     convergence metric of [Multilevel.optimize]. *)

@@ -16,13 +16,17 @@ type t = {
   mutable mi_d : float array;  (* mu_i'(n) *)
   mutable xs : float array;  (* current interval-count iterate *)
   mutable xs_prev : float array;  (* previous iterate, for convergence *)
+  mutable xs_prev2 : float array;  (* the iterate before that, for Aitken *)
+  mutable xs_safe : float array;  (* plain iterate saved across an extrapolation *)
   s : float array;  (* scalar slots, see below *)
 }
 
 (* Scalar slots.  [slot_key] holds the scale [n] the per-level term
    arrays were filled at (nan = nothing filled); [slot_g]/[slot_gd] the
    speedup value and derivative at that scale; the rest are accumulator
-   scratch for the evaluation kernels. *)
+   scratch for the evaluation kernels plus the accelerated fixed-point
+   loop's state (history depth, pending-extrapolation flag, the residual
+   and scale to fall back to, and the f-eval / fallback counters). *)
 let slot_key = 0
 let slot_g = 1
 let slot_gd = 2
@@ -30,7 +34,13 @@ let slot_acc = 3
 let slot_acc2 = 4
 let slot_acc3 = 5
 let slot_n = 6
-let num_slots = 7
+let slot_fevals = 7
+let slot_fallbacks = 8
+let slot_hist = 9
+let slot_accel = 10
+let slot_dxref = 11
+let slot_nsafe = 12
+let num_slots = 13
 
 let create ?(levels = 4) () =
   let levels = max 1 levels in
@@ -40,6 +50,7 @@ let create ?(levels = 4) () =
     ri = mk (); ri_d = mk ();
     mi = mk (); mi_d = mk ();
     xs = mk (); xs_prev = mk ();
+    xs_prev2 = mk (); xs_safe = mk ();
     s = Array.make num_slots nan }
 
 let invalidate t = t.s.(slot_key) <- nan
@@ -51,7 +62,8 @@ let reserve t ~levels =
     t.ci <- mk (); t.ci_d <- mk ();
     t.ri <- mk (); t.ri_d <- mk ();
     t.mi <- mk (); t.mi_d <- mk ();
-    t.xs <- mk (); t.xs_prev <- mk ()
+    t.xs <- mk (); t.xs_prev <- mk ();
+    t.xs_prev2 <- mk (); t.xs_safe <- mk ()
   end;
   t.levels <- levels;
   invalidate t

@@ -30,6 +30,8 @@ type t = {
   mutable mi_d : float array;  (** [mu_i'(n)] *)
   mutable xs : float array;  (** current interval-count iterate *)
   mutable xs_prev : float array;  (** previous iterate *)
+  mutable xs_prev2 : float array;  (** second-previous iterate (Aitken history) *)
+  mutable xs_safe : float array;  (** plain iterate saved across an extrapolation *)
   s : float array;  (** scalar slots, indexed by the [slot_*] values *)
 }
 
@@ -51,6 +53,27 @@ val slot_n : int
 (** Scratch for a solver's scale iterate — kept in a slot because a
     float argument threaded through a (non-inlined) recursive loop
     boxes on every call. *)
+
+val slot_fevals : int
+(** Running count of Eq. 24 evaluations performed during the solve. *)
+
+val slot_fallbacks : int
+(** Running count of rejected (safeguard-reverted) extrapolations. *)
+
+val slot_hist : int
+(** Number of consecutive plain fixed-point steps since the Aitken
+    history was last reset; extrapolation needs two. *)
+
+val slot_accel : int
+(** 1. while [xs] holds an extrapolated iterate whose residual has not
+    been measured yet, else 0. *)
+
+val slot_dxref : int
+(** Residual of the plain step preceding a pending extrapolation — the
+    bar the extrapolated step must beat to be accepted. *)
+
+val slot_nsafe : int
+(** Scale iterate paired with [xs_safe], restored on rejection. *)
 
 val create : ?levels:int -> unit -> t
 (** A workspace with capacity for [levels] (default 4, grown on

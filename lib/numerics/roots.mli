@@ -8,6 +8,7 @@ type outcome = {
   root : float;
   iterations : int;
   residual : float;  (** |f root| at the returned point *)
+  f_evals : int;  (** number of evaluations of [f] performed *)
 }
 
 exception No_bracket of string
@@ -29,6 +30,22 @@ val bisect_integer :
 (** Bisection specialized to integer-valued answers: stops as soon as the
     bracketing interval is narrower than [0.5], matching the paper's early
     stop for the optimal core count [N*].
+    @raise No_bracket if the interval does not bracket a root. *)
+
+val itp_integer :
+  ?flo:float ->
+  ?fhi:float ->
+  f:(float -> float) -> lo:float -> hi:float -> unit -> outcome
+(** Superlinear drop-in for {!bisect_integer}: ITP steps (regula falsi
+    truncated toward the midpoint, projected onto the shrinking minmax
+    envelope — Oliveira & Takahashi 2020) refine the bracket, then the
+    exact {!bisect_integer} probe recurrence is replayed with probe
+    signs inferred from the refined bracket.  When [f] has a single
+    sign change on [\[lo, hi\]] the returned [root] is bit-identical to
+    {!bisect_integer}'s, typically at under half the evaluations; the
+    worst case stays within one probe of the bisection budget.  [?flo]
+    and [?fhi] pass along already-known endpoint values so the caller's
+    guard evaluations are not repeated.
     @raise No_bracket if the interval does not bracket a root. *)
 
 val newton :

@@ -374,12 +374,15 @@ let solve_batch ?pool t queries =
      express — chaos off, breaker closed, a solver-backed solution
      shape, a valid problem — go through [Optimizer.solve_batch] in
      contiguous stripes (one SoA pass per stripe, fanned across the
-     pool), which is bit-identical per row to the classic dispatch, so
-     a converged row IS the classic first-attempt success: zero
-     retries, primary intact, per-row time the stripe mean.  Rows that
-     do not converge are re-dispatched down the classic path, whose
-     retry discipline and fallback chain would have engaged on exactly
-     the same (deterministic) outcome. *)
+     pool).  Within a stripe the rows are solved in scale order with
+     cross-row warm starts; each converged row is plan-equivalent to
+     the classic dispatch's answer (same integer scale, E(T_w) within
+     1e-9 relative — the solver contract), so it stands in for the
+     classic first-attempt success: zero retries, primary intact,
+     per-row time the stripe mean.  Rows that do not converge are
+     re-dispatched down the classic path, whose retry discipline and
+     fallback chain would have engaged on the same deterministic
+     divergence. *)
   let misses = Array.of_list (List.rev !miss_rev) in
   let solved = Array.make (Array.length misses) None in
   if t.chaos = None then begin

@@ -1,9 +1,17 @@
-(* Bit-identity contract of the fastpath: the workspace solver, the
-   batched failure sampling and the inline single-worker pool must all
-   return results *bitwise* equal to the reference paths they replace.
+(* Contracts of the fastpath, at two layers.
+
+   Evaluation kernels (E(T_w), Eq. 23/24, batched failure sampling, the
+   inline pool) must return results *bitwise* equal to the reference
+   paths they replace — those tests are unchanged.
+
+   The solvers themselves are accelerated (superlinear scale search,
+   Aitken extrapolation, warm outer rounds, cross-row batch seeding), so
+   their contract is *plan equivalence* against the retained reference
+   implementations: same integer scale, E(T_w) within 1e-9 relative,
+   agreeing converged flags — in no more iterations than the reference.
    Property tests draw random problems (plus the paper's six Table II
-   rate cases) and compare against the retained reference
-   implementations. *)
+   rate cases, where the scale must match exactly) across warm starts
+   and batch shapes. *)
 
 open Ckpt_model
 module Failure_spec = Ckpt_failures.Failure_spec
@@ -43,22 +51,47 @@ let params_of (p : Optimizer.problem) ~estimate =
    the fastpath promises. *)
 let same_bits a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
 
-let same_float_array a b =
-  Array.length a = Array.length b && Array.for_all2 same_bits a b
+(* Relative closeness that also accepts two identical non-finite values
+   (a divergent plan must stay divergent on both paths). *)
+let rel_close ?(tol = 1e-9) a b =
+  same_bits a b
+  || Float.abs (a -. b)
+     <= tol *. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
 
-let check_same_plan msg (a : Optimizer.plan) (b : Optimizer.plan) =
-  let ok =
-    same_float_array a.Optimizer.xs b.Optimizer.xs
-    && same_bits a.Optimizer.n b.Optimizer.n
-    && same_bits a.Optimizer.wall_clock b.Optimizer.wall_clock
-    && same_float_array a.Optimizer.mus b.Optimizer.mus
-    && a.Optimizer.outer_iterations = b.Optimizer.outer_iterations
-    && a.Optimizer.inner_iterations = b.Optimizer.inner_iterations
-    && a.Optimizer.converged = b.Optimizer.converged
+(* Plan equivalence: the accelerated solver must land on the reference's
+   plan without matching its trajectory.  [strict_n] (the deterministic
+   Table II cases) demands the exact same integer scale; random problems
+   additionally tolerate a |dn| <= 0.5 straddle, since an optimum
+   sitting within the scale tolerance of a rounding boundary can
+   legitimately land on either side. *)
+let plan_equiv ?(strict_n = false) (a : Optimizer.plan) (b : Optimizer.plan) =
+  let n_ok =
+    Float.round a.Optimizer.n = Float.round b.Optimizer.n
+    || ((not strict_n) && Float.abs (a.Optimizer.n -. b.Optimizer.n) <= 0.5)
   in
-  if not ok then
-    Alcotest.failf "%s: fastpath plan differs from reference (n %h vs %h, Ew %h vs %h)"
-      msg a.Optimizer.n b.Optimizer.n a.Optimizer.wall_clock b.Optimizer.wall_clock
+  Array.length a.Optimizer.xs = Array.length b.Optimizer.xs
+  && n_ok
+  && rel_close a.Optimizer.wall_clock b.Optimizer.wall_clock
+  && a.Optimizer.converged = b.Optimizer.converged
+
+let check_equiv_plan ?strict_n msg (a : Optimizer.plan) (b : Optimizer.plan) =
+  if not (plan_equiv ?strict_n a b) then
+    Alcotest.failf
+      "%s: fastpath plan not equivalent to reference (n %.17g vs %.17g, Ew %h \
+       vs %h, converged %b vs %b)"
+      msg a.Optimizer.n b.Optimizer.n a.Optimizer.wall_clock
+      b.Optimizer.wall_clock a.Optimizer.converged b.Optimizer.converged
+
+let sol_equiv ?(strict_n = false) (a : Multilevel.solution)
+    (b : Multilevel.solution) =
+  let n_ok =
+    Float.round a.Multilevel.n = Float.round b.Multilevel.n
+    || ((not strict_n) && Float.abs (a.Multilevel.n -. b.Multilevel.n) <= 0.5)
+  in
+  Array.length a.Multilevel.xs = Array.length b.Multilevel.xs
+  && n_ok
+  && rel_close a.Multilevel.wall_clock b.Multilevel.wall_clock
+  && a.Multilevel.converged = b.Multilevel.converged
 
 (* ---------------- workspace & draw buffer units ---------------- *)
 
@@ -103,17 +136,44 @@ let test_draw_buffer_validation () =
   bad (fun () -> Draw_buffer.create ~rng:(Rng.of_int 1) (Draw_buffer.Exponential { rate = 0. }));
   bad (fun () -> Draw_buffer.create ~rng:(Rng.of_int 1) (Draw_buffer.Weibull { shape = 0.; scale = 1. }))
 
-(* ---------------- solver bit-identity ---------------- *)
+(* ---------------- solver plan equivalence ---------------- *)
 
-let test_table2_solves_bit_identical () =
+let test_table2_solves_plan_equivalent () =
   List.iter
     (fun case ->
       let p = problem ~case () in
-      check_same_plan case (Optimizer.solve p) (Optimizer.solve_reference p);
-      check_same_plan (case ^ " fixed_n")
+      check_equiv_plan ~strict_n:true case (Optimizer.solve p)
+        (Optimizer.solve_reference p);
+      check_equiv_plan ~strict_n:true (case ^ " fixed_n")
         (Optimizer.solve ~fixed_n:5e5 p)
         (Optimizer.solve_reference ~fixed_n:5e5 p))
     table2_cases
+
+(* The acceleration must actually accelerate: on every Table II case the
+   fast path spends no more inner iterations (and strictly fewer in
+   aggregate) than the reference, with zero safeguard fallbacks — the
+   same invariant CI's bench-smoke gate enforces on this corpus. *)
+let test_table2_iteration_monotonicity () =
+  let total_fast = ref 0 and total_slow = ref 0 in
+  List.iter
+    (fun case ->
+      let p = problem ~case () in
+      let fast = Optimizer.solve p and slow = Optimizer.solve_reference p in
+      if fast.Optimizer.inner_iterations > slow.Optimizer.inner_iterations then
+        Alcotest.failf "%s: accelerated solve used %d inner iterations vs %d"
+          case fast.Optimizer.inner_iterations slow.Optimizer.inner_iterations;
+      if fast.Optimizer.fallbacks > 0 then
+        Alcotest.failf "%s: %d safeguard fallbacks on a Table II case" case
+          fast.Optimizer.fallbacks;
+      if fast.Optimizer.f_evals > slow.Optimizer.f_evals then
+        Alcotest.failf "%s: accelerated solve used %d f_evals vs %d" case
+          fast.Optimizer.f_evals slow.Optimizer.f_evals;
+      total_fast := !total_fast + fast.Optimizer.inner_iterations;
+      total_slow := !total_slow + slow.Optimizer.inner_iterations)
+    table2_cases;
+  if !total_fast >= !total_slow then
+    Alcotest.failf "no aggregate iteration win: %d fast vs %d reference"
+      !total_fast !total_slow
 
 let test_wall_clock_fast_bit_identical () =
   let ws = Workspace.create () in
@@ -131,7 +191,8 @@ let test_wall_clock_fast_bit_identical () =
 let qcheck_tests =
   let open QCheck in
   let case = oneofl table2_cases in
-  [ Test.make ~name:"optimize is bit-identical to optimize_reference" ~count:60
+  [ Test.make ~name:"optimize is plan-equivalent to optimize_reference"
+      ~count:60
       (quad case (float_range 1e5 1e7) (float_range 10. 600.) (float_range 10. 80.))
       (fun (case, te_core_days, alloc, estimate_days) ->
         let p =
@@ -140,12 +201,17 @@ let qcheck_tests =
         in
         let fast = Multilevel.optimize p in
         let slow = Multilevel.optimize_reference p in
-        same_float_array fast.Multilevel.xs slow.Multilevel.xs
-        && same_bits fast.Multilevel.n slow.Multilevel.n
-        && same_bits fast.Multilevel.wall_clock slow.Multilevel.wall_clock
-        && fast.Multilevel.iterations = slow.Multilevel.iterations
-        && fast.Multilevel.converged = slow.Multilevel.converged);
-    Test.make ~name:"optimize with fixed_n and warm init stays bit-identical"
+        (* Plan equivalence is unconditional.  The work bounds are loose
+           on purpose: on adversarial off-corpus problems an accepted
+           Aitken jump can cost a polish iteration and a rejected one a
+           full extra scale search, so pointwise monotonicity holds only
+           on the Table II corpus (test_table2_iteration_monotonicity
+           asserts it strictly there); here the bounds catch the fast
+           path ever degenerating below plain bisection asymptotics. *)
+        sol_equiv fast slow
+        && fast.Multilevel.iterations <= slow.Multilevel.iterations + 3
+        && fast.Multilevel.f_evals <= 2 * slow.Multilevel.f_evals);
+    Test.make ~name:"optimize with fixed_n and warm init stays plan-equivalent"
       ~count:40
       (triple case (float_range 1e4 9e5) (float_range 1. 3.))
       (fun (case, fixed_n, x0) ->
@@ -153,19 +219,28 @@ let qcheck_tests =
         let init = ([| x0; x0 *. 2.; x0 *. 7.; x0 |], fixed_n) in
         let fast = Multilevel.optimize ~fixed_n ~init p in
         let slow = Multilevel.optimize_reference ~fixed_n ~init p in
-        same_float_array fast.Multilevel.xs slow.Multilevel.xs
-        && same_bits fast.Multilevel.wall_clock slow.Multilevel.wall_clock
-        && fast.Multilevel.iterations = slow.Multilevel.iterations);
-    Test.make ~name:"full Algorithm 1 solve is bit-identical" ~count:25
+        sol_equiv fast slow
+        && fast.Multilevel.iterations <= slow.Multilevel.iterations);
+    Test.make ~name:"full Algorithm 1 solve is plan-equivalent" ~count:25
       (pair case (float_range 5e5 5e6))
       (fun (case, te_core_days) ->
         let p = problem ~case ~te_core_days () in
         let fast = Optimizer.solve p and slow = Optimizer.solve_reference p in
-        same_float_array fast.Optimizer.xs slow.Optimizer.xs
-        && same_bits fast.Optimizer.n slow.Optimizer.n
-        && same_bits fast.Optimizer.wall_clock slow.Optimizer.wall_clock
-        && fast.Optimizer.inner_iterations = slow.Optimizer.inner_iterations);
-    Test.make ~name:"solve_batch rows are bit-identical to solve_reference"
+        plan_equiv fast slow
+        && fast.Optimizer.inner_iterations <= slow.Optimizer.inner_iterations);
+    Test.make ~name:"warm solve lands on the cold reference plan" ~count:25
+      (triple case (float_range 5e5 5e6) (float_range 0.8 1.25))
+      (fun (case, te_core_days, ratio) ->
+        (* A plan for a neighbouring problem (te scaled by [ratio]) seeds
+           the solve; the result must still be the reference's plan for
+           the *unseeded* problem. *)
+        let p = problem ~case ~te_core_days () in
+        let neighbour = { p with Optimizer.te = p.Optimizer.te *. ratio } in
+        let warm = Optimizer.solve neighbour in
+        let fast = Optimizer.solve ~warm p in
+        let slow = Optimizer.solve_reference p in
+        plan_equiv fast slow);
+    Test.make ~name:"solve_batch rows are plan-equivalent to solve_reference"
       ~count:20
       (small_list
          (triple case (float_range 5e5 5e6) (option (float_range 1e4 9e5))))
@@ -185,13 +260,7 @@ let qcheck_tests =
                  Optimizer.solve_reference ~delta:j.Optimizer.delta
                    ?fixed_n:j.Optimizer.fixed_n j.Optimizer.problem
                in
-               same_float_array plan.Optimizer.xs want.Optimizer.xs
-               && same_bits plan.Optimizer.n want.Optimizer.n
-               && same_bits plan.Optimizer.wall_clock want.Optimizer.wall_clock
-               && same_float_array plan.Optimizer.mus want.Optimizer.mus
-               && plan.Optimizer.outer_iterations = want.Optimizer.outer_iterations
-               && plan.Optimizer.inner_iterations = want.Optimizer.inner_iterations
-               && plan.Optimizer.converged = want.Optimizer.converged)
+               plan_equiv plan want)
              plans jobs);
     Test.make ~name:"E(Tw) workspace evaluation is bit-identical" ~count:100
       (pair
@@ -227,15 +296,18 @@ let qcheck_tests =
              a b) ]
 
 (* [solve_batch] on the planner kernel's shape: one shared problem (so
-   consecutive rows exercise the cross-row cost sharing), a fixed-n
-   grid, plus mixed rows — free scale, the single-level collapse and a
-   non-default delta.  Each row must be bitwise the plan the reference
-   solver returns for that job alone. *)
+   the scale-ordered walk exercises cross-row cost sharing and warm
+   seeding between neighbours), a fixed-n grid in scrambled input order
+   (warm sources then precede *and* follow their seeds in input order),
+   plus mixed rows — free scale, the single-level collapse and a
+   non-default delta.  Each row must be plan-equivalent to the reference
+   solve of that job alone. *)
 let test_solve_batch_mixed () =
   let p = problem () in
   let sl = Optimizer.single_level_problem p in
   let grid =
     Array.init 16 (fun i ->
+        let i = (i * 7) mod 16 in
         Optimizer.batch_job ~fixed_n:(2e5 +. (float_of_int i *. 1e3)) p)
   in
   let mixed =
@@ -248,7 +320,7 @@ let test_solve_batch_mixed () =
   let plans = Optimizer.solve_batch jobs in
   Array.iteri
     (fun i (j : Optimizer.batch_job) ->
-      check_same_plan
+      check_equiv_plan ~strict_n:true
         (Printf.sprintf "batch row %d" i)
         plans.(i)
         (Optimizer.solve_reference ~delta:j.Optimizer.delta
@@ -333,12 +405,15 @@ let () =
             test_draw_buffer_matches_direct;
           Alcotest.test_case "draw buffer validation" `Quick
             test_draw_buffer_validation ] );
-      ( "bit-identity",
+      ( "plan-equivalence",
         [ Alcotest.test_case "six Table II cases" `Quick
-            test_table2_solves_bit_identical;
+            test_table2_solves_plan_equivalent;
+          Alcotest.test_case "Table II iteration monotonicity" `Quick
+            test_table2_iteration_monotonicity;
           Alcotest.test_case "batch solve, mixed jobs" `Quick
-            test_solve_batch_mixed;
-          Alcotest.test_case "E(Tw) evaluation" `Quick
+            test_solve_batch_mixed ] );
+      ( "bit-identity",
+        [ Alcotest.test_case "E(Tw) evaluation" `Quick
             test_wall_clock_fast_bit_identical ] );
       ( "simulation",
         [ Alcotest.test_case "batched replication at 1/2/4 workers" `Quick

@@ -293,6 +293,66 @@ let test_brent_matches_bisect () =
   check_close ~tol:1e-7 "agree" bi.Roots.root b.Roots.root;
   Alcotest.(check bool) "brent faster" true (b.Roots.iterations <= bi.Roots.iterations)
 
+let test_itp_integer_matches_bisect () =
+  (* Replay exactness: on single-sign-change brackets the fast finder
+     must reproduce bisect_integer's root *bitwise* (same cell midpoint,
+     same iteration count), not just approximately. *)
+  let cases =
+    [ ((fun x -> x -. 1000.5), 0., 10_000.);
+      ((fun x -> x -. 1000.5), 0., 10_000_000.);
+      ((fun n -> (1. /. n) -. (1. /. 181_621.25)), 1., 1_000_000.);
+      ((fun x -> ((x +. 1.) ** 0.3) -. (777.77 ** 0.3)), 0., 65_536.);
+      ((fun x -> 3.5 -. x), 1., 7.);
+      ((fun x -> 3.5 -. x), 3.4, 3.6) ]
+  in
+  List.iter
+    (fun (f, lo, hi) ->
+      let slow = Roots.bisect_integer ~f ~lo ~hi () in
+      let fast = Roots.itp_integer ~f ~lo ~hi () in
+      Alcotest.(check bool) "bitwise root" true
+        (Int64.bits_of_float slow.Roots.root = Int64.bits_of_float fast.Roots.root);
+      Alcotest.(check int) "same iterations" slow.Roots.iterations fast.Roots.iterations)
+    cases
+
+let test_itp_integer_fewer_evals () =
+  let evals = ref 0 in
+  let f x = incr evals; x -. 123_456.75 in
+  let slow = Roots.bisect_integer ~f ~lo:1. ~hi:1_000_000. () in
+  let slow_evals = !evals in
+  evals := 0;
+  let fast = Roots.itp_integer ~f ~lo:1. ~hi:1_000_000. () in
+  let fast_evals = !evals in
+  Alcotest.(check int) "reported evals match" fast_evals fast.Roots.f_evals;
+  Alcotest.(check int) "slow reported evals match" slow_evals slow.Roots.f_evals;
+  Alcotest.(check bool)
+    (Printf.sprintf "at most half the probes (%d vs %d)" fast_evals slow_evals)
+    true
+    (2 * fast_evals <= slow_evals)
+
+let test_itp_integer_endpoint_roots () =
+  let r = Roots.itp_integer ~f:(fun x -> x -. 2.) ~lo:2. ~hi:10. () in
+  check_float "endpoint root" 2. r.Roots.root;
+  let r = Roots.itp_integer ~flo:(-1.) ~fhi:0. ~f:(fun x -> x -. 10.) ~lo:2. ~hi:10. () in
+  check_float "fhi endpoint" 10. r.Roots.root;
+  Alcotest.(check int) "no evals when endpoints supplied" 0 r.Roots.f_evals
+
+let test_brent_large_magnitude () =
+  (* Relative termination: at |root| ~ 1e12 an absolute 1e-12 width is
+     below the float spacing (~1.2e-4), so the old criterion could only
+     stop on an exact zero.  With tol *. (1. +. |b|) this converges in a
+     normal probe count. *)
+  let root = 1.234e12 in
+  let f x = (x /. root) -. 1. in
+  let r = Roots.brent ~f ~lo:1e11 ~hi:9.9e12 () in
+  Alcotest.(check bool) "relative accuracy" true
+    (Float.abs (r.Roots.root -. root) /. root < 1e-9);
+  Alcotest.(check bool)
+    (Printf.sprintf "bounded probes (%d)" r.Roots.iterations)
+    true (r.Roots.iterations < 80);
+  (* same contract at tiny magnitudes: absolute tolerance near zero *)
+  let r = Roots.brent ~f:(fun x -> x -. 2e-13) ~lo:(-1.) ~hi:1. () in
+  Alcotest.(check bool) "small root" true (Float.abs (r.Roots.root -. 2e-13) < 1e-11)
+
 let test_golden_minimum () =
   let f x = ((x -. 3.) ** 2.) +. 1. in
   let r = Roots.minimize_golden ~f ~lo:0. ~hi:10. () in
@@ -600,6 +660,25 @@ let qcheck_tests =
         let o = Stats.Online.create () in
         Array.iter (Stats.Online.add o) xs;
         Float.abs (Stats.Online.mean o -. Stats.mean xs) < 1e-6);
+    Test.make ~name:"itp_integer replays bisect_integer bitwise" ~count:500
+      (quad (float_range 1. 1e6) (float_range 1. 1e6) (float_range 0.3 3.)
+         (float_range (-1.) 1.))
+      (fun (a, b, p, skew) ->
+        let lo = Float.min a b and hi = Float.max a b +. 1. in
+        (* monotone curve with a root placed anywhere in the bracket
+           (skew biases it toward an endpoint to hit shallow replays) *)
+        let t = 0.5 +. (0.49 *. skew) in
+        let root = lo +. (t *. (hi -. lo)) in
+        let f x = ((x -. lo +. 1.) ** p) -. ((root -. lo +. 1.) ** p) in
+        let slow = Roots.bisect_integer ~f ~lo ~hi () in
+        let fast = Roots.itp_integer ~f ~lo ~hi () in
+        Int64.bits_of_float slow.Roots.root = Int64.bits_of_float fast.Roots.root
+        && slow.Roots.iterations = fast.Roots.iterations
+        (* worst case: ITP's minmax envelope refines to 1/4 of the
+           bisection cell width, costing ~2 extra probes, plus the n0=1
+           slack probe, the replay's interior probes, and the final
+           residual evaluation *)
+        && fast.Roots.f_evals <= slow.Roots.f_evals + 6);
     Test.make ~name:"rng stream families are pairwise disjoint" ~count:25
       (pair small_int (int_range 2 8))
       (fun (seed, n_streams) ->
@@ -677,6 +756,10 @@ let () =
           Alcotest.test_case "newton flat" `Quick test_newton_diverges;
           Alcotest.test_case "secant" `Quick test_secant;
           Alcotest.test_case "brent" `Quick test_brent_matches_bisect;
+          Alcotest.test_case "itp bitwise replay" `Quick test_itp_integer_matches_bisect;
+          Alcotest.test_case "itp eval budget" `Quick test_itp_integer_fewer_evals;
+          Alcotest.test_case "itp endpoint roots" `Quick test_itp_integer_endpoint_roots;
+          Alcotest.test_case "brent large magnitude" `Quick test_brent_large_magnitude;
           Alcotest.test_case "golden section" `Quick test_golden_minimum ] );
       ( "fixed-point",
         [ Alcotest.test_case "heron sqrt" `Quick test_fixed_point_sqrt;
